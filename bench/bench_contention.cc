@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Memory-contention ablation. Section 5 of the paper admits its
+ * results are "somewhat optimistic since we assume a high bandwidth
+ * memory system ... we do not model the effect of contention". This
+ * bench enables the bank-queueing model (16 line-interleaved memory
+ * banks) and asks how much of the RC+DS latency hiding survives when
+ * overlapped misses start queueing against each other.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+#include "stats/table.h"
+
+using namespace dsmem;
+
+int
+main(int argc, char **argv)
+{
+    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+
+    std::printf("Contention ablation: no contention (paper) vs. 16 "
+                "banks x 8-cycle occupancy\n");
+    std::printf("(read latency hidden by RC DS per window)\n\n");
+
+    std::vector<std::string> headers = {"Program", "banks"};
+    for (uint32_t window : sim::kWindowSizes)
+        headers.push_back("W=" + std::to_string(window));
+    headers.push_back("avg miss lat");
+    stats::Table table(headers);
+
+    for (sim::AppId id : sim::kAllApps) {
+        for (bool contended : {false, true}) {
+            memsys::MemoryConfig mem;
+            if (contended) {
+                mem.banks = 16;
+                mem.bank_occupancy = 8;
+            }
+            sim::TraceBundle bundle = sim::generateTrace(id, mem, small);
+            core::RunResult base =
+                sim::runModel(bundle.trace, sim::ModelSpec::base());
+
+            table.beginRow();
+            table.cell(std::string(sim::appName(id)));
+            table.cell(std::string(contended ? "16x8cy" : "none"));
+            for (uint32_t window : sim::kWindowSizes) {
+                core::RunResult r = sim::runModel(
+                    bundle.trace,
+                    sim::ModelSpec::ds(core::ConsistencyModel::RC,
+                                       window));
+                table.cell(stats::Table::percent(
+                    sim::hiddenReadFraction(base, r)));
+            }
+            // Average annotated miss latency in the trace.
+            uint64_t total_lat = 0;
+            uint64_t misses = 0;
+            for (const trace::TraceInst &inst : bundle.trace) {
+                if (trace::isMemory(inst.op) && inst.latency > 1) {
+                    total_lat += inst.latency;
+                    ++misses;
+                }
+            }
+            table.cell(stats::Table::fixed(
+                misses == 0 ? 0.0
+                            : static_cast<double>(total_lat) /
+                        static_cast<double>(misses),
+                1));
+            table.endRow();
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "Expected: queueing inflates miss latency slightly and shifts "
+        "the knee toward larger windows,\nbut a substantial fraction "
+        "of read latency is still hidden — overlap tolerates moderate "
+        "contention.\n");
+    return 0;
+}

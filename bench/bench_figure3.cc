@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Figure 3 of the paper: execution-time breakdowns (busy,
+ * acquire-sync, read-miss, write-miss time) normalized to BASE = 100
+ * for every application, comparing the BASE machine, statically
+ * scheduled processors with blocking (SSBR) and non-blocking (SS)
+ * reads, and the dynamically scheduled processor (DS) across window
+ * sizes, under SC, PC, and RC — at a 50-cycle miss penalty.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+
+using namespace dsmem;
+
+int
+main(int argc, char **argv)
+{
+    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+
+    std::printf("Figure 3: simulation results for memory latency of "
+                "50 cycles\n");
+    std::printf("(columns normalized to BASE = 100; write includes "
+                "releases)\n\n");
+
+    sim::TraceCache cache;
+    std::vector<sim::ModelSpec> specs = sim::figure3Columns();
+
+    for (sim::AppId id : sim::kAllApps) {
+        const sim::TraceBundle &bundle =
+            cache.get(id, memsys::MemoryConfig{}, small);
+        std::vector<sim::LabelledResult> rows =
+            sim::runModels(bundle.trace, specs);
+        uint64_t base_cycles = rows.front().result.cycles;
+        std::printf("%s",
+                    sim::formatBreakdownTable(
+                        std::string(sim::appName(id)), rows,
+                        base_cycles)
+                        .c_str());
+        std::printf("%s",
+                    sim::formatBreakdownChart(
+                        std::string(sim::appName(id)), rows,
+                        base_cycles)
+                        .c_str());
+
+        // Read-latency hidden by RC + dynamic scheduling per window.
+        const core::RunResult &base = rows.front().result;
+        std::printf("  read latency hidden under RC DS:");
+        for (const sim::LabelledResult &row : rows) {
+            if (row.label.rfind("RC DS-", 0) == 0) {
+                std::printf(" %s=%4.1f%%",
+                            row.label.c_str() + 6,
+                            100.0 *
+                                sim::hiddenReadFraction(base,
+                                                        row.result));
+            }
+        }
+        std::printf("\n\n");
+    }
+
+    std::printf(
+        "Expected shape (paper Section 4.1):\n"
+        "  - SC hides neither read nor write latency on any "
+        "processor.\n"
+        "  - PC/RC hide write latency under static scheduling; PC "
+        "leaves residual\n"
+        "    write time on OCEAN (write misses exceed read misses, "
+        "write buffer fills).\n"
+        "  - SS barely improves on SSBR (first use follows the load "
+        "closely).\n"
+        "  - RC + DS hides read latency progressively with window "
+        "size, leveling\n"
+        "    off past 64; LU and OCEAN hide virtually all of it at "
+        "64; MP3D, PTHOR,\n"
+        "    LOCUS retain a residue.\n");
+    return 0;
+}

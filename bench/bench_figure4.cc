@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 4 of the paper: the effect of perfect branch
+ * prediction, and of additionally ignoring register data dependences,
+ * on the dynamically scheduled processor under release consistency —
+ * isolating branch behavior, data dependences, and window size.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+
+using namespace dsmem;
+
+int
+main(int argc, char **argv)
+{
+    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+
+    std::printf("Figure 4: perfect branch prediction (pbp) and "
+                "ignored data dependences (nodep)\n");
+    std::printf("for dynamic scheduling under RC, 50-cycle miss "
+                "penalty (BASE = 100)\n\n");
+
+    sim::TraceCache cache;
+    std::vector<sim::ModelSpec> specs = sim::figure4Columns();
+
+    // Also run the realistic-BTB sweep for side-by-side comparison
+    // with the left half of Figure 3.
+    std::vector<sim::ModelSpec> real_specs;
+    for (uint32_t window : sim::kWindowSizes)
+        real_specs.push_back(
+            sim::ModelSpec::ds(core::ConsistencyModel::RC, window));
+
+    for (sim::AppId id : sim::kAllApps) {
+        const sim::TraceBundle &bundle =
+            cache.get(id, memsys::MemoryConfig{}, small);
+        std::vector<sim::LabelledResult> rows =
+            sim::runModels(bundle.trace, specs);
+        std::vector<sim::LabelledResult> real_rows =
+            sim::runModels(bundle.trace, real_specs);
+        uint64_t base_cycles = rows.front().result.cycles;
+
+        rows.insert(rows.begin() + 1, real_rows.begin(),
+                    real_rows.end());
+        std::printf("%s\n",
+                    sim::formatBreakdownTable(
+                        std::string(sim::appName(id)), rows,
+                        base_cycles)
+                        .c_str());
+    }
+
+    std::printf(
+        "Expected shape (paper Section 4.1.3):\n"
+        "  - LU/OCEAN: no gain from perfect prediction or ignoring "
+        "dependences\n"
+        "    (latency already all hidden by window 64).\n"
+        "  - PTHOR gains from perfect prediction at every window; "
+        "MP3D/LOCUS only\n"
+        "    at large windows.\n"
+        "  - Ignoring data dependences helps MP3D/PTHOR/LOCUS at "
+        "small windows;\n"
+        "    at window 256 pbp and pbp+nodep nearly coincide.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Coherence-protocol ablation: the paper's substrate is a plain
+ * invalidation (MSI) scheme; MESI's Exclusive state turns the
+ * read-then-write pattern on private data into a silent upgrade.
+ * Expected: MESI removes most of the *private* write misses (large
+ * effect on OCEAN's strip-local stores, which is exactly what makes
+ * OCEAN hard for PC), while communication misses are untouched.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+#include "stats/table.h"
+
+using namespace dsmem;
+
+int
+main(int argc, char **argv)
+{
+    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+
+    std::printf("Protocol ablation: MSI (paper) vs. MESI — miss rates "
+                "per 1,000 instructions and PC/RC static totals\n\n");
+
+    stats::Table table({"Program", "rm MSI", "rm MESI", "wm MSI",
+                        "wm MESI", "PC SSBR MSI", "PC SSBR MESI",
+                        "RC SSBR MESI"});
+
+    for (sim::AppId id : sim::kAllApps) {
+        memsys::MemoryConfig msi;
+        memsys::MemoryConfig mesi;
+        mesi.protocol = memsys::Protocol::MESI;
+
+        sim::TraceBundle b_msi = sim::generateTrace(id, msi, small);
+        sim::TraceBundle b_mesi = sim::generateTrace(id, mesi, small);
+
+        core::RunResult base_msi =
+            sim::runModel(b_msi.trace, sim::ModelSpec::base());
+        core::RunResult base_mesi =
+            sim::runModel(b_mesi.trace, sim::ModelSpec::base());
+        core::RunResult pc_msi = sim::runModel(
+            b_msi.trace, sim::ModelSpec::ssbr(core::ConsistencyModel::PC));
+        core::RunResult pc_mesi = sim::runModel(
+            b_mesi.trace,
+            sim::ModelSpec::ssbr(core::ConsistencyModel::PC));
+        core::RunResult rc_mesi = sim::runModel(
+            b_mesi.trace,
+            sim::ModelSpec::ssbr(core::ConsistencyModel::RC));
+
+        auto pct = [](uint64_t cycles, uint64_t base) {
+            return stats::Table::fixed(
+                100.0 * static_cast<double>(cycles) /
+                    static_cast<double>(base == 0 ? 1 : base),
+                1);
+        };
+
+        table.beginRow();
+        table.cell(std::string(sim::appName(id)));
+        table.cell(b_msi.stats.ratePerThousand(b_msi.stats.read_misses),
+                   1);
+        table.cell(
+            b_mesi.stats.ratePerThousand(b_mesi.stats.read_misses), 1);
+        table.cell(
+            b_msi.stats.ratePerThousand(b_msi.stats.write_misses), 1);
+        table.cell(
+            b_mesi.stats.ratePerThousand(b_mesi.stats.write_misses), 1);
+        table.cell(pct(pc_msi.cycles, base_msi.cycles));
+        table.cell(pct(pc_mesi.cycles, base_mesi.cycles));
+        table.cell(pct(rc_mesi.cycles, base_mesi.cycles));
+        table.endRow();
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Note: read-miss rates are protocol-independent; MESI "
+                "only removes private-data write upgrades.\n");
+    return 0;
+}

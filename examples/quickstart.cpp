@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: hand-build a tiny annotated trace and time it on the
+ * BASE machine and on the dynamically scheduled processor under
+ * different consistency models — no multiprocessor simulation needed.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "trace/trace.h"
+
+using namespace dsmem;
+
+int
+main()
+{
+    // A toy loop body: two independent read misses feeding a
+    // computation, a store, and a (predictable) loop branch.
+    trace::Trace t("quickstart");
+    for (int iter = 0; iter < 100; ++iter) {
+        trace::TraceInst load_a = trace::makeLoad(0x1000 + iter * 16);
+        load_a.latency = 50; // Annotated remote miss.
+        trace::InstIndex a = t.append(load_a);
+
+        trace::TraceInst load_b = trace::makeLoad(0x9000 + iter * 16);
+        load_b.latency = 50;
+        trace::InstIndex b = t.append(load_b);
+
+        trace::InstIndex sum =
+            t.append(trace::makeCompute(trace::Op::FADD, a, b));
+        t.append(trace::makeStore(0x20000 + iter * 16, sum));
+        t.append(trace::makeBranch(1, iter != 99));
+    }
+
+    core::RunResult base = core::BaseProcessor().run(t);
+    std::printf("BASE                : %8llu cycles\n",
+                static_cast<unsigned long long>(base.cycles));
+
+    for (core::ConsistencyModel model :
+         {core::ConsistencyModel::SC, core::ConsistencyModel::RC}) {
+        for (uint32_t window : {16u, 64u}) {
+            core::DynamicConfig config;
+            config.model = model;
+            config.window = window;
+            core::RunResult r =
+                core::DynamicProcessor(config).run(t);
+            std::printf(
+                "%s dynamic, window %3u: %8llu cycles "
+                "(busy %llu, read stall %llu, write stall %llu)\n",
+                core::consistencyName(model).data(), window,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.breakdown.busy),
+                static_cast<unsigned long long>(r.breakdown.read),
+                static_cast<unsigned long long>(r.breakdown.write));
+        }
+    }
+
+    std::printf("\nRelaxed consistency + a large window overlaps the "
+                "independent misses;\nsequential consistency cannot, "
+                "regardless of window size.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Window-size sweep for any application at any miss latency: the
+ * paper's central experiment as a command-line tool.
+ *
+ *   $ ./window_sweep [MP3D|LU|PTHOR|LOCUS|OCEAN] [miss_latency]
+ *   $ ./window_sweep PTHOR 100
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+
+using namespace dsmem;
+
+int
+main(int argc, char **argv)
+{
+    sim::AppId id = sim::AppId::LU;
+    if (argc > 1) {
+        bool found = false;
+        for (sim::AppId candidate : sim::kAllApps) {
+            if (sim::appName(candidate) == argv[1]) {
+                id = candidate;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "unknown app '%s' (MP3D, LU, PTHOR, LOCUS, "
+                         "OCEAN)\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+    memsys::MemoryConfig mem;
+    if (argc > 2)
+        mem.miss_latency =
+            static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10));
+
+    std::printf("%s at %u-cycle miss latency\n", sim::appName(id).data(),
+                mem.miss_latency);
+    sim::TraceBundle bundle = sim::generateTrace(id, mem);
+    std::printf("  trace: %zu entries, %s\n\n", bundle.trace.size(),
+                bundle.verified ? "verified" : "FAILED VERIFICATION");
+
+    core::RunResult base =
+        sim::runModel(bundle.trace, sim::ModelSpec::base());
+    std::printf("%-10s %10llu cycles\n", "BASE",
+                static_cast<unsigned long long>(base.cycles));
+    for (uint32_t window : sim::kWindowSizes) {
+        core::RunResult r = sim::runModel(
+            bundle.trace,
+            sim::ModelSpec::ds(core::ConsistencyModel::RC, window));
+        std::printf("%-10s %10llu cycles  (%5.1f%% of BASE, "
+                    "%5.1f%% of read latency hidden)\n",
+                    ("RC DS-" + std::to_string(window)).c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    100.0 * static_cast<double>(r.cycles) /
+                        static_cast<double>(base.cycles),
+                    100.0 * sim::hiddenReadFraction(base, r));
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+#include "apps/app.h"
+
+namespace dsmem::apps {
+
+void
+runApplication(mp::Engine &engine, Application &app)
+{
+    app.setup(engine);
+    uint32_t procs = engine.config().num_procs;
+    for (uint32_t p = 0; p < procs; ++p)
+        engine.addThread(p, app.worker(engine.context(p), p));
+    engine.run();
+}
+
+} // namespace dsmem::apps

@@ -1,0 +1,47 @@
+#ifndef DSMEM_APPS_APP_H
+#define DSMEM_APPS_APP_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mp/engine.h"
+#include "mp/task.h"
+
+namespace dsmem::apps {
+
+/**
+ * A parallel benchmark application (Section 3.3 of the paper).
+ *
+ * Lifecycle: setup() allocates and initializes shared data in the
+ * engine's arena *without* emitting trace instructions (matching the
+ * paper's focus on the parallel phase), creates synchronization
+ * objects, and captures whatever per-run state the workers need; the
+ * harness then spawns worker(tid) on every simulated processor and
+ * runs the engine; verify() checks the computed result against an
+ * independent native reimplementation, guarding the tracing DSL
+ * against silent algorithmic corruption.
+ */
+class Application
+{
+  public:
+    virtual ~Application() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /** Allocate and initialize shared state (untimed). */
+    virtual void setup(mp::Engine &engine) = 0;
+
+    /** The parallel worker body for processor @p tid. */
+    virtual mp::Task worker(mp::ThreadContext &ctx, uint32_t tid) = 0;
+
+    /** Check results after the run; true when correct. */
+    virtual bool verify(const mp::Engine &engine) const = 0;
+};
+
+/** setup() + spawn a worker per processor + run to completion. */
+void runApplication(mp::Engine &engine, Application &app);
+
+} // namespace dsmem::apps
+
+#endif // DSMEM_APPS_APP_H

@@ -1,0 +1,279 @@
+#include "apps/locus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/rng.h"
+#include "mp/dsl.h"
+
+namespace dsmem::apps {
+
+using mp::Val;
+
+namespace {
+
+const uint32_t kSiteClaim = mp::siteId("locus.claim_loop");
+const uint32_t kSiteCand = mp::siteId("locus.candidate_loop");
+const uint32_t kSiteHsum = mp::siteId("locus.horizontal_sum");
+const uint32_t kSiteV1sum = mp::siteId("locus.vertical1_sum");
+const uint32_t kSiteV2sum = mp::siteId("locus.vertical2_sum");
+const uint32_t kSiteMin = mp::siteId("locus.min_test");
+const uint32_t kSiteHinc = mp::siteId("locus.horizontal_inc");
+const uint32_t kSiteV1inc = mp::siteId("locus.vertical1_inc");
+const uint32_t kSiteV2inc = mp::siteId("locus.vertical2_inc");
+const uint32_t kSiteHrip = mp::siteId("locus.horizontal_rip");
+const uint32_t kSiteV1rip = mp::siteId("locus.vertical1_rip");
+const uint32_t kSiteV2rip = mp::siteId("locus.vertical2_rip");
+
+constexpr uint32_t kNumRegions = 8;
+
+} // namespace
+
+Locus::Locus(const LocusConfig &config) : config_(config)
+{
+    if (config.width < 16 || config.height < 2)
+        throw std::invalid_argument("LOCUS cost array too small");
+    if (config.max_span < 2 || config.max_span >= config.width)
+        throw std::invalid_argument("LOCUS max_span out of range");
+    if (config.max_span > 2 * (config.width / kNumRegions))
+        throw std::invalid_argument(
+            "LOCUS max_span must fit in two region locks");
+}
+
+void
+Locus::setup(mp::Engine &engine)
+{
+    mp::Arena &arena = engine.arena();
+    const size_t cells =
+        static_cast<size_t>(config_.width) * config_.height;
+    cost_ = mp::ArenaArray<int64_t>(&arena, cells, /*padded=*/true);
+    for (size_t c = 0; c < cells; ++c)
+        cost_.set(c, 0);
+    next_wire_ = mp::ArenaArray<int64_t>(&arena, config_.iterations,
+                                         /*padded=*/true);
+    for (uint32_t pass = 0; pass < config_.iterations; ++pass)
+        next_wire_.set(pass, 0);
+    routed_ = mp::ArenaArray<int64_t>(&arena, config_.wires,
+                                      /*padded=*/true);
+
+    Rng rng(config_.seed);
+    wires_.clear();
+    wires_.reserve(config_.wires);
+    for (uint32_t w = 0; w < config_.wires; ++w) {
+        uint32_t span =
+            2 + static_cast<uint32_t>(rng.below(config_.max_span - 1));
+        uint32_t x1 =
+            static_cast<uint32_t>(rng.below(config_.width - span));
+        uint32_t x2 = x1 + span;
+        uint32_t y1 = static_cast<uint32_t>(rng.below(config_.height));
+        uint32_t y2 = static_cast<uint32_t>(rng.below(config_.height));
+        wires_.push_back({x1, y1, x2, y2});
+        routed_.set(w, -1);
+    }
+
+    queue_lock_ = engine.createLock();
+    region_locks_.clear();
+    for (uint32_t r = 0; r < kNumRegions; ++r)
+        region_locks_.push_back(engine.createLock());
+    bar_ = engine.createBarrier();
+}
+
+mp::Task
+Locus::worker(mp::ThreadContext &ctx, uint32_t)
+{
+    const uint32_t region_width = config_.width / kNumRegions;
+
+    co_await ctx.barrier(bar_);
+
+    Val one = ctx.imm(1);
+    Val zero = ctx.imm(0);
+    Val vwidth = ctx.imm(config_.width);
+    Val vnwires = ctx.imm(config_.wires);
+
+    for (uint32_t pass = 0; pass < config_.iterations; ++pass) {
+    Val vpass = ctx.imm(pass);
+    for (;;) {
+        // ---- Claim the next unrouted wire -------------------------
+        co_await ctx.lock(queue_lock_);
+        Val vmine = co_await ctx.loadIdx(next_wire_, vpass);
+        bool have_wire = ctx.branch(kSiteClaim, ctx.lt(vmine, vnwires));
+        if (have_wire) {
+            co_await ctx.storeIdx(next_wire_, vpass,
+                                  ctx.add(vmine, one));
+        }
+        co_await ctx.unlock(queue_lock_);
+        if (!have_wire)
+            break;
+
+        const Wire &wire = wires_[static_cast<size_t>(vmine.i)];
+        const uint32_t ylo = std::min(wire.y1, wire.y2);
+        const uint32_t yhi = std::max(wire.y1, wire.y2);
+        const uint32_t wr1 = wire.x1 / region_width;
+        const uint32_t wr2 =
+            std::min(wire.x2 / region_width, kNumRegions - 1);
+
+        Val vx1 = ctx.imm(wire.x1);
+        Val vx2 = ctx.imm(wire.x2);
+        Val vy1 = ctx.imm(wire.y1);
+        Val vy2 = ctx.imm(wire.y2);
+
+        // ---- Rip up the previous pass's route ---------------------
+        if (pass > 0) {
+            Val old_row = co_await ctx.loadIdx(routed_, vmine);
+            const uint32_t oyb =
+                static_cast<uint32_t>(old_row.i);
+            for (uint32_t r = wr1; r <= wr2; ++r)
+                co_await ctx.lock(region_locks_[r]);
+            Val row_base = ctx.mul(old_row, vwidth);
+            Val vx = vx1;
+            while (ctx.branch(kSiteHrip, ctx.le(vx, vx2))) {
+                Val idx = ctx.add(row_base, vx);
+                Val c = co_await ctx.loadIdx(cost_, idx);
+                co_await ctx.storeIdx(cost_, idx, ctx.sub(c, one));
+                vx = ctx.add(vx, one);
+            }
+            Val dir1 = ctx.imm(oyb >= wire.y1 ? 1 : -1);
+            Val vy = vy1;
+            while (ctx.branch(kSiteV1rip, ctx.ne(vy, old_row))) {
+                Val idx = ctx.add(ctx.mul(vy, vwidth), vx1);
+                Val c = co_await ctx.loadIdx(cost_, idx);
+                co_await ctx.storeIdx(cost_, idx, ctx.sub(c, one));
+                vy = ctx.add(vy, dir1);
+            }
+            Val dir2 = ctx.imm(oyb >= wire.y2 ? 1 : -1);
+            vy = vy2;
+            while (ctx.branch(kSiteV2rip, ctx.ne(vy, old_row))) {
+                Val idx = ctx.add(ctx.mul(vy, vwidth), vx2);
+                Val c = co_await ctx.loadIdx(cost_, idx);
+                co_await ctx.storeIdx(cost_, idx, ctx.sub(c, one));
+                vy = ctx.add(vy, dir2);
+            }
+            for (uint32_t r = wr2 + 1; r-- > wr1;)
+                co_await ctx.unlock(region_locks_[r]);
+        }
+
+        // ---- Evaluate every bend row between the endpoints --------
+        Val best_cost = ctx.imm(INT64_MAX / 2);
+        Val best_row = ctx.imm(ylo);
+        Val vyb = ctx.imm(ylo);
+        Val vyhi = ctx.imm(yhi);
+        while (ctx.branch(kSiteCand, ctx.le(vyb, vyhi))) {
+            uint32_t yb = static_cast<uint32_t>(vyb.i);
+            Val sum = zero;
+
+            // Horizontal segment on row yb.
+            Val row_base = ctx.mul(vyb, vwidth);
+            Val vx = vx1;
+            while (ctx.branch(kSiteHsum, ctx.le(vx, vx2))) {
+                Val c = co_await ctx.loadIdx(cost_,
+                                             ctx.add(row_base, vx));
+                sum = ctx.add(sum, c);
+                vx = ctx.add(vx, one);
+            }
+
+            // Vertical run at x1 from y1 toward yb (exclusive).
+            Val dir1 = ctx.imm(yb >= wire.y1 ? 1 : -1);
+            Val vy = vy1;
+            while (ctx.branch(kSiteV1sum, ctx.ne(vy, vyb))) {
+                Val c = co_await ctx.loadIdx(
+                    cost_, ctx.add(ctx.mul(vy, vwidth), vx1));
+                sum = ctx.add(sum, c);
+                vy = ctx.add(vy, dir1);
+            }
+
+            // Vertical run at x2 from y2 toward yb (exclusive).
+            Val dir2 = ctx.imm(yb >= wire.y2 ? 1 : -1);
+            vy = vy2;
+            while (ctx.branch(kSiteV2sum, ctx.ne(vy, vyb))) {
+                Val c = co_await ctx.loadIdx(
+                    cost_, ctx.add(ctx.mul(vy, vwidth), vx2));
+                sum = ctx.add(sum, c);
+                vy = ctx.add(vy, dir2);
+            }
+
+            if (ctx.branch(kSiteMin, ctx.lt(sum, best_cost))) {
+                best_cost = sum;
+                best_row = vyb;
+            }
+            vyb = ctx.add(vyb, one);
+        }
+
+        // ---- Commit the winning route under the region locks ------
+        const uint32_t yb = static_cast<uint32_t>(best_row.i);
+        for (uint32_t r = wr1; r <= wr2; ++r)
+            co_await ctx.lock(region_locks_[r]);
+
+        Val row_base = ctx.mul(best_row, vwidth);
+        Val vx = vx1;
+        while (ctx.branch(kSiteHinc, ctx.le(vx, vx2))) {
+            Val idx = ctx.add(row_base, vx);
+            Val c = co_await ctx.loadIdx(cost_, idx);
+            co_await ctx.storeIdx(cost_, idx, ctx.add(c, one));
+            vx = ctx.add(vx, one);
+        }
+        Val dir1 = ctx.imm(yb >= wire.y1 ? 1 : -1);
+        Val vy = vy1;
+        while (ctx.branch(kSiteV1inc, ctx.ne(vy, best_row))) {
+            Val idx = ctx.add(ctx.mul(vy, vwidth), vx1);
+            Val c = co_await ctx.loadIdx(cost_, idx);
+            co_await ctx.storeIdx(cost_, idx, ctx.add(c, one));
+            vy = ctx.add(vy, dir1);
+        }
+        Val dir2 = ctx.imm(yb >= wire.y2 ? 1 : -1);
+        vy = vy2;
+        while (ctx.branch(kSiteV2inc, ctx.ne(vy, best_row))) {
+            Val idx = ctx.add(ctx.mul(vy, vwidth), vx2);
+            Val c = co_await ctx.loadIdx(cost_, idx);
+            co_await ctx.storeIdx(cost_, idx, ctx.add(c, one));
+            vy = ctx.add(vy, dir2);
+        }
+
+        for (uint32_t r = wr2 + 1; r-- > wr1;)
+            co_await ctx.unlock(region_locks_[r]);
+
+        co_await ctx.storeIdx(routed_, vmine, best_row);
+    }
+    // All wires of this pass are placed before any rip-up of the
+    // next pass begins.
+    co_await ctx.barrier(bar_);
+    }
+}
+
+bool
+Locus::verify(const mp::Engine &) const
+{
+    // Every wire must have been claimed exactly once per pass.
+    for (uint32_t pass = 0; pass < config_.iterations; ++pass)
+        if (next_wire_.get(pass) != static_cast<int64_t>(config_.wires))
+            return false;
+
+    // Every candidate route of a wire has the same cell count
+    // (bend row confined between the endpoints), so the total cost
+    // mass is route-independent and exactly checkable.
+    int64_t expected = 0;
+    for (uint32_t w = 0; w < config_.wires; ++w) {
+        const Wire &wire = wires_[w];
+        uint32_t dy = wire.y1 > wire.y2 ? wire.y1 - wire.y2
+                                        : wire.y2 - wire.y1;
+        expected += (wire.x2 - wire.x1 + 1) + dy;
+
+        int64_t row = routed_.get(w);
+        if (row < std::min(wire.y1, wire.y2) ||
+            row > std::max(wire.y1, wire.y2)) {
+            return false;
+        }
+    }
+
+    int64_t total = 0;
+    const size_t cells =
+        static_cast<size_t>(config_.width) * config_.height;
+    for (size_t c = 0; c < cells; ++c) {
+        int64_t v = cost_.get(c);
+        if (v < 0)
+            return false;
+        total += v;
+    }
+    return total == expected;
+}
+
+} // namespace dsmem::apps

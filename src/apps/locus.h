@@ -1,0 +1,70 @@
+#ifndef DSMEM_APPS_LOCUS_H
+#define DSMEM_APPS_LOCUS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "mp/arena.h"
+#include "mp/sync.h"
+
+namespace dsmem::apps {
+
+/** LOCUS problem size (paper: 1266 wires, 481x18 cost array). */
+struct LocusConfig {
+    uint32_t wires = 640;
+    uint32_t width = 480;  ///< Cost array columns (paper: 481).
+    uint32_t height = 18;  ///< Cost array rows (routing channels).
+    uint32_t max_span = 24; ///< Maximum horizontal wire span.
+    uint32_t iterations = 2; ///< Routing passes (rip-up and re-route).
+    uint64_t seed = 31337;
+};
+
+/**
+ * LOCUS — the LocusRoute standard-cell global router (Section 3.3).
+ *
+ * The shared cost array counts the wires running through each routing
+ * cell. Wires are claimed dynamically from a lock-protected task
+ * counter; for each wire the router evaluates the candidate one-bend
+ * (L-shaped) and two-bend (Z-shaped) routes between its endpoints by
+ * summing the cost cells along each candidate, picks the cheapest,
+ * and increments the cost cells of the winner. Cost evaluation is a
+ * long strand of load-add-compare with a branch per cell, giving the
+ * paper's high branch density; the array itself is the shared hot
+ * data that produces communication misses.
+ */
+class Locus : public Application
+{
+  public:
+    explicit Locus(const LocusConfig &config);
+
+    std::string_view name() const override { return "LOCUS"; }
+    void setup(mp::Engine &engine) override;
+    mp::Task worker(mp::ThreadContext &ctx, uint32_t tid) override;
+    bool verify(const mp::Engine &engine) const override;
+
+    const LocusConfig &locusConfig() const { return config_; }
+
+  private:
+    struct Wire {
+        uint32_t x1, y1, x2, y2;
+    };
+
+    size_t flatIndex(uint32_t x, uint32_t y) const
+    {
+        return static_cast<size_t>(y) * config_.width + x;
+    }
+
+    LocusConfig config_;
+    std::vector<Wire> wires_;
+    mp::ArenaArray<int64_t> cost_;      ///< Shared cost array.
+    mp::ArenaArray<int64_t> next_wire_; ///< One task counter per pass.
+    mp::ArenaArray<int64_t> routed_;    ///< Per-wire chosen bend row.
+    mp::LockId queue_lock_ = 0;
+    std::vector<mp::LockId> region_locks_;
+    mp::BarrierId bar_ = 0;
+};
+
+} // namespace dsmem::apps
+
+#endif // DSMEM_APPS_LOCUS_H

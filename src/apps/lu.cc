@@ -1,0 +1,153 @@
+#include "apps/lu.h"
+
+#include <cmath>
+
+#include "apps/rng.h"
+#include "mp/dsl.h"
+
+namespace dsmem::apps {
+
+using mp::Val;
+
+namespace {
+
+const uint32_t kSiteColLoop = mp::siteId("lu.column_loop");
+const uint32_t kSiteNormLoop = mp::siteId("lu.normalize_loop");
+const uint32_t kSiteOwnerTest = mp::siteId("lu.owner_test");
+const uint32_t kSiteUpdateJ = mp::siteId("lu.update_column_loop");
+const uint32_t kSiteUpdateI = mp::siteId("lu.update_row_loop");
+
+} // namespace
+
+Lu::Lu(const LuConfig &config) : config_(config)
+{
+    if (config.n < 2)
+        throw std::invalid_argument("LU needs n >= 2");
+}
+
+void
+Lu::setup(mp::Engine &engine)
+{
+    const uint32_t n = config_.n;
+    const size_t slots = static_cast<size_t>(colStride()) * n;
+    a_ = mp::ArenaArray<double>(&engine.arena(), slots);
+    reference_.assign(slots, 0.0);
+
+    // Diagonally dominant matrix: LU without pivoting stays stable.
+    Rng rng(config_.seed);
+    for (uint32_t col = 0; col < n; ++col) {
+        for (uint32_t row = 0; row < n; ++row) {
+            double v = rng.range(-1.0, 1.0);
+            if (row == col)
+                v += static_cast<double>(n);
+            a_.set(flatIndex(row, col), v);
+            reference_[flatIndex(row, col)] = v;
+        }
+    }
+
+    col_ready_.clear();
+    col_ready_.reserve(n);
+    for (uint32_t col = 0; col < n; ++col)
+        col_ready_.push_back(engine.createEvent());
+    bar_ = engine.createBarrier();
+}
+
+mp::Task
+Lu::worker(mp::ThreadContext &ctx, uint32_t tid)
+{
+    const uint32_t n = config_.n;
+    const uint32_t procs = ctx.numProcs();
+
+    co_await ctx.barrier(bar_);
+
+    Val one = ctx.imm(1);
+    Val vn = ctx.imm(n);
+    Val vnn = ctx.imm(colStride());
+    Val vprocs = ctx.imm(procs);
+    Val vtid = ctx.imm(tid);
+
+    Val vk = ctx.imm(0);
+    while (ctx.branch(kSiteColLoop, ctx.lt(vk, vn))) {
+        uint32_t k = static_cast<uint32_t>(vk.i);
+        Val col_k_base = ctx.mul(vk, vnn);
+
+        // Does this processor own the pivot column?
+        Val owner = ctx.rem(vk, vprocs);
+        if (ctx.branch(kSiteOwnerTest, ctx.eq(owner, vtid))) {
+            // Normalize column k below the diagonal.
+            Val diag_idx = ctx.add(col_k_base, vk);
+            Val akk = co_await ctx.loadIdx(a_, diag_idx);
+            Val vi = ctx.add(vk, one);
+            while (ctx.branch(kSiteNormLoop, ctx.lt(vi, vn))) {
+                Val idx = ctx.add(col_k_base, vi);
+                Val aik = co_await ctx.loadIdx(a_, idx);
+                Val norm = ctx.fdivv(aik, akk);
+                co_await ctx.storeIdx(a_, idx, norm);
+                vi = ctx.add(vi, one);
+            }
+            co_await ctx.setEvent(col_ready_[k]);
+        } else {
+            co_await ctx.waitEvent(col_ready_[k]);
+        }
+
+        // Update the columns this processor owns beyond k.
+        // First owned column index strictly greater than k.
+        uint32_t first_j = tid <= k ? (k / procs) * procs + tid : tid;
+        while (first_j <= k)
+            first_j += procs;
+        Val vj = ctx.imm(first_j);
+        while (ctx.branch(kSiteUpdateJ, ctx.lt(vj, vn))) {
+            Val col_j_base = ctx.mul(vj, vnn);
+            Val akj_idx = ctx.add(col_j_base, vk);
+            Val akj = co_await ctx.loadIdx(a_, akj_idx);
+
+            Val vi = ctx.add(vk, one);
+            while (ctx.branch(kSiteUpdateI, ctx.lt(vi, vn))) {
+                Val ik_idx = ctx.add(col_k_base, vi);
+                Val aik = co_await ctx.loadIdx(a_, ik_idx);
+                Val ij_idx = ctx.add(col_j_base, vi);
+                Val aij = co_await ctx.loadIdx(a_, ij_idx);
+                Val prod = ctx.fmul(aik, akj);
+                Val next = ctx.fsub(aij, prod);
+                co_await ctx.storeIdx(a_, ij_idx, next);
+                vi = ctx.add(vi, one);
+            }
+            vj = ctx.add(vj, vprocs);
+        }
+
+        vk = ctx.add(vk, one);
+    }
+
+    co_await ctx.barrier(bar_);
+}
+
+bool
+Lu::verify(const mp::Engine &) const
+{
+    // Recompute the factorization natively in the same operation
+    // order and compare elementwise.
+    const uint32_t n = config_.n;
+    std::vector<double> m = reference_;
+    for (uint32_t k = 0; k < n; ++k) {
+        double akk = m[flatIndex(k, k)];
+        for (uint32_t i = k + 1; i < n; ++i)
+            m[flatIndex(i, k)] = akk == 0.0 ? 0.0
+                                            : m[flatIndex(i, k)] / akk;
+        for (uint32_t j = k + 1; j < n; ++j) {
+            double akj = m[flatIndex(k, j)];
+            for (uint32_t i = k + 1; i < n; ++i)
+                m[flatIndex(i, j)] -= m[flatIndex(i, k)] * akj;
+        }
+    }
+    for (size_t idx = 0; idx < m.size(); ++idx) {
+        double got = a_.get(idx);
+        double want = m[idx];
+        if (std::fabs(got - want) >
+            1e-9 * std::max(1.0, std::fabs(want))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dsmem::apps

@@ -1,0 +1,65 @@
+#ifndef DSMEM_APPS_LU_H
+#define DSMEM_APPS_LU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "mp/arena.h"
+
+namespace dsmem::apps {
+
+/** LU problem size (the paper ran 200x200). */
+struct LuConfig {
+    uint32_t n = 128;
+    uint64_t seed = 12345;
+};
+
+/**
+ * LU — dense LU decomposition without pivoting (Section 3.3).
+ *
+ * The matrix is stored column-major; columns are statically assigned
+ * to processors in an interleaved fashion. For each step k, the owner
+ * of column k normalizes it and sets the column's event; every other
+ * processor waits for that event, then uses the pivot column to
+ * update the columns it owns. Synchronization is therefore
+ * producer-consumer events plus two barriers — matching the paper's
+ * Table 2 profile for LU (many wait-events, few set-events, two
+ * barriers, no locks).
+ */
+class Lu : public Application
+{
+  public:
+    explicit Lu(const LuConfig &config);
+
+    std::string_view name() const override { return "LU"; }
+    void setup(mp::Engine &engine) override;
+    mp::Task worker(mp::ThreadContext &ctx, uint32_t tid) override;
+    bool verify(const mp::Engine &engine) const override;
+
+    const LuConfig &luConfig() const { return config_; }
+
+  private:
+    /**
+     * Column stride in slots. Columns are padded by two slots (one
+     * cache line) so that the power-of-two default size does not
+     * alias whole columns onto the same direct-mapped sets — the
+     * original's 200-column matrix had a non-power-of-two stride.
+     */
+    uint32_t colStride() const { return config_.n + 2; }
+
+    size_t flatIndex(uint32_t row, uint32_t col) const
+    {
+        return static_cast<size_t>(col) * colStride() + row;
+    }
+
+    LuConfig config_;
+    mp::ArenaArray<double> a_;            ///< Column-major matrix.
+    std::vector<double> reference_;       ///< Initial values (native).
+    std::vector<mp::EventId> col_ready_;  ///< One event per column.
+    mp::BarrierId bar_ = 0;
+};
+
+} // namespace dsmem::apps
+
+#endif // DSMEM_APPS_LU_H

@@ -1,0 +1,367 @@
+#include "apps/mp3d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/rng.h"
+#include "mp/dsl.h"
+
+namespace dsmem::apps {
+
+using mp::Val;
+
+namespace {
+
+const uint32_t kSiteStep = mp::siteId("mp3d.step_loop");
+const uint32_t kSiteParticle = mp::siteId("mp3d.particle_loop");
+const uint32_t kSiteLoX = mp::siteId("mp3d.reflect_lo_x");
+const uint32_t kSiteHiX = mp::siteId("mp3d.reflect_hi_x");
+const uint32_t kSiteLoY = mp::siteId("mp3d.reflect_lo_y");
+const uint32_t kSiteHiY = mp::siteId("mp3d.reflect_hi_y");
+const uint32_t kSiteLoZ = mp::siteId("mp3d.reflect_lo_z");
+const uint32_t kSiteHiZ = mp::siteId("mp3d.reflect_hi_z");
+const uint32_t kSiteCollide = mp::siteId("mp3d.collide_test");
+const uint32_t kSiteDense = mp::siteId("mp3d.dense_cell_test");
+const uint32_t kSiteReset = mp::siteId("mp3d.reset_loop");
+
+/** Collision decision hash; mirrored exactly by verify(). */
+constexpr uint64_t kHashA = 2654435761u;
+constexpr uint64_t kHashB = 0x9e3779b9u;
+
+bool
+nativeCollides(uint64_t p, uint64_t step)
+{
+    // Mirrors the DSL computation exactly (wrapping multiply, xor,
+    // arithmetic shift on int64, mask).
+    int64_t a = static_cast<int64_t>(p * kHashA);
+    int64_t b = static_cast<int64_t>((step + 1) * kHashB);
+    int64_t h = a ^ b;
+    return ((h >> 13) & 7) == 0;
+}
+
+} // namespace
+
+Mp3d::Mp3d(const Mp3dConfig &config) : config_(config)
+{
+    if (config.particles < 16)
+        throw std::invalid_argument("MP3D needs >= 16 particles");
+    if (config.cells_x < 2 || config.cells_y < 2 || config.cells_z < 2)
+        throw std::invalid_argument("MP3D needs >= 2 cells per axis");
+}
+
+void
+Mp3d::setup(mp::Engine &engine)
+{
+    const uint32_t n = config_.particles;
+    mp::Arena &arena = engine.arena();
+    // Stagger the parallel arrays so power-of-two particle counts do
+    // not alias a processor's slices of the different arrays onto
+    // overlapping direct-mapped set ranges (the original's
+    // array-of-structs layout has no such systematic conflict). The
+    // stagger must exceed a per-processor slice, hence ~9 KB.
+    auto stagger = [&](uint32_t i) { arena.alloc(1153 + 16 * i); };
+    stagger(1);
+    px_ = mp::ArenaArray<double>(&arena, n);
+    stagger(2);
+    py_ = mp::ArenaArray<double>(&arena, n);
+    stagger(3);
+    pz_ = mp::ArenaArray<double>(&arena, n);
+    stagger(4);
+    vx_ = mp::ArenaArray<double>(&arena, n);
+    stagger(5);
+    vy_ = mp::ArenaArray<double>(&arena, n);
+    stagger(6);
+    vz_ = mp::ArenaArray<double>(&arena, n);
+    stagger(7);
+    cell_count_ = mp::ArenaArray<int64_t>(&arena, numCells());
+    stagger(8);
+    cell_partner_ = mp::ArenaArray<int64_t>(&arena, numCells());
+    collide_count_ = mp::ArenaArray<int64_t>(&arena, 1, /*padded=*/true);
+    momentum_ = mp::ArenaArray<double>(&arena, 2, /*padded=*/true);
+
+    Rng rng(config_.seed);
+    const uint32_t procs = engine.config().num_procs;
+    init_state_.clear();
+    init_state_.reserve(6 * static_cast<size_t>(n));
+    for (uint32_t p = 0; p < n; ++p) {
+        // Particles start in their owner's slab of the wind tunnel
+        // (MP3D decomposes space); they drift across slab boundaries
+        // over the timesteps, which is the communication the paper's
+        // miss rates reflect.
+        uint32_t owner = p * procs / n;
+        double slab_lo =
+            static_cast<double>(owner) * config_.cells_x / procs;
+        double slab_hi =
+            static_cast<double>(owner + 1) * config_.cells_x / procs;
+        double x = rng.range(slab_lo, slab_hi);
+        double y = rng.range(0.0, config_.cells_y);
+        double z = rng.range(0.0, config_.cells_z);
+        double ux = rng.range(-0.5, 0.5);
+        double uy = rng.range(-0.5, 0.5);
+        double uz = rng.range(-0.5, 0.5);
+        px_.set(p, x);
+        py_.set(p, y);
+        pz_.set(p, z);
+        vx_.set(p, ux);
+        vy_.set(p, uy);
+        vz_.set(p, uz);
+        init_state_.insert(init_state_.end(), {x, y, z, ux, uy, uz});
+    }
+    for (uint32_t c = 0; c < numCells(); ++c) {
+        cell_count_.set(c, 0);
+        cell_partner_.set(c, static_cast<int64_t>(rng.below(n)));
+    }
+    collide_count_.set(0, 0);
+    momentum_.set(0, 0.0);
+    momentum_.set(1, 0.0);
+
+    bar_ = engine.createBarrier();
+    count_lock_ = engine.createLock();
+    momentum_lock_ = engine.createLock();
+}
+
+mp::Task
+Mp3d::worker(mp::ThreadContext &ctx, uint32_t tid)
+{
+    const uint32_t n = config_.particles;
+    const uint32_t procs = ctx.numProcs();
+    const uint32_t lo = tid * n / procs;
+    const uint32_t hi = (tid + 1) * n / procs;
+    const uint32_t cells = numCells();
+    const uint32_t cells_lo = tid * cells / procs;
+    const uint32_t cells_hi = (tid + 1) * cells / procs;
+
+    co_await ctx.barrier(bar_);
+
+    Val one = ctx.imm(1);
+    Val zero = ctx.imm(0);
+    Val fzero = ctx.fimm(0.0);
+    Val half = ctx.fimm(0.5);
+    Val vxmax = ctx.fimm(config_.cells_x);
+    Val vymax = ctx.fimm(config_.cells_y);
+    Val vzmax = ctx.fimm(config_.cells_z);
+    Val vcx_max = ctx.imm(config_.cells_x - 1);
+    Val vcy_max = ctx.imm(config_.cells_y - 1);
+    Val vcz_max = ctx.imm(config_.cells_z - 1);
+    Val vplane = ctx.imm(config_.cells_x * config_.cells_y);
+    Val vrow = ctx.imm(config_.cells_x);
+    Val vhash_a = ctx.imm(static_cast<int64_t>(kHashA));
+    Val vhash_b = ctx.imm(static_cast<int64_t>(kHashB));
+
+    Val vstep = ctx.imm(0);
+    Val vsteps = ctx.imm(config_.timesteps);
+    while (ctx.branch(kSiteStep, ctx.lt(vstep, vsteps))) {
+        // ---- Phase 1: reset the owned slice of the space array ----
+        Val vc = ctx.imm(cells_lo);
+        Val vc_hi = ctx.imm(cells_hi);
+        while (ctx.branch(kSiteReset, ctx.lt(vc, vc_hi))) {
+            co_await ctx.storeIdx(cell_count_, vc, zero);
+            vc = ctx.add(vc, one);
+        }
+        co_await ctx.barrier(bar_);
+
+        // ---- Phase 2: move and collide owned particles ------------
+        Val local_collisions = zero;
+        Val local_momentum = fzero;
+        Val local_energy = fzero;
+        Val vp = ctx.imm(lo);
+        Val vhi = ctx.imm(hi);
+        while (ctx.branch(kSiteParticle, ctx.lt(vp, vhi))) {
+            // Per-axis advance with each loaded value consumed
+            // immediately, as the original's compiled code does — so
+            // a non-blocking-read (SS) processor gains little
+            // (Section 4.1.1).
+            Val x = co_await ctx.loadIdx(px_, vp);
+            Val ux = co_await ctx.loadIdx(vx_, vp);
+            x = ctx.fadd(x, ux);
+            if (ctx.branch(kSiteLoX, ctx.flt(x, fzero))) {
+                x = ctx.fneg(x);
+                ux = ctx.fneg(ux);
+            }
+            if (ctx.branch(kSiteHiX, ctx.fgt(x, vxmax))) {
+                x = ctx.fsub(ctx.fadd(vxmax, vxmax), x);
+                ux = ctx.fneg(ux);
+            }
+            co_await ctx.storeIdx(px_, vp, x);
+
+            Val y = co_await ctx.loadIdx(py_, vp);
+            Val uy = co_await ctx.loadIdx(vy_, vp);
+            y = ctx.fadd(y, uy);
+            if (ctx.branch(kSiteLoY, ctx.flt(y, fzero))) {
+                y = ctx.fneg(y);
+                uy = ctx.fneg(uy);
+            }
+            if (ctx.branch(kSiteHiY, ctx.fgt(y, vymax))) {
+                y = ctx.fsub(ctx.fadd(vymax, vymax), y);
+                uy = ctx.fneg(uy);
+            }
+            co_await ctx.storeIdx(py_, vp, y);
+
+            Val z = co_await ctx.loadIdx(pz_, vp);
+            Val uz = co_await ctx.loadIdx(vz_, vp);
+            z = ctx.fadd(z, uz);
+            if (ctx.branch(kSiteLoZ, ctx.flt(z, fzero))) {
+                z = ctx.fneg(z);
+                uz = ctx.fneg(uz);
+            }
+            if (ctx.branch(kSiteHiZ, ctx.fgt(z, vzmax))) {
+                z = ctx.fsub(ctx.fadd(vzmax, vzmax), z);
+                uz = ctx.fneg(uz);
+            }
+            co_await ctx.storeIdx(pz_, vp, z);
+
+            // Bin into the space array.
+            Val cx = ctx.imax(ctx.imin(ctx.toInt(x), vcx_max), zero);
+            Val cy = ctx.imax(ctx.imin(ctx.toInt(y), vcy_max), zero);
+            Val cz = ctx.imax(ctx.imin(ctx.toInt(z), vcz_max), zero);
+            Val cidx = ctx.add(ctx.add(ctx.mul(cz, vplane),
+                                       ctx.mul(cy, vrow)), cx);
+
+            // Kinetic energy tally.
+            Val e = ctx.fadd(ctx.fadd(ctx.fmul(ux, ux),
+                                      ctx.fmul(uy, uy)),
+                             ctx.fmul(uz, uz));
+            local_energy = ctx.fadd(local_energy, e);
+
+            // Probabilistic collision candidacy; only candidates
+            // touch the shared space array (the original similarly
+            // confines most space-array traffic to the collision
+            // stage of a particle's step).
+            Val h = ctx.bxor(ctx.mul(vp, vhash_a),
+                             ctx.mul(ctx.add(vstep, one), vhash_b));
+            Val sel = ctx.band(ctx.shr(h, ctx.imm(13)), ctx.imm(7));
+            if (ctx.branch(kSiteCollide, ctx.eq(sel, zero))) {
+                // Unsynchronized cell population update — the
+                // original MP3D updates the space array without
+                // locks.
+                Val cnt = co_await ctx.loadIdx(cell_count_, cidx);
+                co_await ctx.storeIdx(cell_count_, cidx,
+                                      ctx.add(cnt, one));
+
+                // Chase the cell's current collision partner: the
+                // address of the partner's velocity depends on the
+                // partner-index load (a dependent-miss chain).
+                Val partner =
+                    co_await ctx.loadIdx(cell_partner_, cidx);
+                Val pvx = co_await ctx.loadIdx(vx_, partner);
+                Val pvy = co_await ctx.loadIdx(vy_, partner);
+                Val pvz = co_await ctx.loadIdx(vz_, partner);
+
+                // Crowded cells cost extra work (relative-speed
+                // profile); the occupancy test is data dependent.
+                if (ctx.branch(kSiteDense, ctx.gt(cnt, zero))) {
+                    Val dx = ctx.fsub(ux, pvx);
+                    Val dy = ctx.fsub(uy, pvy);
+                    Val dz = ctx.fsub(uz, pvz);
+                    Val rel = ctx.fadd(ctx.fadd(ctx.fmul(dx, dx),
+                                                ctx.fmul(dy, dy)),
+                                       ctx.fmul(dz, dz));
+                    local_energy = ctx.fadd(local_energy, rel);
+                }
+
+                // Momentum-conserving exchange: both take the mean.
+                Val mx = ctx.fmul(half, ctx.fadd(ux, pvx));
+                Val my = ctx.fmul(half, ctx.fadd(uy, pvy));
+                Val mz = ctx.fmul(half, ctx.fadd(uz, pvz));
+                co_await ctx.storeIdx(vx_, vp, mx);
+                co_await ctx.storeIdx(vy_, vp, my);
+                co_await ctx.storeIdx(vz_, vp, mz);
+                co_await ctx.storeIdx(vx_, partner, mx);
+                co_await ctx.storeIdx(vy_, partner, my);
+                co_await ctx.storeIdx(vz_, partner, mz);
+                co_await ctx.storeIdx(cell_partner_, cidx, vp);
+                local_collisions = ctx.add(local_collisions, one);
+                local_momentum = ctx.fadd(local_momentum, mx);
+            } else {
+                co_await ctx.storeIdx(vx_, vp, ux);
+                co_await ctx.storeIdx(vy_, vp, uy);
+                co_await ctx.storeIdx(vz_, vp, uz);
+            }
+
+            vp = ctx.add(vp, one);
+        }
+        co_await ctx.barrier(bar_);
+
+        // ---- Phase 3: fold local accumulators into globals --------
+        co_await ctx.lock(count_lock_);
+        {
+            Val g = co_await ctx.loadIdx(collide_count_, zero);
+            co_await ctx.storeIdx(collide_count_, zero,
+                                  ctx.add(g, local_collisions));
+        }
+        co_await ctx.unlock(count_lock_);
+
+        co_await ctx.lock(momentum_lock_);
+        {
+            Val g = co_await ctx.loadIdx(momentum_, zero);
+            co_await ctx.storeIdx(momentum_, zero,
+                                  ctx.fadd(g, local_momentum));
+            Val ge = co_await ctx.loadIdx(momentum_, one);
+            co_await ctx.storeIdx(momentum_, one,
+                                  ctx.fadd(ge, local_energy));
+        }
+        co_await ctx.unlock(momentum_lock_);
+        co_await ctx.barrier(bar_);
+
+        vstep = ctx.add(vstep, one);
+    }
+
+    co_await ctx.barrier(bar_);
+}
+
+bool
+Mp3d::verify(const mp::Engine &) const
+{
+    const uint32_t n = config_.particles;
+
+    // Exact invariant 1: the collision count is determined by the
+    // hash alone (lock-protected accumulation, no races).
+    int64_t expected_collisions = 0;
+    for (uint32_t p = 0; p < n; ++p)
+        for (uint32_t s = 0; s < config_.timesteps; ++s)
+            if (nativeCollides(p, s))
+                ++expected_collisions;
+    if (collide_count_.get(0) != expected_collisions)
+        return false;
+
+    // Exact invariant 2: positions stay inside the domain.
+    for (uint32_t p = 0; p < n; ++p) {
+        double x = px_.get(p);
+        double y = py_.get(p);
+        double z = pz_.get(p);
+        if (!(x >= 0.0 && x <= config_.cells_x))
+            return false;
+        if (!(y >= 0.0 && y <= config_.cells_y))
+            return false;
+        if (!(z >= 0.0 && z <= config_.cells_z))
+            return false;
+        if (!std::isfinite(vx_.get(p)) || !std::isfinite(vy_.get(p)) ||
+            !std::isfinite(vz_.get(p))) {
+            return false;
+        }
+    }
+
+    // Invariant 3: the final step's (racy, hence possibly lossy) cell
+    // census never exceeds that step's collision-candidate count and
+    // catches most of it.
+    int64_t last_step_candidates = 0;
+    for (uint32_t p = 0; p < n; ++p)
+        if (nativeCollides(p, config_.timesteps - 1))
+            ++last_step_candidates;
+    int64_t census = 0;
+    for (uint32_t c = 0; c < numCells(); ++c) {
+        int64_t count = cell_count_.get(c);
+        if (count < 0)
+            return false;
+        census += count;
+    }
+    if (census > last_step_candidates)
+        return false;
+    if (census < last_step_candidates / 2)
+        return false;
+
+    return std::isfinite(momentum_.get(0)) &&
+        std::isfinite(momentum_.get(1));
+}
+
+} // namespace dsmem::apps

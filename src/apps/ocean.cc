@@ -1,0 +1,307 @@
+#include "apps/ocean.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/rng.h"
+#include "mp/dsl.h"
+
+namespace dsmem::apps {
+
+using mp::Val;
+
+namespace {
+
+const uint32_t kSiteStep = mp::siteId("ocean.timestep_loop");
+const uint32_t kSitePass = mp::siteId("ocean.pass_loop");
+const uint32_t kSiteRowA = mp::siteId("ocean.stencil_row");
+const uint32_t kSiteColA = mp::siteId("ocean.stencil_col");
+const uint32_t kSiteScale = mp::siteId("ocean.scale_loop");
+const uint32_t kSiteRowC = mp::siteId("ocean.scale_row");
+const uint32_t kSiteColC = mp::siteId("ocean.scale_col");
+const uint32_t kSiteClear = mp::siteId("ocean.clear_loop");
+const uint32_t kSiteRowD = mp::siteId("ocean.clear_row");
+const uint32_t kSiteColD = mp::siteId("ocean.clear_col");
+const uint32_t kSiteSweep = mp::siteId("ocean.sor_sweep");
+const uint32_t kSiteRowB = mp::siteId("ocean.sor_row");
+const uint32_t kSiteColB = mp::siteId("ocean.sor_col");
+
+constexpr double kOmega = 1.2;
+constexpr double kQuarter = 0.25;
+constexpr double kDecay = 0.95;
+
+} // namespace
+
+Ocean::Ocean(const OceanConfig &config) : config_(config)
+{
+    if (config.n < 4)
+        throw std::invalid_argument("OCEAN needs n >= 4");
+    if (config.grids < 21)
+        throw std::invalid_argument("OCEAN needs >= 21 grids");
+}
+
+void
+Ocean::setup(mp::Engine &engine)
+{
+    const size_t cells = static_cast<size_t>(stride()) * stride();
+    Rng rng(config_.seed);
+    grids_.clear();
+    grids_.reserve(config_.grids);
+    for (uint32_t g = 0; g < config_.grids; ++g) {
+        // A one-line stagger per grid avoids systematic direct-mapped
+        // aliasing between the same rows of different grids.
+        engine.arena().alloc(2 * (g + 1));
+        grids_.emplace_back(&engine.arena(), cells, /*padded=*/true);
+        for (size_t c = 0; c < cells; ++c)
+            grids_[g].set(c, rng.range(-1.0, 1.0));
+    }
+    bar_ = engine.createBarrier();
+}
+
+mp::Task
+Ocean::worker(mp::ThreadContext &ctx, uint32_t tid)
+{
+    const uint32_t n = config_.n;
+    const uint32_t procs = ctx.numProcs();
+    const uint32_t row_lo = 1 + tid * n / procs;
+    const uint32_t row_hi = 1 + (tid + 1) * n / procs;
+    const uint32_t G = config_.grids;
+
+    co_await ctx.barrier(bar_);
+
+    Val vone = ctx.imm(1);
+    Val vtwo = ctx.imm(2);
+    Val vn = ctx.imm(n);
+    Val vstride = ctx.imm(stride());
+    Val vrow_lo = ctx.imm(row_lo);
+    Val vrow_hi = ctx.imm(row_hi);
+    Val vquarter = ctx.fimm(kQuarter);
+    Val vomega = ctx.fimm(kOmega);
+    Val vdecay = ctx.fimm(kDecay);
+    Val vzero = ctx.fimm(0.0);
+
+    Val vstep = ctx.imm(0);
+    Val vsteps = ctx.imm(config_.timesteps);
+    while (ctx.branch(kSiteStep, ctx.lt(vstep, vsteps))) {
+        uint32_t t = static_cast<uint32_t>(vstep.i);
+
+        // ---- 5-point stencil phases over rotating grid pairs ------
+        Val vpass = ctx.imm(0);
+        Val vpasses = ctx.imm(config_.stencil_passes);
+        while (ctx.branch(kSitePass, ctx.lt(vpass, vpasses))) {
+            uint32_t pass = t * config_.stencil_passes +
+                static_cast<uint32_t>(vpass.i);
+            const auto &a = grids_[pass % G];
+            const auto &w = grids_[(pass + 13) % G];
+
+            Val vi = vrow_lo;
+            while (ctx.branch(kSiteRowA, ctx.lt(vi, vrow_hi))) {
+                Val row_base = ctx.mul(vi, vstride);
+                Val vj = vone;
+                while (ctx.branch(kSiteColA, ctx.le(vj, vn))) {
+                    Val idx = ctx.add(row_base, vj);
+                    Val up = co_await ctx.loadIdx(a, ctx.sub(idx, vstride));
+                    Val dn = co_await ctx.loadIdx(a, ctx.add(idx, vstride));
+                    Val lf = co_await ctx.loadIdx(a, ctx.sub(idx, vone));
+                    Val rt = co_await ctx.loadIdx(a, ctx.add(idx, vone));
+                    Val ctr = co_await ctx.loadIdx(a, idx);
+                    Val sum = ctx.fadd(ctx.fadd(up, dn), ctx.fadd(lf, rt));
+                    Val res = ctx.fsub(ctx.fmul(vquarter, sum), ctr);
+                    co_await ctx.storeIdx(w, idx, res);
+                    vj = ctx.add(vj, vone);
+                }
+                vi = ctx.add(vi, vone);
+            }
+            co_await ctx.barrier(bar_);
+            vpass = ctx.add(vpass, vone);
+        }
+
+        // ---- Scale-copy phases (write a fresh grid) ---------------
+        Val vscale = ctx.imm(0);
+        Val vscales = ctx.imm(config_.scale_passes);
+        while (ctx.branch(kSiteScale, ctx.lt(vscale, vscales))) {
+            uint32_t pass = t * config_.scale_passes +
+                static_cast<uint32_t>(vscale.i);
+            const auto &dst = grids_[(pass + 3) % G];
+            const auto &src = grids_[(pass + 17) % G];
+
+            Val vi = vrow_lo;
+            while (ctx.branch(kSiteRowC, ctx.lt(vi, vrow_hi))) {
+                Val row_base = ctx.mul(vi, vstride);
+                Val vj = vone;
+                while (ctx.branch(kSiteColC, ctx.le(vj, vn))) {
+                    Val idx = ctx.add(row_base, vj);
+                    Val s = co_await ctx.loadIdx(src, idx);
+                    co_await ctx.storeIdx(dst, idx,
+                                          ctx.fmul(vdecay, s));
+                    vj = ctx.add(vj, vone);
+                }
+                vi = ctx.add(vi, vone);
+            }
+            co_await ctx.barrier(bar_);
+            vscale = ctx.add(vscale, vone);
+        }
+
+        // ---- Work-array zeroing phases ----------------------------
+        Val vclear = ctx.imm(0);
+        Val vclears = ctx.imm(config_.clear_passes);
+        while (ctx.branch(kSiteClear, ctx.lt(vclear, vclears))) {
+            uint32_t pass = t * config_.clear_passes +
+                static_cast<uint32_t>(vclear.i);
+            const auto &dst = grids_[(pass + 11) % G];
+
+            Val vi = vrow_lo;
+            while (ctx.branch(kSiteRowD, ctx.lt(vi, vrow_hi))) {
+                Val row_base = ctx.mul(vi, vstride);
+                Val vj = vone;
+                while (ctx.branch(kSiteColD, ctx.le(vj, vn))) {
+                    co_await ctx.storeIdx(dst, ctx.add(row_base, vj),
+                                          vzero);
+                    vj = ctx.add(vj, vone);
+                }
+                vi = ctx.add(vi, vone);
+            }
+            co_await ctx.barrier(bar_);
+            vclear = ctx.add(vclear, vone);
+        }
+
+        // ---- Red-black SOR sweeps on grid 0 with rhs grid 1 -------
+        const auto &q = grids_[0];
+        const auto &rhs = grids_[1];
+        Val vsweep = ctx.imm(0);
+        Val vsweeps = ctx.imm(config_.sor_sweeps);
+        while (ctx.branch(kSiteSweep, ctx.lt(vsweep, vsweeps))) {
+            for (uint32_t color = 0; color < 2; ++color) {
+                Val vcolor = ctx.imm(color);
+                Val vi = vrow_lo;
+                while (ctx.branch(kSiteRowB, ctx.lt(vi, vrow_hi))) {
+                    Val row_base = ctx.mul(vi, vstride);
+                    Val parity = ctx.band(ctx.add(vi, vcolor), vone);
+                    Val vj = ctx.add(vone, parity);
+                    while (ctx.branch(kSiteColB, ctx.le(vj, vn))) {
+                        Val idx = ctx.add(row_base, vj);
+                        Val up = co_await ctx.loadIdx(
+                            q, ctx.sub(idx, vstride));
+                        Val dn = co_await ctx.loadIdx(
+                            q, ctx.add(idx, vstride));
+                        Val lf = co_await ctx.loadIdx(
+                            q, ctx.sub(idx, vone));
+                        Val rt = co_await ctx.loadIdx(
+                            q, ctx.add(idx, vone));
+                        Val ctr = co_await ctx.loadIdx(q, idx);
+                        Val src = co_await ctx.loadIdx(rhs, idx);
+                        Val sum = ctx.fadd(ctx.fadd(up, dn),
+                                           ctx.fadd(lf, rt));
+                        Val gs = ctx.fadd(ctx.fmul(vquarter, sum),
+                                          ctx.fmul(vquarter, src));
+                        Val delta = ctx.fsub(gs, ctr);
+                        Val res =
+                            ctx.fadd(ctr, ctx.fmul(vomega, delta));
+                        co_await ctx.storeIdx(q, idx, res);
+                        vj = ctx.add(vj, vtwo);
+                    }
+                    vi = ctx.add(vi, vone);
+                }
+                co_await ctx.barrier(bar_);
+            }
+            vsweep = ctx.add(vsweep, vone);
+        }
+
+        vstep = ctx.add(vstep, vone);
+    }
+
+    co_await ctx.barrier(bar_);
+}
+
+void
+Ocean::nativeStencil(std::vector<double> &dst,
+                     const std::vector<double> &src,
+                     const std::vector<double> &, uint32_t n)
+{
+    const uint32_t s = n + 2;
+    for (uint32_t i = 1; i <= n; ++i) {
+        for (uint32_t j = 1; j <= n; ++j) {
+            size_t idx = static_cast<size_t>(i) * s + j;
+            double sum = (src[idx - s] + src[idx + s]) +
+                (src[idx - 1] + src[idx + 1]);
+            dst[idx] = kQuarter * sum - src[idx];
+        }
+    }
+}
+
+void
+Ocean::nativeSorSweep(std::vector<double> &grid,
+                      const std::vector<double> &rhs, uint32_t n,
+                      uint32_t color)
+{
+    const uint32_t s = n + 2;
+    for (uint32_t i = 1; i <= n; ++i) {
+        for (uint32_t j = 1 + ((i + color) & 1); j <= n; j += 2) {
+            size_t idx = static_cast<size_t>(i) * s + j;
+            double sum = (grid[idx - s] + grid[idx + s]) +
+                (grid[idx - 1] + grid[idx + 1]);
+            double gs = kQuarter * sum + kQuarter * rhs[idx];
+            double delta = gs - grid[idx];
+            grid[idx] = grid[idx] + kOmega * delta;
+        }
+    }
+}
+
+bool
+Ocean::verify(const mp::Engine &) const
+{
+    // Replay the whole schedule natively from the seed.
+    const uint32_t n = config_.n;
+    const uint32_t G = config_.grids;
+    const uint32_t s = n + 2;
+    const size_t cells = static_cast<size_t>(stride()) * stride();
+    Rng rng(config_.seed);
+    std::vector<std::vector<double>> native(G,
+                                            std::vector<double>(cells));
+    for (uint32_t g = 0; g < G; ++g)
+        for (size_t c = 0; c < cells; ++c)
+            native[g][c] = rng.range(-1.0, 1.0);
+
+    for (uint32_t t = 0; t < config_.timesteps; ++t) {
+        for (uint32_t p = 0; p < config_.stencil_passes; ++p) {
+            uint32_t pass = t * config_.stencil_passes + p;
+            nativeStencil(native[(pass + 13) % G], native[pass % G],
+                          native[pass % G], n);
+        }
+        for (uint32_t p = 0; p < config_.scale_passes; ++p) {
+            uint32_t pass = t * config_.scale_passes + p;
+            std::vector<double> &dst = native[(pass + 3) % G];
+            const std::vector<double> &src = native[(pass + 17) % G];
+            for (uint32_t i = 1; i <= n; ++i)
+                for (uint32_t j = 1; j <= n; ++j) {
+                    size_t idx = static_cast<size_t>(i) * s + j;
+                    dst[idx] = kDecay * src[idx];
+                }
+        }
+        for (uint32_t p = 0; p < config_.clear_passes; ++p) {
+            uint32_t pass = t * config_.clear_passes + p;
+            std::vector<double> &dst = native[(pass + 11) % G];
+            for (uint32_t i = 1; i <= n; ++i)
+                for (uint32_t j = 1; j <= n; ++j)
+                    dst[static_cast<size_t>(i) * s + j] = 0.0;
+        }
+        for (uint32_t sweep = 0; sweep < config_.sor_sweeps; ++sweep) {
+            nativeSorSweep(native[0], native[1], n, 0);
+            nativeSorSweep(native[0], native[1], n, 1);
+        }
+    }
+
+    for (uint32_t g = 0; g < G; ++g) {
+        for (size_t c = 0; c < cells; ++c) {
+            double got = grids_[g].get(c);
+            double want = native[g][c];
+            if (std::fabs(got - want) >
+                1e-9 * std::max(1.0, std::fabs(want))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace dsmem::apps

@@ -1,0 +1,492 @@
+#include "apps/pthor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/rng.h"
+#include "mp/dsl.h"
+#include "mp/subtask.h"
+
+namespace dsmem::apps {
+
+using mp::Val;
+
+namespace {
+
+const uint32_t kSiteClock = mp::siteId("pthor.clock_loop");
+const uint32_t kSiteInput = mp::siteId("pthor.input_changed");
+const uint32_t kSiteFf = mp::siteId("pthor.ff_changed");
+const uint32_t kSiteAnyWork = mp::siteId("pthor.any_work");
+const uint32_t kSiteDrain = mp::siteId("pthor.drain_loop");
+const uint32_t kSiteSkip = mp::siteId("pthor.skip_latch");
+const uint32_t kSiteChanged = mp::siteId("pthor.output_changed");
+const uint32_t kSiteFanout = mp::siteId("pthor.fanout_loop");
+const uint32_t kSiteEvScan = mp::siteId("pthor.event_scan_loop");
+const uint32_t kSiteFanIn = mp::siteId("pthor.phase_fanout_loop");
+
+constexpr uint64_t kHashA = 0x45d9f3b3u;
+constexpr uint64_t kHashB = 0x119de1f3u;
+
+/** Primary-input pattern bit; mirrored by the DSL computation. */
+int64_t
+nativePattern(uint64_t gate, uint64_t clock)
+{
+    int64_t a = static_cast<int64_t>(gate * kHashA);
+    int64_t b = static_cast<int64_t>((clock + 1) * kHashB);
+    int64_t h = a ^ b;
+    return (h >> 17) & 1;
+}
+
+int64_t
+nativeEval(int64_t type, int64_t v0, int64_t v1)
+{
+    switch (type) {
+      case Pthor::kAnd:
+        return v0 & v1;
+      case Pthor::kOr:
+        return v0 | v1;
+      case Pthor::kXor:
+        return v0 ^ v1;
+      case Pthor::kNand:
+        return (v0 & v1) ? 0 : 1;
+      case Pthor::kNot:
+        return v0 ? 0 : 1;
+      default:
+        return v0;
+    }
+}
+
+} // namespace
+
+Pthor::Pthor(const PthorConfig &config) : config_(config)
+{
+    if (config.gates < 64)
+        throw std::invalid_argument("PTHOR needs >= 64 gates");
+}
+
+void
+Pthor::setup(mp::Engine &engine)
+{
+    const uint32_t G = config_.gates;
+
+    // Element types are interleaved across the id space (pattern of
+    // period 24: 1/8 inputs, 1/6 flip-flops, the rest logic), so
+    // every processor's contiguous partition holds a uniform mix —
+    // as a real partitioner would produce.
+    auto class_of = [](uint32_t g) -> int64_t {
+        uint32_t m = g % 24;
+        if (m == 0 || m == 8 || m == 16)
+            return kInput;
+        if (m == 4 || m == 7 || m == 12 || m == 20)
+            return kDff;
+        return kAnd; // Placeholder: concrete kind drawn below.
+    };
+
+    Rng rng(config_.seed);
+    type_host_.assign(G, kAnd);
+    in0_host_.assign(G, 0);
+    in1_host_.assign(G, 0);
+    fanout_host_.assign(G, {});
+
+    std::vector<uint32_t> comb_ids;
+    for (uint32_t g = 0; g < G; ++g) {
+        int64_t cls = class_of(g);
+        if (cls == kInput) {
+            type_host_[g] = kInput;
+        } else if (cls == kDff) {
+            type_host_[g] = kDff;
+        } else {
+            // Skewed mix as in synthesized logic (NAND/AND heavy).
+            static const int64_t kinds[] = {kAnd, kAnd, kAnd, kNand,
+                                            kNand, kOr, kOr, kXor,
+                                            kNot, kNot};
+            type_host_[g] = kinds[rng.below(10)];
+            comb_ids.push_back(g);
+        }
+    }
+    if (comb_ids.size() < 8)
+        throw std::invalid_argument("PTHOR has too few logic gates");
+
+    // A combinational gate reads strictly earlier elements of any
+    // kind (keeps the logic a DAG; flip-flop outputs only change at
+    // clock boundaries). Real placed netlists are local: most
+    // connections stay close to the gate, so most fanout stays on
+    // the owning processor.
+    auto pick_source = [&](uint32_t gate) -> uint32_t {
+        uint64_t r = rng.below(20);
+        uint32_t window = std::min<uint32_t>(gate, 64);
+        if (r < 18)
+            return gate - 1 - static_cast<uint32_t>(rng.below(window));
+        return static_cast<uint32_t>(rng.below(gate));
+    };
+
+    for (uint32_t g : comb_ids) {
+        int64_t t = type_host_[g];
+        uint32_t a = pick_source(g);
+        uint32_t b = (t == kNot) ? a : pick_source(g);
+        in0_host_[g] = a;
+        in1_host_[g] = b;
+        fanout_host_[a].push_back(g);
+        if (b != a)
+            fanout_host_[b].push_back(g);
+    }
+    for (uint32_t g = 0; g < G; ++g) {
+        if (type_host_[g] != kDff)
+            continue;
+        // A flip-flop latches a combinational gate, preferably local.
+        uint32_t d = comb_ids[0];
+        bool found = false;
+        for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+            uint32_t window = std::min<uint32_t>(g, 64);
+            if (window == 0)
+                break;
+            uint32_t cand =
+                g - 1 - static_cast<uint32_t>(rng.below(window));
+            if (type_host_[cand] != kInput &&
+                type_host_[cand] != kDff) {
+                d = cand;
+                found = true;
+            }
+        }
+        if (!found)
+            d = comb_ids[rng.below(comb_ids.size())];
+        in0_host_[g] = d;
+        in1_host_[g] = d;
+        fanout_host_[d].push_back(g);
+    }
+
+    // ---- Upload to the shared arena --------------------------------
+    // Staggered so power-of-two gate counts do not alias a
+    // processor's slices of the netlist arrays onto overlapping
+    // direct-mapped set ranges; the stagger must exceed a
+    // per-processor slice, hence ~9 KB.
+    mp::Arena &arena = engine.arena();
+    auto stagger = [&](uint32_t i) { arena.alloc(1153 + 16 * i); };
+    stagger(1);
+    type_ = mp::ArenaArray<int64_t>(&arena, G);
+    stagger(2);
+    in0_ = mp::ArenaArray<int64_t>(&arena, G);
+    stagger(3);
+    in1_ = mp::ArenaArray<int64_t>(&arena, G);
+    stagger(4);
+    val_ = mp::ArenaArray<int64_t>(&arena, G);
+    stagger(5);
+    fanout_ptr_ = mp::ArenaArray<int64_t>(&arena, G + 1);
+    stagger(6);
+
+    size_t edges = 0;
+    for (uint32_t g = 0; g < G; ++g)
+        edges += fanout_host_[g].size();
+    fanout_ = mp::ArenaArray<int64_t>(&arena, edges == 0 ? 1 : edges);
+
+    size_t off = 0;
+    for (uint32_t g = 0; g < G; ++g) {
+        type_.set(g, type_host_[g]);
+        in0_.set(g, in0_host_[g]);
+        in1_.set(g, in1_host_[g]);
+        val_.set(g, 0);
+        fanout_ptr_.set(g, static_cast<int64_t>(off));
+        for (uint32_t t : fanout_host_[g])
+            fanout_.set(off++, t);
+    }
+    fanout_ptr_.set(G, static_cast<int64_t>(off));
+
+    // Element-evaluation truth table: row per type, column per input
+    // combination — PTHOR evaluates elements by table lookup rather
+    // than branching on the type.
+    eval_table_ = mp::ArenaArray<int64_t>(&arena, 7 * 4);
+    for (int64_t t = 0; t < 7; ++t)
+        for (int64_t v0 = 0; v0 < 2; ++v0)
+            for (int64_t v1 = 0; v1 < 2; ++v1)
+                eval_table_.set(static_cast<size_t>(t * 4 + v0 * 2 + v1),
+                                nativeEval(t, v0, v1));
+    work_flag_ = mp::ArenaArray<int64_t>(&arena, 1, /*padded=*/true);
+    work_flag_.set(0, 0);
+
+    // Per-element bookkeeping of the distributed-time protocol:
+    // activation counts and local event times (owner-private), plus a
+    // per-processor evaluated-type histogram. All are indexed by the
+    // owner only, so this is the local working set real PTHOR spends
+    // most of its references on.
+    stagger(7);
+    eval_count_ = mp::ArenaArray<int64_t>(&arena, G);
+    stagger(8);
+    gate_time_ = mp::ArenaArray<int64_t>(&arena, G);
+    for (uint32_t g = 0; g < G; ++g) {
+        eval_count_.set(g, 0);
+        gate_time_.set(g, 0);
+    }
+    const size_t hist_slots =
+        static_cast<size_t>(engine.config().num_procs) * 16;
+    type_hist_ = mp::ArenaArray<int64_t>(&arena, hist_slots, true);
+    for (size_t i = 0; i < hist_slots; ++i)
+        type_hist_.set(i, 0);
+    stagger(9);
+    event_buf_ =
+        mp::ArenaArray<int64_t>(&arena, static_cast<size_t>(G) * 4);
+    for (size_t i = 0; i < static_cast<size_t>(G) * 4; ++i)
+        event_buf_.set(i, 0);
+
+    const uint32_t procs = engine.config().num_procs;
+    // Bound: per wave, at most every edge into a processor's gates
+    // can be pushed (duplicates included), plus the cold-start batch.
+    queue_cap_ = 4 * (static_cast<uint32_t>(edges) + G) / procs;
+    for (int b = 0; b < 2; ++b) {
+        queue_[b] = mp::ArenaArray<int64_t>(
+            &arena, static_cast<size_t>(procs) * queue_cap_, true);
+        qlen_[b] = mp::ArenaArray<int64_t>(
+            &arena, static_cast<size_t>(procs) * 2, true);
+        for (uint32_t p = 0; p < procs; ++p)
+            qlen_[b].set(2 * p, 0);
+    }
+
+    qlocks_.clear();
+    for (uint32_t p = 0; p < procs; ++p)
+        qlocks_.push_back(engine.createLock());
+    bar_ = engine.createBarrier();
+}
+
+mp::Task
+Pthor::worker(mp::ThreadContext &ctx, uint32_t tid)
+{
+    const uint32_t G = config_.gates;
+    const uint32_t procs = ctx.numProcs();
+    const uint32_t lo = tid * G / procs;
+    const uint32_t hi = (tid + 1) * G / procs;
+
+    co_await ctx.barrier(bar_);
+
+    Val one = ctx.imm(1);
+    Val zero = ctx.imm(0);
+    Val vhash_a = ctx.imm(static_cast<int64_t>(kHashA));
+    Val vhash_b = ctx.imm(static_cast<int64_t>(kHashB));
+
+    uint32_t parity = 0;
+
+    // Schedule gate @tgt (a Val) onto its owner's next-wave queue.
+    // Defined as a SubTask so both activation sites share it.
+    auto push_fanout = [&](Val tgt, uint32_t nxt) -> mp::SubTask<void> {
+        uint32_t own = owner(static_cast<uint32_t>(tgt.i), procs);
+        co_await ctx.lock(qlocks_[own]);
+        Val vslot = ctx.imm(2 * own);
+        Val len = co_await ctx.loadIdx(qlen_[nxt], vslot);
+        if (len.i >= static_cast<int64_t>(queue_cap_))
+            throw std::runtime_error("PTHOR task queue overflow");
+        Val qidx = ctx.add(ctx.imm(static_cast<int64_t>(own) *
+                                   queue_cap_), len);
+        co_await ctx.storeIdx(queue_[nxt], qidx, tgt);
+        co_await ctx.storeIdx(qlen_[nxt], vslot, ctx.add(len, one));
+        co_await ctx.unlock(qlocks_[own]);
+    };
+
+    Val vclock = ctx.imm(0);
+    Val vclocks = ctx.imm(config_.clocks);
+    while (ctx.branch(kSiteClock, ctx.lt(vclock, vclocks))) {
+        uint32_t clock = static_cast<uint32_t>(vclock.i);
+        uint32_t nxt = parity;
+
+        // ---- Phase A: update primary inputs and flip-flops --------
+        for (uint32_t g = lo; g < hi; ++g) {
+            int64_t t = type_host_[g];
+            if (t == kInput) {
+                Val vg = ctx.imm(g);
+                Val ov = co_await ctx.loadIdx(val_, vg);
+                Val h = ctx.bxor(
+                    ctx.mul(vg, vhash_a),
+                    ctx.mul(ctx.add(vclock, one), vhash_b));
+                Val nv = ctx.band(ctx.shr(h, ctx.imm(17)), one);
+                if (ctx.branch(kSiteInput, ctx.ne(nv, ov))) {
+                    co_await ctx.storeIdx(val_, vg, nv);
+                    Val fp = co_await ctx.loadIdx(fanout_ptr_, vg);
+                    Val fe = co_await ctx.loadIdx(fanout_ptr_,
+                                                  ctx.add(vg, one));
+                    while (ctx.branch(kSiteFanIn, ctx.lt(fp, fe))) {
+                        Val tgt = co_await ctx.loadIdx(fanout_, fp);
+                        co_await push_fanout(tgt, nxt);
+                        fp = ctx.add(fp, one);
+                    }
+                }
+            } else if (t == kDff) {
+                Val vg = ctx.imm(g);
+                Val vi0 = co_await ctx.loadIdx(in0_, vg);
+                Val dv = co_await ctx.loadIdx(val_, vi0);
+                Val ov = co_await ctx.loadIdx(val_, vg);
+                if (ctx.branch(kSiteFf, ctx.ne(dv, ov))) {
+                    co_await ctx.storeIdx(val_, vg, dv);
+                    Val fp = co_await ctx.loadIdx(fanout_ptr_, vg);
+                    Val fe = co_await ctx.loadIdx(fanout_ptr_,
+                                                  ctx.add(vg, one));
+                    while (ctx.branch(kSiteFanIn, ctx.lt(fp, fe))) {
+                        Val tgt = co_await ctx.loadIdx(fanout_, fp);
+                        co_await push_fanout(tgt, nxt);
+                        fp = ctx.add(fp, one);
+                    }
+                }
+            }
+        }
+
+        // Cold start: activate every owned logic gate once.
+        if (clock == 0) {
+            co_await ctx.lock(qlocks_[tid]);
+            Val vslot = ctx.imm(2 * tid);
+            Val len = co_await ctx.loadIdx(qlen_[nxt], vslot);
+            Val base = ctx.imm(static_cast<int64_t>(tid) * queue_cap_);
+            for (uint32_t g = lo; g < hi; ++g) {
+                int64_t t = type_host_[g];
+                if (t == kInput || t == kDff)
+                    continue;
+                co_await ctx.storeIdx(queue_[nxt], ctx.add(base, len),
+                                      ctx.imm(g));
+                len = ctx.add(len, one);
+            }
+            co_await ctx.storeIdx(qlen_[nxt], vslot, len);
+            co_await ctx.unlock(qlocks_[tid]);
+        }
+
+        // ---- Evaluation waves until the netlist settles ------------
+        for (;;) {
+            co_await ctx.barrier(bar_);
+
+            // All pushes settled: processor 0 publishes whether any
+            // queue still holds work (a single shared flag keeps the
+            // other fifteen processors from polling every length).
+            if (tid == 0) {
+                Val any = zero;
+                for (uint32_t p = 0; p < procs; ++p) {
+                    Val len = co_await ctx.loadIdx(qlen_[parity],
+                                                   ctx.imm(2 * p));
+                    any = ctx.bor(any, ctx.gt(len, zero));
+                }
+                co_await ctx.storeIdx(work_flag_, zero, any);
+            }
+            co_await ctx.barrier(bar_);
+
+            Val work = co_await ctx.loadIdx(work_flag_, zero);
+            if (!ctx.branch(kSiteAnyWork, work))
+                break;
+
+            uint32_t cur = parity;
+            uint32_t nxt_wave = parity ^ 1;
+            Val vslot = ctx.imm(2 * tid);
+            Val vbase = ctx.imm(static_cast<int64_t>(tid) * queue_cap_);
+            Val vlen = co_await ctx.loadIdx(qlen_[cur], vslot);
+            Val vk = zero;
+            while (ctx.branch(kSiteDrain, ctx.lt(vk, vlen))) {
+                Val vg =
+                    co_await ctx.loadIdx(queue_[cur], ctx.add(vbase, vk));
+                Val vt = co_await ctx.loadIdx(type_, vg);
+                // Latches and inputs are only re-evaluated at clock
+                // boundaries.
+                if (ctx.branch(kSiteSkip, ctx.gt(vt, one))) {
+                    Val vi0 = co_await ctx.loadIdx(in0_, vg);
+                    Val v0 = co_await ctx.loadIdx(val_, vi0);
+                    Val vi1 = co_await ctx.loadIdx(in1_, vg);
+                    Val v1 = co_await ctx.loadIdx(val_, vi1);
+                    // Table-lookup evaluation (PTHOR evaluates
+                    // elements from truth tables, not type branches).
+                    Val tidx = ctx.add(ctx.shl(vt, ctx.imm(2)),
+                                       ctx.add(ctx.shl(v0, one), v1));
+                    Val nv = co_await ctx.loadIdx(eval_table_, tidx);
+                    Val ov = co_await ctx.loadIdx(val_, vg);
+
+                    // Distributed-time bookkeeping on owner-private
+                    // state: activation count, local event time, and
+                    // the per-processor evaluated-type histogram.
+                    Val ec = co_await ctx.loadIdx(eval_count_, vg);
+                    co_await ctx.storeIdx(eval_count_, vg,
+                                          ctx.add(ec, one));
+                    Val gt = co_await ctx.loadIdx(gate_time_, vg);
+                    Val mix = ctx.bxor(ctx.shl(gt, one), ec);
+                    Val tnext = ctx.add(ctx.imax(mix, gt),
+                                        ctx.add(vt, one));
+                    Val bounded = ctx.band(tnext, ctx.imm((1 << 20) - 1));
+                    co_await ctx.storeIdx(gate_time_, vg, bounded);
+                    Val hidx = ctx.add(ctx.imm(tid * 16), vt);
+                    Val th = co_await ctx.loadIdx(type_hist_, hidx);
+                    co_await ctx.storeIdx(type_hist_, hidx,
+                                          ctx.add(th, one));
+
+                    // Scan the element's pending-event window and
+                    // append this activation (owner-private data).
+                    Val ebase = ctx.shl(vg, ctx.imm(2));
+                    Val acc = zero;
+                    Val ve = zero;
+                    Val vfour = ctx.imm(4);
+                    while (ctx.branch(kSiteEvScan, ctx.lt(ve, vfour))) {
+                        Val ev = co_await ctx.loadIdx(
+                            event_buf_, ctx.add(ebase, ve));
+                        acc = ctx.add(acc, ctx.imax(ev, gt));
+                        ve = ctx.add(ve, one);
+                    }
+                    Val eslot = ctx.add(ebase, ctx.band(ec, ctx.imm(3)));
+                    co_await ctx.storeIdx(
+                        event_buf_, eslot,
+                        ctx.band(acc, ctx.imm((1 << 20) - 1)));
+
+                    if (ctx.branch(kSiteChanged, ctx.ne(nv, ov))) {
+                        co_await ctx.storeIdx(val_, vg, nv);
+                        Val fp = co_await ctx.loadIdx(fanout_ptr_, vg);
+                        Val fe = co_await ctx.loadIdx(
+                            fanout_ptr_, ctx.add(vg, one));
+                        while (ctx.branch(kSiteFanout,
+                                          ctx.lt(fp, fe))) {
+                            Val tgt = co_await ctx.loadIdx(fanout_, fp);
+                            co_await push_fanout(tgt, nxt_wave);
+                            fp = ctx.add(fp, one);
+                        }
+                    }
+                }
+                vk = ctx.add(vk, one);
+            }
+            co_await ctx.storeIdx(qlen_[cur], vslot, zero);
+
+            parity ^= 1;
+        }
+
+        vclock = ctx.add(vclock, one);
+    }
+
+    co_await ctx.barrier(bar_);
+}
+
+std::vector<int64_t>
+Pthor::nativeSimulate() const
+{
+    const uint32_t G = config_.gates;
+    std::vector<int64_t> val(G, 0);
+    for (uint32_t c = 0; c < config_.clocks; ++c) {
+        // Inputs and flip-flops update simultaneously from the
+        // settled previous state (flip-flop inputs are combinational
+        // gates, so ordering within the phase does not matter).
+        std::vector<int64_t> next_val = val;
+        for (uint32_t g = 0; g < G; ++g) {
+            if (type_host_[g] == kInput)
+                next_val[g] = nativePattern(g, c);
+            else if (type_host_[g] == kDff)
+                next_val[g] = val[in0_host_[g]];
+        }
+        val = std::move(next_val);
+        // Combinational settle: inputs of gate g have smaller ids (or
+        // are inputs/FFs), so one ascending pass reaches the fixpoint.
+        for (uint32_t g = 0; g < G; ++g) {
+            int64_t t = type_host_[g];
+            if (t == kInput || t == kDff)
+                continue;
+            val[g] = nativeEval(t, val[in0_host_[g]],
+                                val[in1_host_[g]]);
+        }
+    }
+    return val;
+}
+
+bool
+Pthor::verify(const mp::Engine &) const
+{
+    std::vector<int64_t> expected = nativeSimulate();
+    for (uint32_t g = 0; g < config_.gates; ++g)
+        if (val_.get(g) != expected[g])
+            return false;
+    return true;
+}
+
+} // namespace dsmem::apps

@@ -1,0 +1,104 @@
+#ifndef DSMEM_APPS_PTHOR_H
+#define DSMEM_APPS_PTHOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "mp/arena.h"
+#include "mp/sync.h"
+
+namespace dsmem::apps {
+
+/** PTHOR circuit size (paper: ~11,000 gates, 5 clock cycles). */
+struct PthorConfig {
+    uint32_t gates = 8192; ///< Total elements (inputs/FFs/logic).
+    uint32_t clocks = 5;   ///< Simulated clock cycles.
+    uint64_t seed = 90210;
+};
+
+/**
+ * PTHOR — parallel distributed-time logic simulator (Section 3.3).
+ *
+ * Simulates a synthesized gate-level circuit (AND/OR/XOR/NAND/NOT
+ * gates, D flip-flops, primary inputs) for a number of clock cycles.
+ * Gates are statically partitioned; each processor owns a task queue
+ * of activated elements, protected by a lock. A processor drains its
+ * queue, evaluates each element (chasing gate -> input id -> input
+ * value through shared memory, the dependence chains Section 4.1.3
+ * blames for PTHOR's residual read latency), and schedules changed
+ * fanout onto the owners' queues under their locks. Wave fronts are
+ * separated by barriers until the netlist settles, giving the paper's
+ * Table 2 profile: thousands of lock operations and hundreds of
+ * barriers. Element-type dispatch and change tests make branches
+ * frequent and data-dependent (worst predictability of the five
+ * applications, Table 3).
+ *
+ * Simplification vs. the original: PTHOR's Chandy-Misra null-message
+ * protocol is replaced by barrier-delimited evaluation waves within
+ * each clock cycle; both are conservative schedules of the same event
+ * graph (see DESIGN.md).
+ */
+class Pthor : public Application
+{
+  public:
+    explicit Pthor(const PthorConfig &config);
+
+    std::string_view name() const override { return "PTHOR"; }
+    void setup(mp::Engine &engine) override;
+    mp::Task worker(mp::ThreadContext &ctx, uint32_t tid) override;
+    bool verify(const mp::Engine &engine) const override;
+
+    const PthorConfig &pthorConfig() const { return config_; }
+
+    /** Element types (values stored in the type array). */
+    enum GateType : int64_t {
+        kInput = 0,
+        kDff = 1,
+        kAnd = 2,
+        kOr = 3,
+        kXor = 4,
+        kNand = 5,
+        kNot = 6,
+    };
+
+  private:
+    uint32_t owner(uint32_t gate, uint32_t procs) const
+    {
+        return gate * procs / config_.gates;
+    }
+
+    /** Native mirror of the full simulation (for verify()). */
+    std::vector<int64_t> nativeSimulate() const;
+
+    PthorConfig config_;
+
+    // Netlist (built in setup, mirrored natively for verify).
+    std::vector<int64_t> type_host_;
+    std::vector<int64_t> in0_host_, in1_host_;
+    std::vector<std::vector<uint32_t>> fanout_host_;
+
+    // Shared-memory netlist.
+    mp::ArenaArray<int64_t> type_;
+    mp::ArenaArray<int64_t> in0_, in1_;
+    mp::ArenaArray<int64_t> val_;
+    mp::ArenaArray<int64_t> fanout_ptr_; ///< gates+1 prefix offsets.
+    mp::ArenaArray<int64_t> fanout_;
+    mp::ArenaArray<int64_t> eval_table_; ///< type x (v0,v1) truth table.
+    mp::ArenaArray<int64_t> work_flag_;  ///< Wave termination flag.
+    mp::ArenaArray<int64_t> eval_count_; ///< Per-gate local statistics.
+    mp::ArenaArray<int64_t> gate_time_;  ///< Per-gate local event time.
+    mp::ArenaArray<int64_t> type_hist_;  ///< Per-proc type histogram.
+    mp::ArenaArray<int64_t> event_buf_;  ///< Per-gate event window (4).
+
+    // Double-buffered per-processor task queues.
+    uint32_t queue_cap_ = 0;
+    mp::ArenaArray<int64_t> queue_[2];  ///< procs x queue_cap each.
+    mp::ArenaArray<int64_t> qlen_[2];   ///< procs entries, padded.
+    std::vector<mp::LockId> qlocks_;
+    mp::BarrierId bar_ = 0;
+};
+
+} // namespace dsmem::apps
+
+#endif // DSMEM_APPS_PTHOR_H

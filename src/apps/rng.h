@@ -1,0 +1,50 @@
+#ifndef DSMEM_APPS_RNG_H
+#define DSMEM_APPS_RNG_H
+
+#include <cstdint>
+
+namespace dsmem::apps {
+
+/**
+ * Deterministic 64-bit RNG (splitmix64) for application setup.
+ *
+ * Used only in untimed setup code (initial particle positions, random
+ * netlists, wire endpoints). Timed application code that needs
+ * randomness computes it through the DSL (e.g. MP3D's collision test)
+ * so that the instructions and dependences appear in the trace.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). */
+    uint64_t below(uint64_t bound) { return bound ? next() % bound : 0; }
+
+    /** Uniform double in [0, 1). */
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double range(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace dsmem::apps
+
+#endif // DSMEM_APPS_RNG_H

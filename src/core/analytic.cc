@@ -1,0 +1,74 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmem::core {
+
+namespace {
+
+/** Instructions per block: the spacing, the load, and its consumer. */
+double
+blockInstructions(const AnalyticParams &params)
+{
+    return static_cast<double>(params.miss_spacing) + 2.0;
+}
+
+/** Miss latency plus the decode/issue overhead of the machine. */
+double
+effectiveLatency(const AnalyticParams &params)
+{
+    return static_cast<double>(params.miss_latency) + 2.0;
+}
+
+} // namespace
+
+double
+predictedBlockTime(const AnalyticParams &params)
+{
+    if (params.window == 0)
+        throw std::invalid_argument("window must be >= 1");
+    if (params.miss_spacing == 0)
+        throw std::invalid_argument("miss_spacing must be >= 1");
+
+    double block = blockInstructions(params);
+    double lat = effectiveLatency(params);
+    double window = static_cast<double>(params.window);
+
+    // A miss's decode is gated by the retirement of the instruction
+    // `window` positions back, which lies k = ceil(W/B) blocks
+    // earlier; in steady state (slope s per block):
+    //     k*s = k*B - W + L'   =>   s = B + (L' - W) / k,
+    // floored at the fetch/retire-limited slope B.
+    double k = std::max(1.0, std::ceil(window / block));
+    return std::max(block, block + (lat - window) / k);
+}
+
+double
+predictedHiddenFraction(const AnalyticParams &params)
+{
+    double block = blockInstructions(params);
+    double stall = predictedBlockTime(params) - block;
+    double exposed =
+        stall / static_cast<double>(params.miss_latency);
+    return std::clamp(1.0 - exposed, 0.0, 1.0);
+}
+
+uint32_t
+predictedWindowFor(double target_fraction, uint32_t miss_latency,
+                   uint32_t miss_spacing)
+{
+    target_fraction = std::clamp(target_fraction, 0.0, 1.0);
+    for (uint32_t window = 1; window <= 1u << 20; window *= 2) {
+        AnalyticParams params;
+        params.window = window;
+        params.miss_latency = miss_latency;
+        params.miss_spacing = miss_spacing;
+        if (predictedHiddenFraction(params) >= target_fraction)
+            return window;
+    }
+    return 1u << 20;
+}
+
+} // namespace dsmem::core

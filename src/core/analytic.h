@@ -1,0 +1,54 @@
+#ifndef DSMEM_CORE_ANALYTIC_H
+#define DSMEM_CORE_ANALYTIC_H
+
+#include <cstdint>
+
+namespace dsmem::core {
+
+/** Inputs of the first-order latency-hiding model. */
+struct AnalyticParams {
+    uint32_t window = 64;        ///< Reorder buffer entries.
+    uint32_t miss_latency = 50;  ///< Cycles per read miss.
+    uint32_t miss_spacing = 25;  ///< Instructions between misses.
+};
+
+/**
+ * First-order steady-state model of the RC dynamically scheduled
+ * processor on a stream of *independent, perfectly predicted* read
+ * misses every `miss_spacing` instructions — the idealized workload
+ * of the paper's Section 4.1.2 analysis.
+ *
+ * Let B = instructions per block (spacing + the miss + its use),
+ * L' = miss latency + issue overhead, W = window, and
+ * k = ceil(W / B) the number of blocks the window spans. A miss's
+ * decode is gated by the retirement of the instruction W positions
+ * back (k blocks earlier), so the steady-state retirement slope per
+ * block is
+ *
+ *   block_time = max(B, B + (L' - W) / k)
+ *
+ * and the hidden fraction is 1 - (block_time - B) / L.
+ *
+ * The model reproduces the paper's two window rules exactly: hiding
+ * begins once the window spans the inter-miss distance, and becomes
+ * complete once it also spans the latency. It is validated against
+ * the simulator in tests/test_analytic.cc (within a few percent on
+ * its stated domain) and deviates — as it should — once branches,
+ * dependences, stores, or synchronization enter.
+ */
+double predictedHiddenFraction(const AnalyticParams &params);
+
+/** Predicted total cycles per block of the same model. */
+double predictedBlockTime(const AnalyticParams &params);
+
+/**
+ * Smallest window that the model predicts hides at least
+ * @p target_fraction of the miss latency.
+ */
+uint32_t predictedWindowFor(double target_fraction,
+                            uint32_t miss_latency,
+                            uint32_t miss_spacing);
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_ANALYTIC_H

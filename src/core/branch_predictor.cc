@@ -1,0 +1,101 @@
+#include "core/branch_predictor.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dsmem::core {
+
+bool
+BtbConfig::valid() const
+{
+    if (entries == 0 || associativity == 0)
+        return false;
+    if (entries % associativity != 0)
+        return false;
+    return std::has_single_bit(numSets());
+}
+
+BranchPredictor::BranchPredictor(const BtbConfig &config) : config_(config)
+{
+    if (!config.valid())
+        throw std::invalid_argument("invalid BtbConfig");
+    entries_.resize(config.entries);
+}
+
+uint32_t
+BranchPredictor::setIndex(uint32_t site) const
+{
+    // Mix the site hash before indexing so set usage stays uniform
+    // even for correlated site ids.
+    uint32_t h = site;
+    h ^= h >> 16;
+    h *= 0x7feb352du;
+    h ^= h >> 15;
+    return h & (config_.numSets() - 1);
+}
+
+bool
+BranchPredictor::predict(uint32_t site, bool taken)
+{
+    ++lookups_;
+    ++tick_;
+    if (config_.perfect)
+        return true;
+
+    uint32_t set = setIndex(site);
+    Entry *base = &entries_[set * config_.associativity];
+
+    Entry *hit = nullptr;
+    for (uint32_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].site == site) {
+            hit = &base[w];
+            break;
+        }
+    }
+
+    bool predicted_taken = false;
+    if (hit) {
+        predicted_taken = hit->counter >= 2;
+        hit->last_use = tick_;
+        if (taken) {
+            if (hit->counter < 3)
+                ++hit->counter;
+        } else {
+            if (hit->counter > 0)
+                --hit->counter;
+        }
+    } else if (taken) {
+        // Allocate on a taken branch (an untracked not-taken branch
+        // falls through correctly and needs no entry).
+        Entry *victim = &base[0];
+        for (uint32_t w = 1; w < config_.associativity; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].last_use < victim->last_use && victim->valid)
+                victim = &base[w];
+        }
+        victim->valid = true;
+        victim->site = site;
+        victim->counter = 2; // Weakly taken.
+        victim->last_use = tick_;
+    }
+
+    bool correct = (predicted_taken == taken);
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+    tick_ = 0;
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace dsmem::core

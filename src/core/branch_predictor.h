@@ -1,0 +1,75 @@
+#ifndef DSMEM_CORE_BRANCH_PREDICTOR_H
+#define DSMEM_CORE_BRANCH_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dsmem::core {
+
+/** Branch target buffer geometry (Section 3.1 of the paper). */
+struct BtbConfig {
+    uint32_t entries = 2048;
+    uint32_t associativity = 4;
+    bool perfect = false; ///< Figure 4's perfect-prediction mode.
+
+    uint32_t numSets() const { return entries / associativity; }
+    bool valid() const;
+};
+
+/**
+ * Branch target buffer with 2-bit saturating counters and LRU
+ * replacement.
+ *
+ * The paper's machine predicts through a 2048-entry 4-way BTB [Lee &
+ * Smith]. A branch predicted taken requires a BTB hit to supply the
+ * target, so a taken branch that misses in the BTB is a
+ * misprediction; a not-taken branch that misses is correctly
+ * (statically) predicted fall-through. Entries are allocated on taken
+ * branches.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BtbConfig &config);
+
+    /**
+     * Predict and update for a branch at static @p site with actual
+     * outcome @p taken. Returns true when the prediction was correct.
+     */
+    bool predict(uint32_t site, bool taken);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double accuracy() const
+    {
+        return lookups_ == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(mispredicts_) /
+                static_cast<double>(lookups_);
+    }
+
+    const BtbConfig &config() const { return config_; }
+
+    void reset();
+
+  private:
+    struct Entry {
+        uint32_t site = 0;
+        uint8_t counter = 0; ///< 2-bit: 0,1 not taken; 2,3 taken.
+        uint64_t last_use = 0;
+        bool valid = false;
+    };
+
+    uint32_t setIndex(uint32_t site) const;
+
+    BtbConfig config_;
+    std::vector<Entry> entries_; ///< sets * associativity, row-major.
+    uint64_t tick_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_BRANCH_PREDICTOR_H

@@ -1,0 +1,118 @@
+#ifndef DSMEM_CORE_DYNAMIC_PROCESSOR_H
+#define DSMEM_CORE_DYNAMIC_PROCESSOR_H
+
+#include <cstdint>
+
+#include "core/branch_predictor.h"
+#include "core/types.h"
+#include "stats/histogram.h"
+#include "trace/trace.h"
+
+namespace dsmem::core {
+
+/** Configuration of the dynamically scheduled processor (Section 3.1). */
+struct DynamicConfig {
+    ConsistencyModel model = ConsistencyModel::RC;
+
+    /** Reorder buffer / lookahead window size (16..256 in the paper). */
+    uint32_t window = 64;
+
+    /** Decode+retire width: 1 in Section 4.1, 4 in Section 4.2. */
+    uint32_t width = 1;
+
+    /** Figure 4: assume every branch is predicted correctly. */
+    bool perfect_branch_prediction = false;
+
+    /**
+     * Figure 4: ignore register data dependences (operands always
+     * ready); dependences arising from consistency constraints are
+     * still respected, per the paper's footnote 3.
+     */
+    bool ignore_data_deps = false;
+
+    /** Store buffer entries; 0 means "window size" (the paper notes
+     *  the DS processor's buffer is larger than the static 16). */
+    uint32_t store_buffer_depth = 0;
+
+    /**
+     * Lockup-free cache MSHR count: maximum outstanding misses. 0
+     * means unlimited, the paper's aggressive-memory assumption; 1
+     * approximates a blocking cache.
+     */
+    uint32_t mshrs = 0;
+
+    /**
+     * Section-5 ablation: free a window slot when its instruction
+     * completes instead of when it retires in order. The paper calls
+     * FIFO retirement "a conservative way of using the window".
+     */
+    bool free_window = false;
+
+    /**
+     * The two SC-boosting techniques of the authors' companion paper
+     * (discussed in Section 6): speculative execution of read values
+     * past consistency constraints (with rollback on a detected
+     * violation — never triggered by a fixed-interleaving trace), and
+     * non-binding prefetch of delayed stores, so the ordered write
+     * performs locally. Only meaningful with model == SC.
+     */
+    bool sc_speculation = false;
+
+    BtbConfig btb;
+
+    /** Collect the decode-to-memory-issue delay of read misses. */
+    bool collect_read_delay = false;
+
+    uint32_t storeBufferDepth() const
+    {
+        return store_buffer_depth == 0 ? window : store_buffer_depth;
+    }
+};
+
+/** RunResult plus dynamic-scheduling-specific measurements. */
+struct DynamicResult : RunResult {
+    /**
+     * Histogram of cycles between a read miss entering the reorder
+     * buffer and its issue to memory (Section 4.1.3's analysis);
+     * collected when DynamicConfig::collect_read_delay is set.
+     */
+    stats::Histogram read_issue_delay{10, 16};
+
+    /** Mean instructions resident in the window per cycle. */
+    double avg_window_occupancy = 0.0;
+};
+
+/**
+ * The dynamically scheduled processor derived from Johnson's design:
+ * reorder buffer with register renaming, reservation stations in
+ * front of single-cycle functional units, BTB-driven speculative
+ * fetch with flush-and-refetch on mispredicts, a lockup-free cache
+ * port (one access issued per cycle, unlimited outstanding misses),
+ * and a store buffer with load bypassing and forwarding. Memory
+ * consistency (SC/PC/RC) is enforced as issue constraints on memory
+ * and synchronization operations.
+ *
+ * Implementation: program-order analytic scheduling. Each trace
+ * instruction's decode, issue, completion, and retire cycles are
+ * derived from its predecessors (operand completion times, resource
+ * free slots, consistency gates, ROB occupancy, fetch stalls), which
+ * is exact for greedy oldest-first out-of-order issue with
+ * single-cycle units. Memory usage is O(window), so traces of any
+ * length can be timed.
+ */
+class DynamicProcessor
+{
+  public:
+    explicit DynamicProcessor(const DynamicConfig &config);
+
+    DynamicResult run(const trace::Trace &t) const;
+
+    const DynamicConfig &config() const { return config_; }
+
+  private:
+    DynamicConfig config_;
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_DYNAMIC_PROCESSOR_H

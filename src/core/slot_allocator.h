@@ -1,0 +1,80 @@
+#ifndef DSMEM_CORE_SLOT_ALLOCATOR_H
+#define DSMEM_CORE_SLOT_ALLOCATOR_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dsmem::core {
+
+/**
+ * Allocates cycles of a resource with fixed per-cycle capacity
+ * (functional units, the single cache port).
+ *
+ * allocate(t) returns the first cycle >= t with spare capacity and
+ * consumes one unit of it. Requests arrive in program order but not
+ * in time order, so full cycles are skipped via a union-find
+ * "next candidate" map with path compression (amortized near O(1)).
+ *
+ * Because instruction decode times are non-decreasing and no request
+ * can target a cycle before the requesting instruction's decode,
+ * callers may prune() entries below a watermark to bound memory.
+ */
+class SlotAllocator
+{
+  public:
+    explicit SlotAllocator(uint32_t capacity_per_cycle = 1)
+        : capacity_(capacity_per_cycle == 0 ? 1 : capacity_per_cycle)
+    {}
+
+    /** First free cycle >= @p t; consumes one slot of it. */
+    uint64_t allocate(uint64_t t)
+    {
+        uint64_t cycle = findFree(t);
+        uint32_t &used = used_[cycle];
+        ++used;
+        if (used >= capacity_)
+            next_[cycle] = cycle + 1;
+        return cycle;
+    }
+
+    /** Drop bookkeeping for cycles strictly below @p watermark. */
+    void prune(uint64_t watermark)
+    {
+        std::erase_if(used_,
+                      [&](const auto &kv) { return kv.first < watermark; });
+        std::erase_if(next_,
+                      [&](const auto &kv) { return kv.first < watermark; });
+    }
+
+    size_t trackedCycles() const { return used_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    uint64_t findFree(uint64_t t)
+    {
+        // Follow "next" pointers through full cycles, compressing the
+        // path on the way back.
+        path_.clear();
+        uint64_t cur = t;
+        for (;;) {
+            auto it = next_.find(cur);
+            if (it == next_.end())
+                break;
+            path_.push_back(cur);
+            cur = it->second;
+        }
+        for (uint64_t p : path_)
+            next_[p] = cur;
+        return cur;
+    }
+
+    uint32_t capacity_;
+    std::unordered_map<uint64_t, uint32_t> used_;
+    std::unordered_map<uint64_t, uint64_t> next_;
+    std::vector<uint64_t> path_;
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_SLOT_ALLOCATOR_H

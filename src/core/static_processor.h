@@ -1,0 +1,57 @@
+#ifndef DSMEM_CORE_STATIC_PROCESSOR_H
+#define DSMEM_CORE_STATIC_PROCESSOR_H
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "trace/trace.h"
+
+namespace dsmem::core {
+
+/** Configuration of the statically scheduled processor models. */
+struct StaticConfig {
+    ConsistencyModel model = ConsistencyModel::RC;
+
+    /**
+     * false: SSBR — blocking reads (the processor stalls for every
+     * read's return value).
+     * true: SS — non-blocking reads with a read buffer; the stall is
+     * delayed to the first use of the return value (Section 4.1.1).
+     */
+    bool nonblocking_reads = false;
+
+    /** The paper assumes a 16-word-deep write buffer. */
+    uint32_t write_buffer_depth = 16;
+
+    /** SS only: 16-word-deep read (pending-load) buffer. */
+    uint32_t read_buffer_depth = 16;
+};
+
+/**
+ * The statically scheduled in-order processor models SSBR and SS.
+ *
+ * Instructions execute in order, one per cycle. Stores retire through
+ * a write buffer whose issue discipline enforces the consistency
+ * model: under SC a write issues only after all previous accesses
+ * performed (and reads wait for pending writes); under PC writes
+ * issue serially but reads bypass them; under RC writes issue
+ * pipelined (one per cycle) and only releases wait for previous
+ * accesses. Acquire operations always block the processor, since the
+ * value gates control flow.
+ */
+class StaticProcessor
+{
+  public:
+    explicit StaticProcessor(const StaticConfig &config);
+
+    RunResult run(const trace::Trace &t) const;
+
+    const StaticConfig &config() const { return config_; }
+
+  private:
+    StaticConfig config_;
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_STATIC_PROCESSOR_H

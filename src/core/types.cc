@@ -1,0 +1,21 @@
+#include "core/types.h"
+
+namespace dsmem::core {
+
+std::string_view
+consistencyName(ConsistencyModel model)
+{
+    switch (model) {
+      case ConsistencyModel::SC:
+        return "SC";
+      case ConsistencyModel::PC:
+        return "PC";
+      case ConsistencyModel::WO:
+        return "WO";
+      case ConsistencyModel::RC:
+        return "RC";
+    }
+    return "invalid";
+}
+
+} // namespace dsmem::core

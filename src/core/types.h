@@ -1,0 +1,79 @@
+#ifndef DSMEM_CORE_TYPES_H
+#define DSMEM_CORE_TYPES_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dsmem::core {
+
+/**
+ * Memory consistency models evaluated by the paper (Section 2.1).
+ *
+ * Expressed operationally as issue constraints on memory accesses
+ * (Figure 1 of the paper):
+ *  - SC: an access may issue only after every previous access has
+ *    performed.
+ *  - PC: a read may bypass previous writes; reads remain ordered with
+ *    respect to reads, and writes with respect to both.
+ *  - WO: ordinary accesses between synchronization points are
+ *    unordered, but every synchronization operation is a full fence:
+ *    it may not issue until all previous accesses have performed, and
+ *    no following access may issue until it has.
+ *  - RC: WO refined by acquire/release: only an acquire blocks
+ *    following accesses, and only a release waits for previous ones.
+ */
+enum class ConsistencyModel : uint8_t {
+    SC,
+    PC,
+    WO,
+    RC,
+};
+
+std::string_view consistencyName(ConsistencyModel model);
+
+/**
+ * Execution-time breakdown in the paper's Figure 3 categories.
+ *
+ * `busy` is useful cycles (one per retired instruction), `sync` is
+ * acquire stall time (locks, wait-events, barriers), `read` is read
+ * miss stall time, and `write` is write miss stall time including
+ * release operations. `pipeline` collects fetch-starvation cycles of
+ * the dynamically scheduled processor after branch mispredictions
+ * (the paper folds these into the other categories; we keep them
+ * separate internally and merge into busy when printing paper-format
+ * rows — see EXPERIMENTS.md).
+ */
+struct Breakdown {
+    uint64_t busy = 0;
+    uint64_t sync = 0;
+    uint64_t read = 0;
+    uint64_t write = 0;
+    uint64_t pipeline = 0;
+
+    uint64_t total() const { return busy + sync + read + write + pipeline; }
+
+    /** Busy with pipeline bubbles folded in (paper-format rows). */
+    uint64_t busyMerged() const { return busy + pipeline; }
+};
+
+/** Result of timing one trace on one processor model. */
+struct RunResult {
+    Breakdown breakdown;
+    uint64_t cycles = 0;       ///< Total execution time.
+    uint64_t instructions = 0; ///< Retired non-sync instructions.
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t read_misses = 0;
+
+    double mispredictRate() const
+    {
+        return branches == 0
+            ? 0.0
+            : static_cast<double>(mispredicts) /
+                static_cast<double>(branches);
+    }
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_TYPES_H

@@ -1,0 +1,74 @@
+#ifndef DSMEM_DSMEM_H
+#define DSMEM_DSMEM_H
+
+/**
+ * @file
+ * Umbrella header for the dsmem library — the complete public API of
+ * the ISCA 1992 "Hiding Memory Latency using Dynamic Scheduling in
+ * Shared-Memory Multiprocessors" reproduction.
+ *
+ * Typical use:
+ *
+ *   #include "dsmem.h"
+ *
+ *   // Phase 1: multiprocessor simulation -> annotated trace.
+ *   auto bundle = dsmem::sim::generateTrace(dsmem::sim::AppId::LU);
+ *
+ *   // Phase 2: time the trace on any processor configuration.
+ *   auto result = dsmem::sim::runModel(
+ *       bundle.trace,
+ *       dsmem::sim::ModelSpec::ds(dsmem::core::ConsistencyModel::RC,
+ *                                 64));
+ */
+
+// Statistics utilities.
+#include "stats/barchart.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+// The annotated trace ISA.
+#include "trace/instruction.h"
+#include "trace/op.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+// Multiprocessor cache hierarchy.
+#include "memsys/cache.h"
+#include "memsys/config.h"
+#include "memsys/memory_system.h"
+
+// Multiprocessor execution engine and application DSL.
+#include "mp/arena.h"
+#include "mp/dsl.h"
+#include "mp/engine.h"
+#include "mp/subtask.h"
+#include "mp/sync.h"
+#include "mp/task.h"
+#include "mp/thread_context.h"
+
+// The five applications.
+#include "apps/app.h"
+#include "apps/locus.h"
+#include "apps/lu.h"
+#include "apps/mp3d.h"
+#include "apps/ocean.h"
+#include "apps/pthor.h"
+
+// Processor timing models.
+#include "core/analytic.h"
+#include "core/base_processor.h"
+#include "core/branch_predictor.h"
+#include "core/dynamic_processor.h"
+#include "core/prefetcher.h"
+#include "core/rescheduler.h"
+#include "core/static_processor.h"
+#include "core/types.h"
+
+// Experiment driver.
+#include "sim/app_registry.h"
+#include "sim/experiment.h"
+#include "sim/synthetic.h"
+#include "sim/trace_bundle.h"
+
+#endif // DSMEM_DSMEM_H

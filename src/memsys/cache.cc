@@ -1,0 +1,83 @@
+#include "memsys/cache.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace dsmem::memsys {
+
+bool
+CacheConfig::valid() const
+{
+    if (line_bytes == 0 || size_bytes == 0)
+        return false;
+    if (!std::has_single_bit(line_bytes) || !std::has_single_bit(size_bytes))
+        return false;
+    return size_bytes >= line_bytes;
+}
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (!config.valid())
+        throw std::invalid_argument("invalid CacheConfig");
+    line_shift_ = static_cast<uint32_t>(std::countr_zero(config.line_bytes));
+    line_mask_ = config.line_bytes - 1;
+    set_mask_ = config.numLines() - 1;
+    lines_.resize(config.numLines());
+}
+
+LineState
+Cache::lookup(Addr addr) const
+{
+    const Line &line = lines_[setIndex(addr)];
+    if (line.state == LineState::INVALID || line.tag != lineAddr(addr))
+        return LineState::INVALID;
+    return line.state;
+}
+
+bool
+Cache::install(Addr addr, LineState state, Addr *evicted,
+               bool *evicted_dirty)
+{
+    assert(state != LineState::INVALID);
+    Line &line = lines_[setIndex(addr)];
+    bool victim = false;
+    if (line.state != LineState::INVALID && line.tag != lineAddr(addr)) {
+        victim = true;
+        if (evicted)
+            *evicted = line.tag;
+        if (evicted_dirty)
+            *evicted_dirty = (line.state == LineState::MODIFIED);
+    }
+    line.tag = lineAddr(addr);
+    line.state = state;
+    return victim;
+}
+
+void
+Cache::setState(Addr addr, LineState state)
+{
+    Line &line = lines_[setIndex(addr)];
+    assert(line.state != LineState::INVALID && line.tag == lineAddr(addr));
+    line.state = state;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Line &line = lines_[setIndex(addr)];
+    if (line.state != LineState::INVALID && line.tag == lineAddr(addr))
+        line.state = LineState::INVALID;
+}
+
+uint32_t
+Cache::validLineCount() const
+{
+    uint32_t n = 0;
+    for (const Line &line : lines_)
+        if (line.state != LineState::INVALID)
+            ++n;
+    return n;
+}
+
+} // namespace dsmem::memsys

@@ -1,0 +1,85 @@
+#ifndef DSMEM_MEMSYS_CACHE_H
+#define DSMEM_MEMSYS_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "memsys/config.h"
+#include "trace/instruction.h"
+
+namespace dsmem::memsys {
+
+using trace::Addr;
+
+/** Coherence state of a line in a processor's cache. */
+enum class LineState : uint8_t {
+    INVALID,
+    SHARED,
+    EXCLUSIVE, ///< Clean, sole copy (MESI only).
+    MODIFIED,
+};
+
+/**
+ * A direct-mapped write-back data cache.
+ *
+ * Pure tag array: the protocol logic lives in MemorySystem, which
+ * tells the cache what to install, upgrade, downgrade, or invalidate.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
+
+    /** State of the line containing @p addr (INVALID on tag mismatch). */
+    LineState lookup(Addr addr) const;
+
+    /**
+     * Install the line containing @p addr in @p state, evicting the
+     * current occupant of its set if necessary.
+     *
+     * @param[out] evicted       Line address of the victim, if any.
+     * @param[out] evicted_dirty True when the victim was MODIFIED.
+     * @return true when a valid line was evicted.
+     */
+    bool install(Addr addr, LineState state, Addr *evicted,
+                 bool *evicted_dirty);
+
+    /** Change the state of a resident line (upgrade or downgrade). */
+    void setState(Addr addr, LineState state);
+
+    /** Drop the line containing @p addr (remote invalidation). */
+    void invalidate(Addr addr);
+
+    /** True if the line containing @p addr is resident and MODIFIED. */
+    bool isDirty(Addr addr) const { return lookup(addr) == LineState::MODIFIED; }
+
+    uint32_t numLines() const { return static_cast<uint32_t>(lines_.size()); }
+    const CacheConfig &config() const { return config_; }
+
+    /** Count of currently valid lines (test/diagnostic aid). */
+    uint32_t validLineCount() const;
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        LineState state = LineState::INVALID;
+    };
+
+    uint32_t setIndex(Addr addr) const
+    {
+        return (addr >> line_shift_) & set_mask_;
+    }
+
+    CacheConfig config_;
+    uint32_t line_shift_;
+    Addr line_mask_;
+    uint32_t set_mask_;
+    std::vector<Line> lines_;
+};
+
+} // namespace dsmem::memsys
+
+#endif // DSMEM_MEMSYS_CACHE_H

@@ -1,0 +1,53 @@
+#ifndef DSMEM_MEMSYS_CONFIG_H
+#define DSMEM_MEMSYS_CONFIG_H
+
+#include <cstdint>
+
+namespace dsmem::memsys {
+
+/**
+ * Per-processor data cache geometry.
+ *
+ * Defaults follow Section 3.2 of the paper: 64 KB direct-mapped
+ * write-back caches with a 16-byte line size, kept coherent with an
+ * invalidation-based scheme.
+ */
+struct CacheConfig {
+    uint32_t size_bytes = 64 * 1024;
+    uint32_t line_bytes = 16;
+
+    uint32_t numLines() const { return size_bytes / line_bytes; }
+
+    /** True when both fields are powers of two and consistent. */
+    bool valid() const;
+};
+
+/** Coherence protocol variants. */
+enum class Protocol : uint8_t {
+    MSI,  ///< The paper's baseline invalidation protocol.
+    MESI, ///< Adds an Exclusive state: silent upgrade of private data.
+};
+
+/**
+ * Memory latency model.
+ *
+ * The paper assumes 1 cycle for cache hits and a fixed penalty for
+ * misses (50 cycles in the main experiments, 100 in Section 4.2);
+ * queueing and contention are not modeled. Setting `banks` non-zero
+ * enables an optional memory-module contention model (an extension;
+ * the paper's Section 5 notes its results are optimistic for
+ * ignoring contention): misses to the same line-interleaved bank
+ * within `bank_occupancy` cycles of each other queue up, and the
+ * queueing delay is added to the miss latency.
+ */
+struct MemoryConfig {
+    uint32_t hit_latency = 1;
+    uint32_t miss_latency = 50;
+    Protocol protocol = Protocol::MSI;
+    uint32_t banks = 0;          ///< 0 = contention-free (the paper).
+    uint32_t bank_occupancy = 4; ///< Cycles a miss occupies its bank.
+};
+
+} // namespace dsmem::memsys
+
+#endif // DSMEM_MEMSYS_CONFIG_H

@@ -1,0 +1,193 @@
+#include "memsys/memory_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dsmem::memsys {
+
+MemorySystem::MemorySystem(uint32_t num_procs,
+                           const CacheConfig &cache_config,
+                           const MemoryConfig &mem_config)
+    : mem_config_(mem_config)
+{
+    if (num_procs == 0 || num_procs > 32)
+        throw std::invalid_argument("MemorySystem supports 1..32 procs");
+    caches_.reserve(num_procs);
+    for (uint32_t p = 0; p < num_procs; ++p)
+        caches_.push_back(std::make_unique<Cache>(cache_config));
+    stats_.resize(num_procs);
+    if (mem_config.banks > 0)
+        bank_free_.assign(mem_config.banks, 0);
+}
+
+MemorySystem::DirEntry &
+MemorySystem::dirEntry(Addr line)
+{
+    return directory_[line];
+}
+
+void
+MemorySystem::dropSharer(Addr line, uint32_t proc)
+{
+    auto it = directory_.find(line);
+    if (it == directory_.end())
+        return;
+    it->second.sharers &= ~(1u << proc);
+    if (it->second.owner == static_cast<int32_t>(proc))
+        it->second.owner = -1;
+    if (it->second.sharers == 0)
+        directory_.erase(it);
+}
+
+void
+MemorySystem::handleEviction(uint32_t proc, Addr victim_line, bool dirty)
+{
+    if (dirty)
+        ++stats_[proc].writebacks;
+    dropSharer(victim_line, proc);
+}
+
+uint32_t
+MemorySystem::invalidateRemote(Addr line, uint32_t requester)
+{
+    auto it = directory_.find(line);
+    if (it == directory_.end())
+        return 0;
+    uint32_t invalidated = 0;
+    uint32_t sharers = it->second.sharers;
+    for (uint32_t p = 0; p < numProcs(); ++p) {
+        if (p == requester || (sharers & (1u << p)) == 0)
+            continue;
+        // A MODIFIED remote copy is implicitly written back as part
+        // of the ownership transfer; an EXCLUSIVE copy is clean.
+        if (caches_[p]->lookup(line) == LineState::MODIFIED)
+            ++stats_[p].writebacks;
+        caches_[p]->invalidate(line);
+        ++stats_[p].invalidations_received;
+        ++invalidated;
+    }
+    it->second.sharers &= (1u << requester);
+    it->second.owner = -1;
+    if (it->second.sharers == 0)
+        directory_.erase(it);
+    return invalidated;
+}
+
+uint32_t
+MemorySystem::missLatency(uint32_t proc, Addr line, uint64_t now)
+{
+    uint32_t latency = mem_config_.miss_latency;
+    if (mem_config_.banks > 0) {
+        size_t bank = (line / caches_[0]->config().line_bytes) %
+            mem_config_.banks;
+        uint64_t start = std::max(bank_free_[bank], now);
+        uint32_t queue_delay = static_cast<uint32_t>(start - now);
+        latency += queue_delay;
+        stats_[proc].contention_cycles += queue_delay;
+        bank_free_[bank] = start + mem_config_.bank_occupancy;
+    }
+    return latency;
+}
+
+AccessResult
+MemorySystem::read(uint32_t proc, Addr addr, uint64_t now)
+{
+    Cache &cache = *caches_.at(proc);
+    Addr line = cache.lineAddr(addr);
+    ++stats_[proc].reads;
+
+    if (cache.lookup(addr) != LineState::INVALID) {
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    }
+
+    ++stats_[proc].read_misses;
+    uint32_t latency = missLatency(proc, line, now);
+
+    // Downgrade a remote E/M copy to SHARED (writeback if dirty).
+    DirEntry &entry = dirEntry(line);
+    bool had_copies = entry.sharers != 0;
+    if (entry.owner >= 0 && entry.owner != static_cast<int32_t>(proc)) {
+        uint32_t owner = static_cast<uint32_t>(entry.owner);
+        if (caches_[owner]->lookup(line) == LineState::MODIFIED)
+            ++stats_[owner].writebacks;
+        caches_[owner]->setState(line, LineState::SHARED);
+        entry.owner = -1;
+    }
+
+    // MESI: a read miss with no other cached copy installs Exclusive.
+    LineState install_state = LineState::SHARED;
+    if (mem_config_.protocol == Protocol::MESI && !had_copies)
+        install_state = LineState::EXCLUSIVE;
+
+    Addr victim = 0;
+    bool victim_dirty = false;
+    if (cache.install(line, install_state, &victim, &victim_dirty))
+        handleEviction(proc, victim, victim_dirty);
+    // handleEviction may have erased entries; re-fetch ours.
+    DirEntry &entry2 = dirEntry(line);
+    entry2.sharers |= (1u << proc);
+    if (install_state == LineState::EXCLUSIVE)
+        entry2.owner = static_cast<int32_t>(proc);
+
+    return {AccessKind::READ_MISS, latency, 0};
+}
+
+AccessResult
+MemorySystem::write(uint32_t proc, Addr addr, uint64_t now)
+{
+    Cache &cache = *caches_.at(proc);
+    Addr line = cache.lineAddr(addr);
+    ++stats_[proc].writes;
+
+    LineState state = cache.lookup(addr);
+    if (state == LineState::MODIFIED) {
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    }
+    if (state == LineState::EXCLUSIVE) {
+        // MESI silent upgrade: sole clean copy, no transaction needed.
+        cache.setState(line, LineState::MODIFIED);
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    }
+
+    ++stats_[proc].write_misses;
+    uint32_t latency = missLatency(proc, line, now);
+    uint32_t invalidations = invalidateRemote(line, proc);
+
+    if (state == LineState::SHARED) {
+        // Ownership upgrade: line already resident.
+        cache.setState(line, LineState::MODIFIED);
+        DirEntry &entry = dirEntry(line);
+        entry.sharers |= (1u << proc);
+        entry.owner = static_cast<int32_t>(proc);
+        return {AccessKind::WRITE_UPGRADE, latency, invalidations};
+    }
+
+    Addr victim = 0;
+    bool victim_dirty = false;
+    if (cache.install(line, LineState::MODIFIED, &victim, &victim_dirty))
+        handleEviction(proc, victim, victim_dirty);
+    DirEntry &entry = dirEntry(line);
+    entry.sharers |= (1u << proc);
+    entry.owner = static_cast<int32_t>(proc);
+
+    return {AccessKind::WRITE_MISS, latency, invalidations};
+}
+
+CacheStats
+MemorySystem::totalStats() const
+{
+    CacheStats total;
+    for (const CacheStats &s : stats_) {
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.read_misses += s.read_misses;
+        total.write_misses += s.write_misses;
+        total.invalidations_received += s.invalidations_received;
+        total.writebacks += s.writebacks;
+        total.contention_cycles += s.contention_cycles;
+    }
+    return total;
+}
+
+} // namespace dsmem::memsys

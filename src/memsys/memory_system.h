@@ -1,0 +1,116 @@
+#ifndef DSMEM_MEMSYS_MEMORY_SYSTEM_H
+#define DSMEM_MEMSYS_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "memsys/cache.h"
+#include "memsys/config.h"
+
+namespace dsmem::memsys {
+
+/** Classification of a completed cache access. */
+enum class AccessKind : uint8_t {
+    HIT,           ///< Serviced by the local cache.
+    READ_MISS,     ///< Load missed; line fetched.
+    WRITE_MISS,    ///< Store missed; line fetched MODIFIED.
+    WRITE_UPGRADE, ///< Store to a SHARED line; ownership acquired.
+};
+
+/** Result of one memory access, including the latency annotation. */
+struct AccessResult {
+    AccessKind kind = AccessKind::HIT;
+    uint32_t latency = 1;       ///< Cycles for the access to complete.
+    uint32_t invalidations = 0; ///< Remote copies invalidated.
+
+    bool isMiss() const { return kind != AccessKind::HIT; }
+
+    /** A store counts as a write miss whenever ownership is fetched. */
+    bool isWriteMiss() const
+    {
+        return kind == AccessKind::WRITE_MISS ||
+            kind == AccessKind::WRITE_UPGRADE;
+    }
+};
+
+/** Per-processor reference statistics (feeds the paper's Table 1). */
+struct CacheStats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_misses = 0;
+    uint64_t invalidations_received = 0;
+    uint64_t writebacks = 0;
+    uint64_t contention_cycles = 0; ///< Bank-queueing delay incurred.
+};
+
+/**
+ * The shared-memory multiprocessor cache hierarchy.
+ *
+ * Per-processor direct-mapped write-back caches kept coherent by a
+ * full-bit-vector directory running an invalidation protocol — the
+ * paper's MSI by default, or MESI (an extension) where a read miss
+ * with no other sharers installs the line Exclusive so a subsequent
+ * local store upgrades silently.
+ *
+ * Matching the paper's assumptions (Section 3.2), transactions are
+ * atomic with a fixed latency by default; the optional bank model
+ * (MemoryConfig::banks) adds memory-module queueing delays, using
+ * the access timestamps the caller supplies.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(uint32_t num_procs, const CacheConfig &cache_config,
+                 const MemoryConfig &mem_config);
+
+    /** Processor @p proc loads from @p addr at global time @p now. */
+    AccessResult read(uint32_t proc, Addr addr, uint64_t now = 0);
+
+    /** Processor @p proc stores to @p addr at global time @p now. */
+    AccessResult write(uint32_t proc, Addr addr, uint64_t now = 0);
+
+    uint32_t numProcs() const { return static_cast<uint32_t>(caches_.size()); }
+    const CacheStats &stats(uint32_t proc) const { return stats_.at(proc); }
+    const Cache &cache(uint32_t proc) const { return *caches_.at(proc); }
+    const MemoryConfig &memConfig() const { return mem_config_; }
+
+    /** Aggregate statistics across all processors. */
+    CacheStats totalStats() const;
+
+  private:
+    /** Directory entry: which caches hold the line, and who owns it. */
+    struct DirEntry {
+        uint32_t sharers = 0; ///< Bit per processor.
+        int32_t owner = -1;   ///< Holder of an E/M copy, or -1.
+    };
+
+    DirEntry &dirEntry(Addr line);
+
+    /** Remove @p proc from the sharer set of @p line. */
+    void dropSharer(Addr line, uint32_t proc);
+
+    /** Handle a victim eviction from @p proc's cache. */
+    void handleEviction(uint32_t proc, Addr victim_line, bool dirty);
+
+    /** Invalidate all remote copies of @p line; returns the count. */
+    uint32_t invalidateRemote(Addr line, uint32_t requester);
+
+    /**
+     * Miss latency including any bank-queueing delay at @p now;
+     * records contention cycles against @p proc.
+     */
+    uint32_t missLatency(uint32_t proc, Addr line, uint64_t now);
+
+    MemoryConfig mem_config_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<CacheStats> stats_;
+    std::unordered_map<Addr, DirEntry> directory_;
+    std::vector<uint64_t> bank_free_;
+};
+
+} // namespace dsmem::memsys
+
+#endif // DSMEM_MEMSYS_MEMORY_SYSTEM_H

@@ -1,0 +1,82 @@
+#include "mp/arena.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace dsmem::mp {
+
+Arena::Arena(size_t max_slots) : slots_(max_slots, 0)
+{
+    if (max_slots == 0)
+        throw std::invalid_argument("Arena needs at least one slot");
+}
+
+Addr
+Arena::alloc(size_t slots, Addr align_bytes)
+{
+    if (align_bytes < kSlotBytes || !std::has_single_bit(align_bytes))
+        throw std::invalid_argument("Arena alignment must be a power of "
+                                    "two >= 8");
+    size_t align_slots = align_bytes / kSlotBytes;
+    size_t start = (next_slot_ + align_slots - 1) & ~(align_slots - 1);
+    if (start + slots > slots_.size())
+        throw std::length_error("Arena exhausted");
+    next_slot_ = start + slots;
+    return kBaseAddr + static_cast<Addr>(start) * kSlotBytes;
+}
+
+Addr
+Arena::allocPadded(size_t slots, Addr line_bytes)
+{
+    Addr base = alloc(slots, line_bytes);
+    // Round the bump pointer up so the next allocation cannot share
+    // this allocation's final line.
+    size_t line_slots = line_bytes / kSlotBytes;
+    next_slot_ = (next_slot_ + line_slots - 1) & ~(line_slots - 1);
+    if (next_slot_ > slots_.size())
+        next_slot_ = slots_.size();
+    return base;
+}
+
+size_t
+Arena::slotIndex(Addr addr) const
+{
+    if (addr < kBaseAddr)
+        throw std::out_of_range("arena address below base");
+    size_t idx = (addr - kBaseAddr) / kSlotBytes;
+    if (idx >= next_slot_)
+        throw std::out_of_range("arena address past allocation");
+    return idx;
+}
+
+int64_t
+Arena::loadInt(Addr addr) const
+{
+    return static_cast<int64_t>(raw(addr));
+}
+
+double
+Arena::loadFloat(Addr addr) const
+{
+    double out;
+    uint64_t bits = raw(addr);
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+void
+Arena::storeInt(Addr addr, int64_t value)
+{
+    raw(addr) = static_cast<uint64_t>(value);
+}
+
+void
+Arena::storeFloat(Addr addr, double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    raw(addr) = bits;
+}
+
+} // namespace dsmem::mp

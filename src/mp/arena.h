@@ -1,0 +1,152 @@
+#ifndef DSMEM_MP_ARENA_H
+#define DSMEM_MP_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "trace/instruction.h"
+
+namespace dsmem::mp {
+
+using trace::Addr;
+
+/**
+ * Deterministic shared-memory arena.
+ *
+ * The simulated shared address space is a flat array of 8-byte slots.
+ * Allocation is bump-pointer, so simulated addresses depend only on
+ * allocation order — never on the host allocator or ASLR — which keeps
+ * cache indexing (and therefore every miss count in the paper's
+ * tables) bit-reproducible across runs.
+ *
+ * Each slot stores one 64-bit payload, read and written through the
+ * DSL as either an integer or a double. Addresses are byte-granular
+ * so cache-line geometry (16-byte lines = 2 slots) behaves naturally.
+ */
+class Arena
+{
+  public:
+    /** Size of one slot in bytes. */
+    static constexpr Addr kSlotBytes = 8;
+
+    /** Base of the simulated address space (0 is reserved). */
+    static constexpr Addr kBaseAddr = 0x1000;
+
+    explicit Arena(size_t max_slots);
+
+    /**
+     * Allocate @p slots consecutive 8-byte slots, optionally aligned
+     * to @p align_bytes (power of two, >= 8). Returns the simulated
+     * byte address of the first slot.
+     */
+    Addr alloc(size_t slots, Addr align_bytes = kSlotBytes);
+
+    /**
+     * Allocate with cache-line padding: rounds the allocation up so
+     * the next allocation starts on a fresh @p line_bytes boundary.
+     * Apps use this for per-processor data to avoid false sharing
+     * where the original programs padded.
+     */
+    Addr allocPadded(size_t slots, Addr line_bytes = 16);
+
+    /** Number of slots currently allocated. */
+    size_t usedSlots() const { return next_slot_; }
+
+    size_t maxSlots() const { return slots_.size(); }
+
+    /** Raw payload of the slot holding @p addr. */
+    uint64_t &raw(Addr addr) { return slots_[slotIndex(addr)]; }
+    const uint64_t &raw(Addr addr) const { return slots_[slotIndex(addr)]; }
+
+    /** Typed accessors over a slot's payload. */
+    int64_t loadInt(Addr addr) const;
+    double loadFloat(Addr addr) const;
+    void storeInt(Addr addr, int64_t value);
+    void storeFloat(Addr addr, double value);
+
+    /** True when @p addr lies inside the allocated region. */
+    bool contains(Addr addr) const;
+
+  private:
+    size_t slotIndex(Addr addr) const;
+
+    std::vector<uint64_t> slots_;
+    size_t next_slot_ = 0;
+};
+
+/**
+ * A typed, bounds-checked view of consecutive arena slots.
+ *
+ * Element addresses are what applications hand to the DSL; element
+ * payloads are real data living in the arena.
+ */
+template <typename T>
+class ArenaArray
+{
+    static_assert(std::is_same_v<T, int64_t> || std::is_same_v<T, double>,
+                  "arena arrays hold 8-byte ints or doubles");
+
+  public:
+    ArenaArray() = default;
+
+    ArenaArray(Arena *arena, size_t count, bool padded = false)
+        : arena_(arena), count_(count)
+    {
+        base_ = padded ? arena->allocPadded(count) : arena->alloc(count);
+    }
+
+    /** Simulated address of element @p i. */
+    Addr addr(size_t i) const
+    {
+        checkIndex(i);
+        return base_ + static_cast<Addr>(i) * Arena::kSlotBytes;
+    }
+
+    /** Direct (untimed) read — for setup and result verification. */
+    T get(size_t i) const
+    {
+        checkIndex(i);
+        if constexpr (std::is_same_v<T, double>)
+            return arena_->loadFloat(addr(i));
+        else
+            return arena_->loadInt(addr(i));
+    }
+
+    /** Direct (untimed) write — for setup code only. */
+    void set(size_t i, T value)
+    {
+        checkIndex(i);
+        if constexpr (std::is_same_v<T, double>)
+            arena_->storeFloat(addr(i), value);
+        else
+            arena_->storeInt(addr(i), value);
+    }
+
+    size_t size() const { return count_; }
+    Addr baseAddr() const { return base_; }
+    bool valid() const { return arena_ != nullptr; }
+
+  private:
+    void checkIndex(size_t i) const;
+
+    Arena *arena_ = nullptr;
+    Addr base_ = 0;
+    size_t count_ = 0;
+};
+
+template <typename T>
+void
+ArenaArray<T>::checkIndex(size_t i) const
+{
+    if (arena_ == nullptr || i >= count_)
+        throw std::out_of_range("ArenaArray index " + std::to_string(i) +
+                                " out of range " + std::to_string(count_));
+}
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_ARENA_H

@@ -1,0 +1,32 @@
+#include "mp/dsl.h"
+
+#include <cmath>
+
+namespace dsmem::mp {
+
+int64_t
+Val::safeToInt(double value)
+{
+    if (!std::isfinite(value))
+        return 0;
+    if (value >= 9.2233720368547748e18)
+        return INT64_MAX;
+    if (value <= -9.2233720368547748e18)
+        return INT64_MIN;
+    return static_cast<int64_t>(value);
+}
+
+uint32_t
+siteId(std::string_view name)
+{
+    // FNV-1a, 32-bit: deterministic across runs, platforms, builds.
+    uint32_t hash = 2166136261u;
+    for (char c : name) {
+        hash ^= static_cast<uint8_t>(c);
+        hash *= 16777619u;
+    }
+    // Reserve 0 for "no site".
+    return hash == 0 ? 1 : hash;
+}
+
+} // namespace dsmem::mp

@@ -1,0 +1,62 @@
+#ifndef DSMEM_MP_DSL_H
+#define DSMEM_MP_DSL_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/instruction.h"
+
+namespace dsmem::mp {
+
+/**
+ * A DSL value: the runtime payload of a computation together with the
+ * trace instruction that produced it.
+ *
+ * Applications compute real results exclusively through DSL
+ * operations, so the register-dependence edges recorded in the trace
+ * are by construction the program's true data dependences — the
+ * property Section 4.1.2 of the paper identifies as the fundamental
+ * factor for dynamic scheduling.
+ *
+ * A Val carries both integer and floating interpretations; integer
+ * operations consume/produce `i`, floating operations `f`. Immediates
+ * (no producing instruction) have inst == trace::kNoSrc and create no
+ * dependence edge, modeling constants folded into instructions.
+ */
+struct Val {
+    int64_t i = 0;
+    double f = 0.0;
+    trace::InstIndex inst = trace::kNoSrc;
+
+    /** Boolean view: any nonzero integer payload is true. */
+    bool b() const { return i != 0; }
+
+    /** An immediate integer (no dependence edge). */
+    static Val imm(int64_t value)
+    {
+        return {value, static_cast<double>(value), trace::kNoSrc};
+    }
+
+    /** An immediate double (no dependence edge). */
+    static Val fimm(double value)
+    {
+        return {safeToInt(value), value, trace::kNoSrc};
+    }
+
+    /** Saturating double -> int64 conversion (never UB). */
+    static int64_t safeToInt(double value);
+};
+
+/**
+ * Intern a static branch site name to a stable 32-bit id.
+ *
+ * Applications name each static branch (e.g. "lu.inner_loop") and the
+ * returned id keys the BTB, exactly as a static PC would. Ids are a
+ * deterministic hash of the name, so traces are reproducible across
+ * runs and builds.
+ */
+uint32_t siteId(std::string_view name);
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_DSL_H

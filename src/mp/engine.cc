@@ -1,0 +1,307 @@
+#include "mp/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace dsmem::mp {
+
+using trace::Op;
+using trace::TraceInst;
+
+Engine::Engine(const EngineConfig &config)
+    : config_(config),
+      arena_(config.arena_slots),
+      memory_(config.num_procs, config.cache, config.mem),
+      sync_(config.num_procs, config.mem)
+{
+    if (config.traced_proc >= config.num_procs)
+        throw std::invalid_argument("traced_proc out of range");
+    threads_.resize(config.num_procs);
+    for (uint32_t p = 0; p < config.num_procs; ++p)
+        threads_[p].ctx = std::make_unique<ThreadContext>(this, p);
+    trace_.reserve(config.trace_reserve);
+}
+
+BarrierId
+Engine::createBarrier(uint32_t n)
+{
+    return sync_.createBarrier(n == 0 ? config_.num_procs : n);
+}
+
+ThreadContext &
+Engine::context(uint32_t proc)
+{
+    return *threads_.at(proc).ctx;
+}
+
+void
+Engine::addThread(uint32_t proc, Task task)
+{
+    Thread &thread = threads_.at(proc);
+    if (thread.spawned)
+        throw std::logic_error("thread already attached to processor");
+    if (!task.valid())
+        throw std::invalid_argument("invalid task");
+    thread.task = std::move(task);
+    thread.spawned = true;
+    thread.state = ThreadState::READY;
+    enqueue(proc, 0);
+}
+
+void
+Engine::enqueue(uint32_t proc, uint64_t cycle)
+{
+    queue_.push(QueueEntry{cycle, proc});
+}
+
+void
+Engine::onSuspend(uint32_t proc)
+{
+    Thread &thread = threads_[proc];
+    thread.state = ThreadState::HAS_PENDING;
+    enqueue(proc, thread.ctx->cycle_);
+}
+
+void
+Engine::applyWakes(const std::vector<SyncWake> &wakes, Op op)
+{
+    for (const SyncWake &wake : wakes) {
+        Thread &thread = threads_.at(wake.proc);
+        assert(thread.state == ThreadState::PARKED);
+        ThreadContext &ctx = *thread.ctx;
+
+        TraceInst inst = trace::makeSync(op, ctx.pending_.sync_id);
+        inst.latency = wake.transfer;
+        inst.aux = wake.wait;
+        ctx.recordTimed(inst);
+
+        ThreadStats &stats = ctx.stats_;
+        switch (op) {
+          case Op::LOCK:
+            ++stats.locks;
+            break;
+          case Op::BARRIER:
+            ++stats.barriers;
+            break;
+          case Op::WAIT_EVENT:
+            ++stats.wait_events;
+            break;
+          default:
+            assert(false && "unexpected wake op");
+        }
+        stats.sync_wait_cycles += wake.wait;
+        stats.sync_transfer_cycles += wake.transfer;
+
+        ctx.cycle_ = wake.time;
+        ctx.pending_.kind = ThreadContext::PendingKind::NONE;
+        thread.state = ThreadState::READY;
+        enqueue(wake.proc, ctx.cycle_);
+    }
+}
+
+void
+Engine::processPending(Thread &thread)
+{
+    ThreadContext &ctx = *thread.ctx;
+    ThreadContext::PendingOp &op = ctx.pending_;
+    ThreadStats &stats = ctx.stats_;
+    uint64_t now = ctx.cycle_;
+    uint32_t proc = ctx.proc_;
+
+    auto build_mem_inst = [&](Op mem_op, uint32_t latency) {
+        TraceInst inst;
+        inst.op = mem_op;
+        inst.addr = op.addr;
+        inst.latency = latency;
+        inst.num_srcs = op.num_deps;
+        for (int i = 0; i < op.num_deps; ++i)
+            inst.src[i] = op.deps[i];
+        return inst;
+    };
+
+    auto record_acquire = [&](Op sync_op, const SyncOutcome &out) {
+        TraceInst inst = trace::makeSync(sync_op, op.sync_id);
+        inst.latency = out.transfer;
+        inst.aux = out.wait;
+        ctx.recordTimed(inst);
+        stats.sync_wait_cycles += out.wait;
+        stats.sync_transfer_cycles += out.transfer;
+        ctx.cycle_ += out.wait + out.transfer;
+    };
+
+    auto record_release = [&](Op sync_op, const SyncOutcome &out) {
+        TraceInst inst = trace::makeSync(sync_op, op.sync_id);
+        inst.latency = out.transfer;
+        inst.aux = 0;
+        ctx.recordTimed(inst);
+        // Releases retire through the write buffer under release
+        // consistency: the processor continues after one cycle.
+        ctx.cycle_ += 1;
+    };
+
+    switch (op.kind) {
+      case ThreadContext::PendingKind::LOAD: {
+        memsys::AccessResult res = memory_.read(proc, op.addr, now);
+        Val out_val;
+        if (op.is_float) {
+            out_val.f = arena_.loadFloat(op.addr);
+            out_val.i = Val::safeToInt(out_val.f);
+        } else {
+            out_val.i = arena_.loadInt(op.addr);
+            out_val.f = static_cast<double>(out_val.i);
+        }
+        TraceInst inst = build_mem_inst(Op::LOAD, res.latency);
+        out_val.inst = ctx.recordTimed(inst);
+        ++stats.reads;
+        if (res.isMiss())
+            ++stats.read_misses;
+        // Blocking read: the in-order processor stalls for the value.
+        ctx.cycle_ += res.latency;
+        op.result = out_val;
+        break;
+      }
+
+      case ThreadContext::PendingKind::STORE: {
+        memsys::AccessResult res = memory_.write(proc, op.addr, now);
+        if (op.is_float)
+            arena_.storeFloat(op.addr, op.data.f);
+        else
+            arena_.storeInt(op.addr, op.data.i);
+        TraceInst inst = build_mem_inst(Op::STORE, res.latency);
+        ctx.recordTimed(inst);
+        ++stats.writes;
+        if (res.isWriteMiss())
+            ++stats.write_misses;
+        // Buffered write under RC: one cycle to the processor.
+        ctx.cycle_ += 1;
+        op.result = Val{};
+        break;
+      }
+
+      case ThreadContext::PendingKind::LOCK: {
+        SyncOutcome out = sync_.lockAcquire(op.sync_id, proc, now);
+        if (!out.granted) {
+            thread.state = ThreadState::PARKED;
+            return;
+        }
+        ++stats.locks;
+        record_acquire(Op::LOCK, out);
+        break;
+      }
+
+      case ThreadContext::PendingKind::UNLOCK: {
+        SyncOutcome out = sync_.lockRelease(op.sync_id, proc, now);
+        ++stats.unlocks;
+        record_release(Op::UNLOCK, out);
+        applyWakes(out.wakes, Op::LOCK);
+        break;
+      }
+
+      case ThreadContext::PendingKind::BARRIER: {
+        SyncOutcome out = sync_.barrierArrive(op.sync_id, proc, now);
+        if (!out.granted) {
+            thread.state = ThreadState::PARKED;
+            return;
+        }
+        ++stats.barriers;
+        record_acquire(Op::BARRIER, out);
+        applyWakes(out.wakes, Op::BARRIER);
+        break;
+      }
+
+      case ThreadContext::PendingKind::WAIT_EVENT: {
+        SyncOutcome out = sync_.eventWait(op.sync_id, proc, now);
+        if (!out.granted) {
+            thread.state = ThreadState::PARKED;
+            return;
+        }
+        ++stats.wait_events;
+        record_acquire(Op::WAIT_EVENT, out);
+        break;
+      }
+
+      case ThreadContext::PendingKind::SET_EVENT: {
+        SyncOutcome out = sync_.eventSet(op.sync_id, proc, now);
+        ++stats.set_events;
+        record_release(Op::SET_EVENT, out);
+        applyWakes(out.wakes, Op::WAIT_EVENT);
+        break;
+      }
+
+      case ThreadContext::PendingKind::NONE:
+        throw std::logic_error("processPending with no pending op");
+    }
+
+    op.kind = ThreadContext::PendingKind::NONE;
+    thread.state = ThreadState::READY;
+}
+
+void
+Engine::run()
+{
+    if (ran_)
+        throw std::logic_error("Engine::run may only be called once");
+    ran_ = true;
+
+    size_t spawned = 0;
+    for (const Thread &t : threads_)
+        if (t.spawned)
+            ++spawned;
+    if (spawned == 0)
+        throw std::logic_error("Engine::run with no threads attached");
+
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        Thread &thread = threads_[entry.proc];
+        if (thread.state == ThreadState::DONE ||
+            thread.state == ThreadState::PARKED) {
+            continue; // Stale entry (defensive; should not occur).
+        }
+
+        if (thread.state == ThreadState::HAS_PENDING) {
+            processPending(thread);
+            if (thread.state == ThreadState::PARKED)
+                continue;
+        }
+
+        // Resume the innermost suspended coroutine (a SubTask helper
+        // or the top-level body itself).
+        if (thread.ctx->resume_handle_) {
+            std::coroutine_handle<> h = thread.ctx->resume_handle_;
+            thread.ctx->resume_handle_ = nullptr;
+            h.resume();
+        } else {
+            thread.task.resume();
+        }
+        if (thread.task.done()) {
+            thread.task.rethrowIfFailed();
+            thread.state = ThreadState::DONE;
+            ++done_count_;
+        }
+        // Otherwise the coroutine suspended on its next operation and
+        // onSuspend() already re-enqueued it.
+    }
+
+    if (done_count_ != spawned) {
+        throw std::runtime_error(
+            "deadlock: " + std::to_string(spawned - done_count_) +
+            " thread(s) blocked (" + std::to_string(sync_.parkedCount()) +
+            " parked on synchronization)");
+    }
+}
+
+uint64_t
+Engine::completionCycle(uint32_t proc) const
+{
+    return threads_.at(proc).ctx->cycle();
+}
+
+const ThreadStats &
+Engine::threadStats(uint32_t proc) const
+{
+    return threads_.at(proc).ctx->threadStats();
+}
+
+} // namespace dsmem::mp

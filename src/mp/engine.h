@@ -1,0 +1,141 @@
+#ifndef DSMEM_MP_ENGINE_H
+#define DSMEM_MP_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "memsys/memory_system.h"
+#include "mp/arena.h"
+#include "mp/sync.h"
+#include "mp/task.h"
+#include "mp/thread_context.h"
+#include "trace/trace.h"
+
+namespace dsmem::mp {
+
+/** Configuration of the simulated multiprocessor (Section 3.2). */
+struct EngineConfig {
+    uint32_t num_procs = 16;
+    memsys::CacheConfig cache;
+    memsys::MemoryConfig mem;
+    uint32_t traced_proc = 0;       ///< Whose trace is captured.
+    size_t arena_slots = 8u << 20;  ///< 64 MB of simulated memory.
+    size_t trace_reserve = 1u << 20;
+};
+
+/**
+ * The multiprocessor execution engine (our Tango Lite).
+ *
+ * Runs one coroutine thread per simulated processor over the shared
+ * cache-coherent memory system. Threads are interleaved in global
+ * simulated-time order via a priority queue keyed by each thread's
+ * local cycle count, so coherence events (who invalidates whom, who
+ * wins a lock) follow a single causally consistent interleaving and
+ * are fully deterministic.
+ *
+ * Each processor models the paper's trace-generation machine: simple
+ * in-order issue, blocking reads, writes retired through a write
+ * buffer under release consistency (store latency hidden; the real
+ * miss latency is recorded as the trace annotation).
+ *
+ * The designated processor's annotated instruction trace is captured
+ * for the processor timing models in src/core.
+ */
+class Engine
+{
+    friend class ThreadContext;
+
+  public:
+    explicit Engine(const EngineConfig &config);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    Arena &arena() { return arena_; }
+    SyncManager &sync() { return sync_; }
+    const memsys::MemorySystem &memory() const { return memory_; }
+    const EngineConfig &config() const { return config_; }
+
+    /** Convenience pass-throughs for application setup. */
+    LockId createLock() { return sync_.createLock(); }
+    BarrierId createBarrier(uint32_t n = 0);
+    EventId createEvent() { return sync_.createEvent(); }
+
+    /** Execution context of processor @p proc. */
+    ThreadContext &context(uint32_t proc);
+
+    /**
+     * Attach the coroutine body of processor @p proc. The body must
+     * have been created against this engine's context(proc).
+     */
+    void addThread(uint32_t proc, Task task);
+
+    /** Run all threads to completion. Throws on deadlock. */
+    void run();
+
+    bool finished() const { return done_count_ == threads_.size(); }
+
+    /** Final local clock of processor @p proc. */
+    uint64_t completionCycle(uint32_t proc) const;
+
+    /** Captured trace of the traced processor (moves it out). */
+    trace::Trace takeTrace() { return std::move(trace_); }
+    const trace::Trace &trace() const { return trace_; }
+
+    const ThreadStats &threadStats(uint32_t proc) const;
+
+  private:
+    enum class ThreadState : uint8_t {
+        READY,       ///< Resumable; queue entry outstanding.
+        HAS_PENDING, ///< Suspended on an op; queue entry outstanding.
+        PARKED,      ///< Blocked on synchronization; no queue entry.
+        DONE,
+    };
+
+    struct Thread {
+        Task task;
+        std::unique_ptr<ThreadContext> ctx;
+        ThreadState state = ThreadState::READY;
+        bool spawned = false;
+    };
+
+    struct QueueEntry {
+        uint64_t cycle;
+        uint32_t proc;
+
+        bool operator>(const QueueEntry &other) const
+        {
+            if (cycle != other.cycle)
+                return cycle > other.cycle;
+            return proc > other.proc;
+        }
+    };
+
+    /** Called by ThreadContext::Awaiter when a thread suspends. */
+    void onSuspend(uint32_t proc);
+
+    /** Process the suspended operation of @p proc at its local time. */
+    void processPending(Thread &thread);
+
+    /** Apply sync wakes: record acquire, set clocks, requeue. */
+    void applyWakes(const std::vector<SyncWake> &wakes, trace::Op op);
+
+    void enqueue(uint32_t proc, uint64_t cycle);
+
+    EngineConfig config_;
+    Arena arena_;
+    memsys::MemorySystem memory_;
+    SyncManager sync_;
+    trace::Trace trace_;
+    std::vector<Thread> threads_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> queue_;
+    size_t done_count_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_ENGINE_H

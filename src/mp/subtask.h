@@ -1,0 +1,162 @@
+#ifndef DSMEM_MP_SUBTASK_H
+#define DSMEM_MP_SUBTASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "mp/dsl.h"
+
+namespace dsmem::mp {
+
+/**
+ * An awaitable sub-coroutine for factoring thread bodies.
+ *
+ * A thread body (mp::Task) can `co_await` a SubTask to call a helper
+ * that itself performs DSL memory/synchronization operations. Control
+ * transfers symmetrically: awaiting starts the child; when the child
+ * finishes, its final suspend resumes the parent. If the child
+ * suspends on a DSL operation, the Engine later resumes the child
+ * directly (ThreadContext tracks the innermost live handle).
+ *
+ * @tparam T `void` or the returned value type (e.g. Val).
+ */
+template <typename T>
+class SubTask;
+
+namespace detail {
+
+template <typename T>
+struct SubTaskPromiseBase {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            return h.promise().continuation;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() noexcept
+    {
+        exception = std::current_exception();
+    }
+};
+
+} // namespace detail
+
+template <typename T>
+class SubTask
+{
+  public:
+    struct promise_type : detail::SubTaskPromiseBase<T> {
+        T value{};
+
+        SubTask get_return_object()
+        {
+            return SubTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    SubTask(SubTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    SubTask &operator=(SubTask &&) = delete;
+
+    ~SubTask()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    T await_resume()
+    {
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        return std::move(handle_.promise().value);
+    }
+
+  private:
+    std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class SubTask<void>
+{
+  public:
+    struct promise_type : detail::SubTaskPromiseBase<void> {
+        SubTask get_return_object()
+        {
+            return SubTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() noexcept {}
+    };
+
+    explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    SubTask(SubTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    SubTask &operator=(SubTask &&) = delete;
+
+    ~SubTask()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    void await_resume()
+    {
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_SUBTASK_H

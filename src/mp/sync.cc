@@ -1,0 +1,188 @@
+#include "mp/sync.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dsmem::mp {
+
+SyncManager::SyncManager(uint32_t num_procs,
+                         const memsys::MemoryConfig &mem_config)
+    : num_procs_(num_procs), mem_config_(mem_config)
+{
+    if (num_procs == 0)
+        throw std::invalid_argument("SyncManager needs >= 1 processor");
+}
+
+LockId
+SyncManager::createLock()
+{
+    locks_.emplace_back();
+    return static_cast<LockId>(locks_.size() - 1);
+}
+
+BarrierId
+SyncManager::createBarrier(uint32_t participants)
+{
+    if (participants == 0 || participants > num_procs_)
+        throw std::invalid_argument("barrier participants out of range");
+    BarrierState state;
+    state.participants = participants;
+    barriers_.push_back(std::move(state));
+    return static_cast<BarrierId>(barriers_.size() - 1);
+}
+
+EventId
+SyncManager::createEvent()
+{
+    events_.emplace_back();
+    return static_cast<EventId>(events_.size() - 1);
+}
+
+SyncOutcome
+SyncManager::lockAcquire(LockId lock, uint32_t proc, uint64_t now)
+{
+    LockState &state = locks_.at(lock);
+    ++state.stats.acquires;
+    if (!state.held) {
+        state.held = true;
+        state.holder = proc;
+        SyncOutcome out;
+        out.granted = true;
+        out.wait = 0;
+        out.transfer = (state.last_owner == static_cast<int32_t>(proc))
+            ? hitLatency() : missLatency();
+        state.last_owner = static_cast<int32_t>(proc);
+        return out;
+    }
+    // Busy: park. The eventual holder's spinning invalidates the
+    // owner's copy of the lock line.
+    assert(state.holder != proc && "recursive lock acquire");
+    state.spun = true;
+    state.waiters.push_back({proc, now});
+    ++state.stats.contended_acquires;
+    ++parked_count_;
+    SyncOutcome out;
+    out.granted = false;
+    return out;
+}
+
+SyncOutcome
+SyncManager::lockRelease(LockId lock, uint32_t proc, uint64_t now)
+{
+    LockState &state = locks_.at(lock);
+    if (!state.held || state.holder != proc)
+        throw std::logic_error("unlock of a lock not held by this proc");
+
+    SyncOutcome out;
+    out.granted = true;
+    out.wait = 0;
+    // Spinning waiters pulled the line into their caches, so the
+    // releasing store must re-acquire ownership; otherwise the release
+    // hits in the holder's own cache.
+    out.transfer = state.spun ? missLatency() : hitLatency();
+
+    if (!state.waiters.empty()) {
+        Waiter next = state.waiters.front();
+        state.waiters.pop_front();
+        --parked_count_;
+        assert(now >= next.arrival &&
+               "sync operations must be processed in global time order");
+        uint32_t wait = static_cast<uint32_t>(now - next.arrival);
+        state.holder = next.proc;
+        state.last_owner = static_cast<int32_t>(next.proc);
+        state.spun = !state.waiters.empty();
+        state.stats.total_wait += wait;
+        out.wakes.push_back(
+            {next.proc, now + missLatency(), wait, missLatency()});
+    } else {
+        state.held = false;
+        state.spun = false;
+    }
+    return out;
+}
+
+SyncOutcome
+SyncManager::barrierArrive(BarrierId barrier, uint32_t proc, uint64_t now)
+{
+    BarrierState &state = barriers_.at(barrier);
+    state.arrived.push_back({proc, now});
+
+    if (state.arrived.size() < state.participants) {
+        ++parked_count_;
+        SyncOutcome out;
+        out.granted = false;
+        return out;
+    }
+
+    // Last arrival releases everyone; the release flag must be
+    // transferred to every waiter's cache.
+    SyncOutcome out;
+    out.granted = true;
+    out.wait = 0;
+    out.transfer = missLatency();
+    for (const Waiter &w : state.arrived) {
+        if (w.proc == proc)
+            continue;
+        --parked_count_;
+        assert(now >= w.arrival);
+        uint32_t wait = static_cast<uint32_t>(now - w.arrival);
+        out.wakes.push_back(
+            {w.proc, now + missLatency(), wait, missLatency()});
+    }
+    state.arrived.clear();
+    ++state.generation;
+    return out;
+}
+
+SyncOutcome
+SyncManager::eventWait(EventId event, uint32_t proc, uint64_t now)
+{
+    EventState &state = events_.at(event);
+    if (state.set) {
+        SyncOutcome out;
+        out.granted = true;
+        out.wait = 0;
+        out.transfer = (state.setter == static_cast<int32_t>(proc))
+            ? hitLatency() : missLatency();
+        return out;
+    }
+    state.waiters.push_back({proc, now});
+    ++parked_count_;
+    SyncOutcome out;
+    out.granted = false;
+    return out;
+}
+
+SyncOutcome
+SyncManager::eventSet(EventId event, uint32_t proc, uint64_t now)
+{
+    EventState &state = events_.at(event);
+    SyncOutcome out;
+    out.granted = true;
+    out.wait = 0;
+    // Waiters spinning on the flag shared the line; the set must
+    // re-own it. An unobserved set stays in the setter's cache.
+    out.transfer = state.waiters.empty() ? hitLatency() : missLatency();
+    state.set = true;
+    state.setter = static_cast<int32_t>(proc);
+    for (const Waiter &w : state.waiters) {
+        --parked_count_;
+        assert(now >= w.arrival);
+        uint32_t wait = static_cast<uint32_t>(now - w.arrival);
+        out.wakes.push_back(
+            {w.proc, now + missLatency(), wait, missLatency()});
+    }
+    state.waiters.clear();
+    return out;
+}
+
+void
+SyncManager::eventClear(EventId event)
+{
+    EventState &state = events_.at(event);
+    if (!state.waiters.empty())
+        throw std::logic_error("clearing an event with parked waiters");
+    state.set = false;
+}
+
+} // namespace dsmem::mp

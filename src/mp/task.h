@@ -1,0 +1,98 @@
+#ifndef DSMEM_MP_TASK_H
+#define DSMEM_MP_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace dsmem::mp {
+
+/**
+ * Coroutine handle type for a simulated thread body.
+ *
+ * A thread body is a C++20 coroutine that co_awaits the DSL's memory
+ * and synchronization operations. It starts suspended; the Engine owns
+ * the handle and resumes it whenever the thread's next operation is
+ * due in global simulated time.
+ */
+class Task
+{
+  public:
+    struct promise_type {
+        std::exception_ptr exception;
+
+        Task get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        /**
+         * Suspend at the end so the Engine can observe completion via
+         * handle.done() and destroy the frame at a time of its
+         * choosing.
+         */
+        std::suspend_always final_suspend() noexcept { return {}; }
+
+        void return_void() noexcept {}
+
+        void unhandled_exception() noexcept
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> handle)
+        : handle_(handle)
+    {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return handle_ && handle_.done(); }
+
+    /** Resume until the next suspension point (or completion). */
+    void resume() { handle_.resume(); }
+
+    /** Rethrow an exception that escaped the coroutine body, if any. */
+    void rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    void destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_TASK_H

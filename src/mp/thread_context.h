@@ -1,0 +1,235 @@
+#ifndef DSMEM_MP_THREAD_CONTEXT_H
+#define DSMEM_MP_THREAD_CONTEXT_H
+
+#include <coroutine>
+#include <cstdint>
+
+#include "mp/arena.h"
+#include "mp/dsl.h"
+#include "mp/sync.h"
+#include "trace/trace.h"
+
+namespace dsmem::mp {
+
+class Engine;
+
+/** Per-thread reference counters (Tables 1 and 2 are built from these). */
+struct ThreadStats {
+    uint64_t instructions = 0; ///< Non-sync trace entries (busy cycles).
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_misses = 0;
+    uint64_t branches = 0;
+    uint64_t locks = 0;
+    uint64_t unlocks = 0;
+    uint64_t barriers = 0;
+    uint64_t wait_events = 0;
+    uint64_t set_events = 0;
+    uint64_t sync_wait_cycles = 0;     ///< Contention/imbalance stalls.
+    uint64_t sync_transfer_cycles = 0; ///< Sync-variable access latency.
+};
+
+/**
+ * The execution context of one simulated thread: the dataflow DSL the
+ * applications are written in.
+ *
+ * Arithmetic, logic, and branch operations execute immediately — they
+ * compute the real result, append a trace instruction (on the traced
+ * processor), and advance the thread's local clock by one cycle
+ * (every functional unit is single-cycle, Section 3.1). Memory and
+ * synchronization operations return awaitables; co_awaiting them
+ * yields to the Engine, which performs the access at the correct
+ * point in global simulated time (in-order issue, blocking reads,
+ * buffered writes under release consistency — Section 3.2).
+ */
+class ThreadContext
+{
+    friend class Engine;
+
+  public:
+    ThreadContext(Engine *engine, uint32_t proc);
+
+    ThreadContext(const ThreadContext &) = delete;
+    ThreadContext &operator=(const ThreadContext &) = delete;
+
+    uint32_t procId() const { return proc_; }
+    uint32_t numProcs() const;
+    uint64_t cycle() const { return cycle_; }
+    const ThreadStats &threadStats() const { return stats_; }
+    Arena &arena();
+
+    // ------------------------------------------------------------------
+    // Immediates (no instruction, no dependence edge).
+    // ------------------------------------------------------------------
+    Val imm(int64_t v) const { return Val::imm(v); }
+    Val fimm(double v) const { return Val::fimm(v); }
+
+    // ------------------------------------------------------------------
+    // Integer ALU (one IALU/SHIFT instruction each).
+    // ------------------------------------------------------------------
+    Val add(Val a, Val b);
+    Val sub(Val a, Val b);
+    Val mul(Val a, Val b);
+    Val divi(Val a, Val b); ///< Integer divide; divide-by-zero yields 0.
+    Val rem(Val a, Val b);  ///< Integer remainder; mod-by-zero yields 0.
+    Val band(Val a, Val b);
+    Val bor(Val a, Val b);
+    Val bxor(Val a, Val b);
+    Val shl(Val a, Val b);
+    Val shr(Val a, Val b);
+    Val lt(Val a, Val b);
+    Val le(Val a, Val b);
+    Val gt(Val a, Val b);
+    Val ge(Val a, Val b);
+    Val eq(Val a, Val b);
+    Val ne(Val a, Val b);
+    Val imin(Val a, Val b);
+    Val imax(Val a, Val b);
+    Val lnot(Val a);        ///< Logical not (1 if zero).
+    Val land(Val a, Val b); ///< Logical and (0/1 result).
+    Val lor(Val a, Val b);  ///< Logical or (0/1 result).
+
+    // ------------------------------------------------------------------
+    // Floating point (FADD/FMUL/FDIV/FCVT units).
+    // ------------------------------------------------------------------
+    Val fadd(Val a, Val b);
+    Val fsub(Val a, Val b);
+    Val fmul(Val a, Val b);
+    Val fdivv(Val a, Val b); ///< Divide-by-zero yields 0.
+    Val fneg(Val a);
+    Val fabsv(Val a);
+    Val fsqrt(Val a); ///< Uses the divide unit; sqrt of negative is 0.
+    Val fminv(Val a, Val b);
+    Val fmaxv(Val a, Val b);
+    Val flt(Val a, Val b); ///< FP compare; integer 0/1 result.
+    Val fle(Val a, Val b);
+    Val fgt(Val a, Val b);
+    Val fge(Val a, Val b);
+    Val toFloat(Val a); ///< int -> double (FCVT).
+    Val toInt(Val a);   ///< double -> int, saturating (FCVT).
+
+    // ------------------------------------------------------------------
+    // Control flow.
+    // ------------------------------------------------------------------
+
+    /**
+     * Record a conditional branch at static @p site and return its
+     * outcome so the application can actually branch on it:
+     *
+     *     while (ctx.branch(kLoopSite, ctx.lt(i, n))) { ... }
+     */
+    bool branch(uint32_t site, Val cond);
+
+    // ------------------------------------------------------------------
+    // Memory (awaitable; the Engine times them).
+    // ------------------------------------------------------------------
+
+    /** Awaitable returned by memory and synchronization operations. */
+    struct Awaiter {
+        ThreadContext *ctx;
+
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> handle) noexcept;
+        Val await_resume() const noexcept;
+    };
+
+    /** Load the integer slot at @p addr (up to two address deps). */
+    Awaiter loadInt(Addr addr, Val dep1 = Val{}, Val dep2 = Val{});
+
+    /** Load the double slot at @p addr. */
+    Awaiter loadFloat(Addr addr, Val dep1 = Val{}, Val dep2 = Val{});
+
+    /** Store @p value's integer payload to @p addr. */
+    Awaiter storeInt(Addr addr, Val value, Val dep1 = Val{},
+                     Val dep2 = Val{});
+
+    /** Store @p value's double payload to @p addr. */
+    Awaiter storeFloat(Addr addr, Val value, Val dep1 = Val{},
+                       Val dep2 = Val{});
+
+    /**
+     * Indexed-array sugar guaranteeing the address dependence matches
+     * the address actually accessed: element @p idx.i of @p arr.
+     */
+    template <typename T>
+    Awaiter loadIdx(const ArenaArray<T> &arr, Val idx)
+    {
+        Addr addr = arr.addr(static_cast<size_t>(idx.i));
+        if constexpr (std::is_same_v<T, double>)
+            return loadFloat(addr, idx);
+        else
+            return loadInt(addr, idx);
+    }
+
+    template <typename T>
+    Awaiter storeIdx(const ArenaArray<T> &arr, Val idx, Val value)
+    {
+        Addr addr = arr.addr(static_cast<size_t>(idx.i));
+        if constexpr (std::is_same_v<T, double>)
+            return storeFloat(addr, value, idx);
+        else
+            return storeInt(addr, value, idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization (awaitable; ANL macro package primitives).
+    // ------------------------------------------------------------------
+    Awaiter lock(LockId lock);
+    Awaiter unlock(LockId lock);
+    Awaiter barrier(BarrierId barrier);
+    Awaiter waitEvent(EventId event);
+    Awaiter setEvent(EventId event);
+
+  private:
+    enum class PendingKind : uint8_t {
+        NONE,
+        LOAD,
+        STORE,
+        LOCK,
+        UNLOCK,
+        BARRIER,
+        WAIT_EVENT,
+        SET_EVENT,
+    };
+
+    struct PendingOp {
+        PendingKind kind = PendingKind::NONE;
+        bool is_float = false;
+        Addr addr = 0;
+        uint32_t sync_id = 0;
+        Val data;                     ///< Store payload.
+        trace::InstIndex deps[trace::kMaxSrcs] = {
+            trace::kNoSrc, trace::kNoSrc, trace::kNoSrc};
+        uint8_t num_deps = 0;
+        Val result;                   ///< Load result for await_resume.
+    };
+
+    /** Append a compute/branch instruction and advance the clock. */
+    trace::InstIndex recordSimple(const trace::TraceInst &inst);
+
+    /** Append a memory/sync instruction (clock handled by Engine). */
+    trace::InstIndex recordTimed(const trace::TraceInst &inst);
+
+    void pushDep(PendingOp &op, Val v);
+
+    Val intBinary(trace::Op unit, Val a, Val b, int64_t result);
+    Val floatBinary(trace::Op unit, Val a, Val b, double result);
+
+    Engine *engine_;
+    uint32_t proc_;
+    uint64_t cycle_ = 0;
+    trace::InstIndex next_inst_ = 0;
+    PendingOp pending_;
+    ThreadStats stats_;
+
+    /**
+     * Innermost coroutine handle currently suspended on a DSL
+     * operation; lets the Engine resume directly inside a SubTask.
+     */
+    std::coroutine_handle<> resume_handle_;
+};
+
+} // namespace dsmem::mp
+
+#endif // DSMEM_MP_THREAD_CONTEXT_H

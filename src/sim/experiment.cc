@@ -1,0 +1,217 @@
+#include "sim/experiment.h"
+
+#include <sstream>
+
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "core/static_processor.h"
+#include "stats/barchart.h"
+#include "stats/table.h"
+
+namespace dsmem::sim {
+
+using core::ConsistencyModel;
+using core::RunResult;
+
+std::string
+ModelSpec::label() const
+{
+    std::string name;
+    switch (kind) {
+      case Kind::BASE:
+        return "BASE";
+      case Kind::SSBR:
+        name = std::string(core::consistencyName(model)) + " SSBR";
+        return name;
+      case Kind::SS:
+        name = std::string(core::consistencyName(model)) + " SS";
+        return name;
+      case Kind::DS:
+        break;
+    }
+    name = std::string(core::consistencyName(model)) + " DS-" +
+        std::to_string(window);
+    if (width > 1)
+        name += "x" + std::to_string(width);
+    if (perfect_bp && ignore_deps)
+        name += " pbp+nodep";
+    else if (perfect_bp)
+        name += " pbp";
+    else if (ignore_deps)
+        name += " nodep";
+    return name;
+}
+
+ModelSpec
+ModelSpec::base()
+{
+    ModelSpec spec;
+    spec.kind = Kind::BASE;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::ssbr(ConsistencyModel model)
+{
+    ModelSpec spec;
+    spec.kind = Kind::SSBR;
+    spec.model = model;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::ss(ConsistencyModel model)
+{
+    ModelSpec spec;
+    spec.kind = Kind::SS;
+    spec.model = model;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::ds(ConsistencyModel model, uint32_t window, bool perfect_bp,
+              bool ignore_deps, uint32_t width)
+{
+    ModelSpec spec;
+    spec.kind = Kind::DS;
+    spec.model = model;
+    spec.window = window;
+    spec.perfect_bp = perfect_bp;
+    spec.ignore_deps = ignore_deps;
+    spec.width = width;
+    return spec;
+}
+
+RunResult
+runModel(const trace::Trace &trace, const ModelSpec &spec)
+{
+    switch (spec.kind) {
+      case ModelSpec::Kind::BASE:
+        return core::BaseProcessor().run(trace);
+      case ModelSpec::Kind::SSBR: {
+        core::StaticConfig config;
+        config.model = spec.model;
+        config.nonblocking_reads = false;
+        return core::StaticProcessor(config).run(trace);
+      }
+      case ModelSpec::Kind::SS: {
+        core::StaticConfig config;
+        config.model = spec.model;
+        config.nonblocking_reads = true;
+        return core::StaticProcessor(config).run(trace);
+      }
+      case ModelSpec::Kind::DS:
+        break;
+    }
+    core::DynamicConfig config;
+    config.model = spec.model;
+    config.window = spec.window;
+    config.width = spec.width;
+    config.btb.perfect = spec.perfect_bp;
+    config.ignore_data_deps = spec.ignore_deps;
+    return core::DynamicProcessor(config).run(trace);
+}
+
+std::vector<ModelSpec>
+figure3Columns()
+{
+    std::vector<ModelSpec> specs;
+    specs.push_back(ModelSpec::base());
+    for (ConsistencyModel model :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::RC}) {
+        specs.push_back(ModelSpec::ssbr(model));
+        specs.push_back(ModelSpec::ss(model));
+        if (model == ConsistencyModel::RC) {
+            for (uint32_t window : kWindowSizes)
+                specs.push_back(ModelSpec::ds(model, window));
+        } else {
+            specs.push_back(ModelSpec::ds(model, 256));
+        }
+    }
+    return specs;
+}
+
+std::vector<ModelSpec>
+figure4Columns()
+{
+    std::vector<ModelSpec> specs;
+    specs.push_back(ModelSpec::base());
+    for (uint32_t window : kWindowSizes)
+        specs.push_back(
+            ModelSpec::ds(ConsistencyModel::RC, window, true, false));
+    for (uint32_t window : kWindowSizes)
+        specs.push_back(
+            ModelSpec::ds(ConsistencyModel::RC, window, true, true));
+    return specs;
+}
+
+std::vector<LabelledResult>
+runModels(const trace::Trace &trace, const std::vector<ModelSpec> &specs)
+{
+    std::vector<LabelledResult> rows;
+    rows.reserve(specs.size());
+    for (const ModelSpec &spec : specs)
+        rows.push_back({spec.label(), runModel(trace, spec)});
+    return rows;
+}
+
+std::string
+formatBreakdownTable(const std::string &app_name,
+                     const std::vector<LabelledResult> &rows,
+                     uint64_t base_cycles)
+{
+    stats::Table table({"model", "total", "busy", "sync", "read",
+                        "write"});
+    auto norm = [&](uint64_t cycles) {
+        return stats::Table::fixed(
+            100.0 * static_cast<double>(cycles) /
+                static_cast<double>(base_cycles == 0 ? 1 : base_cycles),
+            1);
+    };
+    for (const LabelledResult &row : rows) {
+        const core::Breakdown &bd = row.result.breakdown;
+        table.addRow({row.label, norm(row.result.cycles),
+                      norm(bd.busyMerged()), norm(bd.sync),
+                      norm(bd.read), norm(bd.write)});
+    }
+    std::ostringstream os;
+    os << app_name << " — execution time breakdown (BASE = 100)\n"
+       << table.toString();
+    return os.str();
+}
+
+std::string
+formatBreakdownChart(const std::string &app_name,
+                     const std::vector<LabelledResult> &rows,
+                     uint64_t base_cycles)
+{
+    stats::BarChart chart({"busy", "sync", "read", "write"}, 100.0);
+    double denom =
+        static_cast<double>(base_cycles == 0 ? 1 : base_cycles);
+    for (const LabelledResult &row : rows) {
+        const core::Breakdown &bd = row.result.breakdown;
+        chart.addBar(row.label,
+                     {100.0 * static_cast<double>(bd.busyMerged()) /
+                          denom,
+                      100.0 * static_cast<double>(bd.sync) / denom,
+                      100.0 * static_cast<double>(bd.read) / denom,
+                      100.0 * static_cast<double>(bd.write) / denom});
+    }
+    std::ostringstream os;
+    os << app_name << " — execution time (BASE = 100)\n"
+       << chart.toString();
+    return os.str();
+}
+
+double
+hiddenReadFraction(const RunResult &base, const RunResult &r)
+{
+    if (base.breakdown.read == 0)
+        return 0.0;
+    double remaining = static_cast<double>(r.breakdown.read) /
+        static_cast<double>(base.breakdown.read);
+    return 1.0 - remaining;
+}
+
+} // namespace dsmem::sim

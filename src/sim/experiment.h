@@ -1,0 +1,93 @@
+#ifndef DSMEM_SIM_EXPERIMENT_H
+#define DSMEM_SIM_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "trace/trace.h"
+
+namespace dsmem::sim {
+
+/** One column of Figure 3 / Figure 4: a processor configuration. */
+struct ModelSpec {
+    enum class Kind {
+        BASE, ///< Fully serial in-order machine.
+        SSBR, ///< Static scheduling, blocking reads.
+        SS,   ///< Static scheduling, non-blocking reads.
+        DS,   ///< Dynamically scheduled (Johnson) machine.
+    };
+
+    Kind kind = Kind::BASE;
+    core::ConsistencyModel model = core::ConsistencyModel::RC;
+    uint32_t window = 64;       ///< DS only.
+    uint32_t width = 1;         ///< DS only.
+    bool perfect_bp = false;    ///< DS only (Figure 4).
+    bool ignore_deps = false;   ///< DS only (Figure 4).
+
+    /** e.g. "BASE", "PC SSBR", "RC DS-64", "RC DS-64 pbp+nodep". */
+    std::string label() const;
+
+    static ModelSpec base();
+    static ModelSpec ssbr(core::ConsistencyModel model);
+    static ModelSpec ss(core::ConsistencyModel model);
+    static ModelSpec ds(core::ConsistencyModel model, uint32_t window,
+                        bool perfect_bp = false,
+                        bool ignore_deps = false, uint32_t width = 1);
+};
+
+/** Time @p trace on the processor configuration @p spec. */
+core::RunResult runModel(const trace::Trace &trace,
+                         const ModelSpec &spec);
+
+/** The window sizes swept by the paper. */
+inline constexpr uint32_t kWindowSizes[] = {16, 32, 64, 128, 256};
+
+/**
+ * The column list of Figure 3: BASE; SC/PC/RC x SSBR/SS; DS-256 for
+ * SC and PC; DS-{16..256} for RC.
+ */
+std::vector<ModelSpec> figure3Columns();
+
+/** The column list of Figure 4 (all RC): perfect branch prediction
+ *  sweep, then perfect prediction + ignored data dependences. */
+std::vector<ModelSpec> figure4Columns();
+
+/** A labelled result row for table rendering. */
+struct LabelledResult {
+    std::string label;
+    core::RunResult result;
+};
+
+/** Run every spec against one trace. */
+std::vector<LabelledResult> runModels(const trace::Trace &trace,
+                                      const std::vector<ModelSpec> &specs);
+
+/**
+ * Render Figure-3-style rows: each column's busy / sync / read /
+ * write sections normalized to BASE = 100. Pipeline cycles of the DS
+ * machine are folded into busy (see EXPERIMENTS.md).
+ */
+std::string formatBreakdownTable(const std::string &app_name,
+                                 const std::vector<LabelledResult> &rows,
+                                 uint64_t base_cycles);
+
+/**
+ * Render Figure-3-style stacked bars (ASCII): one bar per
+ * configuration with busy/sync/read/write sections, normalized to
+ * BASE = 100.
+ */
+std::string formatBreakdownChart(const std::string &app_name,
+                                 const std::vector<LabelledResult> &rows,
+                                 uint64_t base_cycles);
+
+/**
+ * Fraction of BASE's read-stall time hidden by @p r
+ * (the paper's "percentage of read latency hidden").
+ */
+double hiddenReadFraction(const core::RunResult &base,
+                          const core::RunResult &r);
+
+} // namespace dsmem::sim
+
+#endif // DSMEM_SIM_EXPERIMENT_H

@@ -1,0 +1,80 @@
+#include "sim/synthetic.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "apps/rng.h"
+
+namespace dsmem::sim {
+
+using trace::InstIndex;
+using trace::kNoSrc;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+Trace
+generateSynthetic(const SyntheticConfig &config)
+{
+    if (config.miss_spacing < 2)
+        throw std::invalid_argument("miss_spacing must be >= 2");
+    if (config.branch_fraction < 0.0 || config.branch_fraction > 0.5)
+        throw std::invalid_argument("branch_fraction must be in "
+                                    "[0, 0.5]");
+    if (config.branch_sites == 0)
+        throw std::invalid_argument("need >= 1 branch site");
+
+    apps::Rng rng(config.seed);
+    Trace t("synthetic");
+    t.reserve(config.instructions);
+
+    InstIndex last_miss = kNoSrc; ///< Previous miss (for chaining).
+    InstIndex pending_use = kNoSrc;
+    size_t use_at = 0;
+    size_t since_miss = 0;
+    trace::Addr next_addr = 0x1000;
+
+    for (size_t i = 0; i < config.instructions; ++i) {
+        // Scheduled consumer of the last load.
+        if (pending_use != kNoSrc && i >= use_at) {
+            t.append(trace::makeCompute(Op::FADD, pending_use));
+            pending_use = kNoSrc;
+            ++since_miss;
+            continue;
+        }
+
+        if (since_miss >= config.miss_spacing) {
+            since_miss = 0;
+            TraceInst load = config.dependent_misses &&
+                    last_miss != kNoSrc
+                ? trace::makeLoad(next_addr, last_miss)
+                : trace::makeLoad(next_addr);
+            load.latency = config.miss_latency;
+            InstIndex idx = t.append(load);
+            last_miss = idx;
+            pending_use = idx;
+            use_at = i + config.use_distance;
+            next_addr += 64; // Distinct lines: every load misses.
+            continue;
+        }
+
+        double roll = rng.uniform();
+        if (roll < config.branch_fraction) {
+            uint32_t site = 1 +
+                static_cast<uint32_t>(rng.below(config.branch_sites));
+            bool taken = rng.uniform() < config.branch_taken_bias;
+            // Branches test loaded values (the load-compare-branch
+            // idiom), so a mispredicted branch resolves only when
+            // the load completes — the effect that starves PTHOR's
+            // lookahead in the paper.
+            t.append(trace::makeBranch(site, taken, last_miss));
+        } else {
+            t.append(trace::makeCompute(Op::IALU));
+        }
+        ++since_miss;
+    }
+
+    return t;
+}
+
+} // namespace dsmem::sim

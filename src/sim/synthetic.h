@@ -1,0 +1,45 @@
+#ifndef DSMEM_SIM_SYNTHETIC_H
+#define DSMEM_SIM_SYNTHETIC_H
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace dsmem::sim {
+
+/**
+ * Parameterized synthetic workload generator.
+ *
+ * Produces traces whose three performance-determining characteristics
+ * (Section 4.1.2 of the paper) are directly controlled:
+ *
+ *  - data dependence behavior: distance between a value's producer
+ *    and consumer, and optionally chained (dependent) misses;
+ *  - branch behavior: density and per-site taken bias (a strong bias
+ *    is predictable by 2-bit counters, a 50% bias is not);
+ *  - miss behavior: spacing between read misses and their latency.
+ *
+ * Used to validate the processor models against closed-form
+ * expectations (e.g. "a window must span both the inter-miss
+ * distance and the miss latency to hide it fully") and to map the
+ * design space beyond the five applications.
+ */
+struct SyntheticConfig {
+    size_t instructions = 100000;
+    uint32_t miss_spacing = 25;  ///< Instructions between read misses.
+    uint32_t miss_latency = 50;
+    bool dependent_misses = false; ///< Chain each miss's address on the
+                                   ///< previous miss's value.
+    uint32_t use_distance = 4;     ///< Consumer follows the load by this.
+    double branch_fraction = 0.1;
+    double branch_taken_bias = 0.9; ///< Per-branch taken probability.
+    uint32_t branch_sites = 4;
+    uint64_t seed = 1;
+};
+
+/** Generate a well-formed SSA trace with the configured behavior. */
+trace::Trace generateSynthetic(const SyntheticConfig &config);
+
+} // namespace dsmem::sim
+
+#endif // DSMEM_SIM_SYNTHETIC_H

@@ -1,0 +1,41 @@
+#include "sim/trace_bundle.h"
+
+#include "mp/engine.h"
+
+namespace dsmem::sim {
+
+TraceBundle
+generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
+{
+    mp::EngineConfig config;
+    config.mem = mem;
+    mp::Engine engine(config);
+
+    std::unique_ptr<apps::Application> app = makeApp(id, small);
+    apps::runApplication(engine, *app);
+
+    TraceBundle bundle;
+    bundle.verified = app->verify(engine);
+    bundle.cache0 = engine.memory().stats(config.traced_proc);
+    bundle.thread0 = engine.threadStats(config.traced_proc);
+    bundle.mp_cycles = engine.completionCycle(config.traced_proc);
+    bundle.trace = engine.takeTrace();
+    bundle.stats = trace::computeStats(bundle.trace);
+    return bundle;
+}
+
+const TraceBundle &
+TraceCache::get(AppId id, const memsys::MemoryConfig &mem, bool small)
+{
+    auto key = std::make_tuple(id, mem.miss_latency, small);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key, std::make_unique<TraceBundle>(
+                                   generateTrace(id, mem, small)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace dsmem::sim

@@ -1,0 +1,60 @@
+#ifndef DSMEM_SIM_TRACE_BUNDLE_H
+#define DSMEM_SIM_TRACE_BUNDLE_H
+
+#include <map>
+#include <memory>
+
+#include "memsys/memory_system.h"
+#include "mp/thread_context.h"
+#include "sim/app_registry.h"
+#include "trace/trace.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::sim {
+
+/**
+ * Everything the multiprocessor simulation phase produces for one
+ * application: the traced processor's annotated trace plus the
+ * statistics the paper's Tables 1 and 2 report.
+ */
+struct TraceBundle {
+    trace::Trace trace;
+    trace::TraceStats stats;       ///< From the traced processor.
+    memsys::CacheStats cache0;     ///< Traced processor's cache.
+    mp::ThreadStats thread0;       ///< Traced processor's counters.
+    uint64_t mp_cycles = 0;        ///< Traced processor's final clock.
+    bool verified = false;         ///< Application self-check result.
+};
+
+/**
+ * Run the 16-processor multiprocessor simulation for @p id and
+ * capture processor 0's trace (Section 3.2's methodology). The
+ * consistency model of this phase is always release consistency with
+ * in-order blocking-read processors; @p mem sets the miss penalty the
+ * annotations carry (50 cycles in the main experiments, 100 in
+ * Section 4.2).
+ */
+TraceBundle generateTrace(AppId id,
+                          const memsys::MemoryConfig &mem = {},
+                          bool small = false);
+
+/**
+ * Memoizes generateTrace per (app, miss latency, small) so a bench
+ * binary re-times one trace under many processor models without
+ * re-running the multiprocessor phase.
+ */
+class TraceCache
+{
+  public:
+    const TraceBundle &get(AppId id,
+                           const memsys::MemoryConfig &mem = {},
+                           bool small = false);
+
+  private:
+    std::map<std::tuple<AppId, uint32_t, bool>,
+             std::unique_ptr<TraceBundle>> cache_;
+};
+
+} // namespace dsmem::sim
+
+#endif // DSMEM_SIM_TRACE_BUNDLE_H

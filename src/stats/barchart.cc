@@ -1,0 +1,86 @@
+#include "stats/barchart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsmem::stats {
+
+BarChart::BarChart(std::vector<std::string> section_names,
+                   double scale_max, uint32_t width)
+    : section_names_(std::move(section_names)),
+      scale_max_(scale_max),
+      width_(width)
+{
+    if (section_names_.empty())
+        throw std::invalid_argument("BarChart needs >= 1 section");
+    if (scale_max <= 0.0)
+        throw std::invalid_argument("BarChart scale must be positive");
+    if (width < 10)
+        throw std::invalid_argument("BarChart width must be >= 10");
+}
+
+void
+BarChart::addBar(const std::string &label,
+                 const std::vector<double> &sections)
+{
+    if (sections.size() != section_names_.size())
+        throw std::invalid_argument("BarChart section count mismatch");
+    for (double v : sections)
+        if (v < 0.0 || !std::isfinite(v))
+            throw std::invalid_argument("BarChart sections must be "
+                                        "finite and non-negative");
+    bars_.push_back({label, sections});
+}
+
+std::string
+BarChart::toString() const
+{
+    size_t label_width = 0;
+    for (const Bar &bar : bars_)
+        label_width = std::max(label_width, bar.label.size());
+
+    std::ostringstream os;
+
+    // Legend.
+    os << "legend:";
+    for (size_t s = 0; s < section_names_.size(); ++s) {
+        os << "  " << kBarGlyphs[s % std::size(kBarGlyphs)] << "="
+           << section_names_[s];
+    }
+    os << "   (full bar = " << scale_max_ << ")\n";
+
+    for (const Bar &bar : bars_) {
+        os << "  ";
+        os.width(static_cast<std::streamsize>(label_width));
+        os << std::left << bar.label;
+        os << " |";
+
+        double total = 0.0;
+        size_t emitted = 0;
+        for (size_t s = 0; s < bar.sections.size(); ++s) {
+            total += bar.sections[s];
+            // Cumulative rounding keeps the bar length proportional
+            // to the running total regardless of per-section error.
+            size_t target = static_cast<size_t>(
+                std::llround(std::min(total, scale_max_) /
+                             scale_max_ * width_));
+            char glyph = kBarGlyphs[s % std::size(kBarGlyphs)];
+            while (emitted < target) {
+                os << glyph;
+                ++emitted;
+            }
+        }
+        while (emitted < width_) {
+            os << ' ';
+            ++emitted;
+        }
+        os << "| ";
+        os.precision(1);
+        os << std::fixed << total << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dsmem::stats

@@ -1,0 +1,52 @@
+#ifndef DSMEM_STATS_BARCHART_H
+#define DSMEM_STATS_BARCHART_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsmem::stats {
+
+/**
+ * ASCII stacked horizontal bar chart, used by the bench binaries to
+ * render Figure-3/4-style execution-time breakdowns: one bar per
+ * processor configuration, one glyph per stacked section.
+ */
+class BarChart
+{
+  public:
+    /**
+     * @param section_names  Legend entries, e.g. {"busy","sync",...}.
+     * @param scale_max      Value mapped to full width (e.g. 100.0).
+     * @param width          Bar width in characters.
+     */
+    BarChart(std::vector<std::string> section_names, double scale_max,
+             uint32_t width = 60);
+
+    /** Add one bar; `sections` must match the legend's size. */
+    void addBar(const std::string &label,
+                const std::vector<double> &sections);
+
+    /** Render all bars with a legend and a scale line. */
+    std::string toString() const;
+
+    size_t numBars() const { return bars_.size(); }
+
+  private:
+    struct Bar {
+        std::string label;
+        std::vector<double> sections;
+    };
+
+    std::vector<std::string> section_names_;
+    double scale_max_;
+    uint32_t width_;
+    std::vector<Bar> bars_;
+};
+
+/** Glyphs used for the stacked sections, cycled if more sections. */
+inline constexpr char kBarGlyphs[] = {'#', '@', '=', '.', '%', '+'};
+
+} // namespace dsmem::stats
+
+#endif // DSMEM_STATS_BARCHART_H

@@ -1,0 +1,154 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsmem::stats {
+
+Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
+    : bucket_width_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width == 0)
+        throw std::invalid_argument("Histogram bucket width must be > 0");
+    if (num_buckets == 0)
+        throw std::invalid_argument("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    size_t idx = static_cast<size_t>(value / bucket_width_);
+    if (idx < buckets_.size()) {
+        buckets_[idx] += count;
+    } else {
+        overflow_ += count;
+    }
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += count;
+    sum_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+Histogram::fractionAbove(uint64_t threshold) const
+{
+    if (count_ == 0)
+        return 0.0;
+    uint64_t above = overflow_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        uint64_t low_edge = i * bucket_width_;
+        if (low_edge > threshold)
+            above += buckets_[i];
+    }
+    return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+double
+Histogram::fractionBetween(uint64_t lo, uint64_t hi) const
+{
+    if (count_ == 0 || hi < lo)
+        return 0.0;
+    uint64_t inside = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        uint64_t low_edge = i * bucket_width_;
+        uint64_t high_edge = low_edge + bucket_width_ - 1;
+        if (low_edge >= lo && high_edge <= hi)
+            inside += buckets_[i];
+    }
+    return static_cast<double>(inside) / static_cast<double>(count_);
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5);
+    uint64_t running = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (running >= target)
+            return (i + 1) * bucket_width_;
+    }
+    return max();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bucket_width_ != bucket_width_ ||
+        other.buckets_.size() != buckets_.size()) {
+        throw std::invalid_argument("Histogram::merge geometry mismatch");
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+std::string
+Histogram::toString(const std::string &label) const
+{
+    std::ostringstream os;
+    if (!label.empty())
+        os << label << " ";
+    os << "(n=" << count_ << ", mean=" << mean() << ")\n";
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        uint64_t lo = i * bucket_width_;
+        uint64_t hi = lo + bucket_width_ - 1;
+        double pct = 100.0 * static_cast<double>(buckets_[i]) /
+            static_cast<double>(count_ == 0 ? 1 : count_);
+        os << "  [" << lo << ".." << hi << "]: " << buckets_[i]
+           << " (" << pct << "%)\n";
+    }
+    if (overflow_ > 0) {
+        double pct = 100.0 * static_cast<double>(overflow_) /
+            static_cast<double>(count_ == 0 ? 1 : count_);
+        os << "  [>" << buckets_.size() * bucket_width_ - 1 << "]: "
+           << overflow_ << " (" << pct << "%)\n";
+    }
+    return os.str();
+}
+
+} // namespace dsmem::stats

@@ -1,0 +1,99 @@
+#ifndef DSMEM_STATS_HISTOGRAM_H
+#define DSMEM_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsmem::stats {
+
+/**
+ * Fixed-width bucketed histogram over non-negative integer samples.
+ *
+ * Used throughout the benches for the paper's distribution-style
+ * claims (e.g. "90% of read misses are 20-30 instructions apart" in
+ * Section 4.1.3). Samples beyond the last bucket accumulate in an
+ * overflow bucket so that quantiles remain well defined.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket in sample units.
+     * @param num_buckets  Number of regular buckets before overflow.
+     */
+    Histogram(uint64_t bucket_width, size_t num_buckets);
+
+    /** Record one sample. */
+    void add(uint64_t value) { add(value, 1); }
+
+    /** Record a sample with a repeat count. */
+    void add(uint64_t value, uint64_t count);
+
+    /** Total number of recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of all recorded samples. */
+    uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest recorded sample; 0 when empty. */
+    uint64_t min() const { return count_ == 0 ? 0 : min_; }
+
+    /** Largest recorded sample; 0 when empty. */
+    uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+    /** Number of regular (non-overflow) buckets. */
+    size_t numBuckets() const { return buckets_.size(); }
+
+    /** Width of each regular bucket. */
+    uint64_t bucketWidth() const { return bucket_width_; }
+
+    /** Count in regular bucket @p idx. */
+    uint64_t bucketCount(size_t idx) const { return buckets_.at(idx); }
+
+    /** Count of samples past the last regular bucket. */
+    uint64_t overflowCount() const { return overflow_; }
+
+    /**
+     * Fraction (0..1) of samples strictly above @p threshold.
+     * Computed from buckets, so resolution is bucket-width granular:
+     * a bucket counts as "above" when its low edge is > threshold.
+     * Exact when @p threshold is a bucket boundary minus one.
+     */
+    double fractionAbove(uint64_t threshold) const;
+
+    /** Fraction (0..1) of samples falling in [lo, hi] by bucket edges. */
+    double fractionBetween(uint64_t lo, uint64_t hi) const;
+
+    /**
+     * Smallest bucket upper edge such that at least @p q (0..1) of the
+     * samples fall at or below it. Returns max() for the overflow
+     * region. 0 when empty.
+     */
+    uint64_t quantile(double q) const;
+
+    /** Merge another histogram with identical geometry into this one. */
+    void merge(const Histogram &other);
+
+    /** Reset all samples. */
+    void clear();
+
+    /** Multi-line human-readable rendering (one line per bucket). */
+    std::string toString(const std::string &label = "") const;
+
+  private:
+    uint64_t bucket_width_;
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace dsmem::stats
+
+#endif // DSMEM_STATS_HISTOGRAM_H

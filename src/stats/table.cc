@@ -1,0 +1,154 @@
+#include "stats/table.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsmem::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::beginRow()
+{
+    if (in_row_)
+        throw std::logic_error("Table::beginRow while a row is open");
+    pending_.clear();
+    in_row_ = true;
+}
+
+void
+Table::cell(const std::string &text)
+{
+    if (!in_row_)
+        throw std::logic_error("Table::cell outside beginRow/endRow");
+    if (pending_.size() >= headers_.size())
+        throw std::logic_error("Table::cell exceeds column count");
+    pending_.push_back(text);
+}
+
+void
+Table::cell(uint64_t value)
+{
+    cell(withCommas(value));
+}
+
+void
+Table::cell(int64_t value)
+{
+    if (value < 0) {
+        cell("-" + withCommas(static_cast<uint64_t>(-value)));
+    } else {
+        cell(withCommas(static_cast<uint64_t>(value)));
+    }
+}
+
+void
+Table::cell(double value, int precision)
+{
+    cell(fixed(value, precision));
+}
+
+void
+Table::endRow()
+{
+    if (!in_row_)
+        throw std::logic_error("Table::endRow without beginRow");
+    pending_.resize(headers_.size());
+    rows_.push_back(pending_);
+    pending_.clear();
+    in_row_ = false;
+}
+
+const std::string &
+Table::at(size_t row, size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " ";
+        }
+        os << "|\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers_);
+    for (size_t c = 0; c < widths.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+Table::withCommas(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    size_t lead = digits.size() % 3;
+    if (lead == 0)
+        lead = 3;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+Table::fixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    return fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string
+Table::countAndRate(uint64_t count, uint64_t busy_cycles, int precision)
+{
+    double rate = busy_cycles == 0
+        ? 0.0
+        : 1000.0 * static_cast<double>(count) /
+            static_cast<double>(busy_cycles);
+    std::ostringstream os;
+    os << withCommas(count) << " (" << fixed(rate, precision) << ")";
+    return os.str();
+}
+
+} // namespace dsmem::stats

@@ -1,0 +1,75 @@
+#ifndef DSMEM_STATS_TABLE_H
+#define DSMEM_STATS_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsmem::stats {
+
+/**
+ * Column-aligned ASCII table used by the bench binaries to print the
+ * paper's tables and figure series.
+ *
+ * Cells are strings; helpers format counts, rates (the paper's
+ * "references per thousand instructions"), and percentages with the
+ * same precision the paper uses.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    void beginRow();
+
+    /** Append one cell to the row under construction. */
+    void cell(const std::string &text);
+    void cell(uint64_t value);
+    void cell(int64_t value);
+    void cell(double value, int precision = 1);
+
+    /** Finish the row under construction (pads short rows). */
+    void endRow();
+
+    /** Number of completed data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Access a completed cell (row-major). */
+    const std::string &at(size_t row, size_t col) const;
+
+    /** Render with a header rule and aligned columns. */
+    std::string toString() const;
+
+    // -- Formatting helpers shared across bench binaries --------------
+
+    /** e.g. 12345 -> "12,345". */
+    static std::string withCommas(uint64_t value);
+
+    /** Fixed-precision decimal rendering. */
+    static std::string fixed(double value, int precision = 1);
+
+    /** "12.3%" style percentage rendering. */
+    static std::string percent(double fraction, int precision = 1);
+
+    /**
+     * The paper's Table 1/2 style "count (rate)" cell: a count in
+     * thousands with its per-thousand-instructions rate beneath it --
+     * rendered inline here as "count (rate)".
+     */
+    static std::string countAndRate(uint64_t count, uint64_t busy_cycles,
+                                    int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool in_row_ = false;
+};
+
+} // namespace dsmem::stats
+
+#endif // DSMEM_STATS_TABLE_H

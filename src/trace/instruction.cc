@@ -1,0 +1,75 @@
+#include "trace/instruction.h"
+
+#include <cassert>
+
+namespace dsmem::trace {
+
+namespace {
+
+void
+pushSrc(TraceInst &inst, InstIndex src)
+{
+    if (src == kNoSrc)
+        return;
+    assert(inst.num_srcs < kMaxSrcs);
+    inst.src[inst.num_srcs++] = src;
+}
+
+} // namespace
+
+TraceInst
+makeCompute(Op op, InstIndex a, InstIndex b)
+{
+    assert(isCompute(op));
+    TraceInst inst;
+    inst.op = op;
+    pushSrc(inst, a);
+    pushSrc(inst, b);
+    return inst;
+}
+
+TraceInst
+makeLoad(Addr addr, InstIndex addr_a, InstIndex addr_b)
+{
+    TraceInst inst;
+    inst.op = Op::LOAD;
+    inst.addr = addr;
+    pushSrc(inst, addr_a);
+    pushSrc(inst, addr_b);
+    return inst;
+}
+
+TraceInst
+makeStore(Addr addr, InstIndex data, InstIndex addr_a, InstIndex addr_b)
+{
+    TraceInst inst;
+    inst.op = Op::STORE;
+    inst.addr = addr;
+    pushSrc(inst, data);
+    pushSrc(inst, addr_a);
+    pushSrc(inst, addr_b);
+    return inst;
+}
+
+TraceInst
+makeBranch(uint32_t site, bool taken, InstIndex cond)
+{
+    TraceInst inst;
+    inst.op = Op::BRANCH;
+    inst.aux = site;
+    inst.taken = taken;
+    pushSrc(inst, cond);
+    return inst;
+}
+
+TraceInst
+makeSync(Op op, Addr addr)
+{
+    assert(isSync(op));
+    TraceInst inst;
+    inst.op = op;
+    inst.addr = addr;
+    return inst;
+}
+
+} // namespace dsmem::trace

@@ -1,0 +1,82 @@
+#ifndef DSMEM_TRACE_INSTRUCTION_H
+#define DSMEM_TRACE_INSTRUCTION_H
+
+#include <cstdint>
+
+#include "trace/op.h"
+
+namespace dsmem::trace {
+
+/** Index of an instruction within a trace; doubles as its SSA name. */
+using InstIndex = uint32_t;
+
+/** Sentinel for "no source operand". */
+inline constexpr InstIndex kNoSrc = UINT32_MAX;
+
+/** Maximum register source operands per instruction. */
+inline constexpr int kMaxSrcs = 3;
+
+/** Simulated physical address (byte granular, arena-relative). */
+using Addr = uint32_t;
+
+/**
+ * One dynamic instruction of the annotated trace.
+ *
+ * The trace is in SSA form: an instruction's destination register is
+ * its own trace index, and `src[]` names the producing instructions of
+ * its register sources. Johnson's machine renames registers, so an SSA
+ * trace times identically to an architectural-register trace on the
+ * renamed machine (WAR/WAW hazards are removed by renaming either way).
+ *
+ * Latency annotations come from the multiprocessor simulation phase
+ * (Section 3.2 of the paper): for memory operations `latency` is the
+ * cycles from issue to completion (1 on a cache hit, the miss penalty
+ * otherwise); for synchronization operations `latency` is the
+ * transfer/access latency of the synchronization variable (the part
+ * dynamic scheduling can hide) and `wait` is the stall due to
+ * contention and load imbalance (not hideable, per Section 4.1.2).
+ * For branches `site` is the static branch identifier used by the BTB
+ * and `taken` the actual outcome.
+ */
+struct TraceInst {
+    Op op = Op::IALU;
+    uint8_t num_srcs = 0;
+    bool taken = false;
+    InstIndex src[kMaxSrcs] = {kNoSrc, kNoSrc, kNoSrc};
+    Addr addr = 0;
+    uint32_t latency = 1;
+    uint32_t aux = 0; ///< Branch: static site id. Sync: wait cycles.
+
+    /** Static branch site (valid when op == BRANCH). */
+    uint32_t branchSite() const { return aux; }
+
+    /** Contention/imbalance wait cycles (valid for sync ops). */
+    uint32_t waitCycles() const { return aux; }
+
+    /** True when the annotated latency indicates a cache miss. */
+    bool isMiss() const { return isMemory(op) && latency > 1; }
+};
+
+static_assert(sizeof(TraceInst) <= 32,
+              "TraceInst must stay compact; traces hold millions");
+
+/** Construct a compute instruction. */
+TraceInst makeCompute(Op op, InstIndex a = kNoSrc, InstIndex b = kNoSrc);
+
+/** Construct a load; address sources are the address dependences. */
+TraceInst makeLoad(Addr addr, InstIndex addr_a = kNoSrc,
+                   InstIndex addr_b = kNoSrc);
+
+/** Construct a store; @p data plus up to two address dependences. */
+TraceInst makeStore(Addr addr, InstIndex data = kNoSrc,
+                    InstIndex addr_a = kNoSrc, InstIndex addr_b = kNoSrc);
+
+/** Construct a branch at static @p site depending on @p cond. */
+TraceInst makeBranch(uint32_t site, bool taken, InstIndex cond = kNoSrc);
+
+/** Construct a synchronization operation on sync variable @p addr. */
+TraceInst makeSync(Op op, Addr addr);
+
+} // namespace dsmem::trace
+
+#endif // DSMEM_TRACE_INSTRUCTION_H

@@ -1,0 +1,43 @@
+#include "trace/op.h"
+
+namespace dsmem::trace {
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::IALU:
+        return "ialu";
+      case Op::SHIFT:
+        return "shift";
+      case Op::FADD:
+        return "fadd";
+      case Op::FMUL:
+        return "fmul";
+      case Op::FDIV:
+        return "fdiv";
+      case Op::FCVT:
+        return "fcvt";
+      case Op::LOAD:
+        return "load";
+      case Op::STORE:
+        return "store";
+      case Op::BRANCH:
+        return "branch";
+      case Op::LOCK:
+        return "lock";
+      case Op::UNLOCK:
+        return "unlock";
+      case Op::BARRIER:
+        return "barrier";
+      case Op::WAIT_EVENT:
+        return "wait_event";
+      case Op::SET_EVENT:
+        return "set_event";
+      case Op::NUM_OPS:
+        break;
+    }
+    return "invalid";
+}
+
+} // namespace dsmem::trace

@@ -1,0 +1,149 @@
+#ifndef DSMEM_TRACE_OP_H
+#define DSMEM_TRACE_OP_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dsmem::trace {
+
+/**
+ * Operation kinds of the abstract trace ISA.
+ *
+ * The paper's processor (Section 3.1) assumes a single-cycle latency
+ * for every functional unit, so the ISA only needs to distinguish
+ * which reservation station an instruction occupies and whether it is
+ * a memory, branch, or synchronization operation. The functional unit
+ * classes mirror Johnson's machine: integer ALU, shifter, branch unit,
+ * load/store unit, plus four floating point units (add, multiply,
+ * divide, convert).
+ */
+enum class Op : uint8_t {
+    IALU,      ///< Integer ALU operation (add/sub/logic/compare).
+    SHIFT,     ///< Integer shift.
+    FADD,      ///< Floating point add/subtract.
+    FMUL,      ///< Floating point multiply.
+    FDIV,      ///< Floating point divide.
+    FCVT,      ///< Floating point conversion.
+    LOAD,      ///< Memory read.
+    STORE,     ///< Memory write.
+    BRANCH,    ///< Conditional or unconditional branch.
+    LOCK,      ///< Acquire a mutex (acquire semantics).
+    UNLOCK,    ///< Release a mutex (release semantics).
+    BARRIER,   ///< Global barrier (release on arrival, acquire on exit).
+    WAIT_EVENT,///< Wait for an event flag (acquire semantics).
+    SET_EVENT, ///< Set an event flag (release semantics).
+    NUM_OPS,
+};
+
+/** Number of distinct ops, usable as an array bound. */
+inline constexpr size_t kNumOps = static_cast<size_t>(Op::NUM_OPS);
+
+/** Reservation station / functional unit classes (Johnson's machine). */
+enum class FuClass : uint8_t {
+    INT,    ///< Integer ALU + shifter.
+    BRANCH, ///< Branch unit.
+    MEM,    ///< Load/store unit (single cache port).
+    FP_ADD,
+    FP_MUL,
+    FP_DIV,
+    FP_CVT,
+    NUM_CLASSES,
+};
+
+inline constexpr size_t kNumFuClasses =
+    static_cast<size_t>(FuClass::NUM_CLASSES);
+
+/** Short mnemonic for an op ("load", "barrier", ...). */
+std::string_view opName(Op op);
+
+/** True for LOAD and STORE. */
+constexpr bool
+isMemory(Op op)
+{
+    return op == Op::LOAD || op == Op::STORE;
+}
+
+/** True for every synchronization operation. */
+constexpr bool
+isSync(Op op)
+{
+    return op == Op::LOCK || op == Op::UNLOCK || op == Op::BARRIER ||
+        op == Op::WAIT_EVENT || op == Op::SET_EVENT;
+}
+
+/**
+ * True for synchronization operations with acquire semantics: the
+ * operations whose stall time the paper reports as "acquire" /
+ * synchronization time (locks, wait-events, barriers).
+ */
+constexpr bool
+isAcquire(Op op)
+{
+    return op == Op::LOCK || op == Op::WAIT_EVENT || op == Op::BARRIER;
+}
+
+/**
+ * True for synchronization operations with release semantics. The
+ * paper folds release latency into write-miss time ("Release
+ * operations are included in the total write miss time", Section 4.1).
+ * A barrier both releases (arrival) and acquires (departure).
+ */
+constexpr bool
+isRelease(Op op)
+{
+    return op == Op::UNLOCK || op == Op::SET_EVENT || op == Op::BARRIER;
+}
+
+/** True for plain computation ops (single-cycle functional units). */
+constexpr bool
+isCompute(Op op)
+{
+    switch (op) {
+      case Op::IALU:
+      case Op::SHIFT:
+      case Op::FADD:
+      case Op::FMUL:
+      case Op::FDIV:
+      case Op::FCVT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when the op produces a register value (SSA destination). */
+constexpr bool
+producesValue(Op op)
+{
+    return isCompute(op) || op == Op::LOAD;
+}
+
+/** Reservation-station class servicing @p op. */
+constexpr FuClass
+fuClass(Op op)
+{
+    switch (op) {
+      case Op::IALU:
+        return FuClass::INT;
+      case Op::SHIFT:
+        return FuClass::INT;
+      case Op::FADD:
+        return FuClass::FP_ADD;
+      case Op::FMUL:
+        return FuClass::FP_MUL;
+      case Op::FDIV:
+        return FuClass::FP_DIV;
+      case Op::FCVT:
+        return FuClass::FP_CVT;
+      case Op::BRANCH:
+        return FuClass::BRANCH;
+      default:
+        // Memory and synchronization operations all flow through the
+        // load/store unit.
+        return FuClass::MEM;
+    }
+}
+
+} // namespace dsmem::trace
+
+#endif // DSMEM_TRACE_OP_H

@@ -1,0 +1,145 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dsmem::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'M', 'T'};
+constexpr size_t kRecordBytes = 4 + 3 * 4 + 4 + 4 + 4;
+
+void
+put32(std::ostream &os, uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    os.write(buf, 4);
+}
+
+void
+put64(std::ostream &os, uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    os.write(buf, 8);
+}
+
+uint32_t
+get32(std::istream &is)
+{
+    char buf[4];
+    if (!is.read(buf, 4))
+        throw std::runtime_error("trace file truncated");
+    uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+}
+
+uint64_t
+get64(std::istream &is)
+{
+    char buf[8];
+    if (!is.read(buf, 8))
+        throw std::runtime_error("trace file truncated");
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &t, std::ostream &os)
+{
+    os.write(kMagic, 4);
+    put32(os, kTraceFormatVersion);
+    put32(os, static_cast<uint32_t>(t.name().size()));
+    os.write(t.name().data(),
+             static_cast<std::streamsize>(t.name().size()));
+    put64(os, t.size());
+
+    for (const TraceInst &inst : t) {
+        char rec[kRecordBytes];
+        rec[0] = static_cast<char>(inst.op);
+        rec[1] = static_cast<char>(inst.num_srcs);
+        rec[2] = inst.taken ? 1 : 0;
+        rec[3] = 0;
+        std::memcpy(rec + 4, inst.src, 12);
+        std::memcpy(rec + 16, &inst.addr, 4);
+        std::memcpy(rec + 20, &inst.latency, 4);
+        std::memcpy(rec + 24, &inst.aux, 4);
+        os.write(rec, kRecordBytes);
+    }
+    if (!os)
+        throw std::runtime_error("trace write failed");
+}
+
+void
+saveTraceFile(const Trace &t, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path + " for write");
+    saveTrace(t, os);
+}
+
+Trace
+loadTrace(std::istream &is)
+{
+    char magic[4];
+    if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+        throw std::runtime_error("not a dsmem trace file");
+    uint32_t version = get32(is);
+    if (version != kTraceFormatVersion) {
+        throw std::runtime_error("unsupported trace format version " +
+                                 std::to_string(version));
+    }
+    uint32_t name_len = get32(is);
+    if (name_len > 4096)
+        throw std::runtime_error("implausible trace name length");
+    std::string name(name_len, '\0');
+    if (name_len > 0 && !is.read(name.data(), name_len))
+        throw std::runtime_error("trace file truncated");
+    uint64_t count = get64(is);
+
+    Trace t(std::move(name));
+    t.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        char rec[kRecordBytes];
+        if (!is.read(rec, kRecordBytes))
+            throw std::runtime_error("trace file truncated");
+        TraceInst inst;
+        uint8_t op_raw = static_cast<uint8_t>(rec[0]);
+        if (op_raw >= kNumOps)
+            throw std::runtime_error("malformed trace: bad opcode");
+        inst.op = static_cast<Op>(op_raw);
+        inst.num_srcs = static_cast<uint8_t>(rec[1]);
+        if (inst.num_srcs > kMaxSrcs)
+            throw std::runtime_error("malformed trace: bad src count");
+        inst.taken = rec[2] != 0;
+        std::memcpy(inst.src, rec + 4, 12);
+        std::memcpy(&inst.addr, rec + 16, 4);
+        std::memcpy(&inst.latency, rec + 20, 4);
+        std::memcpy(&inst.aux, rec + 24, 4);
+        t.append(inst);
+    }
+    if (t.validate() != t.size())
+        throw std::runtime_error("malformed trace: SSA check failed");
+    return t;
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    return loadTrace(is);
+}
+
+} // namespace dsmem::trace

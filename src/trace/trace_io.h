@@ -1,0 +1,46 @@
+#ifndef DSMEM_TRACE_TRACE_IO_H
+#define DSMEM_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace dsmem::trace {
+
+/**
+ * Binary trace serialization.
+ *
+ * Generating a trace runs the whole multiprocessor simulation;
+ * saving it lets the processor-timing studies (and external tools)
+ * re-time the same execution without re-running phase 1.
+ *
+ * Format (little-endian):
+ *   magic   "DSMT"            4 bytes
+ *   version u32               currently 1
+ *   nameLen u32, name bytes
+ *   count   u64
+ *   count x { op u8, num_srcs u8, taken u8, pad u8,
+ *             src[3] u32, addr u32, latency u32, aux u32 }
+ */
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+/** Serialize @p t to @p os. Throws std::runtime_error on I/O error. */
+void saveTrace(const Trace &t, std::ostream &os);
+
+/** Serialize @p t to @p path. */
+void saveTraceFile(const Trace &t, const std::string &path);
+
+/**
+ * Deserialize a trace. Throws std::runtime_error on bad magic,
+ * unsupported version, truncation, or malformed instructions (the
+ * result always passes Trace::validate()).
+ */
+Trace loadTrace(std::istream &is);
+
+/** Deserialize a trace from @p path. */
+Trace loadTraceFile(const std::string &path);
+
+} // namespace dsmem::trace
+
+#endif // DSMEM_TRACE_TRACE_IO_H

@@ -1,0 +1,111 @@
+#include "trace/trace_stats.h"
+
+namespace dsmem::trace {
+
+double
+TraceStats::ratePerThousand(uint64_t count) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(count) /
+        static_cast<double>(instructions);
+}
+
+double
+TraceStats::branchFraction() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(branches) /
+        static_cast<double>(instructions);
+}
+
+double
+TraceStats::avgBranchDistance() const
+{
+    if (branches == 0)
+        return 0.0;
+    return static_cast<double>(instructions) /
+        static_cast<double>(branches);
+}
+
+TraceStats
+computeStats(const Trace &t)
+{
+    TraceStats s;
+    for (const TraceInst &inst : t) {
+        switch (inst.op) {
+          case Op::LOAD:
+            ++s.reads;
+            if (inst.latency > 1)
+                ++s.read_misses;
+            break;
+          case Op::STORE:
+            ++s.writes;
+            if (inst.latency > 1)
+                ++s.write_misses;
+            break;
+          case Op::BRANCH:
+            ++s.branches;
+            if (inst.taken)
+                ++s.taken_branches;
+            break;
+          case Op::LOCK:
+            ++s.locks;
+            break;
+          case Op::UNLOCK:
+            ++s.unlocks;
+            break;
+          case Op::WAIT_EVENT:
+            ++s.wait_events;
+            break;
+          case Op::SET_EVENT:
+            ++s.set_events;
+            break;
+          case Op::BARRIER:
+            ++s.barriers;
+            break;
+          default:
+            break;
+        }
+        if (!isSync(inst.op))
+            ++s.instructions;
+    }
+    return s;
+}
+
+stats::Histogram
+readMissDistanceHistogram(const Trace &t, uint64_t bucket_width,
+                          size_t num_buckets)
+{
+    stats::Histogram hist(bucket_width, num_buckets);
+    bool seen_first = false;
+    size_t last_miss = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TraceInst &inst = t[i];
+        if (inst.op != Op::LOAD || inst.latency <= 1)
+            continue;
+        if (seen_first)
+            hist.add(i - last_miss);
+        seen_first = true;
+        last_miss = i;
+    }
+    return hist;
+}
+
+stats::Histogram
+dependenceDistanceHistogram(const Trace &t, uint64_t bucket_width,
+                            size_t num_buckets)
+{
+    stats::Histogram hist(bucket_width, num_buckets);
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TraceInst &inst = t[i];
+        for (int s = 0; s < inst.num_srcs; ++s) {
+            if (inst.src[s] != kNoSrc)
+                hist.add(i - inst.src[s]);
+        }
+    }
+    return hist;
+}
+
+} // namespace dsmem::trace

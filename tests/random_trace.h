@@ -1,0 +1,77 @@
+#ifndef DSMEM_TESTS_RANDOM_TRACE_H
+#define DSMEM_TESTS_RANDOM_TRACE_H
+
+#include <vector>
+
+#include "apps/rng.h"
+#include "trace/trace.h"
+
+namespace dsmem::testing {
+
+/**
+ * Generate a random but well-formed SSA trace for property tests:
+ * a mix of compute ops, hit/miss loads and stores with register
+ * dependences on recent producers, branches over a handful of sites,
+ * and occasional synchronization operations.
+ */
+inline trace::Trace
+randomTrace(uint64_t seed, size_t n)
+{
+    apps::Rng rng(seed);
+    trace::Trace t("random");
+    std::vector<trace::InstIndex> producers;
+
+    auto recent_producer = [&]() -> trace::InstIndex {
+        if (producers.empty())
+            return trace::kNoSrc;
+        size_t window = std::min<size_t>(producers.size(), 32);
+        size_t idx = producers.size() - 1 - rng.below(window);
+        return producers[idx];
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t kind = rng.below(100);
+        trace::TraceInst inst;
+        if (kind < 40) { // Compute.
+            static const trace::Op ops[] = {
+                trace::Op::IALU, trace::Op::SHIFT, trace::Op::FADD,
+                trace::Op::FMUL, trace::Op::FDIV, trace::Op::FCVT};
+            inst = trace::makeCompute(ops[rng.below(6)],
+                                      recent_producer(),
+                                      recent_producer());
+        } else if (kind < 65) { // Load.
+            inst = trace::makeLoad(
+                0x1000 + static_cast<trace::Addr>(rng.below(64)) * 16,
+                recent_producer());
+            inst.latency = rng.below(4) == 0 ? 50 : 1;
+        } else if (kind < 80) { // Store.
+            inst = trace::makeStore(
+                0x1000 + static_cast<trace::Addr>(rng.below(64)) * 16,
+                recent_producer(), recent_producer());
+            inst.latency = rng.below(4) == 0 ? 50 : 1;
+        } else if (kind < 94) { // Branch.
+            inst = trace::makeBranch(
+                static_cast<uint32_t>(1 + rng.below(8)),
+                rng.below(2) == 0, recent_producer());
+        } else if (kind < 96) { // Acquire.
+            inst = trace::makeSync(trace::Op::LOCK, 1);
+            inst.latency = 50;
+            inst.aux = static_cast<uint32_t>(rng.below(100));
+        } else if (kind < 98) { // Release.
+            inst = trace::makeSync(trace::Op::UNLOCK, 1);
+            inst.latency = rng.below(2) == 0 ? 50 : 1;
+        } else { // Barrier.
+            inst = trace::makeSync(trace::Op::BARRIER, 2);
+            inst.latency = 50;
+            inst.aux = static_cast<uint32_t>(rng.below(300));
+        }
+        trace::InstIndex idx = t.append(inst);
+        if (trace::producesValue(inst.op))
+            producers.push_back(idx);
+    }
+    return t;
+}
+
+} // namespace dsmem::testing
+
+#endif // DSMEM_TESTS_RANDOM_TRACE_H

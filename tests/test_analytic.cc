@@ -1,0 +1,103 @@
+#include "core/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "sim/experiment.h"
+#include "sim/synthetic.h"
+
+namespace dsmem::core {
+namespace {
+
+double
+simulatedHidden(uint32_t window, uint32_t latency, uint32_t spacing)
+{
+    sim::SyntheticConfig config;
+    config.instructions = 60000;
+    config.miss_spacing = spacing;
+    config.miss_latency = latency;
+    config.branch_fraction = 0.0; // The model's stated domain.
+    config.use_distance = 1;
+    trace::Trace t = sim::generateSynthetic(config);
+
+    RunResult base = BaseProcessor().run(t);
+    DynamicConfig dyn;
+    dyn.window = window;
+    RunResult r = DynamicProcessor(dyn).run(t);
+    return sim::hiddenReadFraction(base, r);
+}
+
+TEST(AnalyticTest, RejectsBadParams)
+{
+    AnalyticParams params;
+    params.window = 0;
+    EXPECT_THROW(predictedBlockTime(params), std::invalid_argument);
+    params = AnalyticParams{};
+    params.miss_spacing = 0;
+    EXPECT_THROW(predictedBlockTime(params), std::invalid_argument);
+}
+
+TEST(AnalyticTest, FullHidingRequiresWindowBeyondLatency)
+{
+    AnalyticParams params;
+    params.miss_latency = 50;
+    params.miss_spacing = 25;
+    params.window = 16;
+    EXPECT_LT(predictedHiddenFraction(params), 0.5);
+    params.window = 64;
+    EXPECT_GT(predictedHiddenFraction(params), 0.95);
+}
+
+TEST(AnalyticTest, PredictedWindowGrowsWithLatency)
+{
+    uint32_t w50 = predictedWindowFor(0.9, 50, 25);
+    uint32_t w200 = predictedWindowFor(0.9, 200, 25);
+    EXPECT_GT(w200, w50);
+}
+
+/**
+ * The model must track the simulator across the
+ * (window, latency, spacing) grid on its stated domain.
+ */
+struct GridPoint {
+    uint32_t window;
+    uint32_t latency;
+    uint32_t spacing;
+};
+
+class AnalyticGridTest : public ::testing::TestWithParam<GridPoint>
+{};
+
+TEST_P(AnalyticGridTest, ModelMatchesSimulator)
+{
+    const GridPoint &point = GetParam();
+    AnalyticParams params;
+    params.window = point.window;
+    params.miss_latency = point.latency;
+    params.miss_spacing = point.spacing;
+
+    double predicted = predictedHiddenFraction(params);
+    double simulated =
+        simulatedHidden(point.window, point.latency, point.spacing);
+    EXPECT_NEAR(predicted, simulated, 0.10)
+        << "W=" << point.window << " L=" << point.latency
+        << " S=" << point.spacing;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalyticGridTest,
+    ::testing::Values(GridPoint{16, 50, 25}, GridPoint{32, 50, 25},
+                      GridPoint{64, 50, 25}, GridPoint{128, 50, 25},
+                      GridPoint{16, 50, 8}, GridPoint{64, 50, 8},
+                      GridPoint{32, 100, 25}, GridPoint{128, 100, 25},
+                      GridPoint{64, 25, 40}, GridPoint{16, 200, 12},
+                      GridPoint{256, 200, 12}),
+    [](const ::testing::TestParamInfo<GridPoint> &info) {
+        return "W" + std::to_string(info.param.window) + "_L" +
+            std::to_string(info.param.latency) + "_S" +
+            std::to_string(info.param.spacing);
+    });
+
+} // namespace
+} // namespace dsmem::core

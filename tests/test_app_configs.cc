@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Application configuration coverage: every application verifies at
+ * multiple problem sizes, and constructors reject invalid
+ * configurations up front.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/locus.h"
+#include "apps/lu.h"
+#include "apps/mp3d.h"
+#include "apps/ocean.h"
+#include "apps/pthor.h"
+#include "mp/engine.h"
+
+namespace dsmem::apps {
+namespace {
+
+mp::EngineConfig
+engineConfig()
+{
+    mp::EngineConfig config;
+    config.num_procs = 8;
+    return config;
+}
+
+template <typename App, typename Config>
+void
+runAndVerify(const Config &config)
+{
+    mp::Engine engine(engineConfig());
+    App app(config);
+    runApplication(engine, app);
+    EXPECT_TRUE(app.verify(engine));
+    EXPECT_EQ(engine.trace().validate(), engine.trace().size());
+}
+
+class LuSizeTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(LuSizeTest, VerifiesAtSize)
+{
+    LuConfig config;
+    config.n = GetParam();
+    runAndVerify<Lu>(config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeTest,
+                         ::testing::Values(8, 17, 33, 64));
+
+class OceanSizeTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(OceanSizeTest, VerifiesAtSize)
+{
+    OceanConfig config;
+    config.n = GetParam();
+    config.timesteps = 1;
+    runAndVerify<Ocean>(config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OceanSizeTest,
+                         ::testing::Values(6, 17, 34));
+
+class Mp3dSizeTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(Mp3dSizeTest, VerifiesAtSize)
+{
+    Mp3dConfig config;
+    config.particles = GetParam();
+    config.timesteps = 2;
+    runAndVerify<Mp3d>(config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Mp3dSizeTest,
+                         ::testing::Values(64, 300, 1024));
+
+class PthorSizeTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(PthorSizeTest, VerifiesAtSize)
+{
+    PthorConfig config;
+    config.gates = GetParam();
+    config.clocks = 2;
+    runAndVerify<Pthor>(config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PthorSizeTest,
+                         ::testing::Values(96, 500, 1536));
+
+class LocusSizeTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(LocusSizeTest, VerifiesAtSize)
+{
+    LocusConfig config;
+    config.wires = GetParam();
+    config.iterations = 2;
+    runAndVerify<Locus>(config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LocusSizeTest,
+                         ::testing::Values(16, 100, 256));
+
+// ---------------------------------------------------------------------
+// Constructor validation
+// ---------------------------------------------------------------------
+
+TEST(AppValidationTest, LuRejectsTinyMatrix)
+{
+    LuConfig config;
+    config.n = 1;
+    EXPECT_THROW(Lu{config}, std::invalid_argument);
+}
+
+TEST(AppValidationTest, OceanRejectsBadGeometry)
+{
+    OceanConfig config;
+    config.n = 2;
+    EXPECT_THROW(Ocean{config}, std::invalid_argument);
+    config = OceanConfig{};
+    config.grids = 4;
+    EXPECT_THROW(Ocean{config}, std::invalid_argument);
+}
+
+TEST(AppValidationTest, Mp3dRejectsBadGeometry)
+{
+    Mp3dConfig config;
+    config.particles = 4;
+    EXPECT_THROW(Mp3d{config}, std::invalid_argument);
+    config = Mp3dConfig{};
+    config.cells_x = 1;
+    EXPECT_THROW(Mp3d{config}, std::invalid_argument);
+}
+
+TEST(AppValidationTest, PthorRejectsTinyCircuit)
+{
+    PthorConfig config;
+    config.gates = 16;
+    EXPECT_THROW(Pthor{config}, std::invalid_argument);
+}
+
+TEST(AppValidationTest, LocusRejectsBadGeometry)
+{
+    LocusConfig config;
+    config.width = 8;
+    EXPECT_THROW(Locus{config}, std::invalid_argument);
+    config = LocusConfig{};
+    config.max_span = 1;
+    EXPECT_THROW(Locus{config}, std::invalid_argument);
+    config = LocusConfig{};
+    config.max_span = 200; // Does not fit in two region locks.
+    EXPECT_THROW(Locus{config}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace dsmem::apps

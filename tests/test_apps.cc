@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "sim/app_registry.h"
+#include "sim/trace_bundle.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::sim {
+namespace {
+
+/**
+ * Every application, in its reduced test configuration: the run must
+ * complete, self-verify against the native reimplementation, and
+ * produce a well-formed SSA trace.
+ */
+class AppTest : public ::testing::TestWithParam<AppId>
+{};
+
+TEST_P(AppTest, RunsVerifiesAndTracesWellFormed)
+{
+    TraceBundle bundle =
+        generateTrace(GetParam(), memsys::MemoryConfig{}, true);
+    EXPECT_TRUE(bundle.verified) << appName(GetParam());
+    EXPECT_GT(bundle.trace.size(), 1000u);
+    EXPECT_EQ(bundle.trace.validate(), bundle.trace.size());
+    EXPECT_GT(bundle.mp_cycles, 0u);
+}
+
+TEST_P(AppTest, TraceMatchesThreadCounters)
+{
+    TraceBundle bundle =
+        generateTrace(GetParam(), memsys::MemoryConfig{}, true);
+    const trace::TraceStats &s = bundle.stats;
+    const mp::ThreadStats &thread = bundle.thread0;
+    EXPECT_EQ(s.instructions, thread.instructions);
+    EXPECT_EQ(s.reads, thread.reads);
+    EXPECT_EQ(s.writes, thread.writes);
+    EXPECT_EQ(s.read_misses, thread.read_misses);
+    EXPECT_EQ(s.write_misses, thread.write_misses);
+    EXPECT_EQ(s.branches, thread.branches);
+    EXPECT_EQ(s.locks, thread.locks);
+    EXPECT_EQ(s.barriers, thread.barriers);
+}
+
+TEST_P(AppTest, DeterministicAcrossRuns)
+{
+    TraceBundle a =
+        generateTrace(GetParam(), memsys::MemoryConfig{}, true);
+    TraceBundle b =
+        generateTrace(GetParam(), memsys::MemoryConfig{}, true);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    EXPECT_EQ(a.mp_cycles, b.mp_cycles);
+    for (size_t i = 0; i < a.trace.size(); i += 97) {
+        EXPECT_EQ(a.trace[i].op, b.trace[i].op);
+        EXPECT_EQ(a.trace[i].addr, b.trace[i].addr);
+        EXPECT_EQ(a.trace[i].latency, b.trace[i].latency);
+    }
+}
+
+TEST_P(AppTest, MissLatenciesMatchMemoryConfig)
+{
+    memsys::MemoryConfig mem;
+    mem.miss_latency = 100;
+    TraceBundle bundle = generateTrace(GetParam(), mem, true);
+    bool saw_miss = false;
+    for (const trace::TraceInst &inst : bundle.trace) {
+        if (trace::isMemory(inst.op)) {
+            EXPECT_TRUE(inst.latency == 1 || inst.latency == 100)
+                << "latency " << inst.latency;
+            saw_miss |= inst.latency == 100;
+        }
+    }
+    EXPECT_TRUE(saw_miss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppTest,
+    ::testing::Values(AppId::MP3D, AppId::LU, AppId::PTHOR,
+                      AppId::LOCUS, AppId::OCEAN),
+    [](const ::testing::TestParamInfo<AppId> &info) {
+        return std::string(appName(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// App-specific synchronization signatures (the paper's Table 2 shape)
+// ---------------------------------------------------------------------
+
+TEST(AppSignatureTest, LuUsesEventsAndTwoBarriers)
+{
+    TraceBundle bundle =
+        generateTrace(AppId::LU, memsys::MemoryConfig{}, true);
+    EXPECT_EQ(bundle.stats.locks, 0u);
+    EXPECT_EQ(bundle.stats.barriers, 2u);
+    EXPECT_GT(bundle.stats.wait_events, 0u);
+    EXPECT_GT(bundle.stats.set_events, 0u);
+    // A processor waits for columns it does not own and sets its own.
+    EXPECT_GT(bundle.stats.wait_events, bundle.stats.set_events);
+}
+
+TEST(AppSignatureTest, Mp3dUsesLocksAndBarriers)
+{
+    TraceBundle bundle =
+        generateTrace(AppId::MP3D, memsys::MemoryConfig{}, true);
+    EXPECT_GT(bundle.stats.locks, 0u);
+    EXPECT_EQ(bundle.stats.locks, bundle.stats.unlocks);
+    EXPECT_GT(bundle.stats.barriers, 2u);
+    EXPECT_EQ(bundle.stats.wait_events, 0u);
+}
+
+TEST(AppSignatureTest, PthorIsLockAndBarrierHeavy)
+{
+    TraceBundle bundle =
+        generateTrace(AppId::PTHOR, memsys::MemoryConfig{}, true);
+    EXPECT_GT(bundle.stats.locks, 100u);
+    EXPECT_EQ(bundle.stats.locks, bundle.stats.unlocks);
+    EXPECT_GT(bundle.stats.barriers, 10u);
+    // Branch-dense, as Table 3 records.
+    EXPECT_GT(bundle.stats.branchFraction(), 0.08);
+}
+
+TEST(AppSignatureTest, LocusUsesDynamicTaskQueue)
+{
+    TraceBundle bundle =
+        generateTrace(AppId::LOCUS, memsys::MemoryConfig{}, true);
+    EXPECT_GT(bundle.stats.locks, 10u);
+    EXPECT_EQ(bundle.stats.locks, bundle.stats.unlocks);
+    EXPECT_LE(bundle.stats.barriers, 4u);
+    EXPECT_GT(bundle.stats.branchFraction(), 0.1);
+}
+
+TEST(AppSignatureTest, OceanIsBarrierOnly)
+{
+    TraceBundle bundle =
+        generateTrace(AppId::OCEAN, memsys::MemoryConfig{}, true);
+    EXPECT_EQ(bundle.stats.locks, 0u);
+    EXPECT_GT(bundle.stats.barriers, 5u);
+    // Reads dominate writes, but writes are substantial.
+    EXPECT_GT(bundle.stats.reads, bundle.stats.writes);
+    EXPECT_GT(bundle.stats.writes, bundle.stats.reads / 8);
+}
+
+TEST(AppRegistryTest, NamesAndFactory)
+{
+    for (AppId id : kAllApps) {
+        EXPECT_NE(appName(id), "invalid");
+        auto app = makeApp(id, true);
+        ASSERT_NE(app, nullptr);
+        EXPECT_EQ(app->name(), appName(id));
+    }
+}
+
+} // namespace
+} // namespace dsmem::sim

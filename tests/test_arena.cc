@@ -1,0 +1,118 @@
+#include "mp/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::mp {
+namespace {
+
+TEST(ArenaTest, RejectsZeroSize)
+{
+    EXPECT_THROW(Arena(0), std::invalid_argument);
+}
+
+TEST(ArenaTest, BumpAllocationIsDeterministic)
+{
+    Arena a(1024);
+    Arena b(1024);
+    EXPECT_EQ(a.alloc(10), b.alloc(10));
+    EXPECT_EQ(a.alloc(3), b.alloc(3));
+    EXPECT_EQ(a.usedSlots(), 13u);
+}
+
+TEST(ArenaTest, AddressesAreSlotSpaced)
+{
+    Arena a(1024);
+    Addr first = a.alloc(4);
+    Addr second = a.alloc(4);
+    EXPECT_EQ(first, Arena::kBaseAddr);
+    EXPECT_EQ(second, first + 4 * Arena::kSlotBytes);
+}
+
+TEST(ArenaTest, AlignmentRespected)
+{
+    Arena a(1024);
+    a.alloc(1);
+    Addr aligned = a.alloc(2, 64);
+    EXPECT_EQ(aligned % 64, 0u);
+}
+
+TEST(ArenaTest, RejectsBadAlignment)
+{
+    Arena a(64);
+    EXPECT_THROW(a.alloc(1, 4), std::invalid_argument);
+    EXPECT_THROW(a.alloc(1, 24), std::invalid_argument);
+}
+
+TEST(ArenaTest, ExhaustionThrows)
+{
+    Arena a(8);
+    a.alloc(8);
+    EXPECT_THROW(a.alloc(1), std::length_error);
+}
+
+TEST(ArenaTest, PaddedAllocationSeparatesLines)
+{
+    Arena a(1024);
+    Addr first = a.allocPadded(1, 16); // 1 slot, 16 B line.
+    Addr second = a.alloc(1);
+    // The next allocation starts on a fresh line.
+    EXPECT_GE(second - first, 16u);
+}
+
+TEST(ArenaTest, TypedLoadStoreRoundTrip)
+{
+    Arena a(16);
+    Addr addr = a.alloc(2);
+    a.storeInt(addr, -123456789);
+    EXPECT_EQ(a.loadInt(addr), -123456789);
+    a.storeFloat(addr + 8, 2.718281828);
+    EXPECT_DOUBLE_EQ(a.loadFloat(addr + 8), 2.718281828);
+    // Int and float views of the same slot share the raw bits.
+    a.storeFloat(addr, 1.0);
+    EXPECT_EQ(static_cast<uint64_t>(a.loadInt(addr)),
+              0x3ff0000000000000ull);
+}
+
+TEST(ArenaTest, OutOfRangeAccessThrows)
+{
+    Arena a(16);
+    Addr addr = a.alloc(2);
+    EXPECT_THROW(a.loadInt(addr - 8), std::out_of_range);
+    EXPECT_THROW(a.loadInt(addr + 2 * 8), std::out_of_range);
+    EXPECT_THROW(a.loadInt(0), std::out_of_range);
+}
+
+TEST(ArenaArrayTest, AddressAndData)
+{
+    Arena a(64);
+    ArenaArray<double> arr(&a, 8);
+    ASSERT_TRUE(arr.valid());
+    EXPECT_EQ(arr.size(), 8u);
+    arr.set(3, 42.5);
+    EXPECT_DOUBLE_EQ(arr.get(3), 42.5);
+    EXPECT_EQ(arr.addr(1), arr.baseAddr() + 8);
+}
+
+TEST(ArenaArrayTest, IntArray)
+{
+    Arena a(64);
+    ArenaArray<int64_t> arr(&a, 4);
+    arr.set(0, -7);
+    EXPECT_EQ(arr.get(0), -7);
+}
+
+TEST(ArenaArrayTest, BoundsChecked)
+{
+    Arena a(64);
+    ArenaArray<double> arr(&a, 4);
+    EXPECT_THROW(arr.addr(4), std::out_of_range);
+    EXPECT_THROW(arr.get(100), std::out_of_range);
+    ArenaArray<double> invalid;
+    EXPECT_FALSE(invalid.valid());
+    EXPECT_THROW(invalid.addr(0), std::out_of_range);
+}
+
+} // namespace
+} // namespace dsmem::mp

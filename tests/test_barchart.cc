@@ -1,0 +1,87 @@
+#include "stats/barchart.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::stats {
+namespace {
+
+TEST(BarChartTest, RejectsBadConfig)
+{
+    EXPECT_THROW(BarChart({}, 100.0), std::invalid_argument);
+    EXPECT_THROW(BarChart({"a"}, 0.0), std::invalid_argument);
+    EXPECT_THROW(BarChart({"a"}, -5.0), std::invalid_argument);
+    EXPECT_THROW(BarChart({"a"}, 100.0, 4), std::invalid_argument);
+}
+
+TEST(BarChartTest, RejectsBadBars)
+{
+    BarChart chart({"x", "y"}, 100.0);
+    EXPECT_THROW(chart.addBar("b", {1.0}), std::invalid_argument);
+    EXPECT_THROW(chart.addBar("b", {1.0, -2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(chart.addBar("b", {1.0, 1.0 / 0.0}),
+                 std::invalid_argument);
+    EXPECT_EQ(chart.numBars(), 0u);
+}
+
+TEST(BarChartTest, RendersLegendLabelsAndTotals)
+{
+    BarChart chart({"busy", "read"}, 100.0, 20);
+    chart.addBar("BASE", {50.0, 50.0});
+    chart.addBar("DS", {50.0, 10.0});
+    std::string s = chart.toString();
+    EXPECT_NE(s.find("#=busy"), std::string::npos);
+    EXPECT_NE(s.find("@=read"), std::string::npos);
+    EXPECT_NE(s.find("BASE"), std::string::npos);
+    EXPECT_NE(s.find("100.0"), std::string::npos);
+    EXPECT_NE(s.find("60.0"), std::string::npos);
+}
+
+TEST(BarChartTest, BarLengthProportional)
+{
+    BarChart chart({"v"}, 100.0, 20);
+    chart.addBar("half", {50.0});
+    chart.addBar("full", {100.0});
+    std::string s = chart.toString();
+    // "half" row has 10 glyphs, "full" row has 20.
+    size_t half_pos = s.find("half |");
+    size_t full_pos = s.find("full |");
+    ASSERT_NE(half_pos, std::string::npos);
+    ASSERT_NE(full_pos, std::string::npos);
+    std::string half_bar = s.substr(half_pos + 6, 20);
+    std::string full_bar = s.substr(full_pos + 6, 20);
+    EXPECT_EQ(std::count(half_bar.begin(), half_bar.end(), '#'), 10);
+    EXPECT_EQ(std::count(full_bar.begin(), full_bar.end(), '#'), 20);
+}
+
+TEST(BarChartTest, OverflowClampsToWidth)
+{
+    BarChart chart({"v"}, 100.0, 20);
+    chart.addBar("over", {250.0});
+    std::string s = chart.toString();
+    size_t pos = s.find("over |");
+    std::string bar = s.substr(pos + 6, 22);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), '#'), 20);
+    EXPECT_NE(s.find("250.0"), std::string::npos);
+}
+
+TEST(BarChartTest, CumulativeRoundingConservesTotalLength)
+{
+    // Three sections of 33.4 each: naive per-section rounding could
+    // drift; cumulative rounding keeps the final length right.
+    BarChart chart({"a", "b", "c"}, 100.2, 30);
+    chart.addBar("x", {33.4, 33.4, 33.4});
+    std::string s = chart.toString();
+    size_t pos = s.find("x |");
+    std::string bar = s.substr(pos + 3, 30);
+    int glyphs = 0;
+    for (char c : bar)
+        if (c != ' ')
+            ++glyphs;
+    EXPECT_EQ(glyphs, 30);
+}
+
+} // namespace
+} // namespace dsmem::stats

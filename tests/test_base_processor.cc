@@ -1,0 +1,144 @@
+#include "core/base_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/instruction.h"
+
+namespace dsmem::core {
+namespace {
+
+using trace::makeBranch;
+using trace::makeCompute;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::makeSync;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+TraceInst
+missLoad(trace::Addr addr, uint32_t latency = 50)
+{
+    TraceInst inst = makeLoad(addr);
+    inst.latency = latency;
+    return inst;
+}
+
+TraceInst
+missStore(trace::Addr addr, uint32_t latency = 50)
+{
+    TraceInst inst = makeStore(addr);
+    inst.latency = latency;
+    return inst;
+}
+
+TraceInst
+acquire(Op op, uint32_t wait, uint32_t transfer)
+{
+    TraceInst inst = makeSync(op, 0);
+    inst.aux = wait;
+    inst.latency = transfer;
+    return inst;
+}
+
+TEST(BaseProcessorTest, EmptyTrace)
+{
+    Trace t;
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(BaseProcessorTest, ComputeOnly)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.append(makeCompute(Op::IALU));
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.cycles, 10u);
+    EXPECT_EQ(r.breakdown.busy, 10u);
+    EXPECT_EQ(r.breakdown.read, 0u);
+}
+
+TEST(BaseProcessorTest, ReadMissFullyExposed)
+{
+    Trace t;
+    t.append(missLoad(16));
+    t.append(makeLoad(16)); // Hit: latency 1.
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.breakdown.busy, 2u);
+    EXPECT_EQ(r.breakdown.read, 49u);
+    EXPECT_EQ(r.cycles, 51u);
+    EXPECT_EQ(r.read_misses, 1u);
+}
+
+TEST(BaseProcessorTest, WriteMissFullyExposed)
+{
+    Trace t;
+    t.append(missStore(16));
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.breakdown.busy, 1u);
+    EXPECT_EQ(r.breakdown.write, 49u);
+    EXPECT_EQ(r.cycles, 50u);
+}
+
+TEST(BaseProcessorTest, AcquireChargedToSync)
+{
+    Trace t;
+    t.append(acquire(Op::LOCK, 120, 50));
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.breakdown.sync, 170u);
+    EXPECT_EQ(r.breakdown.busy, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(BaseProcessorTest, ReleaseChargedToWrite)
+{
+    Trace t;
+    t.append(acquire(Op::UNLOCK, 0, 50));
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.breakdown.write, 50u);
+    EXPECT_EQ(r.breakdown.sync, 0u);
+}
+
+TEST(BaseProcessorTest, BranchesCountedAsBusy)
+{
+    Trace t;
+    t.append(makeBranch(1, true));
+    t.append(makeBranch(1, false));
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.branches, 2u);
+    EXPECT_EQ(r.breakdown.busy, 2u);
+}
+
+TEST(BaseProcessorTest, MixedTraceSumsExactly)
+{
+    Trace t;
+    t.append(makeCompute(Op::FADD));   // busy 1
+    t.append(missLoad(16));            // busy 1 + read 49
+    t.append(missStore(32));           // busy 1 + write 49
+    t.append(acquire(Op::BARRIER, 200, 50)); // sync 250
+    t.append(acquire(Op::SET_EVENT, 0, 1));  // write 1
+    RunResult r = BaseProcessor().run(t);
+    EXPECT_EQ(r.breakdown.busy, 3u);
+    EXPECT_EQ(r.breakdown.read, 49u);
+    EXPECT_EQ(r.breakdown.write, 50u);
+    EXPECT_EQ(r.breakdown.sync, 250u);
+    EXPECT_EQ(r.cycles, r.breakdown.total());
+    EXPECT_EQ(r.instructions, 3u);
+}
+
+TEST(BreakdownTest, TotalsAndMerge)
+{
+    Breakdown bd;
+    bd.busy = 10;
+    bd.sync = 5;
+    bd.read = 3;
+    bd.write = 2;
+    bd.pipeline = 4;
+    EXPECT_EQ(bd.total(), 24u);
+    EXPECT_EQ(bd.busyMerged(), 14u);
+}
+
+} // namespace
+} // namespace dsmem::core

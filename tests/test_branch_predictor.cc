@@ -1,0 +1,127 @@
+#include "core/branch_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::core {
+namespace {
+
+TEST(BtbConfigTest, Validity)
+{
+    BtbConfig ok;
+    EXPECT_TRUE(ok.valid());
+    EXPECT_EQ(ok.numSets(), 512u);
+
+    BtbConfig bad;
+    bad.entries = 0;
+    EXPECT_FALSE(bad.valid());
+    bad = BtbConfig{};
+    bad.associativity = 3; // 2048/3 not integral.
+    EXPECT_FALSE(bad.valid());
+    bad = BtbConfig{};
+    bad.entries = 1536; // sets = 384, not a power of two.
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(BranchPredictorTest, RejectsBadConfig)
+{
+    BtbConfig bad;
+    bad.entries = 0;
+    EXPECT_THROW(BranchPredictor{bad}, std::invalid_argument);
+}
+
+TEST(BranchPredictorTest, ColdNotTakenPredictsCorrectly)
+{
+    BranchPredictor p{BtbConfig{}};
+    // Untracked not-taken branches fall through correctly.
+    EXPECT_TRUE(p.predict(1, false));
+    EXPECT_EQ(p.mispredicts(), 0u);
+}
+
+TEST(BranchPredictorTest, ColdTakenMispredicts)
+{
+    BranchPredictor p{BtbConfig{}};
+    EXPECT_FALSE(p.predict(1, true)); // BTB miss, no target.
+    EXPECT_EQ(p.mispredicts(), 1u);
+    // Entry allocated weakly-taken: next taken is correct.
+    EXPECT_TRUE(p.predict(1, true));
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysTaken)
+{
+    BranchPredictor p{BtbConfig{}};
+    p.predict(1, true); // Mispredict + allocate.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(p.predict(1, true));
+    EXPECT_EQ(p.mispredicts(), 1u);
+    EXPECT_GT(p.accuracy(), 0.98);
+}
+
+TEST(BranchPredictorTest, HysteresisSurvivesOneNotTaken)
+{
+    BranchPredictor p{BtbConfig{}};
+    p.predict(1, true);
+    p.predict(1, true);
+    p.predict(1, true); // Counter saturated at 3.
+    EXPECT_FALSE(p.predict(1, false)); // Mispredict, counter 2.
+    EXPECT_TRUE(p.predict(1, true));   // Still predicted taken.
+}
+
+TEST(BranchPredictorTest, AlternatingIsHard)
+{
+    BranchPredictor p{BtbConfig{}};
+    for (int i = 0; i < 100; ++i)
+        p.predict(1, i % 2 == 0);
+    // A 2-bit counter cannot learn strict alternation.
+    EXPECT_LT(p.accuracy(), 0.7);
+}
+
+TEST(BranchPredictorTest, PerfectMode)
+{
+    BtbConfig config;
+    config.perfect = true;
+    BranchPredictor p{config};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(p.predict(static_cast<uint32_t>(i), i % 3 == 0));
+    EXPECT_EQ(p.mispredicts(), 0u);
+    EXPECT_DOUBLE_EQ(p.accuracy(), 1.0);
+}
+
+TEST(BranchPredictorTest, CapacityEviction)
+{
+    BtbConfig config;
+    config.entries = 8;
+    config.associativity = 2; // 4 sets.
+    BranchPredictor p{config};
+    // Train many distinct always-taken sites; far more than capacity.
+    for (uint32_t site = 1; site <= 64; ++site)
+        p.predict(site, true);
+    // Each cold taken branch mispredicts; evictions keep happening.
+    EXPECT_EQ(p.mispredicts(), 64u);
+    // Re-visiting recent sites may hit, old ones were evicted and
+    // mispredict again.
+    uint64_t before = p.mispredicts();
+    for (uint32_t site = 1; site <= 64; ++site)
+        p.predict(site, true);
+    EXPECT_GT(p.mispredicts(), before);
+}
+
+TEST(BranchPredictorTest, ResetClearsState)
+{
+    BranchPredictor p{BtbConfig{}};
+    p.predict(1, true);
+    p.reset();
+    EXPECT_EQ(p.lookups(), 0u);
+    EXPECT_EQ(p.mispredicts(), 0u);
+    EXPECT_FALSE(p.predict(1, true)); // Cold again.
+}
+
+TEST(BranchPredictorTest, AccuracyEmpty)
+{
+    BranchPredictor p{BtbConfig{}};
+    EXPECT_DOUBLE_EQ(p.accuracy(), 1.0);
+}
+
+} // namespace
+} // namespace dsmem::core

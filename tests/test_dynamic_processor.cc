@@ -1,0 +1,418 @@
+#include "core/dynamic_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_processor.h"
+#include "core/branch_predictor.h"
+#include "random_trace.h"
+#include "trace/instruction.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::core {
+namespace {
+
+using trace::makeBranch;
+using trace::makeCompute;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::makeSync;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+TraceInst
+missLoad(trace::Addr addr, trace::InstIndex dep = trace::kNoSrc)
+{
+    TraceInst inst = makeLoad(addr, dep);
+    inst.latency = 50;
+    return inst;
+}
+
+TraceInst
+missStore(trace::Addr addr)
+{
+    TraceInst inst = makeStore(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+DynamicConfig
+configOf(ConsistencyModel model, uint32_t window)
+{
+    DynamicConfig config;
+    config.model = model;
+    config.window = window;
+    return config;
+}
+
+RunResult
+run(const Trace &t, ConsistencyModel model, uint32_t window = 64)
+{
+    return DynamicProcessor(configOf(model, window)).run(t);
+}
+
+TEST(DynamicProcessorTest, RejectsBadConfig)
+{
+    DynamicConfig config;
+    config.window = 0;
+    EXPECT_THROW(DynamicProcessor{config}, std::invalid_argument);
+    config = DynamicConfig{};
+    config.width = 0;
+    EXPECT_THROW(DynamicProcessor{config}, std::invalid_argument);
+    config = DynamicConfig{};
+    config.width = 32;
+    config.window = 16; // width > window
+    EXPECT_THROW(DynamicProcessor{config}, std::invalid_argument);
+    config = DynamicConfig{};
+    config.btb.entries = 0;
+    EXPECT_THROW(DynamicProcessor{config}, std::invalid_argument);
+}
+
+TEST(DynamicProcessorTest, EmptyTrace)
+{
+    Trace t;
+    RunResult r = run(t, ConsistencyModel::RC);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(DynamicProcessorTest, SingleLoadMissTiming)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    RunResult r = run(t, ConsistencyModel::RC);
+    // decode 0, issue 1, completes 51, retires 51 -> 52 total cycles.
+    EXPECT_EQ(r.cycles, 52u);
+    EXPECT_EQ(r.breakdown.busy, 1u);
+    EXPECT_EQ(r.breakdown.read, 51u);
+    EXPECT_EQ(r.read_misses, 1u);
+}
+
+TEST(DynamicProcessorTest, IndependentMissesOverlapUnderRc)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000));
+    RunResult rc = run(t, ConsistencyModel::RC);
+    RunResult sc = run(t, ConsistencyModel::SC);
+    // RC: port-limited overlap; both done by ~53.
+    EXPECT_LE(rc.cycles, 54u);
+    // SC: the second load may not issue until the first performs.
+    EXPECT_GE(sc.cycles, 102u);
+}
+
+TEST(DynamicProcessorTest, DependentMissesCannotOverlap)
+{
+    Trace t;
+    trace::InstIndex first = t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000, first)); // Address depends on first.
+    RunResult rc = run(t, ConsistencyModel::RC);
+    EXPECT_GE(rc.cycles, 102u);
+}
+
+TEST(DynamicProcessorTest, ComputeChainRetiresOnePerCycle)
+{
+    Trace t;
+    trace::InstIndex prev = t.append(makeCompute(Op::IALU));
+    for (int i = 0; i < 99; ++i)
+        prev = t.append(makeCompute(Op::IALU, prev));
+    RunResult r = run(t, ConsistencyModel::RC);
+    EXPECT_EQ(r.breakdown.busy, 100u);
+    // Dependent chain: one per cycle after the pipeline fills.
+    EXPECT_LE(r.cycles, 103u);
+}
+
+TEST(DynamicProcessorTest, WindowLimitsMissOverlap)
+{
+    // Two independent misses separated by more instructions than a
+    // small window can span cannot be overlapped by that window.
+    Trace t;
+    t.append(missLoad(0x1000));
+    for (int i = 0; i < 30; ++i)
+        t.append(makeCompute(Op::IALU));
+    t.append(missLoad(0x2000));
+
+    RunResult small = run(t, ConsistencyModel::RC, 16);
+    RunResult large = run(t, ConsistencyModel::RC, 64);
+    EXPECT_GT(small.cycles, large.cycles);
+    // Window 64 covers both misses: ~32 instructions + one latency.
+    EXPECT_LE(large.cycles, 90u);
+    EXPECT_GE(small.cycles, 100u);
+}
+
+TEST(DynamicProcessorTest, StoresRetireWithoutBlockingUnderRc)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.append(missStore(static_cast<trace::Addr>(0x1000 + 16 * i)));
+    RunResult r = run(t, ConsistencyModel::RC);
+    // All stores leave the ROB as soon as their slot frees; the write
+    // latency is entirely hidden.
+    EXPECT_LE(r.cycles, 15u);
+    EXPECT_EQ(r.breakdown.busy, 10u);
+}
+
+TEST(DynamicProcessorTest, StoreToLoadForwarding)
+{
+    Trace t;
+    t.append(missStore(0x1000));
+    t.append(makeCompute(Op::IALU));
+    TraceInst load = makeLoad(0x1000);
+    load.latency = 50; // Would miss, but the store buffer forwards.
+    t.append(load);
+    RunResult r = run(t, ConsistencyModel::RC);
+    EXPECT_LE(r.cycles, 20u);
+}
+
+TEST(DynamicProcessorTest, MispredictStallsFetch)
+{
+    // A mispredicted branch whose condition depends on a load miss
+    // freezes fetch until the branch resolves.
+    Trace good;
+    Trace bad;
+    for (Trace *t : {&good, &bad}) {
+        trace::InstIndex v = t->append(missLoad(0x1000));
+        trace::InstIndex cmp =
+            t->append(makeCompute(Op::IALU, v));
+        // Cold BTB: a taken branch mispredicts, not-taken predicts.
+        t->append(makeBranch(7, t == &bad, cmp));
+        for (int i = 0; i < 40; ++i)
+            t->append(makeCompute(Op::IALU));
+    }
+    RunResult r_good = run(good, ConsistencyModel::RC);
+    RunResult r_bad = run(bad, ConsistencyModel::RC);
+    EXPECT_GT(r_bad.cycles, r_good.cycles);
+    EXPECT_EQ(r_bad.mispredicts, 1u);
+    EXPECT_EQ(r_good.mispredicts, 0u);
+    EXPECT_GT(r_bad.breakdown.pipeline, 0u);
+}
+
+TEST(DynamicProcessorTest, PerfectPredictionRemovesFetchStalls)
+{
+    Trace t;
+    trace::InstIndex v = t.append(missLoad(0x1000));
+    t.append(makeBranch(7, true, v));
+    for (int i = 0; i < 40; ++i)
+        t.append(makeCompute(Op::IALU));
+
+    DynamicConfig config = configOf(ConsistencyModel::RC, 64);
+    config.btb.perfect = true;
+    RunResult perfect = DynamicProcessor(config).run(t);
+    RunResult real = run(t, ConsistencyModel::RC, 64);
+    EXPECT_LT(perfect.cycles, real.cycles);
+    EXPECT_EQ(perfect.mispredicts, 0u);
+}
+
+TEST(DynamicProcessorTest, IgnoreDepsRemovesChainStalls)
+{
+    Trace t;
+    trace::InstIndex first = t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000, first));
+    DynamicConfig config = configOf(ConsistencyModel::RC, 64);
+    config.ignore_data_deps = true;
+    RunResult nodep = DynamicProcessor(config).run(t);
+    RunResult dep = run(t, ConsistencyModel::RC, 64);
+    EXPECT_LT(nodep.cycles, dep.cycles);
+    EXPECT_LE(nodep.cycles, 54u);
+}
+
+TEST(DynamicProcessorTest, AcquireWaitIsNotHidden)
+{
+    Trace t;
+    for (int i = 0; i < 200; ++i)
+        t.append(makeCompute(Op::IALU));
+    TraceInst lock = makeSync(Op::LOCK, 1);
+    lock.aux = 500;
+    lock.latency = 50;
+    t.append(lock);
+    RunResult r = run(t, ConsistencyModel::RC, 256);
+    EXPECT_GE(r.breakdown.sync, 500u);
+    EXPECT_GE(r.cycles, 700u);
+}
+
+TEST(DynamicProcessorTest, AcquireTransferIsHideable)
+{
+    // Acquire access latency overlaps with a prior read miss: the
+    // lock issues right after decode and performs while the load is
+    // still outstanding.
+    Trace t;
+    t.append(missLoad(0x1000));
+    for (int i = 0; i < 3; ++i)
+        t.append(makeCompute(Op::IALU));
+    TraceInst lock = makeSync(Op::LOCK, 1);
+    lock.aux = 0;
+    lock.latency = 50;
+    t.append(lock);
+
+    RunResult r = run(t, ConsistencyModel::RC, 256);
+    // Serial cost would be ~104; overlapped it is ~56.
+    EXPECT_LE(r.cycles, 60u);
+    EXPECT_LE(r.breakdown.sync, 6u);
+}
+
+TEST(DynamicProcessorTest, RcBlocksAccessesAfterAcquire)
+{
+    Trace t;
+    TraceInst lock = makeSync(Op::LOCK, 1);
+    lock.aux = 0;
+    lock.latency = 50;
+    t.append(lock);
+    t.append(missLoad(0x1000));
+    RunResult r = run(t, ConsistencyModel::RC);
+    // The load may not issue until the acquire performs: ~50 + 50.
+    EXPECT_GE(r.cycles, 100u);
+}
+
+TEST(DynamicProcessorTest, ReleaseWaitsForPriorAccesses)
+{
+    Trace t;
+    t.append(missStore(0x1000));
+    TraceInst release = makeSync(Op::UNLOCK, 1);
+    release.latency = 50;
+    t.append(release);
+    t.append(missLoad(0x2000));
+    RunResult rc = run(t, ConsistencyModel::RC);
+    // The release performs after the store (51+50); but the load
+    // after the release need not wait for it under RC.
+    EXPECT_LE(rc.cycles, 60u);
+}
+
+TEST(DynamicProcessorTest, StoreBufferCapacityBackpressure)
+{
+    Trace t;
+    for (int i = 0; i < 64; ++i) {
+        t.append(
+            missStore(static_cast<trace::Addr>(0x1000 + 16 * i)));
+    }
+    DynamicConfig tiny = configOf(ConsistencyModel::SC, 64);
+    tiny.store_buffer_depth = 2;
+    DynamicConfig big = configOf(ConsistencyModel::SC, 64);
+    big.store_buffer_depth = 64;
+    RunResult r_tiny = DynamicProcessor(tiny).run(t);
+    RunResult r_big = DynamicProcessor(big).run(t);
+    EXPECT_GE(r_tiny.cycles, r_big.cycles);
+    EXPECT_EQ(tiny.storeBufferDepth(), 2u);
+    DynamicConfig def = configOf(ConsistencyModel::SC, 64);
+    EXPECT_EQ(def.storeBufferDepth(), 64u);
+}
+
+TEST(DynamicProcessorTest, ReadDelayHistogramCollected)
+{
+    Trace t;
+    trace::InstIndex first = t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000, first)); // Delayed by the chain.
+    DynamicConfig config = configOf(ConsistencyModel::RC, 64);
+    config.collect_read_delay = true;
+    DynamicResult r = DynamicProcessor(config).run(t);
+    EXPECT_EQ(r.read_issue_delay.count(), 2u);
+    // The dependent miss waited ~50 cycles to issue.
+    EXPECT_GE(r.read_issue_delay.max(), 45u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests over random traces
+// ---------------------------------------------------------------------
+
+class DynamicPropertyTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DynamicPropertyTest, BreakdownSumsToTotal)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    for (ConsistencyModel model :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::RC}) {
+        for (uint32_t window : {16u, 64u, 256u}) {
+            RunResult r = run(t, model, window);
+            EXPECT_EQ(r.cycles, r.breakdown.total());
+        }
+    }
+}
+
+TEST_P(DynamicPropertyTest, BusyEqualsInstructions)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    trace::TraceStats s = trace::computeStats(t);
+    RunResult r = run(t, ConsistencyModel::RC, 64);
+    EXPECT_EQ(r.breakdown.busy, s.instructions);
+    EXPECT_EQ(r.instructions, s.instructions);
+}
+
+TEST_P(DynamicPropertyTest, LargerWindowsNeverHurt)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t window : {16u, 32u, 64u, 128u, 256u}) {
+        RunResult r = run(t, ConsistencyModel::RC, window);
+        // Allow a hair of slack for resource-arbitration anomalies.
+        EXPECT_LE(r.cycles, prev + prev / 100 + 4) << window;
+        prev = r.cycles;
+    }
+}
+
+TEST_P(DynamicPropertyTest, RelaxedModelsNeverSlower)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    RunResult sc = run(t, ConsistencyModel::SC, 64);
+    RunResult pc = run(t, ConsistencyModel::PC, 64);
+    RunResult rc = run(t, ConsistencyModel::RC, 64);
+    EXPECT_GE(sc.cycles + sc.cycles / 100, pc.cycles);
+    EXPECT_GE(pc.cycles + pc.cycles / 100, rc.cycles);
+}
+
+TEST_P(DynamicPropertyTest, DynamicNeverSlowerThanBase)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    RunResult base = BaseProcessor().run(t);
+    RunResult ds = run(t, ConsistencyModel::RC, 64);
+    EXPECT_LE(ds.cycles, base.cycles + 16);
+}
+
+TEST_P(DynamicPropertyTest, PerfectHelpersNeverSlower)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    RunResult real = run(t, ConsistencyModel::RC, 64);
+
+    DynamicConfig pbp = configOf(ConsistencyModel::RC, 64);
+    pbp.btb.perfect = true;
+    RunResult r_pbp = DynamicProcessor(pbp).run(t);
+    EXPECT_LE(r_pbp.cycles, real.cycles + 4);
+
+    DynamicConfig nodep = pbp;
+    nodep.ignore_data_deps = true;
+    RunResult r_nodep = DynamicProcessor(nodep).run(t);
+    EXPECT_LE(r_nodep.cycles, r_pbp.cycles + 4);
+}
+
+TEST_P(DynamicPropertyTest, MispredictsMatchStandalonePredictor)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    RunResult r = run(t, ConsistencyModel::RC, 64);
+
+    BranchPredictor predictor{BtbConfig{}};
+    uint64_t branches = 0;
+    for (const TraceInst &inst : t) {
+        if (inst.op == Op::BRANCH) {
+            ++branches;
+            predictor.predict(inst.branchSite(), inst.taken);
+        }
+    }
+    EXPECT_EQ(r.branches, branches);
+    EXPECT_EQ(r.mispredicts, predictor.mispredicts());
+}
+
+TEST_P(DynamicPropertyTest, WiderIssueNeverSlower)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 3000);
+    DynamicConfig w1 = configOf(ConsistencyModel::RC, 128);
+    DynamicConfig w4 = configOf(ConsistencyModel::RC, 128);
+    w4.width = 4;
+    RunResult r1 = DynamicProcessor(w1).run(t);
+    RunResult r4 = DynamicProcessor(w4).run(t);
+    EXPECT_LE(r4.cycles, r1.cycles + r1.cycles / 50 + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicPropertyTest,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+} // namespace
+} // namespace dsmem::core

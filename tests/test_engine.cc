@@ -1,0 +1,451 @@
+#include "mp/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mp/subtask.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::mp {
+namespace {
+
+EngineConfig
+smallConfig(uint32_t procs)
+{
+    EngineConfig config;
+    config.num_procs = procs;
+    config.arena_slots = 1u << 16;
+    config.trace_reserve = 1024;
+    return config;
+}
+
+// ---------------------------------------------------------------------
+// DSL arithmetic semantics (single processor)
+// ---------------------------------------------------------------------
+
+Task
+intOpsBody(ThreadContext &ctx, ArenaArray<int64_t> out)
+{
+    Val a = ctx.imm(20);
+    Val b = ctx.imm(6);
+    co_await ctx.storeIdx(out, ctx.imm(0), ctx.add(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(1), ctx.sub(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(2), ctx.mul(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(3), ctx.divi(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(4), ctx.rem(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(5), ctx.divi(a, ctx.imm(0)));
+    co_await ctx.storeIdx(out, ctx.imm(6), ctx.band(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(7), ctx.bor(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(8), ctx.bxor(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(9), ctx.shl(b, ctx.imm(2)));
+    co_await ctx.storeIdx(out, ctx.imm(10), ctx.shr(a, ctx.imm(1)));
+    co_await ctx.storeIdx(out, ctx.imm(11), ctx.lt(b, a));
+    co_await ctx.storeIdx(out, ctx.imm(12), ctx.ge(b, a));
+    co_await ctx.storeIdx(out, ctx.imm(13), ctx.eq(a, a));
+    co_await ctx.storeIdx(out, ctx.imm(14), ctx.imin(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(15), ctx.imax(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(16), ctx.lnot(ctx.imm(0)));
+    co_await ctx.storeIdx(out, ctx.imm(17),
+                          ctx.land(ctx.imm(3), ctx.imm(0)));
+    co_await ctx.storeIdx(out, ctx.imm(18),
+                          ctx.lor(ctx.imm(0), ctx.imm(5)));
+}
+
+TEST(DslTest, IntegerOps)
+{
+    Engine engine(smallConfig(1));
+    ArenaArray<int64_t> out(&engine.arena(), 19);
+    engine.addThread(0, intOpsBody(engine.context(0), out));
+    engine.run();
+
+    const int64_t expected[] = {26, 14, 120, 3, 2, 0, 4,  22, 18, 24,
+                                10, 1,  0,   1, 6, 20, 1, 0,  1};
+    for (size_t i = 0; i < std::size(expected); ++i)
+        EXPECT_EQ(out.get(i), expected[i]) << "slot " << i;
+}
+
+Task
+floatOpsBody(ThreadContext &ctx, ArenaArray<double> out)
+{
+    Val a = ctx.fimm(6.0);
+    Val b = ctx.fimm(1.5);
+    co_await ctx.storeIdx(out, ctx.imm(0), ctx.fadd(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(1), ctx.fsub(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(2), ctx.fmul(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(3), ctx.fdivv(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(4), ctx.fdivv(a, ctx.fimm(0.0)));
+    co_await ctx.storeIdx(out, ctx.imm(5), ctx.fneg(a));
+    co_await ctx.storeIdx(out, ctx.imm(6), ctx.fabsv(ctx.fimm(-2.5)));
+    co_await ctx.storeIdx(out, ctx.imm(7), ctx.fsqrt(ctx.fimm(16.0)));
+    co_await ctx.storeIdx(out, ctx.imm(8), ctx.fsqrt(ctx.fimm(-4.0)));
+    co_await ctx.storeIdx(out, ctx.imm(9), ctx.fminv(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(10), ctx.fmaxv(a, b));
+    co_await ctx.storeIdx(out, ctx.imm(11), ctx.toFloat(ctx.imm(7)));
+    // Integer-result fp ops land in the int payload; convert to store.
+    co_await ctx.storeIdx(out, ctx.imm(12),
+                          ctx.toFloat(ctx.flt(b, a)));
+    co_await ctx.storeIdx(out, ctx.imm(13),
+                          ctx.toFloat(ctx.fge(b, a)));
+    co_await ctx.storeIdx(out, ctx.imm(14),
+                          ctx.toFloat(ctx.toInt(ctx.fimm(3.9))));
+}
+
+TEST(DslTest, FloatOps)
+{
+    Engine engine(smallConfig(1));
+    ArenaArray<double> out(&engine.arena(), 15);
+    engine.addThread(0, floatOpsBody(engine.context(0), out));
+    engine.run();
+
+    const double expected[] = {7.5, 4.5, 9.0, 4.0, 0.0, -6.0, 2.5, 4.0,
+                               0.0, 1.5, 6.0, 7.0, 1.0, 0.0,  3.0};
+    for (size_t i = 0; i < std::size(expected); ++i)
+        EXPECT_DOUBLE_EQ(out.get(i), expected[i]) << "slot " << i;
+}
+
+// ---------------------------------------------------------------------
+// Timing semantics
+// ---------------------------------------------------------------------
+
+Task
+loadTwiceBody(ThreadContext &ctx, Addr addr)
+{
+    co_await ctx.loadInt(addr);
+    co_await ctx.loadInt(addr);
+}
+
+TEST(EngineTimingTest, BlockingReadStallsForMiss)
+{
+    Engine engine(smallConfig(1));
+    Addr addr = engine.arena().alloc(2);
+    engine.addThread(0, loadTwiceBody(engine.context(0), addr));
+    engine.run();
+    // Cold miss (50) + hit (1).
+    EXPECT_EQ(engine.completionCycle(0), 51u);
+}
+
+Task
+storeBody(ThreadContext &ctx, Addr addr)
+{
+    co_await ctx.storeInt(addr, ctx.imm(1));
+    co_await ctx.storeInt(addr, ctx.imm(2));
+}
+
+TEST(EngineTimingTest, WritesAreBuffered)
+{
+    Engine engine(smallConfig(1));
+    Addr addr = engine.arena().alloc(2);
+    engine.addThread(0, storeBody(engine.context(0), addr));
+    engine.run();
+    // Each store costs one processor cycle under RC, even the miss.
+    EXPECT_EQ(engine.completionCycle(0), 2u);
+    // But the annotation carries the real latency.
+    const trace::Trace &t = engine.trace();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].latency, 50u);
+    EXPECT_EQ(t[1].latency, 1u);
+}
+
+Task
+computeBody(ThreadContext &ctx, int n)
+{
+    Val acc = ctx.imm(0);
+    for (int i = 0; i < n; ++i)
+        acc = ctx.add(acc, ctx.imm(1));
+    co_await ctx.storeInt(ctx.arena().alloc(1), acc);
+}
+
+TEST(EngineTimingTest, ComputeCostsOneCyclePerOp)
+{
+    Engine engine(smallConfig(1));
+    engine.addThread(0, computeBody(engine.context(0), 10));
+    engine.run();
+    EXPECT_EQ(engine.completionCycle(0), 11u); // 10 adds + 1 store.
+}
+
+// ---------------------------------------------------------------------
+// Locks, barriers, events through the engine
+// ---------------------------------------------------------------------
+
+Task
+lockHolderBody(ThreadContext &ctx, LockId lock, int work)
+{
+    co_await ctx.lock(lock);
+    Val acc = ctx.imm(0);
+    for (int i = 0; i < work; ++i)
+        acc = ctx.add(acc, ctx.imm(1));
+    co_await ctx.unlock(lock);
+}
+
+TEST(EngineSyncTest, LockContentionTiming)
+{
+    Engine engine(smallConfig(2));
+    LockId lock = engine.createLock();
+    engine.addThread(0, lockHolderBody(engine.context(0), lock, 100));
+    engine.addThread(1, lockHolderBody(engine.context(1), lock, 0));
+    engine.run();
+
+    // P0 (tie-break winner) acquires at 0: transfer 50 -> cycle 50;
+    // 100 compute -> 150; unlock -> 151.
+    EXPECT_EQ(engine.completionCycle(0), 151u);
+    // P1 parks at 0, granted at 150, +50 transfer -> 200; unlock 201.
+    EXPECT_EQ(engine.completionCycle(1), 201u);
+
+    const ThreadStats &s1 = engine.threadStats(1);
+    EXPECT_EQ(s1.sync_wait_cycles, 150u);
+    EXPECT_EQ(s1.sync_transfer_cycles, 50u);
+}
+
+Task
+barrierBody(ThreadContext &ctx, BarrierId barrier, int pre_work)
+{
+    Val acc = ctx.imm(0);
+    for (int i = 0; i < pre_work; ++i)
+        acc = ctx.add(acc, ctx.imm(1));
+    co_await ctx.barrier(barrier);
+}
+
+TEST(EngineSyncTest, BarrierAlignsThreads)
+{
+    Engine engine(smallConfig(3));
+    BarrierId barrier = engine.createBarrier();
+    engine.addThread(0, barrierBody(engine.context(0), barrier, 10));
+    engine.addThread(1, barrierBody(engine.context(1), barrier, 500));
+    engine.addThread(2, barrierBody(engine.context(2), barrier, 20));
+    engine.run();
+
+    // Last arrival at 500 releases everyone at 500 + 50.
+    EXPECT_EQ(engine.completionCycle(0), 550u);
+    EXPECT_EQ(engine.completionCycle(1), 550u);
+    EXPECT_EQ(engine.completionCycle(2), 550u);
+    EXPECT_EQ(engine.threadStats(0).sync_wait_cycles, 490u);
+}
+
+Task
+producerBody(ThreadContext &ctx, EventId event, Addr addr)
+{
+    Val acc = ctx.imm(0);
+    for (int i = 0; i < 99; ++i)
+        acc = ctx.add(acc, ctx.imm(1));
+    co_await ctx.storeInt(addr, acc);
+    co_await ctx.setEvent(event);
+}
+
+Task
+consumerBody(ThreadContext &ctx, EventId event, Addr addr,
+             ArenaArray<int64_t> out)
+{
+    co_await ctx.waitEvent(event);
+    Val v = co_await ctx.loadInt(addr);
+    co_await ctx.storeIdx(out, ctx.imm(0), v);
+}
+
+TEST(EngineSyncTest, ProducerConsumerEvent)
+{
+    Engine engine(smallConfig(2));
+    EventId event = engine.createEvent();
+    Addr addr = engine.arena().alloc(1);
+    ArenaArray<int64_t> out(&engine.arena(), 1);
+    engine.addThread(0, producerBody(engine.context(0), event, addr));
+    engine.addThread(1,
+                     consumerBody(engine.context(1), event, addr, out));
+    engine.run();
+    // The consumer observed the value written before the set.
+    EXPECT_EQ(out.get(0), 99);
+    EXPECT_EQ(engine.threadStats(1).wait_events, 1u);
+    EXPECT_EQ(engine.threadStats(0).set_events, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Error handling
+// ---------------------------------------------------------------------
+
+Task
+waitsForeverBody(ThreadContext &ctx, EventId event)
+{
+    co_await ctx.waitEvent(event);
+}
+
+TEST(EngineErrorTest, DeadlockDetected)
+{
+    Engine engine(smallConfig(1));
+    EventId event = engine.createEvent();
+    engine.addThread(0, waitsForeverBody(engine.context(0), event));
+    EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+Task
+throwingBody(ThreadContext &ctx)
+{
+    co_await ctx.storeInt(ctx.arena().alloc(1), ctx.imm(1));
+    throw std::domain_error("app bug");
+}
+
+TEST(EngineErrorTest, ExceptionPropagates)
+{
+    Engine engine(smallConfig(1));
+    engine.addThread(0, throwingBody(engine.context(0)));
+    EXPECT_THROW(engine.run(), std::domain_error);
+}
+
+TEST(EngineErrorTest, ApiMisuse)
+{
+    Engine engine(smallConfig(2));
+    EXPECT_THROW(engine.addThread(0, Task()), std::invalid_argument);
+    EXPECT_THROW(engine.context(2), std::out_of_range);
+    EXPECT_THROW(engine.run(), std::logic_error); // No threads.
+}
+
+TEST(EngineErrorTest, RunTwiceThrows)
+{
+    Engine engine(smallConfig(1));
+    engine.addThread(0, computeBody(engine.context(0), 1));
+    engine.run();
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(EngineErrorTest, DoubleAttachThrows)
+{
+    Engine engine(smallConfig(1));
+    engine.addThread(0, computeBody(engine.context(0), 1));
+    EXPECT_THROW(
+        engine.addThread(0, computeBody(engine.context(0), 1)),
+        std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Trace capture
+// ---------------------------------------------------------------------
+
+Task
+mixedBody(ThreadContext &ctx, Addr addr)
+{
+    Val v = co_await ctx.loadInt(addr);
+    Val w = ctx.add(v, ctx.imm(1));
+    ctx.branch(77, ctx.gt(w, ctx.imm(0)));
+    co_await ctx.storeInt(addr, w);
+}
+
+TEST(EngineTraceTest, CapturesOnlyTracedProcessorInSsaForm)
+{
+    Engine engine(smallConfig(2));
+    Addr a0 = engine.arena().alloc(1);
+    Addr a1 = engine.arena().alloc(1);
+    engine.addThread(0, mixedBody(engine.context(0), a0));
+    engine.addThread(1, mixedBody(engine.context(1), a1));
+    engine.run();
+
+    const trace::Trace &t = engine.trace();
+    // load, add, cmp, branch, store — from processor 0 only.
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.validate(), t.size());
+    EXPECT_EQ(t[0].op, trace::Op::LOAD);
+    EXPECT_EQ(t[0].addr, a0);
+    EXPECT_EQ(t[3].op, trace::Op::BRANCH);
+    EXPECT_EQ(t[3].branchSite(), 77u);
+    EXPECT_TRUE(t[3].taken);
+    EXPECT_EQ(t[4].op, trace::Op::STORE);
+    // The store's first source is the add (SSA index 1).
+    EXPECT_EQ(t[4].src[0], 1u);
+}
+
+// ---------------------------------------------------------------------
+// SubTask helpers
+// ---------------------------------------------------------------------
+
+SubTask<Val>
+loadAndDouble(ThreadContext &ctx, Addr addr)
+{
+    Val v = co_await ctx.loadInt(addr);
+    co_return ctx.add(v, v);
+}
+
+SubTask<void>
+storeThrough(ThreadContext &ctx, Addr addr, Val v)
+{
+    co_await ctx.storeInt(addr, v);
+}
+
+Task
+subtaskBody(ThreadContext &ctx, Addr in, Addr out)
+{
+    Val doubled = co_await loadAndDouble(ctx, in);
+    co_await storeThrough(ctx, out, doubled);
+}
+
+TEST(SubTaskTest, NestedHelpersPerformDslOps)
+{
+    Engine engine(smallConfig(1));
+    Addr in = engine.arena().alloc(1);
+    Addr out = engine.arena().alloc(1);
+    engine.arena().storeInt(in, 21);
+    engine.addThread(0, subtaskBody(engine.context(0), in, out));
+    engine.run();
+    EXPECT_EQ(engine.arena().loadInt(out), 42);
+    // load + add + store all recorded.
+    EXPECT_EQ(engine.trace().size(), 3u);
+}
+
+SubTask<void>
+throwingHelper(ThreadContext &ctx)
+{
+    co_await ctx.loadInt(ctx.arena().alloc(1));
+    throw std::domain_error("helper bug");
+}
+
+Task
+subtaskThrowBody(ThreadContext &ctx)
+{
+    co_await throwingHelper(ctx);
+}
+
+TEST(SubTaskTest, ExceptionPropagatesThroughNesting)
+{
+    Engine engine(smallConfig(1));
+    engine.addThread(0, subtaskThrowBody(engine.context(0)));
+    EXPECT_THROW(engine.run(), std::domain_error);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+Task
+racerBody(ThreadContext &ctx, Addr addr, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        Val v = co_await ctx.loadInt(addr);
+        co_await ctx.storeInt(addr, ctx.add(v, ctx.imm(1)));
+    }
+}
+
+TEST(EngineDeterminismTest, IdenticalRunsProduceIdenticalTraces)
+{
+    auto run_once = [](uint64_t *final_value) {
+        Engine engine(smallConfig(4));
+        Addr addr = engine.arena().alloc(1);
+        for (uint32_t p = 0; p < 4; ++p)
+            engine.addThread(p,
+                             racerBody(engine.context(p), addr, 50));
+        engine.run();
+        *final_value =
+            static_cast<uint64_t>(engine.arena().loadInt(addr));
+        return engine.takeTrace();
+    };
+
+    uint64_t v1 = 0;
+    uint64_t v2 = 0;
+    trace::Trace t1 = run_once(&v1);
+    trace::Trace t2 = run_once(&v2);
+    EXPECT_EQ(v1, v2);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].op, t2[i].op);
+        EXPECT_EQ(t1[i].latency, t2[i].latency);
+        EXPECT_EQ(t1[i].addr, t2[i].addr);
+    }
+}
+
+} // namespace
+} // namespace dsmem::mp

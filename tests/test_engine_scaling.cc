@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The applications and the engine must work at machine sizes other
+ * than the paper's 16 processors, and tracing must work from any
+ * designated processor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/lu.h"
+#include "apps/ocean.h"
+#include "mp/engine.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::mp {
+namespace {
+
+class EngineScalingTest : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(EngineScalingTest, LuRunsAndVerifiesAtAnyMachineSize)
+{
+    EngineConfig config;
+    config.num_procs = GetParam();
+    Engine engine(config);
+    apps::LuConfig lu_config;
+    lu_config.n = 40;
+    apps::Lu lu(lu_config);
+    apps::runApplication(engine, lu);
+    EXPECT_TRUE(lu.verify(engine));
+    EXPECT_EQ(engine.trace().validate(), engine.trace().size());
+}
+
+TEST_P(EngineScalingTest, OceanRunsAndVerifiesAtAnyMachineSize)
+{
+    EngineConfig config;
+    config.num_procs = GetParam();
+    Engine engine(config);
+    apps::OceanConfig ocean_config;
+    ocean_config.n = 34;
+    ocean_config.timesteps = 1;
+    apps::Ocean ocean(ocean_config);
+    apps::runApplication(engine, ocean);
+    EXPECT_TRUE(ocean.verify(engine));
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, EngineScalingTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(TracedProcTest, AnyProcessorCanBeTraced)
+{
+    EngineConfig config;
+    config.num_procs = 8;
+    config.traced_proc = 5;
+    Engine engine(config);
+    apps::LuConfig lu_config;
+    lu_config.n = 32;
+    apps::Lu lu(lu_config);
+    apps::runApplication(engine, lu);
+    EXPECT_TRUE(lu.verify(engine));
+    const trace::Trace &t = engine.trace();
+    EXPECT_GT(t.size(), 100u);
+    EXPECT_EQ(t.validate(), t.size());
+    // The traced processor's counters match the trace.
+    trace::TraceStats s = trace::computeStats(t);
+    EXPECT_EQ(s.instructions, engine.threadStats(5).instructions);
+}
+
+TEST(TracedProcTest, OutOfRangeTracedProcRejected)
+{
+    EngineConfig config;
+    config.num_procs = 4;
+    config.traced_proc = 4;
+    EXPECT_THROW(Engine{config}, std::invalid_argument);
+}
+
+TEST(EngineScalingTest2, MoreProcessorsMoreParallelWork)
+{
+    // Fixed problem: per-processor busy time shrinks with more
+    // processors (the whole point of the machine).
+    uint64_t busy_4 = 0;
+    uint64_t busy_16 = 0;
+    for (uint32_t procs : {4u, 16u}) {
+        EngineConfig config;
+        config.num_procs = procs;
+        Engine engine(config);
+        apps::LuConfig lu_config;
+        lu_config.n = 48;
+        apps::Lu lu(lu_config);
+        apps::runApplication(engine, lu);
+        uint64_t busy = engine.threadStats(0).instructions;
+        if (procs == 4)
+            busy_4 = busy;
+        else
+            busy_16 = busy;
+    }
+    EXPECT_LT(busy_16, busy_4);
+}
+
+} // namespace
+} // namespace dsmem::mp

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's baseline
+ * machine: the WO consistency model, finite MSHRs, the free-window
+ * retirement ablation, and window-occupancy statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_processor.h"
+#include "core/static_processor.h"
+#include "random_trace.h"
+#include "trace/instruction.h"
+
+namespace dsmem::core {
+namespace {
+
+using trace::makeCompute;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::makeSync;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+TraceInst
+missLoad(trace::Addr addr)
+{
+    TraceInst inst = makeLoad(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+TraceInst
+missStore(trace::Addr addr)
+{
+    TraceInst inst = makeStore(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+RunResult
+runDyn(const Trace &t, DynamicConfig config)
+{
+    return DynamicProcessor(config).run(t);
+}
+
+// ---------------------------------------------------------------------
+// Weak ordering
+// ---------------------------------------------------------------------
+
+TEST(WeakOrderingTest, OrdinaryAccessesOverlapBetweenSyncs)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000));
+    DynamicConfig config;
+    config.model = ConsistencyModel::WO;
+    RunResult r = runDyn(t, config);
+    EXPECT_LE(r.cycles, 54u); // Same as RC: misses overlap.
+}
+
+TEST(WeakOrderingTest, ReleaseIsAFullFence)
+{
+    // Under RC a load after a release need not wait for it; under WO
+    // the release is a fence and the load must.
+    Trace t;
+    t.append(missStore(0x1000));
+    TraceInst release = makeSync(Op::UNLOCK, 1);
+    release.latency = 50;
+    t.append(release);
+    t.append(missLoad(0x2000));
+
+    DynamicConfig rc;
+    rc.model = ConsistencyModel::RC;
+    DynamicConfig wo;
+    wo.model = ConsistencyModel::WO;
+    RunResult r_rc = runDyn(t, rc);
+    RunResult r_wo = runDyn(t, wo);
+    EXPECT_LE(r_rc.cycles, 60u);
+    // WO: store performs ~53, release ~103, load ~153.
+    EXPECT_GE(r_wo.cycles, 140u);
+}
+
+TEST(WeakOrderingTest, SitsBetweenPcAndRc)
+{
+    Trace t = dsmem::testing::randomTrace(99, 3000);
+    DynamicConfig config;
+    for (uint32_t window : {16u, 64u}) {
+        config.window = window;
+        config.model = ConsistencyModel::SC;
+        uint64_t sc = runDyn(t, config).cycles;
+        config.model = ConsistencyModel::WO;
+        uint64_t wo = runDyn(t, config).cycles;
+        config.model = ConsistencyModel::RC;
+        uint64_t rc = runDyn(t, config).cycles;
+        EXPECT_GE(sc + sc / 100, wo);
+        EXPECT_GE(wo + wo / 100, rc);
+    }
+}
+
+TEST(WeakOrderingTest, StaticProcessorFenceSemantics)
+{
+    Trace t;
+    t.append(missStore(0x1000));
+    TraceInst release = makeSync(Op::UNLOCK, 1);
+    release.latency = 50;
+    t.append(release);
+    t.append(makeLoad(0x2000)); // Hit.
+
+    StaticConfig wo;
+    wo.model = ConsistencyModel::WO;
+    StaticConfig rc;
+    rc.model = ConsistencyModel::RC;
+    RunResult r_wo = StaticProcessor(wo).run(t);
+    RunResult r_rc = StaticProcessor(rc).run(t);
+    // WO: load gated by the release's completion (~101).
+    EXPECT_GE(r_wo.cycles, 100u);
+    EXPECT_GE(r_wo.cycles, r_rc.cycles);
+}
+
+TEST(WeakOrderingTest, NameRegistered)
+{
+    EXPECT_EQ(consistencyName(ConsistencyModel::WO), "WO");
+}
+
+// ---------------------------------------------------------------------
+// MSHRs
+// ---------------------------------------------------------------------
+
+TEST(MshrTest, SingleMshrSerializesMisses)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000));
+    t.append(missLoad(0x3000));
+
+    DynamicConfig unlimited;
+    DynamicConfig one;
+    one.mshrs = 1;
+    RunResult r_unlimited = runDyn(t, unlimited);
+    RunResult r_one = runDyn(t, one);
+    // Unlimited: misses overlap (port-limited).
+    EXPECT_LE(r_unlimited.cycles, 56u);
+    // One MSHR: blocking-cache behavior, fully serial.
+    EXPECT_GE(r_one.cycles, 150u);
+}
+
+TEST(MshrTest, HitsDoNotConsumeMshrs)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    for (int i = 0; i < 8; ++i)
+        t.append(makeLoad(0x1000)); // Hits on the fetched line.
+    DynamicConfig one;
+    one.mshrs = 1;
+    RunResult r = runDyn(t, one);
+    // The hits issue while the miss is outstanding.
+    EXPECT_LE(r.cycles, 60u);
+}
+
+TEST(MshrTest, MoreMshrsMonotonicallyHelp)
+{
+    Trace t = dsmem::testing::randomTrace(123, 3000);
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t mshrs : {1u, 2u, 4u, 8u}) {
+        DynamicConfig config;
+        config.mshrs = mshrs;
+        uint64_t cycles = runDyn(t, config).cycles;
+        EXPECT_LE(cycles, prev + prev / 100);
+        prev = cycles;
+    }
+    DynamicConfig unlimited;
+    EXPECT_LE(runDyn(t, unlimited).cycles, prev + prev / 100);
+}
+
+// ---------------------------------------------------------------------
+// Free-window ablation
+// ---------------------------------------------------------------------
+
+TEST(FreeWindowTest, NeverSlowerAndHelpsWhenRobBlocks)
+{
+    // A long miss at the head with lots of independent work behind
+    // it: FIFO retirement keeps completed instructions in the window
+    // while the miss blocks the head.
+    Trace t;
+    t.append(missLoad(0x1000));
+    for (int i = 0; i < 100; ++i)
+        t.append(makeCompute(Op::IALU));
+    t.append(missLoad(0x2000));
+
+    DynamicConfig fifo;
+    fifo.window = 32;
+    DynamicConfig free;
+    free.window = 32;
+    free.free_window = true;
+    RunResult r_fifo = runDyn(t, fifo);
+    RunResult r_free = runDyn(t, free);
+    // FIFO: the second miss is >32 entries away and cannot enter the
+    // window until the first retires.
+    EXPECT_GE(r_fifo.cycles, 100u);
+    // Freed slots let fetch run ahead and overlap both misses.
+    EXPECT_LT(r_free.cycles, r_fifo.cycles);
+}
+
+TEST(FreeWindowTest, PropertyNeverSlower)
+{
+    for (uint64_t seed : {5u, 55u, 555u}) {
+        Trace t = dsmem::testing::randomTrace(seed, 2000);
+        DynamicConfig fifo;
+        fifo.window = 32;
+        DynamicConfig free = fifo;
+        free.free_window = true;
+        EXPECT_LE(runDyn(t, free).cycles,
+                  runDyn(t, fifo).cycles + 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Window occupancy
+// ---------------------------------------------------------------------
+
+TEST(OccupancyTest, BoundedByWindowSize)
+{
+    Trace t = dsmem::testing::randomTrace(77, 3000);
+    for (uint32_t window : {16u, 64u}) {
+        DynamicConfig config;
+        config.window = window;
+        DynamicResult r = DynamicProcessor(config).run(t);
+        EXPECT_GT(r.avg_window_occupancy, 0.9);
+        EXPECT_LE(r.avg_window_occupancy,
+                  static_cast<double>(window) + 1.0);
+    }
+}
+
+TEST(OccupancyTest, MemoryBoundCodeFillsTheWindow)
+{
+    // Serialized misses under SC: the window fills while the head
+    // waits.
+    Trace t;
+    for (int i = 0; i < 64; ++i)
+        t.append(missLoad(static_cast<trace::Addr>(0x1000 + 16 * i)));
+    DynamicConfig config;
+    config.model = ConsistencyModel::SC;
+    config.window = 16;
+    DynamicResult r = DynamicProcessor(config).run(t);
+    EXPECT_GT(r.avg_window_occupancy, 12.0);
+}
+
+} // namespace
+} // namespace dsmem::core

@@ -1,0 +1,169 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::stats {
+namespace {
+
+TEST(HistogramTest, StartsEmpty)
+{
+    Histogram h(10, 8);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, RejectsInvalidGeometry)
+{
+    EXPECT_THROW(Histogram(0, 8), std::invalid_argument);
+    EXPECT_THROW(Histogram(4, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BasicAccumulation)
+{
+    Histogram h(10, 8);
+    h.add(5);
+    h.add(15);
+    h.add(15);
+    h.add(25);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 25u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd)
+{
+    Histogram h(10, 4);
+    h.add(3, 7);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 21u);
+    EXPECT_EQ(h.bucketCount(0), 7u);
+    h.add(3, 0); // Zero count is a no-op.
+    EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(HistogramTest, OverflowBucket)
+{
+    Histogram h(10, 2); // Regular range [0, 20).
+    h.add(19);
+    h.add(20);
+    h.add(1000);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(HistogramTest, FractionAbove)
+{
+    Histogram h(10, 8);
+    for (uint64_t v : {5, 15, 25, 35})
+        h.add(v);
+    // Buckets with low edge > 9 hold 3 of 4 samples.
+    EXPECT_DOUBLE_EQ(h.fractionAbove(9), 0.75);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(29), 0.25);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(1000), 0.0);
+}
+
+TEST(HistogramTest, FractionBetween)
+{
+    Histogram h(10, 8);
+    for (uint64_t v : {5, 15, 25, 35})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(10, 29), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(0, 79), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(20, 10), 0.0);
+}
+
+TEST(HistogramTest, Quantile)
+{
+    Histogram h(1, 100);
+    for (uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.9)), 90.0, 1.0);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+}
+
+TEST(HistogramTest, MergeCombines)
+{
+    Histogram a(10, 4);
+    Histogram b(10, 4);
+    a.add(5);
+    b.add(15);
+    b.add(100); // Overflow in b.
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 100u);
+    EXPECT_EQ(a.overflowCount(), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsGeometryMismatch)
+{
+    Histogram a(10, 4);
+    Histogram b(5, 4);
+    Histogram c(10, 8);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(HistogramTest, ClearResets)
+{
+    Histogram h(10, 4);
+    h.add(5);
+    h.add(100);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    h.add(7);
+    EXPECT_EQ(h.min(), 7u);
+}
+
+TEST(HistogramTest, ToStringMentionsBuckets)
+{
+    Histogram h(10, 4);
+    h.add(5);
+    std::string s = h.toString("lbl");
+    EXPECT_NE(s.find("lbl"), std::string::npos);
+    EXPECT_NE(s.find("[0..9]"), std::string::npos);
+}
+
+/** Property: for any bucket width, sum/count/mean are exact. */
+class HistogramWidthTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(HistogramWidthTest, MomentsExactForAnyWidth)
+{
+    Histogram h(GetParam(), 16);
+    uint64_t expect_sum = 0;
+    for (uint64_t v = 0; v < 200; v += 7) {
+        h.add(v);
+        expect_sum += v;
+    }
+    EXPECT_EQ(h.count(), 29u);
+    EXPECT_EQ(h.sum(), expect_sum);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 196u);
+    // Every sample is in exactly one bucket (incl. overflow).
+    uint64_t total = h.overflowCount();
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        total += h.bucketCount(i);
+    EXPECT_EQ(total, h.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HistogramWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 1000));
+
+} // namespace
+} // namespace dsmem::stats

@@ -1,0 +1,268 @@
+#include "memsys/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "apps/rng.h"
+
+namespace dsmem::memsys {
+namespace {
+
+// ---------------------------------------------------------------------
+// CacheConfig / Cache
+// ---------------------------------------------------------------------
+
+TEST(CacheConfigTest, Validity)
+{
+    CacheConfig ok;
+    EXPECT_TRUE(ok.valid());
+    EXPECT_EQ(ok.numLines(), 4096u);
+
+    CacheConfig bad = {60000, 16};
+    EXPECT_FALSE(bad.valid());
+    bad = {65536, 0};
+    EXPECT_FALSE(bad.valid());
+    bad = {16, 64};
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(CacheTest, RejectsInvalidConfig)
+{
+    EXPECT_THROW(Cache(CacheConfig{100, 16}), std::invalid_argument);
+}
+
+TEST(CacheTest, LookupInstallInvalidate)
+{
+    Cache cache(CacheConfig{256, 16}); // 16 lines.
+    EXPECT_EQ(cache.lookup(0x40), LineState::INVALID);
+
+    cache.install(0x40, LineState::SHARED, nullptr, nullptr);
+    EXPECT_EQ(cache.lookup(0x40), LineState::SHARED);
+    EXPECT_EQ(cache.lookup(0x4f), LineState::SHARED); // Same line.
+    EXPECT_EQ(cache.lookup(0x50), LineState::INVALID);
+
+    cache.setState(0x40, LineState::MODIFIED);
+    EXPECT_TRUE(cache.isDirty(0x44));
+
+    cache.invalidate(0x40);
+    EXPECT_EQ(cache.lookup(0x40), LineState::INVALID);
+}
+
+TEST(CacheTest, DirectMappedEviction)
+{
+    Cache cache(CacheConfig{256, 16}); // 16 lines; 0x40 and 0x140 alias.
+    cache.install(0x40, LineState::MODIFIED, nullptr, nullptr);
+
+    Addr victim = 0;
+    bool dirty = false;
+    bool evicted = cache.install(0x140, LineState::SHARED, &victim,
+                                 &dirty);
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(victim, 0x40u);
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(cache.lookup(0x40), LineState::INVALID);
+    EXPECT_EQ(cache.lookup(0x140), LineState::SHARED);
+}
+
+TEST(CacheTest, ReinstallSameLineNoEviction)
+{
+    Cache cache(CacheConfig{256, 16});
+    cache.install(0x40, LineState::SHARED, nullptr, nullptr);
+    Addr victim = 0;
+    bool dirty = false;
+    EXPECT_FALSE(cache.install(0x40, LineState::MODIFIED, &victim,
+                               &dirty));
+    EXPECT_EQ(cache.lookup(0x40), LineState::MODIFIED);
+}
+
+TEST(CacheTest, ValidLineCount)
+{
+    Cache cache(CacheConfig{256, 16});
+    EXPECT_EQ(cache.validLineCount(), 0u);
+    cache.install(0x00, LineState::SHARED, nullptr, nullptr);
+    cache.install(0x10, LineState::SHARED, nullptr, nullptr);
+    EXPECT_EQ(cache.validLineCount(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// MemorySystem / MSI protocol
+// ---------------------------------------------------------------------
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    MemorySystemTest() : mem_(4, CacheConfig{256, 16}, MemoryConfig{}) {}
+
+    MemorySystem mem_;
+};
+
+TEST_F(MemorySystemTest, ColdReadMissesThenHits)
+{
+    AccessResult r = mem_.read(0, 0x40);
+    EXPECT_EQ(r.kind, AccessKind::READ_MISS);
+    EXPECT_EQ(r.latency, 50u);
+
+    r = mem_.read(0, 0x48); // Same line.
+    EXPECT_EQ(r.kind, AccessKind::HIT);
+    EXPECT_EQ(r.latency, 1u);
+
+    EXPECT_EQ(mem_.stats(0).reads, 2u);
+    EXPECT_EQ(mem_.stats(0).read_misses, 1u);
+}
+
+TEST_F(MemorySystemTest, SharedReadersBothCache)
+{
+    mem_.read(0, 0x40);
+    AccessResult r = mem_.read(1, 0x40);
+    EXPECT_EQ(r.kind, AccessKind::READ_MISS);
+    EXPECT_EQ(mem_.read(0, 0x40).kind, AccessKind::HIT);
+    EXPECT_EQ(mem_.read(1, 0x40).kind, AccessKind::HIT);
+}
+
+TEST_F(MemorySystemTest, WriteMissThenWriteHit)
+{
+    AccessResult w = mem_.write(0, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::WRITE_MISS);
+    EXPECT_TRUE(w.isWriteMiss());
+    EXPECT_EQ(mem_.write(0, 0x44).kind, AccessKind::HIT);
+}
+
+TEST_F(MemorySystemTest, WriteUpgradeInvalidatesSharers)
+{
+    mem_.read(0, 0x40);
+    mem_.read(1, 0x40);
+    mem_.read(2, 0x40);
+
+    AccessResult w = mem_.write(0, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::WRITE_UPGRADE);
+    EXPECT_TRUE(w.isWriteMiss());
+    EXPECT_EQ(w.invalidations, 2u);
+    EXPECT_EQ(mem_.stats(1).invalidations_received, 1u);
+    EXPECT_EQ(mem_.stats(2).invalidations_received, 1u);
+
+    // The writer now owns the line and hits.
+    EXPECT_EQ(mem_.write(0, 0x40).kind, AccessKind::HIT);
+    // The sharers must re-miss; that read downgrades the owner, so a
+    // subsequent write by P0 is an ownership upgrade again.
+    EXPECT_EQ(mem_.read(1, 0x40).kind, AccessKind::READ_MISS);
+    EXPECT_EQ(mem_.write(0, 0x40).kind, AccessKind::WRITE_UPGRADE);
+}
+
+TEST_F(MemorySystemTest, RemoteWriteInvalidatesOwner)
+{
+    mem_.write(0, 0x40); // P0 MODIFIED.
+    AccessResult w = mem_.write(1, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::WRITE_MISS);
+    EXPECT_EQ(w.invalidations, 1u);
+    // P0's dirty copy was (implicitly) written back.
+    EXPECT_GE(mem_.stats(0).writebacks, 1u);
+    EXPECT_EQ(mem_.read(0, 0x40).kind, AccessKind::READ_MISS);
+}
+
+TEST_F(MemorySystemTest, ReadDowngradesRemoteModified)
+{
+    mem_.write(0, 0x40); // P0 MODIFIED.
+    AccessResult r = mem_.read(1, 0x40);
+    EXPECT_EQ(r.kind, AccessKind::READ_MISS);
+    EXPECT_GE(mem_.stats(0).writebacks, 1u);
+    // Both now share: P0 read hits, but P0 write must upgrade.
+    EXPECT_EQ(mem_.read(0, 0x40).kind, AccessKind::HIT);
+    EXPECT_EQ(mem_.write(0, 0x40).kind, AccessKind::WRITE_UPGRADE);
+}
+
+TEST_F(MemorySystemTest, DirtyEvictionWritesBack)
+{
+    mem_.write(0, 0x40);
+    // 0x140 aliases 0x40 in a 256 B cache.
+    mem_.read(0, 0x140);
+    EXPECT_GE(mem_.stats(0).writebacks, 1u);
+    EXPECT_EQ(mem_.read(0, 0x40).kind, AccessKind::READ_MISS);
+}
+
+TEST_F(MemorySystemTest, EvictionUpdatesDirectory)
+{
+    mem_.read(0, 0x40);
+    mem_.read(0, 0x140); // Evicts 0x40 from P0.
+    // P1 writing 0x40 should not need to invalidate P0.
+    AccessResult w = mem_.write(1, 0x40);
+    EXPECT_EQ(w.invalidations, 0u);
+}
+
+TEST_F(MemorySystemTest, TotalStatsAggregates)
+{
+    mem_.read(0, 0x40);
+    mem_.read(1, 0x80);
+    mem_.write(2, 0xc0);
+    CacheStats total = mem_.totalStats();
+    EXPECT_EQ(total.reads, 2u);
+    EXPECT_EQ(total.writes, 1u);
+    EXPECT_EQ(total.read_misses, 2u);
+    EXPECT_EQ(total.write_misses, 1u);
+}
+
+TEST(MemorySystemConfigTest, RejectsBadProcCount)
+{
+    EXPECT_THROW(MemorySystem(0, CacheConfig{}, MemoryConfig{}),
+                 std::invalid_argument);
+    EXPECT_THROW(MemorySystem(33, CacheConfig{}, MemoryConfig{}),
+                 std::invalid_argument);
+}
+
+TEST(MemorySystemConfigTest, CustomLatency)
+{
+    MemorySystem mem(2, CacheConfig{}, MemoryConfig{1, 100});
+    EXPECT_EQ(mem.read(0, 0x40).latency, 100u);
+    EXPECT_EQ(mem.read(0, 0x40).latency, 1u);
+}
+
+/**
+ * Property test: after any access sequence, the MSI single-writer
+ * invariant holds — at most one cache holds a line MODIFIED, and if
+ * one does, no other cache holds it at all.
+ */
+class MsiInvariantTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(MsiInvariantTest, SingleWriterInvariant)
+{
+    constexpr uint32_t kProcs = 8;
+    MemorySystem mem(kProcs, CacheConfig{512, 16}, MemoryConfig{});
+    apps::Rng rng(GetParam());
+
+    std::vector<Addr> lines;
+    for (Addr a = 0; a < 16; ++a)
+        lines.push_back(a * 16);
+
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t proc = static_cast<uint32_t>(rng.below(kProcs));
+        Addr addr = lines[rng.below(lines.size())];
+        if (rng.below(2))
+            mem.read(proc, addr);
+        else
+            mem.write(proc, addr);
+
+        for (Addr line : lines) {
+            int modified = 0;
+            int valid = 0;
+            for (uint32_t p = 0; p < kProcs; ++p) {
+                LineState s = mem.cache(p).lookup(line);
+                if (s != LineState::INVALID)
+                    ++valid;
+                if (s == LineState::MODIFIED)
+                    ++modified;
+            }
+            ASSERT_LE(modified, 1);
+            if (modified == 1) {
+                ASSERT_EQ(valid, 1);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsiInvariantTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+} // namespace
+} // namespace dsmem::memsys

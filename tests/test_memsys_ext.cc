@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the memory-system extensions: the MESI protocol variant
+ * and the optional memory-bank contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/rng.h"
+#include "memsys/memory_system.h"
+
+namespace dsmem::memsys {
+namespace {
+
+MemoryConfig
+mesiConfig()
+{
+    MemoryConfig mem;
+    mem.protocol = Protocol::MESI;
+    return mem;
+}
+
+TEST(MesiTest, SoleReaderInstallsExclusive)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, mesiConfig());
+    mem.read(0, 0x40);
+    EXPECT_EQ(mem.cache(0).lookup(0x40), LineState::EXCLUSIVE);
+}
+
+TEST(MesiTest, SilentUpgradeOnExclusive)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, mesiConfig());
+    mem.read(0, 0x40);
+    AccessResult w = mem.write(0, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::HIT);
+    EXPECT_EQ(w.latency, 1u);
+    EXPECT_EQ(mem.stats(0).write_misses, 0u);
+    EXPECT_EQ(mem.cache(0).lookup(0x40), LineState::MODIFIED);
+}
+
+TEST(MesiTest, MsiNeedsUpgradeForTheSamePattern)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, MemoryConfig{});
+    mem.read(0, 0x40);
+    EXPECT_EQ(mem.cache(0).lookup(0x40), LineState::SHARED);
+    AccessResult w = mem.write(0, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::WRITE_UPGRADE);
+    EXPECT_EQ(mem.stats(0).write_misses, 1u);
+}
+
+TEST(MesiTest, SecondReaderSharesAndUpgradeIsNoLongerSilent)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, mesiConfig());
+    mem.read(0, 0x40);
+    mem.read(1, 0x40); // Downgrades P0's Exclusive to Shared.
+    EXPECT_EQ(mem.cache(0).lookup(0x40), LineState::SHARED);
+    EXPECT_EQ(mem.cache(1).lookup(0x40), LineState::SHARED);
+    // No writeback: the Exclusive copy was clean.
+    EXPECT_EQ(mem.stats(0).writebacks, 0u);
+    AccessResult w = mem.write(0, 0x40);
+    EXPECT_EQ(w.kind, AccessKind::WRITE_UPGRADE);
+    EXPECT_EQ(w.invalidations, 1u);
+}
+
+TEST(MesiTest, DirtyRemoteCopyStillWritesBack)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, mesiConfig());
+    mem.read(0, 0x40);  // E
+    mem.write(0, 0x40); // silent -> M
+    mem.read(1, 0x40);  // downgrade, dirty writeback
+    EXPECT_EQ(mem.stats(0).writebacks, 1u);
+}
+
+TEST(MesiTest, EvictionOfExclusiveIsClean)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, mesiConfig());
+    mem.read(0, 0x40);
+    mem.read(0, 0x140); // Evicts the Exclusive 0x40 (alias).
+    EXPECT_EQ(mem.stats(0).writebacks, 0u);
+    // Directory forgot us: another writer needs no invalidations.
+    EXPECT_EQ(mem.write(1, 0x40).invalidations, 0u);
+}
+
+TEST(MesiTest, SingleOwnerInvariantHoldsUnderRandomTraffic)
+{
+    MemorySystem mem(8, CacheConfig{512, 16}, mesiConfig());
+    apps::Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t proc = static_cast<uint32_t>(rng.below(8));
+        Addr addr = static_cast<Addr>(rng.below(16)) * 16;
+        if (rng.below(2))
+            mem.read(proc, addr);
+        else
+            mem.write(proc, addr);
+        for (Addr line = 0; line < 256; line += 16) {
+            int exclusive_like = 0;
+            int valid = 0;
+            for (uint32_t p = 0; p < 8; ++p) {
+                LineState s = mem.cache(p).lookup(line);
+                if (s != LineState::INVALID)
+                    ++valid;
+                if (s == LineState::MODIFIED ||
+                    s == LineState::EXCLUSIVE)
+                    ++exclusive_like;
+            }
+            ASSERT_LE(exclusive_like, 1);
+            if (exclusive_like == 1) {
+                ASSERT_EQ(valid, 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bank contention
+// ---------------------------------------------------------------------
+
+MemoryConfig
+bankedConfig(uint32_t banks, uint32_t occupancy)
+{
+    MemoryConfig mem;
+    mem.banks = banks;
+    mem.bank_occupancy = occupancy;
+    return mem;
+}
+
+TEST(BankContentionTest, BackToBackMissesToOneBankQueue)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, bankedConfig(1, 10));
+    AccessResult first = mem.read(0, 0x40, 100);
+    EXPECT_EQ(first.latency, 50u); // Bank idle.
+    AccessResult second = mem.read(1, 0x80, 100);
+    EXPECT_EQ(second.latency, 60u); // Queued behind the first.
+    AccessResult third = mem.read(2, 0xc0, 100);
+    EXPECT_EQ(third.latency, 70u);
+    EXPECT_EQ(mem.stats(1).contention_cycles, 10u);
+    EXPECT_EQ(mem.stats(2).contention_cycles, 20u);
+}
+
+TEST(BankContentionTest, SpacedMissesDoNotQueue)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, bankedConfig(1, 10));
+    EXPECT_EQ(mem.read(0, 0x40, 100).latency, 50u);
+    EXPECT_EQ(mem.read(1, 0x80, 200).latency, 50u);
+    EXPECT_EQ(mem.totalStats().contention_cycles, 0u);
+}
+
+TEST(BankContentionTest, DifferentBanksDoNotInterfere)
+{
+    // 16-byte lines interleave across banks by line index.
+    MemorySystem mem(4, CacheConfig{256, 16}, bankedConfig(4, 10));
+    EXPECT_EQ(mem.read(0, 0x40, 100).latency, 50u); // line 4 -> bank 0
+    EXPECT_EQ(mem.read(1, 0x50, 100).latency, 50u); // line 5 -> bank 1
+    EXPECT_EQ(mem.totalStats().contention_cycles, 0u);
+}
+
+TEST(BankContentionTest, HitsNeverQueue)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, bankedConfig(1, 10));
+    mem.read(0, 0x40, 100);
+    EXPECT_EQ(mem.read(0, 0x48, 100).latency, 1u);
+}
+
+TEST(BankContentionTest, DisabledByDefault)
+{
+    MemorySystem mem(4, CacheConfig{256, 16}, MemoryConfig{});
+    mem.read(0, 0x40, 100);
+    EXPECT_EQ(mem.read(1, 0x80, 100).latency, 50u);
+    EXPECT_EQ(mem.totalStats().contention_cycles, 0u);
+}
+
+} // namespace
+} // namespace dsmem::memsys

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/dynamic_processor.h"
+#include "random_trace.h"
+#include "trace/instruction.h"
+
+namespace dsmem::core {
+namespace {
+
+using trace::makeCompute;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+TraceInst
+missLoad(trace::Addr addr)
+{
+    TraceInst inst = makeLoad(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+TraceInst
+missStore(trace::Addr addr)
+{
+    TraceInst inst = makeStore(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+RunResult
+runSc(const Trace &t, bool speculation, uint32_t window = 64)
+{
+    DynamicConfig config;
+    config.model = ConsistencyModel::SC;
+    config.window = window;
+    config.sc_speculation = speculation;
+    return DynamicProcessor(config).run(t);
+}
+
+TEST(ScBoostTest, SpeculativeReadsOverlapMisses)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    t.append(missLoad(0x2000));
+    RunResult plain = runSc(t, false);
+    RunResult boosted = runSc(t, true);
+    EXPECT_GE(plain.cycles, 102u); // Serialized.
+    EXPECT_LE(boosted.cycles, 54u); // Overlapped.
+}
+
+TEST(ScBoostTest, StorePrefetchShortensOrderedWrites)
+{
+    Trace t;
+    t.append(missLoad(0x1000));
+    t.append(missStore(0x2000));
+    t.append(missLoad(0x3000));
+    RunResult plain = runSc(t, false);
+    RunResult boosted = runSc(t, true);
+    // Plain SC: ~3 serialized misses (~150+). Boosted: the store's
+    // line is prefetched while the first load is outstanding and the
+    // ordered write performs locally.
+    EXPECT_GE(plain.cycles, 150u);
+    EXPECT_LE(boosted.cycles, 80u);
+}
+
+TEST(ScBoostTest, ComparableToRcOnRandomTraces)
+{
+    for (uint64_t seed : {3u, 33u, 333u}) {
+        Trace t = dsmem::testing::randomTrace(seed, 3000);
+        DynamicConfig rc;
+        rc.model = ConsistencyModel::RC;
+        rc.window = 64;
+        uint64_t rc_cycles = DynamicProcessor(rc).run(t).cycles;
+        uint64_t boosted = runSc(t, true).cycles;
+        uint64_t plain = runSc(t, false).cycles;
+        EXPECT_LE(boosted, plain);
+        // Within 25% of RC (acquires stay conservative).
+        EXPECT_LE(boosted, rc_cycles + rc_cycles / 4);
+        // And never better than RC by more than noise.
+        EXPECT_GE(boosted + boosted / 50 + 4, rc_cycles);
+    }
+}
+
+TEST(ScBoostTest, AcquiresRemainOrdered)
+{
+    Trace t;
+    TraceInst lock = trace::makeSync(Op::LOCK, 1);
+    lock.aux = 0;
+    lock.latency = 50;
+    t.append(lock);
+    t.append(missLoad(0x1000));
+    RunResult boosted = runSc(t, true);
+    // The load may not consume its value before the acquire grants.
+    EXPECT_GE(boosted.cycles, 100u);
+}
+
+} // namespace
+} // namespace dsmem::core

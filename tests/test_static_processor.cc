@@ -1,0 +1,268 @@
+#include "core/static_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_processor.h"
+#include "random_trace.h"
+#include "trace/instruction.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::core {
+namespace {
+
+using trace::makeCompute;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::makeSync;
+using trace::Op;
+using trace::Trace;
+using trace::TraceInst;
+
+TraceInst
+missLoad(trace::Addr addr)
+{
+    TraceInst inst = makeLoad(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+TraceInst
+missStore(trace::Addr addr)
+{
+    TraceInst inst = makeStore(addr);
+    inst.latency = 50;
+    return inst;
+}
+
+StaticConfig
+configOf(ConsistencyModel model, bool nonblocking)
+{
+    StaticConfig config;
+    config.model = model;
+    config.nonblocking_reads = nonblocking;
+    return config;
+}
+
+RunResult
+run(const Trace &t, ConsistencyModel model, bool nonblocking = false)
+{
+    return StaticProcessor(configOf(model, nonblocking)).run(t);
+}
+
+TEST(StaticProcessorTest, RejectsBadConfig)
+{
+    StaticConfig config;
+    config.write_buffer_depth = 0;
+    EXPECT_THROW(StaticProcessor{config}, std::invalid_argument);
+    config = StaticConfig{};
+    config.nonblocking_reads = true;
+    config.read_buffer_depth = 0;
+    EXPECT_THROW(StaticProcessor{config}, std::invalid_argument);
+}
+
+TEST(StaticProcessorTest, BlockingReadsSerializeUnderEveryModel)
+{
+    Trace t;
+    t.append(missLoad(16));
+    t.append(missLoad(32));
+    for (ConsistencyModel model :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::RC}) {
+        RunResult r = run(t, model);
+        EXPECT_EQ(r.cycles, 100u) << consistencyName(model);
+        EXPECT_EQ(r.breakdown.busy, 2u);
+        EXPECT_EQ(r.breakdown.read, 98u);
+    }
+}
+
+TEST(StaticProcessorTest, RcPipelinesStores)
+{
+    Trace t;
+    t.append(missStore(16));
+    t.append(missStore(32));
+    t.append(missStore(48));
+    RunResult r = run(t, ConsistencyModel::RC);
+    // Issue cycles 1,2,3; last completes at 53; drain charged write.
+    EXPECT_EQ(r.cycles, 53u);
+    EXPECT_EQ(r.breakdown.busy, 3u);
+    EXPECT_EQ(r.breakdown.write, 50u);
+}
+
+TEST(StaticProcessorTest, ScSerializesStores)
+{
+    Trace t;
+    t.append(missStore(16));
+    t.append(missStore(32));
+    t.append(missStore(48));
+    RunResult r = run(t, ConsistencyModel::SC);
+    // Completions at 51, 101, 151 (each write waits its predecessor).
+    EXPECT_EQ(r.cycles, 151u);
+}
+
+TEST(StaticProcessorTest, PcSerializesStoresButReadsBypass)
+{
+    Trace t;
+    t.append(missStore(16));
+    t.append(makeLoad(32)); // Hit.
+    RunResult sc = run(t, ConsistencyModel::SC);
+    RunResult pc = run(t, ConsistencyModel::PC);
+    // SC: the load waits for the store to perform (issue 1 + 50).
+    EXPECT_EQ(sc.cycles, 52u);
+    // PC: the load bypasses; only the drain remains.
+    EXPECT_EQ(pc.cycles, 51u);
+    EXPECT_EQ(pc.breakdown.read, 0u);
+}
+
+TEST(StaticProcessorTest, ScLoadWaitChargedToWrite)
+{
+    Trace t;
+    t.append(missStore(16));
+    t.append(makeLoad(32));
+    RunResult sc = run(t, ConsistencyModel::SC);
+    EXPECT_GE(sc.breakdown.write, 49u);
+}
+
+TEST(StaticProcessorTest, NonblockingReadStallsAtFirstUse)
+{
+    Trace t;
+    t.append(missLoad(16)); // 0
+    for (int i = 0; i < 10; ++i)
+        t.append(makeCompute(Op::IALU)); // Independent work.
+    t.append(makeCompute(Op::IALU, 0));  // First use of the load.
+
+    RunResult ssbr = run(t, ConsistencyModel::RC, false);
+    RunResult ss = run(t, ConsistencyModel::RC, true);
+    // SSBR: 50 (blocking) + 11 = 61.
+    EXPECT_EQ(ssbr.cycles, 61u);
+    // SS: 10 computes overlap the miss; stall at the use.
+    EXPECT_EQ(ss.cycles, 51u);
+    EXPECT_EQ(ss.breakdown.read, 39u);
+}
+
+TEST(StaticProcessorTest, SsOverlapsIndependentMissesUnderRc)
+{
+    Trace t;
+    t.append(missLoad(16));  // 0
+    t.append(missLoad(160)); // 1 (independent)
+    t.append(makeCompute(Op::IALU, 0, 1));
+
+    RunResult ss_rc = run(t, ConsistencyModel::RC, true);
+    RunResult ss_sc = run(t, ConsistencyModel::SC, true);
+    // RC: both outstanding; completes ~51.
+    EXPECT_LE(ss_rc.cycles, 52u);
+    // SC: the second read may not issue until the first performs.
+    EXPECT_GE(ss_sc.cycles, 100u);
+}
+
+TEST(StaticProcessorTest, SsStallsOnBranchOperand)
+{
+    Trace t;
+    t.append(missLoad(16)); // 0
+    t.append(trace::makeBranch(1, true, 0));
+    RunResult ss = run(t, ConsistencyModel::RC, true);
+    EXPECT_EQ(ss.cycles, 51u);
+}
+
+TEST(StaticProcessorTest, AcquireBlocksProcessor)
+{
+    Trace t;
+    TraceInst lock = makeSync(Op::LOCK, 0);
+    lock.aux = 100;
+    lock.latency = 50;
+    t.append(lock);
+    RunResult r = run(t, ConsistencyModel::RC);
+    EXPECT_EQ(r.cycles, 150u);
+    EXPECT_EQ(r.breakdown.sync, 150u);
+}
+
+TEST(StaticProcessorTest, RcReleaseWaitsForPendingWrites)
+{
+    Trace t;
+    t.append(missStore(16));
+    TraceInst release = makeSync(Op::UNLOCK, 0);
+    release.latency = 50;
+    t.append(release);
+    RunResult r = run(t, ConsistencyModel::RC);
+    // Store completes at 51; release issues at 51, completes 101; the
+    // processor itself never blocks (cycles = drain time).
+    EXPECT_EQ(r.cycles, 101u);
+    EXPECT_EQ(r.breakdown.busy, 1u);
+}
+
+TEST(StaticProcessorTest, WriteBufferCapacityStalls)
+{
+    Trace t;
+    for (int i = 0; i < 24; ++i)
+        t.append(missStore(static_cast<trace::Addr>(16 * (i + 1))));
+
+    StaticConfig deep = configOf(ConsistencyModel::RC, false);
+    deep.write_buffer_depth = 64;
+    StaticConfig shallow = configOf(ConsistencyModel::RC, false);
+    shallow.write_buffer_depth = 2;
+
+    RunResult r_deep = StaticProcessor(deep).run(t);
+    RunResult r_shallow = StaticProcessor(shallow).run(t);
+    EXPECT_GT(r_shallow.cycles, r_deep.cycles);
+}
+
+// ---------------------------------------------------------------------
+// Property tests over random traces
+// ---------------------------------------------------------------------
+
+class StaticPropertyTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(StaticPropertyTest, BreakdownSumsToTotal)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 2000);
+    for (ConsistencyModel model :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::RC}) {
+        for (bool nonblocking : {false, true}) {
+            RunResult r = run(t, model, nonblocking);
+            EXPECT_EQ(r.cycles, r.breakdown.total());
+            EXPECT_EQ(r.breakdown.pipeline, 0u);
+        }
+    }
+}
+
+TEST_P(StaticPropertyTest, RelaxedModelsAreNeverSlower)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 2000);
+    for (bool nonblocking : {false, true}) {
+        RunResult sc = run(t, ConsistencyModel::SC, nonblocking);
+        RunResult pc = run(t, ConsistencyModel::PC, nonblocking);
+        RunResult rc = run(t, ConsistencyModel::RC, nonblocking);
+        EXPECT_GE(sc.cycles, pc.cycles);
+        EXPECT_GE(pc.cycles, rc.cycles);
+    }
+}
+
+TEST_P(StaticPropertyTest, StaticNeverSlowerThanBase)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 2000);
+    RunResult base = BaseProcessor().run(t);
+    for (ConsistencyModel model :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::RC}) {
+        RunResult r = run(t, model, false);
+        EXPECT_LE(r.cycles, base.cycles) << consistencyName(model);
+    }
+}
+
+TEST_P(StaticPropertyTest, BusyEqualsInstructions)
+{
+    Trace t = dsmem::testing::randomTrace(GetParam(), 2000);
+    trace::TraceStats s = trace::computeStats(t);
+    for (bool nonblocking : {false, true}) {
+        RunResult r = run(t, ConsistencyModel::RC, nonblocking);
+        EXPECT_EQ(r.breakdown.busy, s.instructions);
+        EXPECT_EQ(r.instructions, s.instructions);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace dsmem::core

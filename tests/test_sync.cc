@@ -1,0 +1,206 @@
+#include "mp/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::mp {
+namespace {
+
+memsys::MemoryConfig
+mem50()
+{
+    return memsys::MemoryConfig{1, 50};
+}
+
+TEST(SyncManagerTest, CreateObjects)
+{
+    SyncManager sync(4, mem50());
+    EXPECT_EQ(sync.createLock(), 0u);
+    EXPECT_EQ(sync.createLock(), 1u);
+    EXPECT_EQ(sync.createBarrier(4), 0u);
+    EXPECT_EQ(sync.createEvent(), 0u);
+    EXPECT_EQ(sync.numLocks(), 2u);
+}
+
+TEST(SyncManagerTest, RejectsBadConfig)
+{
+    EXPECT_THROW(SyncManager(0, mem50()), std::invalid_argument);
+    SyncManager sync(4, mem50());
+    EXPECT_THROW(sync.createBarrier(0), std::invalid_argument);
+    EXPECT_THROW(sync.createBarrier(5), std::invalid_argument);
+}
+
+TEST(SyncManagerTest, FirstAcquireIsColdMiss)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    SyncOutcome out = sync.lockAcquire(lock, 0, 100);
+    EXPECT_TRUE(out.granted);
+    EXPECT_EQ(out.wait, 0u);
+    EXPECT_EQ(out.transfer, 50u); // Never held before: transfer.
+}
+
+TEST(SyncManagerTest, ReacquireBySameProcHits)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    sync.lockAcquire(lock, 0, 100);
+    sync.lockRelease(lock, 0, 200);
+    SyncOutcome out = sync.lockAcquire(lock, 0, 300);
+    EXPECT_TRUE(out.granted);
+    EXPECT_EQ(out.transfer, 1u); // Lock line still in P0's cache.
+}
+
+TEST(SyncManagerTest, AcquireByOtherProcTransfers)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    sync.lockAcquire(lock, 0, 100);
+    sync.lockRelease(lock, 0, 200);
+    SyncOutcome out = sync.lockAcquire(lock, 1, 300);
+    EXPECT_EQ(out.transfer, 50u);
+}
+
+TEST(SyncManagerTest, ContendedLockParksAndWakesFifo)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    sync.lockAcquire(lock, 0, 100);
+
+    EXPECT_FALSE(sync.lockAcquire(lock, 1, 110).granted);
+    EXPECT_FALSE(sync.lockAcquire(lock, 2, 120).granted);
+    EXPECT_EQ(sync.parkedCount(), 2u);
+
+    SyncOutcome rel = sync.lockRelease(lock, 0, 200);
+    ASSERT_EQ(rel.wakes.size(), 1u);
+    EXPECT_EQ(rel.wakes[0].proc, 1u); // FIFO: first waiter first.
+    EXPECT_EQ(rel.wakes[0].wait, 90u); // 200 - 110.
+    EXPECT_EQ(rel.wakes[0].transfer, 50u);
+    EXPECT_EQ(rel.wakes[0].time, 250u); // Grant + transfer.
+    // The release itself missed: waiters were spinning on the line.
+    EXPECT_EQ(rel.transfer, 50u);
+    EXPECT_EQ(sync.parkedCount(), 1u);
+
+    SyncOutcome rel2 = sync.lockRelease(lock, 1, 300);
+    ASSERT_EQ(rel2.wakes.size(), 1u);
+    EXPECT_EQ(rel2.wakes[0].proc, 2u);
+    EXPECT_EQ(sync.parkedCount(), 0u);
+}
+
+TEST(SyncManagerTest, UncontendedReleaseHits)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    sync.lockAcquire(lock, 0, 100);
+    SyncOutcome rel = sync.lockRelease(lock, 0, 200);
+    EXPECT_TRUE(rel.wakes.empty());
+    EXPECT_EQ(rel.transfer, 1u); // Nobody spun on the line.
+}
+
+TEST(SyncManagerTest, ReleaseByNonHolderThrows)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    EXPECT_THROW(sync.lockRelease(lock, 0, 10), std::logic_error);
+    sync.lockAcquire(lock, 0, 20);
+    EXPECT_THROW(sync.lockRelease(lock, 1, 30), std::logic_error);
+}
+
+TEST(SyncManagerTest, LockStats)
+{
+    SyncManager sync(4, mem50());
+    LockId lock = sync.createLock();
+    sync.lockAcquire(lock, 0, 0);
+    sync.lockAcquire(lock, 1, 10);
+    sync.lockRelease(lock, 0, 50);
+    const SyncObjectStats &stats = sync.lockStats(lock);
+    EXPECT_EQ(stats.acquires, 2u);
+    EXPECT_EQ(stats.contended_acquires, 1u);
+    EXPECT_EQ(stats.total_wait, 40u);
+}
+
+TEST(SyncManagerTest, BarrierReleasesAllAtLastArrival)
+{
+    SyncManager sync(4, mem50());
+    BarrierId barrier = sync.createBarrier(3);
+
+    EXPECT_FALSE(sync.barrierArrive(barrier, 0, 100).granted);
+    EXPECT_FALSE(sync.barrierArrive(barrier, 1, 150).granted);
+    EXPECT_EQ(sync.parkedCount(), 2u);
+
+    SyncOutcome out = sync.barrierArrive(barrier, 2, 400);
+    EXPECT_TRUE(out.granted);
+    EXPECT_EQ(out.transfer, 50u);
+    ASSERT_EQ(out.wakes.size(), 2u);
+    EXPECT_EQ(out.wakes[0].wait, 300u); // 400 - 100.
+    EXPECT_EQ(out.wakes[1].wait, 250u); // 400 - 150.
+    EXPECT_EQ(out.wakes[0].time, 450u);
+    EXPECT_EQ(sync.parkedCount(), 0u);
+}
+
+TEST(SyncManagerTest, BarrierReusableAcrossGenerations)
+{
+    SyncManager sync(2, mem50());
+    BarrierId barrier = sync.createBarrier(2);
+    for (int gen = 0; gen < 3; ++gen) {
+        uint64_t t = 100 * (gen + 1);
+        EXPECT_FALSE(sync.barrierArrive(barrier, 0, t).granted);
+        SyncOutcome out = sync.barrierArrive(barrier, 1, t + 10);
+        EXPECT_TRUE(out.granted);
+        ASSERT_EQ(out.wakes.size(), 1u);
+    }
+}
+
+TEST(SyncManagerTest, EventWaitAfterSetProceeds)
+{
+    SyncManager sync(4, mem50());
+    EventId event = sync.createEvent();
+    sync.eventSet(event, 0, 100);
+
+    SyncOutcome self = sync.eventWait(event, 0, 200);
+    EXPECT_TRUE(self.granted);
+    EXPECT_EQ(self.transfer, 1u); // Setter re-reads its own flag.
+
+    SyncOutcome other = sync.eventWait(event, 1, 200);
+    EXPECT_TRUE(other.granted);
+    EXPECT_EQ(other.transfer, 50u);
+}
+
+TEST(SyncManagerTest, EventWaitBeforeSetParks)
+{
+    SyncManager sync(4, mem50());
+    EventId event = sync.createEvent();
+    EXPECT_FALSE(sync.eventWait(event, 1, 100).granted);
+    EXPECT_FALSE(sync.eventWait(event, 2, 150).granted);
+
+    SyncOutcome out = sync.eventSet(event, 0, 300);
+    EXPECT_EQ(out.transfer, 50u); // Observed set re-owns the line.
+    ASSERT_EQ(out.wakes.size(), 2u);
+    EXPECT_EQ(out.wakes[0].proc, 1u);
+    EXPECT_EQ(out.wakes[0].wait, 200u);
+    EXPECT_EQ(out.wakes[1].wait, 150u);
+}
+
+TEST(SyncManagerTest, UnobservedSetHits)
+{
+    SyncManager sync(4, mem50());
+    EventId event = sync.createEvent();
+    SyncOutcome out = sync.eventSet(event, 0, 10);
+    EXPECT_EQ(out.transfer, 1u);
+}
+
+TEST(SyncManagerTest, EventClear)
+{
+    SyncManager sync(4, mem50());
+    EventId event = sync.createEvent();
+    sync.eventSet(event, 0, 10);
+    sync.eventClear(event);
+    EXPECT_FALSE(sync.eventWait(event, 1, 20).granted);
+    EXPECT_EQ(sync.parkedCount(), 1u);
+    // Clearing with waiters parked is an application bug.
+    EXPECT_THROW(sync.eventClear(event), std::logic_error);
+}
+
+} // namespace
+} // namespace dsmem::mp

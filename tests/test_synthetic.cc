@@ -1,0 +1,125 @@
+#include "sim/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "sim/experiment.h"
+#include "trace/trace_stats.h"
+
+namespace dsmem::sim {
+namespace {
+
+double
+hiddenAt(const trace::Trace &t, uint32_t window)
+{
+    core::RunResult base = core::BaseProcessor().run(t);
+    core::DynamicConfig config;
+    config.window = window;
+    core::RunResult r = core::DynamicProcessor(config).run(t);
+    return hiddenReadFraction(base, r);
+}
+
+TEST(SyntheticTest, RejectsBadConfig)
+{
+    SyntheticConfig config;
+    config.miss_spacing = 1;
+    EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+    config = SyntheticConfig{};
+    config.branch_fraction = 0.9;
+    EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+    config = SyntheticConfig{};
+    config.branch_sites = 0;
+    EXPECT_THROW(generateSynthetic(config), std::invalid_argument);
+}
+
+TEST(SyntheticTest, ProducesRequestedShape)
+{
+    SyntheticConfig config;
+    config.instructions = 50000;
+    config.miss_spacing = 20;
+    config.branch_fraction = 0.1;
+    trace::Trace t = generateSynthetic(config);
+    EXPECT_EQ(t.size(), config.instructions);
+    EXPECT_EQ(t.validate(), t.size());
+
+    trace::TraceStats s = trace::computeStats(t);
+    // One miss per ~21 instructions (spacing + the load itself).
+    double miss_rate = s.ratePerThousand(s.read_misses);
+    EXPECT_NEAR(miss_rate, 1000.0 / 22.0, 8.0);
+    EXPECT_NEAR(s.branchFraction(), 0.1, 0.02);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed)
+{
+    SyntheticConfig config;
+    config.instructions = 5000;
+    trace::Trace a = generateSynthetic(config);
+    trace::Trace b = generateSynthetic(config);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i += 37) {
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].addr, b[i].addr);
+    }
+}
+
+TEST(SyntheticTest, WindowMustSpanMissSpacing)
+{
+    // Paper Section 4.1.2, factor (i): a window smaller than the
+    // distance between independent misses cannot overlap them.
+    SyntheticConfig config;
+    config.miss_spacing = 40;
+    config.branch_fraction = 0.0;
+    trace::Trace t = generateSynthetic(config);
+    EXPECT_LT(hiddenAt(t, 16), 0.45);
+    EXPECT_GT(hiddenAt(t, 128), 0.9);
+}
+
+TEST(SyntheticTest, WindowMustSpanLatency)
+{
+    // Factor (ii): full overlap requires window >= latency.
+    SyntheticConfig config;
+    config.miss_spacing = 8;
+    config.miss_latency = 100;
+    config.branch_fraction = 0.0;
+    trace::Trace t = generateSynthetic(config);
+    double w32 = hiddenAt(t, 32);
+    double w128 = hiddenAt(t, 128);
+    // The small window still pipelines several misses (miss-level
+    // parallelism), but only W >= latency hides everything.
+    EXPECT_LT(w32, 0.9);
+    EXPECT_GT(w128, w32 + 0.1);
+    EXPECT_GT(w128, 0.95);
+}
+
+TEST(SyntheticTest, ChainedMissesCannotBeHidden)
+{
+    SyntheticConfig independent;
+    independent.branch_fraction = 0.0;
+    SyntheticConfig chained = independent;
+    chained.dependent_misses = true;
+
+    trace::Trace t_ind = generateSynthetic(independent);
+    trace::Trace t_chn = generateSynthetic(chained);
+    EXPECT_GT(hiddenAt(t_ind, 256), 0.9);
+    // Each miss's address depends on the previous miss: the chain
+    // serializes regardless of window size.
+    EXPECT_LT(hiddenAt(t_chn, 256), 0.55);
+}
+
+TEST(SyntheticTest, UnpredictableBranchesCapLookahead)
+{
+    SyntheticConfig predictable;
+    predictable.branch_fraction = 0.15;
+    predictable.branch_taken_bias = 0.99;
+    predictable.miss_spacing = 30;
+    SyntheticConfig random_branches = predictable;
+    random_branches.branch_taken_bias = 0.5;
+
+    trace::Trace t_good = generateSynthetic(predictable);
+    trace::Trace t_bad = generateSynthetic(random_branches);
+    EXPECT_GT(hiddenAt(t_good, 128), hiddenAt(t_bad, 128) + 0.1);
+}
+
+} // namespace
+} // namespace dsmem::sim

@@ -1,0 +1,108 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dsmem::stats {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, AddRowChecksWidth)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TableTest, CellBuilder)
+{
+    Table t({"name", "count", "rate"});
+    t.beginRow();
+    t.cell(std::string("x"));
+    t.cell(uint64_t{1234567});
+    t.cell(3.14159, 2);
+    t.endRow();
+    EXPECT_EQ(t.at(0, 0), "x");
+    EXPECT_EQ(t.at(0, 1), "1,234,567");
+    EXPECT_EQ(t.at(0, 2), "3.14");
+}
+
+TEST(TableTest, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.beginRow();
+    t.cell(std::string("only"));
+    t.endRow();
+    EXPECT_EQ(t.at(0, 1), "");
+    EXPECT_EQ(t.at(0, 2), "");
+}
+
+TEST(TableTest, BuilderMisuseThrows)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.cell(std::string("x")), std::logic_error);
+    EXPECT_THROW(t.endRow(), std::logic_error);
+    t.beginRow();
+    EXPECT_THROW(t.beginRow(), std::logic_error);
+    t.cell(std::string("x"));
+    EXPECT_THROW(t.cell(std::string("y")), std::logic_error);
+}
+
+TEST(TableTest, NegativeInt)
+{
+    Table t({"v"});
+    t.beginRow();
+    t.cell(int64_t{-1234});
+    t.endRow();
+    EXPECT_EQ(t.at(0, 0), "-1,234");
+}
+
+TEST(TableTest, ToStringAligned)
+{
+    Table t({"col", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("| col "), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TableFormatTest, WithCommas)
+{
+    EXPECT_EQ(Table::withCommas(0), "0");
+    EXPECT_EQ(Table::withCommas(999), "999");
+    EXPECT_EQ(Table::withCommas(1000), "1,000");
+    EXPECT_EQ(Table::withCommas(1234567890), "1,234,567,890");
+}
+
+TEST(TableFormatTest, Fixed)
+{
+    EXPECT_EQ(Table::fixed(1.25, 1), "1.2");
+    EXPECT_EQ(Table::fixed(1.0, 0), "1");
+    EXPECT_EQ(Table::fixed(-2.5, 2), "-2.50");
+}
+
+TEST(TableFormatTest, Percent)
+{
+    EXPECT_EQ(Table::percent(0.5), "50.0%");
+    EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(TableFormatTest, CountAndRate)
+{
+    // 50 refs over 1000 busy cycles = 50 per thousand.
+    EXPECT_EQ(Table::countAndRate(50, 1000), "50 (50.0)");
+    EXPECT_EQ(Table::countAndRate(50, 0), "50 (0.0)");
+}
+
+} // namespace
+} // namespace dsmem::stats

@@ -1,0 +1,104 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "random_trace.h"
+
+namespace dsmem::trace {
+namespace {
+
+TEST(TraceIoTest, RoundTripEmpty)
+{
+    Trace t("empty");
+    std::stringstream ss;
+    saveTrace(t, ss);
+    Trace back = loadTrace(ss);
+    EXPECT_EQ(back.size(), 0u);
+    EXPECT_EQ(back.name(), "empty");
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    Trace t = dsmem::testing::randomTrace(2024, 5000);
+    std::stringstream ss;
+    saveTrace(t, ss);
+    Trace back = loadTrace(ss);
+
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), t.name());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].op, t[i].op);
+        EXPECT_EQ(back[i].num_srcs, t[i].num_srcs);
+        EXPECT_EQ(back[i].taken, t[i].taken);
+        EXPECT_EQ(back[i].addr, t[i].addr);
+        EXPECT_EQ(back[i].latency, t[i].latency);
+        EXPECT_EQ(back[i].aux, t[i].aux);
+        for (int s = 0; s < t[i].num_srcs; ++s)
+            EXPECT_EQ(back[i].src[s], t[i].src[s]);
+    }
+}
+
+TEST(TraceIoTest, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOPE and some more bytes to be safe";
+    EXPECT_THROW(loadTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsBadVersion)
+{
+    Trace t;
+    std::stringstream ss;
+    saveTrace(t, ss);
+    std::string bytes = ss.str();
+    bytes[4] = 99; // Clobber the version field.
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadTrace(bad), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsTruncation)
+{
+    Trace t = dsmem::testing::randomTrace(7, 100);
+    std::stringstream ss;
+    saveTrace(t, ss);
+    std::string bytes = ss.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(loadTrace(truncated), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsMalformedOpcode)
+{
+    Trace t;
+    t.append(makeCompute(Op::IALU));
+    std::stringstream ss;
+    saveTrace(t, ss);
+    std::string bytes = ss.str();
+    // First record byte is the opcode; make it out of range.
+    size_t record_start = bytes.size() - 28;
+    bytes[record_start] = 120;
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadTrace(bad), std::runtime_error);
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    Trace t = dsmem::testing::randomTrace(55, 500);
+    std::string path = ::testing::TempDir() + "dsmem_trace_io_test.bin";
+    saveTraceFile(t, path);
+    Trace back = loadTraceFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.validate(), back.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/dsmem.bin"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace dsmem::trace

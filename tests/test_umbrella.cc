@@ -1,0 +1,25 @@
+/** @file The umbrella header must be self-contained and complete. */
+
+#include "dsmem.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughPublicApi)
+{
+    dsmem::sim::TraceBundle bundle = dsmem::sim::generateTrace(
+        dsmem::sim::AppId::LU, dsmem::memsys::MemoryConfig{},
+        /*small=*/true);
+    ASSERT_TRUE(bundle.verified);
+
+    dsmem::core::RunResult base = dsmem::sim::runModel(
+        bundle.trace, dsmem::sim::ModelSpec::base());
+    dsmem::core::RunResult ds = dsmem::sim::runModel(
+        bundle.trace,
+        dsmem::sim::ModelSpec::ds(dsmem::core::ConsistencyModel::RC,
+                                  64));
+    EXPECT_LT(ds.cycles, base.cycles);
+}
+
+} // namespace
