@@ -16,9 +16,10 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/dynamic_processor.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -39,8 +40,10 @@ pctOfBase(uint64_t cycles, uint64_t base)
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
-    sim::TraceCache cache;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
 
     // ------------------------------------------------------------
     std::printf("Ablation 1: outstanding-miss limit (MSHRs), "

@@ -1,0 +1,97 @@
+#include "bench_args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace dsmem::bench {
+
+namespace {
+
+void
+printUsage(std::FILE *out, const char *prog)
+{
+    std::fprintf(
+        out,
+        "usage: %s [--small | --full] [--jobs N] [--trace-dir DIR]\n"
+        "       %*s [--no-trace-store] [--json FILE]\n"
+        "\n"
+        "  --small           reduced application configurations\n"
+        "  --full            paper-scaled configurations\n"
+        "  --jobs N          worker threads (default: hardware "
+        "concurrency)\n"
+        "  --trace-dir DIR   persistent phase-1 trace cache "
+        "(default: .dsmem-cache)\n"
+        "  --no-trace-store  disable the persistent trace cache\n"
+        "  --json FILE       also write structured results as JSON\n",
+        prog, static_cast<int>(std::strlen(prog)), "");
+}
+
+[[noreturn]] void
+usageError(const char *prog, const char *msg, const char *arg)
+{
+    std::fprintf(stderr, "%s: %s: %s\n", prog, msg, arg);
+    printUsage(stderr, prog);
+    std::exit(2);
+}
+
+/**
+ * Split "--flag value" / "--flag=value" uniformly. Returns the value
+ * or null when the flag does not match.
+ */
+const char *
+flagValue(std::string_view flag, int argc, char **argv, int &i)
+{
+    std::string_view arg = argv[i];
+    if (arg == flag) {
+        if (i + 1 >= argc)
+            usageError(argv[0], "missing value for flag", argv[i]);
+        return argv[++i];
+    }
+    if (arg.size() > flag.size() + 1 &&
+        arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+        return argv[i] + flag.size() + 1;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, bool default_small)
+{
+    BenchArgs args;
+    args.small = default_small;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--small") {
+            args.small = true;
+        } else if (arg == "--full") {
+            args.small = false;
+        } else if (arg == "--no-trace-store") {
+            args.trace_dir.clear();
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0]);
+            std::exit(0);
+        } else if (const char *v = flagValue("--jobs", argc, argv, i)) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 1024)
+                usageError(argv[0], "bad --jobs value", v);
+            args.jobs = static_cast<unsigned>(n);
+        } else if (const char *v =
+                       flagValue("--trace-dir", argc, argv, i)) {
+            args.trace_dir = v;
+        } else if (const char *v = flagValue("--json", argc, argv, i)) {
+            args.json_path = v;
+        } else {
+            usageError(argv[0], "unknown flag", argv[i]);
+        }
+    }
+    return args;
+}
+
+} // namespace dsmem::bench

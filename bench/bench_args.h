@@ -1,0 +1,50 @@
+#ifndef DSMEM_BENCH_BENCH_ARGS_H
+#define DSMEM_BENCH_BENCH_ARGS_H
+
+#include <string>
+
+#include "runner/runner.h"
+
+namespace dsmem::bench {
+
+/**
+ * Command-line flags shared by every bench binary:
+ *
+ *   --small           run the reduced application configurations
+ *   --full            run the paper-scaled configurations
+ *   --jobs N          worker threads (default: hardware concurrency)
+ *   --trace-dir DIR   persistent phase-1 trace cache directory
+ *                     (default .dsmem-cache/)
+ *   --no-trace-store  disable the persistent trace cache
+ *   --json FILE       also write structured results as JSON
+ *
+ * Unknown flags print a usage message and exit(2).
+ */
+struct BenchArgs {
+    bool small = false;
+    unsigned jobs = 0; ///< 0 = hardware concurrency.
+    std::string trace_dir = ".dsmem-cache";
+    std::string json_path; ///< Empty = no JSON export.
+
+    runner::RunnerOptions runnerOptions() const
+    {
+        runner::RunnerOptions opts;
+        opts.jobs = jobs;
+        opts.trace_dir = trace_dir;
+        return opts;
+    }
+};
+
+/**
+ * Parse @p argv. @p default_small seeds BenchArgs::small (most
+ * benches default to the paper-scaled inputs; bench_traced_proc
+ * defaults to small). On --help prints usage and exits 0; on an
+ * unknown flag or malformed value prints usage to stderr and
+ * exits 2.
+ */
+BenchArgs parseBenchArgs(int argc, char **argv,
+                         bool default_small = false);
+
+} // namespace dsmem::bench
+
+#endif // DSMEM_BENCH_BENCH_ARGS_H

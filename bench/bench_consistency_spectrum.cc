@@ -9,10 +9,11 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/dynamic_processor.h"
 #include "core/static_processor.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -22,12 +23,14 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Consistency spectrum: SC / PC / WO / RC on SSBR and "
                 "DS-64 (total time, BASE = 100)\n\n");
 
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     stats::Table table({"Program", "SC SSBR", "PC SSBR", "WO SSBR",
                         "RC SSBR", "SC DS-64", "PC DS-64", "WO DS-64",
                         "RC DS-64"});

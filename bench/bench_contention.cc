@@ -9,8 +9,9 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -20,7 +21,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Contention ablation: no contention (paper) vs. 16 "
                 "banks x 8-cycle occupancy\n");
@@ -32,6 +34,8 @@ main(int argc, char **argv)
     headers.push_back("avg miss lat");
     stats::Table table(headers);
 
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         for (bool contended : {false, true}) {
             memsys::MemoryConfig mem;
@@ -39,7 +43,7 @@ main(int argc, char **argv)
                 mem.banks = 16;
                 mem.bank_occupancy = 8;
             }
-            sim::TraceBundle bundle = sim::generateTrace(id, mem, small);
+            const sim::TraceBundle &bundle = cache.get(id, mem, small);
             core::RunResult base =
                 sim::runModel(bundle.trace, sim::ModelSpec::base());
 

@@ -6,34 +6,40 @@
  * scheduled processors with blocking (SSBR) and non-blocking (SS)
  * reads, and the dynamically scheduled processor (DS) across window
  * sizes, under SC, PC, and RC — at a 50-cycle miss penalty.
+ *
+ * Runs on the parallel experiment runner (--jobs N); output is
+ * byte-identical for every worker count.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/campaign.h"
 #include "sim/experiment.h"
-#include "sim/trace_bundle.h"
 
 using namespace dsmem;
 
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     std::printf("Figure 3: simulation results for memory latency of "
                 "50 cycles\n");
     std::printf("(columns normalized to BASE = 100; write includes "
                 "releases)\n\n");
 
-    sim::TraceCache cache;
     std::vector<sim::ModelSpec> specs = sim::figure3Columns();
 
-    for (sim::AppId id : sim::kAllApps) {
-        const sim::TraceBundle &bundle =
-            cache.get(id, memsys::MemoryConfig{}, small);
-        std::vector<sim::LabelledResult> rows =
-            sim::runModels(bundle.trace, specs);
+    runner::Campaign campaign("bench_figure3", args.runnerOptions());
+    for (sim::AppId id : sim::kAllApps)
+        campaign.add(id, specs, memsys::MemoryConfig{}, args.small);
+    campaign.run();
+
+    for (size_t u = 0; u < campaign.size(); ++u) {
+        sim::AppId id = sim::kAllApps[u];
+        const std::vector<sim::LabelledResult> &rows =
+            campaign.result(u).rows;
         uint64_t base_cycles = rows.front().result.cycles;
         std::printf("%s",
                     sim::formatBreakdownTable(
@@ -76,5 +82,9 @@ main(int argc, char **argv)
         "    off past 64; LU and OCEAN hide virtually all of it at "
         "64; MP3D, PTHOR,\n"
         "    LOCUS retain a residue.\n");
+
+    if (!campaign.writeJson(args.json_path))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
     return 0;
 }

@@ -4,47 +4,50 @@
  * prediction, and of additionally ignoring register data dependences,
  * on the dynamically scheduled processor under release consistency —
  * isolating branch behavior, data dependences, and window size.
+ *
+ * Runs on the parallel experiment runner (--jobs N); output is
+ * byte-identical for every worker count.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/campaign.h"
 #include "sim/experiment.h"
-#include "sim/trace_bundle.h"
 
 using namespace dsmem;
 
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     std::printf("Figure 4: perfect branch prediction (pbp) and "
                 "ignored data dependences (nodep)\n");
     std::printf("for dynamic scheduling under RC, 50-cycle miss "
                 "penalty (BASE = 100)\n\n");
 
-    sim::TraceCache cache;
-    std::vector<sim::ModelSpec> specs = sim::figure4Columns();
-
-    // Also run the realistic-BTB sweep for side-by-side comparison
-    // with the left half of Figure 3.
-    std::vector<sim::ModelSpec> real_specs;
+    // Figure 4's columns with the realistic-BTB sweep spliced in
+    // after BASE, for side-by-side comparison with the left half of
+    // Figure 3.
+    std::vector<sim::ModelSpec> f4 = sim::figure4Columns();
+    std::vector<sim::ModelSpec> specs;
+    specs.push_back(f4.front());
     for (uint32_t window : sim::kWindowSizes)
-        real_specs.push_back(
+        specs.push_back(
             sim::ModelSpec::ds(core::ConsistencyModel::RC, window));
+    specs.insert(specs.end(), f4.begin() + 1, f4.end());
 
-    for (sim::AppId id : sim::kAllApps) {
-        const sim::TraceBundle &bundle =
-            cache.get(id, memsys::MemoryConfig{}, small);
-        std::vector<sim::LabelledResult> rows =
-            sim::runModels(bundle.trace, specs);
-        std::vector<sim::LabelledResult> real_rows =
-            sim::runModels(bundle.trace, real_specs);
+    runner::Campaign campaign("bench_figure4", args.runnerOptions());
+    for (sim::AppId id : sim::kAllApps)
+        campaign.add(id, specs, memsys::MemoryConfig{}, args.small);
+    campaign.run();
+
+    for (size_t u = 0; u < campaign.size(); ++u) {
+        sim::AppId id = sim::kAllApps[u];
+        const std::vector<sim::LabelledResult> &rows =
+            campaign.result(u).rows;
         uint64_t base_cycles = rows.front().result.cycles;
-
-        rows.insert(rows.begin() + 1, real_rows.begin(),
-                    real_rows.end());
         std::printf("%s\n",
                     sim::formatBreakdownTable(
                         std::string(sim::appName(id)), rows,
@@ -63,5 +66,9 @@ main(int argc, char **argv)
         "  - Ignoring data dependences helps MP3D/PTHOR/LOCUS at "
         "small windows;\n"
         "    at window 256 pbp and pbp+nodep nearly coincide.\n");
+
+    if (!campaign.writeJson(args.json_path))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
     return 0;
 }

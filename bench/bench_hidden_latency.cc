@@ -5,13 +5,16 @@
  * read latency that was hidden across the five applications was 33%
  * for window size of 16, 63% for window size of 32, and 81% for
  * window size of 64."
+ *
+ * Runs on the parallel experiment runner (--jobs N); output is
+ * byte-identical for every worker count.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/campaign.h"
 #include "sim/experiment.h"
-#include "sim/trace_bundle.h"
 #include "stats/table.h"
 
 using namespace dsmem;
@@ -19,7 +22,7 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     std::printf("Section 7 summary: percentage of read latency "
                 "hidden by RC + dynamic scheduling\n\n");
@@ -31,23 +34,30 @@ main(int argc, char **argv)
 
     std::vector<double> sums(std::size(sim::kWindowSizes), 0.0);
 
-    sim::TraceCache cache;
-    for (sim::AppId id : sim::kAllApps) {
-        const sim::TraceBundle &bundle =
-            cache.get(id, memsys::MemoryConfig{}, small);
-        core::RunResult base = sim::runModel(
-            bundle.trace, sim::ModelSpec::base());
+    std::vector<sim::ModelSpec> specs;
+    specs.push_back(sim::ModelSpec::base());
+    for (uint32_t window : sim::kWindowSizes)
+        specs.push_back(
+            sim::ModelSpec::ds(core::ConsistencyModel::RC, window));
+
+    runner::Campaign campaign("bench_hidden_latency",
+                              args.runnerOptions());
+    for (sim::AppId id : sim::kAllApps)
+        campaign.add(id, specs, memsys::MemoryConfig{}, args.small);
+    campaign.run();
+
+    for (size_t u = 0; u < campaign.size(); ++u) {
+        sim::AppId id = sim::kAllApps[u];
+        const std::vector<sim::LabelledResult> &rows =
+            campaign.result(u).rows;
+        const core::RunResult &base = rows.front().result;
 
         table.beginRow();
         table.cell(std::string(sim::appName(id)));
-        size_t col = 0;
-        for (uint32_t window : sim::kWindowSizes) {
-            core::RunResult r = sim::runModel(
-                bundle.trace,
-                sim::ModelSpec::ds(core::ConsistencyModel::RC,
-                                   window));
-            double hidden = sim::hiddenReadFraction(base, r);
-            sums[col++] += hidden;
+        for (size_t w = 0; w < std::size(sim::kWindowSizes); ++w) {
+            double hidden =
+                sim::hiddenReadFraction(base, rows[w + 1].result);
+            sums[w] += hidden;
             table.cell(stats::Table::percent(hidden));
         }
         table.endRow();
@@ -62,5 +72,9 @@ main(int argc, char **argv)
     std::printf("%s\n", table.toString().c_str());
     std::printf("Paper averages: W=16 33%%, W=32 63%%, W=64 81%%; "
                 "little further gain beyond 64.\n");
+
+    if (!campaign.writeJson(args.json_path))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
     return 0;
 }

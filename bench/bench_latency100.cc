@@ -6,20 +6,23 @@
  * 50-cycle results, but performance levels off at window 128 instead
  * of 64 (the window must exceed the latency), and the relative gain
  * from hiding latency is larger.
+ *
+ * Runs on the parallel experiment runner (--jobs N); output is
+ * byte-identical for every worker count.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/campaign.h"
 #include "sim/experiment.h"
-#include "sim/trace_bundle.h"
 
 using namespace dsmem;
 
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     std::printf("Section 4.2: RC dynamic scheduling with a 100-cycle "
                 "miss penalty (BASE = 100)\n\n");
@@ -34,11 +37,16 @@ main(int argc, char **argv)
     memsys::MemoryConfig mem100;
     mem100.miss_latency = 100;
 
-    sim::TraceCache cache;
-    for (sim::AppId id : sim::kAllApps) {
-        const sim::TraceBundle &bundle = cache.get(id, mem100, small);
-        std::vector<sim::LabelledResult> rows =
-            sim::runModels(bundle.trace, specs);
+    runner::Campaign campaign("bench_latency100",
+                              args.runnerOptions());
+    for (sim::AppId id : sim::kAllApps)
+        campaign.add(id, specs, mem100, args.small);
+    campaign.run();
+
+    for (size_t u = 0; u < campaign.size(); ++u) {
+        sim::AppId id = sim::kAllApps[u];
+        const std::vector<sim::LabelledResult> &rows =
+            campaign.result(u).rows;
         uint64_t base_cycles = rows.front().result.cycles;
         std::printf("%s",
                     sim::formatBreakdownTable(
@@ -61,5 +69,9 @@ main(int argc, char **argv)
 
     std::printf("Expected: window 64 no longer suffices; the sweep "
                 "levels off at 128.\n");
+
+    if (!campaign.writeJson(args.json_path))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
     return 0;
 }

@@ -7,20 +7,23 @@
  * memory latency stays fixed, so under RC performance keeps
  * improving from window 64 to 128 (instead of leveling at 64), and
  * the relative gain of multiple issue is larger under RC than SC.
+ *
+ * Runs on the parallel experiment runner (--jobs N); output is
+ * byte-identical for every worker count.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/campaign.h"
 #include "sim/experiment.h"
-#include "sim/trace_bundle.h"
 
 using namespace dsmem;
 
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
 
     std::printf("Section 4.2: multiple instruction issue "
                 "(width 4 vs. 1), 50-cycle miss penalty\n\n");
@@ -41,12 +44,16 @@ main(int argc, char **argv)
     specs.push_back(sim::ModelSpec::ds(core::ConsistencyModel::SC, 256,
                                        false, false, 4));
 
-    sim::TraceCache cache;
-    for (sim::AppId id : sim::kAllApps) {
-        const sim::TraceBundle &bundle =
-            cache.get(id, memsys::MemoryConfig{}, small);
-        std::vector<sim::LabelledResult> rows =
-            sim::runModels(bundle.trace, specs);
+    runner::Campaign campaign("bench_multi_issue",
+                              args.runnerOptions());
+    for (sim::AppId id : sim::kAllApps)
+        campaign.add(id, specs, memsys::MemoryConfig{}, args.small);
+    campaign.run();
+
+    for (size_t u = 0; u < campaign.size(); ++u) {
+        sim::AppId id = sim::kAllApps[u];
+        const std::vector<sim::LabelledResult> &rows =
+            campaign.result(u).rows;
         uint64_t base_cycles = rows.front().result.cycles;
         std::printf("%s\n",
                     sim::formatBreakdownTable(
@@ -54,5 +61,9 @@ main(int argc, char **argv)
                         base_cycles)
                         .c_str());
     }
+
+    if (!campaign.writeJson(args.json_path))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
     return 0;
 }

@@ -13,9 +13,10 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/prefetcher.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -25,7 +26,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Hardware stride prefetching (Section 6 related "
                 "work) vs. dynamic scheduling\n");
@@ -35,7 +37,8 @@ main(int argc, char **argv)
                         "RC SSBR+pf", "RC DS-16", "RC DS-16+pf",
                         "RC DS-64"});
 
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

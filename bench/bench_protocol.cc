@@ -9,8 +9,9 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -20,7 +21,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Protocol ablation: MSI (paper) vs. MESI — miss rates "
                 "per 1,000 instructions and PC/RC static totals\n\n");
@@ -29,13 +31,18 @@ main(int argc, char **argv)
                         "wm MESI", "PC SSBR MSI", "PC SSBR MESI",
                         "RC SSBR MESI"});
 
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         memsys::MemoryConfig msi;
         memsys::MemoryConfig mesi;
         mesi.protocol = memsys::Protocol::MESI;
 
-        sim::TraceBundle b_msi = sim::generateTrace(id, msi, small);
-        sim::TraceBundle b_mesi = sim::generateTrace(id, mesi, small);
+        // Distinct protocols must yield distinct bundles — this is
+        // exactly the access pattern the full-config cache key exists
+        // for (MSI-then-MESI formerly aliased to one entry).
+        const sim::TraceBundle &b_msi = cache.get(id, msi, small);
+        const sim::TraceBundle &b_mesi = cache.get(id, mesi, small);
 
         core::RunResult base_msi =
             sim::runModel(b_msi.trace, sim::ModelSpec::base());

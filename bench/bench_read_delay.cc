@@ -13,9 +13,10 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/dynamic_processor.h"
+#include "runner/trace_store.h"
 #include "sim/trace_bundle.h"
 
 using namespace dsmem;
@@ -23,12 +24,14 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Section 4.1.3: read-miss decode-to-issue delay, "
                 "RC DS-64 with perfect branch prediction\n\n");
 
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

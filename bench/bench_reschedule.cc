@@ -14,9 +14,10 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/rescheduler.h"
+#include "runner/trace_store.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
@@ -26,7 +27,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Compiler load rescheduling under RC "
                 "(total time, BASE = 100)\n\n");
@@ -41,7 +43,8 @@ main(int argc, char **argv)
                         "DS-16+bb", "DS-16+sb", "DS-64",
                         "avg hoist (sb)"});
 
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

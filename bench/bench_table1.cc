@@ -6,8 +6,9 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/trace_store.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
 
@@ -16,7 +17,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Table 1: statistics on data references "
                 "(single processor of 16; 50-cycle miss penalty)\n");
@@ -24,7 +26,8 @@ main(int argc, char **argv)
 
     stats::Table table({"Program", "Busy Cycles", "reads", "writes",
                         "read misses", "write misses", "verified"});
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

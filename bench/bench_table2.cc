@@ -5,8 +5,9 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
+#include "runner/trace_store.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
 
@@ -15,7 +16,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Table 2: statistics on synchronization "
                 "(single processor of 16)\n");
@@ -23,7 +25,8 @@ main(int argc, char **argv)
 
     stats::Table table({"Program", "locks", "unlocks", "wait event",
                         "set event", "barriers"});
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

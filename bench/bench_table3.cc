@@ -7,9 +7,10 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "core/branch_predictor.h"
+#include "runner/trace_store.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
 
@@ -18,7 +19,8 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bool small = args.small;
 
     std::printf("Table 3: statistics on branch behavior "
                 "(BTB: 2048 entries, 4-way, 2-bit counters)\n\n");
@@ -27,7 +29,8 @@ main(int argc, char **argv)
                         "Avg. Dist. bet. Branches",
                         "% Correctly Predicted",
                         "Avg. Dist. bet. Mispredictions"});
-    sim::TraceCache cache;
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(&store);
     for (sim::AppId id : sim::kAllApps) {
         const sim::TraceBundle &bundle =
             cache.get(id, memsys::MemoryConfig{}, small);

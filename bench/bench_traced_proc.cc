@@ -8,8 +8,8 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_args.h"
 #include "apps/app.h"
 #include "mp/engine.h"
 #include "sim/app_registry.h"
@@ -22,7 +22,9 @@ using namespace dsmem;
 int
 main(int argc, char **argv)
 {
-    bool small = !(argc > 1 && std::strcmp(argv[1], "--full") == 0);
+    bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, /*default_small=*/true);
+    bool small = args.small;
 
     std::printf("Sensitivity to the traced processor "
                 "(read latency hidden by RC DS-64; busy cycles)\n\n");

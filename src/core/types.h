@@ -54,6 +54,9 @@ struct Breakdown {
 
     /** Busy with pipeline bubbles folded in (paper-format rows). */
     uint64_t busyMerged() const { return busy + pipeline; }
+
+    friend bool operator==(const Breakdown &,
+                           const Breakdown &) = default;
 };
 
 /** Result of timing one trace on one processor model. */
@@ -72,6 +75,10 @@ struct RunResult {
             : static_cast<double>(mispredicts) /
                 static_cast<double>(branches);
     }
+
+    /** Exact equality, used to assert run-to-run determinism. */
+    friend bool operator==(const RunResult &,
+                           const RunResult &) = default;
 };
 
 } // namespace dsmem::core

@@ -71,4 +71,11 @@
 #include "sim/synthetic.h"
 #include "sim/trace_bundle.h"
 
+// Parallel experiment runner: worker-pool campaigns, persistent
+// trace store, structured result export.
+#include "runner/campaign.h"
+#include "runner/result_sink.h"
+#include "runner/runner.h"
+#include "runner/trace_store.h"
+
 #endif // DSMEM_DSMEM_H

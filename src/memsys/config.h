@@ -1,6 +1,7 @@
 #ifndef DSMEM_MEMSYS_CONFIG_H
 #define DSMEM_MEMSYS_CONFIG_H
 
+#include <compare>
 #include <cstdint>
 
 namespace dsmem::memsys {
@@ -20,6 +21,9 @@ struct CacheConfig {
 
     /** True when both fields are powers of two and consistent. */
     bool valid() const;
+
+    friend constexpr auto operator<=>(const CacheConfig &,
+                                      const CacheConfig &) = default;
 };
 
 /** Coherence protocol variants. */
@@ -46,6 +50,14 @@ struct MemoryConfig {
     Protocol protocol = Protocol::MSI;
     uint32_t banks = 0;          ///< 0 = contention-free (the paper).
     uint32_t bank_occupancy = 4; ///< Cycles a miss occupies its bank.
+
+    /**
+     * Memberwise ordering so a full configuration can key caches and
+     * stores (two configs compare equal iff every latency, protocol,
+     * and contention parameter matches).
+     */
+    friend constexpr auto operator<=>(const MemoryConfig &,
+                                      const MemoryConfig &) = default;
 };
 
 } // namespace dsmem::memsys

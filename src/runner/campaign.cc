@@ -1,0 +1,162 @@
+#include "runner/campaign.h"
+
+#include <chrono>
+#include <map>
+#include <tuple>
+
+namespace dsmem::runner {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+Campaign::Campaign(std::string bench_name, RunnerOptions opts)
+    : bench_name_(std::move(bench_name)),
+      opts_(std::move(opts)),
+      store_(opts_.trace_dir),
+      cache_(store_.enabled() ? &store_ : nullptr)
+{
+}
+
+size_t
+Campaign::add(sim::AppId app, std::vector<sim::ModelSpec> specs,
+              const memsys::MemoryConfig &mem, bool small)
+{
+    units_.push_back(Unit{app, mem, small, std::move(specs)});
+    return units_.size() - 1;
+}
+
+void
+Campaign::run()
+{
+    results_.assign(units_.size(), UnitResult{});
+    for (size_t u = 0; u < units_.size(); ++u) {
+        results_[u].rows.resize(units_[u].specs.size());
+        results_[u].row_wall_ms.resize(units_[u].specs.size(), 0.0);
+    }
+
+    // Group units sharing one phase-1 trace so it is generated once.
+    using TraceKey = std::tuple<sim::AppId, memsys::MemoryConfig, bool>;
+    std::map<TraceKey, std::vector<size_t>> groups;
+    for (size_t u = 0; u < units_.size(); ++u)
+        groups[{units_[u].app, units_[u].mem, units_[u].small}]
+            .push_back(u);
+
+    Runner runner(opts_.resolvedJobs());
+    for (const auto &[key, unit_ids] : groups) {
+        // Phase 1: resolve the trace (memory -> disk -> generate),
+        // then immediately unblock this trace's phase-2 runs. Every
+        // job writes only its own pre-sized slot, so no result
+        // depends on worker scheduling.
+        runner.submit([this, &runner, unit_ids] {
+            const Unit &first = units_[unit_ids.front()];
+            auto start = std::chrono::steady_clock::now();
+            sim::TraceOrigin origin;
+            const sim::TraceBundle &bundle =
+                cache_.get(first.app, first.mem, first.small, &origin);
+            double wall = elapsedMs(start);
+
+            for (size_t u : unit_ids) {
+                results_[u].bundle = &bundle;
+                results_[u].origin = origin;
+                results_[u].trace_wall_ms = wall;
+            }
+            for (size_t u : unit_ids) {
+                const Unit &unit = units_[u];
+                for (size_t s = 0; s < unit.specs.size(); ++s) {
+                    runner.submit([this, &bundle, u, s] {
+                        auto t0 = std::chrono::steady_clock::now();
+                        core::RunResult r = sim::runModel(
+                            bundle.trace, units_[u].specs[s]);
+                        results_[u].rows[s] = {
+                            units_[u].specs[s].label(), r};
+                        results_[u].row_wall_ms[s] = elapsedMs(t0);
+                    });
+                }
+            }
+        });
+    }
+    runner.wait();
+
+    fillSink();
+}
+
+void
+Campaign::fillSink()
+{
+    sink_.clear();
+    sink_.setContext(bench_name_, opts_.resolvedJobs(),
+                     opts_.trace_dir);
+
+    // Records are appended in declaration order (units, then specs),
+    // independent of the order workers finished in.
+    std::vector<const sim::TraceBundle *> seen;
+    for (size_t u = 0; u < units_.size(); ++u) {
+        const Unit &unit = units_[u];
+        const UnitResult &res = results_[u];
+
+        bool first_use = true;
+        for (const sim::TraceBundle *b : seen)
+            if (b == res.bundle)
+                first_use = false;
+        if (first_use) {
+            seen.push_back(res.bundle);
+            TraceRecord t;
+            t.app = std::string(sim::appName(unit.app));
+            t.hit_latency = unit.mem.hit_latency;
+            t.miss_latency = unit.mem.miss_latency;
+            t.protocol = unit.mem.protocol == memsys::Protocol::MESI
+                ? "MESI"
+                : "MSI";
+            t.banks = unit.mem.banks;
+            t.small = unit.small;
+            t.origin = std::string(sim::traceOriginName(res.origin));
+            t.file = store_.pathFor(unit.app, unit.mem, unit.small);
+            t.instructions = res.bundle->stats.instructions;
+            t.wall_ms = res.trace_wall_ms;
+            sink_.addTrace(std::move(t));
+        }
+
+        // Hidden-read fractions are relative to the unit's BASE row,
+        // when the unit declared one.
+        const core::RunResult *base = nullptr;
+        for (size_t s = 0; s < unit.specs.size(); ++s) {
+            if (unit.specs[s].kind == sim::ModelSpec::Kind::BASE) {
+                base = &res.rows[s].result;
+                break;
+            }
+        }
+
+        for (size_t s = 0; s < unit.specs.size(); ++s) {
+            RunRecord r;
+            r.app = std::string(sim::appName(unit.app));
+            r.spec = res.rows[s].label;
+            r.trace_origin =
+                std::string(sim::traceOriginName(res.origin));
+            r.result = res.rows[s].result;
+            r.hidden_read = base
+                ? sim::hiddenReadFraction(*base, res.rows[s].result)
+                : 0.0;
+            r.wall_ms = res.row_wall_ms[s];
+            sink_.addRun(std::move(r));
+        }
+    }
+}
+
+bool
+Campaign::writeJson(const std::string &path) const
+{
+    if (path.empty())
+        return true;
+    return sink_.writeJsonFile(path);
+}
+
+} // namespace dsmem::runner

@@ -1,0 +1,89 @@
+#ifndef DSMEM_RUNNER_CAMPAIGN_H
+#define DSMEM_RUNNER_CAMPAIGN_H
+
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.h"
+#include "runner/runner.h"
+#include "runner/trace_store.h"
+#include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+
+namespace dsmem::runner {
+
+/**
+ * Results of one campaign unit, in the unit's declared spec order
+ * (never in worker completion order — output stays bit-identical to
+ * serial execution for any --jobs value).
+ */
+struct UnitResult {
+    const sim::TraceBundle *bundle = nullptr;
+    sim::TraceOrigin origin = sim::TraceOrigin::GENERATED;
+    double trace_wall_ms = 0.0;        ///< Phase-1 get() cost.
+    std::vector<sim::LabelledResult> rows;
+    std::vector<double> row_wall_ms;   ///< Per-row timing cost.
+};
+
+/**
+ * An experiment campaign: the declarative job graph the bench
+ * binaries hand to the worker pool.
+ *
+ * A *unit* is one (app, MemoryConfig, size) trace timed under a list
+ * of ModelSpecs. The campaign deduplicates phase-1 trace generation
+ * across units keyed by the full MemoryConfig, executes everything on
+ * a fixed-size pool (phase-2 runs for a trace are enqueued the moment
+ * that trace lands — traces still generating don't block finished
+ * ones), and exposes results in declaration order. Phase 2 re-times
+ * an immutable trace, so parallel runs share nothing and results are
+ * bit-identical to serial execution.
+ */
+class Campaign
+{
+  public:
+    Campaign(std::string bench_name, RunnerOptions opts);
+
+    /** Declare a unit; returns its index. Call before run(). */
+    size_t add(sim::AppId app, std::vector<sim::ModelSpec> specs,
+               const memsys::MemoryConfig &mem = {},
+               bool small = false);
+
+    /** Execute every declared unit; idempotent per declaration set. */
+    void run();
+
+    size_t size() const { return units_.size(); }
+    const UnitResult &result(size_t unit) const
+    {
+        return results_.at(unit);
+    }
+
+    /** Structured records, populated by run(). */
+    const ResultSink &sink() const { return sink_; }
+
+    /** Export the sink as JSON; no-op returning true if @p path empty. */
+    bool writeJson(const std::string &path) const;
+
+    const RunnerOptions &options() const { return opts_; }
+
+  private:
+    struct Unit {
+        sim::AppId app;
+        memsys::MemoryConfig mem;
+        bool small;
+        std::vector<sim::ModelSpec> specs;
+    };
+
+    void fillSink();
+
+    std::string bench_name_;
+    RunnerOptions opts_;
+    TraceStore store_;
+    sim::TraceCache cache_;
+    std::vector<Unit> units_;
+    std::vector<UnitResult> results_;
+    ResultSink sink_;
+};
+
+} // namespace dsmem::runner
+
+#endif // DSMEM_RUNNER_CAMPAIGN_H

@@ -1,0 +1,76 @@
+#ifndef DSMEM_RUNNER_RESULT_SINK_H
+#define DSMEM_RUNNER_RESULT_SINK_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dsmem::runner {
+
+/** Provenance and cost of one phase-1 trace the campaign touched. */
+struct TraceRecord {
+    std::string app;
+    uint32_t hit_latency = 1;
+    uint32_t miss_latency = 50;
+    std::string protocol; ///< "MSI" / "MESI".
+    uint32_t banks = 0;
+    bool small = false;
+    std::string origin;   ///< "generated" / "disk" / "memory".
+    std::string file;     ///< On-disk path ("" when store disabled).
+    uint64_t instructions = 0;
+    double wall_ms = 0.0;
+};
+
+/** One phase-2 timing run: the unit of the JSON result export. */
+struct RunRecord {
+    std::string app;
+    std::string spec;          ///< ModelSpec::label().
+    std::string trace_origin;  ///< Provenance of the trace it timed.
+    core::RunResult result;
+    double hidden_read = 0.0;  ///< vs. the unit's BASE row (0 if none).
+    double wall_ms = 0.0;
+};
+
+/**
+ * Collects every run of a campaign as machine-readable records and
+ * exports them as JSON alongside the human-readable tables. Records
+ * are appended in declaration order (units, then specs within a
+ * unit), so the export is deterministic regardless of worker
+ * scheduling; only the wall_ms fields vary between invocations.
+ *
+ * Schema (documented in EXPERIMENTS.md):
+ *   { "schema_version": 1, "bench": ..., "jobs": N,
+ *     "trace_dir": ..., "traces": [TraceRecord...],
+ *     "runs": [RunRecord...] }
+ */
+class ResultSink
+{
+  public:
+    void setContext(std::string bench, unsigned jobs,
+                    std::string trace_dir);
+
+    void addTrace(TraceRecord record);
+    void addRun(RunRecord record);
+    void clear();
+
+    const std::vector<TraceRecord> &traces() const { return traces_; }
+    const std::vector<RunRecord> &runs() const { return runs_; }
+
+    void writeJson(std::ostream &os) const;
+
+    /** Write to @p path; returns false (with no throw) on I/O error. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::string bench_;
+    unsigned jobs_ = 0;
+    std::string trace_dir_;
+    std::vector<TraceRecord> traces_;
+    std::vector<RunRecord> runs_;
+};
+
+} // namespace dsmem::runner
+
+#endif // DSMEM_RUNNER_RESULT_SINK_H

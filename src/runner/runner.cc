@@ -1,0 +1,74 @@
+#include "runner/runner.h"
+
+namespace dsmem::runner {
+
+unsigned
+RunnerOptions::resolvedJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+Runner::Runner(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = 1;
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+Runner::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+Runner::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+Runner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        job();
+        lock.lock();
+        if (--pending_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+} // namespace dsmem::runner

@@ -1,0 +1,71 @@
+#ifndef DSMEM_RUNNER_RUNNER_H
+#define DSMEM_RUNNER_RUNNER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dsmem::runner {
+
+/** Knobs shared by every runner-driven bench binary. */
+struct RunnerOptions {
+    unsigned jobs = 0; ///< Worker threads; 0 = hardware_concurrency.
+    std::string trace_dir = ".dsmem-cache"; ///< "" disables the store.
+
+    /** jobs with the 0 default resolved. */
+    unsigned resolvedJobs() const;
+};
+
+/**
+ * A fixed-size worker pool executing an experiment campaign's job
+ * graph. Jobs are plain closures; dependency edges are expressed by
+ * having a finished job submit() its dependents (phase-2 timing runs
+ * are enqueued by their trace's phase-1 job the moment the trace
+ * lands — no global barrier between phases). wait() drains the graph.
+ *
+ * Scheduling order is unspecified; callers must make results
+ * order-independent (each job writes its own pre-allocated slot).
+ */
+class Runner
+{
+  public:
+    explicit Runner(unsigned jobs);
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /** Enqueue a job; safe to call from inside a running job. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job (including jobs submitted by
+     * running jobs) has finished.
+     */
+    void wait();
+
+    unsigned jobs() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< Queue became non-empty.
+    std::condition_variable idle_cv_;  ///< pending_ hit zero.
+    size_t pending_ = 0;               ///< Queued + running jobs.
+    bool stop_ = false;
+};
+
+} // namespace dsmem::runner
+
+#endif // DSMEM_RUNNER_RUNNER_H

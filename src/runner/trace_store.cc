@@ -1,0 +1,276 @@
+#include "runner/trace_store.h"
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "trace/trace_io.h"
+
+namespace dsmem::runner {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'M', 'B'};
+
+/** FNV-1a over the serialized payload; cheap and order-sensitive. */
+uint64_t
+checksum(const std::string &payload)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+put32(std::ostream &os, uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    os.write(buf, 4);
+}
+
+void
+put64(std::ostream &os, uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    os.write(buf, 8);
+}
+
+uint64_t
+get64(std::istream &is)
+{
+    char buf[8];
+    if (!is.read(buf, 8))
+        throw std::runtime_error("bundle file truncated");
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+void
+putStats(std::ostream &os, const trace::TraceStats &s)
+{
+    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
+                       s.write_misses, s.branches, s.taken_branches,
+                       s.locks, s.unlocks, s.wait_events, s.set_events,
+                       s.barriers})
+        put64(os, v);
+}
+
+trace::TraceStats
+getStats(std::istream &is)
+{
+    trace::TraceStats s;
+    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
+                        &s.read_misses, &s.write_misses, &s.branches,
+                        &s.taken_branches, &s.locks, &s.unlocks,
+                        &s.wait_events, &s.set_events, &s.barriers})
+        *f = get64(is);
+    return s;
+}
+
+void
+putCacheStats(std::ostream &os, const memsys::CacheStats &s)
+{
+    for (uint64_t v : {s.reads, s.writes, s.read_misses, s.write_misses,
+                       s.invalidations_received, s.writebacks,
+                       s.contention_cycles})
+        put64(os, v);
+}
+
+memsys::CacheStats
+getCacheStats(std::istream &is)
+{
+    memsys::CacheStats s;
+    for (uint64_t *f : {&s.reads, &s.writes, &s.read_misses,
+                        &s.write_misses, &s.invalidations_received,
+                        &s.writebacks, &s.contention_cycles})
+        *f = get64(is);
+    return s;
+}
+
+void
+putThreadStats(std::ostream &os, const mp::ThreadStats &s)
+{
+    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
+                       s.write_misses, s.branches, s.locks, s.unlocks,
+                       s.barriers, s.wait_events, s.set_events,
+                       s.sync_wait_cycles, s.sync_transfer_cycles})
+        put64(os, v);
+}
+
+mp::ThreadStats
+getThreadStats(std::istream &is)
+{
+    mp::ThreadStats s;
+    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
+                        &s.read_misses, &s.write_misses, &s.branches,
+                        &s.locks, &s.unlocks, &s.barriers,
+                        &s.wait_events, &s.set_events,
+                        &s.sync_wait_cycles, &s.sync_transfer_cycles})
+        *f = get64(is);
+    return s;
+}
+
+} // namespace
+
+void
+saveBundle(const sim::TraceBundle &bundle, std::ostream &os)
+{
+    // Serialize the payload first so the header can carry a checksum
+    // over all of it.
+    std::ostringstream body;
+    putStats(body, bundle.stats);
+    putCacheStats(body, bundle.cache0);
+    putThreadStats(body, bundle.thread0);
+    put64(body, bundle.mp_cycles);
+    body.put(bundle.verified ? 1 : 0);
+    trace::saveTrace(bundle.trace, body);
+
+    std::string payload = std::move(body).str();
+    os.write(kMagic, 4);
+    put32(os, kBundleFormatVersion);
+    put64(os, checksum(payload));
+    put64(os, payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        throw std::runtime_error("bundle write failed");
+}
+
+sim::TraceBundle
+loadBundle(std::istream &is)
+{
+    char magic[4];
+    if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+        throw std::runtime_error("not a dsmem bundle file");
+    char vbuf[4];
+    if (!is.read(vbuf, 4))
+        throw std::runtime_error("bundle file truncated");
+    uint32_t version;
+    std::memcpy(&version, vbuf, 4);
+    if (version != kBundleFormatVersion) {
+        throw std::runtime_error("unsupported bundle format version " +
+                                 std::to_string(version));
+    }
+    uint64_t want_sum = get64(is);
+    uint64_t want_size = get64(is);
+
+    std::string payload(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    if (payload.size() != want_size)
+        throw std::runtime_error("bundle payload size mismatch");
+    if (checksum(payload) != want_sum)
+        throw std::runtime_error("bundle checksum mismatch");
+
+    std::istringstream body(payload);
+    sim::TraceBundle bundle;
+    bundle.stats = getStats(body);
+    bundle.cache0 = getCacheStats(body);
+    bundle.thread0 = getThreadStats(body);
+    bundle.mp_cycles = get64(body);
+    int verified = body.get();
+    if (verified == std::char_traits<char>::eof())
+        throw std::runtime_error("bundle file truncated");
+    bundle.verified = verified != 0;
+    bundle.trace = trace::loadTrace(body);
+    return bundle;
+}
+
+TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+TraceStore::fileName(sim::AppId id, const memsys::MemoryConfig &mem,
+                     bool small)
+{
+    std::string app(sim::appName(id));
+    for (char &c : app)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+
+    std::ostringstream name;
+    name << app << (small ? "_small" : "_full") << "_h"
+         << mem.hit_latency << "_m" << mem.miss_latency << "_"
+         << (mem.protocol == memsys::Protocol::MESI ? "mesi" : "msi")
+         << "_b" << mem.banks << "_o" << mem.bank_occupancy << "_v"
+         << kBundleFormatVersion << "t" << trace::kTraceFormatVersion
+         << ".dsmb";
+    return name.str();
+}
+
+std::string
+TraceStore::pathFor(sim::AppId id, const memsys::MemoryConfig &mem,
+                    bool small) const
+{
+    if (!enabled())
+        return "";
+    return (fs::path(dir_) / fileName(id, mem, small)).string();
+}
+
+std::optional<sim::TraceBundle>
+TraceStore::load(sim::AppId id, const memsys::MemoryConfig &mem,
+                 bool small)
+{
+    if (!enabled())
+        return std::nullopt;
+    fs::path path = fs::path(dir_) / fileName(id, mem, small);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt;
+    try {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return std::nullopt;
+        return loadBundle(is);
+    } catch (const std::exception &) {
+        // Corrupt, truncated, or stale-format file: discard so the
+        // regenerated bundle replaces it.
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+}
+
+void
+TraceStore::store(sim::AppId id, const memsys::MemoryConfig &mem,
+                  bool small, const sim::TraceBundle &bundle)
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    fs::path path = fs::path(dir_) / fileName(id, mem, small);
+    // Write-then-rename so concurrent readers (or a crash) never see
+    // a partial file. Failures are non-fatal: the store is a cache.
+    fs::path tmp = path;
+    tmp += ".tmp" + std::to_string(::getpid());
+    try {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        saveBundle(bundle, os);
+        os.close();
+        if (!os) {
+            fs::remove(tmp, ec);
+            return;
+        }
+        fs::rename(tmp, path, ec);
+        if (ec)
+            fs::remove(tmp, ec);
+    } catch (const std::exception &) {
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace dsmem::runner

@@ -1,0 +1,72 @@
+#ifndef DSMEM_RUNNER_TRACE_STORE_H
+#define DSMEM_RUNNER_TRACE_STORE_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sim/trace_bundle.h"
+
+namespace dsmem::runner {
+
+/**
+ * Version of the on-disk bundle container. Bump whenever the bundle
+ * header layout, any serialized stats struct, or the embedded trace
+ * format (trace::kTraceFormatVersion) changes meaning; files written
+ * under a different version are discarded and regenerated.
+ */
+inline constexpr uint32_t kBundleFormatVersion = 1;
+
+/** Serialize a full TraceBundle (stats + trace) to @p os. */
+void saveBundle(const sim::TraceBundle &bundle, std::ostream &os);
+
+/**
+ * Deserialize a bundle. Throws std::runtime_error on bad magic,
+ * version mismatch, checksum mismatch, truncation, or a malformed
+ * embedded trace.
+ */
+sim::TraceBundle loadBundle(std::istream &is);
+
+/**
+ * Persistent on-disk bundle store, layered under sim::TraceCache.
+ *
+ * Files live in one cache directory (created on first store) under a
+ * content-derived name encoding the app, problem size, the full
+ * MemoryConfig, and the format versions — so distinct configurations
+ * never collide and a format bump silently invalidates old files.
+ * Bundles are written to a temp file and atomically renamed, and
+ * every load verifies magic, version, and a whole-payload checksum;
+ * anything corrupt, truncated, or version-mismatched is deleted and
+ * reported as a miss (the cache regenerates, never trusts).
+ */
+class TraceStore : public sim::TraceStoreBase
+{
+  public:
+    /** @p dir empty disables the store (every load misses). */
+    explicit TraceStore(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** The content-keyed file name a bundle is stored under. */
+    static std::string fileName(sim::AppId id,
+                                const memsys::MemoryConfig &mem,
+                                bool small);
+
+    /** Full path for a key, or "" when disabled. */
+    std::string pathFor(sim::AppId id, const memsys::MemoryConfig &mem,
+                        bool small) const;
+
+    std::optional<sim::TraceBundle> load(sim::AppId id,
+                                         const memsys::MemoryConfig &mem,
+                                         bool small) override;
+    void store(sim::AppId id, const memsys::MemoryConfig &mem,
+               bool small, const sim::TraceBundle &bundle) override;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace dsmem::runner
+
+#endif // DSMEM_RUNNER_TRACE_STORE_H

@@ -24,17 +24,58 @@ generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
     return bundle;
 }
 
-const TraceBundle &
-TraceCache::get(AppId id, const memsys::MemoryConfig &mem, bool small)
+std::string_view
+traceOriginName(TraceOrigin origin)
 {
-    auto key = std::make_tuple(id, mem.miss_latency, small);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-        it = cache_
-                 .emplace(key, std::make_unique<TraceBundle>(
-                                   generateTrace(id, mem, small)))
-                 .first;
+    switch (origin) {
+      case TraceOrigin::GENERATED:
+        return "generated";
+      case TraceOrigin::DISK:
+        return "disk";
+      case TraceOrigin::MEMORY:
+        return "memory";
     }
+    return "invalid";
+}
+
+const TraceBundle &
+TraceCache::get(AppId id, const memsys::MemoryConfig &mem, bool small,
+                TraceOrigin *origin)
+{
+    Key key{id, mem, small};
+
+    std::unique_lock<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.try_emplace(key);
+    if (!inserted) {
+        // Someone else owns this key; wait until its bundle lands.
+        cv_.wait(lock, [&] { return it->second != nullptr; });
+        if (origin)
+            *origin = TraceOrigin::MEMORY;
+        return *it->second;
+    }
+
+    // We own generation for this key. Drop the lock so other keys
+    // proceed in parallel; the null entry marks the slot as pending
+    // (map iterators are stable under further insertions).
+    lock.unlock();
+
+    TraceOrigin from = TraceOrigin::GENERATED;
+    std::optional<TraceBundle> bundle;
+    if (store_)
+        bundle = store_->load(id, mem, small);
+    if (bundle) {
+        from = TraceOrigin::DISK;
+    } else {
+        bundle = generateTrace(id, mem, small);
+        if (store_)
+            store_->store(id, mem, small, *bundle);
+    }
+
+    lock.lock();
+    it->second = std::make_unique<TraceBundle>(std::move(*bundle));
+    cv_.notify_all();
+    if (origin)
+        *origin = from;
     return *it->second;
 }
 

@@ -1,8 +1,13 @@
 #ifndef DSMEM_SIM_TRACE_BUNDLE_H
 #define DSMEM_SIM_TRACE_BUNDLE_H
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <tuple>
 
 #include "memsys/memory_system.h"
 #include "mp/thread_context.h"
@@ -38,21 +43,63 @@ TraceBundle generateTrace(AppId id,
                           const memsys::MemoryConfig &mem = {},
                           bool small = false);
 
+/** Where a TraceCache::get call found its bundle. */
+enum class TraceOrigin : uint8_t {
+    GENERATED, ///< Ran the multiprocessor simulation (cold).
+    DISK,      ///< Loaded from a persistent TraceStore.
+    MEMORY,    ///< Already memoized in this process.
+};
+
+std::string_view traceOriginName(TraceOrigin origin);
+
 /**
- * Memoizes generateTrace per (app, miss latency, small) so a bench
- * binary re-times one trace under many processor models without
- * re-running the multiprocessor phase.
+ * Interface to a persistent bundle store layered under TraceCache
+ * (implemented by runner::TraceStore). A load that fails for any
+ * reason returns nullopt; the caller regenerates and re-stores.
+ */
+class TraceStoreBase
+{
+  public:
+    virtual ~TraceStoreBase() = default;
+    virtual std::optional<TraceBundle> load(AppId id,
+                                            const memsys::MemoryConfig &mem,
+                                            bool small) = 0;
+    virtual void store(AppId id, const memsys::MemoryConfig &mem,
+                       bool small, const TraceBundle &bundle) = 0;
+};
+
+/**
+ * Memoizes generateTrace per (app, full MemoryConfig, small) so a
+ * bench binary re-times one trace under many processor models without
+ * re-running the multiprocessor phase. Optionally layered over a
+ * persistent TraceStoreBase that survives the process.
+ *
+ * Thread safe: concurrent get() calls for distinct keys generate in
+ * parallel; concurrent calls for the same key generate once (the
+ * losers block until the winner's bundle lands). Returned references
+ * stay valid for the cache's lifetime.
  */
 class TraceCache
 {
   public:
+    TraceCache() = default;
+    explicit TraceCache(TraceStoreBase *store) : store_(store) {}
+
+    /** Set (or clear) the persistent layer; not thread safe. */
+    void setStore(TraceStoreBase *store) { store_ = store; }
+
     const TraceBundle &get(AppId id,
                            const memsys::MemoryConfig &mem = {},
-                           bool small = false);
+                           bool small = false,
+                           TraceOrigin *origin = nullptr);
 
   private:
-    std::map<std::tuple<AppId, uint32_t, bool>,
-             std::unique_ptr<TraceBundle>> cache_;
+    using Key = std::tuple<AppId, memsys::MemoryConfig, bool>;
+
+    std::map<Key, std::unique_ptr<TraceBundle>> cache_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    TraceStoreBase *store_ = nullptr;
 };
 
 } // namespace dsmem::sim

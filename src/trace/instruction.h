@@ -55,6 +55,15 @@ struct TraceInst {
 
     /** True when the annotated latency indicates a cache miss. */
     bool isMiss() const { return isMemory(op) && latency > 1; }
+
+    friend bool operator==(const TraceInst &a, const TraceInst &b)
+    {
+        return a.op == b.op && a.num_srcs == b.num_srcs &&
+            a.taken == b.taken && a.src[0] == b.src[0] &&
+            a.src[1] == b.src[1] && a.src[2] == b.src[2] &&
+            a.addr == b.addr && a.latency == b.latency &&
+            a.aux == b.aux;
+    }
 };
 
 static_assert(sizeof(TraceInst) <= 32,
