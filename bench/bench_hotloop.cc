@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Phase-2 hot-loop throughput: instructions/second of every timing
+ * model (BASE, SSBR/SS x consistency model, DS x consistency model x
+ * window), measured twice per cell — the production TraceView loops
+ * against the retained pre-optimization reference loops — on one
+ * shared LU trace. Before timing, each cell's two implementations are
+ * checked for bit-identical results, so a reported speedup can never
+ * come from a scheduling divergence.
+ *
+ * Results go to stdout as a table and to BENCH_phase2.json
+ * (override with --json). Defaults to --small; pass --full for the
+ * paper-scaled trace.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_args.h"
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "core/static_processor.h"
+#include "runner/trace_store.h"
+#include "sim/trace_bundle.h"
+#include "stats/table.h"
+#include "trace/trace_view.h"
+
+using namespace dsmem;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One (kind, model, window) throughput measurement. */
+struct CellResult {
+    std::string label;
+    std::string kind;
+    std::string model; ///< Empty for BASE.
+    uint32_t window = 0;
+    double view_ips = 0.0;
+    double legacy_ips = 0.0;
+    uint64_t cycles = 0; ///< Simulated cycles (both variants agree).
+
+    double speedup() const
+    {
+        return legacy_ips == 0.0 ? 0.0 : view_ips / legacy_ips;
+    }
+};
+
+/** Repeat @p run until @p min_seconds elapse; instructions/second. */
+double
+measureIps(const std::function<void()> &run, size_t instructions,
+           double min_seconds)
+{
+    run(); // Warm up caches and allocations.
+    auto start = std::chrono::steady_clock::now();
+    uint64_t reps = 0;
+    double elapsed;
+    do {
+        run();
+        ++reps;
+        elapsed = secondsSince(start);
+    } while (elapsed < min_seconds);
+    return static_cast<double>(instructions) *
+        static_cast<double>(reps) / elapsed;
+}
+
+std::string
+jsonDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, /*default_small=*/true);
+    if (args.json_path.empty())
+        args.json_path = "BENCH_phase2.json";
+
+    runner::TraceStore store(args.trace_dir);
+    sim::TraceCache cache(store.enabled() ? &store : nullptr);
+    const sim::TraceBundle &bundle =
+        cache.get(sim::AppId::LU, memsys::MemoryConfig{}, args.small);
+    const trace::Trace &t = bundle.trace;
+    const size_t n = t.size();
+    const double min_seconds = args.small ? 0.25 : 1.0;
+
+    // The decode every cell amortizes: one SoA view per trace.
+    auto build_start = std::chrono::steady_clock::now();
+    std::shared_ptr<const trace::TraceView> view =
+        trace::TraceView::build(t);
+    double view_build_ms = secondsSince(build_start) * 1e3;
+
+    std::vector<CellResult> cells;
+    int mismatches = 0;
+
+    auto check = [&](bool ok, const std::string &label) {
+        if (!ok) {
+            std::fprintf(stderr,
+                         "MISMATCH: %s view result != reference\n",
+                         label.c_str());
+            ++mismatches;
+        }
+    };
+
+    {
+        CellResult cell;
+        cell.label = "BASE";
+        cell.kind = "BASE";
+        core::BaseProcessor proc;
+        core::RunResult ref = proc.run(t);
+        core::RunResult opt = proc.run(*view);
+        check(ref == opt, cell.label);
+        cell.cycles = opt.cycles;
+        cell.legacy_ips = measureIps(
+            [&] { proc.run(t); }, n, min_seconds);
+        cell.view_ips = measureIps(
+            [&] { proc.run(*view); }, n, min_seconds);
+        cells.push_back(cell);
+    }
+
+    const core::ConsistencyModel models[] = {
+        core::ConsistencyModel::SC, core::ConsistencyModel::PC,
+        core::ConsistencyModel::WO, core::ConsistencyModel::RC};
+
+    for (bool nonblocking : {false, true}) {
+        for (core::ConsistencyModel model : models) {
+            CellResult cell;
+            cell.kind = nonblocking ? "SS" : "SSBR";
+            cell.model = std::string(core::consistencyName(model));
+            cell.label = cell.model + " " + cell.kind;
+            core::StaticConfig config;
+            config.model = model;
+            config.nonblocking_reads = nonblocking;
+            core::StaticProcessor proc(config);
+            core::RunResult ref = proc.runReference(t);
+            core::RunResult opt = proc.run(*view);
+            check(ref == opt, cell.label);
+            cell.cycles = opt.cycles;
+            cell.legacy_ips = measureIps(
+                [&] { proc.runReference(t); }, n, min_seconds);
+            cell.view_ips = measureIps(
+                [&] { proc.run(*view); }, n, min_seconds);
+            cells.push_back(cell);
+        }
+    }
+
+    for (core::ConsistencyModel model : models) {
+        for (uint32_t window : {16u, 64u, 256u}) {
+            CellResult cell;
+            cell.kind = "DS";
+            cell.model = std::string(core::consistencyName(model));
+            cell.window = window;
+            cell.label =
+                cell.model + " DS-" + std::to_string(window);
+            core::DynamicConfig config;
+            config.model = model;
+            config.window = window;
+            core::DynamicProcessor proc(config);
+            core::DynamicResult ref = proc.runReference(t);
+            core::DynamicResult opt = proc.run(*view);
+            check(static_cast<core::RunResult &>(ref) ==
+                          static_cast<core::RunResult &>(opt) &&
+                      ref.avg_window_occupancy ==
+                          opt.avg_window_occupancy,
+                  cell.label);
+            cell.cycles = opt.cycles;
+            cell.legacy_ips = measureIps(
+                [&] { proc.runReference(t); }, n, min_seconds);
+            cell.view_ips = measureIps(
+                [&] { proc.run(*view); }, n, min_seconds);
+            cells.push_back(cell);
+        }
+    }
+
+    stats::Table table(
+        {"cell", "view Minstr/s", "legacy Minstr/s", "speedup"});
+    for (const CellResult &cell : cells) {
+        table.addRow({cell.label,
+                      stats::Table::fixed(cell.view_ips / 1e6, 2),
+                      stats::Table::fixed(cell.legacy_ips / 1e6, 2),
+                      stats::Table::fixed(cell.speedup(), 2)});
+    }
+    std::printf("phase-2 hot-loop throughput — %s LU, %zu instructions"
+                " (view decode %.1f ms)\n%s",
+                args.small ? "small" : "full", n, view_build_ms,
+                table.toString().c_str());
+
+    // The headline cell the PR's acceptance tracks (and CI surfaces).
+    for (const CellResult &cell : cells) {
+        if (cell.label == "RC DS-64") {
+            std::printf("headline RC DS-64: %.2fM instr/s view, "
+                        "%.2fM instr/s legacy, speedup %.2fx\n",
+                        cell.view_ips / 1e6, cell.legacy_ips / 1e6,
+                        cell.speedup());
+        }
+    }
+
+    std::ofstream out(args.json_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.json_path.c_str());
+        return 1;
+    }
+    out << "{\n  \"schema_version\": 1,\n"
+        << "  \"bench\": \"bench_hotloop\",\n"
+        << "  \"app\": \"LU\",\n"
+        << "  \"small\": " << (args.small ? "true" : "false") << ",\n"
+        << "  \"instructions\": " << n << ",\n"
+        << "  \"view_build_ms\": " << jsonDouble(view_build_ms)
+        << ",\n  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &cell = cells[i];
+        out << "    {\"label\": \"" << cell.label << "\", \"kind\": \""
+            << cell.kind << "\", \"model\": \"" << cell.model
+            << "\", \"window\": " << cell.window
+            << ", \"view_instr_per_sec\": "
+            << jsonDouble(cell.view_ips)
+            << ", \"legacy_instr_per_sec\": "
+            << jsonDouble(cell.legacy_ips)
+            << ", \"speedup\": " << jsonDouble(cell.speedup())
+            << ", \"cycles\": " << cell.cycles << "}"
+            << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    if (mismatches != 0) {
+        std::fprintf(stderr, "%d cell(s) diverged from reference\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
+}

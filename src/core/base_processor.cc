@@ -6,6 +6,60 @@ using trace::Op;
 using trace::TraceInst;
 
 RunResult
+BaseProcessor::run(const trace::TraceView &v) const
+{
+    RunResult r;
+    Breakdown &bd = r.breakdown;
+
+    const size_t n = v.size();
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t latency = v.latency(i);
+        switch (v.op(i)) {
+          case Op::LOAD:
+            ++r.instructions;
+            bd.busy += 1;
+            bd.read += latency - 1;
+            if (latency > 1)
+                ++r.read_misses;
+            break;
+
+          case Op::STORE:
+            ++r.instructions;
+            bd.busy += 1;
+            bd.write += latency - 1;
+            break;
+
+          case Op::BRANCH:
+            ++r.instructions;
+            ++r.branches;
+            bd.busy += 1;
+            break;
+
+          case Op::LOCK:
+          case Op::WAIT_EVENT:
+          case Op::BARRIER:
+            // Full acquire stall: contention wait plus access latency.
+            bd.sync += v.waitCycles(i) + latency;
+            break;
+
+          case Op::UNLOCK:
+          case Op::SET_EVENT:
+            // Releases count toward write time (Section 4.1).
+            bd.write += latency;
+            break;
+
+          default:
+            ++r.instructions;
+            bd.busy += 1;
+            break;
+        }
+    }
+
+    r.cycles = bd.total();
+    return r;
+}
+
+RunResult
 BaseProcessor::run(const trace::Trace &t) const
 {
     RunResult r;

@@ -3,6 +3,7 @@
 
 #include "core/types.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::core {
 
@@ -19,6 +20,7 @@ namespace dsmem::core {
 class BaseProcessor
 {
   public:
+    RunResult run(const trace::TraceView &v) const;
     RunResult run(const trace::Trace &t) const;
 };
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/slot_allocator.h"
+#include "util/dary_heap.h"
+#include "util/flat_map.h"
 
 namespace dsmem::core {
 
@@ -15,6 +17,7 @@ using trace::InstIndex;
 using trace::kNoSrc;
 using trace::Op;
 using trace::TraceInst;
+using trace::TraceView;
 
 namespace {
 
@@ -37,6 +40,76 @@ struct StoreInfo {
     uint64_t mem_completion; ///< When the store performs in memory.
 };
 
+// ------------------------------------------------------------------
+// Precomputed consistency-gate selectors for the view-based loop.
+//
+// A gate is the max over a subset of the four completion maxima; the
+// subset depends only on the consistency model, so the per-access
+// switch of the reference loop is hoisted into bitmask selectors
+// computed once per run. Bit i selects gate term i below.
+// ------------------------------------------------------------------
+enum GateTerm : unsigned {
+    kGateLoad = 1u << 0,
+    kGateStore = 1u << 1,
+    kGateAcquire = 1u << 2,
+    kGateSync = 1u << 3,
+};
+
+/** "All previous accesses performed" (Gates::all — sync excluded). */
+constexpr unsigned kGateAll = kGateLoad | kGateStore | kGateAcquire;
+
+struct GateSelectors {
+    unsigned load = 0;
+    unsigned store = 0;
+    unsigned acquire = 0;
+    // Releases gate on kGateAll under every model.
+};
+
+constexpr GateSelectors
+gateSelectorsFor(ConsistencyModel model)
+{
+    GateSelectors sel;
+    switch (model) {
+      case ConsistencyModel::SC:
+        sel.load = kGateAll;
+        sel.store = kGateAll;
+        sel.acquire = kGateAll;
+        break;
+      case ConsistencyModel::PC:
+        sel.load = kGateLoad | kGateAcquire;
+        sel.store = kGateAll;
+        sel.acquire = kGateLoad | kGateAcquire;
+        break;
+      case ConsistencyModel::WO:
+        sel.load = kGateSync;
+        sel.store = kGateSync;
+        sel.acquire = kGateAll; // A fence waits for everything.
+        break;
+      case ConsistencyModel::RC:
+        sel.load = kGateAcquire;
+        sel.store = kGateAcquire;
+        sel.acquire = kGateAcquire;
+        break;
+    }
+    return sel;
+}
+
+/** Max of the gate terms selected by @p mask. */
+inline uint64_t
+selectGate(const uint64_t terms[4], unsigned mask)
+{
+    uint64_t gate = 0;
+    if (mask & kGateLoad)
+        gate = terms[0];
+    if (mask & kGateStore)
+        gate = std::max(gate, terms[1]);
+    if (mask & kGateAcquire)
+        gate = std::max(gate, terms[2]);
+    if (mask & kGateSync)
+        gate = std::max(gate, terms[3]);
+    return gate;
+}
+
 } // namespace
 
 DynamicProcessor::DynamicProcessor(const DynamicConfig &config)
@@ -52,6 +125,390 @@ DynamicProcessor::DynamicProcessor(const DynamicConfig &config)
 
 DynamicResult
 DynamicProcessor::run(const trace::Trace &trace) const
+{
+    return run(TraceView(trace));
+}
+
+// ------------------------------------------------------------------
+// The production hot loop over the SoA view. Scheduling decisions are
+// identical to runReference (the equivalence suite drives both on
+// randomized traces); only the data structures differ:
+//  - operands/latencies stream from the view's parallel arrays,
+//  - consistency gates come from precomputed selectors,
+//  - store forwarding and FU cycle allocation use open-addressed
+//    flat hash maps,
+//  - the free-window slot pool is a fixed 4-ary heap,
+//  - the forwarding table is bounded by store-buffer liveness: before
+//    it would grow, entries whose write has performed at or before
+//    the current decode cycle (which can never forward again, since a
+//    later load's issue is at least decode+1) are swept out.
+// ------------------------------------------------------------------
+DynamicResult
+DynamicProcessor::run(const trace::TraceView &v) const
+{
+    const uint32_t W = config_.window;
+    const uint32_t width = config_.width;
+    const uint32_t sb_depth = config_.storeBufferDepth();
+    const bool free_window = config_.free_window;
+    const bool sc_speculation = config_.sc_speculation;
+    const bool ignore_data_deps = config_.ignore_data_deps;
+    const bool perfect_bp = config_.perfect_branch_prediction;
+    const bool collect_read_delay = config_.collect_read_delay;
+
+    const GateSelectors sel = gateSelectorsFor(config_.model);
+    const unsigned load_sel = sc_speculation ? kGateAcquire : sel.load;
+
+    DynamicResult r;
+    BranchPredictor predictor(config_.btb);
+
+    // Per-functional-unit-class slot allocators (see runReference).
+    RingSlotAllocator fu[trace::kNumFuClasses] = {
+        RingSlotAllocator(width >= 4 ? 2 : 1), // INT
+        RingSlotAllocator(1),                  // BRANCH
+        RingSlotAllocator(1),                  // MEM (cache port)
+        RingSlotAllocator(1),                  // FP_ADD
+        RingSlotAllocator(1),                  // FP_MUL
+        RingSlotAllocator(1),                  // FP_DIV
+        RingSlotAllocator(1),                  // FP_CVT
+    };
+    RingSlotAllocator &mem_fu =
+        fu[static_cast<size_t>(trace::FuClass::MEM)];
+
+    // Rolling state, all O(window).
+    std::vector<uint64_t> completion_ring(W, 0); // value-usable time
+    std::vector<uint64_t> retire_ring(W, 0);
+    std::vector<uint64_t> decode_ring(width, 0);
+    std::vector<uint64_t> sb_leave_ring(sb_depth, 0); // FIFO dealloc
+    uint64_t store_count = 0;
+
+    util::FlatMap<Addr, StoreInfo> last_store(64);
+
+    // Free-window slot pool (only used when config_.free_window).
+    util::DaryMinHeap<4> slot_heap(free_window ? W + 1 : 0);
+
+    // Gate terms, indexed to match GateTerm bit positions:
+    // load_comp, store_comp, acquire_comp, sync_comp.
+    uint64_t gates[4] = {0, 0, 0, 0};
+
+    uint64_t fetch_stall_until = 0; // first fetchable cycle after flush
+    uint64_t prev_retire = 0;
+    bool first_retire = true;
+    uint64_t occupancy_sum = 0;
+
+    // Lockup-free cache MSHRs (FIFO approximation; 0 = unlimited).
+    const uint32_t mshrs = config_.mshrs;
+    std::vector<uint64_t> mshr_ring(mshrs == 0 ? 1 : mshrs, 0);
+    uint64_t miss_count = 0;
+    auto mshr_slot_free = [&]() -> uint64_t {
+        if (mshrs == 0 || miss_count < mshrs)
+            return 0;
+        return mshr_ring[miss_count % mshrs];
+    };
+    auto allocate_mshr = [&](uint64_t completion) {
+        if (mshrs == 0)
+            return;
+        uint64_t leave = completion;
+        if (miss_count > 0) {
+            leave = std::max(
+                leave, mshr_ring[(miss_count - 1) % mshrs]);
+        }
+        mshr_ring[miss_count % mshrs] = leave;
+        ++miss_count;
+    };
+
+    Breakdown &bd = r.breakdown;
+
+    auto ring_completion = [&](size_t i, InstIndex src) -> uint64_t {
+        // A producer more than a window behind retired before this
+        // instruction decoded; its value is ready immediately.
+        if (i - static_cast<size_t>(src) > W)
+            return 0;
+        return completion_ring[src % W];
+    };
+
+    const size_t n = v.size();
+    for (size_t i = 0; i < n; ++i) {
+        const Op op = v.op(i);
+        const uint32_t latency = v.latency(i);
+
+        // -------- Decode: fetch rate, ROB space, fetch stalls ------
+        uint64_t decode = fetch_stall_until;
+        if (i >= width)
+            decode = std::max(decode, decode_ring[i % width] + 1);
+        if (free_window) {
+            // Section-5 ablation: a window slot frees as soon as its
+            // instruction completes; a new instruction takes the
+            // earliest-freed slot.
+            if (slot_heap.size() >= W) {
+                decode = std::max(decode, slot_heap.top() + 1);
+                slot_heap.pop();
+            }
+        } else if (i >= W) {
+            // FIFO deallocation: instruction i reuses the slot of
+            // instruction i-W, freed at its in-order retirement.
+            decode = std::max(decode, retire_ring[i % W] + 1);
+        }
+
+        // No request targets a cycle below this instruction's decode,
+        // and decode is non-decreasing — the allocators may reclaim
+        // every cycle cell below it.
+        for (auto &alloc : fu)
+            alloc.advanceWatermark(decode);
+
+        // -------- Operand readiness -------------------------------
+        uint64_t ready = decode + 1;
+        if (!ignore_data_deps) {
+            const InstIndex *src = v.srcs(i);
+            const int num_srcs = v.numSrcs(i);
+            for (int s = 0; s < num_srcs; ++s) {
+                if (src[s] == kNoSrc)
+                    continue;
+                ready = std::max(ready, ring_completion(i, src[s]));
+            }
+        }
+
+        // -------- Schedule by kind ---------------------------------
+        uint64_t completion = 0;   // value-usable / performed time
+        uint64_t rob_complete = 0; // when the ROB entry may retire
+        // A load stalled by the consistency gate on pending stores is
+        // write time, not read time (e.g. SC serializing loads behind
+        // store completions).
+        bool load_store_bound = false;
+
+        switch (op) {
+          case Op::LOAD: {
+            // Speculative reads issue past the SC constraints; the
+            // rollback hardware validates them at retirement (no
+            // violations arise from a fixed-interleaving trace).
+            uint64_t gate = selectGate(gates, load_sel);
+            load_store_bound = gate > ready &&
+                gates[1] >= gates[0] && gates[1] >= gates[2];
+            uint64_t request = std::max(ready, gate);
+            if (latency > 1)
+                request = std::max(request, mshr_slot_free());
+            uint64_t mem_issue = mem_fu.allocate(request);
+            bool forwarded = false;
+            const StoreInfo *info = last_store.find(v.addr(i));
+            if (info != nullptr && info->mem_completion > mem_issue) {
+                // Pending store to the same address: dependence check
+                // on the store buffer forwards the value.
+                completion =
+                    std::max(mem_issue, info->data_ready) + 1;
+                forwarded = true;
+            } else {
+                completion = mem_issue + latency;
+            }
+            rob_complete = completion;
+            if (latency > 1) {
+                ++r.read_misses;
+                if (!forwarded)
+                    allocate_mshr(completion);
+                if (collect_read_delay && !forwarded)
+                    r.read_issue_delay.add(mem_issue - decode);
+            }
+            gates[0] = std::max(gates[0], completion);
+            break;
+          }
+
+          case Op::STORE: {
+            // A store leaves the ROB once its operands are ready and
+            // a store buffer slot is free; the buffer performs the
+            // write in the background (footnote 2 of the paper).
+            uint64_t slot_free = 0;
+            if (store_count >= sb_depth)
+                slot_free = sb_leave_ring[store_count % sb_depth];
+            rob_complete = std::max(ready, slot_free);
+            completion = rob_complete;
+            break;
+          }
+
+          case Op::BRANCH: {
+            uint64_t exec =
+                fu[static_cast<size_t>(trace::FuClass::BRANCH)]
+                    .allocate(ready);
+            completion = exec + 1;
+            rob_complete = completion;
+            ++r.branches;
+            bool correct = perfect_bp ||
+                predictor.predict(v.branchSite(i), v.taken(i));
+            if (!correct) {
+                ++r.mispredicts;
+                // Wrong-path fetch: the correct path is fetched the
+                // cycle after the branch resolves.
+                fetch_stall_until =
+                    std::max(fetch_stall_until, completion);
+            }
+            break;
+          }
+
+          case Op::LOCK:
+          case Op::WAIT_EVENT:
+          case Op::BARRIER: {
+            // The access latency of the synchronization variable can
+            // be overlapped like any read; the contention/imbalance
+            // wait is anchored at retirement below (Section 4.1.2).
+            uint64_t request =
+                std::max(ready, selectGate(gates, sel.acquire));
+            uint64_t mem_issue = mem_fu.allocate(request);
+            completion = mem_issue + latency;
+            rob_complete = completion;
+            break;
+          }
+
+          case Op::UNLOCK:
+          case Op::SET_EVENT: {
+            // Release: store-like, but gated on all previous accesses.
+            uint64_t slot_free = 0;
+            if (store_count >= sb_depth)
+                slot_free = sb_leave_ring[store_count % sb_depth];
+            rob_complete = std::max(ready, slot_free);
+            completion = rob_complete;
+            break;
+          }
+
+          default: { // Compute
+            uint64_t exec =
+                fu[static_cast<size_t>(v.fu(i))].allocate(ready);
+            completion = exec + 1;
+            rob_complete = completion;
+            break;
+          }
+        }
+
+        // -------- In-order retirement ------------------------------
+        uint64_t retire = rob_complete;
+        if (!first_retire)
+            retire = std::max(retire, prev_retire);
+        if (i >= width)
+            retire = std::max(retire, retire_ring[(i - width) % W] + 1);
+        const uint8_t flags = v.flags(i);
+        if (flags & TraceView::kAcquire) {
+            // Non-hideable contention/imbalance stall; the grant also
+            // gates every subsequent access under all models.
+            retire += v.waitCycles(i);
+            gates[2] = std::max(gates[2], retire);
+            gates[3] = std::max(gates[3], retire);
+        }
+
+        // -------- Post-retire memory issue for stores/releases ----
+        if (op == Op::STORE || op == Op::UNLOCK ||
+            op == Op::SET_EVENT) {
+            bool release = op != Op::STORE;
+            uint64_t gate = release
+                ? selectGate(gates, kGateAll)
+                : selectGate(gates, sel.store);
+            uint64_t request = std::max(retire, gate);
+            if (latency > 1)
+                request = std::max(request, mshr_slot_free());
+
+            // Non-binding store prefetch: fetch ownership as soon as
+            // the address is known; the ordered write then performs
+            // on a local line.
+            uint64_t effective_latency = latency;
+            if (sc_speculation && latency > 1) {
+                uint64_t prefetch_issue = mem_fu.allocate(ready);
+                uint64_t prefetch_done = prefetch_issue + latency;
+                // The write still issues in order, but only waits for
+                // whatever part of the fetch is still outstanding.
+                effective_latency = 1;
+                if (prefetch_done > request) {
+                    effective_latency = std::max<uint64_t>(
+                        1, prefetch_done - request);
+                }
+            }
+            uint64_t mem_issue = mem_fu.allocate(request);
+            uint64_t mem_completion = mem_issue + effective_latency;
+            gates[1] = std::max(gates[1], mem_completion);
+            if (op == Op::STORE) {
+                // Bound the forwarding table by store-buffer
+                // liveness: a later load issues no earlier than
+                // decode + 1, so an entry whose write has performed
+                // by the current decode cycle can never forward and
+                // is swept before the table would otherwise grow.
+                if (last_store.nearCapacity()) {
+                    last_store.retain(
+                        [&](Addr, const StoreInfo &s) {
+                            return s.mem_completion > decode;
+                        });
+                }
+                last_store.insert(v.addr(i),
+                                  {ready, mem_completion});
+            } else {
+                // Releases are fences under WO.
+                gates[3] = std::max(gates[3], mem_completion);
+            }
+            if (latency > 1)
+                allocate_mshr(mem_completion);
+
+            // Store buffer slot occupied from ROB retirement until
+            // the write performs; FIFO deallocation.
+            uint64_t leave = mem_completion;
+            if (store_count > 0) {
+                uint64_t prev_leave =
+                    sb_leave_ring[(store_count - 1) % sb_depth];
+                leave = std::max(leave, prev_leave);
+            }
+            sb_leave_ring[store_count % sb_depth] = leave;
+            ++store_count;
+        }
+
+        // -------- Cycle attribution --------------------------------
+        uint64_t contribution =
+            first_retire ? retire + 1 : retire - prev_retire;
+        if (flags & TraceView::kSync) {
+            if (flags & TraceView::kAcquire)
+                bd.sync += contribution;
+            else
+                bd.write += contribution;
+        } else {
+            ++r.instructions;
+            uint64_t slot = std::min<uint64_t>(contribution, 1);
+            bd.busy += slot;
+            uint64_t gap = contribution - slot;
+            switch (op) {
+              case Op::LOAD:
+                if (load_store_bound)
+                    bd.write += gap;
+                else
+                    bd.read += gap;
+                break;
+              case Op::STORE:
+                bd.write += gap;
+                break;
+              default:
+                bd.pipeline += gap;
+                break;
+            }
+        }
+
+        occupancy_sum += retire - decode + 1;
+        if (free_window)
+            slot_heap.push(completion);
+
+        // -------- Roll rings ---------------------------------------
+        completion_ring[i % W] = completion;
+        retire_ring[i % W] = retire;
+        decode_ring[i % width] = decode;
+        prev_retire = retire;
+        first_retire = false;
+    }
+
+    r.cycles = bd.total();
+    r.avg_window_occupancy = r.cycles == 0
+        ? 0.0
+        : static_cast<double>(occupancy_sum) /
+            static_cast<double>(r.cycles);
+    return r;
+}
+
+// ------------------------------------------------------------------
+// Reference implementation: the original AoS scheduling loop, kept
+// verbatim. Do not optimize — it is the oracle the view-based loop is
+// verified against and the baseline bench_hotloop reports speedups
+// over.
+// ------------------------------------------------------------------
+DynamicResult
+DynamicProcessor::runReference(const trace::Trace &trace) const
 {
     const ConsistencyModel model = config_.model;
     const uint32_t W = config_.window;

@@ -7,6 +7,7 @@
 #include "core/types.h"
 #include "stats/histogram.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::core {
 
@@ -105,7 +106,24 @@ class DynamicProcessor
   public:
     explicit DynamicProcessor(const DynamicConfig &config);
 
+    /**
+     * Time a pre-decoded trace view. This is the production hot loop:
+     * SoA operand streams, flat-hash store forwarding bounded by
+     * store-buffer liveness, precomputed consistency-gate selectors,
+     * and a d-ary heap for the free-window slot pool.
+     */
+    DynamicResult run(const trace::TraceView &v) const;
+
+    /** Convenience: decode @p t into a view, then time it. */
     DynamicResult run(const trace::Trace &t) const;
+
+    /**
+     * The pre-optimization scheduling loop, kept verbatim as the
+     * oracle: randomized equivalence tests assert run() is
+     * bit-identical to it, and bench_hotloop reports its
+     * instructions/second as the pre-PR baseline.
+     */
+    DynamicResult runReference(const trace::Trace &t) const;
 
     const DynamicConfig &config() const { return config_; }
 

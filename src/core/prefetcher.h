@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::core {
 
@@ -52,6 +53,11 @@ struct PrefetchStats {
  * sequence, dependences, and all other annotations are unchanged.
  */
 trace::Trace applyStridePrefetcher(const trace::Trace &t,
+                                   const PrefetchConfig &config,
+                                   PrefetchStats *stats = nullptr);
+
+/** As above, from a pre-decoded view (identical output and stats). */
+trace::Trace applyStridePrefetcher(const trace::TraceView &v,
                                    const PrefetchConfig &config,
                                    PrefetchStats *stats = nullptr);
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::core {
 
@@ -75,6 +76,15 @@ struct RescheduleStats {
 trace::Trace rescheduleLoads(const trace::Trace &t,
                              const RescheduleConfig &config,
                              RescheduleStats *stats);
+
+/**
+ * Reschedule from a pre-decoded view (avoids re-decoding when the
+ * caller already built one for timing runs); output and stats are
+ * identical to the Trace overload.
+ */
+trace::Trace rescheduleLoads(const trace::TraceView &v,
+                             const RescheduleConfig &config,
+                             RescheduleStats *stats = nullptr);
 
 } // namespace dsmem::core
 

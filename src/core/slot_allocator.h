@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
+
 namespace dsmem::core {
 
 /**
@@ -72,6 +74,142 @@ class SlotAllocator
     uint32_t capacity_;
     std::unordered_map<uint64_t, uint32_t> used_;
     std::unordered_map<uint64_t, uint64_t> next_;
+    std::vector<uint64_t> path_;
+};
+
+/**
+ * SlotAllocator specialized for the timing loops' access pattern: a
+ * direct-mapped ring of cycle cells instead of hash maps.
+ *
+ * Two facts make direct mapping possible. First, no request ever
+ * targets a cycle below the requesting instruction's decode time, and
+ * decode times are non-decreasing — the caller publishes that bound
+ * via advanceWatermark(), and any cell for a cycle below it is dead
+ * and silently reclaimed on collision (the lazy equivalent of
+ * SlotAllocator::prune). Second, live cycles span a bounded lead over
+ * the watermark (store-buffer depth times miss latency, roughly), so
+ * a modest power-of-two span rarely sees a live collision; when one
+ * does occur the ring doubles.
+ *
+ * An allocation is then an index mask and one cell read — no hashing,
+ * no probe chain — while returning exactly the cycles SlotAllocator
+ * returns (the equivalence tests drive both against each other;
+ * SlotAllocator is kept verbatim above as the reference and as
+ * bench_hotloop's pre-optimization baseline).
+ */
+class RingSlotAllocator
+{
+  public:
+    explicit RingSlotAllocator(uint32_t capacity_per_cycle = 1,
+                               size_t initial_span = 4096)
+        : capacity_(capacity_per_cycle == 0 ? 1 : capacity_per_cycle)
+    {
+        size_t span = 16;
+        while (span < initial_span)
+            span <<= 1;
+        cells_.resize(span);
+        mask_ = span - 1;
+    }
+
+    /**
+     * Promise that no future allocate() will request a cycle below
+     * @p watermark (must be non-decreasing across calls). Cells for
+     * cycles below it become reclaimable.
+     */
+    void advanceWatermark(uint64_t watermark) { watermark_ = watermark; }
+
+    /** First free cycle >= @p t; consumes one slot of it. */
+    uint64_t allocate(uint64_t t)
+    {
+        uint64_t cycle = findFree(t);
+        Cell &cell = cells_[cellIndex(cycle)];
+        ++cell.used;
+        if (cell.used >= capacity_)
+            cell.next = cycle + 1;
+        return cycle;
+    }
+
+    size_t span() const { return cells_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    struct Cell {
+        uint64_t cycle = 0;
+        uint64_t next = 0; ///< Next candidate once the cycle is full.
+        uint32_t used = 0; ///< 0 marks the cell empty/reclaimable.
+    };
+
+    /**
+     * Index of the cell for @p cur, claiming an empty or dead cell on
+     * the way; grows the ring when a live cell for a different cycle
+     * occupies the slot.
+     */
+    size_t cellIndex(uint64_t cur)
+    {
+        for (;;) {
+            size_t idx = static_cast<size_t>(cur) & mask_;
+            Cell &slot = cells_[idx];
+            if (slot.used == 0) {
+                slot.cycle = cur; // Claim; stays empty until used.
+                return idx;
+            }
+            if (slot.cycle == cur)
+                return idx;
+            if (slot.cycle < watermark_) {
+                slot = Cell{cur, 0, 0}; // Reclaim a dead cycle.
+                return idx;
+            }
+            grow();
+        }
+    }
+
+    uint64_t findFree(uint64_t t)
+    {
+        // Follow "next" pointers through full cycles, compressing the
+        // path on the way back.
+        path_.clear();
+        uint64_t cur = t;
+        for (;;) {
+            const Cell &cell = cells_[cellIndex(cur)];
+            if (cell.used < capacity_)
+                break;
+            path_.push_back(cur);
+            cur = cell.next;
+        }
+        for (uint64_t p : path_)
+            cells_[cellIndex(p)].next = cur;
+        return cur;
+    }
+
+    void grow()
+    {
+        // Double until every live cell lands in a distinct slot.
+        std::vector<Cell> old = std::move(cells_);
+        size_t span = old.size();
+        for (;;) {
+            span <<= 1;
+            cells_.assign(span, Cell{});
+            mask_ = span - 1;
+            bool clash = false;
+            for (const Cell &cell : old) {
+                if (cell.used == 0 || cell.cycle < watermark_)
+                    continue;
+                Cell &slot = cells_[static_cast<size_t>(cell.cycle) & mask_];
+                if (slot.used != 0) {
+                    clash = true;
+                    break;
+                }
+                slot = cell;
+            }
+            if (!clash)
+                return;
+        }
+    }
+
+    uint32_t capacity_;
+    std::vector<Cell> cells_;
+    size_t mask_ = 0;
+    uint64_t watermark_ = 0;
     std::vector<uint64_t> path_;
 };
 

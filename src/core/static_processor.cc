@@ -11,6 +11,7 @@ using trace::InstIndex;
 using trace::kNoSrc;
 using trace::Op;
 using trace::TraceInst;
+using trace::TraceView;
 
 namespace {
 
@@ -79,9 +80,55 @@ class FifoBuffer
     std::deque<uint64_t> leave_times_;
 };
 
+/**
+ * FifoBuffer with O(1) operations. Leave times are non-decreasing
+ * (each push maxes against its elder), so the buffer is full at `now`
+ * exactly when `depth` entries have been pushed and the oldest
+ * tracked one still lives (`leave > now`) — and that oldest entry is
+ * the first to free. One ring of the last `depth` leave times
+ * replaces the deque scans.
+ */
+class FifoRing
+{
+  public:
+    explicit FifoRing(uint32_t depth) : ring_(depth, 0) {}
+
+    bool full(uint64_t now, uint64_t *free_at) const
+    {
+        if (count_ < ring_.size())
+            return false;
+        uint64_t oldest = ring_[count_ % ring_.size()];
+        if (oldest <= now)
+            return false;
+        *free_at = oldest;
+        return true;
+    }
+
+    void push(uint64_t completion)
+    {
+        uint64_t leave = completion;
+        if (count_ > 0) {
+            leave = std::max(
+                leave, ring_[(count_ - 1) % ring_.size()]);
+        }
+        ring_[count_ % ring_.size()] = leave;
+        ++count_;
+    }
+
+  private:
+    std::vector<uint64_t> ring_;
+    uint64_t count_ = 0;
+};
+
 /** An outstanding non-blocking load (SS read buffer entry). */
 struct OutstandingLoad {
     InstIndex inst;
+    uint64_t completion;
+};
+
+/** SS read-buffer entry keyed by its precomputed stall point. */
+struct PendingLoad {
+    InstIndex first_use; ///< Only instruction that can stall on it.
     uint64_t completion;
 };
 
@@ -134,6 +181,72 @@ advanceToGate(Timeline &tl, const Gates &g, uint64_t gate)
     tl.advance(gate, bucket);
 }
 
+// Gate selectors over {load_comp, store_comp, acquire_comp,
+// sync_comp}, hoisted out of the per-access switches (same scheme as
+// the dynamic processor's).
+enum GateTerm : unsigned {
+    kGateLoad = 1u << 0,
+    kGateStore = 1u << 1,
+    kGateAcquire = 1u << 2,
+    kGateSync = 1u << 3,
+};
+
+constexpr unsigned kGateAll = kGateLoad | kGateStore | kGateAcquire;
+
+struct GateSelectors {
+    unsigned load = 0;
+    unsigned store = 0;         ///< Ordinary stores.
+    unsigned release = kGateAll; ///< Releases, every model.
+    unsigned acquire = 0;
+    bool serialize_stores = false; ///< WO/RC: one write issue per cycle.
+};
+
+constexpr GateSelectors
+gateSelectorsFor(ConsistencyModel model)
+{
+    GateSelectors sel;
+    switch (model) {
+      case ConsistencyModel::SC:
+        sel.load = kGateAll;
+        sel.store = kGateAll;
+        sel.acquire = kGateAll;
+        break;
+      case ConsistencyModel::PC:
+        sel.load = kGateLoad | kGateAcquire;
+        sel.store = kGateAll;
+        sel.acquire = kGateLoad | kGateAcquire;
+        break;
+      case ConsistencyModel::WO:
+        sel.load = kGateSync;
+        sel.store = kGateSync;
+        sel.acquire = kGateAll; // A fence waits for everything.
+        sel.serialize_stores = true;
+        break;
+      case ConsistencyModel::RC:
+        sel.load = kGateAcquire;
+        sel.store = kGateAcquire;
+        sel.acquire = kGateAcquire;
+        sel.serialize_stores = true;
+        break;
+    }
+    return sel;
+}
+
+inline uint64_t
+selectGate(const Gates &g, unsigned mask)
+{
+    uint64_t gate = 0;
+    if (mask & kGateLoad)
+        gate = g.load_comp;
+    if (mask & kGateStore)
+        gate = std::max(gate, g.store_comp);
+    if (mask & kGateAcquire)
+        gate = std::max(gate, g.acquire_comp);
+    if (mask & kGateSync)
+        gate = std::max(gate, g.sync_comp);
+    return gate;
+}
+
 } // namespace
 
 StaticProcessor::StaticProcessor(const StaticConfig &config)
@@ -147,6 +260,188 @@ StaticProcessor::StaticProcessor(const StaticConfig &config)
 
 RunResult
 StaticProcessor::run(const trace::Trace &trace) const
+{
+    return run(TraceView(trace));
+}
+
+// ------------------------------------------------------------------
+// Production loop over the SoA view. Scheduling-identical to
+// runReference; the differences are mechanical:
+//  - FIFO occupancy checks run on O(1) rings (leave times are
+//    non-decreasing, so "full" reduces to one compare of the oldest
+//    tracked entry),
+//  - the SS first-use stall uses the view's precomputed first-use
+//    vector: a pending load can only ever stall the first consumer of
+//    its value (any later consumer runs after the entry was retired),
+//    so the per-instruction sources-times-pending scan collapses to
+//    one compare per pending entry,
+//  - gate switches are hoisted into per-model selector masks.
+// ------------------------------------------------------------------
+RunResult
+StaticProcessor::run(const trace::TraceView &v) const
+{
+    const GateSelectors sel = gateSelectorsFor(config_.model);
+    const bool nonblocking = config_.nonblocking_reads;
+
+    RunResult r;
+    Timeline tl;
+    Gates gates;
+    FifoRing write_buffer(config_.write_buffer_depth);
+    FifoRing read_buffer(config_.read_buffer_depth);
+    std::vector<PendingLoad> pending_loads;
+    pending_loads.reserve(config_.read_buffer_depth);
+    uint64_t last_store_issue = 0;
+    bool any_store_issued = false;
+
+    // SS first-use rule: stall until every source produced by a
+    // still-pending load has completed. A pending entry's only
+    // possible match is its first use, so one compare per entry.
+    auto wait_for_operands = [&](size_t i) {
+        if (pending_loads.empty())
+            return;
+        for (const PendingLoad &pl : pending_loads) {
+            if (pl.first_use == i)
+                tl.advance(pl.completion, Bucket::READ);
+        }
+        // Drop completed entries.
+        std::erase_if(pending_loads, [&](const PendingLoad &pl) {
+            return pl.completion <= tl.t;
+        });
+    };
+
+    auto store_issue_gate = [&](bool release) -> uint64_t {
+        uint64_t gate =
+            selectGate(gates, release ? sel.release : sel.store);
+        if (sel.serialize_stores && any_store_issued)
+            gate = std::max(gate, last_store_issue + 1);
+        return gate;
+    };
+
+    const size_t n = v.size();
+    for (size_t i = 0; i < n; ++i) {
+        const Op op = v.op(i);
+        const uint32_t latency = v.latency(i);
+
+        switch (op) {
+          case Op::LOAD: {
+            wait_for_operands(i);
+            if (nonblocking) {
+                uint64_t free_at;
+                if (read_buffer.full(tl.t, &free_at))
+                    tl.advance(free_at, Bucket::READ);
+            }
+            uint64_t gate = selectGate(gates, sel.load);
+            advanceToGate(tl, gates, gate);
+            uint64_t issue = tl.t;
+            uint64_t completion = issue + latency;
+            if (latency > 1)
+                ++r.read_misses;
+            if (nonblocking) {
+                // Issue and continue; stall at first use.
+                tl.busyCycle();
+                read_buffer.push(completion);
+                if (completion > tl.t) {
+                    pending_loads.push_back(
+                        {v.firstUse(i), completion});
+                }
+            } else {
+                // Blocking read: one busy cycle plus the stall.
+                tl.busyCycle();
+                tl.advance(completion, Bucket::READ);
+            }
+            gates.load_comp = std::max(gates.load_comp, completion);
+            ++r.instructions;
+            break;
+          }
+
+          case Op::STORE: {
+            wait_for_operands(i);
+            uint64_t free_at;
+            if (write_buffer.full(tl.t, &free_at))
+                tl.advance(free_at, Bucket::WRITE);
+            tl.busyCycle();
+            uint64_t issue = std::max(tl.t, store_issue_gate(false));
+            uint64_t completion = issue + latency;
+            write_buffer.push(completion);
+            gates.store_comp = std::max(gates.store_comp, completion);
+            last_store_issue = issue;
+            any_store_issued = true;
+            ++r.instructions;
+            break;
+          }
+
+          case Op::BRANCH: {
+            wait_for_operands(i);
+            tl.busyCycle();
+            ++r.instructions;
+            ++r.branches;
+            break;
+          }
+
+          case Op::LOCK:
+          case Op::WAIT_EVENT:
+          case Op::BARRIER: {
+            wait_for_operands(i);
+            uint64_t gate = selectGate(gates, sel.acquire);
+            advanceToGate(tl, gates, gate);
+            uint64_t completion = tl.t + v.waitCycles(i) + latency;
+            tl.advance(completion, Bucket::SYNC);
+            gates.acquire_comp =
+                std::max(gates.acquire_comp, completion);
+            gates.sync_comp = std::max(gates.sync_comp, completion);
+            break;
+          }
+
+          case Op::UNLOCK:
+          case Op::SET_EVENT: {
+            wait_for_operands(i);
+            uint64_t free_at;
+            if (write_buffer.full(tl.t, &free_at))
+                tl.advance(free_at, Bucket::WRITE);
+            // One cycle to hand the release to the write buffer.
+            tl.advance(tl.t + 1, Bucket::WRITE);
+            uint64_t issue = std::max(tl.t, store_issue_gate(true));
+            uint64_t completion = issue + latency;
+            write_buffer.push(completion);
+            gates.store_comp = std::max(gates.store_comp, completion);
+            gates.sync_comp = std::max(gates.sync_comp, completion);
+            last_store_issue = issue;
+            any_store_issued = true;
+            break;
+          }
+
+          default: { // Compute
+            wait_for_operands(i);
+            tl.busyCycle();
+            ++r.instructions;
+            break;
+          }
+        }
+    }
+
+    // Drain: execution finishes when pending loads and buffered
+    // writes complete.
+    uint64_t drain = std::max(gates.load_comp, gates.store_comp);
+    if (drain > tl.t) {
+        // Attribute the drain to whichever dominates.
+        if (gates.store_comp >= gates.load_comp)
+            tl.advance(drain, Bucket::WRITE);
+        else
+            tl.advance(drain, Bucket::READ);
+    }
+
+    r.breakdown = tl.bd;
+    r.cycles = tl.t;
+    return r;
+}
+
+// ------------------------------------------------------------------
+// Reference implementation: the original loop, kept verbatim as the
+// oracle for the randomized equivalence suite and bench_hotloop's
+// pre-optimization baseline. Do not optimize.
+// ------------------------------------------------------------------
+RunResult
+StaticProcessor::runReference(const trace::Trace &trace) const
 {
     const ConsistencyModel model = config_.model;
     RunResult r;

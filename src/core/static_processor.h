@@ -5,6 +5,7 @@
 
 #include "core/types.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::core {
 
@@ -44,7 +45,22 @@ class StaticProcessor
   public:
     explicit StaticProcessor(const StaticConfig &config);
 
+    /**
+     * Time a pre-decoded trace view. Production loop: O(1) ring
+     * buffers for the write/read FIFO occupancy checks, the
+     * precomputed first-use vector for SS pending-load stalls, and
+     * hoisted consistency-gate selectors.
+     */
+    RunResult run(const trace::TraceView &v) const;
+
+    /** Convenience: decode @p t into a view, then time it. */
     RunResult run(const trace::Trace &t) const;
+
+    /**
+     * The pre-optimization loop, kept verbatim as the oracle for the
+     * randomized equivalence tests and bench_hotloop's baseline.
+     */
+    RunResult runReference(const trace::Trace &t) const;
 
     const StaticConfig &config() const { return config_; }
 

@@ -24,20 +24,20 @@ MemorySystem::MemorySystem(uint32_t num_procs,
 MemorySystem::DirEntry &
 MemorySystem::dirEntry(Addr line)
 {
-    return directory_[line];
+    return directory_.findOrInsert(line);
 }
 
 void
 MemorySystem::dropSharer(Addr line, uint32_t proc)
 {
-    auto it = directory_.find(line);
-    if (it == directory_.end())
+    DirEntry *entry = directory_.find(line);
+    if (entry == nullptr)
         return;
-    it->second.sharers &= ~(1u << proc);
-    if (it->second.owner == static_cast<int32_t>(proc))
-        it->second.owner = -1;
-    if (it->second.sharers == 0)
-        directory_.erase(it);
+    entry->sharers &= ~(1u << proc);
+    if (entry->owner == static_cast<int32_t>(proc))
+        entry->owner = -1;
+    if (entry->sharers == 0)
+        directory_.erase(line);
 }
 
 void
@@ -51,11 +51,11 @@ MemorySystem::handleEviction(uint32_t proc, Addr victim_line, bool dirty)
 uint32_t
 MemorySystem::invalidateRemote(Addr line, uint32_t requester)
 {
-    auto it = directory_.find(line);
-    if (it == directory_.end())
+    DirEntry *entry = directory_.find(line);
+    if (entry == nullptr)
         return 0;
     uint32_t invalidated = 0;
-    uint32_t sharers = it->second.sharers;
+    uint32_t sharers = entry->sharers;
     for (uint32_t p = 0; p < numProcs(); ++p) {
         if (p == requester || (sharers & (1u << p)) == 0)
             continue;
@@ -67,10 +67,10 @@ MemorySystem::invalidateRemote(Addr line, uint32_t requester)
         ++stats_[p].invalidations_received;
         ++invalidated;
     }
-    it->second.sharers &= (1u << requester);
-    it->second.owner = -1;
-    if (it->second.sharers == 0)
-        directory_.erase(it);
+    entry->sharers &= (1u << requester);
+    entry->owner = -1;
+    if (entry->sharers == 0)
+        directory_.erase(line);
     return invalidated;
 }
 

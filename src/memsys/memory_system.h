@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "memsys/cache.h"
 #include "memsys/config.h"
+#include "util/flat_map.h"
 
 namespace dsmem::memsys {
 
@@ -87,6 +87,13 @@ class MemorySystem
         int32_t owner = -1;   ///< Holder of an E/M copy, or -1.
     };
 
+    /**
+     * Directory entry for @p line, created on demand. The directory
+     * is an open-addressed flat map with backward-shift deletion, so
+     * the returned reference is invalidated by ANY later insert or
+     * erase (evictions, invalidations) — callers re-fetch after such
+     * calls instead of holding the reference across them.
+     */
     DirEntry &dirEntry(Addr line);
 
     /** Remove @p proc from the sharer set of @p line. */
@@ -107,7 +114,7 @@ class MemorySystem
     MemoryConfig mem_config_;
     std::vector<std::unique_ptr<Cache>> caches_;
     std::vector<CacheStats> stats_;
-    std::unordered_map<Addr, DirEntry> directory_;
+    util::FlatMap<Addr, DirEntry> directory_{256};
     std::vector<uint64_t> bank_free_;
 };
 

@@ -62,6 +62,11 @@ Campaign::run()
             sim::TraceOrigin origin;
             const sim::TraceBundle &bundle =
                 cache_.get(first.app, first.mem, first.small, &origin);
+            // Decode the trace into its SoA view once; every phase-2
+            // job of this trace shares the immutable view instead of
+            // re-walking the AoS records per run.
+            std::shared_ptr<const trace::TraceView> view =
+                trace::TraceView::build(bundle.trace);
             double wall = elapsedMs(start);
 
             for (size_t u : unit_ids) {
@@ -72,10 +77,10 @@ Campaign::run()
             for (size_t u : unit_ids) {
                 const Unit &unit = units_[u];
                 for (size_t s = 0; s < unit.specs.size(); ++s) {
-                    runner.submit([this, &bundle, u, s] {
+                    runner.submit([this, view, u, s] {
                         auto t0 = std::chrono::steady_clock::now();
                         core::RunResult r = sim::runModel(
-                            bundle.trace, units_[u].specs[s]);
+                            *view, units_[u].specs[s]);
                         results_[u].rows[s] = {
                             units_[u].specs[s].label(), r};
                         results_[u].row_wall_ms[s] = elapsedMs(t0);

@@ -83,22 +83,22 @@ ModelSpec::ds(ConsistencyModel model, uint32_t window, bool perfect_bp,
 }
 
 RunResult
-runModel(const trace::Trace &trace, const ModelSpec &spec)
+runModel(const trace::TraceView &view, const ModelSpec &spec)
 {
     switch (spec.kind) {
       case ModelSpec::Kind::BASE:
-        return core::BaseProcessor().run(trace);
+        return core::BaseProcessor().run(view);
       case ModelSpec::Kind::SSBR: {
         core::StaticConfig config;
         config.model = spec.model;
         config.nonblocking_reads = false;
-        return core::StaticProcessor(config).run(trace);
+        return core::StaticProcessor(config).run(view);
       }
       case ModelSpec::Kind::SS: {
         core::StaticConfig config;
         config.model = spec.model;
         config.nonblocking_reads = true;
-        return core::StaticProcessor(config).run(trace);
+        return core::StaticProcessor(config).run(view);
       }
       case ModelSpec::Kind::DS:
         break;
@@ -109,7 +109,13 @@ runModel(const trace::Trace &trace, const ModelSpec &spec)
     config.width = spec.width;
     config.btb.perfect = spec.perfect_bp;
     config.ignore_data_deps = spec.ignore_deps;
-    return core::DynamicProcessor(config).run(trace);
+    return core::DynamicProcessor(config).run(view);
+}
+
+RunResult
+runModel(const trace::Trace &trace, const ModelSpec &spec)
+{
+    return runModel(trace::TraceView(trace), spec);
 }
 
 std::vector<ModelSpec>
@@ -147,13 +153,20 @@ figure4Columns()
 }
 
 std::vector<LabelledResult>
-runModels(const trace::Trace &trace, const std::vector<ModelSpec> &specs)
+runModels(const trace::TraceView &view,
+          const std::vector<ModelSpec> &specs)
 {
     std::vector<LabelledResult> rows;
     rows.reserve(specs.size());
     for (const ModelSpec &spec : specs)
-        rows.push_back({spec.label(), runModel(trace, spec)});
+        rows.push_back({spec.label(), runModel(view, spec)});
     return rows;
+}
+
+std::vector<LabelledResult>
+runModels(const trace::Trace &trace, const std::vector<ModelSpec> &specs)
+{
+    return runModels(trace::TraceView(trace), specs);
 }
 
 std::string

@@ -6,6 +6,7 @@
 
 #include "core/types.h"
 #include "trace/trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::sim {
 
@@ -40,6 +41,14 @@ struct ModelSpec {
 core::RunResult runModel(const trace::Trace &trace,
                          const ModelSpec &spec);
 
+/**
+ * Time a pre-decoded view on @p spec. Callers running several specs
+ * against the same trace (campaigns, figure sweeps) build the view
+ * once — TraceView::build — and amortize the decode across runs.
+ */
+core::RunResult runModel(const trace::TraceView &view,
+                         const ModelSpec &spec);
+
 /** The window sizes swept by the paper. */
 inline constexpr uint32_t kWindowSizes[] = {16, 32, 64, 128, 256};
 
@@ -59,8 +68,12 @@ struct LabelledResult {
     core::RunResult result;
 };
 
-/** Run every spec against one trace. */
+/** Run every spec against one trace (decodes the view once). */
 std::vector<LabelledResult> runModels(const trace::Trace &trace,
+                                      const std::vector<ModelSpec> &specs);
+
+/** Run every spec against one pre-decoded view. */
+std::vector<LabelledResult> runModels(const trace::TraceView &view,
                                       const std::vector<ModelSpec> &specs);
 
 /**

@@ -1,0 +1,68 @@
+#include "trace/trace_view.h"
+
+namespace dsmem::trace {
+
+TraceView::TraceView(const Trace &t) : name_(t.name())
+{
+    const size_t n = t.size();
+    ops_.resize(n);
+    fu_.resize(n);
+    flags_.resize(n);
+    num_srcs_.resize(n);
+    srcs_.resize(n);
+    addr_.resize(n);
+    latency_.resize(n);
+    aux_.resize(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        const TraceInst &inst = t[i];
+        ops_[i] = inst.op;
+        fu_[i] = static_cast<uint8_t>(fuClass(inst.op));
+        num_srcs_[i] = inst.num_srcs;
+        srcs_[i] = {inst.src[0], inst.src[1], inst.src[2]};
+        addr_[i] = inst.addr;
+        latency_[i] = inst.latency;
+        aux_[i] = inst.aux;
+
+        // Free functions qualified: the member predicates of the same
+        // name would otherwise hide them inside this scope.
+        uint8_t f = 0;
+        if (inst.isMiss())
+            f |= kMiss;
+        if (dsmem::trace::isSync(inst.op))
+            f |= kSync;
+        if (dsmem::trace::isAcquire(inst.op))
+            f |= kAcquire;
+        if (dsmem::trace::isRelease(inst.op))
+            f |= kRelease;
+        if (inst.taken)
+            f |= kTaken;
+        if (dsmem::trace::isCompute(inst.op))
+            f |= kCompute;
+        if (dsmem::trace::isMemory(inst.op))
+            f |= kMemory;
+        if (dsmem::trace::producesValue(inst.op))
+            f |= kProducesValue;
+        flags_[i] = f;
+    }
+
+    first_use_ = t.computeFirstUses();
+}
+
+TraceInst
+TraceView::materialize(size_t i) const
+{
+    TraceInst inst;
+    inst.op = ops_[i];
+    inst.num_srcs = num_srcs_[i];
+    inst.taken = taken(i);
+    inst.src[0] = srcs_[i][0];
+    inst.src[1] = srcs_[i][1];
+    inst.src[2] = srcs_[i][2];
+    inst.addr = addr_[i];
+    inst.latency = latency_[i];
+    inst.aux = aux_[i];
+    return inst;
+}
+
+} // namespace dsmem::trace

@@ -1,0 +1,81 @@
+#ifndef DSMEM_UTIL_DARY_HEAP_H
+#define DSMEM_UTIL_DARY_HEAP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dsmem::util {
+
+/**
+ * Fixed-arity min-heap of uint64 keys over a flat array.
+ *
+ * Replaces std::priority_queue on paths with a known small bound
+ * (the free-window slot pool holds exactly `window` completion
+ * times): a d-ary layout trades deeper trees for d-way sift-down
+ * steps that stay within one or two cache lines, and reserving the
+ * bound up front removes every reallocation from the hot loop.
+ *
+ * Ordering is by key value only, so any arity pops the same value
+ * sequence as std::priority_queue<.., std::greater<>> (ties carry no
+ * payload to distinguish).
+ */
+template <unsigned D = 4>
+class DaryMinHeap
+{
+    static_assert(D >= 2, "heap arity must be at least 2");
+
+  public:
+    DaryMinHeap() = default;
+    explicit DaryMinHeap(size_t capacity) { data_.reserve(capacity); }
+
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    uint64_t top() const { return data_.front(); }
+
+    void push(uint64_t key)
+    {
+        data_.push_back(key);
+        size_t i = data_.size() - 1;
+        while (i > 0) {
+            size_t parent = (i - 1) / D;
+            if (data_[parent] <= data_[i])
+                break;
+            std::swap(data_[parent], data_[i]);
+            i = parent;
+        }
+    }
+
+    void pop()
+    {
+        data_.front() = data_.back();
+        data_.pop_back();
+        if (data_.empty())
+            return;
+        size_t i = 0;
+        const size_t n = data_.size();
+        for (;;) {
+            size_t first = i * D + 1;
+            if (first >= n)
+                break;
+            size_t last = first + D < n ? first + D : n;
+            size_t best = first;
+            for (size_t c = first + 1; c < last; ++c)
+                if (data_[c] < data_[best])
+                    best = c;
+            if (data_[i] <= data_[best])
+                break;
+            std::swap(data_[i], data_[best]);
+            i = best;
+        }
+    }
+
+    void clear() { data_.clear(); }
+
+  private:
+    std::vector<uint64_t> data_;
+};
+
+} // namespace dsmem::util
+
+#endif // DSMEM_UTIL_DARY_HEAP_H

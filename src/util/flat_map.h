@@ -1,0 +1,217 @@
+#ifndef DSMEM_UTIL_FLAT_MAP_H
+#define DSMEM_UTIL_FLAT_MAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dsmem::util {
+
+/**
+ * Open-addressed hash map for integral keys on simulator hot paths
+ * (store-forwarding tables, directory state, cycle allocators).
+ *
+ * Linear probing over a power-of-two slot array, Fibonacci hashing,
+ * and Knuth backward-shift deletion, so the table never accumulates
+ * tombstones: erase restores exactly the state an insertion-only
+ * history would have produced, and probe sequences stay short no
+ * matter how many entries have come and gone.
+ *
+ * Values must be cheap to move; references returned by find() and
+ * findOrInsert() are invalidated by any subsequent insert, erase, or
+ * rehash (unlike node-based std::unordered_map — callers re-find
+ * after mutating the table).
+ */
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    explicit FlatMap(size_t initial_capacity = 16)
+    {
+        size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return slots_.size(); }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    V *find(K key)
+    {
+        size_t idx = probe(key);
+        return slots_[idx].used ? &slots_[idx].value : nullptr;
+    }
+
+    const V *find(K key) const
+    {
+        size_t idx = probe(key);
+        return slots_[idx].used ? &slots_[idx].value : nullptr;
+    }
+
+    /**
+     * Value for @p key, default-constructed and inserted when absent
+     * (operator[] semantics). May rehash.
+     */
+    V &findOrInsert(K key)
+    {
+        size_t idx = probe(key);
+        if (slots_[idx].used)
+            return slots_[idx].value;
+        if ((size_ + 1) * 4 > capacity() * 3) { // load factor 3/4
+            grow(capacity() * 2);
+            idx = probe(key);
+        }
+        slots_[idx].used = true;
+        slots_[idx].key = key;
+        slots_[idx].value = V{};
+        ++size_;
+        return slots_[idx].value;
+    }
+
+    /** Insert or overwrite. May rehash. */
+    void insert(K key, V value)
+    {
+        findOrInsert(key) = std::move(value);
+    }
+
+    /** Remove @p key (backward-shift, tombstone-free). */
+    bool erase(K key)
+    {
+        size_t idx = probe(key);
+        if (!slots_[idx].used)
+            return false;
+        eraseSlot(idx);
+        return true;
+    }
+
+    /**
+     * Keep only entries satisfying @p pred(key, value); rebuilds the
+     * table, shrinking it when far under-occupied. Amortizes dead-entry
+     * sweeps without per-erase shifting.
+     */
+    template <typename Pred>
+    void retain(Pred pred)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        size_t live = 0;
+        for (const Slot &s : old)
+            if (s.used && pred(s.key, s.value))
+                ++live;
+        // Smallest power-of-two capacity keeping load <= 3/8, so the
+        // sweep both shrinks bloated tables and leaves insert headroom.
+        size_t cap = 16;
+        while (cap * 3 < live * 8)
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        size_ = 0;
+        for (Slot &s : old) {
+            if (!s.used || !pred(s.key, s.value))
+                continue;
+            size_t idx = probe(s.key);
+            slots_[idx].used = true;
+            slots_[idx].key = s.key;
+            slots_[idx].value = std::move(s.value);
+            ++size_;
+        }
+    }
+
+    /** True when one more insert would trigger a grow. */
+    bool nearCapacity() const { return (size_ + 1) * 4 > capacity() * 3; }
+
+    void clear()
+    {
+        slots_.assign(slots_.size(), Slot{});
+        size_ = 0;
+    }
+
+    /** Visit every (key, value) pair; order is unspecified. */
+    template <typename Fn>
+    void forEach(Fn fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot {
+        K key{};
+        V value{};
+        bool used = false;
+    };
+
+    static size_t hashKey(K key)
+    {
+        // Fibonacci hashing over a splitmix-style mix: adjacent keys
+        // (addresses, cycle numbers) scatter across the table.
+        uint64_t x = static_cast<uint64_t>(key);
+        x ^= x >> 33;
+        x *= 0x9E3779B97F4A7C15ull;
+        x ^= x >> 29;
+        return static_cast<size_t>(x);
+    }
+
+    /** Slot holding @p key, or the empty slot where it would go. */
+    size_t probe(K key) const
+    {
+        size_t idx = hashKey(key) & mask_;
+        while (slots_[idx].used && slots_[idx].key != key)
+            idx = (idx + 1) & mask_;
+        return idx;
+    }
+
+    void grow(size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_cap, Slot{});
+        mask_ = new_cap - 1;
+        size_ = 0;
+        for (Slot &s : old) {
+            if (!s.used)
+                continue;
+            size_t idx = probe(s.key);
+            slots_[idx] = std::move(s);
+            ++size_;
+        }
+    }
+
+    /** Knuth Algorithm R: delete from a linear-probe table. */
+    void eraseSlot(size_t idx)
+    {
+        slots_[idx].used = false;
+        --size_;
+        size_t hole = idx;
+        size_t cur = idx;
+        for (;;) {
+            cur = (cur + 1) & mask_;
+            if (!slots_[cur].used)
+                return;
+            size_t home = hashKey(slots_[cur].key) & mask_;
+            // Shift cur into the hole iff its home position does not
+            // lie cyclically within (hole, cur].
+            bool between = hole <= cur
+                ? (home > hole && home <= cur)
+                : (home > hole || home <= cur);
+            if (!between) {
+                slots_[hole] = std::move(slots_[cur]);
+                slots_[hole].used = true;
+                slots_[cur].used = false;
+                hole = cur;
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace dsmem::util
+
+#endif // DSMEM_UTIL_FLAT_MAP_H

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * TraceView correctness: exact round-trip of the SoA decode, and
+ * randomized bit-identical equivalence of every view-based timing
+ * loop against the retained reference implementations, across all
+ * four consistency models, window sizes, and the ablation flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/base_processor.h"
+#include "core/dynamic_processor.h"
+#include "core/prefetcher.h"
+#include "core/rescheduler.h"
+#include "core/static_processor.h"
+#include "random_trace.h"
+#include "sim/experiment.h"
+#include "trace/trace_view.h"
+
+using namespace dsmem;
+
+namespace {
+
+const core::ConsistencyModel kModels[] = {
+    core::ConsistencyModel::SC, core::ConsistencyModel::PC,
+    core::ConsistencyModel::WO, core::ConsistencyModel::RC};
+
+void
+expectSameHistogram(const stats::Histogram &a, const stats::Histogram &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+    ASSERT_EQ(a.numBuckets(), b.numBuckets());
+    for (size_t i = 0; i < a.numBuckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), b.bucketCount(i));
+    EXPECT_EQ(a.overflowCount(), b.overflowCount());
+}
+
+void
+expectSameDynamic(const core::DynamicResult &ref,
+                  const core::DynamicResult &opt)
+{
+    EXPECT_EQ(static_cast<const core::RunResult &>(ref),
+              static_cast<const core::RunResult &>(opt));
+    EXPECT_EQ(ref.avg_window_occupancy, opt.avg_window_occupancy);
+    expectSameHistogram(ref.read_issue_delay, opt.read_issue_delay);
+}
+
+TEST(TraceView, MaterializeRoundTrips)
+{
+    trace::Trace t = dsmem::testing::randomTrace(7, 2000);
+    trace::TraceView view(t);
+    ASSERT_EQ(view.size(), t.size());
+    EXPECT_EQ(view.name(), t.name());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(view.materialize(i), t[i]) << "instruction " << i;
+}
+
+TEST(TraceView, FlagsMatchOpPredicates)
+{
+    trace::Trace t = dsmem::testing::randomTrace(11, 2000);
+    trace::TraceView view(t);
+    for (size_t i = 0; i < t.size(); ++i) {
+        const trace::TraceInst &inst = t[i];
+        EXPECT_EQ(view.op(i), inst.op);
+        EXPECT_EQ(view.fu(i), trace::fuClass(inst.op));
+        EXPECT_EQ(view.isMiss(i), inst.isMiss());
+        EXPECT_EQ(view.isSync(i), trace::isSync(inst.op));
+        EXPECT_EQ(view.isAcquire(i), trace::isAcquire(inst.op));
+        EXPECT_EQ(view.isRelease(i), trace::isRelease(inst.op));
+        EXPECT_EQ(view.isCompute(i), trace::isCompute(inst.op));
+        EXPECT_EQ(view.producesValue(i),
+                  trace::producesValue(inst.op));
+        EXPECT_EQ(view.taken(i), inst.taken);
+        EXPECT_EQ(view.latency(i), inst.latency);
+        EXPECT_EQ(view.addr(i), inst.addr);
+        EXPECT_EQ(view.aux(i), inst.aux);
+    }
+}
+
+TEST(TraceView, FirstUseMatchesTrace)
+{
+    trace::Trace t = dsmem::testing::randomTrace(13, 2000);
+    trace::TraceView view(t);
+    std::vector<trace::InstIndex> expected = t.computeFirstUses();
+    ASSERT_EQ(expected.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(view.firstUse(i), expected[i]);
+}
+
+TEST(TraceView, EmptyTrace)
+{
+    trace::Trace t("empty");
+    trace::TraceView view(t);
+    EXPECT_EQ(view.size(), 0u);
+    EXPECT_TRUE(view.empty());
+    EXPECT_EQ(core::BaseProcessor().run(view).cycles, 0u);
+}
+
+TEST(DynamicEquivalence, ModelsAndWindows)
+{
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        trace::Trace t = dsmem::testing::randomTrace(seed, 4000);
+        trace::TraceView view(t);
+        for (core::ConsistencyModel model : kModels) {
+            for (uint32_t window : {16u, 64u, 256u}) {
+                core::DynamicConfig config;
+                config.model = model;
+                config.window = window;
+                core::DynamicProcessor proc(config);
+                expectSameDynamic(proc.runReference(t),
+                                  proc.run(view));
+            }
+        }
+    }
+}
+
+TEST(DynamicEquivalence, FreeWindow)
+{
+    trace::Trace t = dsmem::testing::randomTrace(17, 4000);
+    trace::TraceView view(t);
+    for (core::ConsistencyModel model : kModels) {
+        core::DynamicConfig config;
+        config.model = model;
+        config.window = 64;
+        config.free_window = true;
+        core::DynamicProcessor proc(config);
+        expectSameDynamic(proc.runReference(t), proc.run(view));
+    }
+}
+
+TEST(DynamicEquivalence, FiniteMshrs)
+{
+    trace::Trace t = dsmem::testing::randomTrace(19, 4000);
+    trace::TraceView view(t);
+    for (uint32_t mshrs : {1u, 4u}) {
+        core::DynamicConfig config;
+        config.model = core::ConsistencyModel::RC;
+        config.window = 64;
+        config.mshrs = mshrs;
+        core::DynamicProcessor proc(config);
+        expectSameDynamic(proc.runReference(t), proc.run(view));
+    }
+}
+
+TEST(DynamicEquivalence, ScSpeculation)
+{
+    trace::Trace t = dsmem::testing::randomTrace(23, 4000);
+    trace::TraceView view(t);
+    core::DynamicConfig config;
+    config.model = core::ConsistencyModel::SC;
+    config.window = 64;
+    config.sc_speculation = true;
+    core::DynamicProcessor proc(config);
+    expectSameDynamic(proc.runReference(t), proc.run(view));
+}
+
+TEST(DynamicEquivalence, MultiIssueAndAblations)
+{
+    trace::Trace t = dsmem::testing::randomTrace(29, 4000);
+    trace::TraceView view(t);
+    for (bool perfect_bp : {false, true}) {
+        for (bool ignore_deps : {false, true}) {
+            core::DynamicConfig config;
+            config.model = core::ConsistencyModel::RC;
+            config.window = 64;
+            config.width = 4;
+            config.perfect_branch_prediction = perfect_bp;
+            config.ignore_data_deps = ignore_deps;
+            core::DynamicProcessor proc(config);
+            expectSameDynamic(proc.runReference(t), proc.run(view));
+        }
+    }
+}
+
+TEST(DynamicEquivalence, ReadDelayHistogram)
+{
+    trace::Trace t = dsmem::testing::randomTrace(31, 4000);
+    trace::TraceView view(t);
+    core::DynamicConfig config;
+    config.model = core::ConsistencyModel::RC;
+    config.window = 64;
+    config.collect_read_delay = true;
+    core::DynamicProcessor proc(config);
+    core::DynamicResult ref = proc.runReference(t);
+    ASSERT_GT(ref.read_issue_delay.count(), 0u);
+    expectSameDynamic(ref, proc.run(view));
+}
+
+TEST(DynamicEquivalence, LongTraceExercisesReclamation)
+{
+    // Long enough that the ring allocators wrap their spans many
+    // times and reclaim dead cycle cells.
+    trace::Trace t = dsmem::testing::randomTrace(37, 60000);
+    trace::TraceView view(t);
+    core::DynamicConfig config;
+    config.model = core::ConsistencyModel::RC;
+    config.window = 256;
+    core::DynamicProcessor proc(config);
+    expectSameDynamic(proc.runReference(t), proc.run(view));
+}
+
+TEST(StaticEquivalence, ModelsBlockingAndNonblocking)
+{
+    for (uint64_t seed : {41u, 43u}) {
+        trace::Trace t = dsmem::testing::randomTrace(seed, 4000);
+        trace::TraceView view(t);
+        for (core::ConsistencyModel model : kModels) {
+            for (bool nonblocking : {false, true}) {
+                core::StaticConfig config;
+                config.model = model;
+                config.nonblocking_reads = nonblocking;
+                core::StaticProcessor proc(config);
+                EXPECT_EQ(proc.runReference(t), proc.run(view))
+                    << "model " << core::consistencyName(model)
+                    << " nonblocking " << nonblocking;
+            }
+        }
+    }
+}
+
+TEST(StaticEquivalence, ShallowBuffers)
+{
+    trace::Trace t = dsmem::testing::randomTrace(47, 4000);
+    trace::TraceView view(t);
+    core::StaticConfig config;
+    config.model = core::ConsistencyModel::RC;
+    config.nonblocking_reads = true;
+    config.write_buffer_depth = 2;
+    config.read_buffer_depth = 2;
+    core::StaticProcessor proc(config);
+    EXPECT_EQ(proc.runReference(t), proc.run(view));
+}
+
+TEST(BaseEquivalence, ViewMatchesTrace)
+{
+    trace::Trace t = dsmem::testing::randomTrace(53, 4000);
+    trace::TraceView view(t);
+    core::BaseProcessor proc;
+    EXPECT_EQ(proc.run(t), proc.run(view));
+}
+
+TEST(TransformEquivalence, ReschedulerViewOverload)
+{
+    trace::Trace t = dsmem::testing::randomTrace(59, 4000);
+    trace::TraceView view(t);
+    core::RescheduleConfig config;
+    config.cross_branches = true;
+    config.exact_alias = true;
+    core::RescheduleStats ref_stats, view_stats;
+    trace::Trace ref = core::rescheduleLoads(t, config, &ref_stats);
+    trace::Trace opt = core::rescheduleLoads(view, config, &view_stats);
+    ASSERT_EQ(ref.size(), opt.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], opt[i]) << "instruction " << i;
+    EXPECT_EQ(ref_stats.loads_moved, view_stats.loads_moved);
+    EXPECT_EQ(ref_stats.loads_considered, view_stats.loads_considered);
+    EXPECT_EQ(ref_stats.total_hoist_distance,
+              view_stats.total_hoist_distance);
+}
+
+TEST(TransformEquivalence, PrefetcherViewOverload)
+{
+    trace::Trace t = dsmem::testing::randomTrace(61, 4000);
+    trace::TraceView view(t);
+    core::PrefetchStats ref_stats, view_stats;
+    trace::Trace ref = core::applyStridePrefetcher(
+        t, core::PrefetchConfig{}, &ref_stats);
+    trace::Trace opt = core::applyStridePrefetcher(
+        view, core::PrefetchConfig{}, &view_stats);
+    ASSERT_EQ(ref.size(), opt.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], opt[i]) << "instruction " << i;
+    EXPECT_EQ(ref_stats.read_misses, view_stats.read_misses);
+    EXPECT_EQ(ref_stats.covered, view_stats.covered);
+}
+
+TEST(RunModelEquivalence, ViewOverloadMatchesTraceOverload)
+{
+    trace::Trace t = dsmem::testing::randomTrace(67, 4000);
+    trace::TraceView view(t);
+    std::vector<sim::ModelSpec> specs = sim::figure3Columns();
+    std::vector<sim::LabelledResult> ref = sim::runModels(t, specs);
+    std::vector<sim::LabelledResult> opt = sim::runModels(view, specs);
+    ASSERT_EQ(ref.size(), opt.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].label, opt[i].label);
+        EXPECT_EQ(ref[i].result, opt[i].result) << ref[i].label;
+    }
+}
+
+} // namespace
