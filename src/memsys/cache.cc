@@ -26,15 +26,6 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     lines_.resize(config.numLines());
 }
 
-LineState
-Cache::lookup(Addr addr) const
-{
-    const Line &line = lines_[setIndex(addr)];
-    if (line.state == LineState::INVALID || line.tag != lineAddr(addr))
-        return LineState::INVALID;
-    return line.state;
-}
-
 bool
 Cache::install(Addr addr, LineState state, Addr *evicted,
                bool *evicted_dirty)

@@ -33,8 +33,19 @@ class Cache
     /** Line-aligned address of @p addr. */
     Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
 
-    /** State of the line containing @p addr (INVALID on tag mismatch). */
-    LineState lookup(Addr addr) const;
+    /**
+     * State of the line containing @p addr (INVALID on tag mismatch).
+     * Inline: this tag check is the first step of every simulated
+     * reference, and on the phase-1 hit path it is most of the work.
+     */
+    LineState lookup(Addr addr) const
+    {
+        const Line &line = lines_[setIndex(addr)];
+        if (line.state == LineState::INVALID ||
+            line.tag != lineAddr(addr))
+            return LineState::INVALID;
+        return line.state;
+    }
 
     /**
      * Install the line containing @p addr in @p state, evicting the

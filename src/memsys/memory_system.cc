@@ -21,6 +21,31 @@ MemorySystem::MemorySystem(uint32_t num_procs,
         bank_free_.assign(mem_config.banks, 0);
 }
 
+AccessResult
+MemorySystem::readLegacy(uint32_t proc, Addr addr, uint64_t now)
+{
+    Cache &cache = *caches_.at(proc);
+    ++stats_[proc].reads;
+    if (cache.lookup(addr) != LineState::INVALID)
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    return readMiss(cache, proc, addr, now);
+}
+
+AccessResult
+MemorySystem::writeLegacy(uint32_t proc, Addr addr, uint64_t now)
+{
+    Cache &cache = *caches_.at(proc);
+    ++stats_[proc].writes;
+    LineState state = cache.lookup(addr);
+    if (state == LineState::MODIFIED)
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    if (state == LineState::EXCLUSIVE) {
+        cache.setState(cache.lineAddr(addr), LineState::MODIFIED);
+        return {AccessKind::HIT, mem_config_.hit_latency, 0};
+    }
+    return writeMiss(cache, proc, addr, state, now);
+}
+
 MemorySystem::DirEntry &
 MemorySystem::dirEntry(Addr line)
 {
@@ -91,16 +116,10 @@ MemorySystem::missLatency(uint32_t proc, Addr line, uint64_t now)
 }
 
 AccessResult
-MemorySystem::read(uint32_t proc, Addr addr, uint64_t now)
+MemorySystem::readMiss(Cache &cache, uint32_t proc, Addr addr,
+                       uint64_t now)
 {
-    Cache &cache = *caches_.at(proc);
     Addr line = cache.lineAddr(addr);
-    ++stats_[proc].reads;
-
-    if (cache.lookup(addr) != LineState::INVALID) {
-        return {AccessKind::HIT, mem_config_.hit_latency, 0};
-    }
-
     ++stats_[proc].read_misses;
     uint32_t latency = missLatency(proc, line, now);
 
@@ -134,22 +153,10 @@ MemorySystem::read(uint32_t proc, Addr addr, uint64_t now)
 }
 
 AccessResult
-MemorySystem::write(uint32_t proc, Addr addr, uint64_t now)
+MemorySystem::writeMiss(Cache &cache, uint32_t proc, Addr addr,
+                        LineState state, uint64_t now)
 {
-    Cache &cache = *caches_.at(proc);
     Addr line = cache.lineAddr(addr);
-    ++stats_[proc].writes;
-
-    LineState state = cache.lookup(addr);
-    if (state == LineState::MODIFIED) {
-        return {AccessKind::HIT, mem_config_.hit_latency, 0};
-    }
-    if (state == LineState::EXCLUSIVE) {
-        // MESI silent upgrade: sole clean copy, no transaction needed.
-        cache.setState(line, LineState::MODIFIED);
-        return {AccessKind::HIT, mem_config_.hit_latency, 0};
-    }
-
     ++stats_[proc].write_misses;
     uint32_t latency = missLatency(proc, line, now);
     uint32_t invalidations = invalidateRemote(line, proc);

@@ -39,44 +39,4 @@ Arena::allocPadded(size_t slots, Addr line_bytes)
     return base;
 }
 
-size_t
-Arena::slotIndex(Addr addr) const
-{
-    if (addr < kBaseAddr)
-        throw std::out_of_range("arena address below base");
-    size_t idx = (addr - kBaseAddr) / kSlotBytes;
-    if (idx >= next_slot_)
-        throw std::out_of_range("arena address past allocation");
-    return idx;
-}
-
-int64_t
-Arena::loadInt(Addr addr) const
-{
-    return static_cast<int64_t>(raw(addr));
-}
-
-double
-Arena::loadFloat(Addr addr) const
-{
-    double out;
-    uint64_t bits = raw(addr);
-    std::memcpy(&out, &bits, sizeof(out));
-    return out;
-}
-
-void
-Arena::storeInt(Addr addr, int64_t value)
-{
-    raw(addr) = static_cast<uint64_t>(value);
-}
-
-void
-Arena::storeFloat(Addr addr, double value)
-{
-    uint64_t bits;
-    std::memcpy(&bits, &value, sizeof(bits));
-    raw(addr) = bits;
-}
-
 } // namespace dsmem::mp

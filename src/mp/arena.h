@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -62,17 +63,50 @@ class Arena
     uint64_t &raw(Addr addr) { return slots_[slotIndex(addr)]; }
     const uint64_t &raw(Addr addr) const { return slots_[slotIndex(addr)]; }
 
-    /** Typed accessors over a slot's payload. */
-    int64_t loadInt(Addr addr) const;
-    double loadFloat(Addr addr) const;
-    void storeInt(Addr addr, int64_t value);
-    void storeFloat(Addr addr, double value);
+    /**
+     * Typed accessors over a slot's payload. Defined inline: the
+     * engine touches the arena once per simulated memory operation,
+     * millions of times per run, and an out-of-line call chain
+     * (accessor -> raw -> slotIndex) shows up in generation profiles.
+     */
+    int64_t loadInt(Addr addr) const
+    {
+        return static_cast<int64_t>(raw(addr));
+    }
+
+    double loadFloat(Addr addr) const
+    {
+        double out;
+        uint64_t bits = raw(addr);
+        std::memcpy(&out, &bits, sizeof(out));
+        return out;
+    }
+
+    void storeInt(Addr addr, int64_t value)
+    {
+        raw(addr) = static_cast<uint64_t>(value);
+    }
+
+    void storeFloat(Addr addr, double value)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        raw(addr) = bits;
+    }
 
     /** True when @p addr lies inside the allocated region. */
     bool contains(Addr addr) const;
 
   private:
-    size_t slotIndex(Addr addr) const;
+    size_t slotIndex(Addr addr) const
+    {
+        if (addr < kBaseAddr)
+            throw std::out_of_range("arena address below base");
+        size_t idx = (addr - kBaseAddr) / kSlotBytes;
+        if (idx >= next_slot_)
+            throw std::out_of_range("arena address past allocation");
+        return idx;
+    }
 
     std::vector<uint64_t> slots_;
     size_t next_slot_ = 0;

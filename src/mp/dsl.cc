@@ -1,20 +1,6 @@
 #include "mp/dsl.h"
 
-#include <cmath>
-
 namespace dsmem::mp {
-
-int64_t
-Val::safeToInt(double value)
-{
-    if (!std::isfinite(value))
-        return 0;
-    if (value >= 9.2233720368547748e18)
-        return INT64_MAX;
-    if (value <= -9.2233720368547748e18)
-        return INT64_MIN;
-    return static_cast<int64_t>(value);
-}
 
 uint32_t
 siteId(std::string_view name)

@@ -1,6 +1,7 @@
 #ifndef DSMEM_MP_DSL_H
 #define DSMEM_MP_DSL_H
 
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
@@ -43,8 +44,20 @@ struct Val {
         return {safeToInt(value), value, trace::kNoSrc};
     }
 
-    /** Saturating double -> int64 conversion (never UB). */
-    static int64_t safeToInt(double value);
+    /**
+     * Saturating double -> int64 conversion (never UB). Inline: every
+     * floating DSL op and float load funnels through it.
+     */
+    static int64_t safeToInt(double value)
+    {
+        if (!std::isfinite(value))
+            return 0;
+        if (value >= 9.2233720368547748e18)
+            return INT64_MAX;
+        if (value <= -9.2233720368547748e18)
+            return INT64_MIN;
+        return static_cast<int64_t>(value);
+    }
 };
 
 /**

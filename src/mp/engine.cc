@@ -20,7 +20,12 @@ Engine::Engine(const EngineConfig &config)
     threads_.resize(config.num_procs);
     for (uint32_t p = 0; p < config.num_procs; ++p)
         threads_[p].ctx = std::make_unique<ThreadContext>(this, p);
-    trace_.reserve(config.trace_reserve);
+    ready_keys_.fill(kNoKey);
+    // Fast capture goes through the chunked recorder; the contiguous
+    // trace_ is assembled (with one exact reserve) when run() ends.
+    // The legacy engine appends to trace_ directly, as the seed did.
+    if (config.legacy_engine)
+        trace_.reserve(config.trace_reserve);
 }
 
 BarrierId
@@ -47,20 +52,6 @@ Engine::addThread(uint32_t proc, Task task)
     thread.spawned = true;
     thread.state = ThreadState::READY;
     enqueue(proc, 0);
-}
-
-void
-Engine::enqueue(uint32_t proc, uint64_t cycle)
-{
-    queue_.push(QueueEntry{cycle, proc});
-}
-
-void
-Engine::onSuspend(uint32_t proc)
-{
-    Thread &thread = threads_[proc];
-    thread.state = ThreadState::HAS_PENDING;
-    enqueue(proc, thread.ctx->cycle_);
 }
 
 void
@@ -101,13 +92,13 @@ Engine::applyWakes(const std::vector<SyncWake> &wakes, Op op)
 }
 
 void
-Engine::processPending(Thread &thread)
+Engine::execMemOp(ThreadContext &ctx)
 {
-    ThreadContext &ctx = *thread.ctx;
     ThreadContext::PendingOp &op = ctx.pending_;
     ThreadStats &stats = ctx.stats_;
     uint64_t now = ctx.cycle_;
     uint32_t proc = ctx.proc_;
+    const bool legacy = config_.legacy_engine;
 
     auto build_mem_inst = [&](Op mem_op, uint32_t latency) {
         TraceInst inst;
@@ -119,6 +110,68 @@ Engine::processPending(Thread &thread)
             inst.src[i] = op.deps[i];
         return inst;
     };
+
+    if (op.kind == ThreadContext::PendingKind::LOAD) {
+        memsys::AccessResult res = legacy
+            ? memory_.readLegacy(proc, op.addr, now)
+            : memory_.read(proc, op.addr, now);
+        Val out_val;
+        if (op.is_float) {
+            out_val.f = arena_.loadFloat(op.addr);
+            out_val.i = Val::safeToInt(out_val.f);
+        } else {
+            out_val.i = arena_.loadInt(op.addr);
+            out_val.f = static_cast<double>(out_val.i);
+        }
+        if (legacy) [[unlikely]] {
+            out_val.inst = ctx.recordTimed(build_mem_inst(Op::LOAD,
+                                                          res.latency));
+        } else {
+            // Untraced processors (15 of 16) skip the record build.
+            out_val.inst = ctx.next_inst_++;
+            ++stats.instructions;
+            if (ctx.rec_) [[unlikely]]
+                ctx.rec_->append(build_mem_inst(Op::LOAD, res.latency));
+        }
+        ++stats.reads;
+        if (res.isMiss())
+            ++stats.read_misses;
+        // Blocking read: the in-order processor stalls for the value.
+        ctx.cycle_ += res.latency;
+        op.result = out_val;
+    } else {
+        memsys::AccessResult res = legacy
+            ? memory_.writeLegacy(proc, op.addr, now)
+            : memory_.write(proc, op.addr, now);
+        if (op.is_float)
+            arena_.storeFloat(op.addr, op.data.f);
+        else
+            arena_.storeInt(op.addr, op.data.i);
+        if (legacy) [[unlikely]] {
+            ctx.recordTimed(build_mem_inst(Op::STORE, res.latency));
+        } else {
+            ++ctx.next_inst_;
+            ++stats.instructions;
+            if (ctx.rec_) [[unlikely]]
+                ctx.rec_->append(build_mem_inst(Op::STORE, res.latency));
+        }
+        ++stats.writes;
+        if (res.isWriteMiss())
+            ++stats.write_misses;
+        // Buffered write under RC: one cycle to the processor.
+        ctx.cycle_ += 1;
+        op.result = Val{};
+    }
+}
+
+void
+Engine::processPending(Thread &thread)
+{
+    ThreadContext &ctx = *thread.ctx;
+    ThreadContext::PendingOp &op = ctx.pending_;
+    ThreadStats &stats = ctx.stats_;
+    uint64_t now = ctx.cycle_;
+    uint32_t proc = ctx.proc_;
 
     auto record_acquire = [&](Op sync_op, const SyncOutcome &out) {
         TraceInst inst = trace::makeSync(sync_op, op.sync_id);
@@ -141,43 +194,10 @@ Engine::processPending(Thread &thread)
     };
 
     switch (op.kind) {
-      case ThreadContext::PendingKind::LOAD: {
-        memsys::AccessResult res = memory_.read(proc, op.addr, now);
-        Val out_val;
-        if (op.is_float) {
-            out_val.f = arena_.loadFloat(op.addr);
-            out_val.i = Val::safeToInt(out_val.f);
-        } else {
-            out_val.i = arena_.loadInt(op.addr);
-            out_val.f = static_cast<double>(out_val.i);
-        }
-        TraceInst inst = build_mem_inst(Op::LOAD, res.latency);
-        out_val.inst = ctx.recordTimed(inst);
-        ++stats.reads;
-        if (res.isMiss())
-            ++stats.read_misses;
-        // Blocking read: the in-order processor stalls for the value.
-        ctx.cycle_ += res.latency;
-        op.result = out_val;
+      case ThreadContext::PendingKind::LOAD:
+      case ThreadContext::PendingKind::STORE:
+        execMemOp(ctx);
         break;
-      }
-
-      case ThreadContext::PendingKind::STORE: {
-        memsys::AccessResult res = memory_.write(proc, op.addr, now);
-        if (op.is_float)
-            arena_.storeFloat(op.addr, op.data.f);
-        else
-            arena_.storeInt(op.addr, op.data.i);
-        TraceInst inst = build_mem_inst(Op::STORE, res.latency);
-        ctx.recordTimed(inst);
-        ++stats.writes;
-        if (res.isWriteMiss())
-            ++stats.write_misses;
-        // Buffered write under RC: one cycle to the processor.
-        ctx.cycle_ += 1;
-        op.result = Val{};
-        break;
-      }
 
       case ThreadContext::PendingKind::LOCK: {
         SyncOutcome out = sync_.lockAcquire(op.sync_id, proc, now);
@@ -251,19 +271,59 @@ Engine::run()
     if (spawned == 0)
         throw std::logic_error("Engine::run with no threads attached");
 
-    while (!queue_.empty()) {
-        QueueEntry entry = queue_.top();
-        queue_.pop();
-        Thread &thread = threads_[entry.proc];
-        if (thread.state == ThreadState::DONE ||
-            thread.state == ThreadState::PARKED) {
-            continue; // Stale entry (defensive; should not occur).
+    if (config_.legacy_engine)
+        runLoopLegacy();
+    else
+        runLoopFast();
+
+    // Assemble the contiguous trace the timing phase consumes from
+    // the capture chunks (trace()/takeTrace() are unchanged).
+    recorder_.drainInto(trace_);
+
+    if (done_count_ != spawned) {
+        throw std::runtime_error(
+            "deadlock: " + std::to_string(spawned - done_count_) +
+            " thread(s) blocked (" + std::to_string(sync_.parkedCount()) +
+            " parked on synchronization)");
+    }
+}
+
+void
+Engine::runLoopFast()
+{
+    const uint32_t num_procs = config_.num_procs;
+    while (ready_count_ > 0) {
+        // Extract the (cycle, proc) minimum by scanning the per-proc
+        // key slots; kNoKey slots lose every comparison. A slot is set
+        // iff its thread is READY or HAS_PENDING, so no staleness
+        // check is needed.
+        uint64_t best = kNoKey;
+        for (uint32_t p = 0; p < num_procs; ++p) {
+            uint64_t key = ready_keys_[p];
+            if (key < best)
+                best = key;
         }
+        uint32_t proc = static_cast<uint32_t>(best & kProcMask);
+        ready_keys_[proc] = kNoKey;
+        --ready_count_;
+        Thread &thread = threads_[proc];
 
         if (thread.state == ThreadState::HAS_PENDING) {
-            processPending(thread);
-            if (thread.state == ThreadState::PARKED)
-                continue;
+            // Memory operations dominate the event stream; dispatch
+            // them straight to execMemOp. processPending does exactly
+            // this plus the state transitions for LOAD/STORE, so the
+            // event order and results are unchanged.
+            ThreadContext &ctx = *thread.ctx;
+            if (ctx.pending_.kind == ThreadContext::PendingKind::LOAD ||
+                ctx.pending_.kind == ThreadContext::PendingKind::STORE) {
+                execMemOp(ctx);
+                ctx.pending_.kind = ThreadContext::PendingKind::NONE;
+                thread.state = ThreadState::READY;
+            } else {
+                processPending(thread);
+                if (thread.state == ThreadState::PARKED)
+                    continue;
+            }
         }
 
         // Resume the innermost suspended coroutine (a SubTask helper
@@ -283,12 +343,38 @@ Engine::run()
         // Otherwise the coroutine suspended on its next operation and
         // onSuspend() already re-enqueued it.
     }
+}
 
-    if (done_count_ != spawned) {
-        throw std::runtime_error(
-            "deadlock: " + std::to_string(spawned - done_count_) +
-            " thread(s) blocked (" + std::to_string(sync_.parkedCount()) +
-            " parked on synchronization)");
+void
+Engine::runLoopLegacy()
+{
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        Thread &thread = threads_[entry.proc];
+        if (thread.state == ThreadState::DONE ||
+            thread.state == ThreadState::PARKED) {
+            continue; // Stale entry (defensive; should not occur).
+        }
+
+        if (thread.state == ThreadState::HAS_PENDING) {
+            processPending(thread);
+            if (thread.state == ThreadState::PARKED)
+                continue;
+        }
+
+        if (thread.ctx->resume_handle_) {
+            std::coroutine_handle<> h = thread.ctx->resume_handle_;
+            thread.ctx->resume_handle_ = nullptr;
+            h.resume();
+        } else {
+            thread.task.resume();
+        }
+        if (thread.task.done()) {
+            thread.task.rethrowIfFailed();
+            thread.state = ThreadState::DONE;
+            ++done_count_;
+        }
     }
 }
 

@@ -1,6 +1,8 @@
 #ifndef DSMEM_MP_ENGINE_H
 #define DSMEM_MP_ENGINE_H
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -12,6 +14,7 @@
 #include "mp/task.h"
 #include "mp/thread_context.h"
 #include "trace/trace.h"
+#include "trace/trace_buffer.h"
 
 namespace dsmem::mp {
 
@@ -22,7 +25,21 @@ struct EngineConfig {
     memsys::MemoryConfig mem;
     uint32_t traced_proc = 0;       ///< Whose trace is captured.
     size_t arena_slots = 8u << 20;  ///< 64 MB of simulated memory.
+
+    /** Legacy-engine capture reserve (fast capture is chunked). */
     size_t trace_reserve = 1u << 20;
+
+    /**
+     * Run the reference engine preserved from before the phase-1 fast
+     * path: std::priority_queue scheduling, eager trace-record
+     * construction on every processor appending to a plain vector,
+     * full pending-slot resets, and the out-of-line bounds-checked
+     * memory-system access path. The default fast path produces the
+     * identical event order, trace, and statistics — this switch
+     * keeps the original implementation runnable so bench_phase1 and
+     * the tests can prove that equivalence rather than assume it.
+     */
+    bool legacy_engine = false;
 };
 
 /**
@@ -113,25 +130,85 @@ class Engine
         }
     };
 
-    /** Called by ThreadContext::Awaiter when a thread suspends. */
-    void onSuspend(uint32_t proc);
+    /**
+     * Fast-scheduler key: cycle in the high bits, processor id in the
+     * low five (MemorySystem caps num_procs at 32). One uint64
+     * compare then reproduces QueueEntry's (cycle, proc) order
+     * exactly, and keys are unique because each processor has at most
+     * one entry outstanding.
+     */
+    static constexpr unsigned kProcBits = 5;
+    static constexpr uint64_t kProcMask = (1u << kProcBits) - 1;
+
+    static uint64_t packKey(uint64_t cycle, uint32_t proc)
+    {
+        return (cycle << kProcBits) | proc;
+    }
+
+    /**
+     * Called by ThreadContext::Awaiter when a thread suspends. Inline
+     * (with enqueue): one call per simulated memory or sync operation,
+     * on the generation hot path.
+     */
+    void onSuspend(uint32_t proc)
+    {
+        Thread &thread = threads_[proc];
+        thread.state = ThreadState::HAS_PENDING;
+        enqueue(proc, thread.ctx->cycle_);
+    }
 
     /** Process the suspended operation of @p proc at its local time. */
     void processPending(Thread &thread);
 
+    /**
+     * Execute @p ctx's pending LOAD or STORE at its local time:
+     * memory-system access, arena data movement, trace record, stats,
+     * clock advance.
+     */
+    void execMemOp(ThreadContext &ctx);
+
     /** Apply sync wakes: record acquire, set clocks, requeue. */
     void applyWakes(const std::vector<SyncWake> &wakes, trace::Op op);
 
-    void enqueue(uint32_t proc, uint64_t cycle);
+    void enqueue(uint32_t proc, uint64_t cycle)
+    {
+        if (config_.legacy_engine) {
+            queue_.push(QueueEntry{cycle, proc});
+        } else {
+            // At most one outstanding entry per processor: the slot
+            // must be free.
+            assert(ready_keys_[proc] == kNoKey);
+            ready_keys_[proc] = packKey(cycle, proc);
+            ++ready_count_;
+        }
+    }
+
+    /** The scheduler loops behind run(): identical event order. */
+    void runLoopFast();
+    void runLoopLegacy();
 
     EngineConfig config_;
     Arena arena_;
     memsys::MemorySystem memory_;
     SyncManager sync_;
     trace::Trace trace_;
+    trace::TraceRecorder recorder_; ///< Before threads_: ctxs point at it.
     std::vector<Thread> threads_;
     std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                         std::greater<QueueEntry>> queue_;
+
+    /**
+     * Fast-path scheduler: one packed (cycle, proc) key per
+     * processor, kNoKey while that processor has no entry
+     * outstanding. The run loop extracts the minimum with a linear
+     * scan — at 32 slots (four cache lines, typically one) that is
+     * cheaper than any heap's pointer chasing and sifting, and the
+     * per-slot invariant makes stale entries structurally impossible.
+     */
+    static constexpr uint64_t kNoKey = UINT64_MAX;
+    std::array<uint64_t, kProcMask + 1> ready_keys_;
+    uint32_t ready_count_ = 0;
+
     size_t done_count_ = 0;
     bool ran_ = false;
 };

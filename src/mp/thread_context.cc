@@ -1,19 +1,18 @@
 #include "mp/thread_context.h"
 
-#include <cassert>
-#include <cmath>
-
 #include "mp/engine.h"
 
 namespace dsmem::mp {
 
 using trace::InstIndex;
-using trace::kNoSrc;
-using trace::Op;
 using trace::TraceInst;
 
 ThreadContext::ThreadContext(Engine *engine, uint32_t proc)
-    : engine_(engine), proc_(proc)
+    : engine_(engine),
+      rec_(proc == engine->config().traced_proc ? &engine->recorder_
+                                                : nullptr),
+      proc_(proc),
+      legacy_(engine->config().legacy_engine)
 {}
 
 uint32_t
@@ -29,7 +28,7 @@ ThreadContext::arena()
 }
 
 InstIndex
-ThreadContext::recordSimple(const TraceInst &inst)
+ThreadContext::emitLegacy(const TraceInst &inst)
 {
     InstIndex idx = next_inst_++;
     ++stats_.instructions;
@@ -45,305 +44,14 @@ ThreadContext::recordTimed(const TraceInst &inst)
     InstIndex idx = next_inst_++;
     if (!isSync(inst.op))
         ++stats_.instructions;
-    if (proc_ == engine_->config().traced_proc)
-        engine_->trace_.append(inst);
+    if (legacy_) {
+        // Seed path: plain append to the contiguous capture vector.
+        if (proc_ == engine_->config().traced_proc)
+            engine_->trace_.append(inst);
+    } else if (rec_) {
+        rec_->append(inst);
+    }
     return idx;
-}
-
-Val
-ThreadContext::intBinary(Op unit, Val a, Val b, int64_t result)
-{
-    TraceInst inst = trace::makeCompute(unit, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    return {result, static_cast<double>(result), idx};
-}
-
-Val
-ThreadContext::floatBinary(Op unit, Val a, Val b, double result)
-{
-    TraceInst inst = trace::makeCompute(unit, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    return {Val::safeToInt(result), result, idx};
-}
-
-// ---------------------------------------------------------------------
-// Integer ops
-// ---------------------------------------------------------------------
-
-Val
-ThreadContext::add(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b,
-                     static_cast<int64_t>(static_cast<uint64_t>(a.i) +
-                                          static_cast<uint64_t>(b.i)));
-}
-
-Val
-ThreadContext::sub(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b,
-                     static_cast<int64_t>(static_cast<uint64_t>(a.i) -
-                                          static_cast<uint64_t>(b.i)));
-}
-
-Val
-ThreadContext::mul(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b,
-                     static_cast<int64_t>(static_cast<uint64_t>(a.i) *
-                                          static_cast<uint64_t>(b.i)));
-}
-
-Val
-ThreadContext::divi(Val a, Val b)
-{
-    int64_t q = (b.i == 0) ? 0 : a.i / b.i;
-    return intBinary(Op::IALU, a, b, q);
-}
-
-Val
-ThreadContext::rem(Val a, Val b)
-{
-    int64_t r = (b.i == 0) ? 0 : a.i % b.i;
-    return intBinary(Op::IALU, a, b, r);
-}
-
-Val
-ThreadContext::band(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i & b.i);
-}
-
-Val
-ThreadContext::bor(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i | b.i);
-}
-
-Val
-ThreadContext::bxor(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i ^ b.i);
-}
-
-Val
-ThreadContext::shl(Val a, Val b)
-{
-    uint64_t shift = static_cast<uint64_t>(b.i) & 63;
-    return intBinary(Op::SHIFT, a, b,
-                     static_cast<int64_t>(static_cast<uint64_t>(a.i)
-                                          << shift));
-}
-
-Val
-ThreadContext::shr(Val a, Val b)
-{
-    uint64_t shift = static_cast<uint64_t>(b.i) & 63;
-    return intBinary(Op::SHIFT, a, b, a.i >> shift);
-}
-
-Val
-ThreadContext::lt(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i < b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::le(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i <= b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::gt(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i > b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::ge(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i >= b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::eq(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i == b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::ne(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i != b.i ? 1 : 0);
-}
-
-Val
-ThreadContext::imin(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i < b.i ? a.i : b.i);
-}
-
-Val
-ThreadContext::imax(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, a.i > b.i ? a.i : b.i);
-}
-
-Val
-ThreadContext::lnot(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::IALU, a.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = (a.i == 0) ? 1 : 0;
-    return {r, static_cast<double>(r), idx};
-}
-
-Val
-ThreadContext::land(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, (a.i != 0 && b.i != 0) ? 1 : 0);
-}
-
-Val
-ThreadContext::lor(Val a, Val b)
-{
-    return intBinary(Op::IALU, a, b, (a.i != 0 || b.i != 0) ? 1 : 0);
-}
-
-// ---------------------------------------------------------------------
-// Floating point ops
-// ---------------------------------------------------------------------
-
-Val
-ThreadContext::fadd(Val a, Val b)
-{
-    return floatBinary(Op::FADD, a, b, a.f + b.f);
-}
-
-Val
-ThreadContext::fsub(Val a, Val b)
-{
-    return floatBinary(Op::FADD, a, b, a.f - b.f);
-}
-
-Val
-ThreadContext::fmul(Val a, Val b)
-{
-    return floatBinary(Op::FMUL, a, b, a.f * b.f);
-}
-
-Val
-ThreadContext::fdivv(Val a, Val b)
-{
-    return floatBinary(Op::FDIV, a, b, b.f == 0.0 ? 0.0 : a.f / b.f);
-}
-
-Val
-ThreadContext::fneg(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst);
-    InstIndex idx = recordSimple(inst);
-    double r = -a.f;
-    return {Val::safeToInt(r), r, idx};
-}
-
-Val
-ThreadContext::fabsv(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst);
-    InstIndex idx = recordSimple(inst);
-    double r = std::fabs(a.f);
-    return {Val::safeToInt(r), r, idx};
-}
-
-Val
-ThreadContext::fsqrt(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::FDIV, a.inst);
-    InstIndex idx = recordSimple(inst);
-    double r = a.f < 0.0 ? 0.0 : std::sqrt(a.f);
-    return {Val::safeToInt(r), r, idx};
-}
-
-Val
-ThreadContext::fminv(Val a, Val b)
-{
-    return floatBinary(Op::FADD, a, b, a.f < b.f ? a.f : b.f);
-}
-
-Val
-ThreadContext::fmaxv(Val a, Val b)
-{
-    return floatBinary(Op::FADD, a, b, a.f > b.f ? a.f : b.f);
-}
-
-Val
-ThreadContext::flt(Val a, Val b)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = a.f < b.f ? 1 : 0;
-    return {r, static_cast<double>(r), idx};
-}
-
-Val
-ThreadContext::fle(Val a, Val b)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = a.f <= b.f ? 1 : 0;
-    return {r, static_cast<double>(r), idx};
-}
-
-Val
-ThreadContext::fgt(Val a, Val b)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = a.f > b.f ? 1 : 0;
-    return {r, static_cast<double>(r), idx};
-}
-
-Val
-ThreadContext::fge(Val a, Val b)
-{
-    TraceInst inst = trace::makeCompute(Op::FADD, a.inst, b.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = a.f >= b.f ? 1 : 0;
-    return {r, static_cast<double>(r), idx};
-}
-
-Val
-ThreadContext::toFloat(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::FCVT, a.inst);
-    InstIndex idx = recordSimple(inst);
-    double r = static_cast<double>(a.i);
-    return {a.i, r, idx};
-}
-
-Val
-ThreadContext::toInt(Val a)
-{
-    TraceInst inst = trace::makeCompute(Op::FCVT, a.inst);
-    InstIndex idx = recordSimple(inst);
-    int64_t r = Val::safeToInt(a.f);
-    return {r, static_cast<double>(r), idx};
-}
-
-// ---------------------------------------------------------------------
-// Control flow
-// ---------------------------------------------------------------------
-
-bool
-ThreadContext::branch(uint32_t site, Val cond)
-{
-    bool taken = cond.b();
-    TraceInst inst = trace::makeBranch(site, taken, cond.inst);
-    recordSimple(inst);
-    ++stats_.branches;
-    return taken;
 }
 
 // ---------------------------------------------------------------------
@@ -355,73 +63,6 @@ ThreadContext::Awaiter::await_suspend(std::coroutine_handle<> handle) noexcept
 {
     ctx->resume_handle_ = handle;
     ctx->engine_->onSuspend(ctx->proc_);
-}
-
-Val
-ThreadContext::Awaiter::await_resume() const noexcept
-{
-    return ctx->pending_.result;
-}
-
-void
-ThreadContext::pushDep(PendingOp &op, Val v)
-{
-    if (v.inst == kNoSrc)
-        return;
-    assert(op.num_deps < trace::kMaxSrcs);
-    op.deps[op.num_deps++] = v.inst;
-}
-
-ThreadContext::Awaiter
-ThreadContext::loadInt(Addr addr, Val dep1, Val dep2)
-{
-    pending_ = PendingOp{};
-    pending_.kind = PendingKind::LOAD;
-    pending_.is_float = false;
-    pending_.addr = addr;
-    pushDep(pending_, dep1);
-    pushDep(pending_, dep2);
-    return Awaiter{this};
-}
-
-ThreadContext::Awaiter
-ThreadContext::loadFloat(Addr addr, Val dep1, Val dep2)
-{
-    pending_ = PendingOp{};
-    pending_.kind = PendingKind::LOAD;
-    pending_.is_float = true;
-    pending_.addr = addr;
-    pushDep(pending_, dep1);
-    pushDep(pending_, dep2);
-    return Awaiter{this};
-}
-
-ThreadContext::Awaiter
-ThreadContext::storeInt(Addr addr, Val value, Val dep1, Val dep2)
-{
-    pending_ = PendingOp{};
-    pending_.kind = PendingKind::STORE;
-    pending_.is_float = false;
-    pending_.addr = addr;
-    pending_.data = value;
-    pushDep(pending_, value);
-    pushDep(pending_, dep1);
-    pushDep(pending_, dep2);
-    return Awaiter{this};
-}
-
-ThreadContext::Awaiter
-ThreadContext::storeFloat(Addr addr, Val value, Val dep1, Val dep2)
-{
-    pending_ = PendingOp{};
-    pending_.kind = PendingKind::STORE;
-    pending_.is_float = true;
-    pending_.addr = addr;
-    pending_.data = value;
-    pushDep(pending_, value);
-    pushDep(pending_, dep1);
-    pushDep(pending_, dep2);
-    return Awaiter{this};
 }
 
 ThreadContext::Awaiter

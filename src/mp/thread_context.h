@@ -1,6 +1,8 @@
 #ifndef DSMEM_MP_THREAD_CONTEXT_H
 #define DSMEM_MP_THREAD_CONTEXT_H
 
+#include <cassert>
+#include <cmath>
 #include <coroutine>
 #include <cstdint>
 
@@ -8,6 +10,7 @@
 #include "mp/dsl.h"
 #include "mp/sync.h"
 #include "trace/trace.h"
+#include "trace/trace_buffer.h"
 
 namespace dsmem::mp {
 
@@ -42,6 +45,14 @@ struct ThreadStats {
  * yields to the Engine, which performs the access at the correct
  * point in global simulated time (in-order issue, blocking reads,
  * buffered writes under release consistency — Section 3.2).
+ *
+ * Phase-1 generation retires tens of millions of these DSL calls, so
+ * the single-cycle operations are defined inline: one emit helper
+ * bumps the clock and instruction count, and only the traced
+ * processor (1 of 16) ever constructs the trace record. The engine's
+ * legacy mode (EngineConfig::legacy_engine) instead routes every call
+ * through the out-of-line seed-era record path so bench_phase1 can
+ * measure the fast path against the original implementation.
  */
 class ThreadContext
 {
@@ -68,46 +79,239 @@ class ThreadContext
     // ------------------------------------------------------------------
     // Integer ALU (one IALU/SHIFT instruction each).
     // ------------------------------------------------------------------
-    Val add(Val a, Val b);
-    Val sub(Val a, Val b);
-    Val mul(Val a, Val b);
-    Val divi(Val a, Val b); ///< Integer divide; divide-by-zero yields 0.
-    Val rem(Val a, Val b);  ///< Integer remainder; mod-by-zero yields 0.
-    Val band(Val a, Val b);
-    Val bor(Val a, Val b);
-    Val bxor(Val a, Val b);
-    Val shl(Val a, Val b);
-    Val shr(Val a, Val b);
-    Val lt(Val a, Val b);
-    Val le(Val a, Val b);
-    Val gt(Val a, Val b);
-    Val ge(Val a, Val b);
-    Val eq(Val a, Val b);
-    Val ne(Val a, Val b);
-    Val imin(Val a, Val b);
-    Val imax(Val a, Val b);
-    Val lnot(Val a);        ///< Logical not (1 if zero).
-    Val land(Val a, Val b); ///< Logical and (0/1 result).
-    Val lor(Val a, Val b);  ///< Logical or (0/1 result).
+    Val add(Val a, Val b)
+    {
+        int64_t r = static_cast<int64_t>(static_cast<uint64_t>(a.i) +
+                                         static_cast<uint64_t>(b.i));
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val sub(Val a, Val b)
+    {
+        int64_t r = static_cast<int64_t>(static_cast<uint64_t>(a.i) -
+                                         static_cast<uint64_t>(b.i));
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val mul(Val a, Val b)
+    {
+        int64_t r = static_cast<int64_t>(static_cast<uint64_t>(a.i) *
+                                         static_cast<uint64_t>(b.i));
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    /// Integer divide; divide-by-zero yields 0.
+    Val divi(Val a, Val b)
+    {
+        int64_t r = (b.i == 0) ? 0 : a.i / b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    /// Integer remainder; mod-by-zero yields 0.
+    Val rem(Val a, Val b)
+    {
+        int64_t r = (b.i == 0) ? 0 : a.i % b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val band(Val a, Val b)
+    {
+        int64_t r = a.i & b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val bor(Val a, Val b)
+    {
+        int64_t r = a.i | b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val bxor(Val a, Val b)
+    {
+        int64_t r = a.i ^ b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val shl(Val a, Val b)
+    {
+        uint64_t shift = static_cast<uint64_t>(b.i) & 63;
+        int64_t r = static_cast<int64_t>(static_cast<uint64_t>(a.i)
+                                         << shift);
+        return {r, static_cast<double>(r), emit2(trace::Op::SHIFT, a, b)};
+    }
+
+    Val shr(Val a, Val b)
+    {
+        uint64_t shift = static_cast<uint64_t>(b.i) & 63;
+        int64_t r = a.i >> shift;
+        return {r, static_cast<double>(r), emit2(trace::Op::SHIFT, a, b)};
+    }
+
+    Val lt(Val a, Val b)
+    {
+        int64_t r = a.i < b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val le(Val a, Val b)
+    {
+        int64_t r = a.i <= b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val gt(Val a, Val b)
+    {
+        int64_t r = a.i > b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val ge(Val a, Val b)
+    {
+        int64_t r = a.i >= b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val eq(Val a, Val b)
+    {
+        int64_t r = a.i == b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val ne(Val a, Val b)
+    {
+        int64_t r = a.i != b.i ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val imin(Val a, Val b)
+    {
+        int64_t r = a.i < b.i ? a.i : b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    Val imax(Val a, Val b)
+    {
+        int64_t r = a.i > b.i ? a.i : b.i;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    /// Logical not (1 if zero).
+    Val lnot(Val a)
+    {
+        int64_t r = (a.i == 0) ? 1 : 0;
+        return {r, static_cast<double>(r), emit1(trace::Op::IALU, a)};
+    }
+
+    /// Logical and (0/1 result).
+    Val land(Val a, Val b)
+    {
+        int64_t r = (a.i != 0 && b.i != 0) ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
+
+    /// Logical or (0/1 result).
+    Val lor(Val a, Val b)
+    {
+        int64_t r = (a.i != 0 || b.i != 0) ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::IALU, a, b)};
+    }
 
     // ------------------------------------------------------------------
     // Floating point (FADD/FMUL/FDIV/FCVT units).
     // ------------------------------------------------------------------
-    Val fadd(Val a, Val b);
-    Val fsub(Val a, Val b);
-    Val fmul(Val a, Val b);
-    Val fdivv(Val a, Val b); ///< Divide-by-zero yields 0.
-    Val fneg(Val a);
-    Val fabsv(Val a);
-    Val fsqrt(Val a); ///< Uses the divide unit; sqrt of negative is 0.
-    Val fminv(Val a, Val b);
-    Val fmaxv(Val a, Val b);
-    Val flt(Val a, Val b); ///< FP compare; integer 0/1 result.
-    Val fle(Val a, Val b);
-    Val fgt(Val a, Val b);
-    Val fge(Val a, Val b);
-    Val toFloat(Val a); ///< int -> double (FCVT).
-    Val toInt(Val a);   ///< double -> int, saturating (FCVT).
+    Val fadd(Val a, Val b)
+    {
+        double r = a.f + b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fsub(Val a, Val b)
+    {
+        double r = a.f - b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fmul(Val a, Val b)
+    {
+        double r = a.f * b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FMUL, a, b)};
+    }
+
+    /// Divide-by-zero yields 0.
+    Val fdivv(Val a, Val b)
+    {
+        double r = b.f == 0.0 ? 0.0 : a.f / b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FDIV, a, b)};
+    }
+
+    Val fneg(Val a)
+    {
+        double r = -a.f;
+        return {Val::safeToInt(r), r, emit1(trace::Op::FADD, a)};
+    }
+
+    Val fabsv(Val a)
+    {
+        double r = std::fabs(a.f);
+        return {Val::safeToInt(r), r, emit1(trace::Op::FADD, a)};
+    }
+
+    /// Uses the divide unit; sqrt of negative is 0.
+    Val fsqrt(Val a)
+    {
+        double r = a.f < 0.0 ? 0.0 : std::sqrt(a.f);
+        return {Val::safeToInt(r), r, emit1(trace::Op::FDIV, a)};
+    }
+
+    Val fminv(Val a, Val b)
+    {
+        double r = a.f < b.f ? a.f : b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fmaxv(Val a, Val b)
+    {
+        double r = a.f > b.f ? a.f : b.f;
+        return {Val::safeToInt(r), r, emit2(trace::Op::FADD, a, b)};
+    }
+
+    /// FP compare; integer 0/1 result.
+    Val flt(Val a, Val b)
+    {
+        int64_t r = a.f < b.f ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fle(Val a, Val b)
+    {
+        int64_t r = a.f <= b.f ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fgt(Val a, Val b)
+    {
+        int64_t r = a.f > b.f ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::FADD, a, b)};
+    }
+
+    Val fge(Val a, Val b)
+    {
+        int64_t r = a.f >= b.f ? 1 : 0;
+        return {r, static_cast<double>(r), emit2(trace::Op::FADD, a, b)};
+    }
+
+    /// int -> double (FCVT).
+    Val toFloat(Val a)
+    {
+        return {a.i, static_cast<double>(a.i), emit1(trace::Op::FCVT, a)};
+    }
+
+    /// double -> int, saturating (FCVT).
+    Val toInt(Val a)
+    {
+        int64_t r = Val::safeToInt(a.f);
+        return {r, static_cast<double>(r), emit1(trace::Op::FCVT, a)};
+    }
 
     // ------------------------------------------------------------------
     // Control flow.
@@ -119,34 +323,81 @@ class ThreadContext
      *
      *     while (ctx.branch(kLoopSite, ctx.lt(i, n))) { ... }
      */
-    bool branch(uint32_t site, Val cond);
+    bool branch(uint32_t site, Val cond)
+    {
+        bool taken = cond.b();
+        if (legacy_) [[unlikely]] {
+            emitLegacy(trace::makeBranch(site, taken, cond.inst));
+        } else {
+            ++next_inst_;
+            ++stats_.instructions;
+            cycle_ += 1;
+            if (rec_) [[unlikely]]
+                rec_->append(trace::makeBranch(site, taken, cond.inst));
+        }
+        ++stats_.branches;
+        return taken;
+    }
 
     // ------------------------------------------------------------------
     // Memory (awaitable; the Engine times them).
     // ------------------------------------------------------------------
 
-    /** Awaitable returned by memory and synchronization operations. */
+    /**
+     * Awaitable returned by memory and synchronization operations:
+     * always suspends, handing the pending operation to the Engine,
+     * which executes it at the correct point in global time and
+     * resumes the coroutine with the result.
+     */
     struct Awaiter {
         ThreadContext *ctx;
 
         bool await_ready() const noexcept { return false; }
         void await_suspend(std::coroutine_handle<> handle) noexcept;
-        Val await_resume() const noexcept;
+        Val await_resume() const noexcept { return ctx->pending_.result; }
     };
 
     /** Load the integer slot at @p addr (up to two address deps). */
-    Awaiter loadInt(Addr addr, Val dep1 = Val{}, Val dep2 = Val{});
+    Awaiter loadInt(Addr addr, Val dep1 = Val{}, Val dep2 = Val{})
+    {
+        beginMemOp(PendingKind::LOAD, false, addr);
+        pushDep(pending_, dep1);
+        pushDep(pending_, dep2);
+        return Awaiter{this};
+    }
 
     /** Load the double slot at @p addr. */
-    Awaiter loadFloat(Addr addr, Val dep1 = Val{}, Val dep2 = Val{});
+    Awaiter loadFloat(Addr addr, Val dep1 = Val{}, Val dep2 = Val{})
+    {
+        beginMemOp(PendingKind::LOAD, true, addr);
+        pushDep(pending_, dep1);
+        pushDep(pending_, dep2);
+        return Awaiter{this};
+    }
 
     /** Store @p value's integer payload to @p addr. */
     Awaiter storeInt(Addr addr, Val value, Val dep1 = Val{},
-                     Val dep2 = Val{});
+                     Val dep2 = Val{})
+    {
+        beginMemOp(PendingKind::STORE, false, addr);
+        pending_.data = value;
+        pushDep(pending_, value);
+        pushDep(pending_, dep1);
+        pushDep(pending_, dep2);
+        return Awaiter{this};
+    }
 
     /** Store @p value's double payload to @p addr. */
     Awaiter storeFloat(Addr addr, Val value, Val dep1 = Val{},
-                       Val dep2 = Val{});
+                       Val dep2 = Val{})
+    {
+        beginMemOp(PendingKind::STORE, true, addr);
+        pending_.data = value;
+        pushDep(pending_, value);
+        pushDep(pending_, dep1);
+        pushDep(pending_, dep2);
+        return Awaiter{this};
+    }
 
     /**
      * Indexed-array sugar guaranteeing the address dependence matches
@@ -205,19 +456,74 @@ class ThreadContext
         Val result;                   ///< Load result for await_resume.
     };
 
-    /** Append a compute/branch instruction and advance the clock. */
-    trace::InstIndex recordSimple(const trace::TraceInst &inst);
+    /**
+     * Clock/stat/index bump plus trace append for a two-source
+     * single-cycle instruction. Only the traced processor builds the
+     * record; legacy mode takes the out-of-line seed path instead.
+     */
+    trace::InstIndex emit2(trace::Op unit, Val a, Val b)
+    {
+        if (legacy_) [[unlikely]]
+            return emitLegacy(trace::makeCompute(unit, a.inst, b.inst));
+        trace::InstIndex idx = next_inst_++;
+        ++stats_.instructions;
+        cycle_ += 1;
+        if (rec_) [[unlikely]]
+            rec_->append(trace::makeCompute(unit, a.inst, b.inst));
+        return idx;
+    }
+
+    /** One-source variant of emit2. */
+    trace::InstIndex emit1(trace::Op unit, Val a)
+    {
+        if (legacy_) [[unlikely]]
+            return emitLegacy(trace::makeCompute(unit, a.inst));
+        trace::InstIndex idx = next_inst_++;
+        ++stats_.instructions;
+        cycle_ += 1;
+        if (rec_) [[unlikely]]
+            rec_->append(trace::makeCompute(unit, a.inst));
+        return idx;
+    }
+
+    /**
+     * The seed-era record path, preserved verbatim for the legacy
+     * engine: every processor constructs the record eagerly and the
+     * traced-processor comparison happens out of line on each call.
+     */
+    trace::InstIndex emitLegacy(const trace::TraceInst &inst);
 
     /** Append a memory/sync instruction (clock handled by Engine). */
     trace::InstIndex recordTimed(const trace::TraceInst &inst);
 
-    void pushDep(PendingOp &op, Val v);
+    /**
+     * Stage the pending slot for a memory operation. The fast path
+     * writes only the fields the Engine reads (entries of deps[]
+     * beyond num_deps are never consumed); legacy mode keeps the
+     * seed's full-struct reset.
+     */
+    void beginMemOp(PendingKind kind, bool is_float, Addr addr)
+    {
+        if (legacy_) [[unlikely]]
+            pending_ = PendingOp{};
+        pending_.kind = kind;
+        pending_.is_float = is_float;
+        pending_.addr = addr;
+        pending_.num_deps = 0;
+    }
 
-    Val intBinary(trace::Op unit, Val a, Val b, int64_t result);
-    Val floatBinary(trace::Op unit, Val a, Val b, double result);
+    void pushDep(PendingOp &op, Val v)
+    {
+        if (v.inst == trace::kNoSrc)
+            return;
+        assert(op.num_deps < trace::kMaxSrcs);
+        op.deps[op.num_deps++] = v.inst;
+    }
 
     Engine *engine_;
+    trace::TraceRecorder *rec_; ///< Capture sink; null when untraced.
     uint32_t proc_;
+    bool legacy_; ///< Mirror of EngineConfig::legacy_engine.
     uint64_t cycle_ = 0;
     trace::InstIndex next_inst_ = 0;
     PendingOp pending_;

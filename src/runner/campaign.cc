@@ -60,19 +60,21 @@ Campaign::run()
             const Unit &first = units_[unit_ids.front()];
             auto start = std::chrono::steady_clock::now();
             sim::TraceOrigin origin;
-            const sim::TraceBundle &bundle =
-                cache_.get(first.app, first.mem, first.small, &origin);
-            // Decode the trace into its SoA view once; every phase-2
-            // job of this trace shares the immutable view instead of
-            // re-walking the AoS records per run.
-            std::shared_ptr<const trace::TraceView> view =
-                trace::TraceView::build(bundle.trace);
+            sim::TraceTiming timing;
+            // Phase 2 only ever reads the SoA view, so resolve the
+            // view-shaped bundle: a v2 disk hit deserializes straight
+            // into TraceView arrays and the AoS trace never exists in
+            // this process.
+            const sim::ViewBundle &bundle = cache_.getView(
+                first.app, first.mem, first.small, &origin, &timing);
+            std::shared_ptr<const trace::TraceView> view = bundle.view;
             double wall = elapsedMs(start);
 
             for (size_t u : unit_ids) {
                 results_[u].bundle = &bundle;
                 results_[u].origin = origin;
                 results_[u].trace_wall_ms = wall;
+                results_[u].trace_timing = timing;
             }
             for (size_t u : unit_ids) {
                 const Unit &unit = units_[u];
@@ -103,13 +105,13 @@ Campaign::fillSink()
 
     // Records are appended in declaration order (units, then specs),
     // independent of the order workers finished in.
-    std::vector<const sim::TraceBundle *> seen;
+    std::vector<const sim::ViewBundle *> seen;
     for (size_t u = 0; u < units_.size(); ++u) {
         const Unit &unit = units_[u];
         const UnitResult &res = results_[u];
 
         bool first_use = true;
-        for (const sim::TraceBundle *b : seen)
+        for (const sim::ViewBundle *b : seen)
             if (b == res.bundle)
                 first_use = false;
         if (first_use) {
@@ -127,6 +129,8 @@ Campaign::fillSink()
             t.file = store_.pathFor(unit.app, unit.mem, unit.small);
             t.instructions = res.bundle->stats.instructions;
             t.wall_ms = res.trace_wall_ms;
+            t.gen_ms = res.trace_timing.gen_ms;
+            t.load_ms = res.trace_timing.load_ms;
             sink_.addTrace(std::move(t));
         }
 

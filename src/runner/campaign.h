@@ -18,9 +18,10 @@ namespace dsmem::runner {
  * serial execution for any --jobs value).
  */
 struct UnitResult {
-    const sim::TraceBundle *bundle = nullptr;
+    const sim::ViewBundle *bundle = nullptr;
     sim::TraceOrigin origin = sim::TraceOrigin::GENERATED;
-    double trace_wall_ms = 0.0;        ///< Phase-1 get() cost.
+    double trace_wall_ms = 0.0;        ///< Phase-1 getView() cost.
+    sim::TraceTiming trace_timing;     ///< Generate vs load split.
     std::vector<sim::LabelledResult> rows;
     std::vector<double> row_wall_ms;   ///< Per-row timing cost.
 };

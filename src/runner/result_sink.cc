@@ -102,7 +102,9 @@ ResultSink::writeJson(std::ostream &os) const
            << ", \"origin\": \"" << jsonEscape(t.origin) << "\""
            << ", \"file\": \"" << jsonEscape(t.file) << "\""
            << ", \"instructions\": " << t.instructions
-           << ", \"wall_ms\": " << jsonDouble(t.wall_ms) << "}";
+           << ", \"wall_ms\": " << jsonDouble(t.wall_ms)
+           << ", \"gen_ms\": " << jsonDouble(t.gen_ms)
+           << ", \"load_ms\": " << jsonDouble(t.load_ms) << "}";
     }
     os << (traces_.empty() ? "]" : "\n  ]") << ",\n";
 

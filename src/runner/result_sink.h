@@ -21,6 +21,14 @@ struct TraceRecord {
     std::string file;     ///< On-disk path ("" when store disabled).
     uint64_t instructions = 0;
     double wall_ms = 0.0;
+
+    /**
+     * Where wall_ms went: running the phase-1 multiprocessor
+     * simulation and/or deserializing the bundle from the store.
+     * Both stay zero when the bundle was already memoized in-process.
+     */
+    double gen_ms = 0.0;
+    double load_ms = 0.0;
 };
 
 /** One phase-2 timing run: the unit of the JSON result export. */

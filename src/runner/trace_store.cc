@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "trace/trace_io.h"
+#include "util/byte_io.h"
 
 namespace dsmem::runner {
 
@@ -18,19 +19,131 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kMagic[4] = {'D', 'S', 'M', 'B'};
+constexpr uint32_t kBundleFormatV1 = 1;
 
-/** FNV-1a over the serialized payload; cheap and order-sensitive. */
-uint64_t
-checksum(const std::string &payload)
+void
+putStats(util::ByteSink &sink, const trace::TraceStats &s)
 {
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : payload) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
+                       s.write_misses, s.branches, s.taken_branches,
+                       s.locks, s.unlocks, s.wait_events, s.set_events,
+                       s.barriers})
+        sink.putU64(v);
 }
 
+trace::TraceStats
+getStats(util::ByteSource &src)
+{
+    trace::TraceStats s;
+    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
+                        &s.read_misses, &s.write_misses, &s.branches,
+                        &s.taken_branches, &s.locks, &s.unlocks,
+                        &s.wait_events, &s.set_events, &s.barriers})
+        *f = src.readU64();
+    return s;
+}
+
+void
+putCacheStats(util::ByteSink &sink, const memsys::CacheStats &s)
+{
+    for (uint64_t v : {s.reads, s.writes, s.read_misses, s.write_misses,
+                       s.invalidations_received, s.writebacks,
+                       s.contention_cycles})
+        sink.putU64(v);
+}
+
+memsys::CacheStats
+getCacheStats(util::ByteSource &src)
+{
+    memsys::CacheStats s;
+    for (uint64_t *f : {&s.reads, &s.writes, &s.read_misses,
+                        &s.write_misses, &s.invalidations_received,
+                        &s.writebacks, &s.contention_cycles})
+        *f = src.readU64();
+    return s;
+}
+
+void
+putThreadStats(util::ByteSink &sink, const mp::ThreadStats &s)
+{
+    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
+                       s.write_misses, s.branches, s.locks, s.unlocks,
+                       s.barriers, s.wait_events, s.set_events,
+                       s.sync_wait_cycles, s.sync_transfer_cycles})
+        sink.putU64(v);
+}
+
+mp::ThreadStats
+getThreadStats(util::ByteSource &src)
+{
+    mp::ThreadStats s;
+    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
+                        &s.read_misses, &s.write_misses, &s.branches,
+                        &s.locks, &s.unlocks, &s.barriers,
+                        &s.wait_events, &s.set_events,
+                        &s.sync_wait_cycles, &s.sync_transfer_cycles})
+        *f = src.readU64();
+    return s;
+}
+
+/** Shared preamble of both readers: magic, then the version switch. */
+uint32_t
+readBundleHeader(util::ByteSource &src)
+{
+    char magic[4];
+    src.read(magic, 4);
+    if (std::memcmp(magic, kMagic, 4) != 0)
+        throw std::runtime_error("not a dsmem bundle file");
+    uint32_t version = src.readU32();
+    if (version != kBundleFormatV1 && version != kBundleFormatVersion) {
+        throw std::runtime_error("unsupported bundle format version " +
+                                 std::to_string(version));
+    }
+    return version;
+}
+
+/**
+ * Decode the hashed region's fixed fields (everything before the
+ * embedded trace); identical layout in v1 and v2.
+ */
+void
+readBundleFields(util::ByteSource &src, sim::TraceBundle &bundle)
+{
+    bundle.stats = getStats(src);
+    bundle.cache0 = getCacheStats(src);
+    bundle.thread0 = getThreadStats(src);
+    bundle.mp_cycles = src.readU64();
+    bundle.verified = src.readByte() != 0;
+}
+
+/**
+ * For v1, checksum and payload size live in the header; verify both
+ * after the streamed parse consumed the whole hashed region.
+ */
+void
+checkV1Trailer(util::ByteSource &src, uint64_t want_sum,
+               uint64_t want_size)
+{
+    if (src.consumed() != want_size || !src.atEof())
+        throw std::runtime_error("bundle payload size mismatch");
+    if (src.hashValue() != want_sum)
+        throw std::runtime_error("bundle checksum mismatch");
+}
+
+/** For v2, the checksum trails the hashed region it covers. */
+void
+checkV2Trailer(util::ByteSource &src)
+{
+    uint64_t got = src.hashValue();
+    uint64_t want = src.readU64();
+    if (got != want)
+        throw std::runtime_error("bundle checksum mismatch");
+    if (!src.atEof())
+        throw std::runtime_error("bundle payload size mismatch");
+}
+
+// Legacy (v1) writer helpers: the v1 container is preserved verbatim
+// so migration tests and bench_phase1 exercise real v1 bytes.
 void
 put32(std::ostream &os, uint32_t v)
 {
@@ -47,153 +160,9 @@ put64(std::ostream &os, uint64_t v)
     os.write(buf, 8);
 }
 
-uint64_t
-get64(std::istream &is)
-{
-    char buf[8];
-    if (!is.read(buf, 8))
-        throw std::runtime_error("bundle file truncated");
-    uint64_t v;
-    std::memcpy(&v, buf, 8);
-    return v;
-}
-
-void
-putStats(std::ostream &os, const trace::TraceStats &s)
-{
-    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
-                       s.write_misses, s.branches, s.taken_branches,
-                       s.locks, s.unlocks, s.wait_events, s.set_events,
-                       s.barriers})
-        put64(os, v);
-}
-
-trace::TraceStats
-getStats(std::istream &is)
-{
-    trace::TraceStats s;
-    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
-                        &s.read_misses, &s.write_misses, &s.branches,
-                        &s.taken_branches, &s.locks, &s.unlocks,
-                        &s.wait_events, &s.set_events, &s.barriers})
-        *f = get64(is);
-    return s;
-}
-
-void
-putCacheStats(std::ostream &os, const memsys::CacheStats &s)
-{
-    for (uint64_t v : {s.reads, s.writes, s.read_misses, s.write_misses,
-                       s.invalidations_received, s.writebacks,
-                       s.contention_cycles})
-        put64(os, v);
-}
-
-memsys::CacheStats
-getCacheStats(std::istream &is)
-{
-    memsys::CacheStats s;
-    for (uint64_t *f : {&s.reads, &s.writes, &s.read_misses,
-                        &s.write_misses, &s.invalidations_received,
-                        &s.writebacks, &s.contention_cycles})
-        *f = get64(is);
-    return s;
-}
-
-void
-putThreadStats(std::ostream &os, const mp::ThreadStats &s)
-{
-    for (uint64_t v : {s.instructions, s.reads, s.writes, s.read_misses,
-                       s.write_misses, s.branches, s.locks, s.unlocks,
-                       s.barriers, s.wait_events, s.set_events,
-                       s.sync_wait_cycles, s.sync_transfer_cycles})
-        put64(os, v);
-}
-
-mp::ThreadStats
-getThreadStats(std::istream &is)
-{
-    mp::ThreadStats s;
-    for (uint64_t *f : {&s.instructions, &s.reads, &s.writes,
-                        &s.read_misses, &s.write_misses, &s.branches,
-                        &s.locks, &s.unlocks, &s.barriers,
-                        &s.wait_events, &s.set_events,
-                        &s.sync_wait_cycles, &s.sync_transfer_cycles})
-        *f = get64(is);
-    return s;
-}
-
-} // namespace
-
-void
-saveBundle(const sim::TraceBundle &bundle, std::ostream &os)
-{
-    // Serialize the payload first so the header can carry a checksum
-    // over all of it.
-    std::ostringstream body;
-    putStats(body, bundle.stats);
-    putCacheStats(body, bundle.cache0);
-    putThreadStats(body, bundle.thread0);
-    put64(body, bundle.mp_cycles);
-    body.put(bundle.verified ? 1 : 0);
-    trace::saveTrace(bundle.trace, body);
-
-    std::string payload = std::move(body).str();
-    os.write(kMagic, 4);
-    put32(os, kBundleFormatVersion);
-    put64(os, checksum(payload));
-    put64(os, payload.size());
-    os.write(payload.data(),
-             static_cast<std::streamsize>(payload.size()));
-    if (!os)
-        throw std::runtime_error("bundle write failed");
-}
-
-sim::TraceBundle
-loadBundle(std::istream &is)
-{
-    char magic[4];
-    if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
-        throw std::runtime_error("not a dsmem bundle file");
-    char vbuf[4];
-    if (!is.read(vbuf, 4))
-        throw std::runtime_error("bundle file truncated");
-    uint32_t version;
-    std::memcpy(&version, vbuf, 4);
-    if (version != kBundleFormatVersion) {
-        throw std::runtime_error("unsupported bundle format version " +
-                                 std::to_string(version));
-    }
-    uint64_t want_sum = get64(is);
-    uint64_t want_size = get64(is);
-
-    std::string payload(
-        (std::istreambuf_iterator<char>(is)),
-        std::istreambuf_iterator<char>());
-    if (payload.size() != want_size)
-        throw std::runtime_error("bundle payload size mismatch");
-    if (checksum(payload) != want_sum)
-        throw std::runtime_error("bundle checksum mismatch");
-
-    std::istringstream body(payload);
-    sim::TraceBundle bundle;
-    bundle.stats = getStats(body);
-    bundle.cache0 = getCacheStats(body);
-    bundle.thread0 = getThreadStats(body);
-    bundle.mp_cycles = get64(body);
-    int verified = body.get();
-    if (verified == std::char_traits<char>::eof())
-        throw std::runtime_error("bundle file truncated");
-    bundle.verified = verified != 0;
-    bundle.trace = trace::loadTrace(body);
-    return bundle;
-}
-
-TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {}
-
 std::string
-TraceStore::fileName(sim::AppId id, const memsys::MemoryConfig &mem,
-                     bool small)
+versionedFileName(sim::AppId id, const memsys::MemoryConfig &mem,
+                  bool small, uint32_t bundle_ver, uint32_t trace_ver)
 {
     std::string app(sim::appName(id));
     for (char &c : app)
@@ -205,9 +174,128 @@ TraceStore::fileName(sim::AppId id, const memsys::MemoryConfig &mem,
          << mem.hit_latency << "_m" << mem.miss_latency << "_"
          << (mem.protocol == memsys::Protocol::MESI ? "mesi" : "msi")
          << "_b" << mem.banks << "_o" << mem.bank_occupancy << "_v"
-         << kBundleFormatVersion << "t" << trace::kTraceFormatVersion
-         << ".dsmb";
+         << bundle_ver << "t" << trace_ver << ".dsmb";
     return name.str();
+}
+
+} // namespace
+
+void
+saveBundle(const sim::TraceBundle &bundle, std::ostream &os)
+{
+    util::ByteSink sink(os);
+    sink.put(kMagic, 4);
+    sink.putU32(kBundleFormatVersion);
+
+    sink.beginHash(util::FnvState::Fold::WORDS);
+    putStats(sink, bundle.stats);
+    putCacheStats(sink, bundle.cache0);
+    putThreadStats(sink, bundle.thread0);
+    sink.putU64(bundle.mp_cycles);
+    sink.putByte(bundle.verified ? 1 : 0);
+    trace::saveTrace(bundle.trace, sink);
+
+    sink.putU64(sink.hashValue());
+    sink.flush();
+}
+
+void
+saveBundleV1(const sim::TraceBundle &bundle, std::ostream &os)
+{
+    // The original format checksummed the payload from the header, so
+    // it has to be materialized first — that cost is exactly why v2
+    // moved the checksum to a trailer.
+    std::ostringstream body;
+    {
+        util::ByteSink payload_sink(body);
+        putStats(payload_sink, bundle.stats);
+        putCacheStats(payload_sink, bundle.cache0);
+        putThreadStats(payload_sink, bundle.thread0);
+        payload_sink.putU64(bundle.mp_cycles);
+        payload_sink.putByte(bundle.verified ? 1 : 0);
+        trace::saveTraceV1(bundle.trace, payload_sink);
+        payload_sink.flush();
+    }
+
+    std::string payload = std::move(body).str();
+    os.write(kMagic, 4);
+    put32(os, kBundleFormatV1);
+    put64(os, util::fnv1aUpdate(util::kFnvOffset, payload.data(),
+                                payload.size()));
+    put64(os, payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        throw std::runtime_error("bundle write failed");
+}
+
+sim::TraceBundle
+loadBundle(std::istream &is)
+{
+    util::ByteSource src(is);
+    uint32_t version = readBundleHeader(src);
+
+    sim::TraceBundle bundle;
+    if (version == kBundleFormatV1) {
+        uint64_t want_sum = src.readU64();
+        uint64_t want_size = src.readU64();
+        src.beginHash();
+        readBundleFields(src, bundle);
+        bundle.trace = trace::loadTrace(src);
+        checkV1Trailer(src, want_sum, want_size);
+    } else {
+        src.beginHash(util::FnvState::Fold::WORDS);
+        readBundleFields(src, bundle);
+        bundle.trace = trace::loadTrace(src);
+        checkV2Trailer(src);
+    }
+    return bundle;
+}
+
+sim::ViewBundle
+loadBundleView(std::istream &is)
+{
+    util::ByteSource src(is);
+    uint32_t version = readBundleHeader(src);
+
+    sim::ViewBundle vb;
+    sim::TraceBundle fields;
+    if (version == kBundleFormatV1) {
+        uint64_t want_sum = src.readU64();
+        uint64_t want_size = src.readU64();
+        src.beginHash();
+        readBundleFields(src, fields);
+        vb.view = trace::loadTraceView(src);
+        checkV1Trailer(src, want_sum, want_size);
+    } else {
+        src.beginHash(util::FnvState::Fold::WORDS);
+        readBundleFields(src, fields);
+        vb.view = trace::loadTraceView(src);
+        checkV2Trailer(src);
+    }
+    vb.stats = fields.stats;
+    vb.cache0 = fields.cache0;
+    vb.thread0 = fields.thread0;
+    vb.mp_cycles = fields.mp_cycles;
+    vb.verified = fields.verified;
+    return vb;
+}
+
+TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+TraceStore::fileName(sim::AppId id, const memsys::MemoryConfig &mem,
+                     bool small)
+{
+    return versionedFileName(id, mem, small, kBundleFormatVersion,
+                             trace::kTraceFormatVersion);
+}
+
+std::string
+TraceStore::legacyFileName(sim::AppId id,
+                           const memsys::MemoryConfig &mem, bool small)
+{
+    return versionedFileName(id, mem, small, kBundleFormatV1, 1);
 }
 
 std::string
@@ -219,16 +307,46 @@ TraceStore::pathFor(sim::AppId id, const memsys::MemoryConfig &mem,
     return (fs::path(dir_) / fileName(id, mem, small)).string();
 }
 
+std::string
+TraceStore::resolve(sim::AppId id, const memsys::MemoryConfig &mem,
+                    bool small)
+{
+    fs::path path = fs::path(dir_) / fileName(id, mem, small);
+    std::error_code ec;
+    if (fs::exists(path, ec))
+        return path.string();
+
+    // Current-name miss: probe the v1-era name and upgrade in place,
+    // so caches written before the format bump stay warm.
+    fs::path legacy = fs::path(dir_) / legacyFileName(id, mem, small);
+    if (!fs::exists(legacy, ec))
+        return "";
+    try {
+        std::ifstream is(legacy, std::ios::binary);
+        if (!is)
+            return "";
+        sim::TraceBundle bundle = loadBundle(is);
+        store(id, mem, small, bundle);
+        fs::remove(legacy, ec);
+        if (fs::exists(path, ec))
+            return path.string();
+        return "";
+    } catch (const std::exception &) {
+        fs::remove(legacy, ec);
+        return "";
+    }
+}
+
 std::optional<sim::TraceBundle>
 TraceStore::load(sim::AppId id, const memsys::MemoryConfig &mem,
                  bool small)
 {
     if (!enabled())
         return std::nullopt;
-    fs::path path = fs::path(dir_) / fileName(id, mem, small);
-    std::error_code ec;
-    if (!fs::exists(path, ec))
+    std::string path = resolve(id, mem, small);
+    if (path.empty())
         return std::nullopt;
+    std::error_code ec;
     try {
         std::ifstream is(path, std::ios::binary);
         if (!is)
@@ -237,6 +355,27 @@ TraceStore::load(sim::AppId id, const memsys::MemoryConfig &mem,
     } catch (const std::exception &) {
         // Corrupt, truncated, or stale-format file: discard so the
         // regenerated bundle replaces it.
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+}
+
+std::optional<sim::ViewBundle>
+TraceStore::loadView(sim::AppId id, const memsys::MemoryConfig &mem,
+                     bool small)
+{
+    if (!enabled())
+        return std::nullopt;
+    std::string path = resolve(id, mem, small);
+    if (path.empty())
+        return std::nullopt;
+    std::error_code ec;
+    try {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return std::nullopt;
+        return loadBundleView(is);
+    } catch (const std::exception &) {
         fs::remove(path, ec);
         return std::nullopt;
     }

@@ -12,20 +12,44 @@ namespace dsmem::runner {
 /**
  * Version of the on-disk bundle container. Bump whenever the bundle
  * header layout, any serialized stats struct, or the embedded trace
- * format (trace::kTraceFormatVersion) changes meaning; files written
- * under a different version are discarded and regenerated.
+ * format (trace::kTraceFormatVersion) changes meaning.
+ *
+ * v2 streams: a fixed header (magic, version), then the checksummed
+ * region — stats structs as raw u64s, mp_cycles, verified, and the
+ * embedded DSMT v2 trace — then a trailing u64 FNV-1a checksum over
+ * that region, folded over little-endian 64-bit words (final partial
+ * word zero-extended) so verification costs one multiply per 8 bytes
+ * instead of v1's one per byte. Both writer and reader fold into the
+ * hash as they stream through a block buffer, so peak extra memory is
+ * one block rather than one serialized bundle (v1 buffered the whole
+ * payload in a std::string to checksum it, and put the checksum in
+ * the header).
+ *
+ * v1 files still load (streamed, checksum verified) and are
+ * transparently rewritten as v2 by TraceStore::load/loadView.
  */
-inline constexpr uint32_t kBundleFormatVersion = 1;
+inline constexpr uint32_t kBundleFormatVersion = 2;
 
-/** Serialize a full TraceBundle (stats + trace) to @p os. */
+/** Serialize a full TraceBundle (stats + trace) to @p os as v2. */
 void saveBundle(const sim::TraceBundle &bundle, std::ostream &os);
 
+/** Serialize in the legacy v1 container (migration tests / bench). */
+void saveBundleV1(const sim::TraceBundle &bundle, std::ostream &os);
+
 /**
- * Deserialize a bundle. Throws std::runtime_error on bad magic,
- * version mismatch, checksum mismatch, truncation, or a malformed
- * embedded trace.
+ * Deserialize a bundle (v1 or v2). Throws std::runtime_error on bad
+ * magic, unsupported version, checksum mismatch, truncation, trailing
+ * garbage, or a malformed embedded trace.
  */
 sim::TraceBundle loadBundle(std::istream &is);
+
+/**
+ * Deserialize straight into a ViewBundle: a v2 stream decodes its SoA
+ * sections directly into TraceView arrays without materializing the
+ * AoS trace. Accepts v1 too (decoded AoS, then viewed). Same failure
+ * modes as loadBundle.
+ */
+sim::ViewBundle loadBundleView(std::istream &is);
 
 /**
  * Persistent on-disk bundle store, layered under sim::TraceCache.
@@ -34,6 +58,11 @@ sim::TraceBundle loadBundle(std::istream &is);
  * content-derived name encoding the app, problem size, the full
  * MemoryConfig, and the format versions — so distinct configurations
  * never collide and a format bump silently invalidates old files.
+ * The one deliberate exception: a load that misses under the current
+ * versions also probes the v1 name, and a v1 hit is rewritten in
+ * place as v2 (the legacy file is then removed), so existing caches
+ * survive the format bump without regeneration.
+ *
  * Bundles are written to a temp file and atomically renamed, and
  * every load verifies magic, version, and a whole-payload checksum;
  * anything corrupt, truncated, or version-mismatched is deleted and
@@ -53,6 +82,11 @@ class TraceStore : public sim::TraceStoreBase
                                 const memsys::MemoryConfig &mem,
                                 bool small);
 
+    /** The v1-era name the same key was stored under (migration). */
+    static std::string legacyFileName(sim::AppId id,
+                                      const memsys::MemoryConfig &mem,
+                                      bool small);
+
     /** Full path for a key, or "" when disabled. */
     std::string pathFor(sim::AppId id, const memsys::MemoryConfig &mem,
                         bool small) const;
@@ -60,10 +94,21 @@ class TraceStore : public sim::TraceStoreBase
     std::optional<sim::TraceBundle> load(sim::AppId id,
                                          const memsys::MemoryConfig &mem,
                                          bool small) override;
+    std::optional<sim::ViewBundle>
+    loadView(sim::AppId id, const memsys::MemoryConfig &mem,
+             bool small) override;
     void store(sim::AppId id, const memsys::MemoryConfig &mem,
                bool small, const sim::TraceBundle &bundle) override;
 
   private:
+    /**
+     * Open the bundle for @p key, migrating a v1-named file to the
+     * current name first if that is the only one present. Returns the
+     * path to read, or "" when neither exists.
+     */
+    std::string resolve(sim::AppId id, const memsys::MemoryConfig &mem,
+                        bool small);
+
     std::string dir_;
 };
 

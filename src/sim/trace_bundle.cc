@@ -1,8 +1,37 @@
 #include "sim/trace_bundle.h"
 
+#include <chrono>
+
 #include "mp/engine.h"
 
 namespace dsmem::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+ViewBundle
+makeViewBundle(const TraceBundle &bundle)
+{
+    ViewBundle vb;
+    vb.view = trace::TraceView::build(bundle.trace);
+    vb.stats = bundle.stats;
+    vb.cache0 = bundle.cache0;
+    vb.thread0 = bundle.thread0;
+    vb.mp_cycles = bundle.mp_cycles;
+    vb.verified = bundle.verified;
+    return vb;
+}
 
 TraceBundle
 generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
@@ -38,45 +67,135 @@ traceOriginName(TraceOrigin origin)
     return "invalid";
 }
 
+std::optional<ViewBundle>
+TraceStoreBase::loadView(AppId id, const memsys::MemoryConfig &mem,
+                         bool small)
+{
+    std::optional<TraceBundle> bundle = load(id, mem, small);
+    if (!bundle)
+        return std::nullopt;
+    return makeViewBundle(*bundle);
+}
+
 const TraceBundle &
 TraceCache::get(AppId id, const memsys::MemoryConfig &mem, bool small,
-                TraceOrigin *origin)
+                TraceOrigin *origin, TraceTiming *timing)
 {
     Key key{id, mem, small};
 
     std::unique_lock<std::mutex> lock(mu_);
-    auto [it, inserted] = cache_.try_emplace(key);
-    if (!inserted) {
-        // Someone else owns this key; wait until its bundle lands.
-        cv_.wait(lock, [&] { return it->second != nullptr; });
-        if (origin)
-            *origin = TraceOrigin::MEMORY;
-        return *it->second;
+    Entry &entry = cache_[key]; // Map nodes are address-stable.
+    for (;;) {
+        if (entry.bundle) {
+            if (origin)
+                *origin = TraceOrigin::MEMORY;
+            if (timing)
+                *timing = {};
+            return *entry.bundle;
+        }
+        if (!entry.busy)
+            break;
+        cv_.wait(lock);
     }
 
-    // We own generation for this key. Drop the lock so other keys
-    // proceed in parallel; the null entry marks the slot as pending
-    // (map iterators are stable under further insertions).
+    // We own production for this key. Drop the lock so other keys
+    // proceed in parallel; busy keeps same-key callers parked.
+    entry.busy = true;
     lock.unlock();
 
     TraceOrigin from = TraceOrigin::GENERATED;
+    TraceTiming took;
     std::optional<TraceBundle> bundle;
-    if (store_)
+    if (store_) {
+        Clock::time_point t0 = Clock::now();
         bundle = store_->load(id, mem, small);
+        if (bundle)
+            took.load_ms = msSince(t0);
+    }
     if (bundle) {
         from = TraceOrigin::DISK;
     } else {
+        Clock::time_point t0 = Clock::now();
         bundle = generateTrace(id, mem, small);
+        took.gen_ms = msSince(t0);
         if (store_)
             store_->store(id, mem, small, *bundle);
     }
 
     lock.lock();
-    it->second = std::make_unique<TraceBundle>(std::move(*bundle));
+    entry.bundle = std::make_unique<TraceBundle>(std::move(*bundle));
+    entry.busy = false;
     cv_.notify_all();
     if (origin)
         *origin = from;
-    return *it->second;
+    if (timing)
+        *timing = took;
+    return *entry.bundle;
+}
+
+const ViewBundle &
+TraceCache::getView(AppId id, const memsys::MemoryConfig &mem,
+                    bool small, TraceOrigin *origin, TraceTiming *timing)
+{
+    Key key{id, mem, small};
+
+    std::unique_lock<std::mutex> lock(mu_);
+    Entry &entry = cache_[key];
+    for (;;) {
+        if (entry.vbundle) {
+            if (origin)
+                *origin = TraceOrigin::MEMORY;
+            if (timing)
+                *timing = {};
+            return *entry.vbundle;
+        }
+        if (entry.bundle) {
+            // The AoS shape is resident; derive the view in memory.
+            entry.vbundle = std::make_unique<ViewBundle>(
+                makeViewBundle(*entry.bundle));
+            if (origin)
+                *origin = TraceOrigin::MEMORY;
+            if (timing)
+                *timing = {};
+            return *entry.vbundle;
+        }
+        if (!entry.busy)
+            break;
+        cv_.wait(lock);
+    }
+
+    entry.busy = true;
+    lock.unlock();
+
+    TraceOrigin from = TraceOrigin::GENERATED;
+    TraceTiming took;
+    std::optional<ViewBundle> vbundle;
+    if (store_) {
+        Clock::time_point t0 = Clock::now();
+        vbundle = store_->loadView(id, mem, small);
+        if (vbundle)
+            took.load_ms = msSince(t0);
+    }
+    if (vbundle) {
+        from = TraceOrigin::DISK;
+    } else {
+        Clock::time_point t0 = Clock::now();
+        TraceBundle bundle = generateTrace(id, mem, small);
+        took.gen_ms = msSince(t0);
+        if (store_)
+            store_->store(id, mem, small, bundle);
+        vbundle = makeViewBundle(bundle);
+    }
+
+    lock.lock();
+    entry.vbundle = std::make_unique<ViewBundle>(std::move(*vbundle));
+    entry.busy = false;
+    cv_.notify_all();
+    if (origin)
+        *origin = from;
+    if (timing)
+        *timing = took;
+    return *entry.vbundle;
 }
 
 } // namespace dsmem::sim

@@ -14,6 +14,7 @@
 #include "sim/app_registry.h"
 #include "trace/trace.h"
 #include "trace/trace_stats.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::sim {
 
@@ -30,6 +31,24 @@ struct TraceBundle {
     uint64_t mp_cycles = 0;        ///< Traced processor's final clock.
     bool verified = false;         ///< Application self-check result.
 };
+
+/**
+ * TraceBundle's phase-2 shape: the same stats around a shared SoA
+ * TraceView instead of the AoS trace. The timing models and the
+ * Campaign only ever read the view, so the direct-to-view bundle
+ * loader can fill this without materializing a Trace at all.
+ */
+struct ViewBundle {
+    std::shared_ptr<const trace::TraceView> view;
+    trace::TraceStats stats;
+    memsys::CacheStats cache0;
+    mp::ThreadStats thread0;
+    uint64_t mp_cycles = 0;
+    bool verified = false;
+};
+
+/** Build the view-shaped twin of @p bundle (shares nothing with it). */
+ViewBundle makeViewBundle(const TraceBundle &bundle);
 
 /**
  * Run the 16-processor multiprocessor simulation for @p id and
@@ -53,6 +72,16 @@ enum class TraceOrigin : uint8_t {
 std::string_view traceOriginName(TraceOrigin origin);
 
 /**
+ * Where a bundle's wall-clock went, for the result sink: generating
+ * it (the phase-1 simulation) and/or loading it from disk. Both zero
+ * when the bundle was already memoized in this process.
+ */
+struct TraceTiming {
+    double gen_ms = 0.0;
+    double load_ms = 0.0;
+};
+
+/**
  * Interface to a persistent bundle store layered under TraceCache
  * (implemented by runner::TraceStore). A load that fails for any
  * reason returns nullopt; the caller regenerates and re-stores.
@@ -66,6 +95,16 @@ class TraceStoreBase
                                             bool small) = 0;
     virtual void store(AppId id, const memsys::MemoryConfig &mem,
                        bool small, const TraceBundle &bundle) = 0;
+
+    /**
+     * Load straight into a ViewBundle for phase-2-only consumers.
+     * The default decodes the AoS bundle and views it; stores with a
+     * direct-to-view path (runner::TraceStore on v2 files) override
+     * this to skip the intermediate Trace.
+     */
+    virtual std::optional<ViewBundle> loadView(AppId id,
+                                               const memsys::MemoryConfig &mem,
+                                               bool small);
 };
 
 /**
@@ -74,9 +113,15 @@ class TraceStoreBase
  * re-running the multiprocessor phase. Optionally layered over a
  * persistent TraceStoreBase that survives the process.
  *
- * Thread safe: concurrent get() calls for distinct keys generate in
- * parallel; concurrent calls for the same key generate once (the
- * losers block until the winner's bundle lands). Returned references
+ * Each key caches the AoS bundle (get) and the SoA view bundle
+ * (getView) independently — a campaign that only ever asks for views
+ * never materializes the AoS trace, while legacy consumers keep the
+ * exact bundle they always had. When one shape is already resident
+ * the other is derived from it in memory rather than re-loaded.
+ *
+ * Thread safe: concurrent calls for distinct keys generate in
+ * parallel; concurrent calls for the same key produce once (the
+ * losers block until the winner's result lands). Returned references
  * stay valid for the cache's lifetime.
  */
 class TraceCache
@@ -91,12 +136,30 @@ class TraceCache
     const TraceBundle &get(AppId id,
                            const memsys::MemoryConfig &mem = {},
                            bool small = false,
-                           TraceOrigin *origin = nullptr);
+                           TraceOrigin *origin = nullptr,
+                           TraceTiming *timing = nullptr);
+
+    /**
+     * The phase-2 entry point: the same memoization keyed on the same
+     * tuple, but yielding the SoA view bundle. Prefers the store's
+     * direct-to-view load; generates (and persists) when cold.
+     */
+    const ViewBundle &getView(AppId id,
+                              const memsys::MemoryConfig &mem = {},
+                              bool small = false,
+                              TraceOrigin *origin = nullptr,
+                              TraceTiming *timing = nullptr);
 
   private:
+    struct Entry {
+        std::unique_ptr<TraceBundle> bundle;
+        std::unique_ptr<ViewBundle> vbundle;
+        bool busy = false; ///< A thread is filling one of the shapes.
+    };
+
     using Key = std::tuple<AppId, memsys::MemoryConfig, bool>;
 
-    std::map<Key, std::unique_ptr<TraceBundle>> cache_;
+    std::map<Key, Entry> cache_;
     std::mutex mu_;
     std::condition_variable cv_;
     TraceStoreBase *store_ = nullptr;

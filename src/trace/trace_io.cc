@@ -11,108 +11,123 @@ namespace dsmem::trace {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'S', 'M', 'T'};
-constexpr size_t kRecordBytes = 4 + 3 * 4 + 4 + 4 + 4;
+constexpr uint32_t kTraceFormatV1 = 1;
+constexpr size_t kRecordBytesV1 = 4 + 3 * 4 + 4 + 4 + 4;
 
-void
-put32(std::ostream &os, uint32_t v)
+// v2 meta byte: op in the low nibble, num_srcs and taken above it.
+// kNumOps (14) fits 4 bits and kMaxSrcs (3) fits 2; static_asserts in
+// packMeta keep the packing honest if either ever grows.
+constexpr uint8_t kMetaOpMask = 0x0F;
+constexpr unsigned kMetaSrcShift = 4;
+constexpr uint8_t kMetaSrcMask = 0x03;
+constexpr unsigned kMetaTakenShift = 6;
+
+uint8_t
+packMeta(Op op, uint8_t num_srcs, bool taken)
 {
-    char buf[4];
-    std::memcpy(buf, &v, 4);
-    os.write(buf, 4);
+    static_assert(kNumOps <= 16, "op no longer fits the v2 meta nibble");
+    static_assert(kMaxSrcs <= 3, "num_srcs no longer fits 2 meta bits");
+    return static_cast<uint8_t>(static_cast<uint8_t>(op) |
+                                (num_srcs << kMetaSrcShift) |
+                                (static_cast<uint8_t>(taken)
+                                 << kMetaTakenShift));
 }
 
-void
-put64(std::ostream &os, uint64_t v)
+std::string
+readName(util::ByteSource &src, uint32_t name_len)
 {
-    char buf[8];
-    std::memcpy(buf, &v, 8);
-    os.write(buf, 8);
-}
-
-uint32_t
-get32(std::istream &is)
-{
-    char buf[4];
-    if (!is.read(buf, 4))
-        throw std::runtime_error("trace file truncated");
-    uint32_t v;
-    std::memcpy(&v, buf, 4);
-    return v;
-}
-
-uint64_t
-get64(std::istream &is)
-{
-    char buf[8];
-    if (!is.read(buf, 8))
-        throw std::runtime_error("trace file truncated");
-    uint64_t v;
-    std::memcpy(&v, buf, 8);
-    return v;
-}
-
-} // namespace
-
-void
-saveTrace(const Trace &t, std::ostream &os)
-{
-    os.write(kMagic, 4);
-    put32(os, kTraceFormatVersion);
-    put32(os, static_cast<uint32_t>(t.name().size()));
-    os.write(t.name().data(),
-             static_cast<std::streamsize>(t.name().size()));
-    put64(os, t.size());
-
-    for (const TraceInst &inst : t) {
-        char rec[kRecordBytes];
-        rec[0] = static_cast<char>(inst.op);
-        rec[1] = static_cast<char>(inst.num_srcs);
-        rec[2] = inst.taken ? 1 : 0;
-        rec[3] = 0;
-        std::memcpy(rec + 4, inst.src, 12);
-        std::memcpy(rec + 16, &inst.addr, 4);
-        std::memcpy(rec + 20, &inst.latency, 4);
-        std::memcpy(rec + 24, &inst.aux, 4);
-        os.write(rec, kRecordBytes);
-    }
-    if (!os)
-        throw std::runtime_error("trace write failed");
-}
-
-void
-saveTraceFile(const Trace &t, const std::string &path)
-{
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        throw std::runtime_error("cannot open " + path + " for write");
-    saveTrace(t, os);
-}
-
-Trace
-loadTrace(std::istream &is)
-{
-    char magic[4];
-    if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
-        throw std::runtime_error("not a dsmem trace file");
-    uint32_t version = get32(is);
-    if (version != kTraceFormatVersion) {
-        throw std::runtime_error("unsupported trace format version " +
-                                 std::to_string(version));
-    }
-    uint32_t name_len = get32(is);
     if (name_len > 4096)
         throw std::runtime_error("implausible trace name length");
     std::string name(name_len, '\0');
-    if (name_len > 0 && !is.read(name.data(), name_len))
-        throw std::runtime_error("trace file truncated");
-    uint64_t count = get64(is);
+    if (name_len > 0)
+        src.read(name.data(), name_len);
+    return name;
+}
+
+void
+writeHeader(util::ByteSink &sink, uint32_t version)
+{
+    sink.put(kMagic, 4);
+    sink.putU32(version);
+}
+
+/**
+ * Decode the common v2 prologue (after magic + version) and the five
+ * SoA sections into Parts. Shared by the AoS and direct-to-view
+ * loaders; SSA validation happens downstream (Trace::validate or the
+ * TraceView(Parts) constructor).
+ */
+TraceView::Parts
+readPartsV2(util::ByteSource &src)
+{
+    TraceView::Parts parts;
+    parts.name = readName(src, src.readVarint32());
+    uint64_t count = src.readVarint();
+
+    const size_t n = static_cast<size_t>(count);
+    parts.ops.resize(n);
+    parts.num_srcs.resize(n);
+    parts.taken.resize(n);
+    parts.srcs.resize(n);
+    parts.addr.resize(n);
+    parts.latency.resize(n);
+    parts.aux.resize(n);
+
+    // The meta section is n contiguous bytes: one bulk read, then a
+    // branch-light unpack loop (a readByte() call per element showed
+    // up as the hottest part of the v2 decode).
+    std::vector<uint8_t> meta(n);
+    if (n > 0)
+        src.read(meta.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+        uint8_t m = meta[i];
+        uint8_t op_raw = m & kMetaOpMask;
+        if (op_raw >= kNumOps)
+            throw std::runtime_error("malformed trace: bad opcode");
+        parts.ops[i] = static_cast<Op>(op_raw);
+        parts.num_srcs[i] = (m >> kMetaSrcShift) & kMetaSrcMask;
+        parts.taken[i] = (m >> kMetaTakenShift) & 1u;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        auto &slots = parts.srcs[i];
+        uint8_t s = 0;
+        for (; s < parts.num_srcs[i]; ++s) {
+            // Producer stored as distance back from i; wrapping u32
+            // arithmetic round-trips every value, including kNoSrc.
+            uint32_t delta = src.readVarint32();
+            slots[s] = static_cast<uint32_t>(i) - delta;
+        }
+        // Unused slots carry kNoSrc, written here so the array is
+        // touched once instead of pre-filled and partially rewritten.
+        for (; s < kMaxSrcs; ++s)
+            slots[s] = kNoSrc;
+    }
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        prev += util::unzigzag32(src.readVarint32());
+        parts.addr[i] = prev;
+    }
+    prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        prev += util::unzigzag32(src.readVarint32());
+        parts.latency[i] = prev;
+    }
+    for (size_t i = 0; i < n; ++i)
+        parts.aux[i] = src.readVarint32();
+    return parts;
+}
+
+Trace
+loadBodyV1(util::ByteSource &src)
+{
+    std::string name = readName(src, src.readU32());
+    uint64_t count = src.readU64();
 
     Trace t(std::move(name));
     t.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
-        char rec[kRecordBytes];
-        if (!is.read(rec, kRecordBytes))
-            throw std::runtime_error("trace file truncated");
+        char rec[kRecordBytesV1];
+        src.read(rec, kRecordBytesV1);
         TraceInst inst;
         uint8_t op_raw = static_cast<uint8_t>(rec[0]);
         if (op_raw >= kNumOps)
@@ -134,12 +149,164 @@ loadTrace(std::istream &is)
 }
 
 Trace
+loadBodyV2(util::ByteSource &src)
+{
+    TraceView::Parts parts = readPartsV2(src);
+
+    Trace t(std::move(parts.name));
+    const size_t n = parts.ops.size();
+    t.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        TraceInst inst;
+        inst.op = parts.ops[i];
+        inst.num_srcs = parts.num_srcs[i];
+        inst.taken = parts.taken[i] != 0;
+        inst.src[0] = parts.srcs[i][0];
+        inst.src[1] = parts.srcs[i][1];
+        inst.src[2] = parts.srcs[i][2];
+        inst.addr = parts.addr[i];
+        inst.latency = parts.latency[i];
+        inst.aux = parts.aux[i];
+        t.append(inst);
+    }
+    if (t.validate() != t.size())
+        throw std::runtime_error("malformed trace: SSA check failed");
+    return t;
+}
+
+uint32_t
+readHeader(util::ByteSource &src)
+{
+    char magic[4];
+    src.read(magic, 4);
+    if (std::memcmp(magic, kMagic, 4) != 0)
+        throw std::runtime_error("not a dsmem trace file");
+    uint32_t version = src.readU32();
+    if (version != kTraceFormatV1 && version != kTraceFormatVersion) {
+        throw std::runtime_error("unsupported trace format version " +
+                                 std::to_string(version));
+    }
+    return version;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &t, util::ByteSink &sink)
+{
+    writeHeader(sink, kTraceFormatVersion);
+    sink.putVarint(t.name().size());
+    sink.put(t.name().data(), t.name().size());
+    const size_t n = t.size();
+    sink.putVarint(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        const TraceInst &inst = t[i];
+        sink.putByte(packMeta(inst.op, inst.num_srcs, inst.taken));
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const TraceInst &inst = t[i];
+        for (uint8_t s = 0; s < inst.num_srcs; ++s)
+            sink.putVarint(static_cast<uint32_t>(i) - inst.src[s]);
+    }
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        sink.putVarint(util::zigzag32(t[i].addr - prev));
+        prev = t[i].addr;
+    }
+    prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        sink.putVarint(util::zigzag32(t[i].latency - prev));
+        prev = t[i].latency;
+    }
+    for (size_t i = 0; i < n; ++i)
+        sink.putVarint(t[i].aux);
+}
+
+void
+saveTrace(const Trace &t, std::ostream &os)
+{
+    util::ByteSink sink(os);
+    saveTrace(t, sink);
+    sink.flush();
+}
+
+void
+saveTraceFile(const Trace &t, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path + " for write");
+    saveTrace(t, os);
+}
+
+void
+saveTraceV1(const Trace &t, util::ByteSink &sink)
+{
+    writeHeader(sink, kTraceFormatV1);
+    sink.putU32(static_cast<uint32_t>(t.name().size()));
+    sink.put(t.name().data(), t.name().size());
+    sink.putU64(t.size());
+
+    for (const TraceInst &inst : t) {
+        char rec[kRecordBytesV1];
+        rec[0] = static_cast<char>(inst.op);
+        rec[1] = static_cast<char>(inst.num_srcs);
+        rec[2] = inst.taken ? 1 : 0;
+        rec[3] = 0;
+        std::memcpy(rec + 4, inst.src, 12);
+        std::memcpy(rec + 16, &inst.addr, 4);
+        std::memcpy(rec + 20, &inst.latency, 4);
+        std::memcpy(rec + 24, &inst.aux, 4);
+        sink.put(rec, kRecordBytesV1);
+    }
+}
+
+void
+saveTraceV1(const Trace &t, std::ostream &os)
+{
+    util::ByteSink sink(os);
+    saveTraceV1(t, sink);
+    sink.flush();
+}
+
+Trace
+loadTrace(util::ByteSource &src)
+{
+    uint32_t version = readHeader(src);
+    return version == kTraceFormatV1 ? loadBodyV1(src) : loadBodyV2(src);
+}
+
+Trace
+loadTrace(std::istream &is)
+{
+    util::ByteSource src(is);
+    return loadTrace(src);
+}
+
+Trace
 loadTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw std::runtime_error("cannot open " + path);
     return loadTrace(is);
+}
+
+std::shared_ptr<const TraceView>
+loadTraceView(util::ByteSource &src)
+{
+    uint32_t version = readHeader(src);
+    if (version == kTraceFormatV1)
+        return std::make_shared<const TraceView>(loadBodyV1(src));
+    return std::make_shared<const TraceView>(readPartsV2(src));
+}
+
+std::shared_ptr<const TraceView>
+loadTraceView(std::istream &is)
+{
+    util::ByteSource src(is);
+    return loadTraceView(src);
 }
 
 } // namespace dsmem::trace

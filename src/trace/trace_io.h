@@ -2,9 +2,12 @@
 #define DSMEM_TRACE_TRACE_IO_H
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "trace/trace.h"
+#include "trace/trace_view.h"
+#include "util/byte_io.h"
 
 namespace dsmem::trace {
 
@@ -15,15 +18,33 @@ namespace dsmem::trace {
  * saving it lets the processor-timing studies (and external tools)
  * re-time the same execution without re-running phase 1.
  *
- * Format (little-endian):
- *   magic   "DSMT"            4 bytes
- *   version u32               currently 1
- *   nameLen u32, name bytes
- *   count   u64
- *   count x { op u8, num_srcs u8, taken u8, pad u8,
- *             src[3] u32, addr u32, latency u32, aux u32 }
+ * Version 2 (current, written by saveTrace) is a structure-of-arrays
+ * stream built for load speed and density:
+ *
+ *   magic    "DSMT"                        4 bytes
+ *   version  u32                           currently 2
+ *   nameLen  varint, name bytes
+ *   count    varint n
+ *   meta     n bytes: op | num_srcs << 4 | taken << 6
+ *   srcs     per inst, num_srcs varints of (i - src[s]) mod 2^32
+ *   addr     n varints, zigzag delta vs. the previous address
+ *   latency  n varints, zigzag delta vs. the previous latency
+ *   aux      n varints, raw
+ *
+ * Each section is one tight array, so a loader fills the matching
+ * TraceView SoA column sequentially — loadTraceView() decodes a v2
+ * stream straight into a view without materializing AoS records.
+ * Integrity (checksums) is the containing bundle's concern
+ * (runner::saveBundle); a bare DSMT stream carries none, matching v1.
+ *
+ * Version 1 (AoS, fixed 28-byte records) is still read transparently;
+ * saveTraceV1 is retained so migration tests and bench_phase1 can
+ * produce legacy streams.
  */
-inline constexpr uint32_t kTraceFormatVersion = 1;
+inline constexpr uint32_t kTraceFormatVersion = 2;
+
+/** Serialize @p t to @p sink in the current (v2) format. */
+void saveTrace(const Trace &t, util::ByteSink &sink);
 
 /** Serialize @p t to @p os. Throws std::runtime_error on I/O error. */
 void saveTrace(const Trace &t, std::ostream &os);
@@ -31,15 +52,30 @@ void saveTrace(const Trace &t, std::ostream &os);
 /** Serialize @p t to @p path. */
 void saveTraceFile(const Trace &t, const std::string &path);
 
+/** Serialize @p t in the legacy v1 format (tests / bench only). */
+void saveTraceV1(const Trace &t, util::ByteSink &sink);
+void saveTraceV1(const Trace &t, std::ostream &os);
+
 /**
- * Deserialize a trace. Throws std::runtime_error on bad magic,
- * unsupported version, truncation, or malformed instructions (the
- * result always passes Trace::validate()).
+ * Deserialize a trace (v1 or v2). Throws std::runtime_error on bad
+ * magic, unsupported version, truncation, or malformed instructions
+ * (the result always passes Trace::validate()).
  */
+Trace loadTrace(util::ByteSource &src);
 Trace loadTrace(std::istream &is);
 
 /** Deserialize a trace from @p path. */
 Trace loadTraceFile(const std::string &path);
+
+/**
+ * Deserialize a v2 stream directly into a TraceView, skipping the
+ * intermediate AoS Trace — the phase-2-only load path. v1 streams are
+ * accepted too (decoded AoS, then viewed), so callers need not care
+ * which version a file carries. Performs the same validation as
+ * loadTrace.
+ */
+std::shared_ptr<const TraceView> loadTraceView(util::ByteSource &src);
+std::shared_ptr<const TraceView> loadTraceView(std::istream &is);
 
 } // namespace dsmem::trace
 

@@ -1,6 +1,40 @@
 #include "trace/trace_view.h"
 
+#include <stdexcept>
+
 namespace dsmem::trace {
+
+namespace {
+
+/**
+ * Classification bits for one instruction. Free functions qualified:
+ * TraceView's member predicates of the same name would otherwise hide
+ * them inside this scope.
+ */
+uint8_t
+classify(Op op, uint32_t latency, bool taken)
+{
+    uint8_t f = 0;
+    if (dsmem::trace::isMemory(op) && latency > 1)
+        f |= TraceView::kMiss;
+    if (dsmem::trace::isSync(op))
+        f |= TraceView::kSync;
+    if (dsmem::trace::isAcquire(op))
+        f |= TraceView::kAcquire;
+    if (dsmem::trace::isRelease(op))
+        f |= TraceView::kRelease;
+    if (taken)
+        f |= TraceView::kTaken;
+    if (dsmem::trace::isCompute(op))
+        f |= TraceView::kCompute;
+    if (dsmem::trace::isMemory(op))
+        f |= TraceView::kMemory;
+    if (dsmem::trace::producesValue(op))
+        f |= TraceView::kProducesValue;
+    return f;
+}
+
+} // namespace
 
 TraceView::TraceView(const Trace &t) : name_(t.name())
 {
@@ -24,29 +58,53 @@ TraceView::TraceView(const Trace &t) : name_(t.name())
         latency_[i] = inst.latency;
         aux_[i] = inst.aux;
 
-        // Free functions qualified: the member predicates of the same
-        // name would otherwise hide them inside this scope.
-        uint8_t f = 0;
-        if (inst.isMiss())
-            f |= kMiss;
-        if (dsmem::trace::isSync(inst.op))
-            f |= kSync;
-        if (dsmem::trace::isAcquire(inst.op))
-            f |= kAcquire;
-        if (dsmem::trace::isRelease(inst.op))
-            f |= kRelease;
-        if (inst.taken)
-            f |= kTaken;
-        if (dsmem::trace::isCompute(inst.op))
-            f |= kCompute;
-        if (dsmem::trace::isMemory(inst.op))
-            f |= kMemory;
-        if (dsmem::trace::producesValue(inst.op))
-            f |= kProducesValue;
-        flags_[i] = f;
+        flags_[i] = classify(inst.op, inst.latency, inst.taken);
     }
 
     first_use_ = t.computeFirstUses();
+}
+
+TraceView::TraceView(Parts parts) : name_(std::move(parts.name))
+{
+    const size_t n = parts.ops.size();
+    if (parts.num_srcs.size() != n || parts.taken.size() != n ||
+        parts.srcs.size() != n || parts.addr.size() != n ||
+        parts.latency.size() != n || parts.aux.size() != n) {
+        throw std::runtime_error("malformed trace: SoA length mismatch");
+    }
+
+    ops_ = std::move(parts.ops);
+    num_srcs_ = std::move(parts.num_srcs);
+    srcs_ = std::move(parts.srcs);
+    addr_ = std::move(parts.addr);
+    latency_ = std::move(parts.latency);
+    aux_ = std::move(parts.aux);
+
+    fu_.resize(n);
+    flags_.resize(n);
+    first_use_.assign(n, kNoSrc);
+    for (size_t i = 0; i < n; ++i) {
+        Op op = ops_[i];
+        if (static_cast<uint8_t>(op) >= kNumOps)
+            throw std::runtime_error("malformed trace: bad opcode");
+        if (num_srcs_[i] > kMaxSrcs)
+            throw std::runtime_error("malformed trace: bad src count");
+        fu_[i] = static_cast<uint8_t>(fuClass(op));
+        flags_[i] = classify(op, latency_[i], parts.taken[i] != 0);
+
+        // SSA validation + first-use in one pass (the direct load
+        // path must reject exactly what Trace::validate rejects).
+        for (uint8_t s = 0; s < num_srcs_[i]; ++s) {
+            InstIndex producer = srcs_[i][s];
+            if (producer == kNoSrc || producer >= i ||
+                !dsmem::trace::producesValue(ops_[producer])) {
+                throw std::runtime_error(
+                    "malformed trace: SSA check failed");
+            }
+            if (first_use_[producer] == kNoSrc)
+                first_use_[producer] = static_cast<InstIndex>(i);
+        }
+    }
 }
 
 TraceInst

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the block-buffered binary I/O layer (util/byte_io.h) that
+ * the v2 trace and bundle formats stream through: varint encode/decode
+ * (including every malformed-encoding rejection), zigzag mapping, the
+ * two FNV-1a folding granularities, and the lazy read-side checksum —
+ * all exercised across buffer-refill boundaries, where the fast and
+ * slow decode paths diverge.
+ */
+
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dsmem::util {
+namespace {
+
+/** Values straddling every varint length from 1 to 10 bytes. */
+const std::vector<uint64_t> kVarintProbes = {
+    0,       1,          127,        128,         300,
+    16383,   16384,      (1u << 21) - 1, 1u << 21, UINT32_MAX,
+    1ull << 32, 1ull << 48, 1ull << 62, 1ull << 63, UINT64_MAX};
+
+TEST(VarintTest, RoundTripsEveryLength)
+{
+    std::stringstream ss;
+    {
+        ByteSink sink(ss);
+        for (uint64_t v : kVarintProbes)
+            sink.putVarint(v);
+        sink.flush();
+    }
+    ByteSource src(ss);
+    for (uint64_t v : kVarintProbes)
+        EXPECT_EQ(src.readVarint(), v);
+    EXPECT_TRUE(src.atEof());
+}
+
+TEST(VarintTest, RoundTripsAcrossTinyRefills)
+{
+    // A 3-byte block buffer forces multi-byte varints to span refills,
+    // driving the byte-at-a-time slow path; results must not differ.
+    std::stringstream ss;
+    {
+        ByteSink sink(ss, /*block_bytes=*/3);
+        for (uint64_t v : kVarintProbes)
+            sink.putVarint(v);
+        sink.flush();
+    }
+    ByteSource src(ss, /*block_bytes=*/3);
+    for (uint64_t v : kVarintProbes)
+        EXPECT_EQ(src.readVarint(), v);
+}
+
+TEST(VarintTest, RejectsOverlongEncoding)
+{
+    // Eleven continuation bytes: no 64-bit value needs more than ten.
+    std::string overlong(11, static_cast<char>(0x80));
+    overlong.push_back(0x01);
+    for (size_t block : {size_t{64}, size_t{2}}) {
+        std::stringstream ss(overlong);
+        ByteSource src(ss, block);
+        EXPECT_THROW(src.readVarint(), std::runtime_error)
+            << "block " << block;
+    }
+}
+
+TEST(VarintTest, RejectsOverflowingTenthByte)
+{
+    // Ten bytes whose final byte carries more than the 64th value bit.
+    std::string bytes(9, static_cast<char>(0xFF));
+    bytes.push_back(0x02);
+    for (size_t block : {size_t{64}, size_t{2}}) {
+        std::stringstream ss(bytes);
+        ByteSource src(ss, block);
+        EXPECT_THROW(src.readVarint(), std::runtime_error)
+            << "block " << block;
+    }
+}
+
+TEST(VarintTest, Varint32RejectsWideValues)
+{
+    std::stringstream ss;
+    {
+        ByteSink sink(ss);
+        sink.putVarint(uint64_t{UINT32_MAX} + 1);
+        sink.flush();
+    }
+    ByteSource src(ss);
+    EXPECT_THROW(src.readVarint32(), std::runtime_error);
+}
+
+TEST(ZigzagTest, RoundTripsAndOrdersByMagnitude)
+{
+    for (uint32_t v : {0u, 1u, 0xFFFFFFFFu /* -1 */, 2u,
+                       0xFFFFFFFEu /* -2 */, 0x7FFFFFFFu, 0x80000000u})
+        EXPECT_EQ(unzigzag32(zigzag32(v)), v);
+    // Small magnitudes (either sign) must map to small codes so the
+    // delta streams stay one byte wide.
+    EXPECT_EQ(zigzag32(0), 0u);
+    EXPECT_EQ(zigzag32(0xFFFFFFFF), 1u); // -1
+    EXPECT_EQ(zigzag32(1), 2u);
+    EXPECT_LT(zigzag32(0xFFFFFFFD), 0x80u); // -3 fits one varint byte.
+}
+
+TEST(FnvStateTest, BytesFoldMatchesReferenceFnv1a)
+{
+    const std::string data = "the quick brown fox";
+    FnvState s;
+    s.begin(FnvState::Fold::BYTES);
+    s.update(data.data(), data.size());
+    EXPECT_EQ(s.value(), fnv1aUpdate(kFnvOffset, data.data(), data.size()));
+}
+
+TEST(FnvStateTest, WordsFoldIsChunkingInvariant)
+{
+    // The word fold buffers partial words across update() calls, so
+    // any split of the byte stream must produce the same digest.
+    std::vector<uint8_t> data(61);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 37 + 11);
+
+    FnvState one;
+    one.begin(FnvState::Fold::WORDS);
+    one.update(data.data(), data.size());
+
+    for (size_t chunk : {size_t{1}, size_t{3}, size_t{8}, size_t{13}}) {
+        FnvState split;
+        split.begin(FnvState::Fold::WORDS);
+        for (size_t i = 0; i < data.size(); i += chunk)
+            split.update(data.data() + i,
+                         std::min(chunk, data.size() - i));
+        EXPECT_EQ(split.value(), one.value()) << "chunk " << chunk;
+    }
+}
+
+TEST(FnvStateTest, WordsFoldDetectsFlipTruncationAndSwap)
+{
+    std::vector<uint8_t> data(40, 0xA5);
+    data[17] = 0x12;
+    auto digest = [](const std::vector<uint8_t> &d) {
+        FnvState s;
+        s.begin(FnvState::Fold::WORDS);
+        s.update(d.data(), d.size());
+        return s.value();
+    };
+    uint64_t good = digest(data);
+
+    std::vector<uint8_t> flipped = data;
+    flipped[5] ^= 0x40;
+    EXPECT_NE(digest(flipped), good);
+
+    std::vector<uint8_t> truncated(data.begin(), data.end() - 1);
+    EXPECT_NE(digest(truncated), good);
+
+    std::vector<uint8_t> swapped = data;
+    std::swap(swapped[0], swapped[17]);
+    EXPECT_NE(digest(swapped), good);
+}
+
+TEST(ByteIoTest, SinkAndSourceHashesAgree)
+{
+    for (auto fold : {FnvState::Fold::BYTES, FnvState::Fold::WORDS}) {
+        std::stringstream ss;
+        uint64_t written;
+        {
+            // An 8-byte block forces many drains on the write side and
+            // many refills (lazy-hash folds) on the read side.
+            ByteSink sink(ss, /*block_bytes=*/8);
+            sink.beginHash(fold);
+            sink.putU32(0xDEADBEEF);
+            for (uint64_t v : kVarintProbes)
+                sink.putVarint(v);
+            sink.putU64(0x0123456789ABCDEFull);
+            sink.putByte(7);
+            written = sink.hashValue();
+            sink.flush();
+        }
+        ByteSource src(ss, /*block_bytes=*/8);
+        src.beginHash(fold);
+        EXPECT_EQ(src.readU32(), 0xDEADBEEFu);
+        for (uint64_t v : kVarintProbes)
+            EXPECT_EQ(src.readVarint(), v);
+        EXPECT_EQ(src.readU64(), 0x0123456789ABCDEFull);
+        EXPECT_EQ(src.readByte(), 7u);
+        EXPECT_EQ(src.hashValue(), written);
+    }
+}
+
+TEST(ByteIoTest, LazyHashAndConsumedStayCorrectMidBuffer)
+{
+    // hashValue()/consumed() must fold the consumed-but-unhashed span
+    // without disturbing subsequent reads of the same buffer.
+    std::stringstream ss;
+    {
+        ByteSink sink(ss);
+        for (uint8_t i = 0; i < 32; ++i)
+            sink.putByte(i);
+        sink.flush();
+    }
+    ByteSource src(ss);
+    src.beginHash(FnvState::Fold::BYTES);
+    for (uint8_t i = 0; i < 10; ++i)
+        EXPECT_EQ(src.readByte(), i);
+    EXPECT_EQ(src.consumed(), 10u);
+    uint64_t mid = src.hashValue();
+    EXPECT_EQ(src.hashValue(), mid); // Query is idempotent.
+    for (uint8_t i = 10; i < 32; ++i)
+        EXPECT_EQ(src.readByte(), i);
+    EXPECT_EQ(src.consumed(), 32u);
+    EXPECT_NE(src.hashValue(), mid);
+}
+
+TEST(ByteIoTest, TruncatedSourceThrows)
+{
+    std::stringstream ss;
+    {
+        ByteSink sink(ss);
+        sink.putU32(42);
+        sink.flush();
+    }
+    ByteSource src(ss);
+    EXPECT_THROW(src.readU64(), std::runtime_error);
+}
+
+TEST(ByteIoTest, AtEofOnlyAfterLastByte)
+{
+    std::stringstream ss;
+    {
+        ByteSink sink(ss);
+        sink.putByte(1);
+        sink.putByte(2);
+        sink.flush();
+    }
+    ByteSource src(ss);
+    EXPECT_FALSE(src.atEof());
+    src.readByte();
+    EXPECT_FALSE(src.atEof());
+    src.readByte();
+    EXPECT_TRUE(src.atEof());
+}
+
+} // namespace
+} // namespace dsmem::util

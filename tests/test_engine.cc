@@ -2,9 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
 
+#include "apps/app.h"
 #include "mp/subtask.h"
+#include "sim/app_registry.h"
 #include "trace/trace_stats.h"
 
 namespace dsmem::mp {
@@ -444,6 +451,58 @@ TEST(EngineDeterminismTest, IdenticalRunsProduceIdenticalTraces)
         EXPECT_EQ(t1[i].op, t2[i].op);
         EXPECT_EQ(t1[i].latency, t2[i].latency);
         EXPECT_EQ(t1[i].addr, t2[i].addr);
+    }
+}
+
+/** Every ThreadStats field of every processor, comparably packed. */
+std::vector<std::array<uint64_t, 13>>
+collectStats(const Engine &engine, uint32_t num_procs)
+{
+    std::vector<std::array<uint64_t, 13>> out;
+    for (uint32_t p = 0; p < num_procs; ++p) {
+        const ThreadStats &s = engine.threadStats(p);
+        out.push_back({s.instructions, s.reads, s.writes,
+                       s.read_misses, s.write_misses, s.branches,
+                       s.locks, s.unlocks, s.barriers, s.wait_events,
+                       s.set_events, s.sync_wait_cycles,
+                       s.sync_transfer_cycles});
+    }
+    return out;
+}
+
+TEST(EngineEquivalenceTest, FastEngineMatchesLegacyOnEveryApp)
+{
+    // The fast engine (flat per-processor scheduler, lazy trace
+    // capture, inline memory fast path) must reproduce the legacy
+    // (seed) engine bit for bit: same trace, same clocks, same
+    // per-processor statistics, same verified result — for every
+    // registry application, since each stresses a different mix of
+    // sharing, synchronization, and branching.
+    for (sim::AppId id : sim::kAllApps) {
+        auto run_mode = [id](bool legacy) {
+            EngineConfig config;
+            config.legacy_engine = legacy;
+            Engine engine(config);
+            std::unique_ptr<apps::Application> app =
+                sim::makeApp(id, /*small=*/true);
+            apps::runApplication(engine, *app);
+            return std::tuple(engine.takeTrace(),
+                              engine.completionCycle(0),
+                              collectStats(engine, config.num_procs),
+                              app->verify(engine));
+        };
+
+        auto [legacy_trace, legacy_cycles, legacy_stats, legacy_ok] =
+            run_mode(true);
+        auto [fast_trace, fast_cycles, fast_stats, fast_ok] =
+            run_mode(false);
+
+        const std::string name(sim::appName(id));
+        EXPECT_EQ(fast_trace, legacy_trace) << name;
+        EXPECT_EQ(fast_cycles, legacy_cycles) << name;
+        EXPECT_EQ(fast_ok, legacy_ok) << name;
+        EXPECT_TRUE(fast_ok) << name;
+        EXPECT_EQ(fast_stats, legacy_stats) << name;
     }
 }
 

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "random_trace.h"
+#include "trace/trace_view.h"
 
 namespace dsmem::trace {
 namespace {
@@ -38,6 +40,45 @@ TEST(TraceIoTest, RoundTripPreservesEverything)
         EXPECT_EQ(back[i].aux, t[i].aux);
         for (int s = 0; s < t[i].num_srcs; ++s)
             EXPECT_EQ(back[i].src[s], t[i].src[s]);
+    }
+}
+
+TEST(TraceIoTest, V1FilesStillLoad)
+{
+    // Migration: traces serialized in the v1 layout (AoS records,
+    // absolute indices, fixed-width fields) must decode identically
+    // through the current loader.
+    Trace t = dsmem::testing::randomTrace(99, 3000);
+    std::stringstream v1;
+    saveTraceV1(t, v1);
+    Trace back = loadTrace(v1);
+    EXPECT_EQ(back, t);
+    EXPECT_EQ(back.name(), t.name());
+}
+
+TEST(TraceIoTest, V2IsSmallerThanV1)
+{
+    Trace t = dsmem::testing::randomTrace(4, 20000);
+    std::stringstream v1, v2;
+    saveTraceV1(t, v1);
+    saveTrace(t, v2);
+    EXPECT_LT(v2.str().size(), v1.str().size());
+}
+
+TEST(TraceIoTest, ViewLoadMatchesAosLoadBothVersions)
+{
+    Trace t = dsmem::testing::randomTrace(123, 4000);
+    for (bool v1 : {false, true}) {
+        std::stringstream ss;
+        if (v1)
+            saveTraceV1(t, ss);
+        else
+            saveTrace(t, ss);
+        std::shared_ptr<const TraceView> view = loadTraceView(ss);
+        ASSERT_EQ(view->size(), t.size()) << "v1=" << v1;
+        for (size_t i = 0; i < t.size(); ++i)
+            ASSERT_EQ(view->materialize(i), t[i])
+                << "v1=" << v1 << " record " << i;
     }
 }
 
@@ -76,11 +117,39 @@ TEST(TraceIoTest, RejectsMalformedOpcode)
     std::stringstream ss;
     saveTrace(t, ss);
     std::string bytes = ss.str();
-    // First record byte is the opcode; make it out of range.
-    size_t record_start = bytes.size() - 28;
-    bytes[record_start] = 120;
+    // v2 layout: magic(4) version(4) name-len varint(1, = 0)
+    // count varint(1, = 1), then the first meta byte, whose low
+    // nibble is the opcode; 0x0F is out of range (kNumOps == 14).
+    size_t meta_at = 4 + 4 + 1 + 1;
+    ASSERT_LT(meta_at, bytes.size());
+    bytes[meta_at] = static_cast<char>(0x0F);
     std::stringstream bad(bytes);
     EXPECT_THROW(loadTrace(bad), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsOverlongVarint)
+{
+    // Replace the record-count varint with an over-long encoding
+    // (eleven continuation bytes); both decoders must reject it
+    // rather than read past the 64-bit carry.
+    Trace t;
+    t.append(makeCompute(Op::IALU));
+    std::stringstream ss;
+    saveTrace(t, ss);
+    std::string bytes = ss.str();
+    // v2 layout: magic(4) version(4) name-len varint(1, = 0), then
+    // the count varint.
+    std::string bad = bytes.substr(0, 9) +
+        std::string(11, static_cast<char>(0x80)) + "\x01" +
+        bytes.substr(10);
+    {
+        std::stringstream in(bad);
+        EXPECT_THROW(loadTrace(in), std::runtime_error);
+    }
+    {
+        std::stringstream in(bad);
+        EXPECT_THROW(loadTraceView(in), std::runtime_error);
+    }
 }
 
 TEST(TraceIoTest, FileRoundTrip)
