@@ -15,7 +15,8 @@ printUsage(std::FILE *out, const char *prog)
     std::fprintf(
         out,
         "usage: %s [--small | --full] [--jobs N] [--trace-dir DIR]\n"
-        "       %*s [--no-trace-store] [--json FILE]\n"
+        "       %*s [--no-trace-store] [--json FILE] [--journal FILE]\n"
+        "       %*s [--resume] [--max-attempts N] [--job-timeout-ms N]\n"
         "\n"
         "  --small           reduced application configurations\n"
         "  --full            paper-scaled configurations\n"
@@ -24,8 +25,16 @@ printUsage(std::FILE *out, const char *prog)
         "  --trace-dir DIR   persistent phase-1 trace cache "
         "(default: .dsmem-cache)\n"
         "  --no-trace-store  disable the persistent trace cache\n"
-        "  --json FILE       also write structured results as JSON\n",
-        prog, static_cast<int>(std::strlen(prog)), "");
+        "  --json FILE       also write structured results as JSON\n"
+        "  --journal FILE    record completed work in a crash-safe "
+        "journal\n"
+        "  --resume          replay --journal, run only missing work\n"
+        "  --max-attempts N  retries for transient faults "
+        "(default 3)\n"
+        "  --job-timeout-ms N  fail jobs over this wall-clock "
+        "budget\n",
+        prog, static_cast<int>(std::strlen(prog)), "",
+        static_cast<int>(std::strlen(prog)), "");
 }
 
 [[noreturn]] void
@@ -87,11 +96,49 @@ parseBenchArgs(int argc, char **argv, bool default_small)
             args.trace_dir = v;
         } else if (const char *v = flagValue("--json", argc, argv, i)) {
             args.json_path = v;
+        } else if (arg == "--resume") {
+            args.resume = true;
+        } else if (const char *v =
+                       flagValue("--journal", argc, argv, i)) {
+            args.journal_path = v;
+        } else if (const char *v =
+                       flagValue("--max-attempts", argc, argv, i)) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 100)
+                usageError(argv[0], "bad --max-attempts value", v);
+            args.max_attempts = static_cast<unsigned>(n);
+        } else if (const char *v =
+                       flagValue("--job-timeout-ms", argc, argv, i)) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 0 ||
+                n > 86400 * 1000L)
+                usageError(argv[0], "bad --job-timeout-ms value", v);
+            args.job_timeout_ms = static_cast<unsigned>(n);
         } else {
             usageError(argv[0], "unknown flag", argv[i]);
         }
     }
+    if (args.resume && args.journal_path.empty())
+        usageError(argv[0], "--resume needs a journal",
+                   "pass --journal FILE");
     return args;
+}
+
+int
+finishCampaign(const runner::Campaign &campaign, const BenchArgs &args)
+{
+    bool ok = campaign.ok();
+    if (!ok)
+        std::fprintf(stderr, "%s",
+                     campaign.failureSummary().c_str());
+    if (!campaign.writeJson(args.json_path)) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     args.json_path.c_str());
+        ok = false;
+    }
+    return ok ? 0 : 1;
 }
 
 } // namespace dsmem::bench

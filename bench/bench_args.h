@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "runner/campaign.h"
 #include "runner/runner.h"
 
 namespace dsmem::bench {
@@ -17,6 +18,10 @@ namespace dsmem::bench {
  *                     (default .dsmem-cache/)
  *   --no-trace-store  disable the persistent trace cache
  *   --json FILE       also write structured results as JSON
+ *   --journal FILE    record completed work in a crash-safe journal
+ *   --resume          replay --journal and run only missing work
+ *   --max-attempts N  retries for transient faults (default 3)
+ *   --job-timeout-ms N  fail jobs that exceed this wall-clock budget
  *
  * Unknown flags print a usage message and exit(2).
  */
@@ -25,12 +30,20 @@ struct BenchArgs {
     unsigned jobs = 0; ///< 0 = hardware concurrency.
     std::string trace_dir = ".dsmem-cache";
     std::string json_path; ///< Empty = no JSON export.
+    std::string journal_path; ///< Empty = no journal.
+    bool resume = false;
+    unsigned max_attempts = 3;
+    unsigned job_timeout_ms = 0; ///< 0 = no watchdog.
 
     runner::RunnerOptions runnerOptions() const
     {
         runner::RunnerOptions opts;
         opts.jobs = jobs;
         opts.trace_dir = trace_dir;
+        opts.journal_path = journal_path;
+        opts.resume = resume;
+        opts.max_attempts = max_attempts;
+        opts.job_timeout_ms = job_timeout_ms;
         return opts;
     }
 };
@@ -44,6 +57,15 @@ struct BenchArgs {
  */
 BenchArgs parseBenchArgs(int argc, char **argv,
                          bool default_small = false);
+
+/**
+ * Shared campaign epilogue: export JSON, print the failure summary
+ * to stderr, and return the process exit code — 0 only when every
+ * declared row finished and the export (if any) was written. Every
+ * campaign bench ends with `return bench::finishCampaign(...)`.
+ */
+int finishCampaign(const runner::Campaign &campaign,
+                   const BenchArgs &args);
 
 } // namespace dsmem::bench
 

@@ -83,8 +83,5 @@ main(int argc, char **argv)
         "64; MP3D, PTHOR,\n"
         "    LOCUS retain a residue.\n");
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

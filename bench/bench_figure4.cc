@@ -67,8 +67,5 @@ main(int argc, char **argv)
         "small windows;\n"
         "    at window 256 pbp and pbp+nodep nearly coincide.\n");
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

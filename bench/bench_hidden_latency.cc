@@ -73,8 +73,5 @@ main(int argc, char **argv)
     std::printf("Paper averages: W=16 33%%, W=32 63%%, W=64 81%%; "
                 "little further gain beyond 64.\n");
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

@@ -70,8 +70,5 @@ main(int argc, char **argv)
     std::printf("Expected: window 64 no longer suffices; the sweep "
                 "levels off at 128.\n");
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

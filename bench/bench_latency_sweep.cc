@@ -83,8 +83,5 @@ main(int argc, char **argv)
                 "must span both the distance between independent "
                 "misses and the latency itself (Section 4.1.2).\n");
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

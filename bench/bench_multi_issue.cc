@@ -62,8 +62,5 @@ main(int argc, char **argv)
                         .c_str());
     }
 
-    if (!campaign.writeJson(args.json_path))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.json_path.c_str());
-    return 0;
+    return bench::finishCampaign(campaign, args);
 }

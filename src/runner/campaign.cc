@@ -1,8 +1,16 @@
 #include "runner/campaign.h"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <thread>
 #include <tuple>
+
+#include "util/byte_io.h"
+#include "util/errors.h"
+#include "util/failpoint.h"
 
 namespace dsmem::runner {
 
@@ -16,6 +24,20 @@ elapsedMs(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+bool
+parseOrigin(const std::string &name, sim::TraceOrigin &out)
+{
+    if (name == "generated")
+        out = sim::TraceOrigin::GENERATED;
+    else if (name == "disk")
+        out = sim::TraceOrigin::DISK;
+    else if (name == "memory")
+        out = sim::TraceOrigin::MEMORY;
+    else
+        return false;
+    return true;
+}
+
 } // namespace
 
 Campaign::Campaign(std::string bench_name, RunnerOptions opts)
@@ -24,6 +46,12 @@ Campaign::Campaign(std::string bench_name, RunnerOptions opts)
       store_(opts_.trace_dir),
       cache_(store_.enabled() ? &store_ : nullptr)
 {
+    // Absorbed store failures (failed renames/removes, quarantines)
+    // surface as non-fatal campaign errors instead of vanishing.
+    store_.setErrorHandler(
+        [this](const std::string &site, const std::string &message) {
+            recordCampaignError(UnitError{site, message, "", 1, false});
+        });
 }
 
 size_t
@@ -34,13 +62,152 @@ Campaign::add(sim::AppId app, std::vector<sim::ModelSpec> specs,
     return units_.size() - 1;
 }
 
+uint64_t
+Campaign::signature() const
+{
+    uint64_t h = util::fnv1aUpdate(util::kFnvOffset,
+                                   bench_name_.data(),
+                                   bench_name_.size());
+    for (const Unit &u : units_) {
+        std::string_view name = sim::appName(u.app);
+        h = util::fnv1aUpdate(h, name.data(), name.size());
+        uint64_t fields[] = {
+            static_cast<uint64_t>(u.mem.hit_latency),
+            static_cast<uint64_t>(u.mem.miss_latency),
+            static_cast<uint64_t>(u.mem.protocol ==
+                                  memsys::Protocol::MESI),
+            static_cast<uint64_t>(u.mem.banks),
+            static_cast<uint64_t>(u.mem.bank_occupancy),
+            static_cast<uint64_t>(u.small),
+            static_cast<uint64_t>(u.specs.size()),
+        };
+        h = util::fnv1aUpdate(h, fields, sizeof fields);
+        for (const sim::ModelSpec &spec : u.specs) {
+            std::string label = spec.label();
+            h = util::fnv1aUpdate(h, label.data(), label.size());
+        }
+    }
+    return h;
+}
+
+void
+Campaign::recordError(size_t unit, UnitError err)
+{
+    std::lock_guard<std::mutex> lock(err_mu_);
+    if (err.fatal)
+        results_[unit].failed = true;
+    results_[unit].errors.push_back(std::move(err));
+}
+
+void
+Campaign::recordCampaignError(UnitError err)
+{
+    std::lock_guard<std::mutex> lock(err_mu_);
+    campaign_errors_.push_back(std::move(err));
+}
+
+void
+Campaign::backoff(const std::string &salt, unsigned attempt) const
+{
+    uint64_t ms = opts_.backoff_base_ms;
+    for (unsigned i = 1; i < attempt && ms < opts_.backoff_cap_ms; ++i)
+        ms *= 2;
+    ms = std::min<uint64_t>(ms, opts_.backoff_cap_ms);
+    uint64_t h =
+        util::fnv1aUpdate(util::kFnvOffset, salt.data(), salt.size());
+    h = util::fnv1aUpdate(h, &attempt, sizeof attempt);
+    ms += h % (opts_.backoff_base_ms > 0 ? opts_.backoff_base_ms : 1);
+    if (ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void
+Campaign::replayJournal()
+{
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    std::string err;
+    if (!CampaignJournal::replay(opts_.journal_path, signature(),
+                                 rows, traces, &err)) {
+        recordCampaignError(
+            UnitError{"journal", "cannot resume: " + err, "", 1, true});
+        return;
+    }
+
+    // Later records win (a re-run group may have re-journaled its
+    // trace line), and anything not matching the declaration set is
+    // dropped with a report — the row simply re-runs.
+    for (const JournalTrace &t : traces) {
+        sim::TraceOrigin origin;
+        if (t.unit >= units_.size() || !parseOrigin(t.origin, origin)) {
+            recordCampaignError(UnitError{
+                "journal",
+                "ignoring trace record for unknown unit/origin", "",
+                1, false});
+            continue;
+        }
+        UnitResult &res = results_[t.unit];
+        res.trace_from_journal = true;
+        res.origin = origin;
+        res.trace_instructions = t.instructions;
+        res.trace_wall_ms = t.wall_ms;
+        res.trace_timing.gen_ms = t.gen_ms;
+        res.trace_timing.load_ms = t.load_ms;
+    }
+    for (const JournalRow &r : rows) {
+        if (r.unit >= units_.size() ||
+            r.spec >= units_[r.unit].specs.size() ||
+            r.label != units_[r.unit].specs[r.spec].label()) {
+            recordCampaignError(UnitError{
+                "journal",
+                "ignoring row record not matching the declared "
+                "campaign",
+                r.label, 1, false});
+            continue;
+        }
+        UnitResult &res = results_[r.unit];
+        res.rows[r.spec] = sim::LabelledResult{r.label, r.result};
+        res.row_wall_ms[r.spec] = r.wall_ms;
+        res.row_done[r.spec] = 1;
+    }
+}
+
 void
 Campaign::run()
 {
     results_.assign(units_.size(), UnitResult{});
+    campaign_errors_.clear();
     for (size_t u = 0; u < units_.size(); ++u) {
         results_[u].rows.resize(units_[u].specs.size());
         results_[u].row_wall_ms.resize(units_[u].specs.size(), 0.0);
+        results_[u].row_done.assign(units_[u].specs.size(), 0);
+    }
+
+    const bool journalled = !opts_.journal_path.empty();
+    if (opts_.resume && journalled &&
+        std::ifstream(opts_.journal_path).good()) {
+        replayJournal();
+        // A journal that exists but cannot be trusted must not run
+        // anything: finishing a *different* campaign under --resume
+        // would overwrite results the user meant to keep.
+        bool fatal = false;
+        {
+            std::lock_guard<std::mutex> lock(err_mu_);
+            for (const UnitError &e : campaign_errors_)
+                fatal = fatal || e.fatal;
+        }
+        if (fatal) {
+            fillSink();
+            return;
+        }
+    }
+    if (journalled) {
+        std::string err;
+        if (!journal_.open(opts_.journal_path, bench_name_,
+                           signature(), &err)) {
+            recordCampaignError(
+                UnitError{"journal", err, "", 1, false});
+        }
     }
 
     // Group units sharing one phase-1 trace so it is generated once.
@@ -51,41 +218,115 @@ Campaign::run()
             .push_back(u);
 
     Runner runner(opts_.resolvedJobs());
+    // Campaign jobs catch their own failures; anything that still
+    // escapes (a non-exception crash path would abort regardless) is
+    // recorded so ok() turns false instead of losing it.
+    runner.setUncaughtHandler([this](const std::string &what) {
+        recordCampaignError(
+            UnitError{"runner", what, "", 1, true});
+    });
+
     for (const auto &[key, unit_ids] : groups) {
+        // Resume fast path: a group whose every row (and trace
+        // record) is already durable re-runs nothing — not even
+        // phase 1.
+        bool pending = false;
+        for (size_t u : unit_ids) {
+            if (!results_[u].trace_from_journal)
+                pending = true;
+            for (uint8_t done : results_[u].row_done)
+                pending = pending || !done;
+        }
+        if (!pending)
+            continue;
+
         // Phase 1: resolve the trace (memory -> disk -> generate),
         // then immediately unblock this trace's phase-2 runs. Every
         // job writes only its own pre-sized slot, so no result
         // depends on worker scheduling.
         runner.submit([this, &runner, unit_ids] {
             const Unit &first = units_[unit_ids.front()];
+            const std::string salt =
+                "phase1:" + std::string(sim::appName(first.app)) +
+                (first.small ? ":small" : ":full");
             auto start = std::chrono::steady_clock::now();
             sim::TraceOrigin origin;
             sim::TraceTiming timing;
-            // Phase 2 only ever reads the SoA view, so resolve the
-            // view-shaped bundle: a v2 disk hit deserializes straight
-            // into TraceView arrays and the AoS trace never exists in
-            // this process.
-            const sim::ViewBundle &bundle = cache_.getView(
-                first.app, first.mem, first.small, &origin, &timing);
-            std::shared_ptr<const trace::TraceView> view = bundle.view;
+            const sim::ViewBundle *bundle = nullptr;
+            std::string transient;
+            unsigned attempt = 1;
+            for (;; ++attempt) {
+                try {
+                    util::failpoint("campaign.phase1");
+                    // Phase 2 only ever reads the SoA view, so
+                    // resolve the view-shaped bundle: a v2 disk hit
+                    // deserializes straight into TraceView arrays and
+                    // the AoS trace never exists in this process.
+                    bundle = &cache_.getView(first.app, first.mem,
+                                             first.small, &origin,
+                                             &timing);
+                    break;
+                } catch (const util::IoError &e) {
+                    transient = e.what();
+                    if (attempt < opts_.max_attempts) {
+                        backoff(salt, attempt);
+                        continue;
+                    }
+                    for (size_t u : unit_ids)
+                        recordError(
+                            u, UnitError{"phase1", transient, "",
+                                         static_cast<int>(attempt),
+                                         true});
+                    return;
+                } catch (const std::exception &e) {
+                    for (size_t u : unit_ids)
+                        recordError(
+                            u, UnitError{"phase1", e.what(), "",
+                                         static_cast<int>(attempt),
+                                         true});
+                    return;
+                }
+            }
             double wall = elapsedMs(start);
+            if (opts_.job_timeout_ms > 0 &&
+                wall > opts_.job_timeout_ms) {
+                for (size_t u : unit_ids)
+                    recordError(
+                        u,
+                        UnitError{
+                            "watchdog",
+                            "phase-1 job exceeded --job-timeout-ms",
+                            "", static_cast<int>(attempt), true});
+                return;
+            }
+            if (attempt > 1)
+                recordError(unit_ids.front(),
+                            UnitError{"phase1",
+                                      "recovered after retry: " +
+                                          transient,
+                                      "",
+                                      static_cast<int>(attempt),
+                                      false});
 
+            std::shared_ptr<const trace::TraceView> view = bundle->view;
             for (size_t u : unit_ids) {
-                results_[u].bundle = &bundle;
+                results_[u].bundle = bundle;
                 results_[u].origin = origin;
                 results_[u].trace_wall_ms = wall;
                 results_[u].trace_timing = timing;
+                results_[u].trace_from_journal = false;
+                journal_.appendTrace(JournalTrace{
+                    u, std::string(sim::traceOriginName(origin)),
+                    bundle->stats.instructions, wall, timing.gen_ms,
+                    timing.load_ms});
             }
             for (size_t u : unit_ids) {
                 const Unit &unit = units_[u];
                 for (size_t s = 0; s < unit.specs.size(); ++s) {
+                    if (results_[u].row_done[s])
+                        continue; // Restored from the journal.
                     runner.submit([this, view, u, s] {
-                        auto t0 = std::chrono::steady_clock::now();
-                        core::RunResult r = sim::runModel(
-                            *view, units_[u].specs[s]);
-                        results_[u].rows[s] = {
-                            units_[u].specs[s].label(), r};
-                        results_[u].row_wall_ms[s] = elapsedMs(t0);
+                        runRow(view, u, s);
                     });
                 }
             }
@@ -93,7 +334,114 @@ Campaign::run()
     }
     runner.wait();
 
+    if (journal_.failed())
+        recordCampaignError(UnitError{
+            "journal",
+            "journalling disabled mid-run: " + journal_.failure() +
+                " (campaign completed; this journal cannot resume "
+                "it)",
+            "", 1, false});
+    journal_.close();
+
     fillSink();
+}
+
+void
+Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
+                 size_t u, size_t s)
+{
+    const std::string label = units_[u].specs[s].label();
+    const std::string salt =
+        "phase2:" + std::string(sim::appName(units_[u].app)) + ":" +
+        label;
+    auto t0 = std::chrono::steady_clock::now();
+    core::RunResult r;
+    std::string transient;
+    unsigned attempt = 1;
+    for (;; ++attempt) {
+        try {
+            util::failpoint("campaign.phase2");
+            r = sim::runModel(*view, units_[u].specs[s]);
+            break;
+        } catch (const util::IoError &e) {
+            transient = e.what();
+            if (attempt < opts_.max_attempts) {
+                backoff(salt, attempt);
+                continue;
+            }
+            recordError(u, UnitError{"phase2", transient, label,
+                                     static_cast<int>(attempt),
+                                     true});
+            return;
+        } catch (const std::exception &e) {
+            recordError(u, UnitError{"phase2", e.what(), label,
+                                     static_cast<int>(attempt),
+                                     true});
+            return;
+        }
+    }
+    double wall = elapsedMs(t0);
+    if (opts_.job_timeout_ms > 0 && wall > opts_.job_timeout_ms) {
+        // The watchdog cannot safely kill a thread mid-simulation;
+        // instead an over-budget job is failed at completion and its
+        // result discarded. A job that never returns at all still
+        // blocks wait() — see DESIGN.md "Failure model".
+        recordError(u, UnitError{"watchdog",
+                                 "phase-2 job exceeded "
+                                 "--job-timeout-ms",
+                                 label, static_cast<int>(attempt),
+                                 true});
+        return;
+    }
+    if (attempt > 1)
+        recordError(u, UnitError{"phase2",
+                                 "recovered after retry: " + transient,
+                                 label, static_cast<int>(attempt),
+                                 false});
+    results_[u].rows[s] = sim::LabelledResult{label, r};
+    results_[u].row_wall_ms[s] = wall;
+    results_[u].row_done[s] = 1;
+    journal_.appendRow(JournalRow{u, s, label, r, wall});
+}
+
+bool
+Campaign::ok() const
+{
+    std::lock_guard<std::mutex> lock(err_mu_);
+    for (const UnitResult &res : results_)
+        if (res.failed)
+            return false;
+    for (const UnitError &e : campaign_errors_)
+        if (e.fatal)
+            return false;
+    return true;
+}
+
+std::string
+Campaign::failureSummary() const
+{
+    std::lock_guard<std::mutex> lock(err_mu_);
+    std::ostringstream os;
+    for (size_t u = 0; u < results_.size(); ++u) {
+        const UnitResult &res = results_[u];
+        if (!res.failed)
+            continue;
+        os << bench_name_ << ": unit " << u << " ("
+           << sim::appName(units_[u].app) << ") failed:\n";
+        for (const UnitError &e : res.errors) {
+            if (!e.fatal)
+                continue;
+            os << "  [" << e.site << "] "
+               << (e.spec.empty() ? std::string("(unit)") : e.spec)
+               << ": " << e.message << " (attempt " << e.attempts
+               << " of " << opts_.max_attempts << ")\n";
+        }
+    }
+    for (const UnitError &e : campaign_errors_)
+        if (e.fatal)
+            os << bench_name_ << ": [" << e.site << "] " << e.message
+               << "\n";
+    return os.str();
 }
 
 void
@@ -104,18 +452,22 @@ Campaign::fillSink()
                      opts_.trace_dir);
 
     // Records are appended in declaration order (units, then specs),
-    // independent of the order workers finished in.
-    std::vector<const sim::ViewBundle *> seen;
+    // independent of the order workers finished in. Trace records
+    // dedup by trace key — not bundle pointer — because a resumed or
+    // failed unit has no bundle in memory.
+    using TraceKey = std::tuple<sim::AppId, memsys::MemoryConfig, bool>;
+    std::vector<TraceKey> seen;
     for (size_t u = 0; u < units_.size(); ++u) {
         const Unit &unit = units_[u];
         const UnitResult &res = results_[u];
 
-        bool first_use = true;
-        for (const sim::ViewBundle *b : seen)
-            if (b == res.bundle)
-                first_use = false;
-        if (first_use) {
-            seen.push_back(res.bundle);
+        TraceKey key{unit.app, unit.mem, unit.small};
+        bool first_use =
+            std::find(seen.begin(), seen.end(), key) == seen.end();
+        bool have_trace =
+            res.bundle != nullptr || res.trace_from_journal;
+        if (first_use && have_trace) {
+            seen.push_back(key);
             TraceRecord t;
             t.app = std::string(sim::appName(unit.app));
             t.hit_latency = unit.mem.hit_latency;
@@ -127,7 +479,9 @@ Campaign::fillSink()
             t.small = unit.small;
             t.origin = std::string(sim::traceOriginName(res.origin));
             t.file = store_.pathFor(unit.app, unit.mem, unit.small);
-            t.instructions = res.bundle->stats.instructions;
+            t.instructions = res.bundle
+                ? res.bundle->stats.instructions
+                : res.trace_instructions;
             t.wall_ms = res.trace_wall_ms;
             t.gen_ms = res.trace_timing.gen_ms;
             t.load_ms = res.trace_timing.load_ms;
@@ -135,16 +489,19 @@ Campaign::fillSink()
         }
 
         // Hidden-read fractions are relative to the unit's BASE row,
-        // when the unit declared one.
+        // when the unit declared one (and it finished).
         const core::RunResult *base = nullptr;
         for (size_t s = 0; s < unit.specs.size(); ++s) {
-            if (unit.specs[s].kind == sim::ModelSpec::Kind::BASE) {
+            if (unit.specs[s].kind == sim::ModelSpec::Kind::BASE &&
+                res.row_done[s]) {
                 base = &res.rows[s].result;
                 break;
             }
         }
 
         for (size_t s = 0; s < unit.specs.size(); ++s) {
+            if (!res.row_done[s])
+                continue; // Failed rows are reported in errors.
             RunRecord r;
             r.app = std::string(sim::appName(unit.app));
             r.spec = res.rows[s].label;
@@ -156,6 +513,29 @@ Campaign::fillSink()
                 : 0.0;
             r.wall_ms = res.row_wall_ms[s];
             sink_.addRun(std::move(r));
+        }
+
+        for (const UnitError &e : res.errors) {
+            ErrorRecord rec;
+            rec.app = std::string(sim::appName(unit.app));
+            rec.spec = e.spec;
+            rec.site = e.site;
+            rec.message = e.message;
+            rec.attempts = e.attempts;
+            rec.fatal = e.fatal;
+            sink_.addError(std::move(rec));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(err_mu_);
+        for (const UnitError &e : campaign_errors_) {
+            ErrorRecord rec;
+            rec.spec = e.spec;
+            rec.site = e.site;
+            rec.message = e.message;
+            rec.attempts = e.attempts;
+            rec.fatal = e.fatal;
+            sink_.addError(std::move(rec));
         }
     }
 }

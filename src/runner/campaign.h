@@ -1,9 +1,12 @@
 #ifndef DSMEM_RUNNER_CAMPAIGN_H
 #define DSMEM_RUNNER_CAMPAIGN_H
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "runner/journal.h"
 #include "runner/result_sink.h"
 #include "runner/runner.h"
 #include "runner/trace_store.h"
@@ -11,6 +14,19 @@
 #include "sim/trace_bundle.h"
 
 namespace dsmem::runner {
+
+/**
+ * One recorded failure inside a campaign unit. Non-fatal entries are
+ * absorbed faults (a store rename that failed, a retry that later
+ * succeeded); fatal entries mean the unit is missing results.
+ */
+struct UnitError {
+    std::string site;    ///< Failing boundary ("phase1", "phase2", ...).
+    std::string message; ///< Exception / error text.
+    std::string spec;    ///< Spec label for row failures ("" = unit-wide).
+    int attempts = 1;    ///< Attempts consumed, including the last.
+    bool fatal = true;
+};
 
 /**
  * Results of one campaign unit, in the unit's declared spec order
@@ -24,6 +40,23 @@ struct UnitResult {
     sim::TraceTiming trace_timing;     ///< Generate vs load split.
     std::vector<sim::LabelledResult> rows;
     std::vector<double> row_wall_ms;   ///< Per-row timing cost.
+
+    /**
+     * 1 when rows[s] holds a finished result (run now or restored
+     * from the journal); 0 when the row failed or never ran.
+     */
+    std::vector<uint8_t> row_done;
+
+    /**
+     * Trace provenance restored from a journal: the unit skipped
+     * phase 1, bundle stays null, and trace_instructions carries what
+     * bundle->stats.instructions would have.
+     */
+    bool trace_from_journal = false;
+    uint64_t trace_instructions = 0;
+
+    std::vector<UnitError> errors;
+    bool failed = false; ///< Any fatal error (missing rows).
 };
 
 /**
@@ -38,6 +71,15 @@ struct UnitResult {
  * ones), and exposes results in declaration order. Phase 2 re-times
  * an immutable trace, so parallel runs share nothing and results are
  * bit-identical to serial execution.
+ *
+ * Failure model (DESIGN.md "Failure model"): a job failure never
+ * crashes the campaign. Transient faults (util::IoError) retry with
+ * deterministic capped backoff; permanent failures mark their unit
+ * failed while every other unit completes. With a journal configured
+ * (RunnerOptions::journal_path) each completed row is made durable
+ * before the campaign moves on, and resume (RunnerOptions::resume)
+ * re-executes only the missing work — producing results identical to
+ * an uninterrupted run.
  */
 class Campaign
 {
@@ -66,6 +108,24 @@ class Campaign
 
     const RunnerOptions &options() const { return opts_; }
 
+    /** True when every declared row finished (exit-code contract). */
+    bool ok() const;
+
+    /**
+     * Human-readable account of what failed; "" when ok(). Bench
+     * binaries print this to stderr before exiting non-zero.
+     */
+    std::string failureSummary() const;
+
+    /**
+     * FNV-1a over the full declaration set; the journal refuses to
+     * resume under a different signature.
+     */
+    uint64_t signature() const;
+
+    /** Store-layer counters for the executed run. */
+    StoreStats storeStats() const { return store_.stats(); }
+
   private:
     struct Unit {
         sim::AppId app;
@@ -75,6 +135,20 @@ class Campaign
     };
 
     void fillSink();
+    void replayJournal();
+    /** Execute phase-2 row (u, s) with retry/watchdog/journal. */
+    void runRow(const std::shared_ptr<const trace::TraceView> &view,
+                size_t u, size_t s);
+    void recordError(size_t unit, UnitError err);
+    void recordCampaignError(UnitError err);
+
+    /**
+     * Deterministic backoff before retry @p attempt of work item
+     * @p salt: capped exponential plus a jitter hashed from the item
+     * and attempt (never wall clock / randomness, so a failing
+     * campaign replays identically). Sleeps; affects only wall_ms.
+     */
+    void backoff(const std::string &salt, unsigned attempt) const;
 
     std::string bench_name_;
     RunnerOptions opts_;
@@ -83,6 +157,9 @@ class Campaign
     std::vector<Unit> units_;
     std::vector<UnitResult> results_;
     ResultSink sink_;
+    CampaignJournal journal_;
+    std::vector<UnitError> campaign_errors_; ///< Not tied to a unit.
+    mutable std::mutex err_mu_; ///< Guards errors/failed across jobs.
 };
 
 } // namespace dsmem::runner

@@ -1,0 +1,407 @@
+#include "runner/journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+
+namespace dsmem::runner {
+
+namespace {
+
+constexpr uint32_t kJournalVersion = 1;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+/**
+ * Minimal field extraction for the journal's own line grammar: every
+ * line was written by this file, keys are unique per line, and string
+ * values are jsonEscape()d. This is not a general JSON parser and
+ * does not need to be — anything it cannot read is a corrupt journal.
+ */
+bool
+findRaw(const std::string &line, const char *key, size_t &pos)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    pos = at + needle.size();
+    return true;
+}
+
+bool
+getU64(const std::string &line, const char *key, uint64_t &out)
+{
+    size_t pos;
+    if (!findRaw(line, key, pos))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(line.c_str() + pos, &end, 10);
+    if (end == line.c_str() + pos || errno != 0)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+getDouble(const std::string &line, const char *key, double &out)
+{
+    size_t pos;
+    if (!findRaw(line, key, pos))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(line.c_str() + pos, &end);
+    if (end == line.c_str() + pos || errno != 0)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+getString(const std::string &line, const char *key, std::string &out)
+{
+    size_t pos;
+    if (!findRaw(line, key, pos))
+        return false;
+    if (pos >= line.size() || line[pos] != '"')
+        return false;
+    ++pos;
+    out.clear();
+    while (pos < line.size() && line[pos] != '"') {
+        char c = line[pos];
+        if (c == '\\') {
+            if (pos + 1 >= line.size())
+                return false;
+            char esc = line[pos + 1];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 5 >= line.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = line[pos + 2 + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else
+                        return false;
+                }
+                out += static_cast<char>(code);
+                pos += 4;
+                break;
+              }
+              default:
+                return false;
+            }
+            pos += 2;
+        } else {
+            out += c;
+            ++pos;
+        }
+    }
+    return pos < line.size();
+}
+
+std::string
+formatRow(const JournalRow &r)
+{
+    const core::Breakdown &bd = r.result.breakdown;
+    std::ostringstream os;
+    os << "{\"t\":\"row\",\"unit\":" << r.unit
+       << ",\"spec\":" << r.spec << ",\"label\":\""
+       << jsonEscape(r.label) << "\",\"cycles\":" << r.result.cycles
+       << ",\"busy\":" << bd.busy << ",\"sync\":" << bd.sync
+       << ",\"read\":" << bd.read << ",\"write\":" << bd.write
+       << ",\"pipeline\":" << bd.pipeline
+       << ",\"instructions\":" << r.result.instructions
+       << ",\"branches\":" << r.result.branches
+       << ",\"mispredicts\":" << r.result.mispredicts
+       << ",\"read_misses\":" << r.result.read_misses
+       << ",\"wall_ms\":" << jsonDouble(r.wall_ms) << "}";
+    return os.str();
+}
+
+std::string
+formatTrace(const JournalTrace &t)
+{
+    std::ostringstream os;
+    os << "{\"t\":\"trace\",\"unit\":" << t.unit << ",\"origin\":\""
+       << jsonEscape(t.origin)
+       << "\",\"instructions\":" << t.instructions
+       << ",\"wall_ms\":" << jsonDouble(t.wall_ms)
+       << ",\"gen_ms\":" << jsonDouble(t.gen_ms)
+       << ",\"load_ms\":" << jsonDouble(t.load_ms) << "}";
+    return os.str();
+}
+
+bool
+parseRow(const std::string &line, JournalRow &r)
+{
+    uint64_t unit, spec;
+    if (!getU64(line, "unit", unit) || !getU64(line, "spec", spec) ||
+        !getString(line, "label", r.label))
+        return false;
+    r.unit = static_cast<size_t>(unit);
+    r.spec = static_cast<size_t>(spec);
+    core::Breakdown &bd = r.result.breakdown;
+    return getU64(line, "cycles", r.result.cycles) &&
+           getU64(line, "busy", bd.busy) &&
+           getU64(line, "sync", bd.sync) &&
+           getU64(line, "read", bd.read) &&
+           getU64(line, "write", bd.write) &&
+           getU64(line, "pipeline", bd.pipeline) &&
+           getU64(line, "instructions", r.result.instructions) &&
+           getU64(line, "branches", r.result.branches) &&
+           getU64(line, "mispredicts", r.result.mispredicts) &&
+           getU64(line, "read_misses", r.result.read_misses) &&
+           getDouble(line, "wall_ms", r.wall_ms);
+}
+
+bool
+parseTrace(const std::string &line, JournalTrace &t)
+{
+    uint64_t unit;
+    if (!getU64(line, "unit", unit) ||
+        !getString(line, "origin", t.origin))
+        return false;
+    t.unit = static_cast<size_t>(unit);
+    return getU64(line, "instructions", t.instructions) &&
+           getDouble(line, "wall_ms", t.wall_ms) &&
+           getDouble(line, "gen_ms", t.gen_ms) &&
+           getDouble(line, "load_ms", t.load_ms);
+}
+
+} // namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+bool
+CampaignJournal::open(const std::string &path, const std::string &bench,
+                      uint64_t signature, std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    std::error_code fp_ec;
+    if (util::failpointEc("journal.open", fp_ec))
+        return fail("open " + path + ": " + fp_ec.message());
+
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return fail("open " + path + ": " +
+                    std::string(std::strerror(errno)));
+
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_ = fd;
+    failed_ = false;
+    failure_.clear();
+    if (size == 0) {
+        std::ostringstream os;
+        os << "{\"t\":\"campaign\",\"version\":" << kJournalVersion
+           << ",\"bench\":\"" << jsonEscape(bench)
+           << "\",\"signature\":" << signature << "}";
+        appendLine(os.str());
+        if (failed_) {
+            std::string why = failure_;
+            ::close(fd_);
+            fd_ = -1;
+            return fail("journal header write failed: " + why);
+        }
+    }
+    return true;
+}
+
+bool
+CampaignJournal::replay(const std::string &path, uint64_t signature,
+                        std::vector<JournalRow> &rows,
+                        std::vector<JournalTrace> &traces,
+                        std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    std::ifstream is(path);
+    if (!is)
+        return fail("cannot open journal " + path);
+
+    std::string line;
+    bool saw_header = false;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        // A torn final append has no trailing '}' (getline strips the
+        // '\n' a complete record always ends with before it).
+        bool torn = line.back() != '}';
+        std::string type;
+        if (!torn && !getString(line, "t", type))
+            torn = true;
+        if (torn) {
+            if (is.peek() == std::ifstream::traits_type::eof())
+                break; // Tolerated: crash mid-append.
+            return fail("corrupt journal line " +
+                        std::to_string(lineno) + " in " + path);
+        }
+        if (type == "campaign") {
+            uint64_t sig = 0;
+            if (!getU64(line, "signature", sig))
+                return fail("journal header missing signature: " +
+                            path);
+            if (sig != signature)
+                return fail(
+                    "journal " + path +
+                    " belongs to a different campaign declaration "
+                    "(signature mismatch); refusing to resume");
+            saw_header = true;
+        } else if (type == "row") {
+            JournalRow r;
+            if (!parseRow(line, r))
+                return fail("corrupt row record at line " +
+                            std::to_string(lineno) + " in " + path);
+            rows.push_back(std::move(r));
+        } else if (type == "trace") {
+            JournalTrace t;
+            if (!parseTrace(line, t))
+                return fail("corrupt trace record at line " +
+                            std::to_string(lineno) + " in " + path);
+            traces.push_back(std::move(t));
+        } else {
+            return fail("unknown journal record type '" + type +
+                        "' at line " + std::to_string(lineno));
+        }
+    }
+    if (!saw_header)
+        return fail("journal " + path + " has no campaign header");
+    return true;
+}
+
+void
+CampaignJournal::appendTrace(const JournalTrace &t)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    appendLine(formatTrace(t));
+}
+
+void
+CampaignJournal::appendRow(const JournalRow &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    appendLine(formatRow(r));
+}
+
+void
+CampaignJournal::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+CampaignJournal::appendLine(const std::string &line)
+{
+    // Caller holds mu_.
+    if (fd_ < 0 || failed_)
+        return;
+    std::error_code fp_ec;
+    if (util::failpointEc("journal.append", fp_ec)) {
+        failed_ = true;
+        failure_ = "append: " + fp_ec.message();
+        return;
+    }
+    std::string rec = line;
+    rec += '\n';
+    const char *p = rec.data();
+    size_t left = rec.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd_, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failed_ = true;
+            failure_ =
+                "append: " + std::string(std::strerror(errno));
+            return;
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        failed_ = true;
+        failure_ = "fsync: " + std::string(std::strerror(errno));
+    }
+}
+
+} // namespace dsmem::runner

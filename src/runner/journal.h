@@ -1,0 +1,112 @@
+#ifndef DSMEM_RUNNER_JOURNAL_H
+#define DSMEM_RUNNER_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dsmem::runner {
+
+/** One completed phase-2 row, as recorded in the campaign journal. */
+struct JournalRow {
+    size_t unit = 0;
+    size_t spec = 0;
+    std::string label;
+    core::RunResult result;
+    double wall_ms = 0.0;
+};
+
+/** One unit's phase-1 trace provenance, as recorded in the journal. */
+struct JournalTrace {
+    size_t unit = 0;
+    std::string origin; ///< "generated" / "disk" / "memory".
+    uint64_t instructions = 0;
+    double wall_ms = 0.0;
+    double gen_ms = 0.0;
+    double load_ms = 0.0;
+};
+
+/**
+ * Crash-safe campaign progress journal (the --journal/--resume
+ * mechanism).
+ *
+ * The journal is an append-only JSONL file. The first line is a
+ * header naming the campaign and carrying a *signature* — an FNV-1a
+ * hash over the full declaration set (bench name, every unit's app,
+ * memory configuration, size, and spec labels) — so a journal can
+ * never silently resume a campaign it does not belong to. Each
+ * subsequent line records one completed piece of work:
+ *
+ *   {"t":"trace","unit":U,...}   phase-1 trace resolved for unit U
+ *   {"t":"row","unit":U,"spec":S,...}  phase-2 row (U,S) finished,
+ *                                      with its full RunResult
+ *
+ * Durability: every append writes one complete line and fsyncs
+ * before returning, so after a crash the file holds a prefix of the
+ * completed work plus at most one torn final line. replay() ignores
+ * a trailing partial line (and nothing else), which is exactly the
+ * crash-consistency the append needs — a record is either fully
+ * durable or ignored.
+ *
+ * A journal write failure is not allowed to take the campaign down:
+ * the journal marks itself failed, stops writing, and the campaign
+ * surfaces the failure through its error channel while the run
+ * completes normally (it just cannot be resumed from this journal).
+ */
+class CampaignJournal
+{
+  public:
+    CampaignJournal() = default;
+    ~CampaignJournal();
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    /**
+     * Open @p path for appending, writing the header when the file is
+     * new or empty. When resuming, the existing header must match
+     * @p signature (replay() checks the same). Returns false with a
+     * diagnostic in @p err on failure; the journal stays inactive.
+     */
+    bool open(const std::string &path, const std::string &bench,
+              uint64_t signature, std::string *err);
+
+    /**
+     * Parse an existing journal. Returns false (diagnostic in @p err)
+     * when the file cannot be read or the header's signature does not
+     * match @p signature. A trailing torn line is skipped silently;
+     * any other malformed line fails the replay (a corrupt journal
+     * must not resume into silently wrong results).
+     */
+    static bool replay(const std::string &path, uint64_t signature,
+                       std::vector<JournalRow> &rows,
+                       std::vector<JournalTrace> &traces,
+                       std::string *err);
+
+    /** Thread-safe, durable appends; no-ops once inactive/failed. */
+    void appendTrace(const JournalTrace &t);
+    void appendRow(const JournalRow &r);
+
+    bool active() const { return fd_ >= 0 && !failed_; }
+    /** True when an append failed and journalling shut itself off. */
+    bool failed() const { return failed_; }
+    /** Message of the first append failure ("" when none). */
+    const std::string &failure() const { return failure_; }
+
+    void close();
+
+  private:
+    void appendLine(const std::string &line);
+
+    int fd_ = -1;
+    std::mutex mu_;
+    bool failed_ = false;
+    std::string failure_;
+};
+
+} // namespace dsmem::runner
+
+#endif // DSMEM_RUNNER_JOURNAL_H

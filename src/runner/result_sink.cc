@@ -74,10 +74,17 @@ ResultSink::addRun(RunRecord record)
 }
 
 void
+ResultSink::addError(ErrorRecord record)
+{
+    errors_.push_back(std::move(record));
+}
+
+void
 ResultSink::clear()
 {
     traces_.clear();
     runs_.clear();
+    errors_.clear();
 }
 
 void
@@ -130,7 +137,26 @@ ResultSink::writeJson(std::ostream &os) const
            << ", \"hidden_read\": " << jsonDouble(r.hidden_read)
            << ", \"wall_ms\": " << jsonDouble(r.wall_ms) << "}";
     }
-    os << (runs_.empty() ? "]" : "\n  ]") << "\n";
+    os << (runs_.empty() ? "]" : "\n  ]");
+
+    // Only a campaign that recorded errors emits the member at all:
+    // the fault-free export stays byte-identical across versions.
+    if (!errors_.empty()) {
+        os << ",\n  \"errors\": [";
+        for (size_t i = 0; i < errors_.size(); ++i) {
+            const ErrorRecord &e = errors_[i];
+            os << (i ? ",\n    " : "\n    ");
+            os << "{\"app\": \"" << jsonEscape(e.app) << "\""
+               << ", \"spec\": \"" << jsonEscape(e.spec) << "\""
+               << ", \"site\": \"" << jsonEscape(e.site) << "\""
+               << ", \"message\": \"" << jsonEscape(e.message) << "\""
+               << ", \"attempts\": " << e.attempts
+               << ", \"fatal\": " << (e.fatal ? "true" : "false")
+               << "}";
+        }
+        os << "\n  ]";
+    }
+    os << "\n";
     os << "}\n";
 }
 

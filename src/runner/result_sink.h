@@ -42,6 +42,22 @@ struct RunRecord {
 };
 
 /**
+ * One failure the campaign recorded. Fatal entries correspond to
+ * missing runs (the exit-code contract: any fatal error exits
+ * non-zero); non-fatal entries are absorbed faults kept for
+ * observability (recovered retries, quarantined files, failed cache
+ * renames).
+ */
+struct ErrorRecord {
+    std::string app;     ///< "" = campaign-wide (not tied to a unit).
+    std::string spec;    ///< "" = unit-wide (phase-1 / store / journal).
+    std::string site;    ///< Failing boundary ("phase1", "phase2", ...).
+    std::string message;
+    int attempts = 1;    ///< Attempts consumed, including the last.
+    bool fatal = true;
+};
+
+/**
  * Collects every run of a campaign as machine-readable records and
  * exports them as JSON alongside the human-readable tables. Records
  * are appended in declaration order (units, then specs within a
@@ -52,6 +68,9 @@ struct RunRecord {
  *   { "schema_version": 1, "bench": ..., "jobs": N,
  *     "trace_dir": ..., "traces": [TraceRecord...],
  *     "runs": [RunRecord...] }
+ * plus an "errors": [ErrorRecord...] member, present only when the
+ * campaign recorded at least one error — a fault-free export is
+ * byte-identical to what pre-error-channel builds produced.
  */
 class ResultSink
 {
@@ -61,10 +80,12 @@ class ResultSink
 
     void addTrace(TraceRecord record);
     void addRun(RunRecord record);
+    void addError(ErrorRecord record);
     void clear();
 
     const std::vector<TraceRecord> &traces() const { return traces_; }
     const std::vector<RunRecord> &runs() const { return runs_; }
+    const std::vector<ErrorRecord> &errors() const { return errors_; }
 
     void writeJson(std::ostream &os) const;
 
@@ -77,6 +98,7 @@ class ResultSink
     std::string trace_dir_;
     std::vector<TraceRecord> traces_;
     std::vector<RunRecord> runs_;
+    std::vector<ErrorRecord> errors_;
 };
 
 } // namespace dsmem::runner

@@ -64,7 +64,20 @@ Runner::workerLoop()
         std::function<void()> job = std::move(queue_.front());
         queue_.pop_front();
         lock.unlock();
-        job();
+        // A job that throws must not take the worker (and with it
+        // every queued job plus the wait()er) down with it: capture,
+        // report, and keep draining the graph.
+        try {
+            job();
+        } catch (const std::exception &e) {
+            uncaught_.fetch_add(1, std::memory_order_relaxed);
+            if (on_uncaught_)
+                on_uncaught_(e.what());
+        } catch (...) {
+            uncaught_.fetch_add(1, std::memory_order_relaxed);
+            if (on_uncaught_)
+                on_uncaught_("non-standard exception");
+        }
         lock.lock();
         if (--pending_ == 0)
             idle_cv_.notify_all();

@@ -1,6 +1,7 @@
 #ifndef DSMEM_RUNNER_RUNNER_H
 #define DSMEM_RUNNER_RUNNER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,6 +17,30 @@ namespace dsmem::runner {
 struct RunnerOptions {
     unsigned jobs = 0; ///< Worker threads; 0 = hardware_concurrency.
     std::string trace_dir = ".dsmem-cache"; ///< "" disables the store.
+
+    /**
+     * Fault-tolerance policy (see DESIGN.md "Failure model").
+     * Transient faults (util::IoError) retry up to max_attempts with
+     * capped exponential backoff; anything else fails the unit
+     * permanently. The backoff jitter is a hash of the failing work
+     * item and attempt number — never wall clock — so retry schedules
+     * replay deterministically.
+     */
+    unsigned max_attempts = 3;
+    unsigned backoff_base_ms = 10;
+    unsigned backoff_cap_ms = 1000;
+
+    /**
+     * Per-job wall-clock budget in milliseconds; a job that finishes
+     * over budget is marked failed and its result discarded. 0
+     * disables the watchdog.
+     */
+    unsigned job_timeout_ms = 0;
+
+    /** Campaign journal path; "" disables journalling. */
+    std::string journal_path;
+    /** Replay journal_path and re-run only the missing work. */
+    bool resume = false;
 
     /** jobs with the 0 default resolved. */
     unsigned resolvedJobs() const;
@@ -54,6 +79,24 @@ class Runner
         return static_cast<unsigned>(workers_.size());
     }
 
+    /**
+     * Called (possibly concurrently) for every exception that escapes
+     * a job. Install before submitting. Campaign-managed jobs catch
+     * their own failures; this is the pool's last line of defense —
+     * without it an escaped exception would std::terminate the worker
+     * and strand wait() forever.
+     */
+    void setUncaughtHandler(std::function<void(const std::string &)> h)
+    {
+        on_uncaught_ = std::move(h);
+    }
+
+    /** Number of jobs whose exception escaped to the pool. */
+    uint64_t uncaughtErrors() const
+    {
+        return uncaught_.load(std::memory_order_relaxed);
+    }
+
   private:
     void workerLoop();
 
@@ -64,6 +107,8 @@ class Runner
     std::condition_variable idle_cv_;  ///< pending_ hit zero.
     size_t pending_ = 0;               ///< Queued + running jobs.
     bool stop_ = false;
+    std::function<void(const std::string &)> on_uncaught_;
+    std::atomic<uint64_t> uncaught_{0};
 };
 
 } // namespace dsmem::runner

@@ -1,6 +1,7 @@
 #include "runner/trace_store.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +12,8 @@
 
 #include "trace/trace_io.h"
 #include "util/byte_io.h"
+#include "util/errors.h"
+#include "util/failpoint.h"
 
 namespace dsmem::runner {
 
@@ -93,10 +96,10 @@ readBundleHeader(util::ByteSource &src)
     char magic[4];
     src.read(magic, 4);
     if (std::memcmp(magic, kMagic, 4) != 0)
-        throw std::runtime_error("not a dsmem bundle file");
+        throw util::FormatError("not a dsmem bundle file");
     uint32_t version = src.readU32();
     if (version != kBundleFormatV1 && version != kBundleFormatVersion) {
-        throw std::runtime_error("unsupported bundle format version " +
+        throw util::FormatError("unsupported bundle format version " +
                                  std::to_string(version));
     }
     return version;
@@ -125,9 +128,9 @@ checkV1Trailer(util::ByteSource &src, uint64_t want_sum,
                uint64_t want_size)
 {
     if (src.consumed() != want_size || !src.atEof())
-        throw std::runtime_error("bundle payload size mismatch");
+        throw util::FormatError("bundle payload size mismatch");
     if (src.hashValue() != want_sum)
-        throw std::runtime_error("bundle checksum mismatch");
+        throw util::FormatError("bundle checksum mismatch");
 }
 
 /** For v2, the checksum trails the hashed region it covers. */
@@ -137,9 +140,9 @@ checkV2Trailer(util::ByteSource &src)
     uint64_t got = src.hashValue();
     uint64_t want = src.readU64();
     if (got != want)
-        throw std::runtime_error("bundle checksum mismatch");
+        throw util::FormatError("bundle checksum mismatch");
     if (!src.atEof())
-        throw std::runtime_error("bundle payload size mismatch");
+        throw util::FormatError("bundle payload size mismatch");
 }
 
 // Legacy (v1) writer helpers: the v1 container is preserved verbatim
@@ -226,7 +229,7 @@ saveBundleV1(const sim::TraceBundle &bundle, std::ostream &os)
     os.write(payload.data(),
              static_cast<std::streamsize>(payload.size()));
     if (!os)
-        throw std::runtime_error("bundle write failed");
+        throw util::IoError("bundle write failed");
 }
 
 sim::TraceBundle
@@ -307,6 +310,85 @@ TraceStore::pathFor(sim::AppId id, const memsys::MemoryConfig &mem,
     return (fs::path(dir_) / fileName(id, mem, small)).string();
 }
 
+void
+TraceStore::note(const char *site, const std::string &message,
+                 uint64_t StoreStats::*counter)
+{
+    bump(counter);
+    if (on_error_)
+        on_error_(site, message);
+}
+
+void
+TraceStore::bump(uint64_t StoreStats::*counter)
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(stats_.*counter);
+}
+
+bool
+TraceStore::removeFile(const fs::path &path, const char *site)
+{
+    std::error_code ec;
+    if (!util::failpointEc("trace_store.remove", ec))
+        fs::remove(path, ec);
+    if (ec) {
+        note(site, "remove " + path.string() + ": " + ec.message(),
+             &StoreStats::remove_errors);
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceStore::renameFile(const fs::path &from, const fs::path &to,
+                       const char *site)
+{
+    std::error_code ec;
+    if (!util::failpointEc("trace_store.rename", ec))
+        fs::rename(from, to, ec);
+    if (ec) {
+        note(site,
+             "rename " + from.string() + " -> " + to.string() + ": " +
+                 ec.message(),
+             &StoreStats::rename_errors);
+        return false;
+    }
+    return true;
+}
+
+void
+TraceStore::quarantine(const fs::path &path)
+{
+    // Count existing corpses for this name; past the cap a repeatedly
+    // corrupted file is deleted instead of archived, so a flaky disk
+    // cannot fill itself with .corrupt files.
+    const std::string stem = path.filename().string() + ".corrupt.";
+    int corpses = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(path.parent_path(), ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(stem, 0) == 0)
+            ++corpses;
+    }
+    if (corpses >= kMaxQuarantinePerName) {
+        removeFile(path, "trace_store.quarantine");
+        return;
+    }
+    // Timestamp only names the corpse for post-mortem ordering; it
+    // never feeds back into results, so wall clock is fine here.
+    auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+    fs::path corpse = path;
+    corpse += ".corrupt." + std::to_string(ts);
+    if (renameFile(path, corpse, "trace_store.quarantine"))
+        bump(&StoreStats::quarantined);
+    else
+        removeFile(path, "trace_store.quarantine");
+}
+
 std::string
 TraceStore::resolve(sim::AppId id, const memsys::MemoryConfig &mem,
                     bool small)
@@ -322,17 +404,30 @@ TraceStore::resolve(sim::AppId id, const memsys::MemoryConfig &mem,
     if (!fs::exists(legacy, ec))
         return "";
     try {
+        util::failpoint("trace_store.migrate");
         std::ifstream is(legacy, std::ios::binary);
         if (!is)
             return "";
         sim::TraceBundle bundle = loadBundle(is);
         store(id, mem, small, bundle);
-        fs::remove(legacy, ec);
+        removeFile(legacy, "trace_store.migrate");
+        bump(&StoreStats::migrations);
         if (fs::exists(path, ec))
             return path.string();
         return "";
-    } catch (const std::exception &) {
-        fs::remove(legacy, ec);
+    } catch (const util::FormatError &e) {
+        note("trace_store.migrate", legacy.string() + ": " + e.what(),
+             &StoreStats::format_errors);
+        quarantine(legacy);
+        return "";
+    } catch (const util::IoError &) {
+        // Transient: leave the legacy file for the retry to find.
+        bump(&StoreStats::io_errors);
+        throw;
+    } catch (const std::exception &e) {
+        note("trace_store.migrate", legacy.string() + ": " + e.what(),
+             &StoreStats::format_errors);
+        quarantine(legacy);
         return "";
     }
 }
@@ -346,16 +441,27 @@ TraceStore::load(sim::AppId id, const memsys::MemoryConfig &mem,
     std::string path = resolve(id, mem, small);
     if (path.empty())
         return std::nullopt;
-    std::error_code ec;
+    bump(&StoreStats::loads);
     try {
+        util::failpoint("trace_store.open_read");
         std::ifstream is(path, std::ios::binary);
         if (!is)
             return std::nullopt;
-        return loadBundle(is);
-    } catch (const std::exception &) {
-        // Corrupt, truncated, or stale-format file: discard so the
-        // regenerated bundle replaces it.
-        fs::remove(path, ec);
+        auto bundle = loadBundle(is);
+        bump(&StoreStats::load_hits);
+        return bundle;
+    } catch (const util::IoError &) {
+        // Transient read fault: rethrow so the campaign's retry policy
+        // can re-attempt; the on-disk file is presumed intact.
+        bump(&StoreStats::io_errors);
+        throw;
+    } catch (const std::exception &e) {
+        // Corrupt, truncated, or stale-format file: quarantine so the
+        // regenerated bundle replaces it and the corpse stays around
+        // for post-mortem.
+        note("trace_store.load", path + ": " + e.what(),
+             &StoreStats::format_errors);
+        quarantine(path);
         return std::nullopt;
     }
 }
@@ -369,14 +475,22 @@ TraceStore::loadView(sim::AppId id, const memsys::MemoryConfig &mem,
     std::string path = resolve(id, mem, small);
     if (path.empty())
         return std::nullopt;
-    std::error_code ec;
+    bump(&StoreStats::loads);
     try {
+        util::failpoint("trace_store.open_read");
         std::ifstream is(path, std::ios::binary);
         if (!is)
             return std::nullopt;
-        return loadBundleView(is);
-    } catch (const std::exception &) {
-        fs::remove(path, ec);
+        auto vb = loadBundleView(is);
+        bump(&StoreStats::load_hits);
+        return vb;
+    } catch (const util::IoError &) {
+        bump(&StoreStats::io_errors);
+        throw;
+    } catch (const std::exception &e) {
+        note("trace_store.load", path + ": " + e.what(),
+             &StoreStats::format_errors);
+        quarantine(path);
         return std::nullopt;
     }
 }
@@ -387,28 +501,39 @@ TraceStore::store(sim::AppId id, const memsys::MemoryConfig &mem,
 {
     if (!enabled())
         return;
+    bump(&StoreStats::stores);
     std::error_code ec;
     fs::create_directories(dir_, ec);
     fs::path path = fs::path(dir_) / fileName(id, mem, small);
     // Write-then-rename so concurrent readers (or a crash) never see
-    // a partial file. Failures are non-fatal: the store is a cache.
+    // a partial file. Failures are non-fatal (the store is a cache)
+    // but no longer silent: every one is counted and reported.
     fs::path tmp = path;
     tmp += ".tmp" + std::to_string(::getpid());
     try {
+        util::failpoint("trace_store.save");
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
+        if (!os) {
+            note("trace_store.save", "cannot open " + tmp.string(),
+                 &StoreStats::store_errors);
             return;
+        }
         saveBundle(bundle, os);
         os.close();
         if (!os) {
-            fs::remove(tmp, ec);
+            note("trace_store.save", "write failed: " + tmp.string(),
+                 &StoreStats::store_errors);
+            removeFile(tmp, "trace_store.save");
             return;
         }
-        fs::rename(tmp, path, ec);
-        if (ec)
-            fs::remove(tmp, ec);
-    } catch (const std::exception &) {
-        fs::remove(tmp, ec);
+        if (!renameFile(tmp, path, "trace_store.save")) {
+            bump(&StoreStats::store_errors);
+            removeFile(tmp, "trace_store.save");
+        }
+    } catch (const std::exception &e) {
+        note("trace_store.save", tmp.string() + ": " + e.what(),
+             &StoreStats::store_errors);
+        removeFile(tmp, "trace_store.save");
     }
 }
 

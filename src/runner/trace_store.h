@@ -1,7 +1,10 @@
 #ifndef DSMEM_RUNNER_TRACE_STORE_H
 #define DSMEM_RUNNER_TRACE_STORE_H
 
+#include <filesystem>
+#include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -37,9 +40,11 @@ void saveBundle(const sim::TraceBundle &bundle, std::ostream &os);
 void saveBundleV1(const sim::TraceBundle &bundle, std::ostream &os);
 
 /**
- * Deserialize a bundle (v1 or v2). Throws std::runtime_error on bad
+ * Deserialize a bundle (v1 or v2). Throws util::FormatError (bad
  * magic, unsupported version, checksum mismatch, truncation, trailing
- * garbage, or a malformed embedded trace.
+ * garbage, malformed embedded trace, implausible section size) or
+ * util::IoError (stream failure / injected fault) — never crashes or
+ * over-allocates on malformed input.
  */
 sim::TraceBundle loadBundle(std::istream &is);
 
@@ -50,6 +55,24 @@ sim::TraceBundle loadBundle(std::istream &is);
  * modes as loadBundle.
  */
 sim::ViewBundle loadBundleView(std::istream &is);
+
+/**
+ * Counters for everything the store did, including the failures it
+ * absorbed (the store is a cache: most errors surface as misses plus
+ * a counter, not as exceptions).
+ */
+struct StoreStats {
+    uint64_t loads = 0;         ///< load/loadView calls that found a file.
+    uint64_t load_hits = 0;     ///< ...that deserialized cleanly.
+    uint64_t format_errors = 0; ///< Corrupt files (quarantined).
+    uint64_t io_errors = 0;     ///< Transient read faults (rethrown).
+    uint64_t stores = 0;        ///< store() calls that tried to write.
+    uint64_t store_errors = 0;  ///< ...that failed (bundle not cached).
+    uint64_t rename_errors = 0; ///< fs::rename failures, any path.
+    uint64_t remove_errors = 0; ///< fs::remove failures, any path.
+    uint64_t quarantined = 0;   ///< Files renamed to *.corrupt.*.
+    uint64_t migrations = 0;    ///< v1-name files rewritten as v2.
+};
 
 /**
  * Persistent on-disk bundle store, layered under sim::TraceCache.
@@ -64,18 +87,46 @@ sim::ViewBundle loadBundleView(std::istream &is);
  * survive the format bump without regeneration.
  *
  * Bundles are written to a temp file and atomically renamed, and
- * every load verifies magic, version, and a whole-payload checksum;
- * anything corrupt, truncated, or version-mismatched is deleted and
- * reported as a miss (the cache regenerates, never trusts).
+ * every load verifies magic, version, and a whole-payload checksum.
+ *
+ * Failure handling: corrupt, truncated, or version-mismatched files
+ * (util::FormatError) are *quarantined* — renamed to
+ * `<name>.corrupt.<ts>` for post-mortem, bounded per name so repeat
+ * corruption cannot fill the disk — and reported as a miss (the
+ * cache regenerates, never trusts). Transient read faults
+ * (util::IoError) are rethrown so the campaign's retry policy can
+ * re-attempt them. Filesystem errors the store absorbs (failed
+ * renames/removes, failed writes) are counted in StoreStats and
+ * surfaced through the error-reporting channel.
  */
 class TraceStore : public sim::TraceStoreBase
 {
   public:
+    /** Called for every absorbed failure: (site, message). */
+    using ErrorHandler =
+        std::function<void(const std::string &, const std::string &)>;
+
     /** @p dir empty disables the store (every load misses). */
     explicit TraceStore(std::string dir);
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
+
+    /**
+     * Install the error channel. Set before sharing the store across
+     * threads; the handler itself may be called concurrently.
+     */
+    void setErrorHandler(ErrorHandler handler)
+    {
+        on_error_ = std::move(handler);
+    }
+
+    /** Snapshot of the failure/activity counters. */
+    StoreStats stats() const
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        return stats_;
+    }
 
     /** The content-keyed file name a bundle is stored under. */
     static std::string fileName(sim::AppId id,
@@ -100,6 +151,9 @@ class TraceStore : public sim::TraceStoreBase
     void store(sim::AppId id, const memsys::MemoryConfig &mem,
                bool small, const sim::TraceBundle &bundle) override;
 
+    /** Max `*.corrupt.*` siblings kept per bundle name. */
+    static constexpr int kMaxQuarantinePerName = 4;
+
   private:
     /**
      * Open the bundle for @p key, migrating a v1-named file to the
@@ -109,7 +163,27 @@ class TraceStore : public sim::TraceStoreBase
     std::string resolve(sim::AppId id, const memsys::MemoryConfig &mem,
                         bool small);
 
+    /** Record + report an absorbed failure. */
+    void note(const char *site, const std::string &message,
+              uint64_t StoreStats::*counter);
+    void bump(uint64_t StoreStats::*counter);
+
+    /** fs::remove with ec surfacing; true when the file is gone. */
+    bool removeFile(const std::filesystem::path &path, const char *site);
+    /** fs::rename with ec surfacing; true on success. */
+    bool renameFile(const std::filesystem::path &from,
+                    const std::filesystem::path &to, const char *site);
+
+    /**
+     * Move a corrupt file aside as `<name>.corrupt.<ts>` (deleted
+     * instead once kMaxQuarantinePerName corpses exist for the name).
+     */
+    void quarantine(const std::filesystem::path &path);
+
     std::string dir_;
+    ErrorHandler on_error_;
+    mutable std::mutex stats_mu_;
+    StoreStats stats_;
 };
 
 } // namespace dsmem::runner

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "mp/engine.h"
+#include "util/failpoint.h"
 
 namespace dsmem::sim {
 
@@ -36,6 +37,8 @@ makeViewBundle(const TraceBundle &bundle)
 TraceBundle
 generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
 {
+    util::failpoint("bundle.generate");
+
     mp::EngineConfig config;
     config.mem = mem;
     mp::Engine engine(config);
@@ -106,20 +109,29 @@ TraceCache::get(AppId id, const memsys::MemoryConfig &mem, bool small,
     TraceOrigin from = TraceOrigin::GENERATED;
     TraceTiming took;
     std::optional<TraceBundle> bundle;
-    if (store_) {
-        Clock::time_point t0 = Clock::now();
-        bundle = store_->load(id, mem, small);
-        if (bundle)
-            took.load_ms = msSince(t0);
-    }
-    if (bundle) {
-        from = TraceOrigin::DISK;
-    } else {
-        Clock::time_point t0 = Clock::now();
-        bundle = generateTrace(id, mem, small);
-        took.gen_ms = msSince(t0);
-        if (store_)
-            store_->store(id, mem, small, *bundle);
+    try {
+        if (store_) {
+            Clock::time_point t0 = Clock::now();
+            bundle = store_->load(id, mem, small);
+            if (bundle)
+                took.load_ms = msSince(t0);
+        }
+        if (bundle) {
+            from = TraceOrigin::DISK;
+        } else {
+            Clock::time_point t0 = Clock::now();
+            bundle = generateTrace(id, mem, small);
+            took.gen_ms = msSince(t0);
+            if (store_)
+                store_->store(id, mem, small, *bundle);
+        }
+    } catch (...) {
+        // Hand production back before propagating, or every same-key
+        // caller parked on busy would wait forever.
+        lock.lock();
+        entry.busy = false;
+        cv_.notify_all();
+        throw;
     }
 
     lock.lock();
@@ -170,21 +182,28 @@ TraceCache::getView(AppId id, const memsys::MemoryConfig &mem,
     TraceOrigin from = TraceOrigin::GENERATED;
     TraceTiming took;
     std::optional<ViewBundle> vbundle;
-    if (store_) {
-        Clock::time_point t0 = Clock::now();
-        vbundle = store_->loadView(id, mem, small);
-        if (vbundle)
-            took.load_ms = msSince(t0);
-    }
-    if (vbundle) {
-        from = TraceOrigin::DISK;
-    } else {
-        Clock::time_point t0 = Clock::now();
-        TraceBundle bundle = generateTrace(id, mem, small);
-        took.gen_ms = msSince(t0);
-        if (store_)
-            store_->store(id, mem, small, bundle);
-        vbundle = makeViewBundle(bundle);
+    try {
+        if (store_) {
+            Clock::time_point t0 = Clock::now();
+            vbundle = store_->loadView(id, mem, small);
+            if (vbundle)
+                took.load_ms = msSince(t0);
+        }
+        if (vbundle) {
+            from = TraceOrigin::DISK;
+        } else {
+            Clock::time_point t0 = Clock::now();
+            TraceBundle bundle = generateTrace(id, mem, small);
+            took.gen_ms = msSince(t0);
+            if (store_)
+                store_->store(id, mem, small, bundle);
+            vbundle = makeViewBundle(bundle);
+        }
+    } catch (...) {
+        lock.lock();
+        entry.busy = false;
+        cv_.notify_all();
+        throw;
     }
 
     lock.lock();

@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/errors.h"
+#include "util/failpoint.h"
+
 namespace dsmem::trace {
 
 namespace {
@@ -37,11 +40,33 @@ std::string
 readName(util::ByteSource &src, uint32_t name_len)
 {
     if (name_len > 4096)
-        throw std::runtime_error("implausible trace name length");
+        throw util::FormatError("implausible trace name length");
     std::string name(name_len, '\0');
     if (name_len > 0)
         src.read(name.data(), name_len);
     return name;
+}
+
+/**
+ * Validate a decoded record count against the bytes actually left in
+ * the stream before any section array is reserved, so a corrupt count
+ * field costs a FormatError instead of an unbounded allocation.
+ * @p min_bytes_per_record is the smallest on-disk footprint one
+ * record can have in the version being decoded.
+ */
+size_t
+checkedCount(util::ByteSource &src, uint64_t count,
+             uint64_t min_bytes_per_record)
+{
+    uint64_t bound = src.remainingBound();
+    if (bound != UINT64_MAX && count > bound / min_bytes_per_record)
+        throw util::FormatError(
+            "malformed trace: record count exceeds stream size");
+    // Unseekable stream (no bound): still refuse counts whose arrays
+    // could not be addressed.
+    if (count > SIZE_MAX / 32)
+        throw util::FormatError("implausible trace record count");
+    return static_cast<size_t>(count);
 }
 
 void
@@ -62,9 +87,9 @@ readPartsV2(util::ByteSource &src)
 {
     TraceView::Parts parts;
     parts.name = readName(src, src.readVarint32());
-    uint64_t count = src.readVarint();
-
-    const size_t n = static_cast<size_t>(count);
+    // A v2 record is at least 4 bytes on disk: one meta byte plus one
+    // varint byte each for addr, latency, and aux.
+    const size_t n = checkedCount(src, src.readVarint(), 4);
     parts.ops.resize(n);
     parts.num_srcs.resize(n);
     parts.taken.resize(n);
@@ -83,7 +108,7 @@ readPartsV2(util::ByteSource &src)
         uint8_t m = meta[i];
         uint8_t op_raw = m & kMetaOpMask;
         if (op_raw >= kNumOps)
-            throw std::runtime_error("malformed trace: bad opcode");
+            throw util::FormatError("malformed trace: bad opcode");
         parts.ops[i] = static_cast<Op>(op_raw);
         parts.num_srcs[i] = (m >> kMetaSrcShift) & kMetaSrcMask;
         parts.taken[i] = (m >> kMetaTakenShift) & 1u;
@@ -121,7 +146,8 @@ Trace
 loadBodyV1(util::ByteSource &src)
 {
     std::string name = readName(src, src.readU32());
-    uint64_t count = src.readU64();
+    const size_t count =
+        checkedCount(src, src.readU64(), kRecordBytesV1);
 
     Trace t(std::move(name));
     t.reserve(count);
@@ -131,11 +157,11 @@ loadBodyV1(util::ByteSource &src)
         TraceInst inst;
         uint8_t op_raw = static_cast<uint8_t>(rec[0]);
         if (op_raw >= kNumOps)
-            throw std::runtime_error("malformed trace: bad opcode");
+            throw util::FormatError("malformed trace: bad opcode");
         inst.op = static_cast<Op>(op_raw);
         inst.num_srcs = static_cast<uint8_t>(rec[1]);
         if (inst.num_srcs > kMaxSrcs)
-            throw std::runtime_error("malformed trace: bad src count");
+            throw util::FormatError("malformed trace: bad src count");
         inst.taken = rec[2] != 0;
         std::memcpy(inst.src, rec + 4, 12);
         std::memcpy(&inst.addr, rec + 16, 4);
@@ -144,7 +170,7 @@ loadBodyV1(util::ByteSource &src)
         t.append(inst);
     }
     if (t.validate() != t.size())
-        throw std::runtime_error("malformed trace: SSA check failed");
+        throw util::FormatError("malformed trace: SSA check failed");
     return t;
 }
 
@@ -170,7 +196,7 @@ loadBodyV2(util::ByteSource &src)
         t.append(inst);
     }
     if (t.validate() != t.size())
-        throw std::runtime_error("malformed trace: SSA check failed");
+        throw util::FormatError("malformed trace: SSA check failed");
     return t;
 }
 
@@ -180,10 +206,10 @@ readHeader(util::ByteSource &src)
     char magic[4];
     src.read(magic, 4);
     if (std::memcmp(magic, kMagic, 4) != 0)
-        throw std::runtime_error("not a dsmem trace file");
+        throw util::FormatError("not a dsmem trace file");
     uint32_t version = src.readU32();
     if (version != kTraceFormatV1 && version != kTraceFormatVersion) {
-        throw std::runtime_error("unsupported trace format version " +
+        throw util::FormatError("unsupported trace format version " +
                                  std::to_string(version));
     }
     return version;
@@ -194,6 +220,7 @@ readHeader(util::ByteSource &src)
 void
 saveTrace(const Trace &t, util::ByteSink &sink)
 {
+    util::failpoint("trace_io.save");
     writeHeader(sink, kTraceFormatVersion);
     sink.putVarint(t.name().size());
     sink.put(t.name().data(), t.name().size());
@@ -236,7 +263,7 @@ saveTraceFile(const Trace &t, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
-        throw std::runtime_error("cannot open " + path + " for write");
+        throw util::IoError("cannot open " + path + " for write");
     saveTrace(t, os);
 }
 
@@ -273,6 +300,7 @@ saveTraceV1(const Trace &t, std::ostream &os)
 Trace
 loadTrace(util::ByteSource &src)
 {
+    util::failpoint("trace_io.load");
     uint32_t version = readHeader(src);
     return version == kTraceFormatV1 ? loadBodyV1(src) : loadBodyV2(src);
 }
@@ -289,13 +317,14 @@ loadTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw std::runtime_error("cannot open " + path);
+        throw util::IoError("cannot open " + path);
     return loadTrace(is);
 }
 
 std::shared_ptr<const TraceView>
 loadTraceView(util::ByteSource &src)
 {
+    util::failpoint("trace_io.load");
     uint32_t version = readHeader(src);
     if (version == kTraceFormatV1)
         return std::make_shared<const TraceView>(loadBodyV1(src));

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/errors.h"
+
 namespace dsmem::trace {
 
 namespace {
@@ -70,7 +72,7 @@ TraceView::TraceView(Parts parts) : name_(std::move(parts.name))
     if (parts.num_srcs.size() != n || parts.taken.size() != n ||
         parts.srcs.size() != n || parts.addr.size() != n ||
         parts.latency.size() != n || parts.aux.size() != n) {
-        throw std::runtime_error("malformed trace: SoA length mismatch");
+        throw util::FormatError("malformed trace: SoA length mismatch");
     }
 
     ops_ = std::move(parts.ops);
@@ -86,9 +88,9 @@ TraceView::TraceView(Parts parts) : name_(std::move(parts.name))
     for (size_t i = 0; i < n; ++i) {
         Op op = ops_[i];
         if (static_cast<uint8_t>(op) >= kNumOps)
-            throw std::runtime_error("malformed trace: bad opcode");
+            throw util::FormatError("malformed trace: bad opcode");
         if (num_srcs_[i] > kMaxSrcs)
-            throw std::runtime_error("malformed trace: bad src count");
+            throw util::FormatError("malformed trace: bad src count");
         fu_[i] = static_cast<uint8_t>(fuClass(op));
         flags_[i] = classify(op, latency_[i], parts.taken[i] != 0);
 
@@ -98,7 +100,7 @@ TraceView::TraceView(Parts parts) : name_(std::move(parts.name))
             InstIndex producer = srcs_[i][s];
             if (producer == kNoSrc || producer >= i ||
                 !dsmem::trace::producesValue(ops_[producer])) {
-                throw std::runtime_error(
+                throw util::FormatError(
                     "malformed trace: SSA check failed");
             }
             if (first_use_[producer] == kNoSrc)

@@ -8,6 +8,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/errors.h"
+#include "util/failpoint.h"
+
 namespace dsmem::util {
 
 /** FNV-1a initial state / multiplier (shared by every checksummer). */
@@ -189,20 +192,31 @@ class ByteSink
         put(tmp, n);
     }
 
-    /** Write out any buffered bytes; throws on stream failure. */
+    /** Write out any buffered bytes; throws IoError on failure. */
     void flush()
     {
         drain();
         if (!*os_)
-            throw std::runtime_error("byte sink write failed");
+            throw IoError("byte sink write failed");
     }
 
   private:
     void drain()
     {
         if (pos_ > 0) {
-            os_->write(buf_.data(), static_cast<std::streamsize>(pos_));
+            size_t n = pos_;
             pos_ = 0;
+            // Injected short write: half the block lands, then the
+            // stream fails — the torn-file shape a full disk or a
+            // kill mid-write produces.
+            if (failpointsArmed() &&
+                failpointShortWrite("byte_io.drain")) [[unlikely]] {
+                os_->write(buf_.data(),
+                           static_cast<std::streamsize>(n / 2));
+                os_->setstate(std::ios::failbit);
+                return;
+            }
+            os_->write(buf_.data(), static_cast<std::streamsize>(n));
         }
     }
 
@@ -316,8 +330,37 @@ class ByteSource
     {
         uint64_t v = readVarint();
         if (v > UINT32_MAX)
-            throw std::runtime_error("malformed varint");
+            throw FormatError("malformed varint");
         return static_cast<uint32_t>(v);
+    }
+
+    /**
+     * Upper bound on the bytes still readable (buffered plus whatever
+     * the underlying stream holds), or UINT64_MAX when the stream is
+     * not seekable. Decoders check length prefixes against this
+     * before reserving, so a corrupt count can never drive an
+     * unbounded allocation.
+     */
+    uint64_t remainingBound()
+    {
+        uint64_t buffered = end_ - pos_;
+        // Once refill() drains the stream, the final short read left
+        // eofbit|failbit set and tellg() reports -1 — but nothing
+        // beyond the buffer is obtainable, so `buffered` is the exact
+        // bound. Treating this as "unknowable" would disable the
+        // stream-size check right when a small (fully buffered)
+        // corrupt input needs it most.
+        if (!is_->good())
+            return buffered;
+        std::streampos cur = is_->tellg();
+        if (cur == std::streampos(-1))
+            return UINT64_MAX;
+        is_->seekg(0, std::ios::end);
+        std::streampos end = is_->tellg();
+        is_->seekg(cur);
+        if (end == std::streampos(-1) || !*is_ || end < cur)
+            return UINT64_MAX;
+        return buffered + static_cast<uint64_t>(end - cur);
     }
 
     /** True once the underlying stream is exhausted AND the buffer is. */
@@ -345,12 +388,14 @@ class ByteSource
     void refill()
     {
         syncHash();
+        if (failpointsArmed()) [[unlikely]]
+            failpoint("byte_io.refill");
         is_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
         pos_ = 0;
         hmark_ = 0;
         end_ = static_cast<size_t>(is_->gcount());
         if (end_ == 0)
-            throw std::runtime_error("byte source truncated");
+            throw TruncatedError("byte source truncated");
     }
 
     /** Multi-byte decode with all bytes known resident. */
@@ -369,7 +414,7 @@ class ByteSource
         // The 10th byte must terminate and may only carry the final
         // value bit.
         if ((b & 0x80) != 0 || (shift == 70 && b > 1))
-            throw std::runtime_error("malformed varint");
+            throw FormatError("malformed varint");
         pos_ += i;
         return v;
     }
@@ -383,11 +428,11 @@ class ByteSource
             v |= static_cast<uint64_t>(b & 0x7F) << shift;
             if ((b & 0x80) == 0) {
                 if (shift == 63 && b > 1)
-                    throw std::runtime_error("malformed varint");
+                    throw FormatError("malformed varint");
                 return v;
             }
         }
-        throw std::runtime_error("malformed varint");
+        throw FormatError("malformed varint");
     }
 
     std::istream *is_;

@@ -1,0 +1,47 @@
+#ifndef DSMEM_UTIL_ERRORS_H
+#define DSMEM_UTIL_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace dsmem::util {
+
+/**
+ * Typed failure taxonomy shared by the trace/bundle I/O stack and the
+ * campaign runner. The split matters because the runner's retry
+ * policy keys on it:
+ *
+ *  - IoError: the environment failed us (disk, stream, injected
+ *    fault). Transient by definition — retrying the operation may
+ *    succeed, so the campaign retries these with capped backoff.
+ *  - FormatError: the *bytes* are wrong (bad magic, checksum
+ *    mismatch, implausible section size). Permanent — retrying
+ *    re-reads the same bytes, so the store quarantines the file and
+ *    regenerates instead.
+ *
+ * Both derive from std::runtime_error so pre-existing catch sites
+ * (and tests asserting std::runtime_error) keep working unchanged.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Malformed input: deterministic, retry cannot help. */
+class FormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Input ended mid-field (a FormatError with a sharper name). */
+class TruncatedError : public FormatError
+{
+  public:
+    using FormatError::FormatError;
+};
+
+} // namespace dsmem::util
+
+#endif // DSMEM_UTIL_ERRORS_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the failpoint registry (src/util/failpoint.h): spec
+ * parsing, arming/disarming, trigger semantics (every hit, every Kth,
+ * once), the three delivery channels (throw, error_code, short-write),
+ * and the zero-cost unarmed fast path contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <system_error>
+
+#include "util/errors.h"
+#include "util/failpoint.h"
+
+namespace dsmem::util {
+namespace {
+
+/** Every test leaves the global registry empty. */
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmAllFailpoints(); }
+    void TearDown() override { disarmAllFailpoints(); }
+};
+
+// --- Spec parsing --------------------------------------------------
+
+TEST_F(FailpointTest, ParsesThrowSpec)
+{
+    FailpointSpec spec;
+    ASSERT_TRUE(parseFailpointSpec("store.save:throw", spec));
+    EXPECT_EQ(spec.site, "store.save");
+    EXPECT_EQ(spec.mode, FailpointMode::THROW);
+    EXPECT_EQ(spec.every, 1u);
+    EXPECT_FALSE(spec.once);
+}
+
+TEST_F(FailpointTest, ParsesEveryKthAndOnceTriggers)
+{
+    FailpointSpec spec;
+    ASSERT_TRUE(parseFailpointSpec("a.b:throw:once", spec));
+    EXPECT_TRUE(spec.once);
+
+    ASSERT_TRUE(parseFailpointSpec("a.b:ec:3", spec));
+    EXPECT_EQ(spec.mode, FailpointMode::ERROR_CODE);
+    EXPECT_EQ(spec.every, 3u);
+
+    ASSERT_TRUE(parseFailpointSpec("a.b:delay:25:once", spec));
+    EXPECT_EQ(spec.mode, FailpointMode::DELAY);
+    EXPECT_EQ(spec.arg, 25u);
+    EXPECT_TRUE(spec.once);
+
+    ASSERT_TRUE(parseFailpointSpec("a.b:short-write", spec));
+    EXPECT_EQ(spec.mode, FailpointMode::SHORT_WRITE);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs)
+{
+    FailpointSpec spec;
+    std::string err;
+    EXPECT_FALSE(parseFailpointSpec("", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("siteonly", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec(":throw", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("a.b:frobnicate", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("a.b:delay", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("a.b:delay:99999999", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("a.b:throw:0", spec, &err));
+    EXPECT_FALSE(parseFailpointSpec("a.b:throw:nonsense", spec, &err));
+    EXPECT_FALSE(
+        parseFailpointSpec("a.b:throw:once:extra", spec, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(FailpointTest, ArmsCommaSeparatedList)
+{
+    ASSERT_TRUE(armFailpoints("x.one:throw,x.two:ec:once"));
+    EXPECT_TRUE(failpointsArmed());
+    EXPECT_THROW(failpoint("x.one"), IoError);
+    std::error_code ec;
+    EXPECT_TRUE(failpointEc("x.two", ec));
+    EXPECT_EQ(ec, std::make_error_code(std::errc::io_error));
+}
+
+TEST_F(FailpointTest, ListStopsAtFirstBadEntry)
+{
+    std::string err;
+    EXPECT_FALSE(armFailpoints("ok.site:throw,bad:", &err));
+    // The valid prefix stays armed.
+    EXPECT_THROW(failpoint("ok.site"), IoError);
+}
+
+// --- Trigger semantics ---------------------------------------------
+
+TEST_F(FailpointTest, UnarmedSitesAreFree)
+{
+    EXPECT_FALSE(failpointsArmed());
+    EXPECT_NO_THROW(failpoint("anything.at.all"));
+    std::error_code ec;
+    EXPECT_FALSE(failpointEc("anything", ec));
+    EXPECT_FALSE(failpointShortWrite("anything"));
+}
+
+TEST_F(FailpointTest, ThrowsOnEveryHitByDefault)
+{
+    armFailpoint({"s.t", FailpointMode::THROW, 0, 1, false});
+    EXPECT_THROW(failpoint("s.t"), IoError);
+    EXPECT_THROW(failpoint("s.t"), IoError);
+    EXPECT_NO_THROW(failpoint("some.other.site"));
+    EXPECT_EQ(failpointHits("s.t"), 2u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceThenDisarms)
+{
+    armFailpoint({"s.once", FailpointMode::THROW, 0, 1, true});
+    EXPECT_TRUE(failpointsArmed());
+    EXPECT_THROW(failpoint("s.once"), IoError);
+    EXPECT_NO_THROW(failpoint("s.once"));
+    EXPECT_NO_THROW(failpoint("s.once"));
+    // The spent entry no longer arms the global gate.
+    EXPECT_FALSE(failpointsArmed());
+}
+
+TEST_F(FailpointTest, EveryKthHitFires)
+{
+    armFailpoint({"s.k", FailpointMode::THROW, 0, 3, false});
+    EXPECT_NO_THROW(failpoint("s.k")); // hit 1
+    EXPECT_NO_THROW(failpoint("s.k")); // hit 2
+    EXPECT_THROW(failpoint("s.k"), IoError); // hit 3
+    EXPECT_NO_THROW(failpoint("s.k")); // hit 4
+    EXPECT_NO_THROW(failpoint("s.k")); // hit 5
+    EXPECT_THROW(failpoint("s.k"), IoError); // hit 6
+}
+
+TEST_F(FailpointTest, DisarmSiteRemovesAllItsEntries)
+{
+    armFailpoint({"s.d", FailpointMode::THROW, 0, 1, false});
+    armFailpoint({"s.d", FailpointMode::THROW, 0, 2, false});
+    armFailpoint({"s.keep", FailpointMode::THROW, 0, 1, false});
+    disarmFailpoint("s.d");
+    EXPECT_NO_THROW(failpoint("s.d"));
+    EXPECT_THROW(failpoint("s.keep"), IoError);
+}
+
+// --- Delivery channels ---------------------------------------------
+
+TEST_F(FailpointTest, ErrorCodeChannelSetsEc)
+{
+    armFailpoint({"s.ec", FailpointMode::ERROR_CODE, 0, 1, false});
+    std::error_code ec;
+    EXPECT_TRUE(failpointEc("s.ec", ec));
+    EXPECT_TRUE(static_cast<bool>(ec));
+    // The same entry throws when hit through the generic channel —
+    // an ec-mode fault at a throwing boundary is still a fault.
+    EXPECT_THROW(failpoint("s.ec"), IoError);
+}
+
+TEST_F(FailpointTest, ShortWriteChannelOnlyFiresAtSinkSites)
+{
+    armFailpoint({"s.sw", FailpointMode::SHORT_WRITE, 0, 1, false});
+    EXPECT_TRUE(failpointShortWrite("s.sw"));
+    // Meaningless at generic and ec sites: ignored, not thrown.
+    EXPECT_NO_THROW(failpoint("s.sw"));
+    std::error_code ec;
+    EXPECT_FALSE(failpointEc("s.sw", ec));
+    EXPECT_FALSE(static_cast<bool>(ec));
+}
+
+TEST_F(FailpointTest, ThrownFaultIsTypedTransient)
+{
+    armFailpoint({"s.type", FailpointMode::THROW, 0, 1, false});
+    try {
+        failpoint("s.type");
+        FAIL() << "failpoint did not fire";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("s.type"),
+                  std::string::npos);
+    }
+    // IoError derives from std::runtime_error for back-compat.
+    armFailpoint({"s.type2", FailpointMode::THROW, 0, 1, false});
+    EXPECT_THROW(failpoint("s.type2"), std::runtime_error);
+}
+
+} // namespace
+} // namespace dsmem::util
