@@ -204,7 +204,7 @@ Campaign::run()
     if (journalled) {
         std::string err;
         if (!journal_.open(opts_.journal_path, bench_name_,
-                           signature(), &err)) {
+                           signature(), opts_.resume, &err)) {
             recordCampaignError(
                 UnitError{"journal", err, "", 1, false});
         }
@@ -249,13 +249,18 @@ Campaign::run()
             const std::string salt =
                 "phase1:" + std::string(sim::appName(first.app)) +
                 (first.small ? ":small" : ":full");
-            auto start = std::chrono::steady_clock::now();
             sim::TraceOrigin origin;
             sim::TraceTiming timing;
             const sim::ViewBundle *bundle = nullptr;
             std::string transient;
             unsigned attempt = 1;
+            auto start = std::chrono::steady_clock::now();
             for (;; ++attempt) {
+                // Per-attempt clock: the watchdog budgets one job
+                // execution, not the backoff sleeps between retries —
+                // otherwise a fault that recovers on retry could
+                // still be converted into a watchdog failure.
+                start = std::chrono::steady_clock::now();
                 try {
                     util::failpoint("campaign.phase1");
                     // Phase 2 only ever reads the SoA view, so
@@ -354,11 +359,13 @@ Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
     const std::string salt =
         "phase2:" + std::string(sim::appName(units_[u].app)) + ":" +
         label;
-    auto t0 = std::chrono::steady_clock::now();
     core::RunResult r;
     std::string transient;
     unsigned attempt = 1;
+    auto t0 = std::chrono::steady_clock::now();
     for (;; ++attempt) {
+        // Per-attempt clock — see the phase-1 watchdog note.
+        t0 = std::chrono::steady_clock::now();
         try {
             util::failpoint("campaign.phase2");
             r = sim::runModel(*view, units_[u].specs[s]);

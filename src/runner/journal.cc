@@ -1,5 +1,6 @@
 #include "runner/journal.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -81,6 +82,11 @@ getU64(const std::string &line, const char *key, uint64_t &out)
     size_t pos;
     if (!findRaw(line, key, pos))
         return false;
+    // strtoull silently skips whitespace and wraps a '-' sign
+    // ("-1" -> UINT64_MAX); every number this file writes starts
+    // with a digit, so anything else is a corrupt journal.
+    if (pos >= line.size() || line[pos] < '0' || line[pos] > '9')
+        return false;
     errno = 0;
     char *end = nullptr;
     unsigned long long v = std::strtoull(line.c_str() + pos, &end, 10);
@@ -95,6 +101,13 @@ getDouble(const std::string &line, const char *key, double &out)
 {
     size_t pos;
     if (!findRaw(line, key, pos))
+        return false;
+    // jsonDouble() writes fixed notation, so a valid value is
+    // [-]digits[.digits] — reject nan/inf/whitespace up front.
+    size_t first = pos;
+    if (first < line.size() && line[first] == '-')
+        ++first;
+    if (first >= line.size() || line[first] < '0' || line[first] > '9')
         return false;
     errno = 0;
     char *end = nullptr;
@@ -233,13 +246,66 @@ parseTrace(const std::string &line, JournalTrace &t)
            getDouble(line, "load_ms", t.load_ms);
 }
 
+/**
+ * Truncate a torn final line (no trailing '\n' — a crash mid-append)
+ * back to the byte after the last '\n', so the next append starts on
+ * a fresh line. Returns the new size, or -1 on I/O error.
+ */
+off_t
+trimTornTail(int fd, off_t size)
+{
+    char last;
+    if (::pread(fd, &last, 1, size - 1) != 1)
+        return -1;
+    if (last == '\n')
+        return size;
+    char buf[4096];
+    off_t end = size;
+    while (end > 0) {
+        size_t chunk = static_cast<size_t>(
+            std::min<off_t>(end, static_cast<off_t>(sizeof buf)));
+        if (::pread(fd, buf, chunk, end - chunk) !=
+            static_cast<ssize_t>(chunk))
+            return -1;
+        for (size_t i = chunk; i > 0; --i) {
+            if (buf[i - 1] == '\n') {
+                off_t keep = end - chunk + static_cast<off_t>(i);
+                if (::ftruncate(fd, keep) != 0)
+                    return -1;
+                return keep;
+            }
+        }
+        end -= static_cast<off_t>(chunk);
+    }
+    // No newline anywhere: the whole file is one torn line.
+    if (::ftruncate(fd, 0) != 0)
+        return -1;
+    return 0;
+}
+
+/** Read the first '\n'-terminated line (header lines are short). */
+bool
+readFirstLine(int fd, std::string &line)
+{
+    char buf[4096];
+    ssize_t n = ::pread(fd, buf, sizeof buf, 0);
+    if (n <= 0)
+        return false;
+    const char *nl = static_cast<const char *>(
+        std::memchr(buf, '\n', static_cast<size_t>(n)));
+    if (!nl)
+        return false;
+    line.assign(buf, static_cast<size_t>(nl - buf));
+    return true;
+}
+
 } // namespace
 
 CampaignJournal::~CampaignJournal() { close(); }
 
 bool
 CampaignJournal::open(const std::string &path, const std::string &bench,
-                      uint64_t signature, std::string *err)
+                      uint64_t signature, bool resume, std::string *err)
 {
     auto fail = [&](const std::string &why) {
         if (err)
@@ -251,12 +317,56 @@ CampaignJournal::open(const std::string &path, const std::string &bench,
     if (util::failpointEc("journal.open", fp_ec))
         return fail("open " + path + ": " + fp_ec.message());
 
-    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    // O_RDWR rather than O_WRONLY: opening must read back the header
+    // and the tail to validate what it is about to append to.
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
     if (fd < 0)
         return fail("open " + path + ": " +
                     std::string(std::strerror(errno)));
 
     off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size > 0) {
+        size = trimTornTail(fd, size);
+        if (size < 0) {
+            int saved = errno;
+            ::close(fd);
+            return fail("trim torn tail of " + path + ": " +
+                        std::string(std::strerror(saved)));
+        }
+    }
+    if (size > 0) {
+        // Appending into someone else's journal would corrupt it, and
+        // replay() would only notice if that campaign ever resumed —
+        // so the header is checked here, before the first append.
+        std::string header, type;
+        uint64_t sig = 0;
+        if (!readFirstLine(fd, header) ||
+            !getString(header, "t", type) || type != "campaign" ||
+            !getU64(header, "signature", sig)) {
+            ::close(fd);
+            return fail("journal " + path +
+                        " has no readable campaign header; refusing "
+                        "to append");
+        }
+        if (sig != signature) {
+            ::close(fd);
+            return fail("journal " + path +
+                        " belongs to a different campaign declaration "
+                        "(signature mismatch); refusing to append");
+        }
+        if (!resume) {
+            // Same campaign, fresh (non --resume) run: the old
+            // records are obsolete and would duplicate the new ones.
+            if (::ftruncate(fd, 0) != 0) {
+                int saved = errno;
+                ::close(fd);
+                return fail("truncate stale journal " + path + ": " +
+                            std::string(std::strerror(saved)));
+            }
+            size = 0;
+        }
+    }
+
     std::lock_guard<std::mutex> lock(mu_);
     fd_ = fd;
     failed_ = false;
@@ -323,6 +433,14 @@ CampaignJournal::replay(const std::string &path, uint64_t signature,
                     " belongs to a different campaign declaration "
                     "(signature mismatch); refusing to resume");
             saw_header = true;
+        } else if (!saw_header) {
+            // The signature gate only means something if it is
+            // checked before any data is accepted; a header buried
+            // later in a corrupt/concatenated file must not
+            // retroactively bless earlier records.
+            return fail("journal " + path +
+                        " does not start with a campaign header "
+                        "(line " + std::to_string(lineno) + ")");
         } else if (type == "row") {
             JournalRow r;
             if (!parseRow(line, r))

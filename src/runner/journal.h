@@ -67,12 +67,27 @@ class CampaignJournal
 
     /**
      * Open @p path for appending, writing the header when the file is
-     * new or empty. When resuming, the existing header must match
-     * @p signature (replay() checks the same). Returns false with a
-     * diagnostic in @p err on failure; the journal stays inactive.
+     * new or empty. A non-empty file must already carry a campaign
+     * header whose signature matches @p signature — appending this
+     * campaign's records into some other campaign's journal would
+     * corrupt it, so a mismatch (or an unreadable header) refuses the
+     * open. A torn final line left by a crash mid-append is truncated
+     * away so the next record starts on a fresh line; otherwise the
+     * first append would extend the partial record into a merged line
+     * whose first-occurrence field extraction could resurrect it as a
+     * syntactically valid chimera row on a later resume.
+     *
+     * @p resume selects what a matching non-empty journal means:
+     * under --resume its records are kept and new ones appended;
+     * without it the campaign is restarting from scratch, so the file
+     * is truncated and re-headered (stale records would otherwise
+     * shadow or duplicate the fresh run's).
+     *
+     * Returns false with a diagnostic in @p err on failure; the
+     * journal stays inactive.
      */
     bool open(const std::string &path, const std::string &bench,
-              uint64_t signature, std::string *err);
+              uint64_t signature, bool resume, std::string *err);
 
     /**
      * Parse an existing journal. Returns false (diagnostic in @p err)

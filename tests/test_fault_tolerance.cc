@@ -221,6 +221,29 @@ TEST_F(FaultToleranceTest, OverBudgetJobIsFailedAndDiscarded)
     EXPECT_TRUE(campaign.sink().runs().empty());
 }
 
+TEST_F(FaultToleranceTest, WatchdogBudgetsAttemptsNotBackoffSleeps)
+{
+    // One transient fault, then success — but the deterministic
+    // backoff sleep between the two attempts far exceeds the job
+    // budget. The watchdog times each attempt individually, so a
+    // recovered retry must not be converted into a watchdog failure.
+    util::armFailpoint(
+        {"campaign.phase2", util::FailpointMode::THROW, 0, 1, true});
+    RunnerOptions opts = fastOptions("");
+    opts.backoff_base_ms = 250;
+    opts.backoff_cap_ms = 250;
+    opts.job_timeout_ms = 200;
+    Campaign campaign("wd_retry", opts);
+    campaign.add(sim::AppId::MP3D, twoSpecs(), memsys::MemoryConfig{},
+                 true);
+    campaign.run();
+
+    EXPECT_TRUE(campaign.ok());
+    EXPECT_EQ(campaign.sink().runs().size(), 2u);
+    for (const ErrorRecord &e : campaign.sink().errors())
+        EXPECT_NE(e.site, "watchdog") << e.message;
+}
+
 // --- TraceStore: quarantine, typed rethrow, error surfacing ---------
 
 TEST_F(FaultToleranceTest, CorruptBundleIsQuarantinedNotDeleted)
@@ -353,7 +376,7 @@ TEST_F(FaultToleranceTest, JournalRoundTripsRowsAndTraces)
     std::string path = (dir.path() / "c.journal").string();
     CampaignJournal journal;
     std::string err;
-    ASSERT_TRUE(journal.open(path, "bench_x", 42, &err)) << err;
+    ASSERT_TRUE(journal.open(path, "bench_x", 42, /*resume=*/false, &err)) << err;
 
     JournalTrace t{0, "generated", 1234, 1.5, 1.25, 0.0};
     journal.appendTrace(t);
@@ -391,7 +414,7 @@ TEST_F(FaultToleranceTest, JournalRefusesWrongSignature)
     std::string path = (dir.path() / "c.journal").string();
     CampaignJournal journal;
     std::string err;
-    ASSERT_TRUE(journal.open(path, "bench_x", 42, &err));
+    ASSERT_TRUE(journal.open(path, "bench_x", 42, /*resume=*/false, &err));
     journal.close();
 
     std::vector<JournalRow> rows;
@@ -407,7 +430,7 @@ TEST_F(FaultToleranceTest, JournalToleratesTornTailRejectsCorruptMiddle)
     std::string path = (dir.path() / "c.journal").string();
     CampaignJournal journal;
     std::string err;
-    ASSERT_TRUE(journal.open(path, "bench_x", 7, &err));
+    ASSERT_TRUE(journal.open(path, "bench_x", 7, /*resume=*/false, &err));
     journal.appendTrace(JournalTrace{0, "disk", 10, 0, 0, 0});
     journal.close();
 
@@ -435,6 +458,174 @@ TEST_F(FaultToleranceTest, JournalToleratesTornTailRejectsCorruptMiddle)
     traces.clear();
     EXPECT_FALSE(
         CampaignJournal::replay(path, 7, rows, traces, &err));
+}
+
+TEST_F(FaultToleranceTest, JournalOpenTrimsTornTailBeforeAppend)
+{
+    TempDir dir("jtrim");
+    std::string path = (dir.path() / "c.journal").string();
+    CampaignJournal journal;
+    std::string err;
+    ASSERT_TRUE(
+        journal.open(path, "bench_x", 7, /*resume=*/false, &err));
+    journal.close();
+
+    // Crash mid-append: a torn row prefix with no newline. If a
+    // later run appended onto this line, first-occurrence field
+    // extraction would stitch unit/spec/label/cycles from the torn
+    // prefix onto the rest of the appended record — a syntactically
+    // valid chimera row restored as a real result.
+    {
+        std::ofstream os(path, std::ios::app | std::ios::binary);
+        os << "{\"t\":\"row\",\"unit\":5,\"spec\":9,"
+              "\"label\":\"chimera\",\"cycles\":123";
+    }
+
+    CampaignJournal again;
+    ASSERT_TRUE(
+        again.open(path, "bench_x", 7, /*resume=*/true, &err))
+        << err;
+    JournalRow r;
+    r.unit = 0;
+    r.spec = 1;
+    r.label = "real";
+    r.result.cycles = 42;
+    again.appendRow(r);
+    again.close();
+
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    ASSERT_TRUE(CampaignJournal::replay(path, 7, rows, traces, &err))
+        << err;
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].unit, 0u);
+    EXPECT_EQ(rows[0].spec, 1u);
+    EXPECT_EQ(rows[0].label, "real");
+    EXPECT_EQ(rows[0].result.cycles, 42u);
+}
+
+TEST_F(FaultToleranceTest, JournalOpenRefusesForeignOrHeaderlessFile)
+{
+    TempDir dir("jforeign");
+    std::string path = (dir.path() / "c.journal").string();
+    CampaignJournal journal;
+    std::string err;
+    ASSERT_TRUE(
+        journal.open(path, "bench_x", 42, /*resume=*/false, &err));
+    journal.appendTrace(JournalTrace{0, "disk", 10, 0, 0, 0});
+    journal.close();
+
+    // Another campaign (different signature) must not append into
+    // this journal — with or without --resume.
+    CampaignJournal other;
+    EXPECT_FALSE(
+        other.open(path, "bench_y", 43, /*resume=*/true, &err));
+    EXPECT_NE(err.find("signature"), std::string::npos);
+    EXPECT_FALSE(
+        other.open(path, "bench_y", 43, /*resume=*/false, &err));
+    EXPECT_NE(err.find("signature"), std::string::npos);
+
+    // The refused file is untouched: the original still resumes.
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    ASSERT_TRUE(CampaignJournal::replay(path, 42, rows, traces, &err))
+        << err;
+    EXPECT_EQ(traces.size(), 1u);
+
+    // A non-empty file with no parseable header is refused too.
+    std::string junk = (dir.path() / "junk.journal").string();
+    {
+        std::ofstream os(junk, std::ios::binary);
+        os << "not a journal\n";
+    }
+    EXPECT_FALSE(
+        other.open(junk, "bench_y", 43, /*resume=*/true, &err));
+    EXPECT_NE(err.find("header"), std::string::npos);
+}
+
+TEST_F(FaultToleranceTest, JournalOpenWithoutResumeStartsFresh)
+{
+    TempDir dir("jfresh");
+    std::string path = (dir.path() / "c.journal").string();
+    CampaignJournal journal;
+    std::string err;
+    ASSERT_TRUE(
+        journal.open(path, "bench_x", 7, /*resume=*/false, &err));
+    journal.appendTrace(JournalTrace{0, "disk", 10, 0, 0, 0});
+    journal.close();
+
+    // Restarting the same campaign without --resume: stale records
+    // are dropped, not duplicated under a second header.
+    CampaignJournal again;
+    ASSERT_TRUE(
+        again.open(path, "bench_x", 7, /*resume=*/false, &err));
+    again.close();
+
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    ASSERT_TRUE(CampaignJournal::replay(path, 7, rows, traces, &err))
+        << err;
+    EXPECT_TRUE(rows.empty());
+    EXPECT_TRUE(traces.empty());
+}
+
+TEST_F(FaultToleranceTest, JournalRejectsNegativeAndNonNumericFields)
+{
+    TempDir dir("jneg");
+    std::string path = (dir.path() / "c.journal").string();
+    // strtoull would silently wrap "-1" to UINT64_MAX; the parser
+    // must treat it as corruption instead.
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"t\":\"campaign\",\"version\":1,\"bench\":\"x\","
+              "\"signature\":7}\n"
+           << "{\"t\":\"row\",\"unit\":-1,\"spec\":0,"
+              "\"label\":\"l\",\"cycles\":1,\"busy\":1,\"sync\":1,"
+              "\"read\":1,\"write\":1,\"pipeline\":1,"
+              "\"instructions\":1,\"branches\":1,\"mispredicts\":1,"
+              "\"read_misses\":1,\"wall_ms\":0.5}\n";
+    }
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    std::string err;
+    EXPECT_FALSE(
+        CampaignJournal::replay(path, 7, rows, traces, &err));
+
+    // Same for a nan double.
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"t\":\"campaign\",\"version\":1,\"bench\":\"x\","
+              "\"signature\":7}\n"
+           << "{\"t\":\"trace\",\"unit\":0,\"origin\":\"disk\","
+              "\"instructions\":1,\"wall_ms\":nan,\"gen_ms\":0.0,"
+              "\"load_ms\":0.0}\n";
+    }
+    rows.clear();
+    traces.clear();
+    EXPECT_FALSE(
+        CampaignJournal::replay(path, 7, rows, traces, &err));
+}
+
+TEST_F(FaultToleranceTest, JournalRejectsDataBeforeHeader)
+{
+    TempDir dir("jorder");
+    std::string path = (dir.path() / "c.journal").string();
+    // A data record before the header must not be blessed by a
+    // header appearing later in the file.
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"t\":\"trace\",\"unit\":0,\"origin\":\"disk\","
+              "\"instructions\":1,\"wall_ms\":0.0,\"gen_ms\":0.0,"
+              "\"load_ms\":0.0}\n"
+           << "{\"t\":\"campaign\",\"version\":1,\"bench\":\"x\","
+              "\"signature\":7}\n";
+    }
+    std::vector<JournalRow> rows;
+    std::vector<JournalTrace> traces;
+    std::string err;
+    EXPECT_FALSE(
+        CampaignJournal::replay(path, 7, rows, traces, &err));
+    EXPECT_NE(err.find("header"), std::string::npos);
 }
 
 TEST_F(FaultToleranceTest, JournalWriteFailureIsNonFatal)
