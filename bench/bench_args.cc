@@ -17,6 +17,7 @@ printUsage(std::FILE *out, const char *prog)
         "usage: %s [--small | --full] [--jobs N] [--trace-dir DIR]\n"
         "       %*s [--no-trace-store] [--json FILE] [--journal FILE]\n"
         "       %*s [--resume] [--max-attempts N] [--job-timeout-ms N]\n"
+        "       %*s [--repeat N] [--no-fuse]\n"
         "\n"
         "  --small           reduced application configurations\n"
         "  --full            paper-scaled configurations\n"
@@ -32,8 +33,13 @@ printUsage(std::FILE *out, const char *prog)
         "  --max-attempts N  retries for transient faults "
         "(default 3)\n"
         "  --job-timeout-ms N  fail jobs over this wall-clock "
-        "budget\n",
+        "budget\n"
+        "  --repeat N        best-of-N timing rounds after a warmup "
+        "(0 = bench default)\n"
+        "  --no-fuse         disable fused window sweeps in campaign "
+        "phase 2\n",
         prog, static_cast<int>(std::strlen(prog)), "",
+        static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
 }
 
@@ -116,6 +122,15 @@ parseBenchArgs(int argc, char **argv, bool default_small)
                 n > 86400 * 1000L)
                 usageError(argv[0], "bad --job-timeout-ms value", v);
             args.job_timeout_ms = static_cast<unsigned>(n);
+        } else if (const char *v =
+                       flagValue("--repeat", argc, argv, i)) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 1000)
+                usageError(argv[0], "bad --repeat value", v);
+            args.repeat = static_cast<unsigned>(n);
+        } else if (arg == "--no-fuse") {
+            args.no_fuse = true;
         } else {
             usageError(argv[0], "unknown flag", argv[i]);
         }

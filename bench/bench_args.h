@@ -22,6 +22,11 @@ namespace dsmem::bench {
  *   --resume          replay --journal and run only missing work
  *   --max-attempts N  retries for transient faults (default 3)
  *   --job-timeout-ms N  fail jobs that exceed this wall-clock budget
+ *   --repeat N        timing rounds per measurement; each bench keeps
+ *                     the best round after one untimed warmup
+ *                     (0 = the bench's own default)
+ *   --no-fuse         disable fused window sweeps in campaign phase 2
+ *                     (measurement kill-switch; results identical)
  *
  * Unknown flags print a usage message and exit(2).
  */
@@ -34,6 +39,8 @@ struct BenchArgs {
     bool resume = false;
     unsigned max_attempts = 3;
     unsigned job_timeout_ms = 0; ///< 0 = no watchdog.
+    unsigned repeat = 0; ///< Best-of-N rounds; 0 = bench default.
+    bool no_fuse = false;
 
     runner::RunnerOptions runnerOptions() const
     {
@@ -44,7 +51,14 @@ struct BenchArgs {
         opts.resume = resume;
         opts.max_attempts = max_attempts;
         opts.job_timeout_ms = job_timeout_ms;
+        opts.fuse_sweeps = !no_fuse;
         return opts;
+    }
+
+    /** repeat with the 0 default resolved to @p bench_default. */
+    unsigned resolvedRepeat(unsigned bench_default) const
+    {
+        return repeat == 0 ? bench_default : repeat;
     }
 };
 

@@ -8,24 +8,40 @@
  * checked for bit-identical results, so a reported speedup can never
  * come from a scheduling divergence.
  *
+ * A second section measures the executor layer end to end: the
+ * aggregate wall-clock of a figure3+figure4-style campaign sweep over
+ * the same trace, per-cell with a cold SimContext each time (the
+ * pre-executor path) against planPhase2 fused window sweeps on
+ * worker-pinned recycled contexts, at --jobs 1 and --jobs N. Fused
+ * results are checked bit-identical to the per-cell results first.
+ *
+ * Every timing is best-of-N rounds after an untimed warmup; N comes
+ * from --repeat (default: 1 round per cell, 2 per campaign sweep).
+ *
  * Results go to stdout as a table and to BENCH_phase2.json
  * (override with --json). Defaults to --small; pass --full for the
  * paper-scaled trace.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_args.h"
 #include "core/base_processor.h"
 #include "core/dynamic_processor.h"
+#include "core/sim_context.h"
 #include "core/static_processor.h"
+#include "runner/runner.h"
 #include "runner/trace_store.h"
+#include "sim/executor.h"
+#include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 #include "stats/table.h"
 #include "trace/trace_view.h"
@@ -58,22 +74,30 @@ struct CellResult {
     }
 };
 
-/** Repeat @p run until @p min_seconds elapse; instructions/second. */
+/**
+ * Best of @p rounds timing windows, each repeating @p run until
+ * @p min_seconds elapse; instructions/second.
+ */
 double
 measureIps(const std::function<void()> &run, size_t instructions,
-           double min_seconds)
+           double min_seconds, unsigned rounds)
 {
     run(); // Warm up caches and allocations.
-    auto start = std::chrono::steady_clock::now();
-    uint64_t reps = 0;
-    double elapsed;
-    do {
-        run();
-        ++reps;
-        elapsed = secondsSince(start);
-    } while (elapsed < min_seconds);
-    return static_cast<double>(instructions) *
-        static_cast<double>(reps) / elapsed;
+    double best = 0.0;
+    for (unsigned round = 0; round < rounds; ++round) {
+        auto start = std::chrono::steady_clock::now();
+        uint64_t reps = 0;
+        double elapsed;
+        do {
+            run();
+            ++reps;
+            elapsed = secondsSince(start);
+        } while (elapsed < min_seconds);
+        best = std::max(best,
+                        static_cast<double>(instructions) *
+                            static_cast<double>(reps) / elapsed);
+    }
+    return best;
 }
 
 std::string
@@ -83,6 +107,40 @@ jsonDouble(double v)
     os.precision(6);
     os << std::fixed << v;
     return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** "model name" line from /proc/cpuinfo; "unknown" elsewhere. */
+std::string
+hostCpuModel()
+{
+    std::ifstream is("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.compare(0, 10, "model name") != 0)
+            continue;
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        size_t begin = line.find_first_not_of(" \t", colon + 1);
+        if (begin == std::string::npos)
+            break;
+        return line.substr(begin);
+    }
+    return "unknown";
 }
 
 } // namespace
@@ -102,6 +160,8 @@ main(int argc, char **argv)
     const trace::Trace &t = bundle.trace;
     const size_t n = t.size();
     const double min_seconds = args.small ? 0.25 : 1.0;
+    const unsigned cell_rounds = args.resolvedRepeat(1);
+    const unsigned sweep_rounds = args.resolvedRepeat(2);
 
     // The decode every cell amortizes: one SoA view per trace.
     auto build_start = std::chrono::steady_clock::now();
@@ -131,9 +191,9 @@ main(int argc, char **argv)
         check(ref == opt, cell.label);
         cell.cycles = opt.cycles;
         cell.legacy_ips = measureIps(
-            [&] { proc.run(t); }, n, min_seconds);
+            [&] { proc.run(t); }, n, min_seconds, cell_rounds);
         cell.view_ips = measureIps(
-            [&] { proc.run(*view); }, n, min_seconds);
+            [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
         cells.push_back(cell);
     }
 
@@ -156,9 +216,9 @@ main(int argc, char **argv)
             check(ref == opt, cell.label);
             cell.cycles = opt.cycles;
             cell.legacy_ips = measureIps(
-                [&] { proc.runReference(t); }, n, min_seconds);
+                [&] { proc.runReference(t); }, n, min_seconds, cell_rounds);
             cell.view_ips = measureIps(
-                [&] { proc.run(*view); }, n, min_seconds);
+                [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
             cells.push_back(cell);
         }
     }
@@ -184,12 +244,114 @@ main(int argc, char **argv)
                   cell.label);
             cell.cycles = opt.cycles;
             cell.legacy_ips = measureIps(
-                [&] { proc.runReference(t); }, n, min_seconds);
+                [&] { proc.runReference(t); }, n, min_seconds, cell_rounds);
             cell.view_ips = measureIps(
-                [&] { proc.run(*view); }, n, min_seconds);
+                [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
             cells.push_back(cell);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Campaign sweep: aggregate wall-clock of a figure3+figure4-style
+    // phase-2 sweep over the same trace. Baseline is the pre-executor
+    // path — every cell on a cold SimContext, one job per cell. The
+    // executor path runs planPhase2's fused groups on worker-pinned
+    // recycled contexts. Both go through the same worker pool so the
+    // only variable is the executor.
+    // ------------------------------------------------------------------
+    std::vector<sim::ModelSpec> sweep = sim::figure3Columns();
+    {
+        std::vector<sim::ModelSpec> f4 = sim::figure4Columns();
+        sweep.insert(sweep.end(), f4.begin(), f4.end());
+    }
+    size_t sweep_ds = 0;
+    for (const sim::ModelSpec &spec : sweep)
+        if (spec.kind == sim::ModelSpec::Kind::DS)
+            ++sweep_ds;
+    const std::vector<uint8_t> no_rows_done(sweep.size(), 0);
+
+    auto runPerCell = [&](unsigned sweep_jobs,
+                          std::vector<core::RunResult> *out) {
+        out->assign(sweep.size(), core::RunResult{});
+        runner::Runner pool(sweep_jobs);
+        for (size_t s = 0; s < sweep.size(); ++s) {
+            pool.submit([&, s] {
+                core::SimContext cold;
+                (*out)[s] = sim::runModel(*view, sweep[s], cold);
+            });
+        }
+        pool.wait();
+    };
+    auto runFused = [&](unsigned sweep_jobs,
+                        std::vector<core::RunResult> *out) {
+        out->assign(sweep.size(), core::RunResult{});
+        std::vector<sim::ExecGroup> groups = sim::planPhase2(
+            sweep, no_rows_done,
+            sim::adaptiveLaneCap(sweep_ds, sweep_jobs));
+        runner::Runner pool(sweep_jobs);
+        for (sim::ExecGroup &g : groups) {
+            pool.submit([&, g = std::move(g)] {
+                thread_local core::SimContext ctx;
+                std::vector<core::RunResult> rows =
+                    sim::runGroup(*view, sweep, g, ctx);
+                for (size_t i = 0; i < g.rows.size(); ++i)
+                    (*out)[g.rows[i]] = std::move(rows[i]);
+            });
+        }
+        pool.wait();
+    };
+
+    unsigned jobs_n = args.jobs != 0
+        ? args.jobs
+        : std::thread::hardware_concurrency();
+    if (jobs_n == 0)
+        jobs_n = 1;
+    const size_t fused_groups_j1 =
+        sim::planPhase2(sweep, no_rows_done,
+                        sim::adaptiveLaneCap(sweep_ds, 1))
+            .size();
+
+    // Bit-identity first (doubles as the warmup for both paths).
+    {
+        std::vector<core::RunResult> percell, fused;
+        runPerCell(1, &percell);
+        runFused(1, &fused);
+        bool same = true;
+        for (size_t s = 0; s < sweep.size(); ++s)
+            same = same && percell[s] == fused[s];
+        if (!same) {
+            std::fprintf(stderr, "MISMATCH: fused campaign sweep != "
+                                 "per-cell results\n");
+            ++mismatches;
+        }
+    }
+
+    auto bestSweepSeconds = [&](const std::function<void()> &fn) {
+        double best = 1e100;
+        for (unsigned round = 0; round < sweep_rounds; ++round) {
+            auto start = std::chrono::steady_clock::now();
+            fn();
+            best = std::min(best, secondsSince(start));
+        }
+        return best;
+    };
+
+    std::vector<core::RunResult> scratch;
+    double percell_j1 =
+        bestSweepSeconds([&] { runPerCell(1, &scratch); });
+    double fused_j1 = bestSweepSeconds([&] { runFused(1, &scratch); });
+    double percell_jn = percell_j1;
+    double fused_jn = fused_j1;
+    if (jobs_n != 1) {
+        percell_jn =
+            bestSweepSeconds([&] { runPerCell(jobs_n, &scratch); });
+        fused_jn =
+            bestSweepSeconds([&] { runFused(jobs_n, &scratch); });
+    }
+    double sweep_speedup_j1 =
+        fused_j1 == 0.0 ? 0.0 : percell_j1 / fused_j1;
+    double sweep_speedup_jn =
+        fused_jn == 0.0 ? 0.0 : percell_jn / fused_jn;
 
     stats::Table table(
         {"cell", "view Minstr/s", "legacy Minstr/s", "speedup"});
@@ -213,6 +375,12 @@ main(int argc, char **argv)
                         cell.speedup());
         }
     }
+    std::printf("campaign sweep (%zu cells, %zu DS, %zu fused groups "
+                "at jobs 1): per-cell %.2fs vs fused %.2fs — %.2fx "
+                "at jobs 1; %.2fs vs %.2fs — %.2fx at jobs %u\n",
+                sweep.size(), sweep_ds, fused_groups_j1, percell_j1,
+                fused_j1, sweep_speedup_j1, percell_jn, fused_jn,
+                sweep_speedup_jn, jobs_n);
 
     std::ofstream out(args.json_path, std::ios::binary);
     if (!out) {
@@ -220,13 +388,35 @@ main(int argc, char **argv)
                      args.json_path.c_str());
         return 1;
     }
-    out << "{\n  \"schema_version\": 1,\n"
+    out << "{\n  \"schema_version\": 2,\n"
         << "  \"bench\": \"bench_hotloop\",\n"
         << "  \"app\": \"LU\",\n"
         << "  \"small\": " << (args.small ? "true" : "false") << ",\n"
+        << "  \"host_cpu\": \"" << jsonEscape(hostCpuModel())
+        << "\",\n"
+        << "  \"host_cores\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"trace_records\": " << n << ",\n"
+        << "  \"cell_rounds\": " << cell_rounds << ",\n"
+        << "  \"sweep_rounds\": " << sweep_rounds << ",\n"
         << "  \"instructions\": " << n << ",\n"
         << "  \"view_build_ms\": " << jsonDouble(view_build_ms)
-        << ",\n  \"cells\": [\n";
+        << ",\n"
+        << "  \"campaign_sweep\": {\"cells\": " << sweep.size()
+        << ", \"ds_cells\": " << sweep_ds
+        << ", \"fused_groups_jobs1\": " << fused_groups_j1
+        << ", \"jobs_n\": " << jobs_n << ",\n"
+        << "                     \"percell_seconds_jobs1\": "
+        << jsonDouble(percell_j1)
+        << ", \"fused_seconds_jobs1\": " << jsonDouble(fused_j1)
+        << ", \"speedup_jobs1\": " << jsonDouble(sweep_speedup_j1)
+        << ",\n"
+        << "                     \"percell_seconds_jobsN\": "
+        << jsonDouble(percell_jn)
+        << ", \"fused_seconds_jobsN\": " << jsonDouble(fused_jn)
+        << ", \"speedup_jobsN\": " << jsonDouble(sweep_speedup_jn)
+        << "},\n"
+        << "  \"cells\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const CellResult &cell = cells[i];
         out << "    {\"label\": \"" << cell.label << "\", \"kind\": \""

@@ -145,7 +145,10 @@ main(int argc, char **argv)
     if (args.json_path.empty())
         args.json_path = "BENCH_phase1.json";
 
-    const int reps = args.small ? 20 : 8;
+    // The bit-identity checks below double as the untimed warmup;
+    // every timing loop is best-of-reps, interleaved.
+    const int reps = static_cast<int>(
+        args.resolvedRepeat(args.small ? 20 : 8));
     int failures = 0;
     auto check = [&](bool ok, const char *what) {
         if (!ok) {

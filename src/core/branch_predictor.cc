@@ -89,6 +89,18 @@ BranchPredictor::predict(uint32_t site, bool taken)
 }
 
 void
+BranchPredictor::reconfigure(const BtbConfig &config)
+{
+    if (!config.valid())
+        throw std::invalid_argument("invalid BtbConfig");
+    config_ = config;
+    entries_.assign(config.entries, Entry{});
+    tick_ = 0;
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+void
 BranchPredictor::reset()
 {
     for (Entry &e : entries_)

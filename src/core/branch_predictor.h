@@ -53,6 +53,13 @@ class BranchPredictor
 
     void reset();
 
+    /**
+     * Adopt @p config and reset. Reuses the entry storage when the
+     * geometry is unchanged (the SimContext recycling path), so a
+     * reconfigured predictor allocates only when the table grows.
+     */
+    void reconfigure(const BtbConfig &config);
+
   private:
     struct Entry {
         uint32_t site = 0;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/sim_context.h"
 #include "core/slot_allocator.h"
 #include "util/dary_heap.h"
 #include "util/flat_map.h"
@@ -110,10 +111,8 @@ selectGate(const uint64_t terms[4], unsigned mask)
     return gate;
 }
 
-} // namespace
-
-DynamicProcessor::DynamicProcessor(const DynamicConfig &config)
-    : config_(config)
+void
+validateConfig(const DynamicConfig &config)
 {
     if (config.window == 0)
         throw std::invalid_argument("window must be >= 1");
@@ -123,113 +122,130 @@ DynamicProcessor::DynamicProcessor(const DynamicConfig &config)
         throw std::invalid_argument("invalid BTB configuration");
 }
 
-DynamicResult
-DynamicProcessor::run(const trace::Trace &trace) const
-{
-    return run(TraceView(trace));
-}
-
 // ------------------------------------------------------------------
-// The production hot loop over the SoA view. Scheduling decisions are
-// identical to runReference (the equivalence suite drives both on
-// randomized traces); only the data structures differ:
-//  - operands/latencies stream from the view's parallel arrays,
-//  - consistency gates come from precomputed selectors,
-//  - store forwarding and FU cycle allocation use open-addressed
-//    flat hash maps,
-//  - the free-window slot pool is a fixed 4-ary heap,
-//  - the forwarding table is bounded by store-buffer liveness: before
-//    it would grow, entries whose write has performed at or before
-//    the current decode cycle (which can never forward again, since a
-//    later load's issue is at least decode+1) are swept out.
+// One window-lane of the production loop: the per-instruction
+// scheduling step of run(), factored out so a single-cell run and a
+// fused window sweep (runDynamicSweep) execute the exact same code.
+// Bit-identity between the two holds by construction — there is only
+// one copy of the scheduling logic — and tests/test_executor.cc
+// enforces it end to end.
+//
+// Container storage is borrowed from a SimContext::DynLane (recycled
+// across cells); the Lane itself holds only config constants and
+// rolling scalars. Lanes never touch shared state, so K of them can
+// be stepped interleaved over one trace pass.
 // ------------------------------------------------------------------
-DynamicResult
-DynamicProcessor::run(const trace::TraceView &v) const
-{
-    const uint32_t W = config_.window;
-    const uint32_t width = config_.width;
-    const uint32_t sb_depth = config_.storeBufferDepth();
-    const bool free_window = config_.free_window;
-    const bool sc_speculation = config_.sc_speculation;
-    const bool ignore_data_deps = config_.ignore_data_deps;
-    const bool perfect_bp = config_.perfect_branch_prediction;
-    const bool collect_read_delay = config_.collect_read_delay;
+struct Lane {
+    // Configuration constants, hoisted out of the step.
+    uint32_t W = 1;
+    uint32_t width = 1;
+    uint32_t sb_depth = 1;
+    uint32_t mshrs = 0;
+    bool free_window = false;
+    bool sc_speculation = false;
+    bool ignore_data_deps = false;
+    bool perfect_bp = false;
+    bool collect_read_delay = false;
+    GateSelectors sel;
+    unsigned load_sel = 0;
 
-    const GateSelectors sel = gateSelectorsFor(config_.model);
-    const unsigned load_sel = sc_speculation ? kGateAcquire : sel.load;
-
-    DynamicResult r;
-    BranchPredictor predictor(config_.btb);
-
-    // Per-functional-unit-class slot allocators (see runReference).
-    RingSlotAllocator fu[trace::kNumFuClasses] = {
-        RingSlotAllocator(width >= 4 ? 2 : 1), // INT
-        RingSlotAllocator(1),                  // BRANCH
-        RingSlotAllocator(1),                  // MEM (cache port)
-        RingSlotAllocator(1),                  // FP_ADD
-        RingSlotAllocator(1),                  // FP_MUL
-        RingSlotAllocator(1),                  // FP_DIV
-        RingSlotAllocator(1),                  // FP_CVT
-    };
-    RingSlotAllocator &mem_fu =
-        fu[static_cast<size_t>(trace::FuClass::MEM)];
+    // Borrowed storage (see core::SimContext).
+    SimContext::DynLane *st = nullptr;
+    uint64_t *completion_ring = nullptr; // value-usable time, size W
+    uint64_t *retire_ring = nullptr;     // size W
+    uint64_t *decode_ring = nullptr;     // size width
+    uint64_t *sb_leave_ring = nullptr;   // FIFO dealloc, size sb_depth
+    uint64_t *mshr_ring = nullptr;
+    RingSlotAllocator *fu = nullptr; // [trace::kNumFuClasses]
+    RingSlotAllocator *mem_fu = nullptr;
 
     // Rolling state, all O(window).
-    std::vector<uint64_t> completion_ring(W, 0); // value-usable time
-    std::vector<uint64_t> retire_ring(W, 0);
-    std::vector<uint64_t> decode_ring(width, 0);
-    std::vector<uint64_t> sb_leave_ring(sb_depth, 0); // FIFO dealloc
+    uint64_t gates[4] = {0, 0, 0, 0}; // load, store, acquire, sync
     uint64_t store_count = 0;
-
-    util::FlatMap<Addr, StoreInfo> last_store(64);
-
-    // Free-window slot pool (only used when config_.free_window).
-    util::DaryMinHeap<4> slot_heap(free_window ? W + 1 : 0);
-
-    // Gate terms, indexed to match GateTerm bit positions:
-    // load_comp, store_comp, acquire_comp, sync_comp.
-    uint64_t gates[4] = {0, 0, 0, 0};
-
+    uint64_t miss_count = 0;
     uint64_t fetch_stall_until = 0; // first fetchable cycle after flush
     uint64_t prev_retire = 0;
-    bool first_retire = true;
     uint64_t occupancy_sum = 0;
+    bool first_retire = true;
+    DynamicResult r;
 
-    // Lockup-free cache MSHRs (FIFO approximation; 0 = unlimited).
-    const uint32_t mshrs = config_.mshrs;
-    std::vector<uint64_t> mshr_ring(mshrs == 0 ? 1 : mshrs, 0);
-    uint64_t miss_count = 0;
-    auto mshr_slot_free = [&]() -> uint64_t {
+    /** Adopt @p config and re-initialize @p state for a fresh run. */
+    void bind(const DynamicConfig &config, SimContext::DynLane &state)
+    {
+        W = config.window;
+        width = config.width;
+        sb_depth = config.storeBufferDepth();
+        mshrs = config.mshrs;
+        free_window = config.free_window;
+        sc_speculation = config.sc_speculation;
+        ignore_data_deps = config.ignore_data_deps;
+        perfect_bp = config.perfect_branch_prediction;
+        collect_read_delay = config.collect_read_delay;
+        sel = gateSelectorsFor(config.model);
+        load_sel = sc_speculation ? kGateAcquire : sel.load;
+
+        st = &state;
+        state.completion_ring.assign(W, 0);
+        state.retire_ring.assign(W, 0);
+        state.decode_ring.assign(width, 0);
+        state.sb_leave_ring.assign(sb_depth, 0);
+        state.mshr_ring.assign(mshrs == 0 ? 1 : mshrs, 0);
+        completion_ring = state.completion_ring.data();
+        retire_ring = state.retire_ring.data();
+        decode_ring = state.decode_ring.data();
+        sb_leave_ring = state.sb_leave_ring.data();
+        mshr_ring = state.mshr_ring.data();
+
+        // Per-FU-class cycle allocators: multi-issue machines get a
+        // second integer ALU (Johnson's design); everything else is a
+        // single unit. MEM is the single cache port.
+        for (size_t c = 0; c < trace::kNumFuClasses; ++c)
+            state.fu[c].reset(1);
+        state.fu[static_cast<size_t>(trace::FuClass::INT)].reset(
+            width >= 4 ? 2 : 1);
+        fu = state.fu;
+        mem_fu = &state.fu[static_cast<size_t>(trace::FuClass::MEM)];
+
+        state.last_store.clear();
+        state.slot_heap.clear();
+        if (free_window)
+            state.slot_heap.reserve(W + 1);
+        state.predictor.reconfigure(config.btb);
+    }
+
+    uint64_t mshrSlotFree() const
+    {
         if (mshrs == 0 || miss_count < mshrs)
             return 0;
         return mshr_ring[miss_count % mshrs];
-    };
-    auto allocate_mshr = [&](uint64_t completion) {
+    }
+
+    void allocateMshr(uint64_t completion)
+    {
         if (mshrs == 0)
             return;
         uint64_t leave = completion;
-        if (miss_count > 0) {
-            leave = std::max(
-                leave, mshr_ring[(miss_count - 1) % mshrs]);
-        }
+        if (miss_count > 0)
+            leave = std::max(leave, mshr_ring[(miss_count - 1) % mshrs]);
         mshr_ring[miss_count % mshrs] = leave;
         ++miss_count;
-    };
+    }
 
-    Breakdown &bd = r.breakdown;
-
-    auto ring_completion = [&](size_t i, InstIndex src) -> uint64_t {
+    uint64_t ringCompletion(size_t i, InstIndex src) const
+    {
         // A producer more than a window behind retired before this
         // instruction decoded; its value is ready immediately.
         if (i - static_cast<size_t>(src) > W)
             return 0;
         return completion_ring[src % W];
-    };
+    }
 
-    const size_t n = v.size();
-    for (size_t i = 0; i < n; ++i) {
+    /** Schedule trace instruction @p i (the body of run()'s loop). */
+    void step(const TraceView &v, size_t i)
+    {
         const Op op = v.op(i);
         const uint32_t latency = v.latency(i);
+        Breakdown &bd = r.breakdown;
 
         // -------- Decode: fetch rate, ROB space, fetch stalls ------
         uint64_t decode = fetch_stall_until;
@@ -239,9 +255,9 @@ DynamicProcessor::run(const trace::TraceView &v) const
             // Section-5 ablation: a window slot frees as soon as its
             // instruction completes; a new instruction takes the
             // earliest-freed slot.
-            if (slot_heap.size() >= W) {
-                decode = std::max(decode, slot_heap.top() + 1);
-                slot_heap.pop();
+            if (st->slot_heap.size() >= W) {
+                decode = std::max(decode, st->slot_heap.top() + 1);
+                st->slot_heap.pop();
             }
         } else if (i >= W) {
             // FIFO deallocation: instruction i reuses the slot of
@@ -252,8 +268,8 @@ DynamicProcessor::run(const trace::TraceView &v) const
         // No request targets a cycle below this instruction's decode,
         // and decode is non-decreasing — the allocators may reclaim
         // every cycle cell below it.
-        for (auto &alloc : fu)
-            alloc.advanceWatermark(decode);
+        for (size_t c = 0; c < trace::kNumFuClasses; ++c)
+            fu[c].advanceWatermark(decode);
 
         // -------- Operand readiness -------------------------------
         uint64_t ready = decode + 1;
@@ -263,7 +279,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
             for (int s = 0; s < num_srcs; ++s) {
                 if (src[s] == kNoSrc)
                     continue;
-                ready = std::max(ready, ring_completion(i, src[s]));
+                ready = std::max(ready, ringCompletion(i, src[s]));
             }
         }
 
@@ -285,10 +301,10 @@ DynamicProcessor::run(const trace::TraceView &v) const
                 gates[1] >= gates[0] && gates[1] >= gates[2];
             uint64_t request = std::max(ready, gate);
             if (latency > 1)
-                request = std::max(request, mshr_slot_free());
-            uint64_t mem_issue = mem_fu.allocate(request);
+                request = std::max(request, mshrSlotFree());
+            uint64_t mem_issue = mem_fu->allocate(request);
             bool forwarded = false;
-            const StoreInfo *info = last_store.find(v.addr(i));
+            const StoreForward *info = st->last_store.find(v.addr(i));
             if (info != nullptr && info->mem_completion > mem_issue) {
                 // Pending store to the same address: dependence check
                 // on the store buffer forwards the value.
@@ -302,7 +318,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
             if (latency > 1) {
                 ++r.read_misses;
                 if (!forwarded)
-                    allocate_mshr(completion);
+                    allocateMshr(completion);
                 if (collect_read_delay && !forwarded)
                     r.read_issue_delay.add(mem_issue - decode);
             }
@@ -330,7 +346,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
             rob_complete = completion;
             ++r.branches;
             bool correct = perfect_bp ||
-                predictor.predict(v.branchSite(i), v.taken(i));
+                st->predictor.predict(v.branchSite(i), v.taken(i));
             if (!correct) {
                 ++r.mispredicts;
                 // Wrong-path fetch: the correct path is fetched the
@@ -349,7 +365,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
             // wait is anchored at retirement below (Section 4.1.2).
             uint64_t request =
                 std::max(ready, selectGate(gates, sel.acquire));
-            uint64_t mem_issue = mem_fu.allocate(request);
+            uint64_t mem_issue = mem_fu->allocate(request);
             completion = mem_issue + latency;
             rob_complete = completion;
             break;
@@ -399,14 +415,14 @@ DynamicProcessor::run(const trace::TraceView &v) const
                 : selectGate(gates, sel.store);
             uint64_t request = std::max(retire, gate);
             if (latency > 1)
-                request = std::max(request, mshr_slot_free());
+                request = std::max(request, mshrSlotFree());
 
             // Non-binding store prefetch: fetch ownership as soon as
             // the address is known; the ordered write then performs
             // on a local line.
             uint64_t effective_latency = latency;
             if (sc_speculation && latency > 1) {
-                uint64_t prefetch_issue = mem_fu.allocate(ready);
+                uint64_t prefetch_issue = mem_fu->allocate(ready);
                 uint64_t prefetch_done = prefetch_issue + latency;
                 // The write still issues in order, but only waits for
                 // whatever part of the fetch is still outstanding.
@@ -416,7 +432,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
                         1, prefetch_done - request);
                 }
             }
-            uint64_t mem_issue = mem_fu.allocate(request);
+            uint64_t mem_issue = mem_fu->allocate(request);
             uint64_t mem_completion = mem_issue + effective_latency;
             gates[1] = std::max(gates[1], mem_completion);
             if (op == Op::STORE) {
@@ -425,20 +441,20 @@ DynamicProcessor::run(const trace::TraceView &v) const
                 // decode + 1, so an entry whose write has performed
                 // by the current decode cycle can never forward and
                 // is swept before the table would otherwise grow.
-                if (last_store.nearCapacity()) {
-                    last_store.retain(
-                        [&](Addr, const StoreInfo &s) {
+                if (st->last_store.nearCapacity()) {
+                    st->last_store.retain(
+                        [&](Addr, const StoreForward &s) {
                             return s.mem_completion > decode;
                         });
                 }
-                last_store.insert(v.addr(i),
-                                  {ready, mem_completion});
+                st->last_store.insert(v.addr(i),
+                                      {ready, mem_completion});
             } else {
                 // Releases are fences under WO.
                 gates[3] = std::max(gates[3], mem_completion);
             }
             if (latency > 1)
-                allocate_mshr(mem_completion);
+                allocateMshr(mem_completion);
 
             // Store buffer slot occupied from ROB retirement until
             // the write performs; FIFO deallocation.
@@ -483,7 +499,7 @@ DynamicProcessor::run(const trace::TraceView &v) const
 
         occupancy_sum += retire - decode + 1;
         if (free_window)
-            slot_heap.push(completion);
+            st->slot_heap.push(completion);
 
         // -------- Roll rings ---------------------------------------
         completion_ring[i % W] = completion;
@@ -493,12 +509,114 @@ DynamicProcessor::run(const trace::TraceView &v) const
         first_retire = false;
     }
 
-    r.cycles = bd.total();
-    r.avg_window_occupancy = r.cycles == 0
-        ? 0.0
-        : static_cast<double>(occupancy_sum) /
-            static_cast<double>(r.cycles);
-    return r;
+    /** Finalize totals after the last step(). */
+    void finish()
+    {
+        r.cycles = r.breakdown.total();
+        r.avg_window_occupancy = r.cycles == 0
+            ? 0.0
+            : static_cast<double>(occupancy_sum) /
+                static_cast<double>(r.cycles);
+    }
+};
+
+} // namespace
+
+DynamicProcessor::DynamicProcessor(const DynamicConfig &config)
+    : config_(config)
+{
+    validateConfig(config);
+}
+
+DynamicResult
+DynamicProcessor::run(const trace::Trace &trace) const
+{
+    return run(TraceView(trace));
+}
+
+// ------------------------------------------------------------------
+// The production hot loop over the SoA view. Scheduling decisions are
+// identical to runReference (the equivalence suite drives both on
+// randomized traces); the per-instruction logic lives in Lane::step
+// above, shared verbatim with the fused window sweep.
+// ------------------------------------------------------------------
+DynamicResult
+DynamicProcessor::run(const trace::TraceView &v) const
+{
+    SimContext ctx;
+    return run(v, ctx);
+}
+
+DynamicResult
+DynamicProcessor::run(const trace::TraceView &v, SimContext &ctx) const
+{
+    Lane lane;
+    lane.bind(config_, ctx.lane(0));
+    const size_t n = v.size();
+    for (size_t i = 0; i < n; ++i)
+        lane.step(v, i);
+    lane.finish();
+    return std::move(lane.r);
+}
+
+// ------------------------------------------------------------------
+// Fused window sweep: time every config in one pass over the trace.
+//
+// A campaign sweep reads the same trace once per cell; for K window
+// sizes of one (trace, model, latency) tuple that is K passes over
+// tens of megabytes of SoA arrays. Stepping K independent lanes per
+// instruction instead streams the operand arrays through the cache
+// once, amortizing the memory traffic across every lane. Lanes share
+// nothing — each has its own gates, rings, allocators, and predictor
+// — so per-window results are bit-identical to K single-cell runs
+// (enforced by tests/test_executor.cc).
+// ------------------------------------------------------------------
+std::vector<DynamicResult>
+runDynamicSweep(const trace::TraceView &v,
+                const std::vector<DynamicConfig> &configs, SimContext &ctx)
+{
+    const size_t k = configs.size();
+    std::vector<DynamicResult> out;
+    out.reserve(k);
+    if (k == 0)
+        return out;
+
+    std::vector<Lane> lanes(k);
+    for (size_t j = 0; j < k; ++j) {
+        validateConfig(configs[j]);
+        lanes[j].bind(configs[j], ctx.lane(j));
+    }
+
+    const size_t n = v.size();
+    if (k == 1) {
+        // Degenerate sweep: keep the single-lane loop tight.
+        Lane &lane = lanes[0];
+        for (size_t i = 0; i < n; ++i)
+            lane.step(v, i);
+    } else {
+        // Tiled pass: each lane runs a block of instructions before
+        // the next lane starts it, so a lane's rings and tables stay
+        // L1-resident through the block (stepping lanes interleaved
+        // per instruction thrashes them), while the block's slice of
+        // the operand arrays is still served from cache for every
+        // lane after the first. Lanes are fully independent, so any
+        // interleaving of per-lane step sequences is bit-identical.
+        constexpr size_t kBlock = 8192;
+        for (size_t base = 0; base < n; base += kBlock) {
+            const size_t end = std::min(n, base + kBlock);
+            for (size_t j = 0; j < k; ++j) {
+                Lane &lane = lanes[j];
+                for (size_t i = base; i < end; ++i)
+                    lane.step(v, i);
+            }
+        }
+    }
+
+    for (Lane &lane : lanes) {
+        lane.finish();
+        out.push_back(std::move(lane.r));
+    }
+    return out;
 }
 
 // ------------------------------------------------------------------

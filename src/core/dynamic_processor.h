@@ -2,6 +2,7 @@
 #define DSMEM_CORE_DYNAMIC_PROCESSOR_H
 
 #include <cstdint>
+#include <vector>
 
 #include "core/branch_predictor.h"
 #include "core/types.h"
@@ -10,6 +11,8 @@
 #include "trace/trace_view.h"
 
 namespace dsmem::core {
+
+class SimContext;
 
 /** Configuration of the dynamically scheduled processor (Section 3.1). */
 struct DynamicConfig {
@@ -114,6 +117,14 @@ class DynamicProcessor
      */
     DynamicResult run(const trace::TraceView &v) const;
 
+    /**
+     * run() with recycled storage: borrows lane 0 of @p ctx instead
+     * of constructing fresh containers. Results are bit-identical to
+     * run(v) regardless of what the context served before (container
+     * capacity never affects timing — see SimContext).
+     */
+    DynamicResult run(const trace::TraceView &v, SimContext &ctx) const;
+
     /** Convenience: decode @p t into a view, then time it. */
     DynamicResult run(const trace::Trace &t) const;
 
@@ -130,6 +141,19 @@ class DynamicProcessor
   private:
     DynamicConfig config_;
 };
+
+/**
+ * Fused window sweep: time every config of @p configs — typically one
+ * (model, latency) tuple at several window sizes — in a single pass
+ * over the trace, stepping one independent lane per config at each
+ * instruction. The k-th result is bit-identical to
+ * DynamicProcessor(configs[k]).run(v); the win is that the SoA operand
+ * arrays stream through the cache once instead of configs.size()
+ * times. Lane k borrows ctx.lane(k).
+ */
+std::vector<DynamicResult> runDynamicSweep(
+    const trace::TraceView &v, const std::vector<DynamicConfig> &configs,
+    SimContext &ctx);
 
 } // namespace dsmem::core
 

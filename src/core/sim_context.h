@@ -1,0 +1,100 @@
+#ifndef DSMEM_CORE_SIM_CONTEXT_H
+#define DSMEM_CORE_SIM_CONTEXT_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/branch_predictor.h"
+#include "core/slot_allocator.h"
+#include "trace/instruction.h"
+#include "trace/op.h"
+#include "util/dary_heap.h"
+#include "util/flat_map.h"
+
+namespace dsmem::core {
+
+/** Pending-store info for load bypassing/forwarding (DS model). */
+struct StoreForward {
+    uint64_t data_ready;     ///< When the store's value exists.
+    uint64_t mem_completion; ///< When the store performs in memory.
+};
+
+/** SS read-buffer entry keyed by its precomputed stall point. */
+struct PendingLoadSlot {
+    trace::InstIndex first_use; ///< Only instruction that can stall.
+    uint64_t completion;
+};
+
+/**
+ * Reusable phase-2 simulation state: every ring, hash table, heap,
+ * cycle allocator, and branch-predictor table a DynamicProcessor or
+ * StaticProcessor run needs, owned once and recycled across cells.
+ *
+ * A campaign pushes the same trace through thousands of short timing
+ * cells; constructing this state from scratch per cell (vector
+ * allocation plus first-touch faults on ~700 KB of allocator rings)
+ * costs more than the timing loop itself on small windows. A
+ * SimContext instead grows monotonically to the high-water
+ * requirement of the cells it has served and is re-initialized in
+ * place between cells:
+ *
+ *  - ring vectors are assign()ed to the new cell's exact length
+ *    (allocation-free once capacity covers the high-water window),
+ *  - RingSlotAllocator::reset() clears cells but keeps the span,
+ *  - FlatMap::clear() and DaryMinHeap::clear() keep capacity,
+ *  - BranchPredictor::reconfigure() reuses the table storage.
+ *
+ * Timing results never depend on container capacity (see the
+ * per-structure contracts), so a reused context is bit-identical to a
+ * cold one — tests/test_executor.cc enforces this across
+ * differently-sized consecutive cells.
+ *
+ * Contexts are NOT thread-safe; the Runner pins one per worker
+ * thread. Lanes exist so a fused window sweep can time K independent
+ * per-window states in one pass over the trace (see
+ * core::runDynamicSweep); a single-cell run uses lane 0.
+ */
+class SimContext
+{
+  public:
+    /** One window-lane's worth of dynamic-processor state. */
+    struct DynLane {
+        std::vector<uint64_t> completion_ring;
+        std::vector<uint64_t> retire_ring;
+        std::vector<uint64_t> decode_ring;
+        std::vector<uint64_t> sb_leave_ring;
+        std::vector<uint64_t> mshr_ring;
+        RingSlotAllocator fu[trace::kNumFuClasses];
+        util::FlatMap<trace::Addr, StoreForward> last_store{64};
+        util::DaryMinHeap<4> slot_heap;
+        BranchPredictor predictor{BtbConfig{}};
+    };
+
+    /** Static-model (SSBR/SS) scratch state. */
+    struct StaticScratch {
+        std::vector<uint64_t> write_ring;
+        std::vector<uint64_t> read_ring;
+        std::vector<PendingLoadSlot> pending_loads;
+    };
+
+    /** Lane @p k, created on first use and recycled afterwards. */
+    DynLane &lane(size_t k)
+    {
+        while (lanes_.size() <= k)
+            lanes_.emplace_back();
+        return lanes_[k];
+    }
+
+    StaticScratch &staticScratch() { return static_scratch_; }
+
+    size_t laneCount() const { return lanes_.size(); }
+
+  private:
+    std::deque<DynLane> lanes_; ///< deque: stable lane addresses.
+    StaticScratch static_scratch_;
+};
+
+} // namespace dsmem::core
+
+#endif // DSMEM_CORE_SIM_CONTEXT_H

@@ -1,6 +1,7 @@
 #ifndef DSMEM_CORE_SLOT_ALLOCATOR_H
 #define DSMEM_CORE_SLOT_ALLOCATOR_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -117,6 +118,20 @@ class RingSlotAllocator
      * cycles below it become reclaimable.
      */
     void advanceWatermark(uint64_t watermark) { watermark_ = watermark; }
+
+    /**
+     * Re-initialize for a fresh run, keeping the (possibly grown)
+     * span: clears every cell and rewinds the watermark. The cycles
+     * allocate() returns depend only on the request sequence, never
+     * on the span, so a reset allocator is bit-identical to a newly
+     * constructed one.
+     */
+    void reset(uint32_t capacity_per_cycle)
+    {
+        capacity_ = capacity_per_cycle == 0 ? 1 : capacity_per_cycle;
+        std::fill(cells_.begin(), cells_.end(), Cell{});
+        watermark_ = 0;
+    }
 
     /** First free cycle >= @p t; consumes one slot of it. */
     uint64_t allocate(uint64_t t)

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/sim_context.h"
+
 namespace dsmem::core {
 
 using trace::InstIndex;
@@ -87,11 +89,20 @@ class FifoBuffer
  * tracked one still lives (`leave > now`) — and that oldest entry is
  * the first to free. One ring of the last `depth` leave times
  * replaces the deque scans.
+ *
+ * The ring storage is borrowed (SimContext::StaticScratch) so a
+ * recycled context reuses it allocation-free; full()/push() results
+ * depend only on the last `depth` leave times, never on the vector's
+ * capacity history.
  */
 class FifoRing
 {
   public:
-    explicit FifoRing(uint32_t depth) : ring_(depth, 0) {}
+    FifoRing(std::vector<uint64_t> &storage, uint32_t depth)
+        : ring_(storage)
+    {
+        ring_.assign(depth, 0);
+    }
 
     bool full(uint64_t now, uint64_t *free_at) const
     {
@@ -116,19 +127,13 @@ class FifoRing
     }
 
   private:
-    std::vector<uint64_t> ring_;
+    std::vector<uint64_t> &ring_;
     uint64_t count_ = 0;
 };
 
 /** An outstanding non-blocking load (SS read buffer entry). */
 struct OutstandingLoad {
     InstIndex inst;
-    uint64_t completion;
-};
-
-/** SS read-buffer entry keyed by its precomputed stall point. */
-struct PendingLoad {
-    InstIndex first_use; ///< Only instruction that can stall on it.
     uint64_t completion;
 };
 
@@ -280,15 +285,24 @@ StaticProcessor::run(const trace::Trace &trace) const
 RunResult
 StaticProcessor::run(const trace::TraceView &v) const
 {
+    SimContext ctx;
+    return run(v, ctx);
+}
+
+RunResult
+StaticProcessor::run(const trace::TraceView &v, SimContext &ctx) const
+{
+    SimContext::StaticScratch &scratch = ctx.staticScratch();
     const GateSelectors sel = gateSelectorsFor(config_.model);
     const bool nonblocking = config_.nonblocking_reads;
 
     RunResult r;
     Timeline tl;
     Gates gates;
-    FifoRing write_buffer(config_.write_buffer_depth);
-    FifoRing read_buffer(config_.read_buffer_depth);
-    std::vector<PendingLoad> pending_loads;
+    FifoRing write_buffer(scratch.write_ring, config_.write_buffer_depth);
+    FifoRing read_buffer(scratch.read_ring, config_.read_buffer_depth);
+    std::vector<PendingLoadSlot> &pending_loads = scratch.pending_loads;
+    pending_loads.clear();
     pending_loads.reserve(config_.read_buffer_depth);
     uint64_t last_store_issue = 0;
     bool any_store_issued = false;
@@ -299,12 +313,12 @@ StaticProcessor::run(const trace::TraceView &v) const
     auto wait_for_operands = [&](size_t i) {
         if (pending_loads.empty())
             return;
-        for (const PendingLoad &pl : pending_loads) {
+        for (const PendingLoadSlot &pl : pending_loads) {
             if (pl.first_use == i)
                 tl.advance(pl.completion, Bucket::READ);
         }
         // Drop completed entries.
-        std::erase_if(pending_loads, [&](const PendingLoad &pl) {
+        std::erase_if(pending_loads, [&](const PendingLoadSlot &pl) {
             return pl.completion <= tl.t;
         });
     };

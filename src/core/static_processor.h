@@ -9,6 +9,8 @@
 
 namespace dsmem::core {
 
+class SimContext;
+
 /** Configuration of the statically scheduled processor models. */
 struct StaticConfig {
     ConsistencyModel model = ConsistencyModel::RC;
@@ -52,6 +54,13 @@ class StaticProcessor
      * hoisted consistency-gate selectors.
      */
     RunResult run(const trace::TraceView &v) const;
+
+    /**
+     * run() with recycled storage: borrows the static scratch of
+     * @p ctx instead of constructing fresh buffers. Bit-identical to
+     * run(v) regardless of prior context use.
+     */
+    RunResult run(const trace::TraceView &v, SimContext &ctx) const;
 
     /** Convenience: decode @p t into a view, then time it. */
     RunResult run(const trace::Trace &t) const;

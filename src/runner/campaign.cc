@@ -217,6 +217,19 @@ Campaign::run()
         groups[{units_[u].app, units_[u].mem, units_[u].small}]
             .push_back(u);
 
+    // Adaptive fusion: size sweep groups off the phase-2 work that is
+    // actually pending (resume may have retired most of it) so fusing
+    // never leaves workers idle. lane_cap == 1 disables fusion.
+    size_t pending_ds = 0;
+    for (size_t u = 0; u < units_.size(); ++u)
+        for (size_t s = 0; s < units_[u].specs.size(); ++s)
+            if (!results_[u].row_done[s] &&
+                units_[u].specs[s].kind == sim::ModelSpec::Kind::DS)
+                ++pending_ds;
+    const size_t lane_cap = opts_.fuse_sweeps
+        ? sim::adaptiveLaneCap(pending_ds, opts_.resolvedJobs())
+        : 1;
+
     Runner runner(opts_.resolvedJobs());
     // Campaign jobs catch their own failures; anything that still
     // escapes (a non-exception crash path would abort regardless) is
@@ -244,7 +257,7 @@ Campaign::run()
         // then immediately unblock this trace's phase-2 runs. Every
         // job writes only its own pre-sized slot, so no result
         // depends on worker scheduling.
-        runner.submit([this, &runner, unit_ids] {
+        runner.submit([this, &runner, unit_ids, lane_cap] {
             const Unit &first = units_[unit_ids.front()];
             const std::string salt =
                 "phase1:" + std::string(sim::appName(first.app)) +
@@ -327,12 +340,15 @@ Campaign::run()
             }
             for (size_t u : unit_ids) {
                 const Unit &unit = units_[u];
-                for (size_t s = 0; s < unit.specs.size(); ++s) {
-                    if (results_[u].row_done[s])
-                        continue; // Restored from the journal.
-                    runner.submit([this, view, u, s] {
-                        runRow(view, u, s);
-                    });
+                // planPhase2 skips journal-restored rows and returns
+                // groups longest-first; submission order feeds the
+                // FIFO pool, so heavy sweeps start before stragglers.
+                for (sim::ExecGroup &g : sim::planPhase2(
+                         unit.specs, results_[u].row_done, lane_cap)) {
+                    runner.submit(
+                        [this, view, u, g = std::move(g)] {
+                            runGroup(view, u, g);
+                        });
                 }
             }
         });
@@ -352,14 +368,24 @@ Campaign::run()
 }
 
 void
-Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
-                 size_t u, size_t s)
+Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
+                   size_t u, const sim::ExecGroup &group)
 {
-    const std::string label = units_[u].specs[s].label();
+    // One simulation context per worker thread, recycled across every
+    // group the worker ever runs (results are context-independent —
+    // see core::SimContext).
+    thread_local core::SimContext sim_ctx;
+
+    const Unit &unit = units_[u];
+    std::string label;
+    for (size_t s : group.rows) {
+        if (!label.empty())
+            label += "+";
+        label += unit.specs[s].label();
+    }
     const std::string salt =
-        "phase2:" + std::string(sim::appName(units_[u].app)) + ":" +
-        label;
-    core::RunResult r;
+        "phase2:" + std::string(sim::appName(unit.app)) + ":" + label;
+    std::vector<core::RunResult> results;
     std::string transient;
     unsigned attempt = 1;
     auto t0 = std::chrono::steady_clock::now();
@@ -367,23 +393,33 @@ Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
         // Per-attempt clock — see the phase-1 watchdog note.
         t0 = std::chrono::steady_clock::now();
         try {
-            util::failpoint("campaign.phase2");
-            r = sim::runModel(*view, units_[u].specs[s]);
+            // One failpoint evaluation per cell, fused or not, so a
+            // fault-injection schedule is independent of how the
+            // planner happened to group rows.
+            for (size_t i = 0; i < group.rows.size(); ++i)
+                util::failpoint("campaign.phase2");
+            results = sim::runGroup(*view, unit.specs, group, sim_ctx);
             break;
         } catch (const util::IoError &e) {
+            // A fused sweep is one pass — lanes aren't separable mid-
+            // flight, so the whole group retries together.
             transient = e.what();
             if (attempt < opts_.max_attempts) {
                 backoff(salt, attempt);
                 continue;
             }
-            recordError(u, UnitError{"phase2", transient, label,
-                                     static_cast<int>(attempt),
-                                     true});
+            for (size_t s : group.rows)
+                recordError(u, UnitError{"phase2", transient,
+                                         unit.specs[s].label(),
+                                         static_cast<int>(attempt),
+                                         true});
             return;
         } catch (const std::exception &e) {
-            recordError(u, UnitError{"phase2", e.what(), label,
-                                     static_cast<int>(attempt),
-                                     true});
+            for (size_t s : group.rows)
+                recordError(u, UnitError{"phase2", e.what(),
+                                         unit.specs[s].label(),
+                                         static_cast<int>(attempt),
+                                         true});
             return;
         }
     }
@@ -393,11 +429,12 @@ Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
         // instead an over-budget job is failed at completion and its
         // result discarded. A job that never returns at all still
         // blocks wait() — see DESIGN.md "Failure model".
-        recordError(u, UnitError{"watchdog",
-                                 "phase-2 job exceeded "
-                                 "--job-timeout-ms",
-                                 label, static_cast<int>(attempt),
-                                 true});
+        for (size_t s : group.rows)
+            recordError(u, UnitError{"watchdog",
+                                     "phase-2 job exceeded "
+                                     "--job-timeout-ms",
+                                     unit.specs[s].label(),
+                                     static_cast<int>(attempt), true});
         return;
     }
     if (attempt > 1)
@@ -405,10 +442,22 @@ Campaign::runRow(const std::shared_ptr<const trace::TraceView> &view,
                                  "recovered after retry: " + transient,
                                  label, static_cast<int>(attempt),
                                  false});
-    results_[u].rows[s] = sim::LabelledResult{label, r};
-    results_[u].row_wall_ms[s] = wall;
-    results_[u].row_done[s] = 1;
-    journal_.appendRow(JournalRow{u, s, label, r, wall});
+
+    // Decompose back to per-cell rows: each journals independently
+    // (resume granularity is unchanged by fusion) and the group's
+    // wall clock is split evenly — the lanes ran interleaved, so no
+    // finer attribution exists.
+    double row_wall = wall / static_cast<double>(group.rows.size());
+    for (size_t i = 0; i < group.rows.size(); ++i) {
+        size_t s = group.rows[i];
+        std::string row_label = unit.specs[s].label();
+        results_[u].rows[s] =
+            sim::LabelledResult{row_label, results[i]};
+        results_[u].row_wall_ms[s] = row_wall;
+        results_[u].row_done[s] = 1;
+        journal_.appendRow(
+            JournalRow{u, s, row_label, results[i], row_wall});
+    }
 }
 
 bool

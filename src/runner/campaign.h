@@ -10,6 +10,7 @@
 #include "runner/result_sink.h"
 #include "runner/runner.h"
 #include "runner/trace_store.h"
+#include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/trace_bundle.h"
 
@@ -136,9 +137,15 @@ class Campaign
 
     void fillSink();
     void replayJournal();
-    /** Execute phase-2 row (u, s) with retry/watchdog/journal. */
-    void runRow(const std::shared_ptr<const trace::TraceView> &view,
-                size_t u, size_t s);
+    /**
+     * Execute one phase-2 group of unit @p u with retry/watchdog/
+     * journal. A transient fault retries the whole group (lanes of a
+     * fused sweep aren't separable mid-pass); on success every row
+     * journals individually, so --resume granularity is one cell no
+     * matter how rows were grouped.
+     */
+    void runGroup(const std::shared_ptr<const trace::TraceView> &view,
+                  size_t u, const sim::ExecGroup &group);
     void recordError(size_t unit, UnitError err);
     void recordCampaignError(UnitError err);
 

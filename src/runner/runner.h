@@ -42,6 +42,13 @@ struct RunnerOptions {
     /** Replay journal_path and re-run only the missing work. */
     bool resume = false;
 
+    /**
+     * Fuse same-family DS rows into window sweeps (sim::planPhase2).
+     * Results are bit-identical either way — this is the measurement
+     * kill-switch (bench --no-fuse) and an escape hatch.
+     */
+    bool fuse_sweeps = true;
+
     /** jobs with the 0 default resolved. */
     unsigned resolvedJobs() const;
 };

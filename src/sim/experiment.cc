@@ -5,6 +5,7 @@
 #include "core/base_processor.h"
 #include "core/dynamic_processor.h"
 #include "core/static_processor.h"
+#include "sim/executor.h"
 #include "stats/barchart.h"
 #include "stats/table.h"
 
@@ -85,31 +86,10 @@ ModelSpec::ds(ConsistencyModel model, uint32_t window, bool perfect_bp,
 RunResult
 runModel(const trace::TraceView &view, const ModelSpec &spec)
 {
-    switch (spec.kind) {
-      case ModelSpec::Kind::BASE:
-        return core::BaseProcessor().run(view);
-      case ModelSpec::Kind::SSBR: {
-        core::StaticConfig config;
-        config.model = spec.model;
-        config.nonblocking_reads = false;
-        return core::StaticProcessor(config).run(view);
-      }
-      case ModelSpec::Kind::SS: {
-        core::StaticConfig config;
-        config.model = spec.model;
-        config.nonblocking_reads = true;
-        return core::StaticProcessor(config).run(view);
-      }
-      case ModelSpec::Kind::DS:
-        break;
-    }
-    core::DynamicConfig config;
-    config.model = spec.model;
-    config.window = spec.window;
-    config.width = spec.width;
-    config.btb.perfect = spec.perfect_bp;
-    config.ignore_data_deps = spec.ignore_deps;
-    return core::DynamicProcessor(config).run(view);
+    // One-shot context; campaigns pass a worker-pinned one through
+    // the executor overload instead.
+    core::SimContext ctx;
+    return runModel(view, spec, ctx);
 }
 
 RunResult

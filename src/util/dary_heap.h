@@ -31,6 +31,8 @@ class DaryMinHeap
     size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
+    void reserve(size_t capacity) { data_.reserve(capacity); }
+
     uint64_t top() const { return data_.front(); }
 
     void push(uint64_t key)

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Equivalence and planning tests for the zero-allocation phase-2
+ * executor: fused window sweeps must be bit-identical to single-cell
+ * runs (cycles, breakdowns, read-delay histograms), contexts must be
+ * reusable across differently-sized consecutive cells without state
+ * bleed, and the campaign scheduler's plan must cover every pending
+ * row exactly once under any lane cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/dynamic_processor.h"
+#include "core/sim_context.h"
+#include "core/static_processor.h"
+#include "random_trace.h"
+#include "runner/campaign.h"
+#include "runner/runner.h"
+#include "sim/app_registry.h"
+#include "sim/executor.h"
+#include "sim/experiment.h"
+#include "trace/trace_view.h"
+
+namespace dsmem {
+namespace {
+
+using core::ConsistencyModel;
+using core::DynamicConfig;
+using core::DynamicProcessor;
+using core::DynamicResult;
+using core::RunResult;
+using core::SimContext;
+using core::StaticConfig;
+using core::StaticProcessor;
+using sim::ExecGroup;
+using sim::ModelSpec;
+
+/** Histograms have no operator==; compare every observable. */
+void
+expectSameHistogram(const stats::Histogram &a, const stats::Histogram &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+    EXPECT_EQ(a.overflowCount(), b.overflowCount());
+    ASSERT_EQ(a.numBuckets(), b.numBuckets());
+    for (size_t i = 0; i < a.numBuckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), b.bucketCount(i));
+}
+
+void
+expectSameDynamicResult(const DynamicResult &a, const DynamicResult &b)
+{
+    EXPECT_EQ(static_cast<const RunResult &>(a),
+              static_cast<const RunResult &>(b));
+    EXPECT_EQ(a.avg_window_occupancy, b.avg_window_occupancy);
+    expectSameHistogram(a.read_issue_delay, b.read_issue_delay);
+}
+
+/**
+ * Every config variant the sweep must reproduce: all four models,
+ * free-window, MSHR limits, shallow store buffers, SC speculation,
+ * multi-issue, perfect prediction, ignored dependences, and the
+ * read-delay histogram collector.
+ */
+std::vector<DynamicConfig>
+variantConfigs()
+{
+    std::vector<DynamicConfig> configs;
+    for (ConsistencyModel m :
+         {ConsistencyModel::SC, ConsistencyModel::PC,
+          ConsistencyModel::WO, ConsistencyModel::RC}) {
+        DynamicConfig c;
+        c.model = m;
+        c.window = 64;
+        configs.push_back(c);
+    }
+    DynamicConfig c;
+    c.model = ConsistencyModel::RC;
+    c.window = 32;
+    c.free_window = true;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::RC;
+    c.window = 128;
+    c.mshrs = 2;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::PC;
+    c.window = 16;
+    c.store_buffer_depth = 4;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::SC;
+    c.window = 64;
+    c.sc_speculation = true;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::RC;
+    c.window = 256;
+    c.width = 4;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::RC;
+    c.window = 64;
+    c.perfect_branch_prediction = true;
+    c.ignore_data_deps = true;
+    configs.push_back(c);
+    c = DynamicConfig{};
+    c.model = ConsistencyModel::RC;
+    c.window = 64;
+    c.collect_read_delay = true;
+    configs.push_back(c);
+    return configs;
+}
+
+// --- Fused sweep is bit-identical to single-cell runs ---------------
+
+TEST(Executor, FusedSweepMatchesSingleCellRuns)
+{
+    for (uint64_t seed : {1u, 7u, 42u}) {
+        trace::TraceView view(testing::randomTrace(seed, 4000));
+        std::vector<DynamicConfig> configs = variantConfigs();
+
+        std::vector<DynamicResult> single;
+        for (const DynamicConfig &cfg : configs)
+            single.push_back(DynamicProcessor(cfg).run(view));
+
+        SimContext ctx;
+        std::vector<DynamicResult> fused =
+            core::runDynamicSweep(view, configs, ctx);
+
+        ASSERT_EQ(fused.size(), single.size());
+        for (size_t i = 0; i < fused.size(); ++i) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " config " +
+                         std::to_string(i));
+            expectSameDynamicResult(fused[i], single[i]);
+        }
+    }
+}
+
+// --- Context reuse across differently-sized cells -------------------
+
+TEST(Executor, ContextReuseHasNoStateBleed)
+{
+    trace::TraceView view(testing::randomTrace(99, 5000));
+
+    // Deliberately shrink and regrow between cells: big DS window,
+    // tiny DS window, static cells, then big again. Each run through
+    // the shared context must match a fresh-context run.
+    std::vector<DynamicConfig> ds_cells;
+    for (uint32_t w : {256u, 16u, 64u, 256u, 32u}) {
+        DynamicConfig c;
+        c.model = ConsistencyModel::RC;
+        c.window = w;
+        c.collect_read_delay = (w == 64);
+        ds_cells.push_back(c);
+    }
+
+    SimContext shared;
+    for (size_t i = 0; i < ds_cells.size(); ++i) {
+        SCOPED_TRACE("ds cell " + std::to_string(i));
+        DynamicResult reused =
+            DynamicProcessor(ds_cells[i]).run(view, shared);
+        DynamicResult fresh = DynamicProcessor(ds_cells[i]).run(view);
+        expectSameDynamicResult(reused, fresh);
+
+        // Interleave a static cell through the same context.
+        StaticConfig sc;
+        sc.model = ConsistencyModel::PC;
+        sc.nonblocking_reads = (i % 2) == 0;
+        StaticProcessor sp(sc);
+        EXPECT_EQ(sp.run(view, shared), sp.run(view));
+    }
+
+    // A fused sweep through the already-used context also matches.
+    std::vector<DynamicResult> fused =
+        core::runDynamicSweep(view, ds_cells, shared);
+    for (size_t i = 0; i < ds_cells.size(); ++i) {
+        SCOPED_TRACE("fused cell " + std::to_string(i));
+        expectSameDynamicResult(fused[i],
+                                DynamicProcessor(ds_cells[i]).run(view));
+    }
+}
+
+TEST(Executor, RunModelWithSharedContextMatchesFresh)
+{
+    trace::TraceView view(testing::randomTrace(5, 3000));
+    std::vector<ModelSpec> specs = sim::figure3Columns();
+
+    SimContext shared;
+    for (const ModelSpec &spec : specs) {
+        SCOPED_TRACE(spec.label());
+        SimContext fresh;
+        EXPECT_EQ(sim::runModel(view, spec, shared),
+                  sim::runModel(view, spec, fresh));
+    }
+}
+
+// --- Planner properties ---------------------------------------------
+
+std::vector<ModelSpec>
+combinedSpecs()
+{
+    std::vector<ModelSpec> specs = sim::figure3Columns();
+    std::vector<ModelSpec> f4 = sim::figure4Columns();
+    specs.insert(specs.end(), f4.begin(), f4.end());
+    return specs;
+}
+
+/** Each pending row appears in exactly one group. */
+void
+expectExactCover(const std::vector<ExecGroup> &groups,
+                 const std::vector<ModelSpec> &specs,
+                 const std::vector<uint8_t> &done)
+{
+    std::set<size_t> seen;
+    for (const ExecGroup &g : groups) {
+        EXPECT_FALSE(g.rows.empty());
+        for (size_t s : g.rows) {
+            EXPECT_LT(s, specs.size());
+            EXPECT_TRUE(seen.insert(s).second) << "row " << s << " twice";
+        }
+    }
+    for (size_t s = 0; s < specs.size(); ++s) {
+        bool pending = s >= done.size() || !done[s];
+        EXPECT_EQ(seen.count(s), pending ? 1u : 0u) << "row " << s;
+    }
+}
+
+TEST(Executor, PlanCoversPendingRowsExactlyOnce)
+{
+    std::vector<ModelSpec> specs = combinedSpecs();
+    for (size_t cap : {0u, 1u, 2u, 3u, 5u, 100u}) {
+        SCOPED_TRACE("lane cap " + std::to_string(cap));
+        std::vector<uint8_t> done(specs.size(), 0);
+        expectExactCover(sim::planPhase2(specs, done, cap), specs, done);
+
+        // Mark an arbitrary subset done; the plan must skip them.
+        for (size_t s = 0; s < specs.size(); s += 3)
+            done[s] = 1;
+        expectExactCover(sim::planPhase2(specs, done, cap), specs, done);
+    }
+}
+
+TEST(Executor, PlanRespectsLaneCapAndFusesOnlyDynamicRows)
+{
+    std::vector<ModelSpec> specs = combinedSpecs();
+    std::vector<uint8_t> done(specs.size(), 0);
+    for (size_t cap : {0u, 1u, 2u, 3u, 4u}) {
+        for (const ExecGroup &g : sim::planPhase2(specs, done, cap)) {
+            if (cap != 0) {
+                EXPECT_LE(g.rows.size(), cap);
+            }
+            EXPECT_EQ(g.fused, g.rows.size() > 1);
+            if (g.rows.size() > 1) {
+                for (size_t s : g.rows)
+                    EXPECT_EQ(specs[s].kind, ModelSpec::Kind::DS);
+            }
+            if (cap == 1) {
+                EXPECT_FALSE(g.fused);
+            }
+        }
+    }
+}
+
+TEST(Executor, PlanOrdersGroupsLongestFirst)
+{
+    std::vector<ModelSpec> specs = combinedSpecs();
+    std::vector<uint8_t> done(specs.size(), 0);
+    std::vector<ExecGroup> groups = sim::planPhase2(specs, done, 0);
+    for (size_t i = 1; i < groups.size(); ++i)
+        EXPECT_GE(groups[i - 1].cost, groups[i].cost);
+}
+
+TEST(Executor, AdaptiveLaneCap)
+{
+    // A lone worker fuses without limit; parallel runs split sweeps
+    // so every worker stays busy (at least two groups per worker).
+    EXPECT_EQ(sim::adaptiveLaneCap(17, 0), 0u);
+    EXPECT_EQ(sim::adaptiveLaneCap(17, 1), 0u);
+    EXPECT_EQ(sim::adaptiveLaneCap(40, 4), 5u);
+    EXPECT_EQ(sim::adaptiveLaneCap(17, 4), 3u);
+    EXPECT_EQ(sim::adaptiveLaneCap(1, 8), 2u);  // Floor: never cap at 1.
+    EXPECT_EQ(sim::adaptiveLaneCap(0, 8), 2u);
+}
+
+// --- runGroup delegates to the same paths ---------------------------
+
+TEST(Executor, RunGroupMatchesPerRowRunModel)
+{
+    trace::TraceView view(testing::randomTrace(11, 3000));
+    std::vector<ModelSpec> specs = combinedSpecs();
+    std::vector<uint8_t> done(specs.size(), 0);
+
+    SimContext ctx;
+    for (const ExecGroup &g : sim::planPhase2(specs, done, 0)) {
+        std::vector<RunResult> rows = sim::runGroup(view, specs, g, ctx);
+        ASSERT_EQ(rows.size(), g.rows.size());
+        for (size_t i = 0; i < g.rows.size(); ++i) {
+            SCOPED_TRACE(specs[g.rows[i]].label());
+            SimContext fresh;
+            EXPECT_EQ(rows[i],
+                      sim::runModel(view, specs[g.rows[i]], fresh));
+        }
+    }
+}
+
+// --- End to end: campaign results are fuse-invariant ----------------
+
+TEST(Executor, CampaignFusedMatchesUnfused)
+{
+    runner::RunnerOptions fused_opts;
+    fused_opts.jobs = 2;
+    fused_opts.trace_dir.clear(); // No persistent store in tests.
+    runner::RunnerOptions unfused_opts = fused_opts;
+    unfused_opts.fuse_sweeps = false;
+
+    runner::Campaign fused("executor_eq", fused_opts);
+    runner::Campaign unfused("executor_eq", unfused_opts);
+    for (runner::Campaign *c : {&fused, &unfused})
+        c->add(sim::AppId::LU, combinedSpecs(), memsys::MemoryConfig{},
+               /*small=*/true);
+    fused.run();
+    unfused.run();
+    ASSERT_TRUE(fused.ok());
+    ASSERT_TRUE(unfused.ok());
+
+    const runner::UnitResult &a = fused.result(0);
+    const runner::UnitResult &b = unfused.result(0);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t s = 0; s < a.rows.size(); ++s) {
+        SCOPED_TRACE(a.rows[s].label);
+        EXPECT_EQ(a.rows[s].label, b.rows[s].label);
+        EXPECT_EQ(a.rows[s].result, b.rows[s].result);
+    }
+}
+
+} // namespace
+} // namespace dsmem

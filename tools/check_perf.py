@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf ratchet: fail when a bench run regresses vs a committed baseline.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Compares only *dimensionless* ratios (per-cell view-vs-legacy
+speedups, generation speedup, bundle load/size ratios, fused-sweep
+speedups), never absolute instructions/second: the committed baseline
+and the CI runner are different machines, and a ratio of two
+measurements taken in the same process on the same host transfers
+across hosts where raw throughput does not.
+
+Both files must come from the same bench at the same scale (the
+"small" flag must match) — cell mixes and therefore expected ratios
+differ between the small and paper-scaled traces.
+
+Exit codes: 0 ok, 1 regression (>tolerance drop in any compared
+ratio), 2 usage or file mismatch. CI may skip a known-noisy failure
+with the `perf-override` PR label (see .github/workflows/ci.yml).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_perf: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def ratios(doc):
+    """Extract {name: dimensionless ratio} from one bench JSON."""
+    out = {}
+    bench = doc.get("bench")
+    if bench == "bench_hotloop":
+        for cell in doc.get("cells", []):
+            out[f"cell:{cell['label']}:speedup"] = cell["speedup"]
+        sweep = doc.get("campaign_sweep")
+        if sweep:
+            out["campaign_sweep:speedup_jobs1"] = sweep["speedup_jobs1"]
+            out["campaign_sweep:speedup_jobsN"] = sweep["speedup_jobsN"]
+    elif bench == "bench_phase1":
+        out["gen:speedup"] = doc["gen"]["speedup"]
+        out["bundle:size_ratio"] = doc["bundle"]["size_ratio"]
+        out["bundle:load_speedup_view_vs_v1"] = (
+            doc["bundle"]["load_speedup_view_vs_v1"])
+    else:
+        fail(f"unknown bench {bench!r}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    if base.get("bench") != cur.get("bench"):
+        fail(f"bench mismatch: {base.get('bench')} vs {cur.get('bench')}")
+    if base.get("small") != cur.get("small"):
+        fail("scale mismatch: baseline and current disagree on --small; "
+             "ratios are only comparable at the same trace scale")
+
+    base_r = ratios(base)
+    cur_r = ratios(cur)
+
+    regressions = []
+    compared = 0
+    for name, want in sorted(base_r.items()):
+        have = cur_r.get(name)
+        if have is None:
+            # A removed cell is a bench-definition change, not a perf
+            # regression; the test suite owns result correctness.
+            print(f"check_perf: note: {name} absent in current run")
+            continue
+        compared += 1
+        floor = want * (1.0 - args.tolerance)
+        status = "ok"
+        if have < floor:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: baseline {want:.3f} current {have:.3f} "
+              f"(floor {floor:.3f}) {status}")
+
+    print(f"check_perf: compared {compared} ratio(s), "
+          f"{len(regressions)} regression(s), "
+          f"tolerance {args.tolerance:.0%}")
+    if regressions:
+        print("check_perf: FAILED — regressed ratios: "
+              + ", ".join(regressions), file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
