@@ -32,6 +32,60 @@ enum class Protocol : uint8_t {
     MESI, ///< Adds an Exclusive state: silent upgrade of private data.
 };
 
+/** Request-scheduling policy of the banked DRAM model. */
+enum class SchedPolicy : uint32_t {
+    FCFS,     ///< Oldest eligible request first.
+    FR_FCFS,  ///< Oldest row hit first, else oldest (open-row greedy).
+    FR_BATCH, ///< FR-FCFS with a BLISS-style row-hit bypass cap.
+    RR_PROC,  ///< Round-robin across requesting processors.
+};
+
+/** Stable lower-case name of @p policy ("fcfs", "frfcfs", ...). */
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Parse a schedPolicyName back; false on unknown text. */
+bool parseSchedPolicy(const char *text, SchedPolicy &out);
+
+/**
+ * Geometry and timing of the banked DRAM model (an extension; the
+ * paper's Section 5 flags the lack of any contention model as its
+ * biggest simplification). `banks == 0` disables the model entirely
+ * and every keying/serialization site treats the configuration as the
+ * paper's fixed-latency memory — byte-identical output, names, and
+ * signatures.
+ *
+ * When enabled, a miss becomes a request: it queues at its
+ * line-interleaved bank, a MemScheduler picks the dispatch order,
+ * service time depends on the open-row state (hit / closed / conflict),
+ * the line then crosses one shared data bus, and `base_latency`
+ * (interconnect + directory) is added on top. The defaults sum to the
+ * paper's 50-cycle penalty for an uncontended row-closed access:
+ * 30 + 8 (RCD) + 8 (CAS) + 4 (bus).
+ *
+ * Every field is uint32_t so the struct has no padding: keying sites
+ * hash and compare it memberwise, and the static_asserts guarding
+ * them key off sizeof.
+ */
+struct DramConfig {
+    uint32_t banks = 0;       ///< 0 = disabled (the paper's model).
+    SchedPolicy sched = SchedPolicy::FCFS;
+    uint32_t row_bytes = 2048; ///< Open-row size; 0 = no row tracking.
+    uint32_t t_rcd = 8;       ///< Activate (row-closed) cycles.
+    uint32_t t_rp = 8;        ///< Precharge (row-conflict) cycles.
+    uint32_t t_cas = 8;       ///< Column access cycles (every access).
+    uint32_t bus_cycles = 4;  ///< Shared data-bus transfer time.
+    uint32_t base_latency = 30; ///< Interconnect + directory cycles.
+    uint32_t batch_cap = 4;   ///< FR_BATCH: max row-hit bypasses.
+
+    bool enabled() const { return banks != 0; }
+
+    /** Sanity: callers validate against the cache line size. */
+    bool valid(uint32_t line_bytes) const;
+
+    friend constexpr auto operator<=>(const DramConfig &,
+                                      const DramConfig &) = default;
+};
+
 /**
  * Memory latency model.
  *
@@ -50,6 +104,13 @@ struct MemoryConfig {
     Protocol protocol = Protocol::MSI;
     uint32_t banks = 0;          ///< 0 = contention-free (the paper).
     uint32_t bank_occupancy = 4; ///< Cycles a miss occupies its bank.
+
+    /**
+     * The banked DRAM model with pluggable request scheduling
+     * (dram.banks == 0 keeps the fixed-latency model above, bit for
+     * bit). Mutually exclusive with the toy `banks` model.
+     */
+    DramConfig dram{};
 
     /**
      * Memberwise ordering so a full configuration can key caches and

@@ -1,0 +1,145 @@
+#include "memsys/dram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/failpoint.h"
+
+namespace dsmem::memsys {
+
+DramModel::DramModel(const DramConfig &config, uint32_t line_bytes,
+                     uint32_t num_procs)
+    : config_(config),
+      sched_(makeScheduler(config, num_procs)),
+      banks_(config.banks),
+      proc_stats_(num_procs),
+      lines_per_row_(config.row_bytes == 0
+                         ? 0
+                         : config.row_bytes / line_bytes)
+{
+    if (!config.valid(line_bytes))
+        throw std::invalid_argument("invalid DramConfig");
+    if (config.banks == 0)
+        throw std::invalid_argument("DramModel requires banks > 0");
+}
+
+void
+DramModel::enqueue(uint32_t proc, uint64_t line_index, bool is_read,
+                   uint64_t now, uint64_t tag)
+{
+    DramRequest req;
+    req.arrival = now;
+    req.ticket = next_ticket_++;
+    req.proc = proc;
+    req.is_read = is_read;
+    req.tag = tag;
+    uint64_t bank = line_index % banks_.size();
+    req.row = lines_per_row_ == 0
+        ? 0
+        : (line_index / banks_.size()) / lines_per_row_;
+    banks_[bank].queue.push_back(req);
+    ++pending_;
+    ++proc_stats_[proc].requests;
+}
+
+uint64_t
+DramModel::bankDispatchCycle(const Bank &bank) const
+{
+    if (bank.queue.empty())
+        return kNever;
+    // The queue is sorted by (arrival, ticket): front is oldest.
+    return std::max(bank.free_at, bank.queue.front().arrival);
+}
+
+uint64_t
+DramModel::nextDispatchCycle() const
+{
+    uint64_t best = kNever;
+    for (const Bank &bank : banks_)
+        best = std::min(best, bankDispatchCycle(bank));
+    return best;
+}
+
+void
+DramModel::advanceTo(uint64_t limit)
+{
+    for (;;) {
+        // Next dispatch = (instant, bank id) minimum, so concurrent
+        // bank activity interleaves deterministically and the shared
+        // bus is granted in dispatch order.
+        uint64_t t = kNever;
+        size_t b = 0;
+        for (size_t i = 0; i < banks_.size(); ++i) {
+            uint64_t c = bankDispatchCycle(banks_[i]);
+            if (c < t) {
+                t = c;
+                b = i;
+            }
+        }
+        if (t == kNever || t > limit)
+            return;
+
+        util::failpoint("dram.dispatch");
+
+        Bank &bank = banks_[b];
+        size_t i = sched_->pick(static_cast<uint32_t>(b), bank.queue,
+                                t, bank.row_valid, bank.open_row);
+        if (i >= bank.queue.size() || bank.queue[i].arrival > t)
+            throw std::logic_error(
+                "MemScheduler picked an ineligible request");
+        DramRequest req = bank.queue[i];
+        bank.queue.erase(bank.queue.begin() +
+                         static_cast<ptrdiff_t>(i));
+        --pending_;
+
+        DramAccessStats &ps = proc_stats_[req.proc];
+        uint32_t service = config_.t_cas;
+        if (lines_per_row_ != 0) {
+            if (bank.row_valid && bank.open_row == req.row) {
+                ++ps.row_hits;
+                ++bank.stats.row_hits;
+            } else if (!bank.row_valid) {
+                ++ps.row_misses;
+                service += config_.t_rcd;
+            } else {
+                ++ps.row_conflicts;
+                service += config_.t_rp + config_.t_rcd;
+            }
+            bank.row_valid = true;
+            bank.open_row = req.row;
+        }
+        ps.queue_cycles += t - req.arrival;
+
+        uint64_t service_end = t + service;
+        uint64_t transfer = service_end;
+        if (config_.bus_cycles != 0) {
+            transfer = std::max(service_end, bus_free_);
+            ps.bus_wait_cycles += transfer - service_end;
+            bus_free_ = transfer + config_.bus_cycles;
+        }
+        uint64_t done = transfer + config_.bus_cycles;
+        bank.free_at = done;
+        bank.stats.busy_cycles += done - t;
+        ++bank.stats.requests;
+
+        Completion c;
+        c.tag = req.tag;
+        c.finish = done + config_.base_latency;
+        c.latency = c.finish - req.arrival;
+        c.proc = req.proc;
+        c.is_read = req.is_read;
+        completions_.push_back(c);
+    }
+}
+
+DramSummary
+DramModel::summary() const
+{
+    DramSummary s;
+    s.banks.reserve(banks_.size());
+    for (const Bank &bank : banks_)
+        s.banks.push_back(bank.stats);
+    return s;
+}
+
+} // namespace dsmem::memsys

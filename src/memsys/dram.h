@@ -1,0 +1,150 @@
+#ifndef DSMEM_MEMSYS_DRAM_H
+#define DSMEM_MEMSYS_DRAM_H
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "memsys/config.h"
+#include "memsys/mem_sched.h"
+
+namespace dsmem::memsys {
+
+/** Per-processor DRAM accounting, folded into CacheStats at run end. */
+struct DramAccessStats {
+    uint64_t requests = 0;
+    uint64_t row_hits = 0;      ///< Open-row reuse (t_cas only).
+    uint64_t row_misses = 0;    ///< Row buffer closed (t_rcd + t_cas).
+    uint64_t row_conflicts = 0; ///< Wrong row open (+ t_rp precharge).
+    uint64_t queue_cycles = 0;  ///< Arrival -> dispatch wait.
+    uint64_t bus_wait_cycles = 0; ///< Service end -> bus grant wait.
+};
+
+/** Per-bank occupancy summary (the figure bench's histogram axis). */
+struct DramBankSummary {
+    uint64_t requests = 0;
+    uint64_t busy_cycles = 0; ///< Cycles the bank was held.
+    uint64_t row_hits = 0;
+};
+
+/** Whole-run DRAM summary; empty `banks` means the model was off. */
+struct DramSummary {
+    std::vector<DramBankSummary> banks;
+};
+
+/**
+ * Cycle-accounted banked DRAM behind the MemScheduler interface.
+ *
+ * The model is co-simulated with the engine's event loop: misses
+ * arrive via enqueue() as the engine executes them, and the engine
+ * advances the model (advanceTo) through every dispatch instant that
+ * is already in its past before processing the next thread event —
+ * so each dispatch decision is made with complete knowledge of all
+ * arrivals up to that instant, exactly the information a hardware
+ * controller has, and never with knowledge of later ones (the
+ * scheduler only sees eligible requests).
+ *
+ * Timing of one dispatched request at instant `t`
+ * (t = max(bank free, oldest pending arrival)):
+ *
+ *   service  = t_cas                    row hit
+ *            = t_rcd + t_cas            row closed (first access)
+ *            = t_rp + t_rcd + t_cas     row conflict (wrong row open)
+ *   transfer = max(t + service, bus free) .. + bus_cycles
+ *   finish   = transfer end + base_latency
+ *
+ * The bank is held from t until transfer end (it owns the row buffer
+ * through the transfer), the single shared bus serializes transfers
+ * in dispatch order, and base_latency models the fixed
+ * interconnect + directory path the paper's 50-cycle penalty mostly
+ * consists of. With row_bytes == 0 row tracking is off and every
+ * access costs t_cas — the degenerate configuration the toy
+ * `banks`/`bank_occupancy` model is a special case of (see the
+ * superset equivalence test).
+ *
+ * Dispatch processing order across banks is (instant, bank id) —
+ * fully deterministic. Each dispatch evaluates the
+ * "dram.dispatch" failpoint, the fault-injection boundary of the
+ * subsystem.
+ */
+class DramModel
+{
+  public:
+    static constexpr uint64_t kNever =
+        std::numeric_limits<uint64_t>::max();
+    static constexpr uint64_t kNoTag = kNever;
+
+    /** A request the model finished; drained by the engine. */
+    struct Completion {
+        uint64_t tag = 0;      ///< The enqueue() cookie.
+        uint64_t finish = 0;   ///< Global cycle the data arrives.
+        uint64_t latency = 0;  ///< finish - arrival.
+        uint32_t proc = 0;
+        bool is_read = false;
+    };
+
+    DramModel(const DramConfig &config, uint32_t line_bytes,
+              uint32_t num_procs);
+
+    /**
+     * Queue a miss for the line with global index @p line_index
+     * (line address / line bytes) arriving at @p now. Arrivals must
+     * be non-decreasing in @p now (engine time is monotonic).
+     */
+    void enqueue(uint32_t proc, uint64_t line_index, bool is_read,
+                 uint64_t now, uint64_t tag);
+
+    bool idle() const { return pending_ == 0; }
+
+    /**
+     * Earliest instant any bank could dispatch its next request, or
+     * kNever when nothing is pending. The engine advances the model
+     * whenever this falls strictly before its next thread event.
+     */
+    uint64_t nextDispatchCycle() const;
+
+    /** Dispatch every request whose instant is <= @p limit. */
+    void advanceTo(uint64_t limit);
+
+    /** Completions accumulated since the last drain (then cleared). */
+    std::vector<Completion> &drainCompletions()
+    {
+        return completions_;
+    }
+
+    const DramAccessStats &procStats(uint32_t proc) const
+    {
+        return proc_stats_.at(proc);
+    }
+
+    DramSummary summary() const;
+
+    const DramConfig &config() const { return config_; }
+
+  private:
+    struct Bank {
+        std::vector<DramRequest> queue; ///< Sorted (arrival, ticket).
+        uint64_t free_at = 0;
+        uint64_t open_row = 0;
+        bool row_valid = false;
+        DramBankSummary stats;
+    };
+
+    /** Dispatch instant of @p bank, or kNever with an empty queue. */
+    uint64_t bankDispatchCycle(const Bank &bank) const;
+
+    DramConfig config_;
+    std::unique_ptr<MemScheduler> sched_;
+    std::vector<Bank> banks_;
+    std::vector<DramAccessStats> proc_stats_;
+    std::vector<Completion> completions_;
+    uint64_t lines_per_row_; ///< 0 = row tracking disabled.
+    uint64_t bus_free_ = 0;
+    uint64_t next_ticket_ = 0;
+    size_t pending_ = 0;
+};
+
+} // namespace dsmem::memsys
+
+#endif // DSMEM_MEMSYS_DRAM_H

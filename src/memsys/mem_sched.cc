@@ -1,0 +1,192 @@
+#include "memsys/mem_sched.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsmem::memsys {
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::FCFS:
+        return "fcfs";
+      case SchedPolicy::FR_FCFS:
+        return "frfcfs";
+      case SchedPolicy::FR_BATCH:
+        return "frbatch";
+      case SchedPolicy::RR_PROC:
+        return "rrproc";
+    }
+    return "invalid";
+}
+
+bool
+parseSchedPolicy(const char *text, SchedPolicy &out)
+{
+    for (SchedPolicy p : {SchedPolicy::FCFS, SchedPolicy::FR_FCFS,
+                          SchedPolicy::FR_BATCH, SchedPolicy::RR_PROC}) {
+        if (std::strcmp(text, schedPolicyName(p)) == 0) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DramConfig::valid(uint32_t line_bytes) const
+{
+    if (banks == 0)
+        return true; // Disabled: the other fields are inert.
+    if (banks > 1024)
+        return false;
+    if (row_bytes != 0 &&
+        (line_bytes == 0 || row_bytes % line_bytes != 0))
+        return false;
+    if (t_cas == 0)
+        return false; // A zero-cycle access breaks bank occupancy.
+    if (sched == SchedPolicy::FR_BATCH && batch_cap == 0)
+        return false;
+    return true;
+}
+
+namespace {
+
+/**
+ * Oldest eligible request. The queue is sorted by (arrival, ticket)
+ * and its front is guaranteed eligible, so this is index 0.
+ */
+class FcfsScheduler final : public MemScheduler
+{
+  public:
+    size_t pick(uint32_t, const std::vector<DramRequest> &, uint64_t,
+                bool, uint64_t) override
+    {
+        return 0;
+    }
+};
+
+/** Oldest eligible row hit if the row buffer matches, else oldest. */
+size_t
+pickFrFcfs(const std::vector<DramRequest> &queue, uint64_t now,
+           bool open_row_valid, uint64_t open_row)
+{
+    if (open_row_valid) {
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (queue[i].arrival > now)
+                break; // Sorted: everything after is future too.
+            if (queue[i].row == open_row)
+                return i;
+        }
+    }
+    return 0;
+}
+
+class FrFcfsScheduler final : public MemScheduler
+{
+  public:
+    size_t pick(uint32_t, const std::vector<DramRequest> &queue,
+                uint64_t now, bool open_row_valid,
+                uint64_t open_row) override
+    {
+        return pickFrFcfs(queue, now, open_row_valid, open_row);
+    }
+};
+
+/**
+ * FR-FCFS with a BLISS-style starvation bound: each time a row hit
+ * bypasses the oldest request the bank's streak counter grows; once
+ * it reaches `batch_cap` the oldest request is served unconditionally
+ * and the streak resets. No request can therefore wait more than
+ * batch_cap consecutive dispatches once it is the oldest — the
+ * starvation-bound unit test holds the policy to exactly that.
+ */
+class FrBatchScheduler final : public MemScheduler
+{
+  public:
+    FrBatchScheduler(uint32_t banks, uint32_t cap)
+        : streak_(banks, 0), cap_(cap)
+    {
+    }
+
+    size_t pick(uint32_t bank, const std::vector<DramRequest> &queue,
+                uint64_t now, bool open_row_valid,
+                uint64_t open_row) override
+    {
+        uint32_t &streak = streak_.at(bank);
+        if (streak >= cap_) {
+            streak = 0;
+            return 0;
+        }
+        size_t i = pickFrFcfs(queue, now, open_row_valid, open_row);
+        if (i == 0)
+            streak = 0;
+        else
+            ++streak;
+        return i;
+    }
+
+  private:
+    std::vector<uint32_t> streak_;
+    uint32_t cap_;
+};
+
+/**
+ * Round-robin across processors: each bank remembers the last
+ * processor it served and scans forward (wrapping) for the next
+ * processor with an eligible request, serving that processor's oldest.
+ * Writeback traffic participates under its writing-back processor.
+ */
+class RrProcScheduler final : public MemScheduler
+{
+  public:
+    RrProcScheduler(uint32_t banks, uint32_t num_procs)
+        : last_(banks, num_procs - 1), num_procs_(num_procs)
+    {
+    }
+
+    size_t pick(uint32_t bank, const std::vector<DramRequest> &queue,
+                uint64_t now, bool, uint64_t) override
+    {
+        uint32_t &last = last_.at(bank);
+        for (uint32_t step = 1; step <= num_procs_; ++step) {
+            uint32_t proc = (last + step) % num_procs_;
+            for (size_t i = 0; i < queue.size(); ++i) {
+                if (queue[i].arrival > now)
+                    break;
+                if (queue[i].proc == proc) {
+                    last = proc;
+                    return i;
+                }
+            }
+        }
+        return 0; // Unreachable: the front is always eligible.
+    }
+
+  private:
+    std::vector<uint32_t> last_;
+    uint32_t num_procs_;
+};
+
+} // namespace
+
+std::unique_ptr<MemScheduler>
+makeScheduler(const DramConfig &config, uint32_t num_procs)
+{
+    switch (config.sched) {
+      case SchedPolicy::FCFS:
+        return std::make_unique<FcfsScheduler>();
+      case SchedPolicy::FR_FCFS:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedPolicy::FR_BATCH:
+        return std::make_unique<FrBatchScheduler>(config.banks,
+                                                  config.batch_cap);
+      case SchedPolicy::RR_PROC:
+        return std::make_unique<RrProcScheduler>(config.banks,
+                                                 num_procs);
+    }
+    throw std::invalid_argument("unknown SchedPolicy");
+}
+
+} // namespace dsmem::memsys

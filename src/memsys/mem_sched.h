@@ -1,0 +1,72 @@
+#ifndef DSMEM_MEMSYS_MEM_SCHED_H
+#define DSMEM_MEMSYS_MEM_SCHED_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsys/config.h"
+
+namespace dsmem::memsys {
+
+/**
+ * One memory request queued at a DRAM bank.
+ *
+ * `ticket` is a global issue counter: arrivals are enqueued in
+ * global-simulated-time order (the engine's event loop is monotonic),
+ * so a bank queue is always sorted by (arrival, ticket) and that pair
+ * totally orders requests — "oldest" below always means smallest
+ * (arrival, ticket).
+ */
+struct DramRequest {
+    uint64_t arrival = 0; ///< Global cycle the request reached DRAM.
+    uint64_t ticket = 0;  ///< Issue order tiebreak (unique).
+    uint64_t row = 0;     ///< DRAM row the line maps to.
+    uint64_t tag = 0;     ///< Caller cookie, returned on completion.
+    uint32_t proc = 0;    ///< Requesting processor (stats + RR).
+    bool is_read = false; ///< Read fill (a thread waits) vs write.
+};
+
+/**
+ * Request-scheduler plug-in: given one bank's queue at a dispatch
+ * instant, pick which request the bank serves next.
+ *
+ * Contract (what the oracle test holds every policy to):
+ *  - `queue` is the bank's pending requests sorted by
+ *    (arrival, ticket); it is non-empty and its front is eligible.
+ *  - Only *eligible* requests — `arrival <= now` — may be picked.
+ *    The queue may also hold future arrivals (the model batches
+ *    dispatch decisions), and choosing one would let a scheduler see
+ *    the future.
+ *  - `open_row_valid`/`open_row` describe the bank's row buffer so
+ *    row-hit-first policies can prioritize.
+ *  - The choice must be a pure function of (queue, now, row state,
+ *    the policy's own per-bank state); determinism of the whole
+ *    simulation depends on it.
+ *
+ * Implementations may keep per-bank state (batch counters, RR
+ * pointers) keyed by `bank`.
+ */
+class MemScheduler
+{
+  public:
+    virtual ~MemScheduler() = default;
+
+    /** Index into @p queue of the request to dispatch at @p now. */
+    virtual size_t pick(uint32_t bank,
+                        const std::vector<DramRequest> &queue,
+                        uint64_t now, bool open_row_valid,
+                        uint64_t open_row) = 0;
+};
+
+/**
+ * Build the scheduler for @p config (config.sched selects the
+ * policy; config.batch_cap parameterizes FR_BATCH). @p num_procs and
+ * config.banks size the per-bank state tables.
+ */
+std::unique_ptr<MemScheduler> makeScheduler(const DramConfig &config,
+                                            uint32_t num_procs);
+
+} // namespace dsmem::memsys
+
+#endif // DSMEM_MEMSYS_MEM_SCHED_H

@@ -17,8 +17,19 @@ MemorySystem::MemorySystem(uint32_t num_procs,
     for (uint32_t p = 0; p < num_procs; ++p)
         caches_.push_back(std::make_unique<Cache>(cache_config));
     stats_.resize(num_procs);
+    line_bytes_ = cache_config.line_bytes;
     if (mem_config.banks > 0)
         bank_free_.assign(mem_config.banks, 0);
+    if (mem_config.dram.enabled()) {
+        if (mem_config.banks > 0)
+            throw std::invalid_argument(
+                "the toy bank model (banks > 0) and the DRAM model "
+                "(dram.banks > 0) are mutually exclusive");
+        if (!mem_config.dram.valid(line_bytes_))
+            throw std::invalid_argument("invalid DramConfig");
+        dram_ = std::make_unique<DramModel>(mem_config.dram,
+                                            line_bytes_, num_procs);
+    }
 }
 
 AccessResult
@@ -66,15 +77,27 @@ MemorySystem::dropSharer(Addr line, uint32_t proc)
 }
 
 void
-MemorySystem::handleEviction(uint32_t proc, Addr victim_line, bool dirty)
+MemorySystem::enqueueWriteback(uint32_t proc, Addr line, uint64_t now)
 {
-    if (dirty)
+    if (dram_)
+        dram_->enqueue(proc, line / line_bytes_, false, now,
+                       DramModel::kNoTag);
+}
+
+void
+MemorySystem::handleEviction(uint32_t proc, Addr victim_line,
+                             bool dirty, uint64_t now)
+{
+    if (dirty) {
         ++stats_[proc].writebacks;
+        enqueueWriteback(proc, victim_line, now);
+    }
     dropSharer(victim_line, proc);
 }
 
 uint32_t
-MemorySystem::invalidateRemote(Addr line, uint32_t requester)
+MemorySystem::invalidateRemote(Addr line, uint32_t requester,
+                               uint64_t now)
 {
     DirEntry *entry = directory_.find(line);
     if (entry == nullptr)
@@ -86,8 +109,10 @@ MemorySystem::invalidateRemote(Addr line, uint32_t requester)
             continue;
         // A MODIFIED remote copy is implicitly written back as part
         // of the ownership transfer; an EXCLUSIVE copy is clean.
-        if (caches_[p]->lookup(line) == LineState::MODIFIED)
+        if (caches_[p]->lookup(line) == LineState::MODIFIED) {
             ++stats_[p].writebacks;
+            enqueueWriteback(p, line, now);
+        }
         caches_[p]->invalidate(line);
         ++stats_[p].invalidations_received;
         ++invalidated;
@@ -128,8 +153,10 @@ MemorySystem::readMiss(Cache &cache, uint32_t proc, Addr addr,
     bool had_copies = entry.sharers != 0;
     if (entry.owner >= 0 && entry.owner != static_cast<int32_t>(proc)) {
         uint32_t owner = static_cast<uint32_t>(entry.owner);
-        if (caches_[owner]->lookup(line) == LineState::MODIFIED)
+        if (caches_[owner]->lookup(line) == LineState::MODIFIED) {
             ++stats_[owner].writebacks;
+            enqueueWriteback(owner, line, now);
+        }
         caches_[owner]->setState(line, LineState::SHARED);
         entry.owner = -1;
     }
@@ -142,27 +169,38 @@ MemorySystem::readMiss(Cache &cache, uint32_t proc, Addr addr,
     Addr victim = 0;
     bool victim_dirty = false;
     if (cache.install(line, install_state, &victim, &victim_dirty))
-        handleEviction(proc, victim, victim_dirty);
+        handleEviction(proc, victim, victim_dirty, now);
     // handleEviction may have erased entries; re-fetch ours.
     DirEntry &entry2 = dirEntry(line);
     entry2.sharers |= (1u << proc);
     if (install_state == LineState::EXCLUSIVE)
         entry2.owner = static_cast<int32_t>(proc);
 
+    if (dram_) {
+        // The coherence transaction commits now (directory state is
+        // global time, like today); the line *fetch* is a DRAM read
+        // request the engine waits on. Tag = proc: blocking reads
+        // mean at most one outstanding read per processor.
+        dram_->enqueue(proc, line / line_bytes_, true, now, proc);
+        return {AccessKind::READ_MISS, 0, 0, true};
+    }
     return {AccessKind::READ_MISS, latency, 0};
 }
 
 AccessResult
 MemorySystem::writeMiss(Cache &cache, uint32_t proc, Addr addr,
-                        LineState state, uint64_t now)
+                        LineState state, uint64_t now,
+                        uint64_t trace_tag)
 {
     Addr line = cache.lineAddr(addr);
     ++stats_[proc].write_misses;
     uint32_t latency = missLatency(proc, line, now);
-    uint32_t invalidations = invalidateRemote(line, proc);
+    uint32_t invalidations = invalidateRemote(line, proc, now);
 
     if (state == LineState::SHARED) {
-        // Ownership upgrade: line already resident.
+        // Ownership upgrade: line already resident, no line fetch —
+        // the directory round-trip keeps its fixed cost even under
+        // the DRAM model.
         cache.setState(line, LineState::MODIFIED);
         DirEntry &entry = dirEntry(line);
         entry.sharers |= (1u << proc);
@@ -173,12 +211,28 @@ MemorySystem::writeMiss(Cache &cache, uint32_t proc, Addr addr,
     Addr victim = 0;
     bool victim_dirty = false;
     if (cache.install(line, LineState::MODIFIED, &victim, &victim_dirty))
-        handleEviction(proc, victim, victim_dirty);
+        handleEviction(proc, victim, victim_dirty, now);
     DirEntry &entry = dirEntry(line);
     entry.sharers |= (1u << proc);
     entry.owner = static_cast<int32_t>(proc);
 
+    if (dram_) {
+        // Fire-and-forget under the write buffer: the processor
+        // continues; the annotation (provisionally miss_latency) is
+        // patched with the real value at the DRAM completion.
+        dram_->enqueue(proc, line / line_bytes_, false, now, trace_tag);
+        return {AccessKind::WRITE_MISS, latency, invalidations, true};
+    }
     return {AccessKind::WRITE_MISS, latency, invalidations};
+}
+
+void
+MemorySystem::finalizeDramStats()
+{
+    if (!dram_)
+        return;
+    for (uint32_t p = 0; p < numProcs(); ++p)
+        stats_[p].dram = dram_->procStats(p);
 }
 
 CacheStats
@@ -193,6 +247,12 @@ MemorySystem::totalStats() const
         total.invalidations_received += s.invalidations_received;
         total.writebacks += s.writebacks;
         total.contention_cycles += s.contention_cycles;
+        total.dram.requests += s.dram.requests;
+        total.dram.row_hits += s.dram.row_hits;
+        total.dram.row_misses += s.dram.row_misses;
+        total.dram.row_conflicts += s.dram.row_conflicts;
+        total.dram.queue_cycles += s.dram.queue_cycles;
+        total.dram.bus_wait_cycles += s.dram.bus_wait_cycles;
     }
     return total;
 }

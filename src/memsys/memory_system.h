@@ -7,6 +7,7 @@
 
 #include "memsys/cache.h"
 #include "memsys/config.h"
+#include "memsys/dram.h"
 #include "util/flat_map.h"
 
 namespace dsmem::memsys {
@@ -24,6 +25,14 @@ struct AccessResult {
     AccessKind kind = AccessKind::HIT;
     uint32_t latency = 1;       ///< Cycles for the access to complete.
     uint32_t invalidations = 0; ///< Remote copies invalidated.
+
+    /**
+     * The line fetch was handed to the banked DRAM model instead of
+     * completing synchronously: `latency` is provisional (a read's
+     * real latency is known only at its DRAM completion, which the
+     * engine waits for; a store's annotation is patched there).
+     */
+    bool deferred = false;
 
     bool isMiss() const { return kind != AccessKind::HIT; }
 
@@ -44,6 +53,12 @@ struct CacheStats {
     uint64_t invalidations_received = 0;
     uint64_t writebacks = 0;
     uint64_t contention_cycles = 0; ///< Bank-queueing delay incurred.
+
+    /**
+     * Banked-DRAM accounting (all zero unless MemoryConfig::dram is
+     * enabled; folded in from the DramModel when a run finishes).
+     */
+    DramAccessStats dram;
 };
 
 /**
@@ -83,8 +98,15 @@ class MemorySystem
         return readMiss(cache, proc, addr, now);
     }
 
-    /** Processor @p proc stores to @p addr at global time @p now. */
-    AccessResult write(uint32_t proc, Addr addr, uint64_t now = 0)
+    /**
+     * Processor @p proc stores to @p addr at global time @p now.
+     * With the DRAM model active, a deferred write miss carries
+     * @p trace_tag through to its DRAM completion so the engine can
+     * patch the store's latency annotation (DramModel::kNoTag when
+     * the caller doesn't need the completion).
+     */
+    AccessResult write(uint32_t proc, Addr addr, uint64_t now = 0,
+                       uint64_t trace_tag = DramModel::kNoTag)
     {
         Cache &cache = *caches_[proc];
         ++stats_[proc].writes;
@@ -96,7 +118,7 @@ class MemorySystem
             cache.setState(cache.lineAddr(addr), LineState::MODIFIED);
             return {AccessKind::HIT, mem_config_.hit_latency, 0};
         }
-        return writeMiss(cache, proc, addr, state, now);
+        return writeMiss(cache, proc, addr, state, now, trace_tag);
     }
 
     /**
@@ -114,6 +136,23 @@ class MemorySystem
     const Cache &cache(uint32_t proc) const { return *caches_.at(proc); }
     const MemoryConfig &memConfig() const { return mem_config_; }
 
+    /** The banked DRAM model, or null when dram.banks == 0. */
+    DramModel *dram() { return dram_.get(); }
+    const DramModel *dram() const { return dram_.get(); }
+
+    /** Per-bank DRAM summary (empty banks when the model is off). */
+    DramSummary dramSummary() const
+    {
+        return dram_ ? dram_->summary() : DramSummary{};
+    }
+
+    /**
+     * Fold the DramModel's per-processor accounting into CacheStats.
+     * The engine calls this once when a run finishes; a no-op without
+     * the DRAM model.
+     */
+    void finalizeDramStats();
+
     /** Aggregate statistics across all processors. */
     CacheStats totalStats() const;
 
@@ -124,7 +163,8 @@ class MemorySystem
 
     /** Store miss or SHARED upgrade: invalidate, install/upgrade. */
     AccessResult writeMiss(Cache &cache, uint32_t proc, Addr addr,
-                           LineState state, uint64_t now);
+                           LineState state, uint64_t now,
+                           uint64_t trace_tag = DramModel::kNoTag);
 
     /** Directory entry: which caches hold the line, and who owns it. */
     struct DirEntry {
@@ -144,11 +184,22 @@ class MemorySystem
     /** Remove @p proc from the sharer set of @p line. */
     void dropSharer(Addr line, uint32_t proc);
 
-    /** Handle a victim eviction from @p proc's cache. */
-    void handleEviction(uint32_t proc, Addr victim_line, bool dirty);
+    /** Handle a victim eviction from @p proc's cache at @p now. */
+    void handleEviction(uint32_t proc, Addr victim_line, bool dirty,
+                        uint64_t now);
 
     /** Invalidate all remote copies of @p line; returns the count. */
-    uint32_t invalidateRemote(Addr line, uint32_t requester);
+    uint32_t invalidateRemote(Addr line, uint32_t requester,
+                              uint64_t now);
+
+    /**
+     * Queue a coherence writeback (eviction of a dirty victim, or a
+     * downgrade/invalidation of a MODIFIED remote copy) at the DRAM:
+     * fire-and-forget write traffic attributed to the processor whose
+     * copy drains. A no-op without the DRAM model — the paper's
+     * fixed-latency memory absorbs writebacks for free.
+     */
+    void enqueueWriteback(uint32_t proc, Addr line, uint64_t now);
 
     /**
      * Miss latency including any bank-queueing delay at @p now;
@@ -161,6 +212,8 @@ class MemorySystem
     std::vector<CacheStats> stats_;
     util::FlatMap<Addr, DirEntry> directory_{256};
     std::vector<uint64_t> bank_free_;
+    std::unique_ptr<DramModel> dram_; ///< Null when dram.banks == 0.
+    uint32_t line_bytes_ = 0;         ///< For DRAM line indexing.
 };
 
 } // namespace dsmem::memsys

@@ -17,6 +17,10 @@ Engine::Engine(const EngineConfig &config)
 {
     if (config.traced_proc >= config.num_procs)
         throw std::invalid_argument("traced_proc out of range");
+    if (config.mem.dram.enabled() && config.legacy_engine)
+        throw std::invalid_argument(
+            "the DRAM model requires the fast engine "
+            "(legacy_engine is the seed-faithful reference)");
     threads_.resize(config.num_procs);
     for (uint32_t p = 0; p < config.num_procs; ++p)
         threads_[p].ctx = std::make_unique<ThreadContext>(this, p);
@@ -92,6 +96,45 @@ Engine::applyWakes(const std::vector<SyncWake> &wakes, Op op)
 }
 
 void
+Engine::deliverDramCompletions(memsys::DramModel &dram)
+{
+    std::vector<memsys::DramModel::Completion> &comps =
+        dram.drainCompletions();
+    for (const memsys::DramModel::Completion &c : comps) {
+        if (c.is_read) {
+            // Tag == requesting processor: blocking reads allow one
+            // outstanding read per thread, parked since it issued.
+            Thread &thread = threads_.at(c.proc);
+            assert(thread.state == ThreadState::PARKED);
+            ThreadContext &ctx = *thread.ctx;
+            ThreadContext::PendingOp &op = ctx.pending_;
+            assert(op.kind == ThreadContext::PendingKind::LOAD);
+
+            if (ctx.rec_) [[unlikely]] {
+                TraceInst inst;
+                inst.op = Op::LOAD;
+                inst.addr = op.addr;
+                inst.latency = static_cast<uint32_t>(c.latency);
+                inst.num_srcs = op.num_deps;
+                for (int i = 0; i < op.num_deps; ++i)
+                    inst.src[i] = op.deps[i];
+                ctx.rec_->append(inst);
+            }
+            ctx.cycle_ = c.finish;
+            op.kind = ThreadContext::PendingKind::NONE;
+            thread.state = ThreadState::READY;
+            enqueue(c.proc, ctx.cycle_);
+        } else if (c.tag != memsys::DramModel::kNoTag) {
+            // Traced-processor store: patch the provisional latency
+            // annotation with the cycles the write really took.
+            recorder_.patchLatency(static_cast<size_t>(c.tag),
+                                   static_cast<uint32_t>(c.latency));
+        }
+    }
+    comps.clear();
+}
+
+void
 Engine::execMemOp(ThreadContext &ctx)
 {
     ThreadContext::PendingOp &op = ctx.pending_;
@@ -123,6 +166,20 @@ Engine::execMemOp(ThreadContext &ctx)
             out_val.i = arena_.loadInt(op.addr);
             out_val.f = static_cast<double>(out_val.i);
         }
+        if (res.deferred) [[unlikely]] {
+            // The fetch is queued at the DRAM. The value (today's
+            // semantics: arena state at issue) travels with the
+            // parked thread; deliverDramCompletions records the load
+            // with its real latency and resumes at the completion
+            // cycle. pending_ keeps the addr/deps for that record.
+            out_val.inst = ctx.next_inst_++;
+            ++stats.instructions;
+            ++stats.reads;
+            ++stats.read_misses;
+            op.result = out_val;
+            threads_[proc].state = ThreadState::PARKED;
+            return;
+        }
         if (legacy) [[unlikely]] {
             out_val.inst = ctx.recordTimed(build_mem_inst(Op::LOAD,
                                                           res.latency));
@@ -140,9 +197,14 @@ Engine::execMemOp(ThreadContext &ctx)
         ctx.cycle_ += res.latency;
         op.result = out_val;
     } else {
+        // Deferred write misses patch the annotation at the record
+        // the store is about to occupy (traced processor only).
+        uint64_t tag = ctx.rec_
+            ? static_cast<uint64_t>(ctx.next_inst_)
+            : memsys::DramModel::kNoTag;
         memsys::AccessResult res = legacy
             ? memory_.writeLegacy(proc, op.addr, now)
-            : memory_.write(proc, op.addr, now);
+            : memory_.write(proc, op.addr, now, tag);
         if (op.is_float)
             arena_.storeFloat(op.addr, op.data.f);
         else
@@ -197,6 +259,8 @@ Engine::processPending(Thread &thread)
       case ThreadContext::PendingKind::LOAD:
       case ThreadContext::PendingKind::STORE:
         execMemOp(ctx);
+        if (thread.state == ThreadState::PARKED)
+            return; // Deferred read: parked on its DRAM completion.
         break;
 
       case ThreadContext::PendingKind::LOCK: {
@@ -276,6 +340,10 @@ Engine::run()
     else
         runLoopFast();
 
+    // Runs that used the DRAM model fold its accounting into the
+    // cache statistics before anyone reads them.
+    memory_.finalizeDramStats();
+
     // Assemble the contiguous trace the timing phase consumes from
     // the capture chunks (trace()/takeTrace() are unchanged).
     recorder_.drainInto(trace_);
@@ -292,7 +360,21 @@ void
 Engine::runLoopFast()
 {
     const uint32_t num_procs = config_.num_procs;
-    while (ready_count_ > 0) {
+    memsys::DramModel *dram = memory_.dram();
+    for (;;) {
+        if (ready_count_ == 0) {
+            if (dram == nullptr || dram->idle())
+                break;
+            // Every thread is parked (or done) and requests are in
+            // flight: drain the DRAM; read completions wake their
+            // parked threads.
+            dram->advanceTo(memsys::DramModel::kNever);
+            deliverDramCompletions(*dram);
+            if (ready_count_ == 0)
+                break; // Only write completions: nothing to resume.
+            continue;
+        }
+
         // Extract the (cycle, proc) minimum by scanning the per-proc
         // key slots; kNoKey slots lose every comparison. A slot is set
         // iff its thread is READY or HAS_PENDING, so no staleness
@@ -303,6 +385,22 @@ Engine::runLoopFast()
             if (key < best)
                 best = key;
         }
+
+        if (dram != nullptr) [[unlikely]] {
+            // Co-simulation invariant: every DRAM dispatch instant
+            // strictly before the next thread event is decided now,
+            // when all arrivals up to that instant are known (engine
+            // time is monotonic) and none after it can interfere.
+            // Instants >= the event wait: that event may enqueue an
+            // arrival the scheduler is entitled to see.
+            uint64_t next_cycle = best >> kProcBits;
+            if (dram->nextDispatchCycle() < next_cycle) {
+                dram->advanceTo(next_cycle - 1);
+                deliverDramCompletions(*dram);
+                continue; // A wake may now precede the old minimum.
+            }
+        }
+
         uint32_t proc = static_cast<uint32_t>(best & kProcMask);
         ready_keys_[proc] = kNoKey;
         --ready_count_;
@@ -317,6 +415,8 @@ Engine::runLoopFast()
             if (ctx.pending_.kind == ThreadContext::PendingKind::LOAD ||
                 ctx.pending_.kind == ThreadContext::PendingKind::STORE) {
                 execMemOp(ctx);
+                if (thread.state == ThreadState::PARKED) [[unlikely]]
+                    continue; // Blocking read parked on the DRAM.
                 ctx.pending_.kind = ThreadContext::PendingKind::NONE;
                 thread.state = ThreadState::READY;
             } else {

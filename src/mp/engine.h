@@ -38,6 +38,9 @@ struct EngineConfig {
      * identical event order, trace, and statistics — this switch
      * keeps the original implementation runnable so bench_phase1 and
      * the tests can prove that equivalence rather than assume it.
+     *
+     * Incompatible with mem.dram (the banked DRAM model): the legacy
+     * engine is the seed-faithful reference and stays untouched.
      */
     bool legacy_engine = false;
 };
@@ -169,6 +172,13 @@ class Engine
 
     /** Apply sync wakes: record acquire, set clocks, requeue. */
     void applyWakes(const std::vector<SyncWake> &wakes, trace::Op op);
+
+    /**
+     * Consume the DRAM model's completions: wake parked readers
+     * (record the load with its real latency, advance their clocks,
+     * requeue) and patch deferred store annotations.
+     */
+    void deliverDramCompletions(memsys::DramModel &dram);
 
     void enqueue(uint32_t proc, uint64_t cycle)
     {

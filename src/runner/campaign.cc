@@ -62,6 +62,17 @@ Campaign::add(sim::AppId app, std::vector<sim::ModelSpec> specs,
     return units_.size() - 1;
 }
 
+// Keying tripwire (twin of the one in trace_store.cc): signature()
+// hashes MemoryConfig memberwise. A new field must be folded in below
+// (dram-style: only when active, so old signatures stay stable) —
+// then update the expected sizes here and in trace_store.cc.
+static_assert(sizeof(memsys::DramConfig) == 36,
+              "DramConfig changed: update Campaign::signature + "
+              "versionedFileName, then this size");
+static_assert(sizeof(memsys::MemoryConfig) == 56,
+              "MemoryConfig changed: update Campaign::signature + "
+              "versionedFileName, then this size");
+
 uint64_t
 Campaign::signature() const
 {
@@ -82,6 +93,23 @@ Campaign::signature() const
             static_cast<uint64_t>(u.specs.size()),
         };
         h = util::fnv1aUpdate(h, fields, sizeof fields);
+        // DRAM fields fold in only when the model is on: every
+        // pre-existing journal keeps its exact seed signature.
+        if (u.mem.dram.enabled()) {
+            const memsys::DramConfig &d = u.mem.dram;
+            uint64_t dram_fields[] = {
+                static_cast<uint64_t>(d.banks),
+                static_cast<uint64_t>(d.sched),
+                static_cast<uint64_t>(d.row_bytes),
+                static_cast<uint64_t>(d.t_rcd),
+                static_cast<uint64_t>(d.t_rp),
+                static_cast<uint64_t>(d.t_cas),
+                static_cast<uint64_t>(d.bus_cycles),
+                static_cast<uint64_t>(d.base_latency),
+                static_cast<uint64_t>(d.batch_cap),
+            };
+            h = util::fnv1aUpdate(h, dram_fields, sizeof dram_fields);
+        }
         for (const sim::ModelSpec &spec : u.specs) {
             std::string label = spec.label();
             h = util::fnv1aUpdate(h, label.data(), label.size());
@@ -541,6 +569,25 @@ Campaign::fillSink()
             t.wall_ms = res.trace_wall_ms;
             t.gen_ms = res.trace_timing.gen_ms;
             t.load_ms = res.trace_timing.load_ms;
+            // Contention members only when the unit's config enabled
+            // them; stats need the bundle resident (a journal-resumed
+            // unit skipped phase 1, so counters stay their zero
+            // defaults while geometry still documents the config).
+            if (unit.mem.banks > 0) {
+                t.has_contention = true;
+                if (res.bundle)
+                    t.contention_cycles =
+                        res.bundle->cache0.contention_cycles;
+            }
+            if (unit.mem.dram.enabled()) {
+                t.has_dram = true;
+                t.dram_banks = unit.mem.dram.banks;
+                t.dram_row_bytes = unit.mem.dram.row_bytes;
+                t.dram_sched =
+                    memsys::schedPolicyName(unit.mem.dram.sched);
+                if (res.bundle)
+                    t.dram_stats = res.bundle->cache0.dram;
+            }
             sink_.addTrace(std::move(t));
         }
 

@@ -111,7 +111,26 @@ ResultSink::writeJson(std::ostream &os) const
            << ", \"instructions\": " << t.instructions
            << ", \"wall_ms\": " << jsonDouble(t.wall_ms)
            << ", \"gen_ms\": " << jsonDouble(t.gen_ms)
-           << ", \"load_ms\": " << jsonDouble(t.load_ms) << "}";
+           << ", \"load_ms\": " << jsonDouble(t.load_ms);
+        // Contention members appear only for traces generated with
+        // the corresponding model on: default exports stay
+        // byte-identical to builds without them.
+        if (t.has_contention)
+            os << ", \"contention_cycles\": " << t.contention_cycles;
+        if (t.has_dram) {
+            const memsys::DramAccessStats &d = t.dram_stats;
+            os << ", \"dram\": {\"banks\": " << t.dram_banks
+               << ", \"row_bytes\": " << t.dram_row_bytes
+               << ", \"sched\": \"" << jsonEscape(t.dram_sched) << "\""
+               << ", \"requests\": " << d.requests
+               << ", \"row_hits\": " << d.row_hits
+               << ", \"row_misses\": " << d.row_misses
+               << ", \"row_conflicts\": " << d.row_conflicts
+               << ", \"queue_cycles\": " << d.queue_cycles
+               << ", \"bus_wait_cycles\": " << d.bus_wait_cycles
+               << "}";
+        }
+        os << "}";
     }
     os << (traces_.empty() ? "]" : "\n  ]") << ",\n";
 

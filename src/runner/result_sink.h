@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "memsys/dram.h"
 
 namespace dsmem::runner {
 
@@ -29,6 +30,22 @@ struct TraceRecord {
      */
     double gen_ms = 0.0;
     double load_ms = 0.0;
+
+    /**
+     * Contention accounting, emitted only when the generating
+     * MemoryConfig enabled the corresponding model — a contention-free
+     * export stays byte-identical to pre-contention builds.
+     * `has_contention` gates the toy bank model's queueing counter;
+     * `has_dram` gates the DRAM block (geometry + scheduler + the
+     * traced processor's DramAccessStats).
+     */
+    bool has_contention = false;
+    uint64_t contention_cycles = 0;
+    bool has_dram = false;
+    uint32_t dram_banks = 0;
+    uint32_t dram_row_bytes = 0;
+    std::string dram_sched;
+    memsys::DramAccessStats dram_stats;
 };
 
 /** One phase-2 timing run: the unit of the JSON result export. */

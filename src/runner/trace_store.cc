@@ -89,6 +89,56 @@ getThreadStats(util::ByteSource &src)
     return s;
 }
 
+void
+putDramStats(util::ByteSink &sink, const memsys::DramAccessStats &s)
+{
+    for (uint64_t v : {s.requests, s.row_hits, s.row_misses,
+                       s.row_conflicts, s.queue_cycles,
+                       s.bus_wait_cycles})
+        sink.putU64(v);
+}
+
+memsys::DramAccessStats
+getDramStats(util::ByteSource &src)
+{
+    memsys::DramAccessStats s;
+    for (uint64_t *f : {&s.requests, &s.row_hits, &s.row_misses,
+                        &s.row_conflicts, &s.queue_cycles,
+                        &s.bus_wait_cycles})
+        *f = src.readU64();
+    return s;
+}
+
+void
+putDramSummary(util::ByteSink &sink, const memsys::DramSummary &d)
+{
+    sink.putU32(static_cast<uint32_t>(d.banks.size()));
+    for (const memsys::DramBankSummary &b : d.banks) {
+        sink.putU64(b.requests);
+        sink.putU64(b.busy_cycles);
+        sink.putU64(b.row_hits);
+    }
+}
+
+memsys::DramSummary
+getDramSummary(util::ByteSource &src)
+{
+    uint32_t n = src.readU32();
+    // DramConfig::valid caps banks at 1024; anything larger is a
+    // corrupt length field, not a bigger machine.
+    if (n > 1024)
+        throw util::FormatError("implausible DRAM bank count " +
+                                std::to_string(n));
+    memsys::DramSummary d;
+    d.banks.resize(n);
+    for (memsys::DramBankSummary &b : d.banks) {
+        b.requests = src.readU64();
+        b.busy_cycles = src.readU64();
+        b.row_hits = src.readU64();
+    }
+    return d;
+}
+
 /** Shared preamble of both readers: magic, then the version switch. */
 uint32_t
 readBundleHeader(util::ByteSource &src)
@@ -98,7 +148,8 @@ readBundleHeader(util::ByteSource &src)
     if (std::memcmp(magic, kMagic, 4) != 0)
         throw util::FormatError("not a dsmem bundle file");
     uint32_t version = src.readU32();
-    if (version != kBundleFormatV1 && version != kBundleFormatVersion) {
+    if (version != kBundleFormatV1 && version != kBundleFormatVersion &&
+        version != kBundleFormatVersionDram) {
         throw util::FormatError("unsupported bundle format version " +
                                  std::to_string(version));
     }
@@ -107,16 +158,22 @@ readBundleHeader(util::ByteSource &src)
 
 /**
  * Decode the hashed region's fixed fields (everything before the
- * embedded trace); identical layout in v1 and v2.
+ * embedded trace). v1 and v2 share one layout; v3 appends the DRAM
+ * accounting block after the `verified` byte.
  */
 void
-readBundleFields(util::ByteSource &src, sim::TraceBundle &bundle)
+readBundleFields(util::ByteSource &src, sim::TraceBundle &bundle,
+                 uint32_t version)
 {
     bundle.stats = getStats(src);
     bundle.cache0 = getCacheStats(src);
     bundle.thread0 = getThreadStats(src);
     bundle.mp_cycles = src.readU64();
     bundle.verified = src.readByte() != 0;
+    if (version >= kBundleFormatVersionDram) {
+        bundle.cache0.dram = getDramStats(src);
+        bundle.dram = getDramSummary(src);
+    }
 }
 
 /**
@@ -163,6 +220,18 @@ put64(std::ostream &os, uint64_t v)
     os.write(buf, 8);
 }
 
+// Keying tripwire: the file name and the campaign signature encode
+// MemoryConfig *memberwise*. If this assert fires, a field was added
+// to MemoryConfig/DramConfig — extend versionedFileName (and
+// Campaign::signature) to include it, then update the expected size.
+// Silently compiling on would alias bundles across distinct configs.
+static_assert(sizeof(memsys::DramConfig) == 36,
+              "DramConfig changed: update versionedFileName + "
+              "Campaign::signature, then this size");
+static_assert(sizeof(memsys::MemoryConfig) == 56,
+              "MemoryConfig changed: update versionedFileName + "
+              "Campaign::signature, then this size");
+
 std::string
 versionedFileName(sim::AppId id, const memsys::MemoryConfig &mem,
                   bool small, uint32_t bundle_ver, uint32_t trace_ver)
@@ -176,19 +245,38 @@ versionedFileName(sim::AppId id, const memsys::MemoryConfig &mem,
     name << app << (small ? "_small" : "_full") << "_h"
          << mem.hit_latency << "_m" << mem.miss_latency << "_"
          << (mem.protocol == memsys::Protocol::MESI ? "mesi" : "msi")
-         << "_b" << mem.banks << "_o" << mem.bank_occupancy << "_v"
-         << bundle_ver << "t" << trace_ver << ".dsmb";
+         << "_b" << mem.banks << "_o" << mem.bank_occupancy;
+    // The DRAM block joins the name only when the model is on, so
+    // every pre-existing (dram-off) file keeps its exact seed name.
+    if (mem.dram.enabled()) {
+        const memsys::DramConfig &d = mem.dram;
+        name << "_d" << d.banks << "r" << d.row_bytes << "s"
+             << memsys::schedPolicyName(d.sched) << "t" << d.t_rcd
+             << "-" << d.t_rp << "-" << d.t_cas << "-" << d.bus_cycles
+             << "-" << d.base_latency << "c" << d.batch_cap;
+    }
+    name << "_v" << bundle_ver << "t" << trace_ver << ".dsmb";
     return name.str();
 }
 
 } // namespace
 
+uint32_t
+bundleVersionFor(const memsys::MemoryConfig &mem)
+{
+    return mem.dram.enabled() ? kBundleFormatVersionDram
+                              : kBundleFormatVersion;
+}
+
 void
 saveBundle(const sim::TraceBundle &bundle, std::ostream &os)
 {
+    // v3 only when there is DRAM accounting to carry; the common
+    // (dram-off) case writes the seed's v2 bytes exactly.
+    const bool dram = !bundle.dram.banks.empty();
     util::ByteSink sink(os);
     sink.put(kMagic, 4);
-    sink.putU32(kBundleFormatVersion);
+    sink.putU32(dram ? kBundleFormatVersionDram : kBundleFormatVersion);
 
     sink.beginHash(util::FnvState::Fold::WORDS);
     putStats(sink, bundle.stats);
@@ -196,6 +284,10 @@ saveBundle(const sim::TraceBundle &bundle, std::ostream &os)
     putThreadStats(sink, bundle.thread0);
     sink.putU64(bundle.mp_cycles);
     sink.putByte(bundle.verified ? 1 : 0);
+    if (dram) {
+        putDramStats(sink, bundle.cache0.dram);
+        putDramSummary(sink, bundle.dram);
+    }
     trace::saveTrace(bundle.trace, sink);
 
     sink.putU64(sink.hashValue());
@@ -243,12 +335,12 @@ loadBundle(std::istream &is)
         uint64_t want_sum = src.readU64();
         uint64_t want_size = src.readU64();
         src.beginHash();
-        readBundleFields(src, bundle);
+        readBundleFields(src, bundle, version);
         bundle.trace = trace::loadTrace(src);
         checkV1Trailer(src, want_sum, want_size);
     } else {
         src.beginHash(util::FnvState::Fold::WORDS);
-        readBundleFields(src, bundle);
+        readBundleFields(src, bundle, version);
         bundle.trace = trace::loadTrace(src);
         checkV2Trailer(src);
     }
@@ -267,12 +359,12 @@ loadBundleView(std::istream &is)
         uint64_t want_sum = src.readU64();
         uint64_t want_size = src.readU64();
         src.beginHash();
-        readBundleFields(src, fields);
+        readBundleFields(src, fields, version);
         vb.view = trace::loadTraceView(src);
         checkV1Trailer(src, want_sum, want_size);
     } else {
         src.beginHash(util::FnvState::Fold::WORDS);
-        readBundleFields(src, fields);
+        readBundleFields(src, fields, version);
         vb.view = trace::loadTraceView(src);
         checkV2Trailer(src);
     }
@@ -281,6 +373,7 @@ loadBundleView(std::istream &is)
     vb.thread0 = fields.thread0;
     vb.mp_cycles = fields.mp_cycles;
     vb.verified = fields.verified;
+    vb.dram = std::move(fields.dram);
     return vb;
 }
 
@@ -290,7 +383,7 @@ std::string
 TraceStore::fileName(sim::AppId id, const memsys::MemoryConfig &mem,
                      bool small)
 {
-    return versionedFileName(id, mem, small, kBundleFormatVersion,
+    return versionedFileName(id, mem, small, bundleVersionFor(mem),
                              trace::kTraceFormatVersion);
 }
 
@@ -399,7 +492,11 @@ TraceStore::resolve(sim::AppId id, const memsys::MemoryConfig &mem,
         return path.string();
 
     // Current-name miss: probe the v1-era name and upgrade in place,
-    // so caches written before the format bump stay warm.
+    // so caches written before the format bump stay warm. Never for a
+    // DRAM-enabled key: the v1 name doesn't encode the dram fields,
+    // so the probe would alias every dram config onto one stale file.
+    if (mem.dram.enabled())
+        return "";
     fs::path legacy = fs::path(dir_) / legacyFileName(id, mem, small);
     if (!fs::exists(legacy, ec))
         return "";

@@ -30,8 +30,25 @@ namespace dsmem::runner {
  *
  * v1 files still load (streamed, checksum verified) and are
  * transparently rewritten as v2 by TraceStore::load/loadView.
+ *
+ * v3 extends v2 with the DRAM model's accounting: the hashed region
+ * gains, between the `verified` byte and the embedded trace, the
+ * traced processor's six DramAccessStats counters plus the per-bank
+ * summary table. The writer emits v3 *only* for bundles whose DRAM
+ * summary is non-empty (i.e. generated with dram.banks > 0) — a
+ * default-configuration bundle keeps writing v2, byte-identical to
+ * the seed, so enabling the subsystem can never perturb existing
+ * caches or golden outputs.
  */
 inline constexpr uint32_t kBundleFormatVersion = 2;
+inline constexpr uint32_t kBundleFormatVersionDram = 3;
+
+/**
+ * Container version bundles for @p mem are stored under: v3 when the
+ * DRAM model is active (its stats need the extended layout), v2
+ * otherwise. Part of the file name, so the two layouts never collide.
+ */
+uint32_t bundleVersionFor(const memsys::MemoryConfig &mem);
 
 /** Serialize a full TraceBundle (stats + trace) to @p os as v2. */
 void saveBundle(const sim::TraceBundle &bundle, std::ostream &os);

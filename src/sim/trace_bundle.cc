@@ -31,6 +31,7 @@ makeViewBundle(const TraceBundle &bundle)
     vb.thread0 = bundle.thread0;
     vb.mp_cycles = bundle.mp_cycles;
     vb.verified = bundle.verified;
+    vb.dram = bundle.dram;
     return vb;
 }
 
@@ -51,6 +52,7 @@ generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
     bundle.cache0 = engine.memory().stats(config.traced_proc);
     bundle.thread0 = engine.threadStats(config.traced_proc);
     bundle.mp_cycles = engine.completionCycle(config.traced_proc);
+    bundle.dram = engine.memory().dramSummary();
     bundle.trace = engine.takeTrace();
     bundle.stats = trace::computeStats(bundle.trace);
     return bundle;

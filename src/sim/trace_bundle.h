@@ -30,6 +30,13 @@ struct TraceBundle {
     mp::ThreadStats thread0;       ///< Traced processor's counters.
     uint64_t mp_cycles = 0;        ///< Traced processor's final clock.
     bool verified = false;         ///< Application self-check result.
+
+    /**
+     * Whole-run per-bank DRAM summary. Empty unless the generating
+     * MemoryConfig had dram.banks > 0 — the empty case serializes in
+     * the seed's v2 container, byte for byte.
+     */
+    memsys::DramSummary dram;
 };
 
 /**
@@ -45,6 +52,7 @@ struct ViewBundle {
     mp::ThreadStats thread0;
     uint64_t mp_cycles = 0;
     bool verified = false;
+    memsys::DramSummary dram; ///< Empty when the DRAM model was off.
 };
 
 /** Build the view-shaped twin of @p bundle (shares nothing with it). */

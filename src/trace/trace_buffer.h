@@ -46,6 +46,19 @@ class TraceRecorder
     }
 
     /**
+     * Rewrite the latency annotation of the already-appended record
+     * at @p index (its trace/SSA index). The DRAM model's deferred
+     * stores use this: the record is appended at issue with a
+     * provisional latency and patched when the write actually
+     * completes at the memory. Only valid before drainInto.
+     */
+    void patchLatency(size_t index, uint32_t latency)
+    {
+        chunks_[index / kChunkInsts][index % kChunkInsts].latency =
+            latency;
+    }
+
+    /**
      * Append every buffered record to @p t (one exact-size reserve,
      * no intermediate copies) and release the chunks.
      */

@@ -1,0 +1,557 @@
+#include "memsys/dram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/rng.h"
+#include "util/errors.h"
+#include "util/failpoint.h"
+
+namespace dsmem::memsys {
+namespace {
+
+// ---------------------------------------------------------------------
+// SchedPolicy names / DramConfig validity
+// ---------------------------------------------------------------------
+
+TEST(SchedPolicyTest, NameParseRoundTrip)
+{
+    for (SchedPolicy p : {SchedPolicy::FCFS, SchedPolicy::FR_FCFS,
+                          SchedPolicy::FR_BATCH, SchedPolicy::RR_PROC}) {
+        SchedPolicy out;
+        ASSERT_TRUE(parseSchedPolicy(schedPolicyName(p), out))
+            << schedPolicyName(p);
+        EXPECT_EQ(out, p);
+    }
+    SchedPolicy out;
+    EXPECT_FALSE(parseSchedPolicy("open-row", out));
+    EXPECT_FALSE(parseSchedPolicy("", out));
+}
+
+TEST(DramConfigTest, Validity)
+{
+    DramConfig off; // banks == 0: disabled, always valid.
+    EXPECT_TRUE(off.valid(16));
+
+    DramConfig on;
+    on.banks = 4;
+    EXPECT_TRUE(on.valid(16));
+
+    DramConfig too_many = on;
+    too_many.banks = 2048;
+    EXPECT_FALSE(too_many.valid(16));
+
+    DramConfig bad_row = on;
+    bad_row.row_bytes = 24; // Not a multiple of the 16-byte line.
+    EXPECT_FALSE(bad_row.valid(16));
+
+    DramConfig no_rows = on;
+    no_rows.row_bytes = 0; // Row tracking off: fine.
+    EXPECT_TRUE(no_rows.valid(16));
+
+    DramConfig zero_cas = on;
+    zero_cas.t_cas = 0;
+    EXPECT_FALSE(zero_cas.valid(16));
+
+    DramConfig zero_cap = on;
+    zero_cap.sched = SchedPolicy::FR_BATCH;
+    zero_cap.batch_cap = 0;
+    EXPECT_FALSE(zero_cap.valid(16));
+}
+
+TEST(DramModelTest, RejectsInvalidConfig)
+{
+    DramConfig off;
+    EXPECT_THROW(DramModel(off, 16, 4), std::invalid_argument);
+    DramConfig bad;
+    bad.banks = 2;
+    bad.t_cas = 0;
+    EXPECT_THROW(DramModel(bad, 16, 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Model plumbing
+// ---------------------------------------------------------------------
+
+/** Drain helper: advance to quiescence and collect completions. */
+std::vector<DramModel::Completion>
+drainAll(DramModel &dram)
+{
+    dram.advanceTo(DramModel::kNever);
+    std::vector<DramModel::Completion> out = dram.drainCompletions();
+    dram.drainCompletions().clear();
+    return out;
+}
+
+TEST(DramModelTest, SingleRequestTiming)
+{
+    DramConfig cfg;
+    cfg.banks = 2;
+    DramModel dram(cfg, 16, 4);
+    EXPECT_TRUE(dram.idle());
+    EXPECT_EQ(dram.nextDispatchCycle(), DramModel::kNever);
+
+    dram.enqueue(1, 0, true, 100, 7);
+    EXPECT_FALSE(dram.idle());
+    EXPECT_EQ(dram.nextDispatchCycle(), 100u);
+
+    // Nothing dispatches before its instant.
+    dram.advanceTo(99);
+    EXPECT_TRUE(dram.drainCompletions().empty());
+
+    auto done = drainAll(dram);
+    ASSERT_EQ(done.size(), 1u);
+    // Cold bank row miss: t_rcd + t_cas, then the bus, then base.
+    uint64_t want = 100 + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles +
+        cfg.base_latency;
+    EXPECT_EQ(done[0].tag, 7u);
+    EXPECT_EQ(done[0].proc, 1u);
+    EXPECT_TRUE(done[0].is_read);
+    EXPECT_EQ(done[0].finish, want);
+    EXPECT_EQ(done[0].latency, want - 100);
+    EXPECT_TRUE(dram.idle());
+
+    const DramAccessStats &s = dram.procStats(1);
+    EXPECT_EQ(s.requests, 1u);
+    EXPECT_EQ(s.row_misses, 1u);
+    EXPECT_EQ(s.queue_cycles, 0u);
+}
+
+TEST(DramModelTest, SharedBusSerializesBanks)
+{
+    DramConfig cfg;
+    cfg.banks = 2;
+    cfg.row_bytes = 0; // service = t_cas for every access
+    DramModel dram(cfg, 16, 2);
+
+    // One request per bank at t=0: both finish service at t_cas, but
+    // the second transfer must wait for the first to clear the bus.
+    dram.enqueue(0, 0, true, 0, 0); // bank 0
+    dram.enqueue(1, 1, true, 0, 1); // bank 1
+    auto done = drainAll(dram);
+    ASSERT_EQ(done.size(), 2u);
+    uint64_t first = cfg.t_cas + cfg.bus_cycles + cfg.base_latency;
+    EXPECT_EQ(done[0].finish, first);
+    EXPECT_EQ(done[1].finish, first + cfg.bus_cycles);
+    EXPECT_EQ(dram.procStats(1).bus_wait_cycles, cfg.bus_cycles);
+
+    DramSummary sum = dram.summary();
+    ASSERT_EQ(sum.banks.size(), 2u);
+    EXPECT_EQ(sum.banks[0].requests, 1u);
+    EXPECT_EQ(sum.banks[1].requests, 1u);
+}
+
+TEST(DramModelTest, RowHitMissConflictAccounting)
+{
+    DramConfig cfg;
+    cfg.banks = 1;
+    cfg.row_bytes = 32; // 2 lines per row
+    DramModel dram(cfg, 16, 1);
+
+    // Same bank: line 0 (row 0), line 1 (row 0, hit), line 4 (row 2,
+    // conflict). Spread arrivals so order is forced even under
+    // non-FCFS policies.
+    dram.enqueue(0, 0, true, 0, 0);
+    dram.advanceTo(0);
+    dram.enqueue(0, 1, true, 1, 1);
+    dram.advanceTo(1);
+    dram.enqueue(0, 4, true, 2, 2);
+    auto done = drainAll(dram);
+    ASSERT_EQ(done.size(), 3u);
+
+    const DramAccessStats &s = dram.procStats(0);
+    EXPECT_EQ(s.row_misses, 1u);   // cold open
+    EXPECT_EQ(s.row_hits, 1u);     // same row
+    EXPECT_EQ(s.row_conflicts, 1u); // row 2 over open row 0
+    EXPECT_EQ(dram.summary().banks[0].row_hits, 1u);
+}
+
+TEST(DramModelTest, DispatchFailpointFires)
+{
+    util::disarmAllFailpoints();
+    util::armFailpoint({"dram.dispatch", util::FailpointMode::THROW,
+                        0, 1, true});
+    DramConfig cfg;
+    cfg.banks = 1;
+    DramModel dram(cfg, 16, 1);
+    dram.enqueue(0, 0, true, 0, 0);
+    EXPECT_THROW(dram.advanceTo(DramModel::kNever), util::IoError);
+    util::disarmAllFailpoints();
+    // The request is still queued; recovery drains it.
+    EXPECT_EQ(drainAll(dram).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Policy unit tests
+// ---------------------------------------------------------------------
+
+TEST(SchedulerTest, FrFcfsPrefersOpenRowOverOlderRequest)
+{
+    DramConfig cfg;
+    cfg.banks = 1;
+    cfg.row_bytes = 32; // row = line_index / 2 with one bank
+
+    for (SchedPolicy p : {SchedPolicy::FCFS, SchedPolicy::FR_FCFS}) {
+        cfg.sched = p;
+        DramModel dram(cfg, 16, 1);
+        // Open row 0 (line 0 dispatches alone at t=0) ...
+        dram.enqueue(0, 0, true, 0, 0);
+        dram.advanceTo(0);
+        // ... then an older row-2 request and a younger row-0 hit.
+        dram.enqueue(0, 4, true, 1, 1); // row 2, older
+        dram.enqueue(0, 1, true, 2, 2); // row 0, hit, younger
+        auto done = drainAll(dram);
+        ASSERT_EQ(done.size(), 3u);
+        if (p == SchedPolicy::FR_FCFS) {
+            EXPECT_EQ(done[1].tag, 2u) << "row hit must bypass";
+            EXPECT_EQ(done[2].tag, 1u);
+        } else {
+            EXPECT_EQ(done[1].tag, 1u) << "FCFS must not reorder";
+            EXPECT_EQ(done[2].tag, 2u);
+        }
+    }
+}
+
+TEST(SchedulerTest, FrBatchBoundsRowHitBypasses)
+{
+    // A dense stream of row-0 hits plus one early row-2 request. Under
+    // plain FR-FCFS the row-2 request is served dead last; FR_BATCH
+    // must serve it after at most batch_cap bypasses.
+    DramConfig cfg;
+    cfg.banks = 1;
+    cfg.row_bytes = 32;
+    cfg.batch_cap = 3;
+    const int kHits = 20;
+
+    auto runStream = [&](SchedPolicy p) {
+        cfg.sched = p;
+        DramModel dram(cfg, 16, 1);
+        dram.enqueue(0, 0, true, 0, 0); // opens row 0
+        dram.advanceTo(0);
+        dram.enqueue(0, 4, true, 1, 999); // row 2, now the oldest
+        for (int i = 0; i < kHits; ++i)
+            dram.enqueue(0, (i % 2), true, 1, 100 + i); // row-0 hits
+        auto done = drainAll(dram);
+        size_t pos = 0;
+        for (size_t i = 0; i < done.size(); ++i)
+            if (done[i].tag == 999)
+                pos = i;
+        return pos;
+    };
+
+    EXPECT_EQ(runStream(SchedPolicy::FR_FCFS),
+              static_cast<size_t>(kHits + 1))
+        << "FR-FCFS starves the conflicting row until hits dry up";
+    EXPECT_LE(runStream(SchedPolicy::FR_BATCH),
+              static_cast<size_t>(1 + cfg.batch_cap))
+        << "the batch cap must bound consecutive bypasses";
+}
+
+TEST(SchedulerTest, RrProcRotatesAcrossProcessors)
+{
+    DramConfig cfg;
+    cfg.banks = 1;
+    cfg.sched = SchedPolicy::RR_PROC;
+    cfg.row_bytes = 0;
+    DramModel dram(cfg, 16, 4);
+
+    // Proc 0 floods the bank; proc 1 and 2 each have one request, all
+    // arriving at t=0. FCFS order would be 0,0,0,1,2.
+    dram.enqueue(0, 0, false, 0, 10);
+    dram.enqueue(0, 0, false, 0, 11);
+    dram.enqueue(0, 0, false, 0, 12);
+    dram.enqueue(1, 0, false, 0, 20);
+    dram.enqueue(2, 0, false, 0, 30);
+    auto done = drainAll(dram);
+    ASSERT_EQ(done.size(), 5u);
+    std::vector<uint64_t> order;
+    for (const auto &c : done)
+        order.push_back(c.tag);
+    // Rotation starts at proc 0 (last initialized to num_procs-1),
+    // then 1, then 2, then wraps back to 0's remaining requests.
+    EXPECT_EQ(order, (std::vector<uint64_t>{10, 20, 30, 11, 12}));
+}
+
+// ---------------------------------------------------------------------
+// Toy-model superset equivalence
+// ---------------------------------------------------------------------
+
+TEST(DramModelTest, DegenerateConfigReproducesToyBankModel)
+{
+    // The toy model (MemoryConfig banks/bank_occupancy): a miss's
+    // latency is miss_latency + queue_delay where queue_delay stems
+    // from max(bank_free, now) and the bank is then held for
+    // bank_occupancy cycles. The DRAM model with row tracking off,
+    // t_cas = occupancy, no bus, and base = miss - occupancy is that
+    // model exactly.
+    const uint32_t kMiss = 50, kOcc = 4, kBanks = 4;
+    DramConfig cfg;
+    cfg.banks = kBanks;
+    cfg.row_bytes = 0;
+    cfg.t_cas = kOcc;
+    cfg.bus_cycles = 0;
+    cfg.base_latency = kMiss - kOcc;
+    DramModel dram(cfg, 16, 1);
+
+    apps::Rng rng(0xD12A);
+    std::vector<uint64_t> bank_free(kBanks, 0);
+    std::vector<uint64_t> want; // toy-model latency per request
+    uint64_t now = 0;
+    for (int i = 0; i < 200; ++i) {
+        uint64_t line = rng.below(64);
+        uint64_t bank = line % kBanks;
+        uint64_t start = std::max(bank_free[bank], now);
+        want.push_back(kMiss + (start - now));
+        bank_free[bank] = start + kOcc;
+
+        dram.enqueue(0, line, true, now, static_cast<uint64_t>(i));
+        now += rng.below(6);
+    }
+    auto done = drainAll(dram);
+    ASSERT_EQ(done.size(), want.size());
+    for (const auto &c : done)
+        EXPECT_EQ(c.latency, want[c.tag]) << "request " << c.tag;
+}
+
+// ---------------------------------------------------------------------
+// Randomized oracle: every policy vs a naive batch reference
+// ---------------------------------------------------------------------
+
+struct RefReq {
+    uint64_t arrival, ticket, row, tag;
+    uint32_t proc;
+    bool served = false;
+};
+
+/**
+ * Independent reference simulator: keeps every request in one flat
+ * list and re-derives each dispatch decision from scratch with
+ * explicit scans — no shared code or incremental state beyond the
+ * policy's own counters. Returns tag -> (finish, latency).
+ */
+std::map<uint64_t, std::pair<uint64_t, uint64_t>>
+referenceSimulate(const DramConfig &cfg, uint32_t num_procs,
+                  std::vector<RefReq> reqs)
+{
+    const uint32_t B = cfg.banks;
+    std::vector<uint64_t> free_at(B, 0), open_row(B, 0);
+    std::vector<bool> row_valid(B, false);
+    std::vector<uint32_t> streak(B, 0);
+    std::vector<uint32_t> rr_last(B, num_procs - 1);
+    uint64_t bus_free = 0;
+    const uint64_t lines_per_row =
+        cfg.row_bytes == 0 ? 0 : cfg.row_bytes / 16;
+
+    // The caller generates lines so that line % banks == ticket %
+    // banks; the reference recovers each request's bank from its
+    // ticket rather than sharing the model's mapping code.
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> out;
+    size_t remaining = reqs.size();
+    while (remaining > 0) {
+        // Earliest (instant, bank).
+        uint64_t best_t = UINT64_MAX;
+        uint32_t best_b = 0;
+        for (uint32_t b = 0; b < B; ++b) {
+            uint64_t oldest = UINT64_MAX;
+            for (const RefReq &r : reqs)
+                if (!r.served && r.ticket % B == b)
+                    oldest = std::min(oldest, r.arrival);
+            if (oldest == UINT64_MAX)
+                continue;
+            uint64_t t = std::max(free_at[b], oldest);
+            if (t < best_t) {
+                best_t = t;
+                best_b = b;
+            }
+        }
+        uint64_t t = best_t;
+        uint32_t b = best_b;
+
+        // Eligible pool of this bank, in (arrival, ticket) order.
+        std::vector<RefReq *> pool;
+        for (RefReq &r : reqs)
+            if (!r.served && r.ticket % B == b && r.arrival <= t)
+                pool.push_back(&r);
+        std::sort(pool.begin(), pool.end(),
+                  [](const RefReq *x, const RefReq *y) {
+                      if (x->arrival != y->arrival)
+                          return x->arrival < y->arrival;
+                      return x->ticket < y->ticket;
+                  });
+        if (pool.empty())
+            throw std::logic_error("reference: front must be eligible");
+
+        auto oldestHit = [&]() -> RefReq * {
+            if (!row_valid[b])
+                return nullptr;
+            for (RefReq *r : pool)
+                if (r->row == open_row[b])
+                    return r;
+            return nullptr;
+        };
+
+        RefReq *pick = pool[0];
+        switch (cfg.sched) {
+          case SchedPolicy::FCFS:
+            break;
+          case SchedPolicy::FR_FCFS:
+            if (RefReq *hit = oldestHit())
+                pick = hit;
+            break;
+          case SchedPolicy::FR_BATCH:
+            if (streak[b] >= cfg.batch_cap) {
+                streak[b] = 0;
+            } else {
+                if (RefReq *hit = oldestHit())
+                    pick = hit;
+                if (pick == pool[0])
+                    streak[b] = 0;
+                else
+                    ++streak[b];
+            }
+            break;
+          case SchedPolicy::RR_PROC:
+            for (uint32_t step = 1; step <= num_procs; ++step) {
+                uint32_t proc = (rr_last[b] + step) % num_procs;
+                RefReq *first = nullptr;
+                for (RefReq *r : pool)
+                    if (r->proc == proc) {
+                        first = r;
+                        break;
+                    }
+                if (first != nullptr) {
+                    pick = first;
+                    rr_last[b] = proc;
+                    break;
+                }
+            }
+            break;
+        }
+
+        pick->served = true;
+        --remaining;
+        uint64_t service = cfg.t_cas;
+        if (lines_per_row != 0) {
+            if (!row_valid[b])
+                service += cfg.t_rcd;
+            else if (open_row[b] != pick->row)
+                service += cfg.t_rp + cfg.t_rcd;
+            row_valid[b] = true;
+            open_row[b] = pick->row;
+        }
+        uint64_t transfer = t + service;
+        if (cfg.bus_cycles != 0) {
+            transfer = std::max(transfer, bus_free);
+            bus_free = transfer + cfg.bus_cycles;
+        }
+        free_at[b] = transfer + cfg.bus_cycles;
+        uint64_t finish = transfer + cfg.bus_cycles + cfg.base_latency;
+        out[pick->tag] = {finish, finish - pick->arrival};
+    }
+    return out;
+}
+
+TEST(SchedulerOracleTest, AllPoliciesMatchBatchReference)
+{
+    for (SchedPolicy p : {SchedPolicy::FCFS, SchedPolicy::FR_FCFS,
+                          SchedPolicy::FR_BATCH, SchedPolicy::RR_PROC}) {
+        for (uint64_t seed : {1u, 2u, 3u}) {
+            DramConfig cfg;
+            cfg.banks = 4;
+            cfg.sched = p;
+            cfg.row_bytes = 64; // 4 lines per row
+            cfg.batch_cap = 2;
+            const uint32_t kProcs = 3;
+            DramModel dram(cfg, 16, kProcs);
+
+            // Random request stream with bursty arrivals. Lines are
+            // chosen so bank = line % banks and ticket % banks agree
+            // (the reference recovers the bank from the ticket): each
+            // request's line is ticket (mod banks) plus a random
+            // multiple of banks, which also randomizes the row.
+            apps::Rng rng(0xBEEF0 + seed);
+            std::vector<RefReq> reqs;
+            uint64_t now = 0;
+            const uint64_t lines_per_row = cfg.row_bytes / 16;
+            for (uint64_t ticket = 0; ticket < 120; ++ticket) {
+                uint64_t line =
+                    ticket % cfg.banks + cfg.banks * rng.below(16);
+                RefReq r;
+                r.arrival = now;
+                r.ticket = ticket;
+                r.row = (line / cfg.banks) / lines_per_row;
+                r.tag = ticket;
+                r.proc = static_cast<uint32_t>(rng.below(kProcs));
+                reqs.push_back(r);
+
+                // Interleave co-simulated advances the way the engine
+                // does: never past the next arrival's instant.
+                uint64_t next = now + rng.below(10);
+                dram.enqueue(r.proc, line, rng.below(2) == 0, now,
+                             r.tag);
+                if (rng.below(3) == 0 && next > 0)
+                    dram.advanceTo(next - 1);
+                now = next;
+            }
+
+            auto got = drainAll(dram);
+            ASSERT_EQ(got.size(), reqs.size());
+            auto want = referenceSimulate(cfg, kProcs, reqs);
+            for (const auto &c : got) {
+                auto it = want.find(c.tag);
+                ASSERT_NE(it, want.end());
+                EXPECT_EQ(c.finish, it->second.first)
+                    << schedPolicyName(p) << " seed " << seed
+                    << " tag " << c.tag;
+                EXPECT_EQ(c.latency, it->second.second)
+                    << schedPolicyName(p) << " seed " << seed
+                    << " tag " << c.tag;
+            }
+        }
+    }
+}
+
+TEST(SchedulerOracleTest, AdvancePatternDoesNotChangeResults)
+{
+    // Co-simulation invariant: when the model is advanced (as long as
+    // every arrival <= the limit is already enqueued) must not change
+    // any completion. Run the same stream with eager per-request
+    // advances and with one final drain.
+    for (SchedPolicy p : {SchedPolicy::FCFS, SchedPolicy::FR_FCFS,
+                          SchedPolicy::FR_BATCH, SchedPolicy::RR_PROC}) {
+        DramConfig cfg;
+        cfg.banks = 2;
+        cfg.sched = p;
+        DramModel eager(cfg, 16, 2);
+        DramModel lazy(cfg, 16, 2);
+
+        apps::Rng rng(77);
+        uint64_t now = 0;
+        for (int i = 0; i < 100; ++i) {
+            uint64_t line = rng.below(32);
+            uint32_t proc = static_cast<uint32_t>(rng.below(2));
+            eager.enqueue(proc, line, true, now, i);
+            lazy.enqueue(proc, line, true, now, i);
+            uint64_t next = now + rng.below(8);
+            if (next > 0)
+                eager.advanceTo(next - 1); // engine-style eager sweep
+            now = next;
+        }
+        auto a = drainAll(eager);
+        auto b = drainAll(lazy);
+        ASSERT_EQ(a.size(), b.size());
+        std::map<uint64_t, uint64_t> fa, fb;
+        for (const auto &c : a)
+            fa[c.tag] = c.finish;
+        for (const auto &c : b)
+            fb[c.tag] = c.finish;
+        EXPECT_EQ(fa, fb) << schedPolicyName(p);
+    }
+}
+
+} // namespace
+} // namespace dsmem::memsys

@@ -46,6 +46,37 @@ def ratios(doc):
         out["bundle:size_ratio"] = doc["bundle"]["size_ratio"]
         out["bundle:load_speedup_view_vs_v1"] = (
             doc["bundle"]["load_speedup_view_vs_v1"])
+    elif bench == "bench_contention":
+        # Deterministic simulation outputs, not wall-clock: these
+        # ratios ratchet the *model* — scheduler row-buffer locality
+        # and the latency hiding that survives DRAM contention — so
+        # any drop is a real semantic regression, never runner noise.
+        traces = doc.get("traces", [])
+        runs = doc.get("runs", [])
+
+        def unit_label(trace):
+            dram = trace.get("dram")
+            if dram is None:
+                return "paper"
+            return f"{dram['sched']}@{dram['banks']}b"
+
+        for t in traces:
+            dram = t.get("dram")
+            if dram and dram.get("requests"):
+                out[f"dram:{t['app']}:{unit_label(t)}:row_hit_frac"] = (
+                    dram["row_hits"] / dram["requests"])
+        # Runs arrive in campaign-unit order, a fixed number per unit
+        # (BASE + one row per window); attribute each to its trace to
+        # recover the memory-config label, and keep the paper's
+        # canonical W=64 point as the ratcheted hidden-read fraction.
+        if traces and runs and len(runs) % len(traces) == 0:
+            per_unit = len(runs) // len(traces)
+            for i, r in enumerate(runs):
+                if r["spec"] != "RC DS-64":
+                    continue
+                t = traces[i // per_unit]
+                out[f"hidden:{r['app']}:{unit_label(t)}:W64"] = (
+                    r["hidden_read"])
     else:
         fail(f"unknown bench {bench!r}")
     return out
