@@ -37,7 +37,15 @@ printUsage(std::FILE *out, const char *prog)
         "  --repeat N        best-of-N timing rounds after a warmup "
         "(0 = bench default)\n"
         "  --no-fuse         disable fused window sweeps in campaign "
-        "phase 2\n",
+        "phase 2\n"
+        "  --sample-period U   enable SMARTS-style sampling: one "
+        "detailed window per U instructions\n"
+        "  --sample-detailed N measured instructions per window\n"
+        "  --sample-warmup N   detailed-but-unmeasured prefix per "
+        "window\n"
+        "  --sample-seed S     sampling offset-hash seed (default 1)\n"
+        "  --cold            bench_hotloop: reload the trace between "
+        "timing rounds\n",
         prog, static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
@@ -131,6 +139,36 @@ parseBenchArgs(int argc, char **argv, bool default_small)
             args.repeat = static_cast<unsigned>(n);
         } else if (arg == "--no-fuse") {
             args.no_fuse = true;
+        } else if (arg == "--cold") {
+            args.cold = true;
+        } else if (const char *v =
+                       flagValue("--sample-period", argc, argv, i)) {
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                usageError(argv[0], "bad --sample-period value", v);
+            args.sampling.period = n;
+        } else if (const char *v =
+                       flagValue("--sample-detailed", argc, argv, i)) {
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1)
+                usageError(argv[0], "bad --sample-detailed value", v);
+            args.sampling.detailed = n;
+        } else if (const char *v =
+                       flagValue("--sample-warmup", argc, argv, i)) {
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                usageError(argv[0], "bad --sample-warmup value", v);
+            args.sampling.warmup = n;
+        } else if (const char *v =
+                       flagValue("--sample-seed", argc, argv, i)) {
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                usageError(argv[0], "bad --sample-seed value", v);
+            args.sampling.seed = n;
         } else {
             usageError(argv[0], "unknown flag", argv[i]);
         }
@@ -138,6 +176,11 @@ parseBenchArgs(int argc, char **argv, bool default_small)
     if (args.resume && args.journal_path.empty())
         usageError(argv[0], "--resume needs a journal",
                    "pass --journal FILE");
+    if (args.sampling.enabled()) {
+        std::string why;
+        if (!args.sampling.validate(&why))
+            usageError(argv[0], "bad sampling plan", why.c_str());
+    }
     return args;
 }
 

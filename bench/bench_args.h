@@ -27,6 +27,13 @@ namespace dsmem::bench {
  *                     (0 = the bench's own default)
  *   --no-fuse         disable fused window sweeps in campaign phase 2
  *                     (measurement kill-switch; results identical)
+ *   --sample-period U   enable SMARTS-style sampling: one detailed
+ *                       window per U instructions (0 = exact runs)
+ *   --sample-detailed N measured instructions per window
+ *   --sample-warmup N   detailed-but-unmeasured prefix per window
+ *   --sample-seed S     offset-hash seed (default 1)
+ *   --cold            bench_hotloop: drop and reload the TraceView
+ *                     between timing rounds (memory-bound regime)
  *
  * Unknown flags print a usage message and exit(2).
  */
@@ -41,6 +48,8 @@ struct BenchArgs {
     unsigned job_timeout_ms = 0; ///< 0 = no watchdog.
     unsigned repeat = 0; ///< Best-of-N rounds; 0 = bench default.
     bool no_fuse = false;
+    sim::SamplingPlan sampling; ///< period == 0: exact runs.
+    bool cold = false; ///< bench_hotloop: reload the view per round.
 
     runner::RunnerOptions runnerOptions() const
     {
@@ -52,6 +61,7 @@ struct BenchArgs {
         opts.max_attempts = max_attempts;
         opts.job_timeout_ms = job_timeout_ms;
         opts.fuse_sweeps = !no_fuse;
+        opts.sampling = sampling;
         return opts;
     }
 

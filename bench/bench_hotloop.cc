@@ -17,6 +17,9 @@
  *
  * Every timing is best-of-N rounds after an untimed warmup; N comes
  * from --repeat (default: 1 round per cell, 2 per campaign sweep).
+ * --cold reloads the trace from the store between rounds, so the
+ * measurement covers the cold I/O path instead of a memory-resident
+ * view.
  *
  * Results go to stdout as a table and to BENCH_phase2.json
  * (override with --json). Defaults to --small; pass --full for the
@@ -77,22 +80,43 @@ struct CellResult {
 /**
  * Best of @p rounds timing windows, each repeating @p run until
  * @p min_seconds elapse; instructions/second.
+ *
+ * With a @p reset callback (--cold), every timed repetition is
+ * preceded by an *untimed* reset that drops and reloads the state the
+ * loop streams (DESIGN §9's memory-bound regime: fresh allocations,
+ * no warm residency carried between reps); only run() is on the
+ * clock. Without one, the loop times back-to-back reps exactly as
+ * before.
  */
 double
 measureIps(const std::function<void()> &run, size_t instructions,
-           double min_seconds, unsigned rounds)
+           double min_seconds, unsigned rounds,
+           const std::function<void()> &reset = {})
 {
+    if (reset)
+        reset();
     run(); // Warm up caches and allocations.
     double best = 0.0;
     for (unsigned round = 0; round < rounds; ++round) {
-        auto start = std::chrono::steady_clock::now();
         uint64_t reps = 0;
         double elapsed;
-        do {
-            run();
-            ++reps;
-            elapsed = secondsSince(start);
-        } while (elapsed < min_seconds);
+        if (reset) {
+            elapsed = 0.0;
+            do {
+                reset();
+                auto start = std::chrono::steady_clock::now();
+                run();
+                elapsed += secondsSince(start);
+                ++reps;
+            } while (elapsed < min_seconds);
+        } else {
+            auto start = std::chrono::steady_clock::now();
+            do {
+                run();
+                ++reps;
+                elapsed = secondsSince(start);
+            } while (elapsed < min_seconds);
+        }
         best = std::max(best,
                         static_cast<double>(instructions) *
                             static_cast<double>(reps) / elapsed);
@@ -169,6 +193,15 @@ main(int argc, char **argv)
         trace::TraceView::build(t);
     double view_build_ms = secondsSince(build_start) * 1e3;
 
+    // --cold: drop and rebuild the view between timed reps, so the
+    // operand arrays are fresh allocations each time instead of
+    // cache-resident from the previous rep. Cells read *view through
+    // the shared_ptr variable, so the swap is picked up transparently.
+    const std::function<void()> cold_reset = args.cold
+        ? std::function<void()>(
+              [&] { view = trace::TraceView::build(t); })
+        : std::function<void()>{};
+
     std::vector<CellResult> cells;
     int mismatches = 0;
 
@@ -192,8 +225,9 @@ main(int argc, char **argv)
         cell.cycles = opt.cycles;
         cell.legacy_ips = measureIps(
             [&] { proc.run(t); }, n, min_seconds, cell_rounds);
-        cell.view_ips = measureIps(
-            [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
+        cell.view_ips = measureIps([&] { proc.run(*view); }, n,
+                                   min_seconds, cell_rounds,
+                                   cold_reset);
         cells.push_back(cell);
     }
 
@@ -217,8 +251,9 @@ main(int argc, char **argv)
             cell.cycles = opt.cycles;
             cell.legacy_ips = measureIps(
                 [&] { proc.runReference(t); }, n, min_seconds, cell_rounds);
-            cell.view_ips = measureIps(
-                [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
+            cell.view_ips = measureIps([&] { proc.run(*view); }, n,
+                                       min_seconds, cell_rounds,
+                                       cold_reset);
             cells.push_back(cell);
         }
     }
@@ -245,8 +280,9 @@ main(int argc, char **argv)
             cell.cycles = opt.cycles;
             cell.legacy_ips = measureIps(
                 [&] { proc.runReference(t); }, n, min_seconds, cell_rounds);
-            cell.view_ips = measureIps(
-                [&] { proc.run(*view); }, n, min_seconds, cell_rounds);
+            cell.view_ips = measureIps([&] { proc.run(*view); }, n,
+                                       min_seconds, cell_rounds,
+                                       cold_reset);
             cells.push_back(cell);
         }
     }
@@ -388,10 +424,11 @@ main(int argc, char **argv)
                      args.json_path.c_str());
         return 1;
     }
-    out << "{\n  \"schema_version\": 2,\n"
+    out << "{\n  \"schema_version\": 3,\n"
         << "  \"bench\": \"bench_hotloop\",\n"
         << "  \"app\": \"LU\",\n"
         << "  \"small\": " << (args.small ? "true" : "false") << ",\n"
+        << "  \"cold\": " << (args.cold ? "true" : "false") << ",\n"
         << "  \"host_cpu\": \"" << jsonEscape(hostCpuModel())
         << "\",\n"
         << "  \"host_cores\": "

@@ -88,6 +88,35 @@ BranchPredictor::predict(uint32_t site, bool taken)
     return correct;
 }
 
+BranchPredictor::Snapshot
+BranchPredictor::snapshot() const
+{
+    Snapshot s;
+    s.entries.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        s.entries.push_back({e.site, e.counter, e.last_use, e.valid});
+    s.tick = tick_;
+    return s;
+}
+
+void
+BranchPredictor::restore(const Snapshot &state)
+{
+    if (state.entries.size() != entries_.size())
+        throw std::invalid_argument(
+            "BranchPredictor::restore: geometry mismatch");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Snapshot::Entry &e = state.entries[i];
+        entries_[i].site = e.site;
+        entries_[i].counter = e.counter;
+        entries_[i].last_use = e.last_use;
+        entries_[i].valid = e.valid;
+    }
+    tick_ = state.tick;
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
 void
 BranchPredictor::reconfigure(const BtbConfig &config)
 {

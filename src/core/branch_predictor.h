@@ -51,6 +51,42 @@ class BranchPredictor
 
     const BtbConfig &config() const { return config_; }
 
+    /**
+     * Value snapshot of the prediction state (table + LRU tick) for
+     * live-point checkpoints. Prediction state is a pure function of
+     * the (site, taken) history fed to predict(), so a snapshot taken
+     * by the functional warmer is bit-identical to the state the
+     * detailed processor would have at the same trace position. The
+     * lookup/mispredict tallies are *not* part of the snapshot:
+     * timing counts mispredicts from predict()'s return value, and a
+     * restored predictor starts its tallies at zero.
+     */
+    struct Snapshot {
+        struct Entry {
+            uint32_t site = 0;
+            uint8_t counter = 0;
+            uint64_t last_use = 0;
+            bool valid = false;
+
+            friend bool operator==(const Entry &,
+                                   const Entry &) = default;
+        };
+        std::vector<Entry> entries; ///< sets * associativity, row-major.
+        uint64_t tick = 0;
+
+        friend bool operator==(const Snapshot &,
+                               const Snapshot &) = default;
+    };
+
+    Snapshot snapshot() const;
+
+    /**
+     * Restore table contents and LRU tick from @p state. The snapshot
+     * must match the current geometry (entries count); call
+     * reconfigure() first. Lookup/mispredict tallies reset to zero.
+     */
+    void restore(const Snapshot &state);
+
     void reset();
 
     /**

@@ -213,6 +213,46 @@ struct Lane {
         state.predictor.reconfigure(config.btb);
     }
 
+    /**
+     * Seed the lane with live-point state so stepping resumes at
+     * pt.pos: every ring, gate, and rolling cycle marker is set to
+     * the point's clock (a uniform shift — the scheduling step only
+     * ever takes maxima and differences of these, so the absolute
+     * level cannot change any window-internal cycle delta), the
+     * predictor table is restored bit-exactly, and the pending-store
+     * map is rebuilt from the warm entries. Must follow bind().
+     */
+    void restore(const LanePoint &pt)
+    {
+        const uint64_t clock = pt.clock;
+        std::fill(completion_ring, completion_ring + W, clock);
+        std::fill(retire_ring, retire_ring + W, clock);
+        std::fill(decode_ring, decode_ring + width, clock);
+        std::fill(sb_leave_ring, sb_leave_ring + sb_depth, clock);
+        std::fill(mshr_ring, mshr_ring + (mshrs == 0 ? 1 : mshrs),
+                  clock);
+        gates[0] = gates[1] = gates[2] = gates[3] = clock;
+        // Zero counts leave the first sb_depth stores (first `mshrs`
+        // misses) ungated after the restore — vacuously equivalent to
+        // a full ring of entries that all left by `clock`.
+        store_count = 0;
+        miss_count = 0;
+        fetch_stall_until = clock;
+        prev_retire = clock;
+        first_retire = false;
+        occupancy_sum = 0;
+        r = DynamicResult{};
+        if (free_window) {
+            // A window's worth of slots, all freed by `clock`.
+            for (uint32_t s = 0; s < W; ++s)
+                st->slot_heap.push(clock);
+        }
+        st->predictor.restore(pt.predictor);
+        for (const WarmStore &ws : pt.stores)
+            st->last_store.insert(
+                ws.addr, {ws.data_ready, ws.mem_completion});
+    }
+
     uint64_t mshrSlotFree() const
     {
         if (mshrs == 0 || miss_count < mshrs)
@@ -615,6 +655,139 @@ runDynamicSweep(const trace::TraceView &v,
     for (Lane &lane : lanes) {
         lane.finish();
         out.push_back(std::move(lane.r));
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Functional warming: the fast-forward model of the sampled runner.
+//
+// A retire-at-fetch architectural walk — one clock per instruction,
+// plus the non-hideable acquire wait — that keeps exactly the state a
+// detailed window needs warm on entry: the branch predictor (fed the
+// same (site, taken) sequence the detailed lane would feed it, so its
+// table is bit-identical to the full run's at every position) and the
+// pending-store forwarding set (timed on the functional clock, the
+// same store-buffer-liveness sweep as the detailed lane). One pass
+// serves every (model, window, width) cell of a sweep: none of those
+// parameters enters the warm state.
+// ------------------------------------------------------------------
+std::vector<LanePoint>
+computeLanePoints(const trace::TraceView &v,
+                  const std::vector<uint64_t> &positions,
+                  const BtbConfig &btb)
+{
+    if (!btb.valid())
+        throw std::invalid_argument("invalid BTB configuration");
+
+    std::vector<LanePoint> out;
+    out.reserve(positions.size());
+
+    BranchPredictor predictor(btb);
+    util::FlatMap<Addr, StoreForward> pending(64);
+    uint64_t clock = 0;
+
+    auto capture = [&](uint64_t pos) {
+        LanePoint pt;
+        pt.pos = pos;
+        pt.clock = clock;
+        pending.forEach([&](Addr addr, const StoreForward &s) {
+            // Entries whose write has performed can never forward.
+            if (s.mem_completion > clock)
+                pt.stores.push_back(
+                    {addr, s.data_ready, s.mem_completion});
+        });
+        // forEach order is table order; sort for a canonical,
+        // serialization-stable point.
+        std::sort(pt.stores.begin(), pt.stores.end(),
+                  [](const WarmStore &a, const WarmStore &b) {
+                      return a.addr < b.addr;
+                  });
+        pt.predictor = predictor.snapshot();
+        out.push_back(std::move(pt));
+    };
+
+    const size_t n = v.size();
+    size_t next = 0;
+    for (size_t i = 0; i < n && next < positions.size(); ++i) {
+        if (i == positions[next]) {
+            capture(i);
+            ++next;
+        }
+        const Op op = v.op(i);
+        ++clock;
+        if (v.flags(i) & TraceView::kAcquire)
+            clock += v.waitCycles(i);
+        if (op == Op::BRANCH) {
+            predictor.predict(v.branchSite(i), v.taken(i));
+        } else if (op == Op::STORE) {
+            if (pending.nearCapacity()) {
+                pending.retain([&](Addr, const StoreForward &s) {
+                    return s.mem_completion > clock;
+                });
+            }
+            pending.insert(v.addr(i),
+                           {clock, clock + v.latency(i)});
+        }
+    }
+    if (next < positions.size())
+        throw std::invalid_argument(
+            "live-point positions must be ascending and < trace size");
+    return out;
+}
+
+std::vector<WindowResult>
+DynamicProcessor::runSampled(const trace::TraceView &v,
+                             const std::vector<LanePoint> &points,
+                             uint64_t warmup, uint64_t detailed,
+                             SimContext &ctx) const
+{
+    validateConfig(config_);
+    if (detailed == 0)
+        throw std::invalid_argument("detailed window must be >= 1");
+
+    const size_t n = v.size();
+    std::vector<WindowResult> out;
+    out.reserve(points.size());
+    Lane lane;
+    for (const LanePoint &pt : points) {
+        // A window that would run past the trace tail is skipped, not
+        // truncated: unequal window lengths would bias the estimator.
+        if (pt.pos >= n || warmup + detailed > n - pt.pos)
+            continue;
+        lane.bind(config_, ctx.lane(0));
+        lane.restore(pt);
+
+        size_t i = pt.pos;
+        const size_t measure_start = pt.pos + warmup;
+        for (; i < measure_start; ++i)
+            lane.step(v, i);
+
+        const Breakdown bd0 = lane.r.breakdown;
+        const uint64_t in0 = lane.r.instructions;
+        const uint64_t br0 = lane.r.branches;
+        const uint64_t mp0 = lane.r.mispredicts;
+        const uint64_t rm0 = lane.r.read_misses;
+
+        const size_t measure_end = measure_start + detailed;
+        for (; i < measure_end; ++i)
+            lane.step(v, i);
+
+        WindowResult w;
+        w.start = measure_start;
+        w.steps = detailed;
+        w.r.breakdown.busy = lane.r.breakdown.busy - bd0.busy;
+        w.r.breakdown.sync = lane.r.breakdown.sync - bd0.sync;
+        w.r.breakdown.read = lane.r.breakdown.read - bd0.read;
+        w.r.breakdown.write = lane.r.breakdown.write - bd0.write;
+        w.r.breakdown.pipeline =
+            lane.r.breakdown.pipeline - bd0.pipeline;
+        w.r.cycles = w.r.breakdown.total();
+        w.r.instructions = lane.r.instructions - in0;
+        w.r.branches = lane.r.branches - br0;
+        w.r.mispredicts = lane.r.mispredicts - mp0;
+        w.r.read_misses = lane.r.read_misses - rm0;
+        out.push_back(std::move(w));
     }
     return out;
 }

@@ -73,6 +73,63 @@ struct DynamicConfig {
     }
 };
 
+/** Warm pending-store entry carried in a live point. */
+struct WarmStore {
+    trace::Addr addr = 0;
+    uint64_t data_ready = 0;     ///< When the store's value exists.
+    uint64_t mem_completion = 0; ///< When the write performs.
+
+    friend bool operator==(const WarmStore &,
+                           const WarmStore &) = default;
+};
+
+/**
+ * Live-point checkpoint: the warm microarchitectural state at one
+ * trace position, captured by the functional fast-forward model
+ * (computeLanePoints) and consumed by DynamicProcessor::runSampled.
+ *
+ * Only state that survives across a reorder window matters here: the
+ * branch predictor table (bit-exact — prediction state is a pure
+ * function of the (site, taken) history) and the pending-store
+ * forwarding entries (approximate — timed on the functional clock).
+ * Everything else the detailed lane tracks is O(window) rolling state
+ * that the restore seeds uniformly at @ref clock and the detailed
+ * warm-up segment re-derives.
+ *
+ * A live point is valid for every DynamicConfig sharing the BTB table
+ * geometry it was warmed with: window size, width, consistency model,
+ * and perfect-prediction mode do not enter the warm state (a
+ * perfect-prediction lane never consults the predictor at all).
+ */
+struct LanePoint {
+    uint64_t pos = 0;   ///< First instruction after the fast-forward.
+    uint64_t clock = 0; ///< Functional-model clock at @ref pos.
+    std::vector<WarmStore> stores; ///< Address-sorted pending stores.
+    BranchPredictor::Snapshot predictor;
+
+    friend bool operator==(const LanePoint &,
+                           const LanePoint &) = default;
+};
+
+/**
+ * Functional warming pass: advance a retire-at-fetch architectural
+ * model over the whole view once (clock += 1 per instruction plus
+ * acquire wait cycles, predictor updated on every branch, pending
+ * stores tracked with store-buffer-liveness sweeping) and capture a
+ * LanePoint at each of @p positions (ascending, each < v.size()).
+ * Deterministic: same (view, positions, btb) in, same points out.
+ */
+std::vector<LanePoint> computeLanePoints(
+    const trace::TraceView &v, const std::vector<uint64_t> &positions,
+    const BtbConfig &btb);
+
+/** One measured detailed window of a sampled run. */
+struct WindowResult {
+    uint64_t start = 0; ///< First measured instruction index.
+    uint64_t steps = 0; ///< Instructions measured (the W_d length).
+    RunResult r; ///< Attribution/counter deltas over the window alone.
+};
+
 /** RunResult plus dynamic-scheduling-specific measurements. */
 struct DynamicResult : RunResult {
     /**
@@ -127,6 +184,21 @@ class DynamicProcessor
 
     /** Convenience: decode @p t into a view, then time it. */
     DynamicResult run(const trace::Trace &t) const;
+
+    /**
+     * SMARTS-style sampled run: for each live point, restore a lane
+     * to the point's warm state, run @p warmup detailed-but-unmeasured
+     * steps, then @p detailed measured steps, and return the measured
+     * window's attribution/counter deltas. Windows are independent —
+     * each starts from its own live point — so the per-window results
+     * do not depend on how many points are passed or in what batches
+     * they are processed. Points whose warm-up + detailed segment
+     * would run past the end of the trace are skipped.
+     */
+    std::vector<WindowResult> runSampled(
+        const trace::TraceView &v,
+        const std::vector<LanePoint> &points, uint64_t warmup,
+        uint64_t detailed, SimContext &ctx) const;
 
     /**
      * The pre-optimization scheduling loop, kept verbatim as the

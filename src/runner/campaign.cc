@@ -79,6 +79,19 @@ Campaign::signature() const
     uint64_t h = util::fnv1aUpdate(util::kFnvOffset,
                                    bench_name_.data(),
                                    bench_name_.size());
+    // Sampling parameters fold in only when the plan is enabled
+    // (dram-style): a sampled campaign's rows are estimates, so its
+    // journal must never resume an exact campaign or vice versa —
+    // while every sampling-off journal keeps its exact seed signature.
+    if (opts_.sampling.enabled()) {
+        uint64_t plan_fields[] = {
+            opts_.sampling.period,
+            opts_.sampling.detailed,
+            opts_.sampling.warmup,
+            opts_.sampling.seed,
+        };
+        h = util::fnv1aUpdate(h, plan_fields, sizeof plan_fields);
+    }
     for (const Unit &u : units_) {
         std::string_view name = sim::appName(u.app);
         h = util::fnv1aUpdate(h, name.data(), name.size());
@@ -197,6 +210,7 @@ Campaign::replayJournal()
         res.rows[r.spec] = sim::LabelledResult{r.label, r.result};
         res.row_wall_ms[r.spec] = r.wall_ms;
         res.row_done[r.spec] = 1;
+        res.row_sampling[r.spec] = r.sampling;
     }
 }
 
@@ -209,6 +223,20 @@ Campaign::run()
         results_[u].rows.resize(units_[u].specs.size());
         results_[u].row_wall_ms.resize(units_[u].specs.size(), 0.0);
         results_[u].row_done.assign(units_[u].specs.size(), 0);
+        results_[u].row_sampling.resize(units_[u].specs.size());
+    }
+
+    // A malformed sampling plan fails the whole campaign up front: no
+    // unit could produce a valid estimate, and silently falling back
+    // to exact runs would misreport what the user asked to measure.
+    if (opts_.sampling.enabled()) {
+        std::string why;
+        if (!opts_.sampling.validate(&why)) {
+            recordCampaignError(
+                UnitError{"sampling", why, "", 1, true});
+            fillSink();
+            return;
+        }
     }
 
     const bool journalled = !opts_.journal_path.empty();
@@ -293,6 +321,19 @@ Campaign::run()
             sim::TraceOrigin origin;
             sim::TraceTiming timing;
             const sim::ViewBundle *bundle = nullptr;
+            // Live points are per trace, not per cell: resolve them
+            // here, inside the retry loop (the .dslp cache read can
+            // fault transiently), and share one set with every
+            // phase-2 group of this trace.
+            std::shared_ptr<const sim::LivePointSet> lp;
+            bool want_points = false;
+            if (opts_.sampling.enabled())
+                for (size_t u : unit_ids)
+                    for (size_t s = 0; s < units_[u].specs.size(); ++s)
+                        if (!results_[u].row_done[s] &&
+                            units_[u].specs[s].kind ==
+                                sim::ModelSpec::Kind::DS)
+                            want_points = true;
             std::string transient;
             unsigned attempt = 1;
             auto start = std::chrono::steady_clock::now();
@@ -311,6 +352,8 @@ Campaign::run()
                     bundle = &cache_.getView(first.app, first.mem,
                                              first.small, &origin,
                                              &timing);
+                    if (want_points)
+                        lp = resolveLivePoints(first, *bundle->view);
                     break;
                 } catch (const util::IoError &e) {
                     transient = e.what();
@@ -374,8 +417,8 @@ Campaign::run()
                 for (sim::ExecGroup &g : sim::planPhase2(
                          unit.specs, results_[u].row_done, lane_cap)) {
                     runner.submit(
-                        [this, view, u, g = std::move(g)] {
-                            runGroup(view, u, g);
+                        [this, view, u, g = std::move(g), lp] {
+                            runGroup(view, u, g, lp);
                         });
                 }
             }
@@ -395,9 +438,33 @@ Campaign::run()
     fillSink();
 }
 
+std::shared_ptr<const sim::LivePointSet>
+Campaign::resolveLivePoints(const Unit &unit,
+                            const trace::TraceView &view)
+{
+    if (auto cached = store_.loadLivePoints(unit.app, unit.mem,
+                                            unit.small, opts_.sampling)) {
+        // The file's checksum and plan fields already verified; the
+        // last gate is that it was warmed from *this* trace content
+        // (a regenerated trace of a different length, or a changed
+        // offset-hash input, silently invalidates the cache).
+        if (cached->instructions == view.size() &&
+            cached->offset ==
+                opts_.sampling.offsetFor(view.name(), view.size()))
+            return std::make_shared<const sim::LivePointSet>(
+                std::move(*cached));
+    }
+    auto lp = std::make_shared<sim::LivePointSet>(
+        sim::computeLivePoints(view, opts_.sampling));
+    store_.storeLivePoints(unit.app, unit.mem, unit.small,
+                           opts_.sampling, *lp);
+    return lp;
+}
+
 void
 Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
-                   size_t u, const sim::ExecGroup &group)
+                   size_t u, const sim::ExecGroup &group,
+                   const std::shared_ptr<const sim::LivePointSet> &lp)
 {
     // One simulation context per worker thread, recycled across every
     // group the worker ever runs (results are context-independent —
@@ -414,6 +481,8 @@ Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
     const std::string salt =
         "phase2:" + std::string(sim::appName(unit.app)) + ":" + label;
     std::vector<core::RunResult> results;
+    std::vector<sim::SampleSummary> summaries(group.rows.size());
+    const bool sampled = opts_.sampling.enabled() && lp != nullptr;
     std::string transient;
     unsigned attempt = 1;
     auto t0 = std::chrono::steady_clock::now();
@@ -426,7 +495,19 @@ Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
             // planner happened to group rows.
             for (size_t i = 0; i < group.rows.size(); ++i)
                 util::failpoint("campaign.phase2");
-            results = sim::runGroup(*view, unit.specs, group, sim_ctx);
+            if (sampled) {
+                std::vector<sim::SampledCell> cells =
+                    sim::runGroupSampled(*view, unit.specs, group,
+                                         opts_.sampling, *lp, sim_ctx);
+                results.clear();
+                for (size_t i = 0; i < cells.size(); ++i) {
+                    results.push_back(cells[i].result);
+                    summaries[i] = cells[i].sampling;
+                }
+            } else {
+                results =
+                    sim::runGroup(*view, unit.specs, group, sim_ctx);
+            }
             break;
         } catch (const util::IoError &e) {
             // A fused sweep is one pass — lanes aren't separable mid-
@@ -483,8 +564,9 @@ Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
             sim::LabelledResult{row_label, results[i]};
         results_[u].row_wall_ms[s] = row_wall;
         results_[u].row_done[s] = 1;
-        journal_.appendRow(
-            JournalRow{u, s, row_label, results[i], row_wall});
+        results_[u].row_sampling[s] = summaries[i];
+        journal_.appendRow(JournalRow{u, s, row_label, results[i],
+                                      row_wall, summaries[i]});
     }
 }
 
@@ -615,6 +697,14 @@ Campaign::fillSink()
                 ? sim::hiddenReadFraction(*base, res.rows[s].result)
                 : 0.0;
             r.wall_ms = res.row_wall_ms[s];
+            const sim::SampleSummary &ss = res.row_sampling[s];
+            if (ss.sampled) {
+                r.has_sampling = true;
+                r.sample_windows = ss.windows;
+                r.sample_measured = ss.measured;
+                r.cpi_mean = ss.cpi_mean;
+                r.ci95 = ss.ci95;
+            }
             sink_.addRun(std::move(r));
         }
 

@@ -43,6 +43,13 @@ struct UnitResult {
     std::vector<double> row_wall_ms;   ///< Per-row timing cost.
 
     /**
+     * Per-row sampling summary (index-matching rows). All entries
+     * stay default (sampled == false) when the campaign ran without
+     * a sampling plan or the row fell back to an exact run.
+     */
+    std::vector<sim::SampleSummary> row_sampling;
+
+    /**
      * 1 when rows[s] holds a finished result (run now or restored
      * from the journal); 0 when the row failed or never ran.
      */
@@ -145,7 +152,20 @@ class Campaign
      * matter how rows were grouped.
      */
     void runGroup(const std::shared_ptr<const trace::TraceView> &view,
-                  size_t u, const sim::ExecGroup &group);
+                  size_t u, const sim::ExecGroup &group,
+                  const std::shared_ptr<const sim::LivePointSet> &lp);
+
+    /**
+     * The live points for (unit's trace key, the campaign's sampling
+     * plan): loaded from the store's .dslp cache when a valid file
+     * exists, otherwise computed with one functional-warming pass
+     * over @p view and persisted for the next sweep. Called from the
+     * trace's phase-1 job, so the warm pass runs once per trace and
+     * is shared by every phase-2 group. Throws util::IoError on a
+     * transient store fault (the phase-1 retry loop handles it).
+     */
+    std::shared_ptr<const sim::LivePointSet>
+    resolveLivePoints(const Unit &unit, const trace::TraceView &view);
     void recordError(size_t unit, UnitError err);
     void recordCampaignError(UnitError err);
 

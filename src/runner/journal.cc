@@ -60,6 +60,22 @@ jsonDouble(double v)
 }
 
 /**
+ * Round-trip-exact double rendering for *result* fields (sampling
+ * statistics): a resumed campaign must restore the bit-identical
+ * value, where jsonDouble()'s 6 fixed digits are only fit for
+ * wall-clock noise. max_digits10 defaultfloat never prints nan/inf
+ * for finite values and parses back through getDouble()'s strtod.
+ */
+std::string
+jsonDoubleExact(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/**
  * Minimal field extraction for the journal's own line grammar: every
  * line was written by this file, keys are unique per line, and string
  * values are jsonEscape()d. This is not a general JSON parser and
@@ -192,7 +208,15 @@ formatRow(const JournalRow &r)
        << ",\"branches\":" << r.result.branches
        << ",\"mispredicts\":" << r.result.mispredicts
        << ",\"read_misses\":" << r.result.read_misses
-       << ",\"wall_ms\":" << jsonDouble(r.wall_ms) << "}";
+       << ",\"wall_ms\":" << jsonDouble(r.wall_ms);
+    // Sampling keys appear only on sampled rows, so an exact
+    // campaign's journal stays byte-identical to pre-sampling builds.
+    if (r.sampling.sampled)
+        os << ",\"s_windows\":" << r.sampling.windows
+           << ",\"s_measured\":" << r.sampling.measured
+           << ",\"s_mean\":" << jsonDoubleExact(r.sampling.cpi_mean)
+           << ",\"s_ci\":" << jsonDoubleExact(r.sampling.ci95);
+    os << "}";
     return os.str();
 }
 
@@ -219,17 +243,27 @@ parseRow(const std::string &line, JournalRow &r)
     r.unit = static_cast<size_t>(unit);
     r.spec = static_cast<size_t>(spec);
     core::Breakdown &bd = r.result.breakdown;
-    return getU64(line, "cycles", r.result.cycles) &&
-           getU64(line, "busy", bd.busy) &&
-           getU64(line, "sync", bd.sync) &&
-           getU64(line, "read", bd.read) &&
-           getU64(line, "write", bd.write) &&
-           getU64(line, "pipeline", bd.pipeline) &&
-           getU64(line, "instructions", r.result.instructions) &&
-           getU64(line, "branches", r.result.branches) &&
-           getU64(line, "mispredicts", r.result.mispredicts) &&
-           getU64(line, "read_misses", r.result.read_misses) &&
-           getDouble(line, "wall_ms", r.wall_ms);
+    if (!(getU64(line, "cycles", r.result.cycles) &&
+          getU64(line, "busy", bd.busy) &&
+          getU64(line, "sync", bd.sync) &&
+          getU64(line, "read", bd.read) &&
+          getU64(line, "write", bd.write) &&
+          getU64(line, "pipeline", bd.pipeline) &&
+          getU64(line, "instructions", r.result.instructions) &&
+          getU64(line, "branches", r.result.branches) &&
+          getU64(line, "mispredicts", r.result.mispredicts) &&
+          getU64(line, "read_misses", r.result.read_misses) &&
+          getDouble(line, "wall_ms", r.wall_ms)))
+        return false;
+    // Sampled rows carry all four s_* keys; a partial set is a
+    // corrupt record, not an exact row.
+    if (getU64(line, "s_windows", r.sampling.windows)) {
+        r.sampling.sampled = true;
+        return getU64(line, "s_measured", r.sampling.measured) &&
+               getDouble(line, "s_mean", r.sampling.cpi_mean) &&
+               getDouble(line, "s_ci", r.sampling.ci95);
+    }
+    return true;
 }
 
 bool

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "sim/sampling.h"
 
 namespace dsmem::runner {
 
@@ -17,6 +18,13 @@ struct JournalRow {
     std::string label;
     core::RunResult result;
     double wall_ms = 0.0;
+
+    /**
+     * Statistical-sampling summary of the row. Journalled (and
+     * parsed) only when sampling.sampled is set; rows of an exact
+     * campaign serialize byte-identically to pre-sampling builds.
+     */
+    sim::SampleSummary sampling;
 };
 
 /** One unit's phase-1 trace provenance, as recorded in the journal. */

@@ -154,7 +154,15 @@ ResultSink::writeJson(std::ostream &os) const
            << ", \"mispredicts\": " << r.result.mispredicts
            << ", \"read_misses\": " << r.result.read_misses
            << ", \"hidden_read\": " << jsonDouble(r.hidden_read)
-           << ", \"wall_ms\": " << jsonDouble(r.wall_ms) << "}";
+           << ", \"wall_ms\": " << jsonDouble(r.wall_ms);
+        // Present only for rows a sampling plan estimated: the
+        // sampling-off export stays byte-identical.
+        if (r.has_sampling)
+            os << ", \"sampling\": {\"windows\": " << r.sample_windows
+               << ", \"measured\": " << r.sample_measured
+               << ", \"cpi_mean\": " << jsonDouble(r.cpi_mean)
+               << ", \"ci95\": " << jsonDouble(r.ci95) << "}";
+        os << "}";
     }
     os << (runs_.empty() ? "]" : "\n  ]");
 

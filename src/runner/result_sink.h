@@ -56,6 +56,18 @@ struct RunRecord {
     core::RunResult result;
     double hidden_read = 0.0;  ///< vs. the unit's BASE row (0 if none).
     double wall_ms = 0.0;
+
+    /**
+     * Statistical-sampling summary, emitted as a "sampling" JSON
+     * member only when has_sampling is set — an exact campaign's
+     * export stays byte-identical to pre-sampling builds (the same
+     * conditional-extension pattern as TraceRecord's "dram" block).
+     */
+    bool has_sampling = false;
+    uint64_t sample_windows = 0;  ///< K measured windows.
+    uint64_t sample_measured = 0; ///< Instructions run detailed.
+    double cpi_mean = 0.0;        ///< Mean window CPI.
+    double ci95 = 0.0;            ///< Student-t 95% half-width.
 };
 
 /**

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/sampling.h"
+
 namespace dsmem::runner {
 
 /** Knobs shared by every runner-driven bench binary. */
@@ -48,6 +50,16 @@ struct RunnerOptions {
      * kill-switch (bench --no-fuse) and an escape hatch.
      */
     bool fuse_sweeps = true;
+
+    /**
+     * SMARTS-style statistical sampling for phase-2 DS cells
+     * (sim::SamplingPlan). Disabled by default (period == 0): every
+     * row runs exactly and campaign output is byte-identical to
+     * builds without the subsystem. When enabled, DS rows report a
+     * scaled estimate with a 95% CI and the plan's parameters join
+     * the campaign signature and the live-point store key.
+     */
+    sim::SamplingPlan sampling;
 
     /** jobs with the 0 default resolved. */
     unsigned resolvedJobs() const;

@@ -592,6 +592,116 @@ TraceStore::loadView(sim::AppId id, const memsys::MemoryConfig &mem,
     }
 }
 
+std::string
+TraceStore::livePointFileName(sim::AppId id,
+                              const memsys::MemoryConfig &mem,
+                              bool small, const sim::SamplingPlan &plan)
+{
+    // Stem on the bundle name (minus its .dsmb extension) so the live
+    // points sort next to the trace they were warmed from, then key
+    // every plan parameter: period/seed feed the offset hash and
+    // warmup/detailed trim the tail windows, so all four change the
+    // point list.
+    std::string stem = fileName(id, mem, small);
+    stem.resize(stem.size() - 5); // strip ".dsmb"
+    std::ostringstream name;
+    name << stem << "_p" << plan.period << "w" << plan.warmup << "d"
+         << plan.detailed << "s" << plan.seed << "_lp1.dslp";
+    return name.str();
+}
+
+std::string
+TraceStore::livePointPathFor(sim::AppId id,
+                             const memsys::MemoryConfig &mem,
+                             bool small,
+                             const sim::SamplingPlan &plan) const
+{
+    if (!enabled())
+        return "";
+    return (fs::path(dir_) / livePointFileName(id, mem, small, plan))
+        .string();
+}
+
+std::optional<sim::LivePointSet>
+TraceStore::loadLivePoints(sim::AppId id,
+                           const memsys::MemoryConfig &mem, bool small,
+                           const sim::SamplingPlan &plan)
+{
+    if (!enabled())
+        return std::nullopt;
+    fs::path path =
+        fs::path(dir_) / livePointFileName(id, mem, small, plan);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt;
+    bump(&StoreStats::loads);
+    try {
+        util::failpoint("dslp.read");
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return std::nullopt;
+        sim::LivePointSet set = sim::loadLivePoints(is);
+        // The name keys the plan, but the file's own header is what
+        // was actually warmed; a disagreement is a corrupt or
+        // mis-filed stream, not a cache hit.
+        if (set.period != plan.period || set.seed != plan.seed)
+            throw util::FormatError(
+                "live-point plan fields do not match the file name");
+        bump(&StoreStats::load_hits);
+        return set;
+    } catch (const util::IoError &) {
+        bump(&StoreStats::io_errors);
+        throw;
+    } catch (const std::exception &e) {
+        note("trace_store.load", path.string() + ": " + e.what(),
+             &StoreStats::format_errors);
+        quarantine(path);
+        return std::nullopt;
+    }
+}
+
+void
+TraceStore::storeLivePoints(sim::AppId id,
+                            const memsys::MemoryConfig &mem, bool small,
+                            const sim::SamplingPlan &plan,
+                            const sim::LivePointSet &set)
+{
+    if (!enabled())
+        return;
+    bump(&StoreStats::stores);
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    fs::path path =
+        fs::path(dir_) / livePointFileName(id, mem, small, plan);
+    fs::path tmp = path;
+    tmp += ".tmp" + std::to_string(::getpid());
+    try {
+        util::failpoint("dslp.write");
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            note("dslp.write", "cannot open " + tmp.string(),
+                 &StoreStats::store_errors);
+            return;
+        }
+        sim::saveLivePoints(set, os);
+        os.close();
+        if (!os) {
+            note("dslp.write", "write failed: " + tmp.string(),
+                 &StoreStats::store_errors);
+            removeFile(tmp, "dslp.write");
+            return;
+        }
+        if (!renameFile(tmp, path, "dslp.write")) {
+            bump(&StoreStats::store_errors);
+            removeFile(tmp, "dslp.write");
+        }
+    } catch (const std::exception &e) {
+        note("dslp.write", tmp.string() + ": " + e.what(),
+             &StoreStats::store_errors);
+        removeFile(tmp, "dslp.write");
+    }
+}
+
 void
 TraceStore::store(sim::AppId id, const memsys::MemoryConfig &mem,
                   bool small, const sim::TraceBundle &bundle)

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/sampling.h"
 #include "sim/trace_bundle.h"
 
 namespace dsmem::runner {
@@ -167,6 +168,43 @@ class TraceStore : public sim::TraceStoreBase
              bool small) override;
     void store(sim::AppId id, const memsys::MemoryConfig &mem,
                bool small, const sim::TraceBundle &bundle) override;
+
+    /**
+     * The content-keyed name a sampling plan's live points are stored
+     * under: the bundle stem plus every plan parameter (all four enter
+     * the window positions or the offset hash) and the live-point
+     * format version. Distinct plans never collide, and plain bundle
+     * names are untouched — a sampling-off campaign cannot create,
+     * read, or invalidate any of these files.
+     */
+    static std::string livePointFileName(sim::AppId id,
+                                         const memsys::MemoryConfig &mem,
+                                         bool small,
+                                         const sim::SamplingPlan &plan);
+
+    /** Full path for a live-point key, or "" when disabled. */
+    std::string livePointPathFor(sim::AppId id,
+                                 const memsys::MemoryConfig &mem,
+                                 bool small,
+                                 const sim::SamplingPlan &plan) const;
+
+    /**
+     * Load the cached live points for (trace key, plan). Same failure
+     * contract as load(): a corrupt or plan-mismatched file is
+     * quarantined and reported as a miss, a transient read fault
+     * (util::IoError) is rethrown for the campaign's retry policy.
+     */
+    std::optional<sim::LivePointSet>
+    loadLivePoints(sim::AppId id, const memsys::MemoryConfig &mem,
+                   bool small, const sim::SamplingPlan &plan);
+
+    /**
+     * Persist @p set for (trace key, plan); tmp-file + atomic rename,
+     * failures absorbed into StoreStats like store().
+     */
+    void storeLivePoints(sim::AppId id, const memsys::MemoryConfig &mem,
+                         bool small, const sim::SamplingPlan &plan,
+                         const sim::LivePointSet &set);
 
     /** Max `*.corrupt.*` siblings kept per bundle name. */
     static constexpr int kMaxQuarantinePerName = 4;

@@ -1,0 +1,163 @@
+#ifndef DSMEM_SIM_SAMPLING_H
+#define DSMEM_SIM_SAMPLING_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dynamic_processor.h"
+#include "core/sim_context.h"
+#include "sim/executor.h"
+#include "sim/experiment.h"
+#include "trace/trace_view.h"
+
+namespace dsmem::sim {
+
+/**
+ * SMARTS-style systematic sampling plan for phase-2 timing cells.
+ *
+ * The trace is divided into periods of @ref period instructions; in
+ * each period one contiguous segment is run through the detailed
+ * scheduling loop — @ref warmup unmeasured steps to heal the
+ * approximate live-point state, then @ref detailed measured steps —
+ * and everything else is fast-forwarded by the cheap functional model
+ * (core::computeLanePoints). The segment's phase within the period is
+ * a deterministic seeded hash of the trace identity (@ref offsetFor),
+ * never the clock, so a plan is reproducible bit-for-bit and
+ * resumable.
+ *
+ * period == 0 disables sampling; every consumer must then behave
+ * byte-identically to a build without this subsystem.
+ */
+struct SamplingPlan {
+    uint64_t period = 0;   ///< U: instructions per sampling period.
+    uint64_t detailed = 0; ///< W_d: measured window length.
+    uint64_t warmup = 0;   ///< W_w: detailed-but-unmeasured prefix.
+    uint64_t seed = 1;     ///< Offset-hash seed.
+
+    bool enabled() const { return period != 0; }
+
+    /**
+     * Validate an enabled plan; returns false and fills @p why on a
+     * malformed one. A disabled plan (period == 0) is always valid.
+     */
+    bool validate(std::string *why = nullptr) const;
+
+    /**
+     * Deterministic phase of the first detailed segment in [0,
+     * period): an FNV-1a hash of (trace name, trace length, seed,
+     * period). Never derived from the clock.
+     */
+    uint64_t offsetFor(std::string_view trace_name, uint64_t n) const;
+
+    /**
+     * The live-point positions this plan wants for a trace of @p n
+     * instructions named @p trace_name: offset + k*period for every
+     * whole window (warmup + detailed instructions) that fits.
+     */
+    std::vector<uint64_t> windowPositions(std::string_view trace_name,
+                                          uint64_t n) const;
+
+    friend bool operator==(const SamplingPlan &,
+                           const SamplingPlan &) = default;
+};
+
+/**
+ * Per-cell sampling statistics reported next to the estimated
+ * RunResult. When @ref sampled is false the row was run exactly (the
+ * spec is not a DS cell, or fewer than two whole windows fit the
+ * trace) and the statistics fields are zero.
+ */
+struct SampleSummary {
+    bool sampled = false;
+    uint64_t windows = 0;  ///< K: measured windows.
+    uint64_t measured = 0; ///< Total measured instructions (K * W_d).
+    double cpi_mean = 0.0; ///< Mean cycles per instruction over windows.
+    double ci95 = 0.0;     ///< Student-t 95% CI half-width on cpi_mean.
+
+    friend bool operator==(const SampleSummary &,
+                           const SampleSummary &) = default;
+};
+
+/** Two-sided 95% Student-t critical value for @p df degrees of freedom. */
+double studentT95(uint64_t df);
+
+/**
+ * Fold K measured windows into a whole-trace estimate: per-component
+ * mean rates scaled to @p n instructions (each breakdown component
+ * rounded independently; cycles is their sum, preserving
+ * cycles == breakdown.total()), plus the mean CPI and its Student-t
+ * 95% confidence half-width. Requires windows.size() >= 2.
+ */
+std::pair<core::RunResult, SampleSummary> estimateFromWindows(
+    const std::vector<core::WindowResult> &windows, uint64_t n);
+
+/**
+ * The live points of one (trace, plan) pair: the plan key fields the
+ * points were warmed under, plus the points themselves. Persisted as
+ * a checksummed .dslp stream (save/loadLivePoints) so re-sweeps and
+ * --resume skip the functional warming pass.
+ */
+struct LivePointSet {
+    core::BtbConfig btb;       ///< Table geometry warmed with.
+    uint64_t period = 0;
+    uint64_t seed = 0;
+    uint64_t offset = 0;       ///< offsetFor() of the source trace.
+    uint64_t instructions = 0; ///< Source trace length (sanity key).
+    std::vector<core::LanePoint> points;
+};
+
+/** Build the live points a plan needs for @p view (one warm pass). */
+LivePointSet computeLivePoints(const trace::TraceView &view,
+                               const SamplingPlan &plan);
+
+/**
+ * Serialize @p set as a DSLP v1 stream: magic + version, then a
+ * WORDS-folded FNV-1a-checksummed payload, trailer hash last. Throws
+ * util::IoError on write failure.
+ */
+void saveLivePoints(const LivePointSet &set, std::ostream &os);
+
+/**
+ * Load and verify a DSLP stream. Throws util::FormatError (bad magic,
+ * version, geometry, checksum, trailing garbage), util::TruncatedError
+ * on short streams, util::IoError on read faults. Allocation is
+ * bounded by the stream size, never by claimed counts alone.
+ */
+LivePointSet loadLivePoints(std::istream &is);
+
+/** One sampled (or exactly-run fallback) campaign cell. */
+struct SampledCell {
+    core::RunResult result;
+    SampleSummary sampling;
+};
+
+/**
+ * Sampled twin of runModel(): DS specs run detailed windows from the
+ * live points and return the scaled estimate; BASE/SSBR/SS specs (and
+ * DS cells with fewer than two usable windows) run exactly with
+ * sampling.sampled == false.
+ */
+SampledCell runModelSampled(const trace::TraceView &view,
+                            const ModelSpec &spec,
+                            const SamplingPlan &plan,
+                            const LivePointSet &points,
+                            core::SimContext &ctx);
+
+/**
+ * Sampled twin of runGroup(): results index-match group.rows. Cells
+ * are independent windows either way, so fused and singleton groups
+ * produce identical results by construction.
+ */
+std::vector<SampledCell> runGroupSampled(const trace::TraceView &view,
+                                         const std::vector<ModelSpec> &specs,
+                                         const ExecGroup &group,
+                                         const SamplingPlan &plan,
+                                         const LivePointSet &points,
+                                         core::SimContext &ctx);
+
+} // namespace dsmem::sim
+
+#endif // DSMEM_SIM_SAMPLING_H

@@ -5,7 +5,8 @@
  * flip at every offset, absurd record counts — loadBundle /
  * loadBundleView / loadTrace must fail with a *typed* error
  * (util::FormatError / util::IoError), never crash, never read out
- * of bounds, and never reserve unbounded memory.
+ * of bounds, and never reserve unbounded memory. The DSLP live-point
+ * loader (sim::loadLivePoints) is held to the same contract.
  */
 
 #include <gtest/gtest.h>
@@ -16,8 +17,10 @@
 
 #include "random_trace.h"
 #include "runner/trace_store.h"
+#include "sim/sampling.h"
 #include "sim/trace_bundle.h"
 #include "trace/trace_io.h"
+#include "trace/trace_view.h"
 #include "util/byte_io.h"
 #include "util/errors.h"
 
@@ -214,6 +217,90 @@ TEST(BundleFuzz, TrailingGarbageIsRejected)
     v2 += "extra";
     std::istringstream is(v2, std::ios::binary);
     EXPECT_THROW(loadBundle(is), util::FormatError);
+}
+
+// --- DSLP live-point streams under the same contract ----------------
+
+std::string
+serializeLivePoints(uint64_t seed, size_t n)
+{
+    trace::TraceView view(testing::randomTrace(seed, n));
+    sim::SamplingPlan plan;
+    plan.period = 2000;
+    plan.detailed = 300;
+    plan.warmup = 500;
+    std::ostringstream os(std::ios::binary);
+    sim::saveLivePoints(sim::computeLivePoints(view, plan), os);
+    return std::move(os).str();
+}
+
+void
+loadLivePointsFrom(std::istream &is)
+{
+    sim::LivePointSet set = sim::loadLivePoints(is);
+    (void)set;
+}
+
+TEST(BundleFuzz, LivePointTruncationAtEveryOffset)
+{
+    std::string bytes = serializeLivePoints(13, 9000);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(
+            typedOutcome(bytes.substr(0, len), loadLivePointsFrom))
+            << "truncated live points of " << len << "/"
+            << bytes.size() << " bytes loaded successfully";
+    }
+    EXPECT_TRUE(typedOutcome(bytes, loadLivePointsFrom));
+}
+
+TEST(BundleFuzz, LivePointByteFlipAtEveryOffset)
+{
+    std::string bytes = serializeLivePoints(29, 7000);
+    size_t survived = 0;
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+        for (uint8_t mask : {uint8_t{0x01}, uint8_t{0xFF}}) {
+            std::string mutant = bytes;
+            mutant[pos] = static_cast<char>(
+                static_cast<uint8_t>(mutant[pos]) ^ mask);
+            if (typedOutcome(mutant, loadLivePointsFrom))
+                ++survived;
+        }
+    }
+    EXPECT_LE(survived, 1u)
+        << "byte flips routinely pass DSLP checksum verification";
+}
+
+TEST(BundleFuzz, LivePointHugeCountsAreRejectedBeforeAllocating)
+{
+    // A handcrafted header claiming 2^20 BTB entries and ~2^60 points
+    // in a tiny stream: the loader must bound both by the remaining
+    // byte count instead of reserving from the claimed values.
+    std::ostringstream os(std::ios::binary);
+    {
+        util::ByteSink sink(os);
+        sink.put("DSLP", 4);
+        sink.putU32(1);                 // Version.
+        sink.beginHash(util::FnvState::Fold::WORDS);
+        sink.putU32(1u << 20);          // BTB entries.
+        sink.putU32(4);                 // Associativity.
+        sink.putU64(2000);              // Period.
+        sink.putU64(1);                 // Seed.
+        sink.putU64(100);               // Offset.
+        sink.putU64(uint64_t{1} << 40); // Instructions.
+        sink.putVarint(uint64_t{1} << 60); // Point count.
+        sink.putU64(sink.hashValue());
+        sink.flush();
+    }
+    std::string bytes = std::move(os).str();
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(sim::loadLivePoints(is), util::FormatError);
+}
+
+TEST(BundleFuzz, LivePointTrailingGarbageIsRejected)
+{
+    std::string bytes = serializeLivePoints(3, 6000) + "x";
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(sim::loadLivePoints(is), util::FormatError);
 }
 
 } // namespace

@@ -719,6 +719,199 @@ TEST_F(FaultToleranceTest, ResumeReExecutesOnlyMissingWork)
                       first.result(u).rows[s].result);
 }
 
+// --- Live-point (.dslp) faults --------------------------------------
+
+sim::SamplingPlan
+samplingPlan()
+{
+    sim::SamplingPlan plan;
+    plan.period = 4000;
+    plan.detailed = 400;
+    plan.warmup = 1200;
+    return plan;
+}
+
+TEST_F(FaultToleranceTest, CorruptLivePointsAreQuarantinedAndRecomputed)
+{
+    TempDir dir("dslp_corrupt");
+    RunnerOptions opts = fastOptions(dir.str());
+    opts.sampling = samplingPlan();
+
+    Campaign first("dslp", opts);
+    first.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+              true);
+    first.run();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.result(0).row_sampling[1].sampled);
+
+    // The warm pass persisted its live points next to the bundle.
+    TraceStore probe(dir.str());
+    fs::path dslp = probe.livePointPathFor(
+        sim::AppId::LU, memsys::MemoryConfig{}, true, opts.sampling);
+    ASSERT_TRUE(fs::exists(dslp));
+
+    // Flip a payload byte: the next campaign must quarantine the
+    // corpse, rewarm from the trace, and produce identical results.
+    {
+        std::fstream f(dslp, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+    Campaign second("dslp", opts);
+    second.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+               true);
+    second.run();
+    ASSERT_TRUE(second.ok()) << second.failureSummary();
+    EXPECT_GE(second.storeStats().quarantined, 1u);
+    EXPECT_GE(second.storeStats().format_errors, 1u);
+    for (size_t s = 0; s < first.result(0).rows.size(); ++s) {
+        EXPECT_EQ(second.result(0).rows[s].result,
+                  first.result(0).rows[s].result);
+        EXPECT_EQ(second.result(0).row_sampling[s],
+                  first.result(0).row_sampling[s]);
+    }
+    // And the rewarmed points landed back on disk, loadable.
+    EXPECT_TRUE(fs::exists(dslp));
+    Campaign third("dslp", opts);
+    third.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+              true);
+    third.run();
+    ASSERT_TRUE(third.ok());
+    EXPECT_GE(third.storeStats().load_hits, 1u);
+}
+
+TEST_F(FaultToleranceTest, LivePointWriteFaultIsAbsorbed)
+{
+    TempDir dir("dslp_wfault");
+    RunnerOptions opts = fastOptions(dir.str());
+    opts.sampling = samplingPlan();
+    util::armFailpoint(
+        {"dslp.write", util::FailpointMode::THROW, 0, 1, false});
+
+    Campaign campaign("dslp_w", opts);
+    campaign.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+                 true);
+    campaign.run();
+
+    // Persisting live points is an optimization; losing it never
+    // fails the campaign, and the rows still sampled from the
+    // in-memory warm pass.
+    EXPECT_TRUE(campaign.ok()) << campaign.failureSummary();
+    EXPECT_TRUE(campaign.result(0).row_sampling[1].sampled);
+    EXPECT_GE(campaign.storeStats().store_errors, 1u);
+    TraceStore probe(dir.str());
+    EXPECT_FALSE(fs::exists(probe.livePointPathFor(
+        sim::AppId::LU, memsys::MemoryConfig{}, true, opts.sampling)));
+}
+
+TEST_F(FaultToleranceTest, TransientLivePointReadFaultRetries)
+{
+    TempDir dir("dslp_rfault");
+    RunnerOptions opts = fastOptions(dir.str());
+    opts.sampling = samplingPlan();
+
+    Campaign first("dslp_r", opts);
+    first.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+              true);
+    first.run();
+    ASSERT_TRUE(first.ok());
+
+    // One transient IoError on the .dslp read: the phase-1 retry
+    // loop recovers and the results match the clean run.
+    util::armFailpoint(
+        {"dslp.read", util::FailpointMode::THROW, 0, 1, true});
+    Campaign second("dslp_r", opts);
+    second.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+               true);
+    second.run();
+    ASSERT_TRUE(second.ok()) << second.failureSummary();
+    bool recovered = false;
+    for (const ErrorRecord &e : second.sink().errors())
+        recovered = recovered || (!e.fatal && e.attempts >= 2);
+    EXPECT_TRUE(recovered);
+    for (size_t s = 0; s < first.result(0).rows.size(); ++s)
+        EXPECT_EQ(second.result(0).rows[s].result,
+                  first.result(0).rows[s].result);
+}
+
+TEST_F(FaultToleranceTest, ResumeRestoresSampledSummaries)
+{
+    TempDir dir("dslp_resume");
+    std::string journal = (dir.path() / "c.journal").string();
+    RunnerOptions opts = fastOptions((dir.path() / "cache").string());
+    opts.sampling = samplingPlan();
+    opts.journal_path = journal;
+
+    Campaign first("dslp_resume", opts);
+    first.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+              true);
+    first.run();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.result(0).row_sampling[1].sampled);
+
+    // A full-skip resume restores the sampling statistics from the
+    // journal alone — no store loads, no warm pass, identical rows.
+    RunnerOptions resume_opts = opts;
+    resume_opts.resume = true;
+    Campaign second("dslp_resume", resume_opts);
+    second.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+               true);
+    second.run();
+    ASSERT_TRUE(second.ok()) << second.failureSummary();
+    EXPECT_EQ(second.storeStats().loads, 0u);
+    for (size_t s = 0; s < first.result(0).rows.size(); ++s) {
+        EXPECT_EQ(second.result(0).rows[s].result,
+                  first.result(0).rows[s].result);
+        EXPECT_EQ(second.result(0).row_sampling[s],
+                  first.result(0).row_sampling[s]);
+    }
+}
+
+TEST_F(FaultToleranceTest, ResumeRefusesPlanChange)
+{
+    TempDir dir("dslp_sig");
+    std::string journal = (dir.path() / "c.journal").string();
+    RunnerOptions opts = fastOptions("");
+    opts.journal_path = journal;
+
+    // Journal written by an exact campaign...
+    Campaign exact("dslp_sig", opts);
+    exact.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+              true);
+    exact.run();
+    ASSERT_TRUE(exact.ok());
+
+    // ...must not satisfy a sampled re-sweep: estimates and exact
+    // results are not interchangeable rows.
+    RunnerOptions sampled_opts = opts;
+    sampled_opts.resume = true;
+    sampled_opts.sampling = samplingPlan();
+    Campaign sampled("dslp_sig", sampled_opts);
+    sampled.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+                true);
+    sampled.run();
+    EXPECT_FALSE(sampled.ok());
+    EXPECT_NE(sampled.failureSummary().find("signature"),
+              std::string::npos);
+}
+
+TEST_F(FaultToleranceTest, MalformedPlanFailsCampaignUpFront)
+{
+    RunnerOptions opts = fastOptions("");
+    opts.sampling.period = 1000;
+    opts.sampling.detailed = 900;
+    opts.sampling.warmup = 900; // Window exceeds the period.
+    Campaign campaign("badplan", opts);
+    campaign.add(sim::AppId::LU, twoSpecs(), memsys::MemoryConfig{},
+                 true);
+    campaign.run();
+    EXPECT_FALSE(campaign.ok());
+    EXPECT_TRUE(campaign.sink().runs().empty());
+    EXPECT_NE(campaign.failureSummary().find("sampling"),
+              std::string::npos);
+}
+
 TEST_F(FaultToleranceTest, ResumeRefusesForeignJournal)
 {
     TempDir dir("foreign");

@@ -11,6 +11,12 @@ and the CI runner are different machines, and a ratio of two
 measurements taken in the same process on the same host transfers
 across hosts where raw throughput does not.
 
+Three ratchet kinds: floors (ratios where bigger is better — a drop
+past tolerance fails), ceilings (errors where smaller is better — a
+rise past tolerance fails, e.g. bench_sampling's max_abs_error), and
+hard gates (booleans with no tolerance, e.g. bench_sampling's
+all_in_ci exact-mean-inside-CI check).
+
 Both files must come from the same bench at the same scale (the
 "small" flag must match) — cell mixes and therefore expected ratios
 differ between the small and paper-scaled traces.
@@ -28,6 +34,17 @@ import sys
 def fail(msg):
     print(f"check_perf: {msg}", file=sys.stderr)
     sys.exit(2)
+
+
+def load_doc(path):
+    """Load one bench JSON document, exiting 2 on a bad file."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
 
 
 def ratios(doc):
@@ -77,8 +94,37 @@ def ratios(doc):
                 t = traces[i // per_unit]
                 out[f"hidden:{r['app']}:{unit_label(t)}:W64"] = (
                     r["hidden_read"])
+    elif bench == "bench_sampling":
+        out["min_speedup"] = doc["min_speedup"]
+        for cell in doc.get("cells", []):
+            out[f"cell:{cell['label']}:speedup"] = cell["speedup"]
     else:
         fail(f"unknown bench {bench!r}")
+    return out
+
+
+def ceilings(doc):
+    """Extract {name: value} metrics where *smaller* is better.
+
+    These ratchet the opposite direction from ratios(): the current
+    run regresses when a value exceeds baseline * (1 + tolerance).
+    Sampling errors are deterministic simulation outputs (seeded trace,
+    seeded plan), so a ceiling breach is a real estimator regression,
+    never timing noise.
+    """
+    out = {}
+    if doc.get("bench") == "bench_sampling":
+        out["max_abs_error"] = doc["max_abs_error"]
+        for cell in doc.get("cells", []):
+            out[f"cell:{cell['label']}:abs_error"] = cell["abs_error"]
+    return out
+
+
+def gates(doc):
+    """Extract {name: bool} hard pass/fail gates (no tolerance)."""
+    out = {}
+    if doc.get("bench") == "bench_sampling":
+        out["all_in_ci"] = doc["all_in_ci"]
     return out
 
 
@@ -90,10 +136,8 @@ def main():
                         help="allowed fractional drop (default 0.25)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.current) as f:
-        cur = json.load(f)
+    base = load_doc(args.baseline)
+    cur = load_doc(args.current)
 
     if base.get("bench") != cur.get("bench"):
         fail(f"bench mismatch: {base.get('bench')} vs {cur.get('bench')}")
@@ -121,6 +165,26 @@ def main():
             regressions.append(name)
         print(f"  {name}: baseline {want:.3f} current {have:.3f} "
               f"(floor {floor:.3f}) {status}")
+
+    for name, want in sorted(ceilings(base).items()):
+        have = ceilings(cur).get(name)
+        if have is None:
+            print(f"check_perf: note: {name} absent in current run")
+            continue
+        compared += 1
+        ceiling = want * (1.0 + args.tolerance)
+        status = "ok"
+        if have > ceiling:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: baseline {want:.5f} current {have:.5f} "
+              f"(ceiling {ceiling:.5f}) {status}")
+
+    for name, ok in sorted(gates(cur).items()):
+        compared += 1
+        if not ok:
+            regressions.append(name)
+        print(f"  {name}: {'ok' if ok else 'REGRESSION'}")
 
     print(f"check_perf: compared {compared} ratio(s), "
           f"{len(regressions)} regression(s), "

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Sampling smoke check: sampled campaign estimates vs the exact run.
+
+Usage:
+    check_sampling.py EXACT.json SAMPLED.json [--min-sampled N]
+
+Both inputs are campaign JSON exports of the SAME declarations over
+the SAME traces — one run without a sampling plan, one with. For
+every sampled row (a run record carrying a "sampling" block) the
+exact run's cycle count must fall inside the estimate's 95%
+confidence interval:
+
+    |exact_cycles - est_cycles| <= ci95 * n
+
+where n (the trace length the estimate was scaled to) is recovered as
+est_cycles / cpi_mean — the export carries CPI-domain statistics, not
+the raw trace length. Rows without a "sampling" block (non-DS specs,
+or traces too short for two windows) are exact by construction and
+only counted.
+
+The check is statistical but NOT flaky: traces, plans, and offsets
+are all seeded, so the sampled run is bit-reproducible and a failure
+here means the estimator or the functional warm-up regressed.
+
+Exit codes: 0 ok, 1 an exact mean fell outside its CI or too few
+rows sampled, 2 usage / file mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_sampling: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_doc(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def runs_by_cell(doc):
+    out = {}
+    for r in doc.get("runs", []):
+        key = (r["app"], r["spec"])
+        if key in out:
+            fail(f"duplicate run record for {key}")
+        out[key] = r
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("exact")
+    parser.add_argument("sampled")
+    parser.add_argument("--min-sampled", type=int, default=1,
+                        help="minimum sampled rows required (default 1)")
+    parser.add_argument("--min-apps", type=int, default=1,
+                        help="minimum distinct apps with a sampled row")
+    args = parser.parse_args()
+
+    exact = runs_by_cell(load_doc(args.exact))
+    sampled_doc = load_doc(args.sampled)
+
+    checked = 0
+    fell_back = 0
+    failures = []
+    apps_sampled = set()
+    for r in sampled_doc.get("runs", []):
+        key = (r["app"], r["spec"])
+        s = r.get("sampling")
+        if s is None:
+            fell_back += 1
+            continue
+        base = exact.get(key)
+        if base is None:
+            fail(f"sampled cell {key} missing from the exact run")
+        if s["cpi_mean"] <= 0:
+            fail(f"non-positive cpi_mean for {key}")
+        # Recover the trace length the estimate was scaled to; +1
+        # absorbs the per-component rounding of the estimate.
+        n = r["cycles"] / s["cpi_mean"]
+        half_width = s["ci95"] * n + 1
+        delta = abs(r["cycles"] - base["cycles"])
+        status = "ok"
+        if delta > half_width:
+            status = "OUTSIDE CI"
+            failures.append(key)
+        else:
+            apps_sampled.add(r["app"])
+        checked += 1
+        print(f"  {key[0]}/{key[1]}: exact {base['cycles']} "
+              f"est {r['cycles']} (ci +-{half_width:.0f}) {status}")
+
+    print(f"check_sampling: {checked} sampled row(s) checked "
+          f"across {len(apps_sampled)} app(s), {fell_back} exact "
+          f"fallback(s), {len(failures)} outside CI")
+    if failures:
+        print("check_sampling: FAILED — exact mean outside the 95% CI: "
+              + ", ".join(f"{a}/{s}" for a, s in failures),
+              file=sys.stderr)
+        sys.exit(1)
+    if checked < args.min_sampled:
+        print(f"check_sampling: FAILED — only {checked} sampled "
+              f"row(s), need {args.min_sampled}; the smoke did not "
+              "exercise sampling", file=sys.stderr)
+        sys.exit(1)
+    if len(apps_sampled) < args.min_apps:
+        print(f"check_sampling: FAILED — only {len(apps_sampled)} "
+              f"app(s) contributed sampled rows, need {args.min_apps}",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
