@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string_view>
 
+#include "util/simd.h"
+
 namespace dsmem::bench {
 
 namespace {
@@ -45,7 +47,14 @@ printUsage(std::FILE *out, const char *prog)
         "window\n"
         "  --sample-seed S     sampling offset-hash seed (default 1)\n"
         "  --cold            bench_hotloop: reload the trace between "
-        "timing rounds\n",
+        "timing rounds\n"
+        "  --stream-gb G     bench_hotloop: memory_bound regime "
+        "footprint in GB (0 = skip;\n"
+        "                    default 0.25 at --small, 4.0 at --full)\n"
+        "  --simd MODE       auto|scalar: sweep backend (scalar "
+        "forces the portable\n"
+        "                    struct-of-lanes instantiation; auto also "
+        "honors DSMEM_SIMD=scalar)\n",
         prog, static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
@@ -141,6 +150,22 @@ parseBenchArgs(int argc, char **argv, bool default_small)
             args.no_fuse = true;
         } else if (arg == "--cold") {
             args.cold = true;
+        } else if (const char *v =
+                       flagValue("--stream-gb", argc, argv, i)) {
+            char *end = nullptr;
+            double g = std::strtod(v, &end);
+            if (end == v || *end != '\0' || g < 0.0 || g > 64.0)
+                usageError(argv[0], "bad --stream-gb value", v);
+            args.stream_gb = g;
+        } else if (const char *v = flagValue("--simd", argc, argv, i)) {
+            std::string_view mode = v;
+            if (mode != "auto" && mode != "scalar")
+                usageError(argv[0], "bad --simd value (auto|scalar)",
+                           v);
+            args.simd = mode;
+            // Flag beats the DSMEM_SIMD environment seed either way:
+            // an explicit auto re-enables SIMD under a scalar env.
+            util::simd::setForceScalar(mode == "scalar");
         } else if (const char *v =
                        flagValue("--sample-period", argc, argv, i)) {
             char *end = nullptr;

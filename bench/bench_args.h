@@ -34,6 +34,14 @@ namespace dsmem::bench {
  *   --sample-seed S     offset-hash seed (default 1)
  *   --cold            bench_hotloop: drop and reload the TraceView
  *                     between timing rounds (memory-bound regime)
+ *   --stream-gb G     bench_hotloop: streamed synthetic-trace
+ *                     footprint in GB for the memory_bound regime
+ *                     (0 = skip the regime; default: 0.25 at --small,
+ *                     4.0 at --full)
+ *   --simd MODE       auto = best sweep backend the build and CPU
+ *                     support (default, also honors DSMEM_SIMD=scalar
+ *                     in the environment); scalar = force the scalar
+ *                     struct-of-lanes instantiation
  *
  * Unknown flags print a usage message and exit(2).
  */
@@ -50,6 +58,8 @@ struct BenchArgs {
     bool no_fuse = false;
     sim::SamplingPlan sampling; ///< period == 0: exact runs.
     bool cold = false; ///< bench_hotloop: reload the view per round.
+    double stream_gb = -1.0; ///< Memory-bound footprint; <0 = scale default.
+    std::string simd; ///< "auto" / "scalar"; empty = env-seeded default.
 
     runner::RunnerOptions runnerOptions() const
     {

@@ -21,6 +21,17 @@
  * measurement covers the cold I/O path instead of a memory-resident
  * view.
  *
+ * A third section measures the *memory-bound* regime the fused
+ * struct-of-lanes executor exists for: a streamed synthetic workload
+ * of many ~1M-instruction cells whose aggregate TraceView footprint
+ * (--stream-gb, default 0.25 GB at --small / 4 GB at --full) dwarfs
+ * the last-level cache, so every pass reads the operand arrays cold.
+ * The per-cell path runs each of the K window configs as its own
+ * scalar pass over every cell (K cold streams of the whole footprint);
+ * the fused path runs one struct-of-lanes sweep per cell (one
+ * stream). Both regimes' fused-vs-per-cell ratios land in the JSON
+ * under "regimes" and are ratcheted by tools/check_perf.py.
+ *
  * Results go to stdout as a table and to BENCH_phase2.json
  * (override with --json). Defaults to --small; pass --full for the
  * paper-scaled trace.
@@ -29,6 +40,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -45,7 +57,9 @@
 #include "runner/trace_store.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
+#include "sim/synthetic.h"
 #include "sim/trace_bundle.h"
+#include "util/simd.h"
 #include "stats/table.h"
 #include "trace/trace_view.h"
 
@@ -166,6 +180,55 @@ hostCpuModel()
     }
     return "unknown";
 }
+
+/**
+ * Size in bytes of cpu0's level-@p level data/unified cache from
+ * sysfs; 0 when undetectable (non-Linux, masked sysfs). Recorded in
+ * the JSON header so a committed baseline's regime ratios can be
+ * read against the machine's cache hierarchy.
+ */
+uint64_t
+hostCacheBytes(int level)
+{
+    for (int idx = 0; idx < 16; ++idx) {
+        std::string base = "/sys/devices/system/cpu/cpu0/cache/index" +
+            std::to_string(idx) + "/";
+        int l = 0;
+        if (!(std::ifstream(base + "level") >> l) || l != level)
+            continue;
+        std::string type;
+        if (std::ifstream(base + "type") >> type &&
+            type == "Instruction")
+            continue;
+        std::string size;
+        if (!(std::ifstream(base + "size") >> size) || size.empty())
+            continue;
+        char *end = nullptr;
+        uint64_t bytes = std::strtoull(size.c_str(), &end, 10);
+        if (end == size.c_str())
+            continue;
+        if (*end == 'K')
+            bytes <<= 10;
+        else if (*end == 'M')
+            bytes <<= 20;
+        else if (*end == 'G')
+            bytes <<= 30;
+        return bytes;
+    }
+    return 0;
+}
+
+/** One regime's fused-vs-per-cell campaign measurement. */
+struct RegimeResult {
+    double percell_seconds = 0.0;
+    double fused_seconds = 0.0;
+
+    double speedup() const
+    {
+        return fused_seconds == 0.0 ? 0.0
+                                    : percell_seconds / fused_seconds;
+    }
+};
 
 } // namespace
 
@@ -362,14 +425,18 @@ main(int argc, char **argv)
         }
     }
 
-    auto bestSweepSeconds = [&](const std::function<void()> &fn) {
+    auto bestSeconds = [](const std::function<void()> &fn,
+                          unsigned rounds) {
         double best = 1e100;
-        for (unsigned round = 0; round < sweep_rounds; ++round) {
+        for (unsigned round = 0; round < rounds; ++round) {
             auto start = std::chrono::steady_clock::now();
             fn();
             best = std::min(best, secondsSince(start));
         }
         return best;
+    };
+    auto bestSweepSeconds = [&](const std::function<void()> &fn) {
+        return bestSeconds(fn, sweep_rounds);
     };
 
     std::vector<core::RunResult> scratch;
@@ -388,6 +455,111 @@ main(int argc, char **argv)
         fused_j1 == 0.0 ? 0.0 : percell_j1 / fused_j1;
     double sweep_speedup_jn =
         fused_jn == 0.0 ? 0.0 : percell_jn / fused_jn;
+    const RegimeResult cache_resident{percell_j1, fused_j1};
+
+    // ------------------------------------------------------------------
+    // Memory-bound regime: many ~1M-instruction synthetic cells whose
+    // aggregate view footprint exceeds any LLC, so both paths read the
+    // operand arrays cold from memory. Per-cell runs config-major (K
+    // scalar streams of the whole footprint — by the time a config
+    // returns to cell 0, every cell has been evicted); fused runs one
+    // struct-of-lanes sweep per cell (a single stream). This is the
+    // regime DESIGN §9's model says fusion must win: the speedup bound
+    // is K for the trace traffic plus whatever the SoL lockstep
+    // recovers in amortized decode.
+    // ------------------------------------------------------------------
+    const double stream_gb = args.stream_gb >= 0.0
+        ? args.stream_gb
+        : (args.small ? 0.25 : 4.0);
+    const unsigned stream_rounds = args.resolvedRepeat(1);
+    RegimeResult memory_bound;
+    size_t stream_cells = 0;
+    size_t stream_instr_per_cell = 0;
+    size_t stream_lanes = 0;
+    if (stream_gb > 0.0) {
+        // TraceView bytes per instruction: op+fu+flags+num_srcs (4x1)
+        // + srcs (3x4) + addr (8) + latency+aux+first_use (3x4) = 36.
+        constexpr double kViewBytesPerInstr = 36.0;
+        stream_instr_per_cell = size_t{1} << 20; // ~36 MB/cell.
+        stream_cells = std::max<size_t>(
+            1,
+            static_cast<size_t>(stream_gb * 1e9 / kViewBytesPerInstr) /
+                stream_instr_per_cell);
+        std::vector<std::shared_ptr<const trace::TraceView>>
+            stream_views;
+        stream_views.reserve(stream_cells);
+        for (size_t c = 0; c < stream_cells; ++c) {
+            sim::SyntheticConfig sc;
+            sc.instructions = stream_instr_per_cell;
+            sc.seed = c + 1;
+            stream_views.push_back(
+                trace::TraceView::build(sim::generateSynthetic(sc)));
+        }
+
+        std::vector<core::DynamicConfig> stream_configs;
+        for (uint32_t window :
+             {16u, 32u, 48u, 64u, 96u, 128u, 192u, 256u}) {
+            core::DynamicConfig config;
+            config.model = core::ConsistencyModel::RC;
+            config.window = window;
+            stream_configs.push_back(config);
+        }
+        stream_lanes = stream_configs.size();
+
+        core::SimContext stream_ctx;
+        auto percellPass = [&](std::vector<core::DynamicResult> *out) {
+            for (const core::DynamicConfig &config : stream_configs) {
+                core::DynamicProcessor proc(config);
+                for (const auto &sv : stream_views) {
+                    core::DynamicResult r = proc.run(*sv, stream_ctx);
+                    if (out)
+                        out->push_back(std::move(r));
+                }
+            }
+        };
+        auto fusedPass = [&](std::vector<core::DynamicResult> *out) {
+            for (const auto &sv : stream_views) {
+                std::vector<core::DynamicResult> swept =
+                    core::runDynamicSweep(*sv, stream_configs,
+                                          stream_ctx);
+                if (out)
+                    for (core::DynamicResult &r : swept)
+                        out->push_back(std::move(r));
+            }
+        };
+
+        // Bit-identity first (and the warmup for both paths). Per-cell
+        // results are config-major [k][c], fused are cell-major [c][k].
+        {
+            std::vector<core::DynamicResult> percell, fused;
+            percellPass(&percell);
+            fusedPass(&fused);
+            bool same = percell.size() == fused.size();
+            for (size_t k = 0; same && k < stream_lanes; ++k) {
+                for (size_t c = 0; same && c < stream_cells; ++c) {
+                    const core::DynamicResult &a =
+                        percell[k * stream_cells + c];
+                    const core::DynamicResult &b =
+                        fused[c * stream_lanes + k];
+                    same = static_cast<const core::RunResult &>(a) ==
+                            static_cast<const core::RunResult &>(b) &&
+                        a.avg_window_occupancy ==
+                            b.avg_window_occupancy;
+                }
+            }
+            if (!same) {
+                std::fprintf(stderr,
+                             "MISMATCH: memory-bound fused sweep != "
+                             "per-cell results\n");
+                ++mismatches;
+            }
+        }
+
+        memory_bound.percell_seconds =
+            bestSeconds([&] { percellPass(nullptr); }, stream_rounds);
+        memory_bound.fused_seconds =
+            bestSeconds([&] { fusedPass(nullptr); }, stream_rounds);
+    }
 
     stats::Table table(
         {"cell", "view Minstr/s", "legacy Minstr/s", "speedup"});
@@ -417,6 +589,19 @@ main(int argc, char **argv)
                 sweep.size(), sweep_ds, fused_groups_j1, percell_j1,
                 fused_j1, sweep_speedup_j1, percell_jn, fused_jn,
                 sweep_speedup_jn, jobs_n);
+    std::printf("regime cache_resident (warm LU view, simd %s): "
+                "fused speedup %.2fx\n",
+                core::solActiveIsaName(), cache_resident.speedup());
+    if (stream_gb > 0.0) {
+        std::printf(
+            "regime memory_bound (%.2f GB streamed: %zu cells x "
+            "%zuK instr, %zu RC windows, simd %s): per-cell %.2fs "
+            "vs fused %.2fs — %.2fx\n",
+            stream_gb, stream_cells, stream_instr_per_cell >> 10,
+            stream_lanes, core::solActiveIsaName(),
+            memory_bound.percell_seconds, memory_bound.fused_seconds,
+            memory_bound.speedup());
+    }
 
     std::ofstream out(args.json_path, std::ios::binary);
     if (!out) {
@@ -424,7 +609,7 @@ main(int argc, char **argv)
                      args.json_path.c_str());
         return 1;
     }
-    out << "{\n  \"schema_version\": 3,\n"
+    out << "{\n  \"schema_version\": 4,\n"
         << "  \"bench\": \"bench_hotloop\",\n"
         << "  \"app\": \"LU\",\n"
         << "  \"small\": " << (args.small ? "true" : "false") << ",\n"
@@ -433,6 +618,11 @@ main(int argc, char **argv)
         << "\",\n"
         << "  \"host_cores\": "
         << std::thread::hardware_concurrency() << ",\n"
+        << "  \"host_l2_bytes\": " << hostCacheBytes(2) << ",\n"
+        << "  \"host_l3_bytes\": " << hostCacheBytes(3) << ",\n"
+        << "  \"simd_isa\": \"" << core::solIsaName() << "\",\n"
+        << "  \"simd_active\": \"" << core::solActiveIsaName()
+        << "\",\n"
         << "  \"trace_records\": " << n << ",\n"
         << "  \"cell_rounds\": " << cell_rounds << ",\n"
         << "  \"sweep_rounds\": " << sweep_rounds << ",\n"
@@ -453,6 +643,27 @@ main(int argc, char **argv)
         << ", \"fused_seconds_jobsN\": " << jsonDouble(fused_jn)
         << ", \"speedup_jobsN\": " << jsonDouble(sweep_speedup_jn)
         << "},\n"
+        << "  \"regimes\": {\n"
+        << "    \"cache_resident\": {\"percell_seconds\": "
+        << jsonDouble(cache_resident.percell_seconds)
+        << ", \"fused_seconds\": "
+        << jsonDouble(cache_resident.fused_seconds)
+        << ", \"fused_speedup\": "
+        << jsonDouble(cache_resident.speedup()) << "}";
+    if (stream_gb > 0.0) {
+        out << ",\n    \"memory_bound\": {\"stream_gb\": "
+            << jsonDouble(stream_gb)
+            << ", \"cells\": " << stream_cells
+            << ", \"instructions_per_cell\": " << stream_instr_per_cell
+            << ", \"lanes\": " << stream_lanes
+            << ",\n                     \"percell_seconds\": "
+            << jsonDouble(memory_bound.percell_seconds)
+            << ", \"fused_seconds\": "
+            << jsonDouble(memory_bound.fused_seconds)
+            << ", \"fused_speedup\": "
+            << jsonDouble(memory_bound.speedup()) << "}";
+    }
+    out << "\n  },\n"
         << "  \"cells\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const CellResult &cell = cells[i];

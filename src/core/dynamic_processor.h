@@ -214,6 +214,46 @@ class DynamicProcessor
     DynamicConfig config_;
 };
 
+/** Executor strategy for runDynamicSweep. */
+enum class SweepMode {
+    /**
+     * Struct-of-lanes when every config qualifies
+     * (solSweepSupported) and SIMD is not disabled at runtime
+     * (util::simd::forceScalar / DSMEM_SIMD=scalar); the per-lane
+     * tiled pass otherwise.
+     */
+    Auto,
+    /** The per-lane tiled pass (always available, any config mix). */
+    PerLaneTiled,
+    /** Struct-of-lanes lockstep with the configure-time SIMD ISA. */
+    SoL,
+    /** Struct-of-lanes lockstep forced onto the scalar batch type. */
+    SoLScalar,
+};
+
+/**
+ * True when @p configs can run on the struct-of-lanes fast path:
+ * every lane shares the model, width, prediction, and dependence
+ * knobs (only the window/store-buffer geometry may differ — exactly
+ * the families sim::planPhase2 fuses) and none uses the divergent
+ * window ablations (free_window, sc_speculation, finite MSHRs,
+ * read-delay collection), whose per-instruction control flow differs
+ * across lanes. Unsupported mixes silently take the tiled pass.
+ */
+bool solSweepSupported(const std::vector<DynamicConfig> &configs);
+
+/** SIMD ISA the struct-of-lanes executor was configured with
+ *  ("avx2", "neon", or "scalar"); independent of runtime forcing. */
+const char *solIsaName();
+
+/**
+ * The ISA SweepMode::Auto/SoL would actually execute with right now:
+ * solIsaName() demoted to "scalar" when util::simd::forceScalar()
+ * (DSMEM_SIMD=scalar / --simd=scalar) or the CPU lacks the configured
+ * instruction set. What bench JSON headers record.
+ */
+const char *solActiveIsaName();
+
 /**
  * Fused window sweep: time every config of @p configs — typically one
  * (model, latency) tuple at several window sizes — in a single pass
@@ -222,7 +262,19 @@ class DynamicProcessor
  * DynamicProcessor(configs[k]).run(v); the win is that the SoA operand
  * arrays stream through the cache once instead of configs.size()
  * times. Lane k borrows ctx.lane(k).
+ *
+ * @p mode selects the executor. The struct-of-lanes path advances all
+ * lanes in lockstep over each instruction with the rolling scalars in
+ * parallel arrays (gate/admission/attribution math vectorized, ring
+ * and table accesses per-lane), falling back to Lane::step per lane
+ * for divergent sync ops; results are bit-identical across every mode
+ * (enforced by tests/test_executor.cc).
  */
+std::vector<DynamicResult> runDynamicSweep(
+    const trace::TraceView &v, const std::vector<DynamicConfig> &configs,
+    SimContext &ctx, SweepMode mode);
+
+/** runDynamicSweep with SweepMode::Auto. */
 std::vector<DynamicResult> runDynamicSweep(
     const trace::TraceView &v, const std::vector<DynamicConfig> &configs,
     SimContext &ctx);

@@ -39,8 +39,11 @@ struct PendingLoadSlot {
  * requirement of the cells it has served and is re-initialized in
  * place between cells:
  *
- *  - ring vectors are assign()ed to the new cell's exact length
- *    (allocation-free once capacity covers the high-water window),
+ *  - ring vectors grow to the new cell's length but are never
+ *    re-zeroed: every ring slot is written before it is read (see
+ *    detail::ensureRing in core/lane.h), so a warm rebind touches no
+ *    ring memory at all (DynLane::rebind_bytes_skipped counts the
+ *    zero-fill avoided; a test asserts it),
  *  - RingSlotAllocator::reset() clears cells but keeps the span,
  *  - FlatMap::clear() and DaryMinHeap::clear() keep capacity,
  *  - BranchPredictor::reconfigure() reuses the table storage.
@@ -69,6 +72,9 @@ class SimContext
         util::FlatMap<trace::Addr, StoreForward> last_store{64};
         util::DaryMinHeap<4> slot_heap;
         BranchPredictor predictor{BtbConfig{}};
+        /// Zero-fill bytes the grow-only ring rebind avoided writing
+        /// compared to the old assign(n, 0) scheme (diagnostics).
+        uint64_t rebind_bytes_skipped = 0;
     };
 
     /** Static-model (SSBR/SS) scratch state. */
@@ -76,6 +82,25 @@ class SimContext
         std::vector<uint64_t> write_ring;
         std::vector<uint64_t> read_ring;
         std::vector<PendingLoadSlot> pending_loads;
+    };
+
+    /**
+     * Struct-of-lanes sweep scratch: one contiguous block the SoL
+     * executor partitions into its K-wide parallel arrays (rolling
+     * gates, retire chain, attribution counters, per-instruction
+     * temporaries — see core/sol_sweep_impl.h). Owned here so a
+     * campaign of many small sweeps reuses one allocation.
+     */
+    struct SolScratch {
+        std::vector<uint64_t> buf;
+        /**
+         * Transposed ring history: completion/retire/decode times of
+         * the last R instructions, stored row-major by instruction
+         * slot with the K lanes contiguous, so the lockstep phases
+         * read and write whole lane batches instead of striding
+         * through K per-lane rings (see core/sol_sweep_impl.h).
+         */
+        std::vector<uint64_t> hist;
     };
 
     /** Lane @p k, created on first use and recycled afterwards. */
@@ -88,11 +113,14 @@ class SimContext
 
     StaticScratch &staticScratch() { return static_scratch_; }
 
+    SolScratch &solScratch() { return sol_scratch_; }
+
     size_t laneCount() const { return lanes_.size(); }
 
   private:
     std::deque<DynLane> lanes_; ///< deque: stable lane addresses.
     StaticScratch static_scratch_;
+    SolScratch sol_scratch_;
 };
 
 } // namespace dsmem::core

@@ -136,6 +136,14 @@ planPhase2(const std::vector<ModelSpec> &specs,
     return groups;
 }
 
+core::SweepMode
+sweepModeFor(const std::vector<core::DynamicConfig> &configs)
+{
+    if (configs.size() >= 2 && core::solSweepSupported(configs))
+        return core::SweepMode::SoL;
+    return core::SweepMode::PerLaneTiled;
+}
+
 std::vector<RunResult>
 runGroup(const trace::TraceView &view, const std::vector<ModelSpec> &specs,
          const ExecGroup &group, core::SimContext &ctx)
@@ -153,7 +161,7 @@ runGroup(const trace::TraceView &view, const std::vector<ModelSpec> &specs,
     for (size_t s : group.rows)
         configs.push_back(dynamicConfigFor(specs[s]));
     std::vector<core::DynamicResult> swept =
-        core::runDynamicSweep(view, configs, ctx);
+        core::runDynamicSweep(view, configs, ctx, sweepModeFor(configs));
 
     std::vector<RunResult> out;
     out.reserve(swept.size());

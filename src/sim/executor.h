@@ -78,10 +78,25 @@ std::vector<ExecGroup> planPhase2(const std::vector<ModelSpec> &specs,
                                   size_t lane_cap);
 
 /**
+ * The sweep backend a fused group of @p configs should use.
+ *
+ * Lane-count-aware: the struct-of-lanes executor amortizes its
+ * per-instruction decode over K lanes, so it only pays off with at
+ * least two; a two-lane batch already covers the lockstep overhead
+ * and wider batches ride the same vector ops. Groups of one lane —
+ * and families the SoL phases cannot express (see
+ * core::solSweepSupported) — fall back to the per-lane tiled sweep.
+ * Within SweepMode::SoL the scalar/SIMD instantiation is picked at
+ * run time (DSMEM_SIMD env, CPU support).
+ */
+core::SweepMode sweepModeFor(const std::vector<core::DynamicConfig> &configs);
+
+/**
  * Execute one group; results index-match group.rows. Fused groups run
- * one sweep pass; singletons run one cell. Either way lane k of
- * @p ctx serves row k, so a worker-pinned context grows to the
- * high-water lane count it has seen and is then allocation-free.
+ * one sweep pass (backend chosen by sweepModeFor); singletons run one
+ * cell. Either way lane k of @p ctx serves row k, so a worker-pinned
+ * context grows to the high-water lane count it has seen and is then
+ * allocation-free.
  */
 std::vector<core::RunResult> runGroup(const trace::TraceView &view,
                                       const std::vector<ModelSpec> &specs,

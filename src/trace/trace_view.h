@@ -114,6 +114,20 @@ class TraceView
     /** Reconstruct the AoS record (exact round-trip of Trace's). */
     TraceInst materialize(size_t i) const;
 
+    // Raw array bases, for software prefetch of upcoming blocks in
+    // the sweep executors (the accessors above return by value, so
+    // their operands' addresses are not otherwise reachable).
+    const Op *opsData() const { return ops_.data(); }
+    const uint8_t *flagsData() const { return flags_.data(); }
+    const uint8_t *numSrcsData() const { return num_srcs_.data(); }
+    const std::array<InstIndex, 3> *srcsData() const
+    {
+        return srcs_.data();
+    }
+    const Addr *addrData() const { return addr_.data(); }
+    const uint32_t *latencyData() const { return latency_.data(); }
+    const uint32_t *auxData() const { return aux_.data(); }
+
   private:
     std::string name_;
     std::vector<Op> ops_;

@@ -24,6 +24,7 @@
 #include "sim/executor.h"
 #include "sim/experiment.h"
 #include "trace/trace_view.h"
+#include "util/simd.h"
 
 namespace dsmem {
 namespace {
@@ -339,6 +340,185 @@ TEST(Executor, CampaignFusedMatchesUnfused)
         EXPECT_EQ(a.rows[s].label, b.rows[s].label);
         EXPECT_EQ(a.rows[s].result, b.rows[s].result);
     }
+}
+
+// --- Struct-of-lanes executor ---------------------------------------
+
+/** A window-sweep family the SoL path accepts: one model/width, @p k
+ *  ascending windows (deliberately not multiples of the batch). */
+std::vector<DynamicConfig>
+solFamily(size_t k, ConsistencyModel m, uint32_t width)
+{
+    std::vector<DynamicConfig> configs;
+    uint32_t w = width >= 4 ? 16 : 8;
+    for (size_t j = 0; j < k; ++j) {
+        DynamicConfig c;
+        c.model = m;
+        c.window = w;
+        c.width = width;
+        configs.push_back(c);
+        w = w * 2 > 256 ? w + 24 : w * 2;
+    }
+    return configs;
+}
+
+/**
+ * Every SoL mode must be bit-identical to per-cell runs, for every
+ * lane-count tail against the 4-wide batch (k = 1..5, 8), both
+ * narrow and multi-issue widths, and models with and without active
+ * consistency gates. The random trace carries sync ops (per-lane
+ * fallback), branch mispredict squashes, store forwarding, and read
+ * misses mid-block.
+ */
+TEST(Executor, SolSweepAllModesMatchPerCellRuns)
+{
+    trace::TraceView view(testing::randomTrace(21, 4000));
+    for (ConsistencyModel m :
+         {ConsistencyModel::SC, ConsistencyModel::RC}) {
+        for (uint32_t width : {1u, 4u}) {
+            for (size_t k : {size_t{1}, size_t{2}, size_t{3},
+                             size_t{4}, size_t{5}, size_t{8}}) {
+                std::vector<DynamicConfig> configs =
+                    solFamily(k, m, width);
+                ASSERT_TRUE(core::solSweepSupported(configs));
+
+                std::vector<DynamicResult> single;
+                for (const DynamicConfig &cfg : configs)
+                    single.push_back(DynamicProcessor(cfg).run(view));
+
+                SimContext ctx;
+                for (core::SweepMode mode :
+                     {core::SweepMode::SoL, core::SweepMode::SoLScalar,
+                      core::SweepMode::PerLaneTiled,
+                      core::SweepMode::Auto}) {
+                    std::vector<DynamicResult> swept =
+                        core::runDynamicSweep(view, configs, ctx, mode);
+                    ASSERT_EQ(swept.size(), single.size());
+                    for (size_t i = 0; i < swept.size(); ++i) {
+                        SCOPED_TRACE(
+                            "model " + std::to_string(int(m)) +
+                            " width " + std::to_string(width) + " k " +
+                            std::to_string(k) + " mode " +
+                            std::to_string(int(mode)) + " lane " +
+                            std::to_string(i));
+                        expectSameDynamicResult(swept[i], single[i]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Executor, SolSweepSupportGate)
+{
+    // The mixed variant set (free_window, MSHRs, SC speculation,
+    // differing widths/models) is not lockstep-runnable...
+    std::vector<DynamicConfig> mixed = variantConfigs();
+    EXPECT_FALSE(core::solSweepSupported(mixed));
+    trace::TraceView view(testing::randomTrace(3, 500));
+    SimContext ctx;
+    EXPECT_THROW(
+        core::runDynamicSweep(view, mixed, ctx, core::SweepMode::SoL),
+        std::invalid_argument);
+    // ...but a window/store-buffer-only family is, even with uniform
+    // non-default knobs.
+    std::vector<DynamicConfig> fam =
+        solFamily(3, ConsistencyModel::PC, 4);
+    fam[1].store_buffer_depth = 4;
+    for (DynamicConfig &c : fam) {
+        c.perfect_branch_prediction = true;
+        c.ignore_data_deps = true;
+    }
+    EXPECT_TRUE(core::solSweepSupported(fam));
+    std::vector<DynamicResult> swept =
+        core::runDynamicSweep(view, fam, ctx, core::SweepMode::SoL);
+    for (size_t i = 0; i < fam.size(); ++i)
+        expectSameDynamicResult(swept[i],
+                                DynamicProcessor(fam[i]).run(view));
+}
+
+/** One context must serve SoL, forced-scalar SoL, tiled, and
+ *  single-cell runs back to back with no state bleed. */
+TEST(Executor, SolContextReuseAcrossModes)
+{
+    trace::TraceView view(testing::randomTrace(17, 3000));
+    std::vector<DynamicConfig> fam =
+        solFamily(4, ConsistencyModel::RC, 1);
+
+    std::vector<DynamicResult> single;
+    for (const DynamicConfig &cfg : fam)
+        single.push_back(DynamicProcessor(cfg).run(view));
+
+    SimContext shared;
+    for (core::SweepMode mode :
+         {core::SweepMode::SoL, core::SweepMode::PerLaneTiled,
+          core::SweepMode::SoLScalar, core::SweepMode::SoL}) {
+        std::vector<DynamicResult> swept =
+            core::runDynamicSweep(view, fam, shared, mode);
+        for (size_t i = 0; i < fam.size(); ++i) {
+            SCOPED_TRACE("mode " + std::to_string(int(mode)) +
+                         " lane " + std::to_string(i));
+            expectSameDynamicResult(swept[i], single[i]);
+        }
+        // Interleave a single-cell run through lane 0.
+        expectSameDynamicResult(
+            DynamicProcessor(fam[2]).run(view, shared), single[2]);
+    }
+}
+
+/** The runtime forced-scalar switch reroutes Auto; results do not
+ *  change. */
+TEST(Executor, SolForcedScalarRuntimeSwitch)
+{
+    trace::TraceView view(testing::randomTrace(29, 2000));
+    std::vector<DynamicConfig> fam =
+        solFamily(3, ConsistencyModel::SC, 1);
+    SimContext ctx;
+    std::vector<DynamicResult> simd =
+        core::runDynamicSweep(view, fam, ctx);
+    util::simd::setForceScalar(true);
+    std::vector<DynamicResult> scalar =
+        core::runDynamicSweep(view, fam, ctx);
+    util::simd::setForceScalar(false);
+    ASSERT_EQ(simd.size(), scalar.size());
+    for (size_t i = 0; i < simd.size(); ++i)
+        expectSameDynamicResult(simd[i], scalar[i]);
+}
+
+// --- SimContext rebind avoids re-zeroing warm rings -----------------
+
+TEST(Executor, RingRebindSkipsZeroFill)
+{
+    trace::TraceView view(testing::randomTrace(13, 1000));
+    DynamicConfig c;
+    c.model = ConsistencyModel::RC;
+    c.window = 256; // sb_depth defaults to the window
+    SimContext ctx;
+
+    DynamicProcessor p(c);
+    DynamicResult first = p.run(view, ctx);
+    uint64_t after_first = ctx.lane(0).rebind_bytes_skipped;
+
+    DynamicResult second = p.run(view, ctx);
+    uint64_t after_second = ctx.lane(0).rebind_bytes_skipped;
+
+    // A warm rebind skips the whole assign(n, 0) the old scheme
+    // performed: completion + retire rings (window each), decode ring
+    // (width), store-buffer ring (window), MSHR ring (1 slot).
+    const uint64_t warm_bytes =
+        (uint64_t{c.window} * 3 + c.width + 1) * sizeof(uint64_t);
+    EXPECT_EQ(after_second - after_first, warm_bytes);
+    expectSameDynamicResult(second, first);
+
+    // Shrinking then regrowing stays allocation- and zero-fill-free
+    // once the high-water size is reached (grow-only rings).
+    c.window = 16;
+    DynamicProcessor(c).run(view, ctx);
+    c.window = 256;
+    DynamicProcessor(c).run(view, ctx);
+    EXPECT_EQ(ctx.lane(0).rebind_bytes_skipped,
+              after_second + (16ull * 3 + 1 + 1) * sizeof(uint64_t) +
+                  warm_bytes);
 }
 
 } // namespace

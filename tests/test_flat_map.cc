@@ -226,11 +226,21 @@ TEST(RingSlotAllocator, MatchesReferenceMultiCapacity)
     compareAllocators(/*capacity=*/2, /*max_lead=*/200, /*seed=*/2);
 }
 
+TEST(RingSlotAllocator, MatchesReferenceCellRingCapacity)
+{
+    // Capacity > 2 takes the direct-mapped cell-ring representation
+    // instead of the bitmap window; cover it explicitly.
+    compareAllocators(/*capacity=*/3, /*max_lead=*/200, /*seed=*/6);
+    compareAllocators(/*capacity=*/3, /*max_lead=*/5000, /*seed=*/7,
+                      /*initial_span=*/16);
+}
+
 TEST(RingSlotAllocator, GrowsOnLiveCollision)
 {
     // A tiny initial span with leads far beyond it forces live
-    // collisions, so the ring must double (possibly repeatedly)
-    // while still matching the reference.
+    // collisions (cells) or window overflow (bitmap), so the
+    // allocator must double (possibly repeatedly) while still
+    // matching the reference.
     core::RingSlotAllocator ring(1, /*initial_span=*/16);
     size_t span_before = ring.span();
     compareAllocators(/*capacity=*/1, /*max_lead=*/5000, /*seed=*/3,
@@ -251,10 +261,11 @@ TEST(RingSlotAllocator, GrowsOnLiveCollision)
 TEST(RingSlotAllocator, WatermarkReclaimsDeadCells)
 {
     // With leads far below the span and a fast-moving watermark, the
-    // ring wraps repeatedly and must reclaim dead cells in place
-    // rather than grow.
+    // bitmap window must slide forward (reclaiming dead bits) rather
+    // than grow: the lead never exceeds 64-alignment slack (63) plus
+    // the max request lead (15), well inside 128 cycles.
     core::SlotAllocator ref(1);
-    core::RingSlotAllocator ring(1, /*initial_span=*/64);
+    core::RingSlotAllocator ring(1, /*initial_span=*/128);
     uint64_t decode = 0;
     std::mt19937_64 rng(5);
     for (int step = 0; step < 50000; ++step) {
@@ -264,7 +275,22 @@ TEST(RingSlotAllocator, WatermarkReclaimsDeadCells)
         ASSERT_EQ(ring.allocate(request), ref.allocate(request))
             << "step " << step;
     }
-    EXPECT_EQ(ring.span(), 64u);
+    EXPECT_EQ(ring.span(), 128u);
+
+    // Same shape on the cell-ring representation (capacity 3): dead
+    // cells are reclaimed in place and the ring never grows.
+    core::SlotAllocator ref3(3);
+    core::RingSlotAllocator ring3(3, /*initial_span=*/64);
+    decode = 0;
+    std::mt19937_64 rng3(8);
+    for (int step = 0; step < 50000; ++step) {
+        decode += 1 + rng3() % 3;
+        ring3.advanceWatermark(decode);
+        uint64_t request = decode + rng3() % 16;
+        ASSERT_EQ(ring3.allocate(request), ref3.allocate(request))
+            << "step " << step;
+    }
+    EXPECT_EQ(ring3.span(), 64u);
 }
 
 } // namespace

@@ -58,6 +58,15 @@ def ratios(doc):
         if sweep:
             out["campaign_sweep:speedup_jobs1"] = sweep["speedup_jobs1"]
             out["campaign_sweep:speedup_jobsN"] = sweep["speedup_jobsN"]
+        # schema_version >= 4: fused-vs-per-cell ratio per cache
+        # regime (cache_resident = warm campaign sweep at jobs 1,
+        # memory_bound = streamed synthetic cells past the LLC). Both
+        # ratchet independently — the SoL executor must not buy its
+        # memory-bound win by regressing the warm path or vice versa.
+        for name, regime in sorted(doc.get("regimes", {}).items()):
+            if "fused_speedup" in regime:
+                out[f"regime:{name}:fused_speedup"] = (
+                    regime["fused_speedup"])
     elif bench == "bench_phase1":
         out["gen:speedup"] = doc["gen"]["speedup"]
         out["bundle:size_ratio"] = doc["bundle"]["size_ratio"]
