@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "util/failpoint.h"
 #include "util/simd.h"
 
 namespace dsmem::bench {
@@ -54,7 +55,15 @@ printUsage(std::FILE *out, const char *prog)
         "  --simd MODE       auto|scalar: sweep backend (scalar "
         "forces the portable\n"
         "                    struct-of-lanes instantiation; auto also "
-        "honors DSMEM_SIMD=scalar)\n",
+        "honors DSMEM_SIMD=scalar)\n"
+        "  --stable-json     canonical JSON projection (byte-"
+        "comparable across job counts)\n"
+        "  --store-gc        garbage-collect the trace store before "
+        "running\n"
+        "  --store-gc-age-days N  GC age threshold in days "
+        "(default 7)\n"
+        "  --list-failpoints print every registered failpoint site "
+        "and exit\n",
         prog, static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
@@ -148,6 +157,22 @@ parseBenchArgs(int argc, char **argv, bool default_small)
             args.repeat = static_cast<unsigned>(n);
         } else if (arg == "--no-fuse") {
             args.no_fuse = true;
+        } else if (arg == "--stable-json") {
+            args.stable_json = true;
+        } else if (arg == "--store-gc") {
+            args.store_gc = true;
+        } else if (const char *v = flagValue("--store-gc-age-days",
+                                             argc, argv, i)) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 0 || n > 36500)
+                usageError(argv[0], "bad --store-gc-age-days value",
+                           v);
+            args.store_gc_age_s =
+                static_cast<uint64_t>(n) * 24 * 3600;
+        } else if (arg == "--list-failpoints") {
+            util::printFailpointSites(stdout);
+            std::exit(0);
         } else if (arg == "--cold") {
             args.cold = true;
         } else if (const char *v =

@@ -42,6 +42,13 @@ namespace dsmem::bench {
  *                     support (default, also honors DSMEM_SIMD=scalar
  *                     in the environment); scalar = force the scalar
  *                     struct-of-lanes instantiation
+ *   --stable-json     canonicalize the JSON export to its
+ *                     deterministic projection (wall-clock zeroed,
+ *                     environment fields blanked) so runs are
+ *                     byte-comparable across job/worker counts
+ *   --store-gc        garbage-collect the trace store before running
+ *   --store-gc-age-days N  GC age threshold (default 7)
+ *   --list-failpoints print every registered failpoint site and exit
  *
  * Unknown flags print a usage message and exit(2).
  */
@@ -60,6 +67,9 @@ struct BenchArgs {
     bool cold = false; ///< bench_hotloop: reload the view per round.
     double stream_gb = -1.0; ///< Memory-bound footprint; <0 = scale default.
     std::string simd; ///< "auto" / "scalar"; empty = env-seeded default.
+    bool stable_json = false; ///< Deterministic JSON projection.
+    bool store_gc = false;    ///< GC the trace store before running.
+    uint64_t store_gc_age_s = 7 * 24 * 3600;
 
     runner::RunnerOptions runnerOptions() const
     {
@@ -72,6 +82,9 @@ struct BenchArgs {
         opts.job_timeout_ms = job_timeout_ms;
         opts.fuse_sweeps = !no_fuse;
         opts.sampling = sampling;
+        opts.stable_json = stable_json;
+        opts.store_gc = store_gc;
+        opts.store_gc_age_s = store_gc_age_s;
         return opts;
     }
 

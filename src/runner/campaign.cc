@@ -168,8 +168,10 @@ Campaign::replayJournal()
     std::vector<JournalRow> rows;
     std::vector<JournalTrace> traces;
     std::string err;
+    journal_meta_ = JournalMeta{};
     if (!CampaignJournal::replay(opts_.journal_path, signature(),
-                                 rows, traces, &err)) {
+                                 rows, traces, &err,
+                                 &journal_meta_)) {
         recordCampaignError(
             UnitError{"journal", "cannot resume: " + err, "", 1, true});
         return;
@@ -214,8 +216,8 @@ Campaign::replayJournal()
     }
 }
 
-void
-Campaign::run()
+bool
+Campaign::prepare()
 {
     results_.assign(units_.size(), UnitResult{});
     campaign_errors_.clear();
@@ -235,7 +237,7 @@ Campaign::run()
             recordCampaignError(
                 UnitError{"sampling", why, "", 1, true});
             fillSink();
-            return;
+            return false;
         }
     }
 
@@ -254,7 +256,7 @@ Campaign::run()
         }
         if (fatal) {
             fillSink();
-            return;
+            return false;
         }
     }
     if (journalled) {
@@ -265,6 +267,48 @@ Campaign::run()
                 UnitError{"journal", err, "", 1, false});
         }
     }
+
+    if (opts_.store_gc && store_.enabled()) {
+        StoreGcOptions gco;
+        gco.max_age_s = opts_.store_gc_age_s;
+        gco.max_corrupt_per_name = TraceStore::kMaxQuarantinePerName;
+        // The keep set protects every file this campaign (or its
+        // journal's resume) can reference, including the v1 names the
+        // store would migrate from.
+        for (const Unit &u : units_) {
+            gco.keep.push_back(
+                TraceStore::fileName(u.app, u.mem, u.small));
+            gco.keep.push_back(
+                TraceStore::legacyFileName(u.app, u.mem, u.small));
+            if (opts_.sampling.enabled())
+                gco.keep.push_back(TraceStore::livePointFileName(
+                    u.app, u.mem, u.small, opts_.sampling));
+        }
+        store_gc_stats_ = store_.gc(gco);
+    }
+    return true;
+}
+
+void
+Campaign::finish()
+{
+    if (journal_.failed())
+        recordCampaignError(UnitError{
+            "journal",
+            "journalling disabled mid-run: " + journal_.failure() +
+                " (campaign completed; this journal cannot resume "
+                "it)",
+            "", 1, false});
+    journal_.close();
+
+    fillSink();
+}
+
+void
+Campaign::run()
+{
+    if (!prepare())
+        return;
 
     // Group units sharing one phase-1 trace so it is generated once.
     using TraceKey = std::tuple<sim::AppId, memsys::MemoryConfig, bool>;
@@ -426,16 +470,165 @@ Campaign::run()
     }
     runner.wait();
 
-    if (journal_.failed())
-        recordCampaignError(UnitError{
-            "journal",
-            "journalling disabled mid-run: " + journal_.failure() +
-                " (campaign completed; this journal cannot resume "
-                "it)",
-            "", 1, false});
-    journal_.close();
+    finish();
+}
 
-    fillSink();
+std::vector<Campaign::CellRef>
+Campaign::pendingCells() const
+{
+    std::vector<CellRef> cells;
+    for (size_t u = 0; u < results_.size(); ++u)
+        for (size_t s = 0; s < units_[u].specs.size(); ++s)
+            if (!results_[u].row_done[s])
+                cells.push_back(CellRef{u, s});
+    return cells;
+}
+
+Campaign::ShardPlan
+Campaign::shardPlan(unsigned workers) const
+{
+    ShardPlan plan;
+    plan.shards.resize(std::max(1u, workers));
+
+    // Group pending cells by trace key, first-appearance order, so a
+    // shard resolves each phase-1 trace at most once.
+    using TraceKey = std::tuple<sim::AppId, memsys::MemoryConfig, bool>;
+    std::vector<std::pair<TraceKey, std::vector<CellRef>>> groups;
+    for (CellRef c : pendingCells()) {
+        TraceKey key{units_[c.unit].app, units_[c.unit].mem,
+                     units_[c.unit].small};
+        auto it = std::find_if(
+            groups.begin(), groups.end(),
+            [&](const auto &g) { return g.first == key; });
+        if (it == groups.end()) {
+            groups.push_back({key, {}});
+            it = std::prev(groups.end());
+        }
+        it->second.push_back(c);
+        ++plan.cells;
+    }
+    // Largest groups placed first on the lightest shard: the greedy
+    // balance cannot strand one giant trace behind many small ones,
+    // and ties break on shard index — fully deterministic.
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.size() > b.second.size();
+                     });
+    for (const auto &g : groups) {
+        size_t best = 0;
+        for (size_t k = 1; k < plan.shards.size(); ++k)
+            if (plan.shards[k].size() < plan.shards[best].size())
+                best = k;
+        plan.shards[best].insert(plan.shards[best].end(),
+                                 g.second.begin(), g.second.end());
+    }
+    return plan;
+}
+
+Campaign::Accept
+Campaign::acceptRemoteRow(size_t unit, size_t spec,
+                          const core::RunResult &result,
+                          const sim::SampleSummary &sampling,
+                          double wall_ms)
+{
+    if (unit >= results_.size() || spec >= units_[unit].specs.size())
+        return Accept::BAD_REF;
+    UnitResult &res = results_[unit];
+    if (res.row_done[spec]) {
+        const sim::SampleSummary &have = res.row_sampling[spec];
+        bool same = res.rows[spec].result == result &&
+                    have.sampled == sampling.sampled &&
+                    have.windows == sampling.windows &&
+                    have.measured == sampling.measured &&
+                    have.cpi_mean == sampling.cpi_mean &&
+                    have.ci95 == sampling.ci95;
+        return same ? Accept::DUPLICATE : Accept::MISMATCH;
+    }
+    std::string label = units_[unit].specs[spec].label();
+    res.rows[spec] = sim::LabelledResult{label, result};
+    res.row_wall_ms[spec] = wall_ms;
+    res.row_done[spec] = 1;
+    res.row_sampling[spec] = sampling;
+    journal_.appendRow(
+        JournalRow{unit, spec, label, result, wall_ms, sampling});
+    return Accept::OK;
+}
+
+bool
+Campaign::acceptRemoteTrace(size_t unit, const std::string &origin,
+                            uint64_t instructions, double wall_ms,
+                            double gen_ms, double load_ms)
+{
+    sim::TraceOrigin parsed;
+    if (unit >= results_.size() || !parseOrigin(origin, parsed))
+        return false;
+    UnitResult &res = results_[unit];
+    if (res.bundle != nullptr || res.trace_from_journal)
+        return true; // First provenance report wins.
+    res.trace_from_journal = true; // Bundle-less, like a resume.
+    res.origin = parsed;
+    res.trace_instructions = instructions;
+    res.trace_wall_ms = wall_ms;
+    res.trace_timing.gen_ms = gen_ms;
+    res.trace_timing.load_ms = load_ms;
+    journal_.appendTrace(JournalTrace{unit, origin, instructions,
+                                      wall_ms, gen_ms, load_ms});
+    return true;
+}
+
+void
+Campaign::recordRemoteError(size_t unit, const std::string &spec_label,
+                            const std::string &site,
+                            const std::string &message, bool fatal)
+{
+    if (unit >= results_.size())
+        return;
+    recordError(unit,
+                UnitError{site, message, spec_label, 1, fatal});
+}
+
+bool
+Campaign::runCellInline(size_t unit, size_t spec)
+{
+    if (unit >= results_.size() || spec >= units_[unit].specs.size())
+        return false;
+    if (results_[unit].row_done[spec])
+        return true;
+    const Unit &u = units_[unit];
+    std::shared_ptr<const trace::TraceView> view;
+    std::shared_ptr<const sim::LivePointSet> lp;
+    try {
+        sim::TraceOrigin origin;
+        sim::TraceTiming timing;
+        auto start = std::chrono::steady_clock::now();
+        const sim::ViewBundle *bundle =
+            &cache_.getView(u.app, u.mem, u.small, &origin, &timing);
+        if (opts_.sampling.enabled() &&
+            u.specs[spec].kind == sim::ModelSpec::Kind::DS)
+            lp = resolveLivePoints(u, *bundle->view);
+        double wall = elapsedMs(start);
+        if (results_[unit].bundle == nullptr &&
+            !results_[unit].trace_from_journal) {
+            results_[unit].bundle = bundle;
+            results_[unit].origin = origin;
+            results_[unit].trace_wall_ms = wall;
+            results_[unit].trace_timing = timing;
+            journal_.appendTrace(JournalTrace{
+                unit, std::string(sim::traceOriginName(origin)),
+                bundle->stats.instructions, wall, timing.gen_ms,
+                timing.load_ms});
+        }
+        view = bundle->view;
+    } catch (const std::exception &e) {
+        recordError(unit,
+                    UnitError{"phase1", e.what(),
+                              u.specs[spec].label(), 1, true});
+        return false;
+    }
+    sim::ExecGroup group;
+    group.rows.push_back(spec);
+    runGroup(view, unit, group, lp);
+    return results_[unit].row_done[spec] != 0;
 }
 
 std::shared_ptr<const sim::LivePointSet>
@@ -614,8 +807,14 @@ void
 Campaign::fillSink()
 {
     sink_.clear();
-    sink_.setContext(bench_name_, opts_.resolvedJobs(),
-                     opts_.trace_dir);
+    // Stable mode exports the deterministic projection only: every
+    // field that varies with wall clock, machine, process topology,
+    // cache temperature, or absorbed-fault history is blanked, so two
+    // runs of the same declaration set diff byte-identically no
+    // matter how (or how many times) they executed.
+    const bool stable = opts_.stable_json;
+    sink_.setContext(bench_name_, stable ? 0 : opts_.resolvedJobs(),
+                     stable ? "" : opts_.trace_dir);
 
     // Records are appended in declaration order (units, then specs),
     // independent of the order workers finished in. Trace records
@@ -643,21 +842,28 @@ Campaign::fillSink()
                 : "MSI";
             t.banks = unit.mem.banks;
             t.small = unit.small;
-            t.origin = std::string(sim::traceOriginName(res.origin));
-            t.file = store_.pathFor(unit.app, unit.mem, unit.small);
+            t.origin = stable
+                ? ""
+                : std::string(sim::traceOriginName(res.origin));
+            t.file = stable
+                ? ""
+                : store_.pathFor(unit.app, unit.mem, unit.small);
             t.instructions = res.bundle
                 ? res.bundle->stats.instructions
                 : res.trace_instructions;
-            t.wall_ms = res.trace_wall_ms;
-            t.gen_ms = res.trace_timing.gen_ms;
-            t.load_ms = res.trace_timing.load_ms;
+            t.wall_ms = stable ? 0.0 : res.trace_wall_ms;
+            t.gen_ms = stable ? 0.0 : res.trace_timing.gen_ms;
+            t.load_ms = stable ? 0.0 : res.trace_timing.load_ms;
             // Contention members only when the unit's config enabled
             // them; stats need the bundle resident (a journal-resumed
             // unit skipped phase 1, so counters stay their zero
             // defaults while geometry still documents the config).
+            // Stable mode blanks them for the same reason: whether
+            // the bundle is resident depends on which process ran
+            // phase 1, and a deterministic projection cannot.
             if (unit.mem.banks > 0) {
                 t.has_contention = true;
-                if (res.bundle)
+                if (res.bundle && !stable)
                     t.contention_cycles =
                         res.bundle->cache0.contention_cycles;
             }
@@ -667,7 +873,7 @@ Campaign::fillSink()
                 t.dram_row_bytes = unit.mem.dram.row_bytes;
                 t.dram_sched =
                     memsys::schedPolicyName(unit.mem.dram.sched);
-                if (res.bundle)
+                if (res.bundle && !stable)
                     t.dram_stats = res.bundle->cache0.dram;
             }
             sink_.addTrace(std::move(t));
@@ -690,13 +896,14 @@ Campaign::fillSink()
             RunRecord r;
             r.app = std::string(sim::appName(unit.app));
             r.spec = res.rows[s].label;
-            r.trace_origin =
-                std::string(sim::traceOriginName(res.origin));
+            r.trace_origin = stable
+                ? ""
+                : std::string(sim::traceOriginName(res.origin));
             r.result = res.rows[s].result;
             r.hidden_read = base
                 ? sim::hiddenReadFraction(*base, res.rows[s].result)
                 : 0.0;
-            r.wall_ms = res.row_wall_ms[s];
+            r.wall_ms = stable ? 0.0 : res.row_wall_ms[s];
             const sim::SampleSummary &ss = res.row_sampling[s];
             if (ss.sampled) {
                 r.has_sampling = true;
@@ -708,18 +915,25 @@ Campaign::fillSink()
             sink_.addRun(std::move(r));
         }
 
-        for (const UnitError &e : res.errors) {
-            ErrorRecord rec;
-            rec.app = std::string(sim::appName(unit.app));
-            rec.spec = e.spec;
-            rec.site = e.site;
-            rec.message = e.message;
-            rec.attempts = e.attempts;
-            rec.fatal = e.fatal;
-            sink_.addError(std::move(rec));
+        // Error records are fault *history* — how many retries, which
+        // worker died — not results; stable mode omits them so a
+        // chaos run that absorbed every fault diffs clean. Fatal
+        // errors still fail ok(), so nothing is hidden from the exit
+        // code.
+        if (!stable) {
+            for (const UnitError &e : res.errors) {
+                ErrorRecord rec;
+                rec.app = std::string(sim::appName(unit.app));
+                rec.spec = e.spec;
+                rec.site = e.site;
+                rec.message = e.message;
+                rec.attempts = e.attempts;
+                rec.fatal = e.fatal;
+                sink_.addError(std::move(rec));
+            }
         }
     }
-    {
+    if (!stable) {
         std::lock_guard<std::mutex> lock(err_mu_);
         for (const UnitError &e : campaign_errors_) {
             ErrorRecord rec;

@@ -102,6 +102,111 @@ class Campaign
     /** Execute every declared unit; idempotent per declaration set. */
     void run();
 
+    /**
+     * One (unit, spec) phase-2 cell: the dispatch granule of the
+     * sharded campaign service (stable across processes because both
+     * sides hold the same declaration set).
+     */
+    struct CellRef {
+        size_t unit = 0;
+        size_t spec = 0;
+        friend auto operator<=>(const CellRef &, const CellRef &) =
+            default;
+    };
+
+    /** Deterministic assignment of pending cells to worker shards. */
+    struct ShardPlan {
+        std::vector<std::vector<CellRef>> shards;
+        size_t cells = 0; ///< Total pending cells across shards.
+    };
+
+    /**
+     * Phase A of run(): result slots, sampling validation, journal
+     * replay (--resume), journal open, optional store GC. Returns
+     * false when the campaign is fatally unrunnable — the sink is
+     * already filled and run()/the service layer must not execute
+     * anything. The sharded coordinator calls prepare()/finish()
+     * around its own dispatch loop; run() wraps them around the
+     * in-process pool. Calling run() after prepare() would reset
+     * state — use one or the other.
+     */
+    bool prepare();
+
+    /** Phase C of run(): journal failure note, close, sink fill. */
+    void finish();
+
+    /** Pending (not journal-restored) cells, declaration order.
+     *  Valid after prepare(). */
+    std::vector<CellRef> pendingCells() const;
+
+    /**
+     * Shard pending cells across @p workers: cells are grouped by
+     * phase-1 trace key (one shard resolves each trace once) and
+     * groups go to the currently lightest shard, largest first.
+     * Deterministic in the declaration set + journal state alone.
+     */
+    ShardPlan shardPlan(unsigned workers) const;
+
+    /** Declaration accessors for the service layer's wire format. */
+    sim::AppId unitApp(size_t u) const { return units_.at(u).app; }
+    const memsys::MemoryConfig &unitMem(size_t u) const
+    {
+        return units_.at(u).mem;
+    }
+    bool unitSmall(size_t u) const { return units_.at(u).small; }
+    const std::vector<sim::ModelSpec> &unitSpecs(size_t u) const
+    {
+        return units_.at(u).specs;
+    }
+    const std::string &benchName() const { return bench_name_; }
+
+    /** Outcome of feeding one remote row result into the campaign. */
+    enum class Accept {
+        OK,        ///< Recorded and journalled.
+        DUPLICATE, ///< Already done with the identical result.
+        MISMATCH,  ///< Already done with a *different* result.
+        BAD_REF,   ///< (unit, spec) outside the declaration set.
+    };
+
+    /**
+     * Record a phase-2 row computed by a worker process. First result
+     * wins: an at-least-once redeliver of the same bits is DUPLICATE
+     * (harmless), different bits are MISMATCH (the caller must treat
+     * the run as poisoned — two workers disagreed on a deterministic
+     * cell). Coordinator-thread only; not safe against run().
+     */
+    Accept acceptRemoteRow(size_t unit, size_t spec,
+                           const core::RunResult &result,
+                           const sim::SampleSummary &sampling,
+                           double wall_ms);
+
+    /**
+     * Record a unit's phase-1 trace provenance as reported by a
+     * worker (bundle-less, like a journal-restored unit). First
+     * report wins; returns false only for a bad unit/origin.
+     */
+    bool acceptRemoteTrace(size_t unit, const std::string &origin,
+                           uint64_t instructions, double wall_ms,
+                           double gen_ms, double load_ms);
+
+    /** Record a worker-reported failure against a cell/unit. */
+    void recordRemoteError(size_t unit, const std::string &spec_label,
+                           const std::string &site,
+                           const std::string &message, bool fatal);
+
+    /**
+     * Coordinator fallback: execute one pending cell in-process
+     * (phase 1 through the shared cache, phase 2 with the normal
+     * retry/journal path). Returns true when the row is done.
+     */
+    bool runCellInline(size_t unit, size_t spec);
+
+    /** The journal (service layer appends epoch/lease records). */
+    CampaignJournal &journal() { return journal_; }
+
+    /** Highest epoch record replayed from the journal (0 fresh). */
+    uint64_t resumedEpoch() const { return journal_meta_.last_epoch; }
+
     size_t size() const { return units_.size(); }
     const UnitResult &result(size_t unit) const
     {
@@ -133,6 +238,9 @@ class Campaign
 
     /** Store-layer counters for the executed run. */
     StoreStats storeStats() const { return store_.stats(); }
+
+    /** What the --store-gc pass pruned ({} when not requested). */
+    StoreGcStats storeGcStats() const { return store_gc_stats_; }
 
   private:
     struct Unit {
@@ -185,6 +293,8 @@ class Campaign
     std::vector<UnitResult> results_;
     ResultSink sink_;
     CampaignJournal journal_;
+    JournalMeta journal_meta_; ///< Epoch/lease records from replay.
+    StoreGcStats store_gc_stats_;
     std::vector<UnitError> campaign_errors_; ///< Not tied to a unit.
     mutable std::mutex err_mu_; ///< Guards errors/failed across jobs.
 };

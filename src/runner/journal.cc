@@ -266,6 +266,30 @@ parseRow(const std::string &line, JournalRow &r)
     return true;
 }
 
+std::string
+formatLease(const JournalLease &l)
+{
+    std::ostringstream os;
+    os << "{\"t\":\"lease\",\"unit\":" << l.unit
+       << ",\"spec\":" << l.spec << ",\"worker\":" << l.worker
+       << ",\"epoch\":" << l.epoch << "}";
+    return os.str();
+}
+
+bool
+parseLease(const std::string &line, JournalLease &l)
+{
+    uint64_t unit, spec, worker;
+    if (!getU64(line, "unit", unit) || !getU64(line, "spec", spec) ||
+        !getU64(line, "worker", worker) ||
+        !getU64(line, "epoch", l.epoch))
+        return false;
+    l.unit = static_cast<size_t>(unit);
+    l.spec = static_cast<size_t>(spec);
+    l.worker = static_cast<uint32_t>(worker);
+    return true;
+}
+
 bool
 parseTrace(const std::string &line, JournalTrace &t)
 {
@@ -425,7 +449,7 @@ bool
 CampaignJournal::replay(const std::string &path, uint64_t signature,
                         std::vector<JournalRow> &rows,
                         std::vector<JournalTrace> &traces,
-                        std::string *err)
+                        std::string *err, JournalMeta *meta)
 {
     auto fail = [&](const std::string &why) {
         if (err)
@@ -487,6 +511,20 @@ CampaignJournal::replay(const std::string &path, uint64_t signature,
                 return fail("corrupt trace record at line " +
                             std::to_string(lineno) + " in " + path);
             traces.push_back(std::move(t));
+        } else if (type == "epoch") {
+            uint64_t e = 0;
+            if (!getU64(line, "epoch", e))
+                return fail("corrupt epoch record at line " +
+                            std::to_string(lineno) + " in " + path);
+            if (meta && e > meta->last_epoch)
+                meta->last_epoch = e;
+        } else if (type == "lease") {
+            JournalLease l;
+            if (!parseLease(line, l))
+                return fail("corrupt lease record at line " +
+                            std::to_string(lineno) + " in " + path);
+            if (meta)
+                meta->leases.push_back(l);
         } else {
             return fail("unknown journal record type '" + type +
                         "' at line " + std::to_string(lineno));
@@ -509,6 +547,23 @@ CampaignJournal::appendRow(const JournalRow &r)
 {
     std::lock_guard<std::mutex> lock(mu_);
     appendLine(formatRow(r));
+}
+
+void
+CampaignJournal::appendEpoch(uint64_t epoch, uint32_t workers)
+{
+    std::ostringstream os;
+    os << "{\"t\":\"epoch\",\"epoch\":" << epoch
+       << ",\"workers\":" << workers << "}";
+    std::lock_guard<std::mutex> lock(mu_);
+    appendLine(os.str());
+}
+
+void
+CampaignJournal::appendLease(const JournalLease &l)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    appendLine(formatLease(l));
 }
 
 void

@@ -38,6 +38,26 @@ struct JournalTrace {
 };
 
 /**
+ * Advisory dispatch-audit record: cell (unit,spec) was leased to a
+ * worker under a coordinator epoch. Leases never gate resume — the
+ * row record is the only commit record — but they let a resumed
+ * coordinator and post-mortem tooling see which worker held which
+ * cell when the process died.
+ */
+struct JournalLease {
+    size_t unit = 0;
+    size_t spec = 0;
+    uint32_t worker = 0; ///< worker slot id
+    uint64_t epoch = 0;  ///< coordinator epoch issuing the lease
+};
+
+/** Service-layer side channel recovered by replay(). */
+struct JournalMeta {
+    uint64_t last_epoch = 0;          ///< highest epoch record seen
+    std::vector<JournalLease> leases; ///< in append order
+};
+
+/**
  * Crash-safe campaign progress journal (the --journal/--resume
  * mechanism).
  *
@@ -51,6 +71,11 @@ struct JournalTrace {
  *   {"t":"trace","unit":U,...}   phase-1 trace resolved for unit U
  *   {"t":"row","unit":U,"spec":S,...}  phase-2 row (U,S) finished,
  *                                      with its full RunResult
+ *   {"t":"epoch","epoch":E,...}  a (sharded-service) coordinator
+ *                                took over this campaign; E increases
+ *                                across restarts
+ *   {"t":"lease","unit":U,"spec":S,...}  advisory: cell dispatched
+ *                                        to a worker (audit only)
  *
  * Durability: every append writes one complete line and fsyncs
  * before returning, so after a crash the file holds a prefix of the
@@ -107,11 +132,15 @@ class CampaignJournal
     static bool replay(const std::string &path, uint64_t signature,
                        std::vector<JournalRow> &rows,
                        std::vector<JournalTrace> &traces,
-                       std::string *err);
+                       std::string *err,
+                       JournalMeta *meta = nullptr);
 
     /** Thread-safe, durable appends; no-ops once inactive/failed. */
     void appendTrace(const JournalTrace &t);
     void appendRow(const JournalRow &r);
+    /** Coordinator takeover marker (@p workers = initial pool size). */
+    void appendEpoch(uint64_t epoch, uint32_t workers);
+    void appendLease(const JournalLease &l);
 
     bool active() const { return fd_ >= 0 && !failed_; }
     /** True when an append failed and journalling shut itself off. */

@@ -61,6 +61,25 @@ struct RunnerOptions {
      */
     sim::SamplingPlan sampling;
 
+    /**
+     * Canonicalize the JSON export to its deterministic projection:
+     * wall-clock fields zeroed, jobs/trace_dir/file/origin blanked,
+     * absorbed-error records and phase-1 aggregate counters omitted.
+     * Two runs of the same declaration set — any job count, any
+     * worker count, chaos or clean, resumed or not — then export
+     * byte-identically. The multi-process chaos smoke diffs these.
+     */
+    bool stable_json = false;
+
+    /**
+     * Garbage-collect the trace store before running: prune
+     * quarantined *.corrupt.* corpses, orphaned temp files, and
+     * stale bundles older than store_gc_age_s, never touching this
+     * campaign's own bundles (see TraceStore::gc).
+     */
+    bool store_gc = false;
+    uint64_t store_gc_age_s = 7 * 24 * 3600;
+
     /** jobs with the 0 default resolved. */
     unsigned resolvedJobs() const;
 };

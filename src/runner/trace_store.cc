@@ -744,4 +744,136 @@ TraceStore::store(sim::AppId id, const memsys::MemoryConfig &mem,
     }
 }
 
+StoreGcStats
+TraceStore::gc(const StoreGcOptions &opts)
+{
+    StoreGcStats g;
+    if (!enabled())
+        return g;
+
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec) {
+        ++g.errors;
+        return g;
+    }
+
+    auto kept = [&](const std::string &name) {
+        for (const std::string &k : opts.keep)
+            if (k == name)
+                return true;
+        return false;
+    };
+    // GC decisions use wall-clock ages only to choose *which garbage
+    // to drop* — nothing here ever feeds back into results.
+    const auto fs_now = fs::file_time_type::clock::now();
+    auto ageSeconds = [&](const fs::path &p) -> int64_t {
+        std::error_code mec;
+        auto mtime = fs::last_write_time(p, mec);
+        if (mec)
+            return -1;
+        return std::chrono::duration_cast<std::chrono::seconds>(
+                   fs_now - mtime)
+            .count();
+    };
+    auto prune = [&](const fs::path &p, uint64_t StoreGcStats::*ctr) {
+        std::error_code rec;
+        if (fs::remove(p, rec) && !rec)
+            ++(g.*ctr);
+        else
+            ++g.errors;
+    };
+
+    // The current-format suffixes; a .dsmb/.dslp name without one can
+    // never be opened by this build again (resolve() probes only the
+    // current and v1-migration names), so it is stale by construction.
+    const std::string tver = std::to_string(trace::kTraceFormatVersion);
+    const std::string cur_v2 =
+        "_v" + std::to_string(kBundleFormatVersion) + "t" + tver +
+        ".dsmb";
+    const std::string cur_v3 =
+        "_v" + std::to_string(kBundleFormatVersionDram) + "t" + tver +
+        ".dsmb";
+    auto endsWith = [](const std::string &s, const std::string &suf) {
+        return s.size() >= suf.size() &&
+               s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+    };
+
+    // Corpse census first: count-based pruning keeps the *newest*
+    // max_corrupt_per_name per base name, which needs the full group.
+    std::vector<std::pair<uint64_t, fs::path>> corpses; // ts, path
+    std::vector<std::string> corpse_base;
+
+    for (const fs::directory_entry &entry : it) {
+        std::error_code tec;
+        if (!entry.is_regular_file(tec) || tec)
+            continue;
+        ++g.scanned;
+        const std::string name = entry.path().filename().string();
+        if (kept(name)) {
+            ++g.kept;
+            continue;
+        }
+
+        size_t cpos = name.find(".corrupt.");
+        if (cpos != std::string::npos) {
+            // quarantine() suffixes a microsecond wall-clock stamp;
+            // an unparsable stamp sorts oldest (ts 0) and goes first.
+            uint64_t ts = std::strtoull(
+                name.c_str() + cpos + std::strlen(".corrupt."),
+                nullptr, 10);
+            corpses.emplace_back(ts, entry.path());
+            corpse_base.push_back(name.substr(0, cpos));
+            continue;
+        }
+        if (name.find(".tmp") != std::string::npos) {
+            int64_t age = ageSeconds(entry.path());
+            if (age < 0)
+                ++g.errors;
+            else if (age >= static_cast<int64_t>(opts.tmp_age_s))
+                prune(entry.path(), &StoreGcStats::removed_tmp);
+            continue;
+        }
+        const bool dsmb = endsWith(name, ".dsmb");
+        const bool dslp = endsWith(name, ".dslp");
+        if (!dsmb && !dslp)
+            continue; // Not a store file; never touch it.
+        const bool current = dsmb
+            ? (endsWith(name, cur_v2) || endsWith(name, cur_v3))
+            : endsWith(name, "_lp1.dslp");
+        if (!current) {
+            prune(entry.path(), &StoreGcStats::removed_stale);
+            continue;
+        }
+        int64_t age = ageSeconds(entry.path());
+        if (age < 0)
+            ++g.errors;
+        else if (age >= static_cast<int64_t>(opts.max_age_s))
+            prune(entry.path(), &StoreGcStats::removed_stale);
+    }
+
+    // Per-base count + age pruning of quarantine corpses.
+    const uint64_t now_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    for (size_t i = 0; i < corpses.size(); ++i) {
+        // Rank within its base-name group: newer corpses first.
+        int newer = 0;
+        for (size_t j = 0; j < corpses.size(); ++j)
+            if (j != i && corpse_base[j] == corpse_base[i] &&
+                (corpses[j].first > corpses[i].first ||
+                 (corpses[j].first == corpses[i].first && j < i)))
+                ++newer;
+        const uint64_t age_s =
+            corpses[i].first < now_us
+                ? (now_us - corpses[i].first) / 1000000
+                : 0;
+        if (newer >= opts.max_corrupt_per_name ||
+            age_s >= opts.max_age_s)
+            prune(corpses[i].second, &StoreGcStats::removed_corrupt);
+    }
+    return g;
+}
+
 } // namespace dsmem::runner

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/sampling.h"
 #include "sim/trace_bundle.h"
@@ -90,6 +91,37 @@ struct StoreStats {
     uint64_t remove_errors = 0; ///< fs::remove failures, any path.
     uint64_t quarantined = 0;   ///< Files renamed to *.corrupt.*.
     uint64_t migrations = 0;    ///< v1-name files rewritten as v2.
+};
+
+/**
+ * Policy for TraceStore::gc() — pruning of store garbage that used to
+ * accumulate forever across campaigns: quarantined `*.corrupt.*`
+ * corpses, orphaned `*.tmp<pid>` writer leftovers, and stale bundles.
+ * Anything whose basename appears in @p keep is never touched — the
+ * campaign lists its own bundle/live-point names there, so a GC can
+ * never eat a file a live journal's resume depends on.
+ */
+struct StoreGcOptions {
+    /** Prune corpses / current-format bundles older than this. */
+    uint64_t max_age_s = 7 * 24 * 3600;
+    /** Prune `*.tmp<pid>` leftovers older than this (a live writer's
+     *  temp file is seconds old; an orphan survives its process). */
+    uint64_t tmp_age_s = 3600;
+    /** Keep at most this many newest corpses per bundle name
+     *  (matches TraceStore::kMaxQuarantinePerName). */
+    int max_corrupt_per_name = 4;
+    /** Basenames never pruned (the campaign's own keys). */
+    std::vector<std::string> keep;
+};
+
+/** What one gc() pass did. */
+struct StoreGcStats {
+    uint64_t scanned = 0;         ///< Regular files examined.
+    uint64_t removed_corrupt = 0; ///< Quarantine corpses pruned.
+    uint64_t removed_stale = 0;   ///< Stale/aged bundles pruned.
+    uint64_t removed_tmp = 0;     ///< Orphaned temp files pruned.
+    uint64_t kept = 0;            ///< Protected by the keep list.
+    uint64_t errors = 0;          ///< stat/remove failures (absorbed).
 };
 
 /**
@@ -208,6 +240,18 @@ class TraceStore : public sim::TraceStoreBase
 
     /** Max `*.corrupt.*` siblings kept per bundle name. */
     static constexpr int kMaxQuarantinePerName = 4;
+
+    /**
+     * One bounded-garbage pass over the store directory (the
+     * --store-gc satellite): prune quarantine corpses past
+     * max_corrupt_per_name or max_age_s, orphaned temp files past
+     * tmp_age_s, bundles/live-point files of a *stale format version*
+     * (their name can never be opened by this build again), and
+     * current-format files older than max_age_s. Files named in
+     * opts.keep, and anything the store does not recognize, are left
+     * alone. Failures are absorbed into the returned stats.
+     */
+    StoreGcStats gc(const StoreGcOptions &opts);
 
   private:
     /**

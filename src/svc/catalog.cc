@@ -1,0 +1,62 @@
+#include "svc/catalog.h"
+
+#include "sim/app_registry.h"
+#include "sim/experiment.h"
+
+namespace dsmem::svc {
+
+const std::vector<CatalogEntry> &
+campaignCatalog()
+{
+    static const std::vector<CatalogEntry> kCatalog = {
+        {"figure3", "bench_figure3",
+         "Figure 3 breakdown sweep: all apps x BASE/SSBR/SS/DS under "
+         "SC/PC/RC (matches bench_figure3)"},
+        {"smoke", "svc_smoke",
+         "Two small units x four specs; the cheap campaign the chaos "
+         "driver and tests shard"},
+    };
+    return kCatalog;
+}
+
+std::string
+benchNameFor(const std::string &name)
+{
+    for (const CatalogEntry &e : campaignCatalog())
+        if (name == e.name)
+            return e.bench;
+    return "";
+}
+
+bool
+declareCampaign(const std::string &name, bool small,
+                runner::Campaign &campaign, std::string *err)
+{
+    if (name == "figure3") {
+        // Mirror bench_figure3.cc exactly: declaration order is part
+        // of the journal signature and the JSON record order.
+        std::vector<sim::ModelSpec> specs = sim::figure3Columns();
+        for (sim::AppId id : sim::kAllApps)
+            campaign.add(id, specs, memsys::MemoryConfig{}, small);
+        return true;
+    }
+    if (name == "smoke") {
+        std::vector<sim::ModelSpec> specs = {
+            sim::ModelSpec::base(),
+            sim::ModelSpec::ss(core::ConsistencyModel::RC),
+            sim::ModelSpec::ds(core::ConsistencyModel::RC, 16),
+            sim::ModelSpec::ds(core::ConsistencyModel::RC, 64),
+        };
+        campaign.add(sim::AppId::MP3D, specs, memsys::MemoryConfig{},
+                     small);
+        campaign.add(sim::AppId::LU, specs, memsys::MemoryConfig{},
+                     small);
+        return true;
+    }
+    if (err)
+        *err = "unknown campaign '" + name +
+               "' (see `dsmem_svc list` for the catalog)";
+    return false;
+}
+
+} // namespace dsmem::svc

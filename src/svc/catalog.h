@@ -1,0 +1,41 @@
+#ifndef DSMEM_SVC_CATALOG_H
+#define DSMEM_SVC_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "runner/campaign.h"
+
+namespace dsmem::svc {
+
+/**
+ * The campaign catalog: named declaration sets the service can run
+ * without linking a bench binary. A catalog entry declares *exactly*
+ * the same units, in the same order, as its bench counterpart, so a
+ * sharded service run is byte-comparable (--stable-json) against the
+ * bench's own --jobs N output — the invariant the chaos smoke checks.
+ */
+struct CatalogEntry {
+    const char *name;  ///< Catalog key ("figure3", "smoke", ...).
+    const char *bench; ///< Campaign bench_name (journal signature).
+    const char *what;  ///< One-line description for `dsmem_svc list`.
+};
+
+/** Every named campaign, stable order. */
+const std::vector<CatalogEntry> &campaignCatalog();
+
+/** The bench_name a catalog entry's Campaign is constructed with;
+ *  "" for an unknown name. */
+std::string benchNameFor(const std::string &name);
+
+/**
+ * Declare the named campaign's units into @p campaign (constructed
+ * with benchNameFor(name)). @p small selects the reduced problem
+ * size. False with @p err set for an unknown name.
+ */
+bool declareCampaign(const std::string &name, bool small,
+                     runner::Campaign &campaign, std::string *err);
+
+} // namespace dsmem::svc
+
+#endif // DSMEM_SVC_CATALOG_H

@@ -1,0 +1,678 @@
+#include "svc/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+
+namespace dsmem::svc {
+
+namespace {
+
+uint64_t
+nowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+selfExe()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+} // namespace
+
+Coordinator::Coordinator(runner::Campaign &campaign,
+                         ServiceOptions opts)
+    : campaign_(campaign), opts_(std::move(opts))
+{
+    if (opts_.workers == 0)
+        opts_.workers = 1;
+    stats_.cells_by_worker.assign(opts_.workers, 0);
+    stats_.deaths_by_worker.assign(opts_.workers, 0);
+}
+
+Coordinator::~Coordinator()
+{
+    for (Slot &slot : slots_) {
+        if (slot.fd >= 0)
+            ::close(slot.fd);
+        if (slot.pid > 0) {
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+        }
+    }
+    for (PendingConn &p : pending_)
+        if (p.fd >= 0)
+            ::close(p.fd);
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        ::unlink(socket_path_.c_str());
+    }
+}
+
+bool
+Coordinator::setupSocket(std::string *err)
+{
+    socket_path_ = opts_.socket_path;
+    if (socket_path_.empty()) {
+        static int counter = 0;
+        socket_path_ = "/tmp/dsmem-svc." +
+                       std::to_string(::getpid()) + "." +
+                       std::to_string(++counter) + ".sock";
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path_.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path too long: " + socket_path_;
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path_.c_str(),
+                socket_path_.size() + 1);
+    ::unlink(socket_path_.c_str()); // Stale path from a crashed run.
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_,
+                 static_cast<int>(opts_.workers) + 8) != 0) {
+        *err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+Coordinator::spawnWorker(Slot &slot)
+{
+    try {
+        util::failpoint("svc.spawn");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "svc: spawn of worker %u failed: %s\n",
+                     slot.id, e.what());
+        return false;
+    }
+    std::string exe =
+        opts_.worker_exe.empty() ? selfExe() : opts_.worker_exe;
+    if (exe.empty()) {
+        std::fprintf(stderr,
+                     "svc: cannot resolve worker executable\n");
+        return false;
+    }
+    std::string id = std::to_string(slot.id);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        std::fprintf(stderr, "svc: fork: %s\n", std::strerror(errno));
+        return false;
+    }
+    if (pid == 0) {
+        ::execl(exe.c_str(), exe.c_str(), "worker", "--socket",
+                socket_path_.c_str(), "--id", id.c_str(),
+                static_cast<char *>(nullptr));
+        std::fprintf(stderr, "svc: exec %s: %s\n", exe.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    slot.pid = pid;
+    slot.last_seen_ms = nowMs(); // Grace until HELLO arrives.
+    if (opts_.print_workers) {
+        std::printf("svc: worker %u pid %d\n", slot.id,
+                    static_cast<int>(pid));
+        std::fflush(stdout);
+    }
+    return true;
+}
+
+void
+Coordinator::requeue(CellRef cell)
+{
+    if (done_.count(cell) || failed_.count(cell))
+        return;
+    if (redispatch_.insert(cell).second)
+        ++stats_.redispatched;
+}
+
+void
+Coordinator::retireSlot(Slot &slot)
+{
+    slot.retired = true;
+    // The shard backlog outlives its slot: hand every unleased cell
+    // to the redispatch set (stealing would also pick them up, but a
+    // retired slot never gets a replacement to steal *for*).
+    for (const CellRef &cell : slot.queue)
+        if (!done_.count(cell) && !failed_.count(cell))
+            redispatch_.insert(cell);
+    slot.queue.clear();
+}
+
+void
+Coordinator::workerDied(Slot &slot, const char *why)
+{
+    if (slot.fd >= 0) {
+        ::close(slot.fd);
+        slot.fd = -1;
+    }
+    slot.connected = false;
+    if (slot.pid > 0) {
+        ::kill(slot.pid, SIGKILL); // Idempotent; lease-expiry path.
+        ::waitpid(slot.pid, nullptr, 0);
+        slot.pid = -1;
+    }
+    for (const CellRef &cell : slot.leased)
+        requeue(cell);
+    slot.leased.clear();
+    ++stats_.worker_deaths;
+    if (slot.id < stats_.deaths_by_worker.size())
+        ++stats_.deaths_by_worker[slot.id];
+    if (opts_.print_workers) {
+        std::printf("svc: worker %u died (%s)\n", slot.id, why);
+        std::fflush(stdout);
+    }
+    if (slot.respawns < opts_.respawn_per_slot) {
+        ++slot.respawns;
+        if (spawnWorker(slot)) {
+            ++stats_.respawns;
+            return;
+        }
+    }
+    retireSlot(slot);
+}
+
+bool
+Coordinator::nextCell(Slot &slot, CellRef &out)
+{
+    // Own shard backlog first (trace locality), then orphans of dead
+    // workers, then steal from the heaviest surviving backlog.
+    while (!slot.queue.empty()) {
+        out = slot.queue.front();
+        slot.queue.pop_front();
+        if (!done_.count(out) && !failed_.count(out))
+            return true;
+    }
+    while (!redispatch_.empty()) {
+        out = *redispatch_.begin();
+        redispatch_.erase(redispatch_.begin());
+        if (!done_.count(out) && !failed_.count(out))
+            return true;
+    }
+    Slot *victim = nullptr;
+    for (Slot &other : slots_)
+        if (other.id != slot.id && !other.queue.empty() &&
+            (!victim || other.queue.size() > victim->queue.size()))
+            victim = &other;
+    while (victim && !victim->queue.empty()) {
+        // Steal from the tail: the head cells keep their trace
+        // affinity with the victim.
+        out = victim->queue.back();
+        victim->queue.pop_back();
+        if (!done_.count(out) && !failed_.count(out)) {
+            ++stats_.stolen;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Coordinator::dispatchTo(Slot &slot)
+{
+    if (!slot.connected || !slot.leased.empty())
+        return;
+    CellRef cell;
+    if (!nextCell(slot, cell))
+        return;
+    campaign_.journal().appendLease(runner::JournalLease{
+        cell.unit, cell.spec, slot.id, epoch_});
+    AssignMsg assign;
+    assign.unit = static_cast<uint32_t>(cell.unit);
+    assign.spec = static_cast<uint32_t>(cell.spec);
+    assign.seq = ++seq_;
+    std::string err;
+    if (!sendFrame(slot.fd, "svc.coord.send", MsgType::ASSIGN,
+                   encodeAssign(assign), &err)) {
+        requeue(cell);
+        workerDied(slot, "send failed");
+        return;
+    }
+    slot.leased.push_back(cell);
+    ++stats_.dispatched;
+}
+
+void
+Coordinator::dispatchIdle()
+{
+    for (Slot &slot : slots_)
+        dispatchTo(slot);
+}
+
+std::string
+Coordinator::specLabel(const CellRef &cell) const
+{
+    if (cell.unit >= campaign_.size())
+        return "";
+    const std::vector<sim::ModelSpec> &specs =
+        campaign_.unitSpecs(cell.unit);
+    return cell.spec < specs.size() ? specs[cell.spec].label() : "";
+}
+
+void
+Coordinator::settle(CellRef cell, bool failed)
+{
+    const bool fresh = failed ? failed_.insert(cell).second
+                              : done_.insert(cell).second;
+    if (fresh && remaining_ > 0)
+        --remaining_;
+}
+
+void
+Coordinator::handleResult(Slot &slot, const ResultMsg &msg)
+{
+    CellRef cell{msg.unit, msg.spec};
+    slot.leased.erase(
+        std::remove(slot.leased.begin(), slot.leased.end(), cell),
+        slot.leased.end());
+    if (msg.has_trace)
+        campaign_.acceptRemoteTrace(msg.unit, msg.trace_origin,
+                                    msg.trace_instructions,
+                                    msg.trace_wall_ms, msg.gen_ms,
+                                    msg.load_ms);
+    if (!msg.ok) {
+        // A worker-side permanent failure is deterministic (retries
+        // already happened there); re-dispatching would just fail
+        // again, so the cell is settled as failed — the campaign
+        // completes degraded and exits 1, same as --jobs N would.
+        campaign_.recordRemoteError(msg.unit, specLabel(cell), "svc",
+                                    msg.error, true);
+        settle(cell, true);
+        ++stats_.failed_cells;
+        return;
+    }
+    switch (campaign_.acceptRemoteRow(msg.unit, msg.spec, msg.result,
+                                      msg.sampling, msg.wall_ms)) {
+    case runner::Campaign::Accept::OK:
+        settle(cell, false);
+        ++stats_.results;
+        if (slot.id < stats_.cells_by_worker.size())
+            ++stats_.cells_by_worker[slot.id];
+        break;
+    case runner::Campaign::Accept::DUPLICATE:
+        ++stats_.duplicates;
+        break;
+    case runner::Campaign::Accept::MISMATCH:
+        campaign_.recordRemoteError(
+            msg.unit, specLabel(cell), "svc.mismatch",
+            "conflicting duplicate result for a deterministic cell",
+            true);
+        ++stats_.mismatches;
+        break;
+    case runner::Campaign::Accept::BAD_REF:
+        campaign_.recordRemoteError(
+            msg.unit, "", "svc",
+            "result for a cell outside the declaration set", true);
+        break;
+    }
+}
+
+void
+Coordinator::handleFrame(Slot &slot, const Frame &frame)
+{
+    slot.last_seen_ms = nowMs();
+    switch (frame.type) {
+    case MsgType::HEARTBEAT:
+        ++stats_.heartbeats;
+        break;
+    case MsgType::RESULT: {
+        ResultMsg msg;
+        if (decodeResult(frame.payload, msg))
+            handleResult(slot, msg);
+        break;
+    }
+    default:
+        break; // Unknown frames from a worker are ignored.
+    }
+}
+
+void
+Coordinator::acceptConnections()
+{
+    for (;;) {
+        try {
+            util::failpoint("svc.accept");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "svc: accept: %s\n", e.what());
+            return;
+        }
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN on the non-blocking listen socket.
+        }
+        pending_.push_back(PendingConn{fd, {}});
+    }
+}
+
+void
+Coordinator::reapChildren()
+{
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (Slot &slot : slots_) {
+            if (slot.pid == pid) {
+                slot.pid = -1; // Reaped; workerDied must not wait.
+                workerDied(slot, "process exited");
+                break;
+            }
+        }
+    }
+}
+
+void
+Coordinator::checkLeases()
+{
+    const uint64_t now = nowMs();
+    for (Slot &slot : slots_) {
+        if (slot.retired || slot.pid <= 0)
+            continue;
+        if (now - slot.last_seen_ms > opts_.lease_ms)
+            workerDied(slot, "lease expired");
+    }
+}
+
+bool
+Coordinator::poolAlive() const
+{
+    for (const Slot &slot : slots_)
+        if (!slot.retired)
+            return true;
+    return false;
+}
+
+void
+Coordinator::runInlineFallback()
+{
+    // Graceful degradation's last rung: every worker slot retired,
+    // so the coordinator runs the remaining cells itself, in sorted
+    // (declaration) order for determinism.
+    std::set<CellRef> rest = redispatch_;
+    redispatch_.clear();
+    for (const Slot &slot : slots_)
+        for (const CellRef &cell : slot.queue)
+            rest.insert(cell);
+    std::vector<CellRef> pending = campaign_.pendingCells();
+    for (const CellRef &cell : pending)
+        if (!done_.count(cell) && !failed_.count(cell))
+            rest.insert(cell);
+    for (const CellRef &cell : rest) {
+        if (done_.count(cell) || failed_.count(cell))
+            continue;
+        bool ok = campaign_.runCellInline(cell.unit, cell.spec);
+        settle(cell, !ok);
+        ++stats_.inline_cells;
+    }
+}
+
+void
+Coordinator::shutdownPool()
+{
+    for (Slot &slot : slots_) {
+        if (slot.connected && slot.fd >= 0) {
+            std::string err;
+            sendFrame(slot.fd, "svc.coord.send", MsgType::SHUTDOWN,
+                      "", &err);
+        }
+    }
+    // Give workers a moment to exit on their own, then force.
+    const uint64_t deadline = nowMs() + 2000;
+    for (Slot &slot : slots_) {
+        while (slot.pid > 0) {
+            int status = 0;
+            pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+            if (r == slot.pid || r < 0) {
+                slot.pid = -1;
+                break;
+            }
+            if (nowMs() >= deadline) {
+                ::kill(slot.pid, SIGKILL);
+                ::waitpid(slot.pid, nullptr, 0);
+                slot.pid = -1;
+                break;
+            }
+            std::this_thread::yield();
+        }
+        if (slot.fd >= 0) {
+            ::close(slot.fd);
+            slot.fd = -1;
+        }
+        slot.connected = false;
+    }
+}
+
+int
+Coordinator::run()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!campaign_.prepare())
+        return campaign_.ok() ? 0 : 1;
+
+    std::vector<CellRef> pending = campaign_.pendingCells();
+    remaining_ = pending.size();
+    if (remaining_ == 0) {
+        campaign_.finish();
+        return campaign_.ok() ? 0 : 1;
+    }
+
+    epoch_ = campaign_.resumedEpoch() + 1;
+    campaign_.journal().appendEpoch(epoch_, opts_.workers);
+
+    std::string err;
+    if (!setupSocket(&err)) {
+        std::fprintf(stderr, "svc: %s (running inline)\n",
+                     err.c_str());
+        runInlineFallback();
+        campaign_.finish();
+        return campaign_.ok() ? 0 : 1;
+    }
+    // Non-blocking accepts; worker fds stay blocking for writes and
+    // are drained with MSG_DONTWAIT.
+    int fl = ::fcntl(listen_fd_, F_GETFL, 0);
+    ::fcntl(listen_fd_, F_SETFL, fl | O_NONBLOCK);
+
+    // Shard the pending cells and fork the pool.
+    runner::Campaign::ShardPlan plan =
+        campaign_.shardPlan(opts_.workers);
+    slots_.resize(opts_.workers);
+    for (uint32_t k = 0; k < opts_.workers; ++k) {
+        slots_[k].id = k;
+        slots_[k].queue.assign(plan.shards[k].begin(),
+                               plan.shards[k].end());
+        if (!spawnWorker(slots_[k]))
+            retireSlot(slots_[k]);
+    }
+
+    // The WELCOME every worker (and respawn) receives.
+    {
+        WelcomeMsg welcome;
+        welcome.bench = campaign_.benchName();
+        welcome.trace_dir = campaign_.options().trace_dir;
+        welcome.signature = campaign_.signature();
+        welcome.heartbeat_ms = opts_.heartbeat_ms;
+        welcome.max_attempts = campaign_.options().max_attempts;
+        welcome.backoff_base_ms = campaign_.options().backoff_base_ms;
+        welcome.backoff_cap_ms = campaign_.options().backoff_cap_ms;
+        welcome.plan = campaign_.options().sampling;
+        for (size_t u = 0; u < campaign_.size(); ++u) {
+            UnitDecl decl;
+            decl.app = static_cast<uint32_t>(campaign_.unitApp(u));
+            decl.mem = campaign_.unitMem(u);
+            decl.small = campaign_.unitSmall(u) ? 1 : 0;
+            decl.specs = campaign_.unitSpecs(u);
+            welcome.units.push_back(std::move(decl));
+        }
+        welcome_ = encodeWelcome(welcome);
+    }
+
+    while (remaining_ > 0) {
+        if (!poolAlive() && pending_.empty()) {
+            runInlineFallback();
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+        for (PendingConn &p : pending_)
+            fds.push_back(pollfd{p.fd, POLLIN, 0});
+        for (Slot &slot : slots_)
+            if (slot.connected)
+                fds.push_back(pollfd{slot.fd, POLLIN, 0});
+        int rc = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()), 100);
+        if (rc < 0 && errno != EINTR)
+            break;
+
+        acceptConnections();
+
+        // Pending connections: wait for HELLO, bind to a slot.
+        for (size_t i = 0; i < pending_.size();) {
+            PendingConn &p = pending_[i];
+            std::string derr;
+            int st = drainSocket(p.fd, "svc.coord.recv", p.rx, &derr);
+            Frame f;
+            int got = p.rx.next(f, &derr);
+            if (got == 1 && f.type == MsgType::HELLO) {
+                HelloMsg hello;
+                if (decodeHello(f.payload, hello) &&
+                    hello.version == kProtocolVersion &&
+                    hello.worker < slots_.size() &&
+                    !slots_[hello.worker].connected &&
+                    !slots_[hello.worker].retired) {
+                    Slot &slot = slots_[hello.worker];
+                    slot.fd = p.fd;
+                    slot.connected = true;
+                    slot.rx = std::move(p.rx);
+                    slot.last_seen_ms = nowMs();
+                    pending_.erase(pending_.begin() +
+                                   static_cast<long>(i));
+                    std::string serr;
+                    if (!sendFrame(slot.fd, "svc.coord.send",
+                                   MsgType::WELCOME, welcome_,
+                                   &serr))
+                        workerDied(slot, "welcome failed");
+                    continue;
+                }
+                ::close(p.fd); // Bogus hello: drop the connection.
+                pending_.erase(pending_.begin() +
+                               static_cast<long>(i));
+                continue;
+            }
+            if (st != 1 || got < 0) {
+                ::close(p.fd);
+                pending_.erase(pending_.begin() +
+                               static_cast<long>(i));
+                continue;
+            }
+            ++i;
+        }
+
+        // Connected workers: drain frames, then handle each.
+        for (Slot &slot : slots_) {
+            if (!slot.connected)
+                continue;
+            std::string derr;
+            int st = drainSocket(slot.fd, "svc.coord.recv", slot.rx,
+                                 &derr);
+            Frame f;
+            int got;
+            while ((got = slot.rx.next(f, &derr)) == 1) {
+                handleFrame(slot, f);
+                if (!slot.connected)
+                    break; // Died while handling (send failure).
+            }
+            if (slot.connected && (st != 1 || got < 0))
+                workerDied(slot, st == 0 ? "connection closed"
+                                         : "protocol error");
+        }
+
+        reapChildren();
+        checkLeases();
+        dispatchIdle();
+    }
+
+    shutdownPool();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(socket_path_.c_str());
+    }
+
+    campaign_.finish();
+    return campaign_.ok() ? 0 : 1;
+}
+
+std::string
+Coordinator::statsJson() const
+{
+    std::string s = "{";
+    auto field = [&s](const char *k, uint64_t v, bool first = false) {
+        if (!first)
+            s += ",";
+        s += "\"";
+        s += k;
+        s += "\":";
+        s += std::to_string(v);
+    };
+    field("workers", opts_.workers, true);
+    field("dispatched", stats_.dispatched);
+    field("results", stats_.results);
+    field("duplicates", stats_.duplicates);
+    field("mismatches", stats_.mismatches);
+    field("redispatched", stats_.redispatched);
+    field("stolen", stats_.stolen);
+    field("worker_deaths", stats_.worker_deaths);
+    field("respawns", stats_.respawns);
+    field("inline_cells", stats_.inline_cells);
+    field("heartbeats", stats_.heartbeats);
+    field("failed_cells", stats_.failed_cells);
+    s += ",\"per_worker\":[";
+    for (size_t k = 0; k < stats_.cells_by_worker.size(); ++k) {
+        if (k)
+            s += ",";
+        s += "{\"id\":" + std::to_string(k) +
+             ",\"cells\":" + std::to_string(stats_.cells_by_worker[k]) +
+             ",\"deaths\":" +
+             std::to_string(stats_.deaths_by_worker[k]) + "}";
+    }
+    s += "]}";
+    return s;
+}
+
+} // namespace dsmem::svc

@@ -1,0 +1,201 @@
+#include "svc/server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "svc/catalog.h"
+#include "util/failpoint.h"
+
+namespace dsmem::svc {
+
+namespace {
+
+int
+bindListen(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path too long: " + path;
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        *err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTo(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path too long: " + path;
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Run one queued campaign request; fills the reply. */
+CampaignDoneMsg
+runRequest(const ServerOptions &opts, const CampaignReqMsg &req)
+{
+    CampaignDoneMsg done;
+    std::string bench = benchNameFor(req.name);
+    if (bench.empty()) {
+        done.exit_code = 2;
+        done.summary = "unknown campaign '" + req.name + "'";
+        return done;
+    }
+    runner::RunnerOptions ro;
+    ro.trace_dir =
+        req.trace_dir.empty() ? opts.trace_dir : req.trace_dir;
+    ro.journal_path = req.journal_path;
+    ro.resume = req.resume != 0;
+    ro.stable_json = req.stable_json != 0;
+    runner::Campaign campaign(bench, ro);
+    std::string err;
+    if (!declareCampaign(req.name, req.small != 0, campaign, &err)) {
+        done.exit_code = 2;
+        done.summary = err;
+        return done;
+    }
+    ServiceOptions so = opts.svc;
+    if (req.workers > 0)
+        so.workers = req.workers;
+    Coordinator coordinator(campaign, so);
+    done.exit_code = coordinator.run();
+    if (!req.json_path.empty() &&
+        !campaign.writeJson(req.json_path)) {
+        done.exit_code = done.exit_code ? done.exit_code : 1;
+        done.summary = "cannot write " + req.json_path;
+        return done;
+    }
+    done.summary = campaign.failureSummary();
+    return done;
+}
+
+} // namespace
+
+int
+serveMain(const ServerOptions &opts)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    std::string err;
+    int listen_fd = bindListen(opts.socket_path, &err);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "dsmem_svc serve: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("svc: serving on %s\n", opts.socket_path.c_str());
+    std::fflush(stdout);
+    int code = 0;
+    for (;;) {
+        try {
+            util::failpoint("svc.serve.accept");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "dsmem_svc serve: accept: %s\n",
+                         e.what());
+            code = 1;
+            break;
+        }
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "dsmem_svc serve: accept: %s\n",
+                         std::strerror(errno));
+            code = 1;
+            break;
+        }
+        Frame frame;
+        CampaignReqMsg req;
+        if (!recvFrame(fd, "svc.coord.recv", frame, &err) ||
+            frame.type != MsgType::CAMPAIGN_REQ ||
+            !decodeCampaignReq(frame.payload, req)) {
+            ::close(fd); // Malformed client; keep serving.
+            continue;
+        }
+        if (req.name == "__stop__") {
+            CampaignDoneMsg done;
+            sendFrame(fd, "svc.coord.send", MsgType::CAMPAIGN_DONE,
+                      encodeCampaignDone(done), &err);
+            ::close(fd);
+            break;
+        }
+        std::printf("svc: running campaign '%s' (workers=%u)\n",
+                    req.name.c_str(),
+                    req.workers ? req.workers : opts.svc.workers);
+        std::fflush(stdout);
+        CampaignDoneMsg done = runRequest(opts, req);
+        sendFrame(fd, "svc.coord.send", MsgType::CAMPAIGN_DONE,
+                  encodeCampaignDone(done), &err);
+        ::close(fd);
+    }
+    ::close(listen_fd);
+    ::unlink(opts.socket_path.c_str());
+    return code;
+}
+
+int
+submitMain(const std::string &socket_path, const CampaignReqMsg &req)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    std::string err;
+    int fd = connectTo(socket_path, &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "dsmem_svc submit: %s\n", err.c_str());
+        return 2;
+    }
+    if (!sendFrame(fd, "svc.worker.send", MsgType::CAMPAIGN_REQ,
+                   encodeCampaignReq(req), &err)) {
+        std::fprintf(stderr, "dsmem_svc submit: %s\n", err.c_str());
+        ::close(fd);
+        return 2;
+    }
+    Frame frame;
+    CampaignDoneMsg done;
+    if (!recvFrame(fd, "svc.worker.recv", frame, &err) ||
+        frame.type != MsgType::CAMPAIGN_DONE ||
+        !decodeCampaignDone(frame.payload, done)) {
+        std::fprintf(stderr, "dsmem_svc submit: %s\n",
+                     err.empty() ? "malformed reply" : err.c_str());
+        ::close(fd);
+        return 2;
+    }
+    ::close(fd);
+    if (!done.summary.empty())
+        std::fprintf(stderr, "%s\n", done.summary.c_str());
+    return done.exit_code;
+}
+
+} // namespace dsmem::svc

@@ -1,0 +1,38 @@
+#ifndef DSMEM_SVC_SERVER_H
+#define DSMEM_SVC_SERVER_H
+
+#include <string>
+
+#include "svc/coordinator.h"
+#include "svc/protocol.h"
+
+namespace dsmem::svc {
+
+struct ServerOptions {
+    std::string socket_path; ///< Listen path for campaign requests.
+    ServiceOptions svc;      ///< Pool defaults for queued campaigns.
+    /** Default trace dir for requests that leave theirs "". */
+    std::string trace_dir = ".dsmem-cache";
+};
+
+/**
+ * Long-lived server mode (`dsmem_svc serve`): accept CAMPAIGN_REQ
+ * connections on an AF_UNIX socket and run each request through a
+ * sharded Coordinator, one at a time — the listen backlog is the
+ * queue, so clients block in submit order. Each request gets a
+ * CAMPAIGN_DONE reply carrying the exit code and failure summary.
+ * A request named "__stop__" shuts the server down (exit 0).
+ */
+int serveMain(const ServerOptions &opts);
+
+/**
+ * Client side (`dsmem_svc submit` / `stop`): send @p req, wait for
+ * CAMPAIGN_DONE, print the summary, and return the campaign's exit
+ * code (2 on connection/protocol failure).
+ */
+int submitMain(const std::string &socket_path,
+               const CampaignReqMsg &req);
+
+} // namespace dsmem::svc
+
+#endif // DSMEM_SVC_SERVER_H

@@ -1,0 +1,370 @@
+#include "svc/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runner/trace_store.h"
+#include "sim/app_registry.h"
+#include "sim/sampling.h"
+#include "sim/trace_bundle.h"
+#include "svc/protocol.h"
+#include "util/byte_io.h"
+#include "util/errors.h"
+#include "util/failpoint.h"
+
+namespace dsmem::svc {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The campaign's deterministic capped-exponential backoff, replicated
+ * bit-for-bit (same salt scheme) so a worker's retry schedule matches
+ * what the in-process pool would have done for the same cell.
+ */
+void
+backoffSleep(const std::string &salt, unsigned attempt,
+             uint32_t base_ms, uint32_t cap_ms)
+{
+    uint64_t ms = base_ms;
+    for (unsigned i = 1; i < attempt && ms < cap_ms; ++i)
+        ms *= 2;
+    ms = std::min<uint64_t>(ms, cap_ms);
+    uint64_t h =
+        util::fnv1aUpdate(util::kFnvOffset, salt.data(), salt.size());
+    h = util::fnv1aUpdate(h, &attempt, sizeof attempt);
+    ms += h % (base_ms > 0 ? base_ms : 1);
+    if (ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+int
+connectCoordinator(const std::string &path, std::string *err)
+{
+    try {
+        util::failpoint("svc.connect");
+    } catch (const std::exception &e) {
+        *err = e.what();
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *err = "socket path too long: " + path;
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // Retry briefly: the coordinator binds before spawning, but an
+    // externally launched worker may race the listen().
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            *err = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        int e = errno;
+        ::close(fd);
+        if (e != ENOENT && e != ECONNREFUSED) {
+            *err = std::string("connect: ") + std::strerror(e);
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    *err = "connect: coordinator never came up at " + path;
+    return -1;
+}
+
+/** All state one connected worker needs across cells. */
+struct WorkerState {
+    WelcomeMsg cfg;
+    std::unique_ptr<runner::TraceStore> store;
+    std::unique_ptr<sim::TraceCache> cache;
+    /** Live points per unit (one trace key per unit). */
+    std::map<uint32_t, std::shared_ptr<const sim::LivePointSet>> lps;
+    /** Units whose trace provenance was already reported. */
+    std::map<uint32_t, bool> trace_sent;
+};
+
+/**
+ * Live points for @p unit's trace: the store's .dslp cache when it
+ * matches this trace's content, else one functional-warming pass,
+ * persisted for the next user. Same content gates as the campaign's
+ * resolveLivePoints, so every process derives identical points.
+ */
+std::shared_ptr<const sim::LivePointSet>
+resolveLivePoints(WorkerState &st, uint32_t unit,
+                  const trace::TraceView &view)
+{
+    auto it = st.lps.find(unit);
+    if (it != st.lps.end())
+        return it->second;
+    const UnitDecl &u = st.cfg.units[unit];
+    const sim::AppId app = static_cast<sim::AppId>(u.app);
+    std::shared_ptr<const sim::LivePointSet> lp;
+    if (auto cached = st.store->loadLivePoints(app, u.mem, u.small != 0,
+                                               st.cfg.plan)) {
+        if (cached->instructions == view.size() &&
+            cached->offset ==
+                st.cfg.plan.offsetFor(view.name(), view.size()))
+            lp = std::make_shared<const sim::LivePointSet>(
+                std::move(*cached));
+    }
+    if (!lp) {
+        auto fresh = std::make_shared<sim::LivePointSet>(
+            sim::computeLivePoints(view, st.cfg.plan));
+        st.store->storeLivePoints(app, u.mem, u.small != 0,
+                                  st.cfg.plan, *fresh);
+        lp = fresh;
+    }
+    st.lps.emplace(unit, lp);
+    return lp;
+}
+
+/** Execute one assigned cell; never throws. */
+ResultMsg
+runCell(WorkerState &st, const AssignMsg &a)
+{
+    ResultMsg out;
+    out.unit = a.unit;
+    out.spec = a.spec;
+    out.seq = a.seq;
+    if (a.unit >= st.cfg.units.size() ||
+        a.spec >= st.cfg.units[a.unit].specs.size()) {
+        out.ok = 0;
+        out.error = "assign out of range";
+        return out;
+    }
+    const UnitDecl &u = st.cfg.units[a.unit];
+    const sim::AppId app = static_cast<sim::AppId>(u.app);
+    const sim::ModelSpec &spec = u.specs[a.spec];
+
+    // Phase 1: trace through the shared on-disk store. Transient
+    // faults retry with the campaign's backoff; anything else is a
+    // permanent cell failure the coordinator records (not re-led).
+    std::shared_ptr<const trace::TraceView> view;
+    std::shared_ptr<const sim::LivePointSet> lp;
+    const std::string salt1 =
+        "phase1:" + std::string(sim::appName(app));
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            sim::TraceOrigin origin;
+            sim::TraceTiming timing;
+            auto start = std::chrono::steady_clock::now();
+            const sim::ViewBundle &bundle = st.cache->getView(
+                app, u.mem, u.small != 0, &origin, &timing);
+            if (st.cfg.plan.enabled() &&
+                spec.kind == sim::ModelSpec::Kind::DS)
+                lp = resolveLivePoints(st, a.unit, *bundle.view);
+            double wall = elapsedMs(start);
+            view = bundle.view;
+            if (!st.trace_sent[a.unit]) {
+                st.trace_sent[a.unit] = true;
+                out.has_trace = 1;
+                out.trace_origin =
+                    std::string(sim::traceOriginName(origin));
+                out.trace_instructions = bundle.stats.instructions;
+                out.trace_wall_ms = wall;
+                out.gen_ms = timing.gen_ms;
+                out.load_ms = timing.load_ms;
+            }
+            break;
+        } catch (const util::IoError &e) {
+            if (attempt < st.cfg.max_attempts) {
+                backoffSleep(salt1, attempt, st.cfg.backoff_base_ms,
+                             st.cfg.backoff_cap_ms);
+                continue;
+            }
+            out.ok = 0;
+            out.error = std::string("phase1: ") + e.what();
+            return out;
+        } catch (const std::exception &e) {
+            out.ok = 0;
+            out.error = std::string("phase1: ") + e.what();
+            return out;
+        }
+    }
+
+    // Phase 2: one singleton group, identical to the in-process
+    // pool's execution of the same cell (deterministic results).
+    thread_local core::SimContext sim_ctx;
+    sim::ExecGroup group;
+    group.rows.push_back(a.spec);
+    const std::string salt2 = "phase2:" +
+                              std::string(sim::appName(app)) + ":" +
+                              spec.label();
+    const bool sampled = st.cfg.plan.enabled() && lp != nullptr;
+    for (unsigned attempt = 1;; ++attempt) {
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            util::failpoint("campaign.phase2");
+            if (sampled) {
+                std::vector<sim::SampledCell> cells =
+                    sim::runGroupSampled(*view, u.specs, group,
+                                         st.cfg.plan, *lp, sim_ctx);
+                out.result = cells.front().result;
+                out.sampling = cells.front().sampling;
+            } else {
+                out.result =
+                    sim::runGroup(*view, u.specs, group, sim_ctx)
+                        .front();
+            }
+            out.wall_ms = elapsedMs(t0);
+            return out;
+        } catch (const util::IoError &e) {
+            if (attempt < st.cfg.max_attempts) {
+                backoffSleep(salt2, attempt, st.cfg.backoff_base_ms,
+                             st.cfg.backoff_cap_ms);
+                continue;
+            }
+            out.ok = 0;
+            out.error = std::string("phase2: ") + e.what();
+            return out;
+        } catch (const std::exception &e) {
+            out.ok = 0;
+            out.error = std::string("phase2: ") + e.what();
+            return out;
+        }
+    }
+}
+
+} // namespace
+
+int
+workerMain(const WorkerOptions &opts)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string err;
+    int fd = connectCoordinator(opts.socket_path, &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "dsmem_svc worker %u: %s\n", opts.id,
+                     err.c_str());
+        return 1;
+    }
+
+    // One mutex serializes the main loop's RESULTs with the
+    // heartbeat thread's beats; frames never interleave.
+    std::mutex send_mu;
+    auto send = [&](MsgType type, const std::string &payload,
+                    std::string *e) {
+        std::lock_guard<std::mutex> lock(send_mu);
+        return sendFrame(fd, "svc.worker.send", type, payload, e);
+    };
+
+    HelloMsg hello;
+    hello.worker = opts.id;
+    hello.pid = static_cast<uint64_t>(::getpid());
+    if (!send(MsgType::HELLO, encodeHello(hello), &err)) {
+        std::fprintf(stderr, "dsmem_svc worker %u: hello: %s\n",
+                     opts.id, err.c_str());
+        ::close(fd);
+        return 1;
+    }
+
+    Frame frame;
+    if (!recvFrame(fd, "svc.worker.recv", frame, &err) ||
+        frame.type != MsgType::WELCOME) {
+        std::fprintf(stderr, "dsmem_svc worker %u: welcome: %s\n",
+                     opts.id, err.c_str());
+        ::close(fd);
+        return 1;
+    }
+    WorkerState st;
+    if (!decodeWelcome(frame.payload, st.cfg)) {
+        std::fprintf(stderr,
+                     "dsmem_svc worker %u: malformed welcome\n",
+                     opts.id);
+        ::close(fd);
+        return 1;
+    }
+    st.store =
+        std::make_unique<runner::TraceStore>(st.cfg.trace_dir);
+    st.cache = std::make_unique<sim::TraceCache>(
+        st.store->enabled() ? st.store.get() : nullptr);
+
+    // Heartbeat thread: renews the coordinator's lease while a long
+    // phase-1 generation or phase-2 run keeps the main loop busy.
+    std::atomic<bool> stop{false};
+    std::mutex hb_mu;
+    std::condition_variable hb_cv;
+    std::thread heartbeat([&] {
+        uint64_t beats = 0;
+        const auto period =
+            std::chrono::milliseconds(std::max<uint32_t>(
+                st.cfg.heartbeat_ms, 1));
+        std::unique_lock<std::mutex> lock(hb_mu);
+        while (!stop.load()) {
+            if (hb_cv.wait_for(lock, period,
+                               [&] { return stop.load(); }))
+                break;
+            HeartbeatMsg hb{opts.id, ++beats};
+            std::string ignored;
+            if (!send(MsgType::HEARTBEAT, encodeHeartbeat(hb),
+                      &ignored))
+                break; // Coordinator gone; main loop will see EOF.
+        }
+    });
+    auto joinHeartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mu);
+            stop.store(true);
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
+    int code = 1;
+    for (;;) {
+        if (!recvFrame(fd, "svc.worker.recv", frame, &err)) {
+            std::fprintf(stderr, "dsmem_svc worker %u: %s\n", opts.id,
+                         err.c_str());
+            break;
+        }
+        if (frame.type == MsgType::SHUTDOWN) {
+            code = 0;
+            break;
+        }
+        if (frame.type != MsgType::ASSIGN)
+            continue; // Unknown frame types are ignored, not fatal.
+        AssignMsg assign;
+        if (!decodeAssign(frame.payload, assign)) {
+            std::fprintf(stderr,
+                         "dsmem_svc worker %u: malformed assign\n",
+                         opts.id);
+            break;
+        }
+        ResultMsg result = runCell(st, assign);
+        if (!send(MsgType::RESULT, encodeResult(result), &err)) {
+            std::fprintf(stderr, "dsmem_svc worker %u: result: %s\n",
+                         opts.id, err.c_str());
+            break;
+        }
+    }
+
+    joinHeartbeat();
+    ::close(fd);
+    return code;
+}
+
+} // namespace dsmem::svc

@@ -1,0 +1,30 @@
+#ifndef DSMEM_SVC_WORKER_H
+#define DSMEM_SVC_WORKER_H
+
+#include <cstdint>
+#include <string>
+
+namespace dsmem::svc {
+
+struct WorkerOptions {
+    std::string socket_path; ///< Coordinator's AF_UNIX listen path.
+    uint32_t id = 0;         ///< Slot id assigned by the coordinator.
+};
+
+/**
+ * Entry point of one worker process (`dsmem_svc worker`): connect to
+ * the coordinator, introduce itself (HELLO), receive the campaign
+ * declaration (WELCOME), then loop running ASSIGNed cells and
+ * reporting RESULTs while a background thread heartbeats the lease.
+ *
+ * The worker is deliberately stateless between cells: every phase-2
+ * result is computed from the immutable trace view alone, so the
+ * coordinator may kill, respawn, or re-assign at any moment and the
+ * recomputed bits are identical. Returns the process exit code
+ * (0 = orderly SHUTDOWN, 1 = connection lost / protocol error).
+ */
+int workerMain(const WorkerOptions &opts);
+
+} // namespace dsmem::svc
+
+#endif // DSMEM_SVC_WORKER_H

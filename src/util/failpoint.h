@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,9 @@ namespace dsmem::util {
  *                non-sink sites)
  *   delay        sleep @p arg milliseconds, then continue (watchdog
  *                and contention testing); arg is required
+ *   kill         raise SIGKILL — the process dies exactly as if an
+ *                external `kill -9` landed on this protocol boundary
+ *                (multi-process chaos testing; never catchable)
  *
  * Trigger (optional last field): "once" fires on the first hit then
  * disarms; an integer K fires on every Kth hit (K=1, the default,
@@ -57,8 +61,79 @@ namespace dsmem::util {
  * Everything is deterministic: firing depends only on the per-site
  * hit count, never on wall clock or randomness, so a failing campaign
  * replays identically.
+ *
+ * `DSMEM_FAILPOINTS=list` is the discovery mode: the process prints
+ * every registered site (the catalog below) to stdout and exits,
+ * so CI jobs and the chaos driver can enumerate sites instead of
+ * hard-coding names that drift.
  */
-enum class FailpointMode : uint8_t { THROW, ERROR_CODE, SHORT_WRITE, DELAY };
+enum class FailpointMode : uint8_t {
+    THROW,
+    ERROR_CODE,
+    SHORT_WRITE,
+    DELAY,
+    KILL,
+};
+
+/** One entry of the static failpoint site catalog. */
+struct FailpointSite {
+    const char *name;  ///< e.g. "trace_store.save"
+    const char *where; ///< one-line description of the boundary
+};
+
+/**
+ * Every failpoint site compiled into the tree. tests/test_failpoint
+ * greps the source for `failpoint*("...")` literals and fails when
+ * this catalog and the code disagree, so the list cannot drift.
+ * Sites reached through a variable (the svc framing layer passes the
+ * site name through sendFrame/recvFrame) are covered by the literal
+ * at their call site.
+ */
+inline constexpr FailpointSite kFailpointSites[] = {
+    {"bundle.generate", "phase-1 trace generation body"},
+    {"byte_io.drain", "ByteSink block flush to the OS"},
+    {"byte_io.refill", "ByteSource block read from the OS"},
+    {"campaign.phase1", "campaign phase-1 job body"},
+    {"campaign.phase2", "campaign phase-2 cell body"},
+    {"dram.dispatch", "banked DRAM request dispatch"},
+    {"dslp.read", "live-point checkpoint load"},
+    {"dslp.write", "live-point checkpoint save"},
+    {"journal.append", "journal record append + fsync"},
+    {"journal.open", "journal open / replay / truncate"},
+    {"svc.accept", "coordinator accept of a worker connection"},
+    {"svc.connect", "worker connect to the coordinator socket"},
+    {"svc.coord.recv", "coordinator frame receive"},
+    {"svc.coord.send", "coordinator frame send"},
+    {"svc.serve.accept", "server accept of a campaign client"},
+    {"svc.spawn", "coordinator fork/exec of a worker process"},
+    {"svc.worker.recv", "worker frame receive"},
+    {"svc.worker.send", "worker frame send"},
+    {"trace_io.load", "bundle deserialization"},
+    {"trace_io.save", "bundle serialization"},
+    {"trace_store.migrate", "v1 bundle migration"},
+    {"trace_store.open_read", "store bundle open-for-read"},
+    {"trace_store.remove", "store bundle remove"},
+    {"trace_store.rename", "store tmp -> final atomic rename"},
+    {"trace_store.save", "store bundle save"},
+};
+
+/** True when @p site names an entry of kFailpointSites. */
+inline bool
+isKnownFailpointSite(std::string_view site)
+{
+    for (const FailpointSite &s : kFailpointSites)
+        if (site == s.name)
+            return true;
+    return false;
+}
+
+/** Dump the site catalog, one "name\twhere" line per site. */
+inline void
+printFailpointSites(std::FILE *out)
+{
+    for (const FailpointSite &s : kFailpointSites)
+        std::fprintf(out, "%s\t%s\n", s.name, s.where);
+}
 
 struct FailpointSpec {
     std::string site;
@@ -128,6 +203,18 @@ throwFault(const char *site)
     throw IoError(std::string("failpoint fired: ") + site);
 }
 
+/**
+ * kill-mode firing: indistinguishable from an external `kill -9` at
+ * this exact boundary. abort() is unreachable; it only satisfies
+ * [[noreturn]] if SIGKILL were somehow blocked.
+ */
+[[noreturn]] inline void
+killSelf()
+{
+    std::raise(SIGKILL);
+    std::abort();
+}
+
 } // namespace fp_detail
 
 /** True when any failpoint is armed (one relaxed load). */
@@ -156,6 +243,8 @@ failpoint(const char *site)
         return;
       case FailpointMode::SHORT_WRITE:
         return;
+      case FailpointMode::KILL:
+        fp_detail::killSelf();
       case FailpointMode::THROW:
       case FailpointMode::ERROR_CODE:
         fp_detail::throwFault(site);
@@ -184,6 +273,8 @@ failpointEc(const char *site, std::error_code &ec)
         return false;
       case FailpointMode::SHORT_WRITE:
         return false;
+      case FailpointMode::KILL:
+        fp_detail::killSelf();
       case FailpointMode::THROW:
         fp_detail::throwFault(site);
     }
@@ -209,6 +300,8 @@ failpointShortWrite(const char *site)
       case FailpointMode::DELAY:
         std::this_thread::sleep_for(std::chrono::milliseconds(a.arg));
         return false;
+      case FailpointMode::KILL:
+        fp_detail::killSelf();
       case FailpointMode::THROW:
       case FailpointMode::ERROR_CODE:
         fp_detail::throwFault(site);
@@ -264,6 +357,8 @@ parseFailpointSpec(std::string_view text, FailpointSpec &out,
         spec.mode = FailpointMode::ERROR_CODE;
     } else if (mode == "short-write") {
         spec.mode = FailpointMode::SHORT_WRITE;
+    } else if (mode == "kill") {
+        spec.mode = FailpointMode::KILL;
     } else if (mode == "delay") {
         spec.mode = FailpointMode::DELAY;
         if (fields.size() < 3)
@@ -302,10 +397,13 @@ parseFailpointSpec(std::string_view text, FailpointSpec &out,
 /**
  * Arm a comma-separated spec list (the DSMEM_FAILPOINTS grammar).
  * Returns false on the first malformed entry; entries before it stay
- * armed.
+ * armed. With @p require_known (the env-load path), sites absent
+ * from kFailpointSites are rejected — tests arming synthetic sites
+ * programmatically pass false.
  */
 inline bool
-armFailpoints(std::string_view list, std::string *err = nullptr)
+armFailpoints(std::string_view list, std::string *err = nullptr,
+              bool require_known = false)
 {
     size_t start = 0;
     while (start <= list.size()) {
@@ -317,6 +415,12 @@ armFailpoints(std::string_view list, std::string *err = nullptr)
             FailpointSpec spec;
             if (!parseFailpointSpec(entry, spec, err))
                 return false;
+            if (require_known && !isKnownFailpointSite(spec.site)) {
+                if (err)
+                    *err = "unknown failpoint site '" + spec.site +
+                           "' (use DSMEM_FAILPOINTS=list)";
+                return false;
+            }
             armFailpoint(std::move(spec));
         }
         if (comma == std::string_view::npos)
@@ -380,8 +484,12 @@ namespace fp_detail {
 inline const bool g_env_loaded = [] {
     const char *env = std::getenv("DSMEM_FAILPOINTS");
     if (env != nullptr && *env != '\0') {
+        if (std::string_view(env) == "list") {
+            printFailpointSites(stdout);
+            std::exit(0);
+        }
         std::string err;
-        if (!armFailpoints(env, &err))
+        if (!armFailpoints(env, &err, /*require_known=*/true))
             std::fprintf(stderr, "DSMEM_FAILPOINTS: %s\n",
                          err.c_str());
     }

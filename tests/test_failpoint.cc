@@ -8,7 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
 #include <system_error>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "util/errors.h"
 #include "util/failpoint.h"
@@ -180,6 +191,133 @@ TEST_F(FailpointTest, ThrownFaultIsTypedTransient)
     armFailpoint({"s.type2", FailpointMode::THROW, 0, 1, false});
     EXPECT_THROW(failpoint("s.type2"), std::runtime_error);
 }
+
+// --- kill mode (multi-process chaos) --------------------------------
+
+TEST_F(FailpointTest, ParsesKillSpec)
+{
+    FailpointSpec spec;
+    ASSERT_TRUE(parseFailpointSpec("svc.worker.send:kill:3", spec));
+    EXPECT_EQ(spec.site, "svc.worker.send");
+    EXPECT_EQ(spec.mode, FailpointMode::KILL);
+    EXPECT_EQ(spec.every, 3u);
+
+    ASSERT_TRUE(parseFailpointSpec("svc.coord.recv:kill:once", spec));
+    EXPECT_EQ(spec.mode, FailpointMode::KILL);
+    EXPECT_TRUE(spec.once);
+}
+
+TEST_F(FailpointTest, KillModeDiesBySigkillExactlyAtTheBoundary)
+{
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: arm every-2nd-hit kill; the first hit must survive,
+        // the second must die as if an external kill -9 landed.
+        armFailpoint({"s.kill", FailpointMode::KILL, 0, 2, false});
+        failpoint("s.kill"); // hit 1: continues
+        failpoint("s.kill"); // hit 2: SIGKILL
+        ::_exit(7);          // Reachable only if kill failed.
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status)) << "child exited normally";
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+// --- site catalog / discovery ---------------------------------------
+
+TEST_F(FailpointTest, EnvPathRejectsUnknownSitesProgrammaticDoesNot)
+{
+    std::string err;
+    // The DSMEM_FAILPOINTS path (require_known) refuses typo'd sites
+    // instead of silently arming nothing that will ever fire.
+    EXPECT_FALSE(armFailpoints("no.such.site:throw", &err,
+                               /*require_known=*/true));
+    EXPECT_NE(err.find("unknown failpoint site"), std::string::npos);
+    EXPECT_TRUE(armFailpoints("trace_store.save:throw", &err,
+                              /*require_known=*/true));
+    disarmFailpoint("trace_store.save");
+    // Tests arming synthetic sites keep working.
+    EXPECT_TRUE(armFailpoints("synthetic.site:throw"));
+    disarmFailpoint("synthetic.site");
+}
+
+TEST_F(FailpointTest, SiteCatalogPrintsEveryEntry)
+{
+    namespace fs = std::filesystem;
+    fs::path p = fs::temp_directory_path() /
+        ("dsmem_fp_list_" + std::to_string(::getpid()));
+    std::FILE *f = std::fopen(p.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    printFailpointSites(f);
+    std::fclose(f);
+
+    std::ifstream in(p);
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        size_t tab = line.find('\t');
+        ASSERT_NE(tab, std::string::npos) << line;
+        EXPECT_TRUE(isKnownFailpointSite(line.substr(0, tab)))
+            << line;
+        ++lines;
+    }
+    EXPECT_EQ(lines, std::size(kFailpointSites));
+    fs::remove(p);
+}
+
+#ifdef DSMEM_SOURCE_ROOT
+/**
+ * The anti-drift contract kFailpointSites documents: every site
+ * literal in src/ must be cataloged, and every catalog entry must be
+ * instrumented somewhere. Sites that flow through the svc framing
+ * layer as a parameter are covered by the literal at the
+ * sendFrame/recvFrame/drainSocket call site.
+ */
+TEST_F(FailpointTest, CatalogMatchesInstrumentedSources)
+{
+    namespace fs = std::filesystem;
+    const std::regex direct(
+        "failpoint(?:Ec|ShortWrite)?\\(\\s*\"([A-Za-z0-9_.]+)\"");
+    const std::regex framed(
+        "(?:sendFrame|recvFrame|drainSocket)\\([^,()]+,\\s*"
+        "\"([A-Za-z0-9_.]+)\"");
+
+    std::set<std::string> in_code;
+    for (const fs::directory_entry &entry :
+         fs::recursive_directory_iterator(
+             fs::path(DSMEM_SOURCE_ROOT) / "src")) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cc" && ext != ".h")
+            continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            direct);
+             it != std::sregex_iterator(); ++it)
+            in_code.insert((*it)[1]);
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            framed);
+             it != std::sregex_iterator(); ++it)
+            in_code.insert((*it)[1]);
+    }
+    ASSERT_FALSE(in_code.empty()) << "scanner found no sites at all";
+
+    for (const std::string &site : in_code)
+        EXPECT_TRUE(isKnownFailpointSite(site))
+            << "site '" << site
+            << "' is instrumented but missing from kFailpointSites";
+    for (const FailpointSite &s : kFailpointSites)
+        EXPECT_TRUE(in_code.count(s.name))
+            << "catalog entry '" << s.name
+            << "' matches no instrumented site in src/";
+}
+#endif // DSMEM_SOURCE_ROOT
 
 } // namespace
 } // namespace dsmem::util

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * TraceStore::gc(): age- and count-based pruning of quarantine
+ * corpses, orphaned temp files, and stale-format bundles — with the
+ * keep-set protecting everything a live campaign can still reference.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/campaign.h"
+#include "runner/trace_store.h"
+#include "sim/app_registry.h"
+
+namespace dsmem::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempStore
+{
+  public:
+    explicit TempStore(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("dsmem_gc_test_" + tag + "_" +
+                 std::to_string(::getpid())))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempStore() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+
+    fs::path touch(const std::string &name,
+                   const std::string &payload = "x")
+    {
+        fs::path p = path_ / name;
+        std::ofstream(p, std::ios::binary) << payload;
+        return p;
+    }
+
+    /** Backdate a file's mtime by @p seconds. */
+    static void age(const fs::path &p, int64_t seconds)
+    {
+        fs::last_write_time(p, fs::last_write_time(p) -
+                                   std::chrono::seconds(seconds));
+    }
+
+  private:
+    fs::path path_;
+};
+
+/** A current-format bundle name (would be openable by this build). */
+std::string
+currentName()
+{
+    return TraceStore::fileName(sim::AppId::MP3D,
+                                memsys::MemoryConfig{}, true);
+}
+
+uint64_t
+nowMicros()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+TEST(StoreGc, DisabledStoreDoesNothing)
+{
+    TraceStore store("");
+    StoreGcStats g = store.gc(StoreGcOptions{});
+    EXPECT_EQ(g.scanned, 0u);
+    EXPECT_EQ(g.removed_stale + g.removed_tmp + g.removed_corrupt, 0u);
+}
+
+TEST(StoreGc, KeepsNewestCorpsesPrunesTheRest)
+{
+    TempStore tmp("corpse");
+    const std::string base = currentName();
+    // Six corpses, recent timestamps (age-exempt): count pruning must
+    // keep the 4 newest (kMaxQuarantinePerName) and drop the 2 oldest.
+    uint64_t now = nowMicros();
+    for (int i = 0; i < 6; ++i)
+        tmp.touch(base + ".corrupt." +
+                  std::to_string(now - 1000000u * (6 - i)));
+    TraceStore store(tmp.str());
+    StoreGcOptions opts;
+    StoreGcStats g = store.gc(opts);
+    EXPECT_EQ(g.removed_corrupt, 2u);
+    EXPECT_EQ(g.scanned, 6u);
+    // The survivors are the 4 newest stamps.
+    for (int i = 2; i < 6; ++i)
+        EXPECT_TRUE(fs::exists(
+            fs::path(tmp.str()) /
+            (base + ".corrupt." +
+             std::to_string(now - 1000000u * (6 - i)))))
+            << i;
+}
+
+TEST(StoreGc, AgedCorpsesPrunedRegardlessOfCount)
+{
+    TempStore tmp("oldcorpse");
+    const std::string base = currentName();
+    uint64_t now = nowMicros();
+    // One corpse stamped 8 days ago: over max_age_s even though the
+    // per-name count is fine.
+    tmp.touch(base + ".corrupt." +
+              std::to_string(now - 8ull * 24 * 3600 * 1000000));
+    TraceStore store(tmp.str());
+    StoreGcStats g = store.gc(StoreGcOptions{});
+    EXPECT_EQ(g.removed_corrupt, 1u);
+}
+
+TEST(StoreGc, OrphanedTempFilesPrunedByAge)
+{
+    TempStore tmp("tmpfiles");
+    fs::path old_tmp = tmp.touch(currentName() + ".tmp12345");
+    TempStore::age(old_tmp, 2 * 3600); // 2h: past tmp_age_s.
+    fs::path live_tmp = tmp.touch(currentName() + ".tmp99"); // Fresh.
+    TraceStore store(tmp.str());
+    StoreGcStats g = store.gc(StoreGcOptions{});
+    EXPECT_EQ(g.removed_tmp, 1u);
+    EXPECT_FALSE(fs::exists(old_tmp));
+    EXPECT_TRUE(fs::exists(live_tmp));
+}
+
+TEST(StoreGc, StaleFormatNamesPrunedImmediately)
+{
+    TempStore tmp("stale");
+    // Names no build can open again: a bundle of a bumped container/
+    // trace version and a live-point file of a bumped lp version.
+    fs::path stale_bundle = tmp.touch("mp3d_small_v99t99.dsmb");
+    fs::path stale_lp = tmp.touch("mp3d_small_lp0.dslp");
+    // A fresh current-format bundle must survive.
+    fs::path current = tmp.touch(currentName());
+    // A file the store does not recognize is never touched.
+    fs::path foreign = tmp.touch("README.txt");
+    TraceStore store(tmp.str());
+    StoreGcStats g = store.gc(StoreGcOptions{});
+    EXPECT_EQ(g.removed_stale, 2u);
+    EXPECT_FALSE(fs::exists(stale_bundle));
+    EXPECT_FALSE(fs::exists(stale_lp));
+    EXPECT_TRUE(fs::exists(current));
+    EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST(StoreGc, AgedCurrentBundlesPrunedKeepSetProtects)
+{
+    TempStore tmp("aged");
+    fs::path aged = tmp.touch(currentName());
+    TempStore::age(aged, 8 * 24 * 3600); // 8 days > 7-day default.
+    fs::path protected_aged = tmp.touch("keepme_" + currentName());
+    TempStore::age(protected_aged, 8 * 24 * 3600);
+    TraceStore store(tmp.str());
+    StoreGcOptions opts;
+    opts.keep.push_back("keepme_" + currentName());
+    StoreGcStats g = store.gc(opts);
+    EXPECT_EQ(g.removed_stale, 1u);
+    EXPECT_EQ(g.kept, 1u);
+    EXPECT_FALSE(fs::exists(aged));
+    EXPECT_TRUE(fs::exists(protected_aged));
+}
+
+TEST(StoreGc, CampaignStoreGcPrunesGarbageNotItsOwnBundles)
+{
+    TempStore tmp("campaign");
+    // Plant garbage the campaign should sweep on prepare().
+    fs::path stale = tmp.touch("junk_v99t99.dsmb");
+    fs::path aged_tmp = tmp.touch("junk.dsmb.tmp1");
+    TempStore::age(aged_tmp, 2 * 3600);
+
+    RunnerOptions ro;
+    ro.jobs = 2;
+    ro.trace_dir = tmp.str();
+    ro.store_gc = true;
+    Campaign campaign("gc_campaign", ro);
+    campaign.add(sim::AppId::MP3D,
+                 {sim::ModelSpec::base(),
+                  sim::ModelSpec::ds(core::ConsistencyModel::RC, 16)},
+                 memsys::MemoryConfig{}, true);
+    campaign.run();
+    ASSERT_TRUE(campaign.ok());
+
+    StoreGcStats g = campaign.storeGcStats();
+    EXPECT_EQ(g.removed_stale, 1u);
+    EXPECT_EQ(g.removed_tmp, 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_FALSE(fs::exists(aged_tmp));
+
+    // A second GC'ing campaign runs over its predecessor's cache: the
+    // keep set covers the bundle it needs, so the trace survives and
+    // reloads from disk instead of regenerating.
+    Campaign again("gc_campaign", ro);
+    again.add(sim::AppId::MP3D,
+              {sim::ModelSpec::base(),
+               sim::ModelSpec::ds(core::ConsistencyModel::RC, 16)},
+              memsys::MemoryConfig{}, true);
+    again.run();
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(fs::exists(fs::path(tmp.str()) / currentName()));
+    EXPECT_EQ(again.result(0).origin, sim::TraceOrigin::DISK);
+}
+
+} // namespace
+} // namespace dsmem::runner
