@@ -38,6 +38,12 @@ namespace dsmem::bench {
  *                     footprint in GB for the memory_bound regime
  *                     (0 = skip the regime; default: 0.25 at --small,
  *                     4.0 at --full)
+ *   --stream-exec M   auto|on|off: trace-residency policy
+ *                     (sim/stream_exec.h). auto (default, also honors
+ *                     DSMEM_STREAM_EXEC) keeps LLC-spilling traces
+ *                     chunk-compressed and streams DS sweeps from
+ *                     decode-ahead tiles; on forces streaming, off
+ *                     forces the flat view
  *   --simd MODE       auto = best sweep backend the build and CPU
  *                     support (default, also honors DSMEM_SIMD=scalar
  *                     in the environment); scalar = force the scalar
@@ -66,6 +72,8 @@ struct BenchArgs {
     sim::SamplingPlan sampling; ///< period == 0: exact runs.
     bool cold = false; ///< bench_hotloop: reload the view per round.
     double stream_gb = -1.0; ///< Memory-bound footprint; <0 = scale default.
+    /** Trace-residency policy; default honors DSMEM_STREAM_EXEC. */
+    sim::StreamExec stream_exec = sim::streamExecFromEnv();
     std::string simd; ///< "auto" / "scalar"; empty = env-seeded default.
     bool stable_json = false; ///< Deterministic JSON projection.
     bool store_gc = false;    ///< GC the trace store before running.
@@ -82,6 +90,7 @@ struct BenchArgs {
         opts.job_timeout_ms = job_timeout_ms;
         opts.fuse_sweeps = !no_fuse;
         opts.sampling = sampling;
+        opts.stream_exec = stream_exec;
         opts.stable_json = stable_json;
         opts.store_gc = store_gc;
         opts.store_gc_age_s = store_gc_age_s;

@@ -29,8 +29,14 @@
  * The per-cell path runs each of the K window configs as its own
  * scalar pass over every cell (K cold streams of the whole footprint);
  * the fused path runs one struct-of-lanes sweep per cell (one
- * stream). Both regimes' fused-vs-per-cell ratios land in the JSON
- * under "regimes" and are ratcheted by tools/check_perf.py.
+ * stream). A third leg, memory_bound_streamed, runs the same fused
+ * sweep against the chunk-compressed resident form
+ * (trace::ChunkedView + the decode-ahead streaming executor): the
+ * pass streams ~4-8 compressed bytes per instruction instead of the
+ * 32-byte flat SoA row, decoded into L2-resident tiles on the fly.
+ * All regimes' fused-vs-per-cell ratios — and the streamed leg's
+ * streamed-over-fused ratio and compressed-resident ratio — land in
+ * the JSON under "regimes" and are ratcheted by tools/check_perf.py.
  *
  * Results go to stdout as a table and to BENCH_phase2.json
  * (override with --json). Defaults to --small; pass --full for the
@@ -41,12 +47,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_args.h"
 #include "core/base_processor.h"
@@ -57,10 +66,14 @@
 #include "runner/trace_store.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
+#include "sim/stream_exec.h"
 #include "sim/synthetic.h"
 #include "sim/trace_bundle.h"
 #include "util/simd.h"
+#include "util/sysinfo.h"
 #include "stats/table.h"
+#include "trace/chunked_view.h"
+#include "trace/trace_stats.h"
 #include "trace/trace_view.h"
 
 using namespace dsmem;
@@ -161,63 +174,6 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** "model name" line from /proc/cpuinfo; "unknown" elsewhere. */
-std::string
-hostCpuModel()
-{
-    std::ifstream is("/proc/cpuinfo");
-    std::string line;
-    while (std::getline(is, line)) {
-        if (line.compare(0, 10, "model name") != 0)
-            continue;
-        size_t colon = line.find(':');
-        if (colon == std::string::npos)
-            break;
-        size_t begin = line.find_first_not_of(" \t", colon + 1);
-        if (begin == std::string::npos)
-            break;
-        return line.substr(begin);
-    }
-    return "unknown";
-}
-
-/**
- * Size in bytes of cpu0's level-@p level data/unified cache from
- * sysfs; 0 when undetectable (non-Linux, masked sysfs). Recorded in
- * the JSON header so a committed baseline's regime ratios can be
- * read against the machine's cache hierarchy.
- */
-uint64_t
-hostCacheBytes(int level)
-{
-    for (int idx = 0; idx < 16; ++idx) {
-        std::string base = "/sys/devices/system/cpu/cpu0/cache/index" +
-            std::to_string(idx) + "/";
-        int l = 0;
-        if (!(std::ifstream(base + "level") >> l) || l != level)
-            continue;
-        std::string type;
-        if (std::ifstream(base + "type") >> type &&
-            type == "Instruction")
-            continue;
-        std::string size;
-        if (!(std::ifstream(base + "size") >> size) || size.empty())
-            continue;
-        char *end = nullptr;
-        uint64_t bytes = std::strtoull(size.c_str(), &end, 10);
-        if (end == size.c_str())
-            continue;
-        if (*end == 'K')
-            bytes <<= 10;
-        else if (*end == 'M')
-            bytes <<= 20;
-        else if (*end == 'G')
-            bytes <<= 30;
-        return bytes;
-    }
-    return 0;
-}
-
 /** One regime's fused-vs-per-cell campaign measurement. */
 struct RegimeResult {
     double percell_seconds = 0.0;
@@ -230,11 +186,131 @@ struct RegimeResult {
     }
 };
 
+/**
+ * Hidden re-exec entry (`bench_hotloop --rss-probe BUNDLE MODE`):
+ * simulate one service worker on BUNDLE — load its trace with the
+ * given residency MODE (`off` = flat SoA, `on` = chunk-compressed
+ * streaming) and run one RC DS-64 pass over it — then print this
+ * process's peak RSS and resident trace bytes. Runs as a separate
+ * process because ru_maxrss is a process-lifetime high-water mark:
+ * only a child that ever held exactly one residency strategy can
+ * attribute its peak to that strategy.
+ */
+int
+rssProbeMain(int argc, char **argv)
+{
+    sim::StreamExec mode = sim::StreamExec::Off;
+    if (argc != 4 || !sim::parseStreamExec(argv[3], &mode))
+        return 2;
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in)
+        return 2;
+    sim::ViewBundle vb = runner::loadBundleView(in, mode);
+    core::DynamicConfig config;
+    config.model = core::ConsistencyModel::RC;
+    config.window = 64;
+    const std::vector<core::DynamicConfig> configs{config};
+    core::SimContext ctx;
+    std::vector<core::DynamicResult> res = vb.chunked
+        ? core::runDynamicSweepStreamed(*vb.chunked, configs, ctx)
+        : core::runDynamicSweep(*vb.view, configs, ctx);
+    std::printf("rss_probe %llu %llu %llu\n",
+                static_cast<unsigned long long>(util::peakRssBytes()),
+                static_cast<unsigned long long>(
+                    vb.traceBytesResident()),
+                static_cast<unsigned long long>(res.front().cycles));
+    return 0;
+}
+
+/** Worker peak-RSS comparison measured by the --rss-probe children. */
+struct WorkerRss {
+    size_t instructions = 0;
+    uint64_t flat_rss = 0;
+    uint64_t streamed_rss = 0;
+    uint64_t flat_view_bytes = 0;
+    uint64_t streamed_view_bytes = 0;
+
+    bool ok() const { return flat_rss > 0 && streamed_rss > 0; }
+    double ratio() const
+    {
+        return streamed_rss == 0
+            ? 0.0
+            : static_cast<double>(flat_rss) /
+                static_cast<double>(streamed_rss);
+    }
+};
+
+/**
+ * Write a streamed-scale synthetic cell bundle to a temp file and
+ * re-exec this binary twice (--rss-probe off / on) against it, so the
+ * flat and chunk-compressed worker footprints are measured in clean
+ * processes. Failures leave the affected fields zero (ok() false) —
+ * the bench still runs, the JSON just records an unusable probe.
+ */
+WorkerRss
+measureWorkerRss(bool small)
+{
+    WorkerRss r;
+    r.instructions = small ? (size_t{1} << 22) : (size_t{1} << 24);
+    const std::string path = "/tmp/dsmem_rss_probe_" +
+        std::to_string(getpid()) + ".dsmb";
+    {
+        sim::TraceBundle tb;
+        sim::SyntheticConfig sc;
+        sc.instructions = r.instructions;
+        sc.seed = 7;
+        tb.trace = sim::generateSynthetic(sc);
+        tb.stats = trace::computeStats(tb.trace);
+        tb.verified = true;
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            return r;
+        runner::saveBundle(tb, out);
+        out.flush();
+        if (!out)
+            return r;
+    }
+    // Resolve our own binary before handing the command to popen's
+    // shell: a literal /proc/self/exe there would name the shell.
+    char self[4096];
+    const ssize_t self_len =
+        readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (self_len <= 0) {
+        std::remove(path.c_str());
+        return r;
+    }
+    self[self_len] = '\0';
+    auto probe = [&](const char *mode, uint64_t *rss,
+                     uint64_t *resident) {
+        const std::string cmd =
+            std::string(self) + " --rss-probe " + path + " " + mode;
+        FILE *p = popen(cmd.c_str(), "r");
+        if (!p)
+            return;
+        char tag[16] = {0};
+        unsigned long long rss_v = 0, res_v = 0, cycles = 0;
+        const bool parsed = std::fscanf(p, "%15s %llu %llu %llu", tag,
+                                        &rss_v, &res_v, &cycles) == 4;
+        const int status = pclose(p);
+        if (parsed && status == 0 &&
+            std::strcmp(tag, "rss_probe") == 0 && cycles > 0) {
+            *rss = rss_v;
+            *resident = res_v;
+        }
+    };
+    probe("off", &r.flat_rss, &r.flat_view_bytes);
+    probe("on", &r.streamed_rss, &r.streamed_view_bytes);
+    std::remove(path.c_str());
+    return r;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--rss-probe") == 0)
+        return rssProbeMain(argc, argv);
     bench::BenchArgs args =
         bench::parseBenchArgs(argc, argv, /*default_small=*/true);
     if (args.json_path.empty())
@@ -473,17 +549,24 @@ main(int argc, char **argv)
         : (args.small ? 0.25 : 4.0);
     const unsigned stream_rounds = args.resolvedRepeat(1);
     RegimeResult memory_bound;
+    double streamed_seconds = 0.0;
+    double streamed_flat_bytes = 0.0;
+    double streamed_resident_bytes = 0.0;
+    const core::StreamOptions stream_opt = sim::streamOptions();
     size_t stream_cells = 0;
     size_t stream_instr_per_cell = 0;
     size_t stream_lanes = 0;
     if (stream_gb > 0.0) {
-        // TraceView bytes per instruction: op+fu+flags+num_srcs (4x1)
-        // + srcs (3x4) + addr (8) + latency+aux+first_use (3x4) = 36.
-        constexpr double kViewBytesPerInstr = 36.0;
-        stream_instr_per_cell = size_t{1} << 20; // ~36 MB/cell.
+        // The flat view's exact per-entry cost (SoA columns incl.
+        // first_use) — computed, not guessed, so the streamed cell
+        // count tracks any future column change.
+        const double view_bytes_per_instr =
+            trace::TraceView::bytesPerInstr();
+        stream_instr_per_cell = size_t{1} << 20; // ~32 MB/cell.
         stream_cells = std::max<size_t>(
             1,
-            static_cast<size_t>(stream_gb * 1e9 / kViewBytesPerInstr) /
+            static_cast<size_t>(stream_gb * 1e9 /
+                                view_bytes_per_instr) /
                 stream_instr_per_cell);
         std::vector<std::shared_ptr<const trace::TraceView>>
             stream_views;
@@ -528,23 +611,57 @@ main(int argc, char **argv)
             }
         };
 
-        // Bit-identity first (and the warmup for both paths). Per-cell
-        // results are config-major [k][c], fused are cell-major [c][k].
+        // Streamed leg: re-encode each cell into the chunk-compressed
+        // resident form and sweep straight from decode-ahead tiles.
+        // Holding both forms at once is deliberate — the flat views
+        // must stay alive for the fused/per-cell passes — so in-process
+        // peak RSS is NOT a residency signal here; the deterministic
+        // bytesResident() ratio is (worker-process RSS is measured by
+        // dsmem_svc, where only one form exists).
+        std::vector<std::shared_ptr<const trace::ChunkedView>>
+            stream_chunked;
+        stream_chunked.reserve(stream_views.size());
+        for (const auto &sv : stream_views) {
+            stream_chunked.push_back(
+                std::make_shared<trace::ChunkedView>(*sv));
+        }
+        streamed_flat_bytes = static_cast<double>(stream_cells) *
+            static_cast<double>(stream_instr_per_cell) *
+            trace::TraceView::bytesPerInstr();
+        for (const auto &cv : stream_chunked)
+            streamed_resident_bytes +=
+                static_cast<double>(cv->bytesResident());
+        auto streamedPass = [&](std::vector<core::DynamicResult> *out) {
+            for (const auto &cv : stream_chunked) {
+                std::vector<core::DynamicResult> swept =
+                    core::runDynamicSweepStreamed(
+                        *cv, stream_configs, stream_ctx,
+                        core::SweepMode::Auto, stream_opt);
+                if (out)
+                    for (core::DynamicResult &r : swept)
+                        out->push_back(std::move(r));
+            }
+        };
+
+        // Bit-identity first (and the warmup for all three paths).
+        // Per-cell results are config-major [k][c]; fused and streamed
+        // are cell-major [c][k].
         {
-            std::vector<core::DynamicResult> percell, fused;
+            std::vector<core::DynamicResult> percell, fused, streamed;
             percellPass(&percell);
             fusedPass(&fused);
+            streamedPass(&streamed);
+            auto equal = [](const core::DynamicResult &a,
+                            const core::DynamicResult &b) {
+                return static_cast<const core::RunResult &>(a) ==
+                        static_cast<const core::RunResult &>(b) &&
+                    a.avg_window_occupancy == b.avg_window_occupancy;
+            };
             bool same = percell.size() == fused.size();
             for (size_t k = 0; same && k < stream_lanes; ++k) {
                 for (size_t c = 0; same && c < stream_cells; ++c) {
-                    const core::DynamicResult &a =
-                        percell[k * stream_cells + c];
-                    const core::DynamicResult &b =
-                        fused[c * stream_lanes + k];
-                    same = static_cast<const core::RunResult &>(a) ==
-                            static_cast<const core::RunResult &>(b) &&
-                        a.avg_window_occupancy ==
-                            b.avg_window_occupancy;
+                    same = equal(percell[k * stream_cells + c],
+                                 fused[c * stream_lanes + k]);
                 }
             }
             if (!same) {
@@ -553,13 +670,29 @@ main(int argc, char **argv)
                              "per-cell results\n");
                 ++mismatches;
             }
+            bool streamed_same = streamed.size() == fused.size();
+            for (size_t i = 0;
+                 streamed_same && i < streamed.size(); ++i)
+                streamed_same = equal(streamed[i], fused[i]);
+            if (!streamed_same) {
+                std::fprintf(stderr,
+                             "MISMATCH: memory-bound streamed sweep "
+                             "!= fused results\n");
+                ++mismatches;
+            }
         }
 
         memory_bound.percell_seconds =
             bestSeconds([&] { percellPass(nullptr); }, stream_rounds);
         memory_bound.fused_seconds =
             bestSeconds([&] { fusedPass(nullptr); }, stream_rounds);
+        streamed_seconds =
+            bestSeconds([&] { streamedPass(nullptr); }, stream_rounds);
     }
+
+    WorkerRss worker_rss;
+    if (stream_gb > 0.0)
+        worker_rss = measureWorkerRss(args.small);
 
     stats::Table table(
         {"cell", "view Minstr/s", "legacy Minstr/s", "speedup"});
@@ -601,6 +734,30 @@ main(int argc, char **argv)
             stream_lanes, core::solActiveIsaName(),
             memory_bound.percell_seconds, memory_bound.fused_seconds,
             memory_bound.speedup());
+        std::printf(
+            "regime memory_bound_streamed (chunk-compressed, %.0f MB "
+            "resident of %.0f MB flat, decode threads %d): %.2fs — "
+            "%.2fx over per-cell, %.2fx over fused\n",
+            streamed_resident_bytes / 1e6, streamed_flat_bytes / 1e6,
+            stream_opt.decode_threads, streamed_seconds,
+            streamed_seconds == 0.0
+                ? 0.0
+                : memory_bound.percell_seconds / streamed_seconds,
+            streamed_seconds == 0.0
+                ? 0.0
+                : memory_bound.fused_seconds / streamed_seconds);
+        if (worker_rss.ok()) {
+            std::printf(
+                "worker RSS probe (%zuK-instr synthetic cell, RC "
+                "DS-64, separate processes): flat %.1f MB vs "
+                "streamed %.1f MB — %.2fx\n",
+                worker_rss.instructions >> 10,
+                static_cast<double>(worker_rss.flat_rss) / 1e6,
+                static_cast<double>(worker_rss.streamed_rss) / 1e6,
+                worker_rss.ratio());
+        } else {
+            std::printf("worker RSS probe unavailable on this host\n");
+        }
     }
 
     std::ofstream out(args.json_path, std::ios::binary);
@@ -609,17 +766,18 @@ main(int argc, char **argv)
                      args.json_path.c_str());
         return 1;
     }
-    out << "{\n  \"schema_version\": 4,\n"
+    out << "{\n  \"schema_version\": 5,\n"
         << "  \"bench\": \"bench_hotloop\",\n"
         << "  \"app\": \"LU\",\n"
         << "  \"small\": " << (args.small ? "true" : "false") << ",\n"
         << "  \"cold\": " << (args.cold ? "true" : "false") << ",\n"
-        << "  \"host_cpu\": \"" << jsonEscape(hostCpuModel())
+        << "  \"host_cpu\": \"" << jsonEscape(util::hostCpuModel())
         << "\",\n"
         << "  \"host_cores\": "
         << std::thread::hardware_concurrency() << ",\n"
-        << "  \"host_l2_bytes\": " << hostCacheBytes(2) << ",\n"
-        << "  \"host_l3_bytes\": " << hostCacheBytes(3) << ",\n"
+        << "  \"host_l2_bytes\": " << util::hostCacheBytes(2) << ",\n"
+        << "  \"host_l3_bytes\": " << util::hostCacheBytes(3) << ",\n"
+        << "  \"peak_rss_bytes\": " << util::peakRssBytes() << ",\n"
         << "  \"simd_isa\": \"" << core::solIsaName() << "\",\n"
         << "  \"simd_active\": \"" << core::solActiveIsaName()
         << "\",\n"
@@ -662,6 +820,44 @@ main(int argc, char **argv)
             << jsonDouble(memory_bound.fused_seconds)
             << ", \"fused_speedup\": "
             << jsonDouble(memory_bound.speedup()) << "}";
+        // fused_speedup here is per-cell over streamed (check_perf
+        // auto-floors that key per regime); streamed_over_fused is the
+        // headline chunk-decode win vs the already-fused flat sweep.
+        const double streamed_over_percell = streamed_seconds == 0.0
+            ? 0.0
+            : memory_bound.percell_seconds / streamed_seconds;
+        const double streamed_over_fused = streamed_seconds == 0.0
+            ? 0.0
+            : memory_bound.fused_seconds / streamed_seconds;
+        const double resident_ratio = streamed_flat_bytes == 0.0
+            ? 0.0
+            : streamed_resident_bytes / streamed_flat_bytes;
+        out << ",\n    \"memory_bound_streamed\": "
+            << "{\"streamed_seconds\": " << jsonDouble(streamed_seconds)
+            << ", \"fused_speedup\": "
+            << jsonDouble(streamed_over_percell)
+            << ", \"streamed_over_fused\": "
+            << jsonDouble(streamed_over_fused)
+            << ",\n                              \"flat_bytes\": "
+            << jsonDouble(streamed_flat_bytes)
+            << ", \"chunked_bytes_resident\": "
+            << jsonDouble(streamed_resident_bytes)
+            << ", \"resident_ratio\": " << jsonDouble(resident_ratio)
+            << ", \"decode_threads\": " << stream_opt.decode_threads
+            << "}";
+        // Worker footprints from the --rss-probe children; all-zero
+        // (rss_ratio 0) when the probe could not run on this host.
+        out << ",\n    \"worker_rss\": {\"probe_instructions\": "
+            << worker_rss.instructions
+            << ", \"flat_peak_rss_bytes\": " << worker_rss.flat_rss
+            << ", \"streamed_peak_rss_bytes\": "
+            << worker_rss.streamed_rss
+            << ",\n                   \"flat_view_bytes\": "
+            << worker_rss.flat_view_bytes
+            << ", \"streamed_view_bytes\": "
+            << worker_rss.streamed_view_bytes
+            << ", \"rss_ratio\": " << jsonDouble(worker_rss.ratio())
+            << "}";
     }
     out << "\n  },\n"
         << "  \"cells\": [\n";

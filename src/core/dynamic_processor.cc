@@ -10,6 +10,8 @@
 #include "core/sim_context.h"
 #include "core/slot_allocator.h"
 #include "core/sol_sweep.h"
+#include "core/tile_stream.h"
+#include "trace/chunked_view.h"
 #include "util/dary_heap.h"
 #include "util/flat_map.h"
 #include "util/simd.h"
@@ -159,6 +161,60 @@ runSolBest(const trace::TraceView &v,
     return detail::runSolSweepSimd(v, configs, ctx);
 }
 
+/**
+ * Tiled per-lane pass over a chunk-compressed view: one TileStream
+ * tile plays the role of one kBlock block (ChunkedView::kChunkInstrs
+ * matches the tiled pass's block size), so the loop structure — each
+ * lane steps a whole block before the next lane starts it — carries
+ * over unchanged, and any per-lane step interleaving is bit-identical
+ * to the flat pass by lane independence.
+ */
+std::vector<DynamicResult>
+runTiledSweepStreamed(const trace::ChunkedView &cv,
+                      const std::vector<DynamicConfig> &configs,
+                      SimContext &ctx, const StreamOptions &opt)
+{
+    const size_t k = configs.size();
+    std::vector<DynamicResult> out;
+    out.reserve(k);
+    if (k == 0)
+        return out;
+
+    std::vector<Lane> lanes(k);
+    for (size_t j = 0; j < k; ++j) {
+        validateConfig(configs[j]);
+        lanes[j].bind(configs[j], ctx.lane(j));
+    }
+
+    detail::TileStream stream(cv, ctx, opt);
+    while (const trace::TraceTile *tile = stream.next()) {
+        const trace::TileSpan span(*tile);
+        const size_t lo = span.lo(), hi = span.hi();
+        for (size_t j = 0; j < k; ++j) {
+            Lane &lane = lanes[j];
+            for (size_t i = lo; i < hi; ++i)
+                lane.step(span, i);
+        }
+    }
+
+    for (Lane &lane : lanes) {
+        lane.finish();
+        out.push_back(std::move(lane.r));
+    }
+    return out;
+}
+
+/** Streamed SoL with the best batch type the host can run. */
+std::vector<DynamicResult>
+runSolBestStreamed(const trace::ChunkedView &cv,
+                   const std::vector<DynamicConfig> &configs,
+                   SimContext &ctx, const StreamOptions &opt)
+{
+    if (util::simd::forceScalar() || !detail::solSimdRuntimeOk())
+        return detail::runSolSweepScalarStreamed(cv, configs, ctx, opt);
+    return detail::runSolSweepSimdStreamed(cv, configs, ctx, opt);
+}
+
 } // namespace
 
 std::vector<DynamicResult>
@@ -196,6 +252,46 @@ runDynamicSweep(const trace::TraceView &v,
                 const std::vector<DynamicConfig> &configs, SimContext &ctx)
 {
     return runDynamicSweep(v, configs, ctx, SweepMode::Auto);
+}
+
+std::vector<DynamicResult>
+runDynamicSweepStreamed(const trace::ChunkedView &cv,
+                        const std::vector<DynamicConfig> &configs,
+                        SimContext &ctx, SweepMode mode,
+                        const StreamOptions &opt)
+{
+    if (configs.empty())
+        return {};
+    switch (mode) {
+      case SweepMode::PerLaneTiled:
+        return runTiledSweepStreamed(cv, configs, ctx, opt);
+      case SweepMode::SoL:
+      case SweepMode::SoLScalar:
+        if (!solSweepSupported(configs))
+            throw std::invalid_argument(
+                "configs not runnable on the struct-of-lanes path "
+                "(see solSweepSupported)");
+        if (mode == SweepMode::SoLScalar)
+            return detail::runSolSweepScalarStreamed(cv, configs, ctx,
+                                                     opt);
+        return runSolBestStreamed(cv, configs, ctx, opt);
+      case SweepMode::Auto:
+        break;
+    }
+    // Same Auto policy as the flat dispatch: lockstep pays once the
+    // per-instruction dispatch is amortized over at least two lanes.
+    if (configs.size() >= 2 && solSweepSupported(configs))
+        return runSolBestStreamed(cv, configs, ctx, opt);
+    return runTiledSweepStreamed(cv, configs, ctx, opt);
+}
+
+std::vector<DynamicResult>
+runDynamicSweepStreamed(const trace::ChunkedView &cv,
+                        const std::vector<DynamicConfig> &configs,
+                        SimContext &ctx)
+{
+    return runDynamicSweepStreamed(cv, configs, ctx, SweepMode::Auto,
+                                   StreamOptions{});
 }
 
 // ------------------------------------------------------------------

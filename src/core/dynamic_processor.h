@@ -10,6 +10,10 @@
 #include "trace/trace.h"
 #include "trace/trace_view.h"
 
+namespace dsmem::trace {
+class ChunkedView;
+}
+
 namespace dsmem::core {
 
 class SimContext;
@@ -278,6 +282,49 @@ std::vector<DynamicResult> runDynamicSweep(
 std::vector<DynamicResult> runDynamicSweep(
     const trace::TraceView &v, const std::vector<DynamicConfig> &configs,
     SimContext &ctx);
+
+/** Decode-ahead pipeline knobs for the streaming executors. */
+struct StreamOptions {
+    /**
+     * 0 = decode tiles inline on the sweep thread (no thread spawned;
+     * right on single-core hosts, where the win is the traffic cut
+     * alone); 1 = one decode-ahead thread that keeps the tile ring
+     * filled while the sweep computes, hiding decode latency behind
+     * compute. Values > 1 behave as 1 (decode is sequential by
+     * construction: each section is one delta chain).
+     */
+    int decode_threads = 0;
+
+    /** Tiles in the recycled ring (threaded mode needs >= 3: one
+     *  being computed, one decoded ahead, one being written). */
+    size_t ring_tiles = 3;
+};
+
+/**
+ * Fused window sweep over a chunk-compressed trace: identical
+ * semantics and bit-identical per-cell results to
+ * runDynamicSweep(v, ...) on the flattened view — enforced by
+ * tests/test_executor.cc — but the trace stays compressed-resident
+ * (ChunkedView, ~4-8 B/instr) and is decoded chunk by chunk into an
+ * L2-resident tile ring that the sweep consumes in order, optionally
+ * with a decode-ahead thread (see StreamOptions). For sweeps whose
+ * flat view exceeds the LLC this trades the full-view memory stream
+ * for a cache-resident one; sim::sweepModeFor picks it automatically
+ * for such cells (--stream-exec).
+ *
+ * SweepMode::Auto maps to the streaming SoL pass when the configs
+ * support it and to the streaming tiled pass otherwise; explicit
+ * SoL/SoLScalar/PerLaneTiled select the matching streamed executor.
+ */
+std::vector<DynamicResult> runDynamicSweepStreamed(
+    const trace::ChunkedView &cv,
+    const std::vector<DynamicConfig> &configs, SimContext &ctx,
+    SweepMode mode, const StreamOptions &opt);
+
+/** runDynamicSweepStreamed with SweepMode::Auto, default options. */
+std::vector<DynamicResult> runDynamicSweepStreamed(
+    const trace::ChunkedView &cv,
+    const std::vector<DynamicConfig> &configs, SimContext &ctx);
 
 } // namespace dsmem::core
 

@@ -292,8 +292,17 @@ struct Lane {
         return completion_ring[src % W];
     }
 
-    /** Schedule trace instruction @p i (the body of run()'s loop). */
-    void step(const trace::TraceView &v, size_t i)
+    /**
+     * Schedule trace instruction @p i (the body of run()'s loop).
+     * Templated on the view type: @p v is either a flat
+     * trace::TraceView or a streamed trace::TileSpan (a decoded
+     * ChunkedView tile indexed by global position). The step reads
+     * the view only at index i, so the same instantiated logic runs
+     * over either backing — which is how streamed results stay
+     * bit-identical to flat ones by construction.
+     */
+    template <typename V>
+    void step(const V &v, size_t i)
     {
         using trace::Op;
         using trace::TraceView;

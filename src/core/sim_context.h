@@ -7,6 +7,7 @@
 
 #include "core/branch_predictor.h"
 #include "core/slot_allocator.h"
+#include "trace/chunked_view.h"
 #include "trace/instruction.h"
 #include "trace/op.h"
 #include "util/dary_heap.h"
@@ -103,6 +104,17 @@ class SimContext
         std::vector<uint64_t> hist;
     };
 
+    /**
+     * Streaming-executor scratch: the ring of decoded SoA tiles a
+     * TileStream (core/tile_stream.h) cycles a ChunkedView through.
+     * Tile columns grow monotonically (TraceTile vectors are resized,
+     * never shrunk), so a campaign of many streamed cells decodes
+     * into warm, already-faulted storage after the first.
+     */
+    struct TileScratch {
+        std::vector<trace::TraceTile> tiles;
+    };
+
     /** Lane @p k, created on first use and recycled afterwards. */
     DynLane &lane(size_t k)
     {
@@ -115,12 +127,15 @@ class SimContext
 
     SolScratch &solScratch() { return sol_scratch_; }
 
+    TileScratch &tileScratch() { return tile_scratch_; }
+
     size_t laneCount() const { return lanes_.size(); }
 
   private:
     std::deque<DynLane> lanes_; ///< deque: stable lane addresses.
     StaticScratch static_scratch_;
     SolScratch sol_scratch_;
+    TileScratch tile_scratch_;
 };
 
 } // namespace dsmem::core

@@ -59,6 +59,15 @@ runSolSweepScalar(const trace::TraceView &v,
     return runSolSweepImpl<util::simd::U64x4Scalar>(v, configs, ctx);
 }
 
+std::vector<DynamicResult>
+runSolSweepScalarStreamed(const trace::ChunkedView &cv,
+                          const std::vector<DynamicConfig> &configs,
+                          SimContext &ctx, const StreamOptions &opt)
+{
+    return runSolSweepStreamedImpl<util::simd::U64x4Scalar>(cv, configs,
+                                                            ctx, opt);
+}
+
 bool
 solSimdRuntimeOk()
 {

@@ -26,4 +26,13 @@ runSolSweepSimd(const trace::TraceView &v,
     return runSolSweepImpl<util::simd::U64Batch>(v, configs, ctx);
 }
 
+std::vector<DynamicResult>
+runSolSweepSimdStreamed(const trace::ChunkedView &cv,
+                        const std::vector<DynamicConfig> &configs,
+                        SimContext &ctx, const StreamOptions &opt)
+{
+    return runSolSweepStreamedImpl<util::simd::U64Batch>(cv, configs,
+                                                         ctx, opt);
+}
+
 } // namespace dsmem::core::detail

@@ -1,0 +1,157 @@
+#ifndef DSMEM_CORE_TILE_STREAM_H
+#define DSMEM_CORE_TILE_STREAM_H
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/dynamic_processor.h"
+#include "core/sim_context.h"
+#include "trace/chunked_view.h"
+
+// ------------------------------------------------------------------
+// Internal header: the decode-ahead pipeline between a compressed
+// ChunkedView and the streaming sweep executors. Not part of the
+// public API.
+// ------------------------------------------------------------------
+
+namespace dsmem::core::detail {
+
+/**
+ * Sequential tile producer over a ChunkedView: next() hands out the
+ * trace's chunks in order as decoded TraceTiles, recycling a small
+ * ring of tiles borrowed from SimContext::TileScratch (so a campaign
+ * of many streamed cells allocates the ring once). A tile returned by
+ * next() stays valid until the following next() call.
+ *
+ * Two modes, selected by StreamOptions::decode_threads:
+ *
+ *  - 0 (inline): next() decodes the chunk on the caller's thread.
+ *    There is no decode/compute overlap, but the working set is one
+ *    L2-resident tile instead of the whole flat trace — on a
+ *    memory-bound sweep that traffic cut is the win, and it is the
+ *    right default on single-core hosts where a decoder thread would
+ *    just time-slice against the sweep.
+ *
+ *  - 1 (decode-ahead thread): a single producer thread decodes up to
+ *    ring_tiles - 1 chunks ahead into the ring while the caller's
+ *    sweep computes the current tile, hiding the decode latency
+ *    entirely when compute per tile exceeds decode per tile. Classic
+ *    bounded single-producer/single-consumer handoff: all indices are
+ *    exchanged under one mutex (TSan-clean), and a slot is never
+ *    rewritten until the consumer has moved past it.
+ *
+ * A decode error on the producer thread (impossible for a validated
+ * ChunkedView, but kept honest) is captured and rethrown from
+ * next().
+ */
+class TileStream
+{
+  public:
+    TileStream(const trace::ChunkedView &cv, SimContext &ctx,
+               const StreamOptions &opt)
+        : cv_(cv), ring_(ctx.tileScratch().tiles),
+          threaded_(opt.decode_threads > 0 && cv.chunkCount() > 1)
+    {
+        const size_t min_ring = threaded_ ? 3 : 1;
+        if (ring_.size() < std::max(opt.ring_tiles, min_ring))
+            ring_.resize(std::max(opt.ring_tiles, min_ring));
+        if (threaded_)
+            producer_ = std::thread([this] { produce(); });
+    }
+
+    ~TileStream()
+    {
+        if (producer_.joinable()) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                stop_ = true;
+            }
+            cv_slot_.notify_all();
+            producer_.join();
+        }
+    }
+
+    TileStream(const TileStream &) = delete;
+    TileStream &operator=(const TileStream &) = delete;
+
+    /** Next tile in trace order, or nullptr after the last chunk. */
+    const trace::TraceTile *next()
+    {
+        if (!threaded_) {
+            if (handed_ >= cv_.chunkCount())
+                return nullptr;
+            trace::TraceTile &t = ring_[handed_ % ring_.size()];
+            cv_.decodeChunk(handed_, t);
+            ++handed_;
+            return &t;
+        }
+
+        std::unique_lock<std::mutex> lock(mu_);
+        // Release the previously handed-out slot for rewriting.
+        if (consumed_ < handed_) {
+            consumed_ = handed_;
+            cv_slot_.notify_all();
+        }
+        if (handed_ >= cv_.chunkCount()) {
+            if (err_)
+                std::rethrow_exception(err_);
+            return nullptr;
+        }
+        cv_tile_.wait(lock,
+                      [this] { return produced_ > handed_ || err_; });
+        if (err_)
+            std::rethrow_exception(err_);
+        return &ring_[handed_++ % ring_.size()];
+    }
+
+  private:
+    void produce()
+    {
+        const size_t chunks = cv_.chunkCount();
+        const size_t ring = ring_.size();
+        try {
+            for (size_t c = 0; c < chunks; ++c) {
+                {
+                    std::unique_lock<std::mutex> lock(mu_);
+                    cv_slot_.wait(lock, [&] {
+                        return produced_ - consumed_ < ring || stop_;
+                    });
+                    if (stop_)
+                        return;
+                }
+                cv_.decodeChunk(c, ring_[c % ring]);
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++produced_;
+                }
+                cv_tile_.notify_all();
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            err_ = std::current_exception();
+            cv_tile_.notify_all();
+        }
+    }
+
+    const trace::ChunkedView &cv_;
+    std::vector<trace::TraceTile> &ring_;
+    const bool threaded_;
+
+    size_t handed_ = 0; ///< Chunks handed to the consumer.
+
+    // Threaded-mode shared state, all under mu_.
+    std::mutex mu_;
+    std::condition_variable cv_tile_; ///< Producer -> consumer.
+    std::condition_variable cv_slot_; ///< Consumer -> producer.
+    size_t produced_ = 0; ///< Chunks fully decoded into the ring.
+    size_t consumed_ = 0; ///< Chunks the consumer has moved past.
+    bool stop_ = false;
+    std::exception_ptr err_;
+    std::thread producer_;
+};
+
+} // namespace dsmem::core::detail
+
+#endif // DSMEM_CORE_TILE_STREAM_H

@@ -46,6 +46,11 @@ Campaign::Campaign(std::string bench_name, RunnerOptions opts)
       store_(opts_.trace_dir),
       cache_(store_.enabled() ? &store_ : nullptr)
 {
+    store_.setStreamExec(opts_.stream_exec);
+    // In-memory (storeless) bundles make the same residency decision
+    // the store makes for disk loads, so DSMEM_STREAM_EXEC=on bites
+    // in tests and benches that clear trace_dir.
+    cache_.setStreamExec(opts_.stream_exec);
     // Absorbed store failures (failed renames/removes, quarantines)
     // surface as non-fatal campaign errors instead of vanishing.
     store_.setErrorHandler(
@@ -397,7 +402,11 @@ Campaign::run()
                                              first.small, &origin,
                                              &timing);
                     if (want_points)
-                        lp = resolveLivePoints(first, *bundle->view);
+                        // Sampling's functional warming needs random
+                        // access; a chunked bundle flattens (memoized)
+                        // for this pass only.
+                        lp = resolveLivePoints(first,
+                                               *bundle->flatView());
                     break;
                 } catch (const util::IoError &e) {
                     transient = e.what();
@@ -441,7 +450,6 @@ Campaign::run()
                                       static_cast<int>(attempt),
                                       false});
 
-            std::shared_ptr<const trace::TraceView> view = bundle->view;
             for (size_t u : unit_ids) {
                 results_[u].bundle = bundle;
                 results_[u].origin = origin;
@@ -461,8 +469,8 @@ Campaign::run()
                 for (sim::ExecGroup &g : sim::planPhase2(
                          unit.specs, results_[u].row_done, lane_cap)) {
                     runner.submit(
-                        [this, view, u, g = std::move(g), lp] {
-                            runGroup(view, u, g, lp);
+                        [this, bundle, u, g = std::move(g), lp] {
+                            runGroup(bundle, u, g, lp);
                         });
                 }
             }
@@ -595,7 +603,7 @@ Campaign::runCellInline(size_t unit, size_t spec)
     if (results_[unit].row_done[spec])
         return true;
     const Unit &u = units_[unit];
-    std::shared_ptr<const trace::TraceView> view;
+    const sim::ViewBundle *vb = nullptr;
     std::shared_ptr<const sim::LivePointSet> lp;
     try {
         sim::TraceOrigin origin;
@@ -605,7 +613,7 @@ Campaign::runCellInline(size_t unit, size_t spec)
             &cache_.getView(u.app, u.mem, u.small, &origin, &timing);
         if (opts_.sampling.enabled() &&
             u.specs[spec].kind == sim::ModelSpec::Kind::DS)
-            lp = resolveLivePoints(u, *bundle->view);
+            lp = resolveLivePoints(u, *bundle->flatView());
         double wall = elapsedMs(start);
         if (results_[unit].bundle == nullptr &&
             !results_[unit].trace_from_journal) {
@@ -618,7 +626,7 @@ Campaign::runCellInline(size_t unit, size_t spec)
                 bundle->stats.instructions, wall, timing.gen_ms,
                 timing.load_ms});
         }
-        view = bundle->view;
+        vb = bundle;
     } catch (const std::exception &e) {
         recordError(unit,
                     UnitError{"phase1", e.what(),
@@ -627,7 +635,7 @@ Campaign::runCellInline(size_t unit, size_t spec)
     }
     sim::ExecGroup group;
     group.rows.push_back(spec);
-    runGroup(view, unit, group, lp);
+    runGroup(vb, unit, group, lp);
     return results_[unit].row_done[spec] != 0;
 }
 
@@ -655,8 +663,8 @@ Campaign::resolveLivePoints(const Unit &unit,
 }
 
 void
-Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
-                   size_t u, const sim::ExecGroup &group,
+Campaign::runGroup(const sim::ViewBundle *bundle, size_t u,
+                   const sim::ExecGroup &group,
                    const std::shared_ptr<const sim::LivePointSet> &lp)
 {
     // One simulation context per worker thread, recycled across every
@@ -689,8 +697,12 @@ Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
             for (size_t i = 0; i < group.rows.size(); ++i)
                 util::failpoint("campaign.phase2");
             if (sampled) {
+                // Sampled execution jumps between checkpointed
+                // windows — inherently random-access, so a chunked
+                // bundle flattens (memoized, shared across groups).
                 std::vector<sim::SampledCell> cells =
-                    sim::runGroupSampled(*view, unit.specs, group,
+                    sim::runGroupSampled(*bundle->flatView(),
+                                         unit.specs, group,
                                          opts_.sampling, *lp, sim_ctx);
                 results.clear();
                 for (size_t i = 0; i < cells.size(); ++i) {
@@ -699,7 +711,7 @@ Campaign::runGroup(const std::shared_ptr<const trace::TraceView> &view,
                 }
             } else {
                 results =
-                    sim::runGroup(*view, unit.specs, group, sim_ctx);
+                    sim::runGroup(*bundle, unit.specs, group, sim_ctx);
             }
             break;
         } catch (const util::IoError &e) {

@@ -259,8 +259,8 @@ class Campaign
      * journals individually, so --resume granularity is one cell no
      * matter how rows were grouped.
      */
-    void runGroup(const std::shared_ptr<const trace::TraceView> &view,
-                  size_t u, const sim::ExecGroup &group,
+    void runGroup(const sim::ViewBundle *bundle, size_t u,
+                  const sim::ExecGroup &group,
                   const std::shared_ptr<const sim::LivePointSet> &lp);
 
     /**

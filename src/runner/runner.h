@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/sampling.h"
+#include "sim/stream_exec.h"
 
 namespace dsmem::runner {
 
@@ -79,6 +80,17 @@ struct RunnerOptions {
      */
     bool store_gc = false;
     uint64_t store_gc_age_s = 7 * 24 * 3600;
+
+    /**
+     * Streaming-executor residency policy (sim/stream_exec.h): when
+     * the store loads a bundle whose flat view would spill the LLC
+     * (Auto) or always (On), the trace stays chunk-compressed and
+     * phase-2 DS sweeps stream decode-ahead tiles out of it instead
+     * of a flat SoA pass — same results, a fraction of the resident
+     * bytes. Off restores the unconditional flat view. The default
+     * honors DSMEM_STREAM_EXEC; CLI --stream-exec overrides it.
+     */
+    sim::StreamExec stream_exec = sim::streamExecFromEnv();
 
     /** jobs with the 0 default resolved. */
     unsigned resolvedJobs() const;

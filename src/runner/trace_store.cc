@@ -350,22 +350,46 @@ loadBundle(std::istream &is)
 sim::ViewBundle
 loadBundleView(std::istream &is)
 {
+    return loadBundleView(is, sim::StreamExec::Off);
+}
+
+sim::ViewBundle
+loadBundleView(std::istream &is, sim::StreamExec stream_exec)
+{
     util::ByteSource src(is);
     uint32_t version = readBundleHeader(src);
 
     sim::ViewBundle vb;
     sim::TraceBundle fields;
+
+    // The stats land before the embedded trace, so the residency
+    // decision can size the flat view without peeking at the trace
+    // section. Sync entries (locks, events, barriers) join
+    // stats.instructions to cover every trace record; they are a
+    // rounding error against the threshold either way.
+    auto decodeTrace = [&] {
+        uint64_t entries = fields.stats.instructions +
+            fields.stats.locks + fields.stats.unlocks +
+            fields.stats.wait_events + fields.stats.set_events +
+            fields.stats.barriers;
+        if (sim::shouldStream(static_cast<size_t>(entries),
+                              stream_exec))
+            vb.chunked = trace::loadTraceChunked(src);
+        else
+            vb.view = trace::loadTraceView(src);
+    };
+
     if (version == kBundleFormatV1) {
         uint64_t want_sum = src.readU64();
         uint64_t want_size = src.readU64();
         src.beginHash();
         readBundleFields(src, fields, version);
-        vb.view = trace::loadTraceView(src);
+        decodeTrace();
         checkV1Trailer(src, want_sum, want_size);
     } else {
         src.beginHash(util::FnvState::Fold::WORDS);
         readBundleFields(src, fields, version);
-        vb.view = trace::loadTraceView(src);
+        decodeTrace();
         checkV2Trailer(src);
     }
     vb.stats = fields.stats;
@@ -578,7 +602,7 @@ TraceStore::loadView(sim::AppId id, const memsys::MemoryConfig &mem,
         std::ifstream is(path, std::ios::binary);
         if (!is)
             return std::nullopt;
-        auto vb = loadBundleView(is);
+        auto vb = loadBundleView(is, stream_exec_);
         bump(&StoreStats::load_hits);
         return vb;
     } catch (const util::IoError &) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/sampling.h"
+#include "sim/stream_exec.h"
 #include "sim/trace_bundle.h"
 
 namespace dsmem::runner {
@@ -74,6 +75,18 @@ sim::TraceBundle loadBundle(std::istream &is);
  * modes as loadBundle.
  */
 sim::ViewBundle loadBundleView(std::istream &is);
+
+/**
+ * loadBundleView with a streaming-residency policy: the bundle's
+ * stats section (decoded before the embedded trace) sizes the flat
+ * view, and when sim::shouldStream says it would spill the LLC the
+ * trace decodes straight into a chunk-compressed trace::ChunkedView
+ * (ViewBundle::chunked, view left null) — the flat SoA columns are
+ * never materialized, cutting the loader's peak memory to roughly the
+ * compressed trace. StreamExec::Off is exactly the overload above.
+ */
+sim::ViewBundle loadBundleView(std::istream &is,
+                               sim::StreamExec stream_exec);
 
 /**
  * Counters for everything the store did, including the failures it
@@ -170,6 +183,14 @@ class TraceStore : public sim::TraceStoreBase
     {
         on_error_ = std::move(handler);
     }
+
+    /**
+     * Streaming-residency policy loadView applies to every bundle it
+     * deserializes (default Off: always the flat view). Set before
+     * sharing the store across threads.
+     */
+    void setStreamExec(sim::StreamExec mode) { stream_exec_ = mode; }
+    sim::StreamExec streamExec() const { return stream_exec_; }
 
     /** Snapshot of the failure/activity counters. */
     StoreStats stats() const
@@ -280,6 +301,7 @@ class TraceStore : public sim::TraceStoreBase
     void quarantine(const std::filesystem::path &path);
 
     std::string dir_;
+    sim::StreamExec stream_exec_ = sim::StreamExec::Off;
     ErrorHandler on_error_;
     mutable std::mutex stats_mu_;
     StoreStats stats_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/base_processor.h"
+#include "sim/stream_exec.h"
+#include "sim/trace_bundle.h"
 
 namespace dsmem::sim {
 
@@ -162,6 +164,54 @@ runGroup(const trace::TraceView &view, const std::vector<ModelSpec> &specs,
         configs.push_back(dynamicConfigFor(specs[s]));
     std::vector<core::DynamicResult> swept =
         core::runDynamicSweep(view, configs, ctx, sweepModeFor(configs));
+
+    std::vector<RunResult> out;
+    out.reserve(swept.size());
+    for (core::DynamicResult &r : swept)
+        out.push_back(static_cast<RunResult &&>(std::move(r)));
+    return out;
+}
+
+std::vector<RunResult>
+runGroup(const ViewBundle &vb, const std::vector<ModelSpec> &specs,
+         const ExecGroup &group, core::SimContext &ctx)
+{
+    if (!vb.chunked)
+        return runGroup(*vb.view, specs, group, ctx);
+    const trace::ChunkedView &cv = *vb.chunked;
+
+    if (!group.fused) {
+        std::vector<RunResult> out;
+        out.reserve(group.rows.size());
+        for (size_t s : group.rows) {
+            if (specs[s].kind == ModelSpec::Kind::DS) {
+                // A one-lane streamed tiled sweep is the same Lane
+                // state machine DynamicProcessor::run steps, fed tile
+                // by tile — bit-identical, no flat view needed.
+                std::vector<core::DynamicConfig> one{
+                    dynamicConfigFor(specs[s])};
+                std::vector<core::DynamicResult> swept =
+                    core::runDynamicSweepStreamed(
+                        cv, one, ctx, sweepModeFor(one),
+                        streamOptions());
+                out.push_back(
+                    static_cast<RunResult &&>(std::move(swept[0])));
+            } else {
+                out.push_back(
+                    runModel(*cv.flatten(), specs[s], ctx));
+            }
+        }
+        return out;
+    }
+
+    std::vector<core::DynamicConfig> configs;
+    configs.reserve(group.rows.size());
+    for (size_t s : group.rows)
+        configs.push_back(dynamicConfigFor(specs[s]));
+    std::vector<core::DynamicResult> swept =
+        core::runDynamicSweepStreamed(cv, configs, ctx,
+                                      sweepModeFor(configs),
+                                      streamOptions());
 
     std::vector<RunResult> out;
     out.reserve(swept.size());

@@ -103,6 +103,25 @@ std::vector<core::RunResult> runGroup(const trace::TraceView &view,
                                       const ExecGroup &group,
                                       core::SimContext &ctx);
 
+struct ViewBundle;
+
+/**
+ * runGroup against a bundle whose trace may be resident in
+ * chunk-compressed form (ViewBundle::chunked — see sim/stream_exec.h).
+ * Flat bundles take the exact runGroup(view, ...) path above. Chunked
+ * bundles execute DS rows — fused sweeps and singletons alike — with
+ * the streaming executor (core::runDynamicSweepStreamed), decoding
+ * L2-sized tiles on the fly instead of materializing the flat SoA;
+ * results are bit-identical to the flat path. Non-DS rows need the
+ * whole-trace random access the static models take (first-use
+ * distances), so they run against ChunkedView::flatten() — memoized,
+ * so a mixed campaign pays the flatten once.
+ */
+std::vector<core::RunResult> runGroup(const ViewBundle &vb,
+                                      const std::vector<ModelSpec> &specs,
+                                      const ExecGroup &group,
+                                      core::SimContext &ctx);
+
 /**
  * The adaptive lane cap for a campaign with @p pending_ds_rows DS
  * cells still to run on @p jobs workers. One worker: fuse without

@@ -35,6 +35,18 @@ makeViewBundle(const TraceBundle &bundle)
     return vb;
 }
 
+ViewBundle
+makeViewBundle(const TraceBundle &bundle, StreamExec mode)
+{
+    ViewBundle vb = makeViewBundle(bundle);
+    if (shouldStream(vb.view->size(), mode)) {
+        vb.chunked =
+            std::make_shared<trace::ChunkedView>(*vb.view);
+        vb.view.reset();
+    }
+    return vb;
+}
+
 TraceBundle
 generateTrace(AppId id, const memsys::MemoryConfig &mem, bool small)
 {
@@ -166,7 +178,7 @@ TraceCache::getView(AppId id, const memsys::MemoryConfig &mem,
         if (entry.bundle) {
             // The AoS shape is resident; derive the view in memory.
             entry.vbundle = std::make_unique<ViewBundle>(
-                makeViewBundle(*entry.bundle));
+                makeViewBundle(*entry.bundle, stream_exec_));
             if (origin)
                 *origin = TraceOrigin::MEMORY;
             if (timing)
@@ -199,7 +211,7 @@ TraceCache::getView(AppId id, const memsys::MemoryConfig &mem,
             took.gen_ms = msSince(t0);
             if (store_)
                 store_->store(id, mem, small, bundle);
-            vbundle = makeViewBundle(bundle);
+            vbundle = makeViewBundle(bundle, stream_exec_);
         }
     } catch (...) {
         lock.lock();

@@ -12,6 +12,8 @@
 #include "memsys/memory_system.h"
 #include "mp/thread_context.h"
 #include "sim/app_registry.h"
+#include "sim/stream_exec.h"
+#include "trace/chunked_view.h"
 #include "trace/trace.h"
 #include "trace/trace_stats.h"
 #include "trace/trace_view.h"
@@ -44,19 +46,57 @@ struct TraceBundle {
  * TraceView instead of the AoS trace. The timing models and the
  * Campaign only ever read the view, so the direct-to-view bundle
  * loader can fill this without materializing a Trace at all.
+ *
+ * Exactly one of {view, chunked} is set. When the streaming-executor
+ * policy (sim/stream_exec.h) keeps a big trace chunk-compressed,
+ * `chunked` holds the resident form and `view` stays null: dynamic
+ * sweeps stream tiles straight out of it, and the rare consumer that
+ * needs random access flattens on demand (ChunkedView::flatten is
+ * memoized). flatView() hides the distinction for such consumers.
  */
 struct ViewBundle {
     std::shared_ptr<const trace::TraceView> view;
+    std::shared_ptr<const trace::ChunkedView> chunked;
     trace::TraceStats stats;
     memsys::CacheStats cache0;
     mp::ThreadStats thread0;
     uint64_t mp_cycles = 0;
     bool verified = false;
     memsys::DramSummary dram; ///< Empty when the DRAM model was off.
+
+    /** The flat view, flattening the chunked form on first demand. */
+    std::shared_ptr<const trace::TraceView> flatView() const
+    {
+        if (view)
+            return view;
+        return chunked ? chunked->flatten() : nullptr;
+    }
+
+    /** Bytes the resident trace form occupies (flat or compressed). */
+    size_t traceBytesResident() const
+    {
+        if (chunked)
+            return chunked->bytesResident();
+        return view ? static_cast<size_t>(
+                          static_cast<double>(view->size()) *
+                          trace::TraceView::bytesPerInstr())
+                    : 0;
+    }
 };
 
 /** Build the view-shaped twin of @p bundle (shares nothing with it). */
 ViewBundle makeViewBundle(const TraceBundle &bundle);
+
+/**
+ * makeViewBundle honoring the streaming-residency policy: when
+ * shouldStream(@p mode) says the flat view would spill the LLC (or
+ * streaming is forced on), the result carries the chunk-compressed
+ * form instead of the flat SoA — the same decision loadBundleView
+ * makes on the disk path, applied to in-memory generation so
+ * DSMEM_STREAM_EXEC=on exercises the streaming executors even in
+ * storeless runs.
+ */
+ViewBundle makeViewBundle(const TraceBundle &bundle, StreamExec mode);
 
 /**
  * Run the 16-processor multiprocessor simulation for @p id and
@@ -141,6 +181,13 @@ class TraceCache
     /** Set (or clear) the persistent layer; not thread safe. */
     void setStore(TraceStoreBase *store) { store_ = store; }
 
+    /**
+     * Residency policy for bundles derived in memory (the store
+     * applies its own copy to disk loads); not thread safe. Off by
+     * default so non-campaign users keep the flat view.
+     */
+    void setStreamExec(StreamExec mode) { stream_exec_ = mode; }
+
     const TraceBundle &get(AppId id,
                            const memsys::MemoryConfig &mem = {},
                            bool small = false,
@@ -171,6 +218,7 @@ class TraceCache
     std::mutex mu_;
     std::condition_variable cv_;
     TraceStoreBase *store_ = nullptr;
+    StreamExec stream_exec_ = StreamExec::Off;
 };
 
 } // namespace dsmem::sim

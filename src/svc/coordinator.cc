@@ -296,6 +296,10 @@ Coordinator::handleResult(Slot &slot, const ResultMsg &msg)
     slot.leased.erase(
         std::remove(slot.leased.begin(), slot.leased.end(), cell),
         slot.leased.end());
+    stats_.peak_rss_bytes =
+        std::max(stats_.peak_rss_bytes, msg.peak_rss_bytes);
+    stats_.view_bytes_resident =
+        std::max(stats_.view_bytes_resident, msg.view_bytes_resident);
     if (msg.has_trace)
         campaign_.acceptRemoteTrace(msg.unit, msg.trace_origin,
                                     msg.trace_instructions,
@@ -529,6 +533,8 @@ Coordinator::run()
         welcome.max_attempts = campaign_.options().max_attempts;
         welcome.backoff_base_ms = campaign_.options().backoff_base_ms;
         welcome.backoff_cap_ms = campaign_.options().backoff_cap_ms;
+        welcome.stream_exec = static_cast<uint8_t>(
+            campaign_.options().stream_exec);
         welcome.plan = campaign_.options().sampling;
         for (size_t u = 0; u < campaign_.size(); ++u) {
             UnitDecl decl;
@@ -662,6 +668,11 @@ Coordinator::statsJson() const
     field("inline_cells", stats_.inline_cells);
     field("heartbeats", stats_.heartbeats);
     field("failed_cells", stats_.failed_cells);
+    field("peak_rss_bytes", stats_.peak_rss_bytes);
+    field("view_bytes_resident", stats_.view_bytes_resident);
+    s += ",\"stream_exec\":\"";
+    s += sim::streamExecName(campaign_.options().stream_exec);
+    s += "\"";
     s += ",\"per_worker\":[";
     for (size_t k = 0; k < stats_.cells_by_worker.size(); ++k) {
         if (k)

@@ -27,6 +27,13 @@ struct ServiceStats {
     uint64_t inline_cells = 0;  ///< Cells run in-process (pool dead).
     uint64_t heartbeats = 0;    ///< HEARTBEAT frames received.
     uint64_t failed_cells = 0;  ///< Worker-reported permanent failures.
+    /** Max worker-reported peak RSS (bytes) across all results — the
+     *  pool's per-process memory high-water mark. */
+    uint64_t peak_rss_bytes = 0;
+    /** Max worker-reported resident trace bytes (compressed chunks
+     *  when the streaming policy kept the trace chunked, the flat SoA
+     *  footprint otherwise). */
+    uint64_t view_bytes_resident = 0;
     /** Rows accepted per worker slot (index = slot id). */
     std::vector<uint64_t> cells_by_worker;
     /** Deaths per worker slot. */

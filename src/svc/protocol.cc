@@ -424,6 +424,7 @@ std::string encodeWelcome(const WelcomeMsg &m)
     w.u32(m.max_attempts);
     w.u32(m.backoff_base_ms);
     w.u32(m.backoff_cap_ms);
+    w.u8(m.stream_exec);
     putSamplingPlan(w, m.plan);
     w.u32(static_cast<uint32_t>(m.units.size()));
     for (const UnitDecl &u : m.units) {
@@ -447,6 +448,7 @@ bool decodeWelcome(const std::string &p, WelcomeMsg &m)
     m.max_attempts = r.u32();
     m.backoff_base_ms = r.u32();
     m.backoff_cap_ms = r.u32();
+    m.stream_exec = r.u8();
     m.plan = getSamplingPlan(r);
     uint32_t units = r.u32();
     if (!r.ok || units > 1u << 20)
@@ -504,6 +506,8 @@ std::string encodeResult(const ResultMsg &m)
     w.f64(m.trace_wall_ms);
     w.f64(m.gen_ms);
     w.f64(m.load_ms);
+    w.u64(m.peak_rss_bytes);
+    w.u64(m.view_bytes_resident);
     return std::move(w.buf);
 }
 
@@ -524,6 +528,8 @@ bool decodeResult(const std::string &p, ResultMsg &m)
     m.trace_wall_ms = r.f64();
     m.gen_ms = r.f64();
     m.load_ms = r.f64();
+    m.peak_rss_bytes = r.u64();
+    m.view_bytes_resident = r.u64();
     return r.done();
 }
 

@@ -165,6 +165,10 @@ struct WelcomeMsg {
     uint32_t max_attempts = 3;
     uint32_t backoff_base_ms = 10;
     uint32_t backoff_cap_ms = 1000;
+    /** static_cast of sim::StreamExec: the trace-residency policy the
+     *  worker's TraceStore applies (chunk-compressed streaming vs flat
+     *  view — see sim/stream_exec.h). */
+    uint8_t stream_exec = 0;
     sim::SamplingPlan plan;
     std::vector<UnitDecl> units;
 };
@@ -191,6 +195,12 @@ struct ResultMsg {
     double trace_wall_ms = 0.0;
     double gen_ms = 0.0;
     double load_ms = 0.0;
+    /** Worker-process memory accounting (the streaming executor's
+     *  acceptance metric): getrusage peak RSS at result time, and the
+     *  bytes the cell's trace held resident (compressed chunks when
+     *  streamed, the full SoA footprint when flat). */
+    uint64_t peak_rss_bytes = 0;
+    uint64_t view_bytes_resident = 0;
 };
 
 struct HeartbeatMsg {

@@ -22,6 +22,7 @@
 #include "util/byte_io.h"
 #include "util/errors.h"
 #include "util/failpoint.h"
+#include "util/sysinfo.h"
 
 namespace dsmem::svc {
 
@@ -162,7 +163,7 @@ runCell(WorkerState &st, const AssignMsg &a)
     // Phase 1: trace through the shared on-disk store. Transient
     // faults retry with the campaign's backoff; anything else is a
     // permanent cell failure the coordinator records (not re-led).
-    std::shared_ptr<const trace::TraceView> view;
+    const sim::ViewBundle *vb = nullptr;
     std::shared_ptr<const sim::LivePointSet> lp;
     const std::string salt1 =
         "phase1:" + std::string(sim::appName(app));
@@ -175,9 +176,10 @@ runCell(WorkerState &st, const AssignMsg &a)
                 app, u.mem, u.small != 0, &origin, &timing);
             if (st.cfg.plan.enabled() &&
                 spec.kind == sim::ModelSpec::Kind::DS)
-                lp = resolveLivePoints(st, a.unit, *bundle.view);
+                lp = resolveLivePoints(st, a.unit,
+                                       *bundle.flatView());
             double wall = elapsedMs(start);
-            view = bundle.view;
+            vb = &bundle;
             if (!st.trace_sent[a.unit]) {
                 st.trace_sent[a.unit] = true;
                 out.has_trace = 1;
@@ -220,16 +222,19 @@ runCell(WorkerState &st, const AssignMsg &a)
             util::failpoint("campaign.phase2");
             if (sampled) {
                 std::vector<sim::SampledCell> cells =
-                    sim::runGroupSampled(*view, u.specs, group,
-                                         st.cfg.plan, *lp, sim_ctx);
+                    sim::runGroupSampled(*vb->flatView(), u.specs,
+                                         group, st.cfg.plan, *lp,
+                                         sim_ctx);
                 out.result = cells.front().result;
                 out.sampling = cells.front().sampling;
             } else {
                 out.result =
-                    sim::runGroup(*view, u.specs, group, sim_ctx)
+                    sim::runGroup(*vb, u.specs, group, sim_ctx)
                         .front();
             }
             out.wall_ms = elapsedMs(t0);
+            out.peak_rss_bytes = util::peakRssBytes();
+            out.view_bytes_resident = vb->traceBytesResident();
             return out;
         } catch (const util::IoError &e) {
             if (attempt < st.cfg.max_attempts) {
@@ -300,6 +305,8 @@ workerMain(const WorkerOptions &opts)
     }
     st.store =
         std::make_unique<runner::TraceStore>(st.cfg.trace_dir);
+    st.store->setStreamExec(
+        static_cast<sim::StreamExec>(st.cfg.stream_exec));
     st.cache = std::make_unique<sim::TraceCache>(
         st.store->enabled() ? st.store.get() : nullptr);
 

@@ -1,0 +1,384 @@
+#include "trace/chunked_view.h"
+
+#include "trace/trace_format.h"
+#include "util/byte_io.h"
+#include "util/errors.h"
+
+namespace dsmem::trace {
+
+namespace {
+
+using detail::kMetaOpMask;
+using detail::kMetaSrcMask;
+using detail::kMetaSrcShift;
+using detail::kMetaTakenShift;
+
+/** Append @p v to @p out in canonical LEB128. */
+inline void
+appendVarint(std::vector<uint8_t> &out, uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/**
+ * Tight in-memory varint reader over a resident section buffer. The
+ * buffers are written by this translation unit from validated 32-bit
+ * values, so decoding needs no bounds or malformed-encoding checks —
+ * every value is a canonical <= 5-byte varint of a uint32.
+ */
+class VarintReader
+{
+  public:
+    explicit VarintReader(const uint8_t *p) : p_(p) {}
+
+    uint32_t next()
+    {
+        uint32_t b = *p_++;
+        if (b < 0x80) [[likely]]
+            return b;
+        // Two-byte values (deltas 128..16383) are the common slow
+        // case; peel them before the general loop.
+        uint32_t v = b & 0x7F;
+        b = *p_++;
+        if (b < 0x80) [[likely]]
+            return v | (b << 7);
+        v |= (b & 0x7F) << 7;
+        unsigned shift = 14;
+        do {
+            b = *p_++;
+            v |= (b & 0x7F) << shift;
+            shift += 7;
+        } while (b & 0x80);
+        return v;
+    }
+
+  private:
+    const uint8_t *p_;
+};
+
+/**
+ * Decode-side lookup tables indexed by the packed meta byte. Built
+ * once from the same classifyInst/fuClass the flat view uses — with
+ * the kMiss bit (the only latency-dependent classification) split
+ * out — so the table path cannot drift from the flat view's flags.
+ * Turns the per-instruction classification (an out-of-line call plus
+ * eight predicate branches) into two loads and an or.
+ */
+struct MetaTables {
+    uint8_t fu[256];
+    uint8_t flags_base[256]; ///< classifyInst at latency 1 (no miss).
+    uint8_t miss_bit[256];   ///< kMiss iff latency > 1 would add it.
+
+    MetaTables()
+    {
+        for (unsigned m = 0; m < 256; ++m) {
+            const unsigned raw_op = m & kMetaOpMask;
+            fu[m] = 0;
+            flags_base[m] = 0;
+            miss_bit[m] = 0;
+            if (raw_op >= kNumOps)
+                continue;
+            const Op op = static_cast<Op>(raw_op);
+            const bool taken = (m >> kMetaTakenShift) & 1u;
+            fu[m] = static_cast<uint8_t>(fuClass(op));
+            flags_base[m] = detail::classifyInst(op, 1, taken);
+            miss_bit[m] = static_cast<uint8_t>(
+                detail::classifyInst(op, 2, taken) ^ flags_base[m]);
+        }
+    }
+};
+
+const MetaTables &
+metaTables()
+{
+    static const MetaTables tables;
+    return tables;
+}
+
+/**
+ * Validate one source reference the way TraceView(Parts) does: the
+ * producer must be an earlier instruction whose op produces a value.
+ * @p producer_meta is the producer's raw meta byte (valid only when
+ * the index check passes).
+ */
+inline bool
+validSource(InstIndex producer, size_t i, const uint8_t *meta)
+{
+    if (producer == kNoSrc || producer >= i)
+        return false;
+    return producesValue(
+        static_cast<Op>(meta[producer] & kMetaOpMask));
+}
+
+} // namespace
+
+ChunkedView::ChunkedView(const TraceView &v) : name_(v.name()), n_(v.size())
+{
+    const size_t chunks = (n_ + kChunkInstrs - 1) / kChunkInstrs;
+    dir_.resize(chunks);
+    meta_.resize(n_);
+
+    // Rough reserve: ~1 byte/src-delta + 1-2 bytes each for
+    // addr/lat/aux keeps the append loops realloc-light.
+    srcs_bytes_.reserve(n_);
+    addr_bytes_.reserve(n_ * 2);
+    lat_bytes_.reserve(n_);
+    aux_bytes_.reserve(n_);
+
+    uint32_t addr_prev = 0;
+    uint32_t lat_prev = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+        ChunkDir &d = dir_[c];
+        d.srcs_off = srcs_bytes_.size();
+        d.addr_off = addr_bytes_.size();
+        d.lat_off = lat_bytes_.size();
+        d.aux_off = aux_bytes_.size();
+        d.addr_prev = addr_prev;
+        d.lat_prev = lat_prev;
+
+        const size_t lo = c * kChunkInstrs;
+        const size_t hi = std::min(n_, lo + kChunkInstrs);
+        for (size_t i = lo; i < hi; ++i) {
+            const uint8_t ns = v.numSrcs(i);
+            meta_[i] = detail::packMeta(v.op(i), ns, v.taken(i));
+            const InstIndex *src = v.srcs(i);
+            for (uint8_t s = 0; s < ns; ++s) {
+                appendVarint(srcs_bytes_,
+                             static_cast<uint32_t>(i) - src[s]);
+            }
+            appendVarint(addr_bytes_,
+                         util::zigzag32(v.addr(i) - addr_prev));
+            addr_prev = v.addr(i);
+            appendVarint(lat_bytes_,
+                         util::zigzag32(v.latency(i) - lat_prev));
+            lat_prev = v.latency(i);
+            appendVarint(aux_bytes_, v.aux(i));
+        }
+    }
+    srcs_bytes_.shrink_to_fit();
+    addr_bytes_.shrink_to_fit();
+    lat_bytes_.shrink_to_fit();
+    aux_bytes_.shrink_to_fit();
+}
+
+ChunkedView::ChunkedView(util::ByteSource &src, std::string name,
+                         size_t n)
+    : name_(std::move(name)), n_(n)
+{
+    const size_t chunks = (n_ + kChunkInstrs - 1) / kChunkInstrs;
+    dir_.resize(chunks);
+
+    // The v2 sections arrive in order (meta, srcs, addr, latency,
+    // aux), so one sequential pass re-slices each into its resident
+    // buffer while recording the per-chunk offsets and accumulator
+    // seeds. Values are decoded (never blind-copied) so this path
+    // validates exactly what the flat loaders validate: opcode range,
+    // and SSA form via the meta bytes as the producer-opcode table.
+    meta_.resize(n_);
+    if (n_ > 0)
+        src.read(meta_.data(), n_);
+    for (size_t i = 0; i < n_; ++i) {
+        if ((meta_[i] & kMetaOpMask) >= kNumOps)
+            throw util::FormatError("malformed trace: bad opcode");
+    }
+
+    srcs_bytes_.reserve(n_);
+    for (size_t c = 0; c < chunks; ++c) {
+        dir_[c].srcs_off = srcs_bytes_.size();
+        const size_t lo = c * kChunkInstrs;
+        const size_t hi = std::min(n_, lo + kChunkInstrs);
+        for (size_t i = lo; i < hi; ++i) {
+            const uint8_t ns = (meta_[i] >> kMetaSrcShift) & kMetaSrcMask;
+            for (uint8_t s = 0; s < ns; ++s) {
+                const uint32_t delta = src.readVarint32();
+                const InstIndex producer =
+                    static_cast<uint32_t>(i) - delta;
+                if (!validSource(producer, i, meta_.data()))
+                    throw util::FormatError(
+                        "malformed trace: SSA check failed");
+                appendVarint(srcs_bytes_, delta);
+            }
+        }
+    }
+
+    addr_bytes_.reserve(n_ * 2);
+    uint32_t prev = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+        dir_[c].addr_off = addr_bytes_.size();
+        dir_[c].addr_prev = prev;
+        const size_t lo = c * kChunkInstrs;
+        const size_t hi = std::min(n_, lo + kChunkInstrs);
+        for (size_t i = lo; i < hi; ++i) {
+            const uint32_t z = src.readVarint32();
+            prev += util::unzigzag32(z);
+            appendVarint(addr_bytes_, z);
+        }
+    }
+
+    lat_bytes_.reserve(n_);
+    prev = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+        dir_[c].lat_off = lat_bytes_.size();
+        dir_[c].lat_prev = prev;
+        const size_t lo = c * kChunkInstrs;
+        const size_t hi = std::min(n_, lo + kChunkInstrs);
+        for (size_t i = lo; i < hi; ++i) {
+            const uint32_t z = src.readVarint32();
+            prev += util::unzigzag32(z);
+            appendVarint(lat_bytes_, z);
+        }
+    }
+
+    aux_bytes_.reserve(n_);
+    for (size_t c = 0; c < chunks; ++c) {
+        dir_[c].aux_off = aux_bytes_.size();
+        const size_t lo = c * kChunkInstrs;
+        const size_t hi = std::min(n_, lo + kChunkInstrs);
+        for (size_t i = lo; i < hi; ++i)
+            appendVarint(aux_bytes_, src.readVarint32());
+    }
+
+    srcs_bytes_.shrink_to_fit();
+    addr_bytes_.shrink_to_fit();
+    lat_bytes_.shrink_to_fit();
+    aux_bytes_.shrink_to_fit();
+}
+
+void
+ChunkedView::decodeChunk(size_t c, TraceTile &tile) const
+{
+    const ChunkDir &d = dir_[c];
+    const size_t lo = c * kChunkInstrs;
+    const size_t cnt = chunkLength(c);
+    tile.base = lo;
+    tile.count = cnt;
+    tile.ops.resize(cnt);
+    tile.fu.resize(cnt);
+    tile.flags.resize(cnt);
+    tile.num_srcs.resize(cnt);
+    tile.srcs.resize(cnt);
+    tile.addr.resize(cnt);
+    tile.latency.resize(cnt);
+    tile.aux.resize(cnt);
+
+    const MetaTables &t = metaTables();
+    const uint8_t *meta = meta_.data() + lo;
+    for (size_t j = 0; j < cnt; ++j) {
+        const uint8_t m = meta[j];
+        tile.ops[j] = static_cast<Op>(m & kMetaOpMask);
+        tile.fu[j] = t.fu[m];
+        tile.num_srcs[j] = (m >> kMetaSrcShift) & kMetaSrcMask;
+    }
+
+    VarintReader sr(srcs_bytes_.data() + d.srcs_off);
+    for (size_t j = 0; j < cnt; ++j) {
+        auto &slots = tile.srcs[j];
+        const uint32_t self = static_cast<uint32_t>(lo + j);
+        // Unrolled by count (kMaxSrcs == 3): one predictable switch
+        // instead of two dependent per-slot loops.
+        static_assert(kMaxSrcs == 3,
+                      "srcs decode unroll assumes three slots");
+        switch (tile.num_srcs[j]) {
+          case 0:
+            slots[0] = kNoSrc;
+            slots[1] = kNoSrc;
+            slots[2] = kNoSrc;
+            break;
+          case 1:
+            slots[0] = self - sr.next();
+            slots[1] = kNoSrc;
+            slots[2] = kNoSrc;
+            break;
+          case 2:
+            slots[0] = self - sr.next();
+            slots[1] = self - sr.next();
+            slots[2] = kNoSrc;
+            break;
+          default:
+            slots[0] = self - sr.next();
+            slots[1] = self - sr.next();
+            slots[2] = self - sr.next();
+            break;
+        }
+    }
+
+    VarintReader ar(addr_bytes_.data() + d.addr_off);
+    uint32_t prev = d.addr_prev;
+    for (size_t j = 0; j < cnt; ++j) {
+        prev += util::unzigzag32(ar.next());
+        tile.addr[j] = prev;
+    }
+
+    VarintReader lr(lat_bytes_.data() + d.lat_off);
+    prev = d.lat_prev;
+    for (size_t j = 0; j < cnt; ++j) {
+        prev += util::unzigzag32(lr.next());
+        tile.latency[j] = prev;
+    }
+
+    VarintReader xr(aux_bytes_.data() + d.aux_off);
+    for (size_t j = 0; j < cnt; ++j)
+        tile.aux[j] = xr.next();
+
+    // Flags last: the kMiss bit needs the decoded latency. The tables
+    // are derived from classifyInst, so this stays bit-identical to
+    // the flat view's flags (branchless: miss_bit masked by the
+    // latency predicate).
+    for (size_t j = 0; j < cnt; ++j) {
+        const uint8_t m = meta[j];
+        tile.flags[j] = static_cast<uint8_t>(
+            t.flags_base[m] |
+            (t.miss_bit[m] &
+             static_cast<uint8_t>(-(tile.latency[j] > 1))));
+    }
+}
+
+size_t
+ChunkedView::bytesResident() const
+{
+    return meta_.size() + srcs_bytes_.size() + addr_bytes_.size() +
+        lat_bytes_.size() + aux_bytes_.size() +
+        dir_.size() * sizeof(ChunkDir) + name_.size();
+}
+
+std::shared_ptr<const TraceView>
+ChunkedView::flatten() const
+{
+    std::lock_guard<std::mutex> lock(flat_mu_);
+    if (flat_)
+        return flat_;
+
+    TraceView::Parts parts;
+    parts.name = name_;
+    parts.ops.resize(n_);
+    parts.num_srcs.resize(n_);
+    parts.taken.resize(n_);
+    parts.srcs.resize(n_);
+    parts.addr.resize(n_);
+    parts.latency.resize(n_);
+    parts.aux.resize(n_);
+
+    TraceTile tile;
+    for (size_t c = 0; c < dir_.size(); ++c) {
+        decodeChunk(c, tile);
+        for (size_t j = 0; j < tile.count; ++j) {
+            const size_t i = tile.base + j;
+            parts.ops[i] = tile.ops[j];
+            parts.num_srcs[i] = tile.num_srcs[j];
+            parts.taken[i] =
+                (tile.flags[j] & TraceView::kTaken) ? 1 : 0;
+            parts.srcs[i] = tile.srcs[j];
+            parts.addr[i] = tile.addr[j];
+            parts.latency[i] = tile.latency[j];
+            parts.aux[i] = tile.aux[j];
+        }
+    }
+    flat_ = std::make_shared<const TraceView>(std::move(parts));
+    return flat_;
+}
+
+} // namespace dsmem::trace

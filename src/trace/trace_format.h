@@ -1,0 +1,39 @@
+#ifndef DSMEM_TRACE_TRACE_FORMAT_H
+#define DSMEM_TRACE_TRACE_FORMAT_H
+
+#include <cstdint>
+
+#include "trace/op.h"
+#include "trace/instruction.h"
+
+// ------------------------------------------------------------------
+// Internal header: the DSMT v2 per-instruction meta-byte packing,
+// shared by the stream codec (trace_io.cc) and the chunk-resident
+// view (chunked_view.cc), which stores the same byte layout in
+// memory. Not part of the public API.
+// ------------------------------------------------------------------
+
+namespace dsmem::trace::detail {
+
+// v2 meta byte: op in the low nibble, num_srcs and taken above it.
+// kNumOps (14) fits 4 bits and kMaxSrcs (3) fits 2; static_asserts in
+// packMeta keep the packing honest if either ever grows.
+inline constexpr uint8_t kMetaOpMask = 0x0F;
+inline constexpr unsigned kMetaSrcShift = 4;
+inline constexpr uint8_t kMetaSrcMask = 0x03;
+inline constexpr unsigned kMetaTakenShift = 6;
+
+inline uint8_t
+packMeta(Op op, uint8_t num_srcs, bool taken)
+{
+    static_assert(kNumOps <= 16, "op no longer fits the v2 meta nibble");
+    static_assert(kMaxSrcs <= 3, "num_srcs no longer fits 2 meta bits");
+    return static_cast<uint8_t>(static_cast<uint8_t>(op) |
+                                (num_srcs << kMetaSrcShift) |
+                                (static_cast<uint8_t>(taken)
+                                 << kMetaTakenShift));
+}
+
+} // namespace dsmem::trace::detail
+
+#endif // DSMEM_TRACE_TRACE_FORMAT_H

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "trace/chunked_view.h"
+#include "trace/trace_format.h"
 #include "util/errors.h"
 #include "util/failpoint.h"
 
@@ -13,28 +15,15 @@ namespace dsmem::trace {
 
 namespace {
 
+using detail::kMetaOpMask;
+using detail::kMetaSrcMask;
+using detail::kMetaSrcShift;
+using detail::kMetaTakenShift;
+using detail::packMeta;
+
 constexpr char kMagic[4] = {'D', 'S', 'M', 'T'};
 constexpr uint32_t kTraceFormatV1 = 1;
 constexpr size_t kRecordBytesV1 = 4 + 3 * 4 + 4 + 4 + 4;
-
-// v2 meta byte: op in the low nibble, num_srcs and taken above it.
-// kNumOps (14) fits 4 bits and kMaxSrcs (3) fits 2; static_asserts in
-// packMeta keep the packing honest if either ever grows.
-constexpr uint8_t kMetaOpMask = 0x0F;
-constexpr unsigned kMetaSrcShift = 4;
-constexpr uint8_t kMetaSrcMask = 0x03;
-constexpr unsigned kMetaTakenShift = 6;
-
-uint8_t
-packMeta(Op op, uint8_t num_srcs, bool taken)
-{
-    static_assert(kNumOps <= 16, "op no longer fits the v2 meta nibble");
-    static_assert(kMaxSrcs <= 3, "num_srcs no longer fits 2 meta bits");
-    return static_cast<uint8_t>(static_cast<uint8_t>(op) |
-                                (num_srcs << kMetaSrcShift) |
-                                (static_cast<uint8_t>(taken)
-                                 << kMetaTakenShift));
-}
 
 std::string
 readName(util::ByteSource &src, uint32_t name_len)
@@ -336,6 +325,28 @@ loadTraceView(std::istream &is)
 {
     util::ByteSource src(is);
     return loadTraceView(src);
+}
+
+std::shared_ptr<const ChunkedView>
+loadTraceChunked(util::ByteSource &src)
+{
+    util::failpoint("trace_io.load");
+    uint32_t version = readHeader(src);
+    if (version == kTraceFormatV1) {
+        // v1 has no streamable SoA body; decode flat, then chunk.
+        return std::make_shared<const ChunkedView>(
+            TraceView(loadBodyV1(src)));
+    }
+    std::string name = readName(src, src.readVarint32());
+    const size_t n = checkedCount(src, src.readVarint(), 4);
+    return std::make_shared<const ChunkedView>(src, std::move(name), n);
+}
+
+std::shared_ptr<const ChunkedView>
+loadTraceChunked(std::istream &is)
+{
+    util::ByteSource src(is);
+    return loadTraceChunked(src);
 }
 
 } // namespace dsmem::trace

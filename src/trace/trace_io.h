@@ -77,6 +77,19 @@ Trace loadTraceFile(const std::string &path);
 std::shared_ptr<const TraceView> loadTraceView(util::ByteSource &src);
 std::shared_ptr<const TraceView> loadTraceView(std::istream &is);
 
+class ChunkedView;
+
+/**
+ * Deserialize a v2 stream straight into chunk-compressed resident
+ * form (ChunkedView) without ever materializing the flat SoA — the
+ * streaming-executor load path, whose peak footprint is the compressed
+ * sections instead of size() * TraceView::bytesPerInstr(). v1 streams
+ * fall back to flat decode + chunk-encode. Performs the same
+ * validation (opcode range, SSA form, truncation) as loadTrace.
+ */
+std::shared_ptr<const ChunkedView> loadTraceChunked(util::ByteSource &src);
+std::shared_ptr<const ChunkedView> loadTraceChunked(std::istream &is);
+
 } // namespace dsmem::trace
 
 #endif // DSMEM_TRACE_TRACE_IO_H

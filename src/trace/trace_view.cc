@@ -6,15 +6,16 @@
 
 namespace dsmem::trace {
 
-namespace {
+namespace detail {
 
 /**
  * Classification bits for one instruction. Free functions qualified:
  * TraceView's member predicates of the same name would otherwise hide
- * them inside this scope.
+ * them inside this scope. Shared with the chunked tile decoder so
+ * streamed flags are bit-identical to the flat view's.
  */
 uint8_t
-classify(Op op, uint32_t latency, bool taken)
+classifyInst(Op op, uint32_t latency, bool taken)
 {
     uint8_t f = 0;
     if (dsmem::trace::isMemory(op) && latency > 1)
@@ -36,7 +37,9 @@ classify(Op op, uint32_t latency, bool taken)
     return f;
 }
 
-} // namespace
+} // namespace detail
+
+using detail::classifyInst;
 
 TraceView::TraceView(const Trace &t) : name_(t.name())
 {
@@ -60,7 +63,7 @@ TraceView::TraceView(const Trace &t) : name_(t.name())
         latency_[i] = inst.latency;
         aux_[i] = inst.aux;
 
-        flags_[i] = classify(inst.op, inst.latency, inst.taken);
+        flags_[i] = classifyInst(inst.op, inst.latency, inst.taken);
     }
 
     first_use_ = t.computeFirstUses();
@@ -92,7 +95,7 @@ TraceView::TraceView(Parts parts) : name_(std::move(parts.name))
         if (num_srcs_[i] > kMaxSrcs)
             throw util::FormatError("malformed trace: bad src count");
         fu_[i] = static_cast<uint8_t>(fuClass(op));
-        flags_[i] = classify(op, latency_[i], parts.taken[i] != 0);
+        flags_[i] = classifyInst(op, latency_[i], parts.taken[i] != 0);
 
         // SSA validation + first-use in one pass (the direct load
         // path must reject exactly what Trace::validate rejects).

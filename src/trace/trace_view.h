@@ -10,6 +10,29 @@
 
 namespace dsmem::trace {
 
+namespace detail {
+
+/**
+ * Per-instruction classification flags (TraceView::k*), derived from
+ * the op, the annotated latency, and the branch outcome. One shared
+ * definition so the flat view and the chunked tile decoder
+ * (ChunkedView) produce bit-identical flag bytes.
+ */
+uint8_t classifyInst(Op op, uint32_t latency, bool taken);
+
+/** Read prefetch into the streaming (non-temporal) hint level. */
+inline void
+prefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 0 /* read */, 0 /* streaming */);
+#else
+    (void)p;
+#endif
+}
+
+} // namespace detail
+
 /**
  * Immutable structure-of-arrays decode of a Trace, built once and
  * shared (via shared_ptr) by every timing run that consumes the same
@@ -82,6 +105,21 @@ class TraceView
     bool empty() const { return ops_.empty(); }
     const std::string &name() const { return name_; }
 
+    /**
+     * Resident bytes one instruction occupies across the SoA columns
+     * (ops + fu + flags + num_srcs + srcs + addr + latency + aux +
+     * first_use). Derived from the element types so cell sizing in
+     * benches and the streaming-residency threshold can never drift
+     * from the real layout.
+     */
+    static constexpr double bytesPerInstr()
+    {
+        return static_cast<double>(
+            sizeof(Op) + 3 * sizeof(uint8_t) +
+            sizeof(std::array<InstIndex, 3>) + sizeof(Addr) +
+            2 * sizeof(uint32_t) + sizeof(InstIndex));
+    }
+
     Op op(size_t i) const { return ops_[i]; }
     FuClass fu(size_t i) const { return static_cast<FuClass>(fu_[i]); }
     uint8_t flags(size_t i) const { return flags_[i]; }
@@ -113,6 +151,24 @@ class TraceView
 
     /** Reconstruct the AoS record (exact round-trip of Trace's). */
     TraceInst materialize(size_t i) const;
+
+    /**
+     * Software-prefetch every operand column at index @p i (one line
+     * per array). The sweep executors issue this a block ahead so a
+     * streamed trace arrives off the critical path; the same method
+     * exists on ChunkedView's TileSpan, so the executor templates stay
+     * agnostic of the backing representation.
+     */
+    void prefetch(size_t i) const
+    {
+        detail::prefetchRead(ops_.data() + i);
+        detail::prefetchRead(flags_.data() + i);
+        detail::prefetchRead(num_srcs_.data() + i);
+        detail::prefetchRead(srcs_.data() + i);
+        detail::prefetchRead(addr_.data() + i);
+        detail::prefetchRead(latency_.data() + i);
+        detail::prefetchRead(aux_.data() + i);
+    }
 
     // Raw array bases, for software prefetch of upcoming blocks in
     // the sweep executors (the accessors above return by value, so

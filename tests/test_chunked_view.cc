@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Contract tests for the chunk-compressed resident trace form:
+ * every chunk must decode to exactly the flat view's columns (at
+ * sizes straddling the chunk boundary, and in any decode order),
+ * flatten() must reproduce the original view including the derived
+ * first-use column, and the chunked loader must agree byte-for-byte
+ * with the flat loader on ANY input — every truncation point and a
+ * byte flip at every offset either loads identically through both
+ * paths or fails both with a *typed* error (util::FormatError /
+ * util::IoError), with chunk-boundary offsets swept densely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "random_trace.h"
+#include "trace/chunked_view.h"
+#include "trace/trace_io.h"
+#include "trace/trace_view.h"
+#include "util/byte_io.h"
+#include "util/errors.h"
+
+namespace dsmem::trace {
+namespace {
+
+std::string
+serializeV2(const Trace &t)
+{
+    std::ostringstream os(std::ios::binary);
+    saveTrace(t, os);
+    return std::move(os).str();
+}
+
+std::string
+serializeV1(const Trace &t)
+{
+    std::ostringstream os(std::ios::binary);
+    saveTraceV1(t, os);
+    return std::move(os).str();
+}
+
+/** Column-for-column equality, including the derived first_use. */
+void
+expectSameView(const TraceView &a, const TraceView &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.name(), b.name());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.op(i), b.op(i)) << "op at " << i;
+        ASSERT_EQ(a.fu(i), b.fu(i)) << "fu at " << i;
+        ASSERT_EQ(a.flags(i), b.flags(i)) << "flags at " << i;
+        ASSERT_EQ(a.numSrcs(i), b.numSrcs(i)) << "num_srcs at " << i;
+        for (uint8_t s = 0; s < a.numSrcs(i); ++s)
+            ASSERT_EQ(a.srcs(i)[s], b.srcs(i)[s])
+                << "src " << int(s) << " at " << i;
+        ASSERT_EQ(a.addr(i), b.addr(i)) << "addr at " << i;
+        ASSERT_EQ(a.latency(i), b.latency(i)) << "latency at " << i;
+        ASSERT_EQ(a.aux(i), b.aux(i)) << "aux at " << i;
+        ASSERT_EQ(a.firstUse(i), b.firstUse(i)) << "first_use at " << i;
+    }
+}
+
+/** One decoded tile must match the flat view over its global range. */
+void
+expectTileMatchesView(const TraceTile &tile, const TraceView &view)
+{
+    TileSpan span(tile);
+    ASSERT_LE(span.hi(), view.size());
+    for (size_t i = span.lo(); i < span.hi(); ++i) {
+        ASSERT_EQ(span.op(i), view.op(i)) << "op at " << i;
+        ASSERT_EQ(span.fu(i), view.fu(i)) << "fu at " << i;
+        ASSERT_EQ(span.flags(i), view.flags(i)) << "flags at " << i;
+        ASSERT_EQ(span.numSrcs(i), view.numSrcs(i))
+            << "num_srcs at " << i;
+        for (uint8_t s = 0; s < span.numSrcs(i); ++s)
+            ASSERT_EQ(span.srcs(i)[s], view.srcs(i)[s])
+                << "src " << int(s) << " at " << i;
+        ASSERT_EQ(span.addr(i), view.addr(i)) << "addr at " << i;
+        ASSERT_EQ(span.latency(i), view.latency(i))
+            << "latency at " << i;
+        ASSERT_EQ(span.aux(i), view.aux(i)) << "aux at " << i;
+    }
+}
+
+// --- Encode/decode round trip at chunk-boundary sizes ---------------
+
+TEST(ChunkedView, RoundTripAtChunkBoundarySizes)
+{
+    constexpr size_t k = ChunkedView::kChunkInstrs;
+    const size_t sizes[] = {1, 100, k - 1, k, k + 1, 2 * k + k / 2};
+    TraceTile tile; // Recycled across every decode, like the ring.
+    for (size_t n : sizes) {
+        SCOPED_TRACE("n = " + std::to_string(n));
+        TraceView view(testing::randomTrace(41, n));
+        ChunkedView cv(view);
+
+        EXPECT_EQ(cv.size(), n);
+        EXPECT_EQ(cv.name(), view.name());
+        ASSERT_EQ(cv.chunkCount(), (n + k - 1) / k);
+        size_t covered = 0;
+        for (size_t c = 0; c < cv.chunkCount(); ++c) {
+            EXPECT_EQ(cv.chunkBase(c), c * k);
+            ASSERT_GT(cv.chunkLength(c), 0u);
+            covered += cv.chunkLength(c);
+            cv.decodeChunk(c, tile);
+            EXPECT_EQ(tile.base, cv.chunkBase(c));
+            ASSERT_EQ(tile.count, cv.chunkLength(c));
+            expectTileMatchesView(tile, view);
+        }
+        EXPECT_EQ(covered, n);
+
+        std::shared_ptr<const TraceView> flat = cv.flatten();
+        expectSameView(*flat, view);
+        // Memoized: a second flatten is the same materialization.
+        EXPECT_EQ(cv.flatten().get(), flat.get());
+    }
+}
+
+TEST(ChunkedView, ChunksDecodeIndependentlyInAnyOrder)
+{
+    constexpr size_t k = ChunkedView::kChunkInstrs;
+    TraceView view(testing::randomTrace(43, 2 * k + 321));
+    ChunkedView cv(view);
+    ASSERT_EQ(cv.chunkCount(), 3u);
+
+    // Out of order, with repeats, through one recycled tile: the
+    // per-chunk directory must seed the delta accumulators so no
+    // decode depends on a predecessor having run.
+    TraceTile tile;
+    for (size_t c : {2u, 0u, 2u, 1u, 0u}) {
+        SCOPED_TRACE("chunk " + std::to_string(c));
+        cv.decodeChunk(c, tile);
+        expectTileMatchesView(tile, view);
+    }
+}
+
+TEST(ChunkedView, ResidentFootprintIsCompressed)
+{
+    TraceView view(
+        testing::randomTrace(47, 2 * ChunkedView::kChunkInstrs));
+    ChunkedView cv(view);
+    const double flat_bytes =
+        static_cast<double>(view.size()) * TraceView::bytesPerInstr();
+    EXPECT_GT(cv.bytesResident(), 0u);
+    // The v2 sections run ~4-8 B/instr against the flat 32; anything
+    // above half would mean the resident form stopped paying rent.
+    EXPECT_LT(static_cast<double>(cv.bytesResident()),
+              flat_bytes / 2.0);
+}
+
+// --- Loader equivalence on well-formed streams ----------------------
+
+TEST(ChunkedView, LoadChunkedMatchesLoadViewOnBothVersions)
+{
+    Trace t = testing::randomTrace(53, ChunkedView::kChunkInstrs + 777);
+    for (bool v1 : {false, true}) {
+        SCOPED_TRACE(v1 ? "v1 stream" : "v2 stream");
+        std::string bytes = v1 ? serializeV1(t) : serializeV2(t);
+
+        std::istringstream is_flat(bytes, std::ios::binary);
+        std::shared_ptr<const TraceView> flat =
+            loadTraceView(is_flat);
+        std::istringstream is_chunked(bytes, std::ios::binary);
+        std::shared_ptr<const ChunkedView> cv =
+            loadTraceChunked(is_chunked);
+
+        ASSERT_TRUE(flat);
+        ASSERT_TRUE(cv);
+        expectSameView(*cv->flatten(), *flat);
+    }
+}
+
+// --- Loader agreement fuzz ------------------------------------------
+
+/**
+ * Load @p bytes through @p fn under the hardened contract: success,
+ * or a typed error. An untyped exception fails the test outright.
+ */
+template <typename Fn>
+bool
+typedOutcome(const std::string &bytes, Fn fn)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+        fn(is);
+        return true;
+    } catch (const util::FormatError &) {
+        return false;
+    } catch (const util::IoError &) {
+        return false;
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "untyped exception escaped the loader: "
+                      << e.what();
+        return false;
+    }
+}
+
+/**
+ * The agreement contract for one (possibly mangled) byte string:
+ * loadTraceChunked and loadTraceView either both load or both throw
+ * typed errors, and when both load, the chunked result flattens to
+ * the identical trace — a mutant may decode to a *different* valid
+ * trace (bare DSMT streams carry no checksum), but never to different
+ * traces through the two paths.
+ */
+bool
+expectLoaderAgreement(const std::string &bytes, const char *what)
+{
+    std::shared_ptr<const TraceView> flat;
+    std::shared_ptr<const ChunkedView> cv;
+    bool flat_ok = typedOutcome(
+        bytes, [&](std::istream &is) { flat = loadTraceView(is); });
+    bool chunked_ok = typedOutcome(
+        bytes, [&](std::istream &is) { cv = loadTraceChunked(is); });
+    EXPECT_EQ(chunked_ok, flat_ok)
+        << what << ": loaders disagree (flat "
+        << (flat_ok ? "loaded" : "failed") << ", chunked "
+        << (chunked_ok ? "loaded" : "failed") << ")";
+    if (flat_ok && chunked_ok)
+        expectSameView(*cv->flatten(), *flat);
+    return flat_ok && chunked_ok;
+}
+
+void
+truncateEverywhere(const std::string &bytes)
+{
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        std::string what =
+            "truncated to " + std::to_string(len) + "/" +
+            std::to_string(bytes.size()) + " bytes";
+        EXPECT_FALSE(expectLoaderAgreement(bytes.substr(0, len),
+                                           what.c_str()))
+            << what << " loaded successfully";
+    }
+    // The untruncated bytes stay loadable — nothing above was vacuous.
+    EXPECT_TRUE(expectLoaderAgreement(bytes, "untruncated"));
+}
+
+TEST(ChunkedView, TruncationAgreementAtEveryOffsetV2)
+{
+    truncateEverywhere(serializeV2(testing::randomTrace(7, 250)));
+}
+
+TEST(ChunkedView, TruncationAgreementAtEveryOffsetV1)
+{
+    truncateEverywhere(serializeV1(testing::randomTrace(7, 120)));
+}
+
+void
+flipAt(const std::string &bytes, size_t pos)
+{
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0xFF}}) {
+        std::string mutant = bytes;
+        mutant[pos] = static_cast<char>(
+            static_cast<uint8_t>(mutant[pos]) ^ mask);
+        std::string what = "flip at offset " + std::to_string(pos) +
+                           " mask " + std::to_string(mask);
+        expectLoaderAgreement(mutant, what.c_str());
+    }
+}
+
+TEST(ChunkedView, ByteFlipAgreementAtEveryOffset)
+{
+    std::string bytes = serializeV2(testing::randomTrace(11, 200));
+    for (size_t pos = 0; pos < bytes.size(); ++pos)
+        flipAt(bytes, pos);
+}
+
+/** Serialized byte length of one varint — mirrors ByteSink. */
+size_t
+varintLen(uint64_t v)
+{
+    size_t len = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++len;
+    }
+    return len;
+}
+
+/**
+ * A multi-chunk stream is too large for an every-offset sweep, so
+ * flip densely around the chunk-boundary instruction's meta byte
+ * (where the per-chunk directory seeds its section offsets and delta
+ * accumulators) and at a coarse stride everywhere else. Truncation
+ * gets the same schedule.
+ */
+TEST(ChunkedView, MutationAgreementAcrossChunkBoundary)
+{
+    constexpr size_t k = ChunkedView::kChunkInstrs;
+    Trace t = testing::randomTrace(13, k + 600);
+    std::string bytes = serializeV2(t);
+
+    // v2 layout: magic(4) version(4) nameLen name count, then n meta
+    // bytes — so the chunk-boundary instruction's meta byte sits at a
+    // computable offset. The other sections' boundaries are
+    // data-dependent; the strided sweep covers them statistically.
+    const size_t header = 4 + 4 + varintLen(t.name().size()) +
+                          t.name().size() + varintLen(t.size());
+    const size_t boundary = header + k;
+    ASSERT_LT(boundary + 32, bytes.size());
+
+    std::vector<size_t> offsets;
+    for (size_t pos = boundary - 32; pos < boundary + 32; ++pos)
+        offsets.push_back(pos);
+    for (size_t pos = 0; pos < bytes.size(); pos += 211)
+        offsets.push_back(pos);
+
+    for (size_t pos : offsets) {
+        flipAt(bytes, pos);
+        std::string what =
+            "truncated to " + std::to_string(pos) + " bytes";
+        EXPECT_FALSE(expectLoaderAgreement(bytes.substr(0, pos),
+                                           what.c_str()))
+            << what << " loaded successfully";
+    }
+    EXPECT_TRUE(expectLoaderAgreement(bytes, "unmutated"));
+}
+
+// --- Bounded allocation on absurd counts ----------------------------
+
+TEST(ChunkedView, HugeRecordCountIsRejectedBeforeAllocating)
+{
+    // A few-byte v2 stream claiming ~2^60 records: the chunked loader
+    // must reject from the stream size alone, like the flat loaders —
+    // reserving meta/directory space first would be a multi-exabyte
+    // allocation.
+    std::ostringstream os(std::ios::binary);
+    {
+        util::ByteSink sink(os);
+        sink.put("DSMT", 4);
+        sink.putU32(kTraceFormatVersion);
+        sink.putVarint(0);                 // Name length.
+        sink.putVarint(uint64_t{1} << 60); // Record count.
+        sink.flush();
+    }
+    std::string bytes = std::move(os).str();
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(loadTraceChunked(is), util::FormatError);
+}
+
+} // namespace
+} // namespace dsmem::trace

@@ -23,6 +23,9 @@
 #include "sim/app_registry.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
+#include "sim/trace_bundle.h"
+#include "trace/chunked_view.h"
+#include "trace/trace_stats.h"
 #include "trace/trace_view.h"
 #include "util/simd.h"
 
@@ -519,6 +522,197 @@ TEST(Executor, RingRebindSkipsZeroFill)
     EXPECT_EQ(ctx.lane(0).rebind_bytes_skipped,
               after_second + (16ull * 3 + 1 + 1) * sizeof(uint64_t) +
                   warm_bytes);
+}
+
+// --- Streaming executor is bit-identical to the flat paths ----------
+
+/** Multi-chunk random trace: the streamed sweeps must cross chunk
+ *  boundaries mid-window, not just run inside one tile. */
+trace::TraceView
+multiChunkView(uint64_t seed)
+{
+    return trace::TraceView(testing::randomTrace(
+        seed, 2 * trace::ChunkedView::kChunkInstrs + 1234));
+}
+
+/**
+ * Every config variant — all four models, mixed windows, MSHR limits,
+ * SC speculation, the read-delay collector — must produce the same
+ * bits through the streamed tiled executor as through single-cell
+ * runs, with decode inline and with the decode-ahead thread filling
+ * the tile ring.
+ */
+TEST(Executor, StreamedSweepMatchesSingleCellRuns)
+{
+    trace::TraceView view = multiChunkView(61);
+    trace::ChunkedView cv(view);
+    std::vector<DynamicConfig> configs = variantConfigs();
+
+    std::vector<DynamicResult> single;
+    for (const DynamicConfig &cfg : configs)
+        single.push_back(DynamicProcessor(cfg).run(view));
+
+    SimContext ctx;
+    for (int threads : {0, 1}) {
+        for (core::SweepMode mode :
+             {core::SweepMode::Auto, core::SweepMode::PerLaneTiled}) {
+            core::StreamOptions opt;
+            opt.decode_threads = threads;
+            std::vector<DynamicResult> streamed =
+                core::runDynamicSweepStreamed(cv, configs, ctx, mode,
+                                              opt);
+            ASSERT_EQ(streamed.size(), single.size());
+            for (size_t i = 0; i < streamed.size(); ++i) {
+                SCOPED_TRACE("threads " + std::to_string(threads) +
+                             " mode " + std::to_string(int(mode)) +
+                             " config " + std::to_string(i));
+                expectSameDynamicResult(streamed[i], single[i]);
+            }
+        }
+    }
+}
+
+/** The streamed struct-of-lanes modes (SIMD, forced-scalar batch,
+ *  tiled, Auto) against per-cell runs, lane tails included. */
+TEST(Executor, StreamedSolModesMatchPerCellRuns)
+{
+    trace::TraceView view = multiChunkView(67);
+    trace::ChunkedView cv(view);
+    for (ConsistencyModel m :
+         {ConsistencyModel::SC, ConsistencyModel::RC}) {
+        for (size_t k : {size_t{1}, size_t{3}, size_t{5}}) {
+            std::vector<DynamicConfig> configs = solFamily(k, m, 1);
+            ASSERT_TRUE(core::solSweepSupported(configs));
+
+            std::vector<DynamicResult> single;
+            for (const DynamicConfig &cfg : configs)
+                single.push_back(DynamicProcessor(cfg).run(view));
+
+            SimContext ctx;
+            for (int threads : {0, 1}) {
+                for (core::SweepMode mode :
+                     {core::SweepMode::SoL, core::SweepMode::SoLScalar,
+                      core::SweepMode::PerLaneTiled,
+                      core::SweepMode::Auto}) {
+                    core::StreamOptions opt;
+                    opt.decode_threads = threads;
+                    std::vector<DynamicResult> streamed =
+                        core::runDynamicSweepStreamed(cv, configs, ctx,
+                                                      mode, opt);
+                    ASSERT_EQ(streamed.size(), single.size());
+                    for (size_t i = 0; i < streamed.size(); ++i) {
+                        SCOPED_TRACE(
+                            "model " + std::to_string(int(m)) + " k " +
+                            std::to_string(k) + " threads " +
+                            std::to_string(threads) + " mode " +
+                            std::to_string(int(mode)) + " lane " +
+                            std::to_string(i));
+                        expectSameDynamicResult(streamed[i], single[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    // The SoL support gate applies to the streamed entry point too.
+    std::vector<DynamicConfig> mixed = variantConfigs();
+    SimContext ctx;
+    EXPECT_THROW(core::runDynamicSweepStreamed(
+                     cv, mixed, ctx, core::SweepMode::SoL,
+                     core::StreamOptions{}),
+                 std::invalid_argument);
+}
+
+/** One context serves flat sweeps, streamed sweeps, and single-cell
+ *  runs back to back with no state bleed. */
+TEST(Executor, StreamedContextReuseAgainstFlat)
+{
+    trace::TraceView view = multiChunkView(71);
+    trace::ChunkedView cv(view);
+    std::vector<DynamicConfig> fam =
+        solFamily(4, ConsistencyModel::RC, 1);
+
+    std::vector<DynamicResult> single;
+    for (const DynamicConfig &cfg : fam)
+        single.push_back(DynamicProcessor(cfg).run(view));
+
+    SimContext shared;
+    for (int round = 0; round < 2; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        std::vector<DynamicResult> flat =
+            core::runDynamicSweep(view, fam, shared);
+        std::vector<DynamicResult> streamed =
+            core::runDynamicSweepStreamed(cv, fam, shared);
+        for (size_t i = 0; i < fam.size(); ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameDynamicResult(flat[i], single[i]);
+            expectSameDynamicResult(streamed[i], single[i]);
+        }
+        // Interleave a single-cell run through lane 0.
+        expectSameDynamicResult(
+            DynamicProcessor(fam[1]).run(view, shared), single[1]);
+    }
+}
+
+/** Forcing the scalar batch at runtime reroutes the streamed Auto
+ *  path; results do not change. */
+TEST(Executor, StreamedForcedScalarRuntimeSwitch)
+{
+    trace::TraceView view = multiChunkView(73);
+    trace::ChunkedView cv(view);
+    std::vector<DynamicConfig> fam =
+        solFamily(3, ConsistencyModel::SC, 1);
+    SimContext ctx;
+    std::vector<DynamicResult> simd =
+        core::runDynamicSweepStreamed(cv, fam, ctx);
+    util::simd::setForceScalar(true);
+    std::vector<DynamicResult> scalar =
+        core::runDynamicSweepStreamed(cv, fam, ctx);
+    util::simd::setForceScalar(false);
+    ASSERT_EQ(simd.size(), scalar.size());
+    for (size_t i = 0; i < simd.size(); ++i)
+        expectSameDynamicResult(simd[i], scalar[i]);
+}
+
+/**
+ * runGroup against a chunk-resident bundle must reproduce the flat
+ * bundle's rows for every planned group: fused DS sweeps and DS
+ * singletons stream, non-DS rows (which need first_use random access)
+ * run against the memoized flatten.
+ */
+TEST(Executor, RunGroupChunkedBundleMatchesFlat)
+{
+    trace::Trace raw = testing::randomTrace(
+        79, 2 * trace::ChunkedView::kChunkInstrs + 555);
+    sim::ViewBundle flat;
+    flat.view = trace::TraceView::build(raw);
+    flat.stats = trace::computeStats(raw);
+    flat.verified = true;
+    sim::ViewBundle chunked = flat;
+    chunked.view.reset();
+    chunked.chunked =
+        std::make_shared<trace::ChunkedView>(*flat.view);
+
+    EXPECT_LT(chunked.traceBytesResident(),
+              flat.traceBytesResident() / 2);
+
+    std::vector<ModelSpec> specs = combinedSpecs();
+    std::vector<uint8_t> done(specs.size(), 0);
+    for (size_t cap : {size_t{0}, size_t{1}, size_t{3}}) {
+        SimContext flat_ctx, chunked_ctx;
+        for (const ExecGroup &g : sim::planPhase2(specs, done, cap)) {
+            std::vector<RunResult> want =
+                sim::runGroup(flat, specs, g, flat_ctx);
+            std::vector<RunResult> got =
+                sim::runGroup(chunked, specs, g, chunked_ctx);
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t i = 0; i < g.rows.size(); ++i) {
+                SCOPED_TRACE("cap " + std::to_string(cap) + " " +
+                             specs[g.rows[i]].label());
+                EXPECT_EQ(got[i], want[i]);
+            }
+        }
+    }
 }
 
 } // namespace

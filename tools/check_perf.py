@@ -63,10 +63,17 @@ def ratios(doc):
         # memory_bound = streamed synthetic cells past the LLC). Both
         # ratchet independently — the SoL executor must not buy its
         # memory-bound win by regressing the warm path or vice versa.
+        # schema_version >= 5 adds memory_bound_streamed: the same
+        # fused sweep against the chunk-compressed resident form;
+        # streamed_over_fused ratchets the decode-ahead executor
+        # against the flat fused sweep it replaces.
         for name, regime in sorted(doc.get("regimes", {}).items()):
             if "fused_speedup" in regime:
                 out[f"regime:{name}:fused_speedup"] = (
                     regime["fused_speedup"])
+            if "streamed_over_fused" in regime:
+                out[f"regime:{name}:streamed_over_fused"] = (
+                    regime["streamed_over_fused"])
     elif bench == "bench_phase1":
         out["gen:speedup"] = doc["gen"]["speedup"]
         out["bundle:size_ratio"] = doc["bundle"]["size_ratio"]
@@ -126,6 +133,24 @@ def ceilings(doc):
         out["max_abs_error"] = doc["max_abs_error"]
         for cell in doc.get("cells", []):
             out[f"cell:{cell['label']}:abs_error"] = cell["abs_error"]
+    elif doc.get("bench") == "bench_hotloop":
+        # Memory ratchets for the chunk-compressed streamed regime
+        # (schema_version >= 5), both dimensionless so they transfer
+        # across hosts. resident_ratio (chunked resident bytes over
+        # flat SoA bytes) is a deterministic property of the encoder;
+        # the worker-RSS fraction comes from the --rss-probe child
+        # processes and is skipped when the probe could not run.
+        regimes = doc.get("regimes", {})
+        streamed = regimes.get("memory_bound_streamed")
+        if streamed and streamed.get("flat_bytes"):
+            out["regime:memory_bound_streamed:resident_ratio"] = (
+                streamed["resident_ratio"])
+        rss = regimes.get("worker_rss")
+        if rss and rss.get("flat_peak_rss_bytes") and \
+                rss.get("streamed_peak_rss_bytes"):
+            out["worker_rss:streamed_fraction"] = (
+                rss["streamed_peak_rss_bytes"]
+                / rss["flat_peak_rss_bytes"])
     return out
 
 
